@@ -1,0 +1,36 @@
+//! Figure 10: 2-D stability verification (`SV2D`) time vs dataset size.
+//!
+//! Paper shape: linear in n (0.12 s at n = 100K in Python). The criterion
+//! grid stops at 10⁴ to keep `cargo bench` short; the `figures` binary
+//! extends to 10⁵.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_sv2d");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300));
+    for n in [100usize, 1_000, 10_000] {
+        let data = bluenile_dataset(n, 2);
+        let ranking = data.rank(&[1.0, 1.0]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    stability_verify_2d(
+                        black_box(&data),
+                        black_box(&ranking),
+                        AngleInterval::full(),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Figure 11: 2-D `GET-NEXT` — first call (runs the ray sweep) vs
+//! subsequent calls (heap pops), vs dataset size.
+//!
+//! Paper shape: first call orders of magnitude costlier than subsequent
+//! calls; both grow with n. Criterion stops at n ≈ 3000 (the Blue Nile 2-D
+//! projection is nearly dominance-free, so the sweep processes ~n²/2
+//! exchange events); the `figures` binary extends further.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_first_call(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_first_call");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    for n in [100usize, 1_000, 3_000] {
+        let data = bluenile_dataset(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut e =
+                    Enumerator2D::new(black_box(&data), AngleInterval::full()).unwrap();
+                black_box(e.get_next())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_subsequent_calls(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_subsequent_call");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    for n in [100usize, 1_000, 3_000] {
+        let data = bluenile_dataset(n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    // The sweep runs in setup (not measured); the timed part
+                    // is one heap pop + midpoint ranking, i.e. a subsequent
+                    // GET-NEXT call.
+                    let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+                    let _ = e.get_next();
+                    e
+                },
+                |mut e| black_box(e.get_next()),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_first_call, bench_subsequent_calls);
+criterion_main!(benches);

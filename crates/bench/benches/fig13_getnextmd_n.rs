@@ -1,0 +1,37 @@
+//! Figure 13: `GET-NEXTmd` — retrieving the top-10 stable rankings vs
+//! dataset size (d = 3, θ = π/100).
+//!
+//! The enumerator is built once per size in setup (sampling + `×hps`); the
+//! measured unit is the ten GET-NEXT calls from a cloned checkpoint, which
+//! is what the paper's per-call plot integrates to.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_getnextmd_top10");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], PI / 100.0);
+    for n in [10usize, 100, 1_000] {
+        let data = bluenile_dataset(n, 3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let template = MdEnumerator::new(&data, &roi, 20_000, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || template.clone(),
+                |mut e| black_box(e.top_h(10)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

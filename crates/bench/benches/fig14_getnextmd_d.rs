@@ -1,0 +1,37 @@
+//! Figure 14: `GET-NEXTmd` — top-10 stable rankings vs number of
+//! attributes d (n = 100, θ = π/100).
+//!
+//! Paper shape: similar times across d, because the sample-partition trick
+//! makes per-region work depend on the sample count rather than on the
+//! dimension of the arrangement.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_getnextmd_d");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    for d in [3usize, 4, 5] {
+        let data = bluenile_dataset(100, d);
+        let roi = RegionOfInterest::cone(&vec![1.0; d], PI / 100.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        let template = MdEnumerator::new(&data, &roi, 20_000, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || template.clone(),
+                |mut e| black_box(e.top_h(10)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 15: `GET-NEXTmd` — top-10 stable rankings vs width of the region
+//! of interest θ (n = 100, d = 3).
+//!
+//! Paper shape: similar times across θ — narrowing the cone reduces the
+//! hyperplane count but the fixed sample budget dominates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_getnextmd_theta");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    let data = bluenile_dataset(100, 3);
+    for (label, theta) in [("pi_10", PI / 10.0), ("pi_50", PI / 50.0), ("pi_100", PI / 100.0)]
+    {
+        let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], theta);
+        let mut rng = StdRng::seed_from_u64(15);
+        let template = MdEnumerator::new(&data, &roi, 20_000, &mut rng).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &theta, |b, _| {
+            b.iter_batched(
+                || template.clone(),
+                |mut e| black_box(e.top_h(10)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

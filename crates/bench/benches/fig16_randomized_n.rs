@@ -1,0 +1,42 @@
+//! Figure 16: randomized `GET-NEXTr` (ranked top-10) — first-call time vs
+//! dataset size (d = 3, θ = π/50, 5000-sample budget).
+//!
+//! Paper shape: near-linear in n; per-sample cost is one O(n) selection.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig16_randomized_first_call");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], PI / 50.0);
+    for n in [1_000usize, 10_000, 100_000] {
+        let data = bluenile_dataset(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let op = RandomizedEnumerator::new(
+                        &data,
+                        &roi,
+                        RankingScope::TopKRanked(10),
+                        0.05,
+                    )
+                    .unwrap();
+                    (op, StdRng::seed_from_u64(16))
+                },
+                |(mut op, mut rng)| black_box(op.get_next_budget(&mut rng, 5_000)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 18: DoT scalability — randomized `GET-NEXTr` call time vs n up
+//! to 10⁶ flight records (top-10 sets, d = 3, θ = π/50).
+//!
+//! The criterion grid uses a reduced 100-sample budget so the n = 10⁶
+//! point stays benchable (the per-sample cost is what scales with n); the
+//! `figures` binary runs the paper's 5000/1000 budgets. Paper shape:
+//! linear in n.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::dot_dataset;
+use srank_core::prelude::*;
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig18_dot_call");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(20));
+    let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], PI / 50.0);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let data = dot_dataset(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let op = RandomizedEnumerator::new(
+                        &data,
+                        &roi,
+                        RankingScope::TopKSet(10),
+                        0.05,
+                    )
+                    .unwrap();
+                    (op, StdRng::seed_from_u64(18))
+                },
+                |(mut op, mut rng)| black_box(op.get_next_budget(&mut rng, 100)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

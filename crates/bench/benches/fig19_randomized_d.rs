@@ -1,0 +1,43 @@
+//! Figure 19: randomized `GET-NEXTr` (ranked top-10) — first-call time vs
+//! number of attributes d (n = 10K, θ = π/50).
+//!
+//! Paper shape: similar times across d — the O(n) selection dominates the
+//! O(d) scoring.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::f64::consts::PI;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig19_randomized_d");
+    g.sample_size(10).warm_up_time(Duration::from_millis(300));
+    for d in [3usize, 4, 5] {
+        let data = bluenile_dataset(10_000, d);
+        let roi = RegionOfInterest::cone(&vec![1.0; d], PI / 50.0);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter_batched(
+                || {
+                    let op = RandomizedEnumerator::new(
+                        &data,
+                        &roi,
+                        RankingScope::TopKRanked(10),
+                        0.05,
+                    )
+                    .unwrap();
+                    (op, StdRng::seed_from_u64(19))
+                },
+                |(mut op, mut rng)| black_box(op.get_next_budget(&mut rng, 5_000)),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Shared harness for reproducing the paper's evaluation (§6).
+//!
+//! Every experiment gets its workload from here so that the criterion
+//! benches and the `figures` binary measure exactly the same data under
+//! exactly the same fixed seeds. EXPERIMENTS.md records how each figure's
+//! output compares to the paper.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use srank_core::Dataset;
+use srank_data::{bluenile, csmetrics_top100, dot, fifa_top100, synthetic, CorrelationKind};
+
+/// Fixed seeds — one per workload family — so that every bench and figure
+/// is reproducible run-to-run.
+pub mod seeds {
+    pub const CSMETRICS: u64 = 2018;
+    pub const FIFA: u64 = 1904;
+    pub const BLUENILE: u64 = 43;
+    pub const DOT: u64 = 1322;
+    pub const SYNTHETIC: u64 = 23;
+    pub const SAMPLER: u64 = 5;
+}
+
+/// The simulated CSMetrics top-100 slice (d = 2), normalized.
+pub fn csmetrics_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seeds::CSMETRICS);
+    let table = csmetrics_top100(&mut rng);
+    Dataset::from_rows(&table.normalized()).expect("simulator output is valid")
+}
+
+/// The simulated FIFA top-100 slice (d = 4), normalized.
+pub fn fifa_dataset() -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seeds::FIFA);
+    let table = fifa_top100(&mut rng);
+    Dataset::from_rows(&table.normalized()).expect("simulator output is valid")
+}
+
+/// A Blue Nile catalog of `n` diamonds projected to the first `d` of its
+/// five attributes, normalized — the paper's device for varying n and d.
+pub fn bluenile_dataset(n: usize, d: usize) -> Dataset {
+    assert!((2..=5).contains(&d), "Blue Nile has 5 attributes");
+    let mut rng = StdRng::seed_from_u64(seeds::BLUENILE);
+    let table = bluenile(&mut rng, n);
+    let cols: Vec<usize> = (0..d).collect();
+    Dataset::from_rows(&table.project(&cols).normalized()).expect("simulator output is valid")
+}
+
+/// A DoT flight table of `n` records (d = 3), normalized.
+pub fn dot_dataset(n: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seeds::DOT);
+    let table = dot(&mut rng, n);
+    Dataset::from_rows(&table.normalized()).expect("simulator output is valid")
+}
+
+/// A synthetic dataset of the given correlation kind (Figure 21).
+pub fn synthetic_dataset(kind: CorrelationKind, n: usize, d: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seeds::SYNTHETIC);
+    let table = synthetic(&mut rng, kind, n, d);
+    Dataset::from_rows(&table.normalized()).expect("simulator output is valid")
+}
+
+/// One (x, y) series of a figure, serializable for downstream plotting.
+#[derive(Clone, Debug, Serialize)]
+pub struct Series {
+    pub label: String,
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Self { label: label.into(), x: Vec::new(), y: Vec::new() }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.x.push(x);
+        self.y.push(y);
+    }
+}
+
+/// A reproduced figure: id, caption, axis names, and its series.
+#[derive(Clone, Debug, Serialize)]
+pub struct Figure {
+    pub id: String,
+    pub caption: String,
+    pub x_axis: String,
+    pub y_axis: String,
+    pub series: Vec<Series>,
+    /// Free-form notes (e.g. measured scalar statistics).
+    pub notes: Vec<String>,
+}
+
+impl Figure {
+    pub fn new(
+        id: impl Into<String>,
+        caption: impl Into<String>,
+        x_axis: impl Into<String>,
+        y_axis: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            caption: caption.into(),
+            x_axis: x_axis.into(),
+            y_axis: y_axis.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Renders the figure as an aligned text table (one column per
+    /// series), the `figures` binary's human-readable output.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "=== {} — {} ===", self.id, self.caption).unwrap();
+        for n in &self.notes {
+            writeln!(out, "  note: {n}").unwrap();
+        }
+        if self.series.is_empty() {
+            return out;
+        }
+        write!(out, "{:>14}", self.x_axis).unwrap();
+        for s in &self.series {
+            write!(out, "{:>22}", s.label).unwrap();
+        }
+        writeln!(out).unwrap();
+        let rows = self.series.iter().map(|s| s.x.len()).max().unwrap_or(0);
+        for i in 0..rows {
+            let x = self.series.iter().find_map(|s| s.x.get(i)).copied().unwrap_or(f64::NAN);
+            write!(out, "{x:>14.6}").unwrap();
+            for s in &self.series {
+                match s.y.get(i) {
+                    Some(y) => write!(out, "{y:>22.8}").unwrap(),
+                    None => write!(out, "{:>22}", "-").unwrap(),
+                }
+            }
+            writeln!(out).unwrap();
+        }
+        writeln!(out, "  (y axis: {})", self.y_axis).unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builders_have_paper_shapes() {
+        let cs = csmetrics_dataset();
+        assert_eq!((cs.len(), cs.dim()), (100, 2));
+        let ff = fifa_dataset();
+        assert_eq!((ff.len(), ff.dim()), (100, 4));
+        let bn = bluenile_dataset(500, 3);
+        assert_eq!((bn.len(), bn.dim()), (500, 3));
+        let dt = dot_dataset(1000);
+        assert_eq!((dt.len(), dt.dim()), (1000, 3));
+        let sy = synthetic_dataset(CorrelationKind::Independent, 200, 3);
+        assert_eq!((sy.len(), sy.dim()), (200, 3));
+    }
+
+    #[test]
+    fn builders_are_deterministic() {
+        assert_eq!(csmetrics_dataset(), csmetrics_dataset());
+        assert_eq!(bluenile_dataset(100, 4), bluenile_dataset(100, 4));
+    }
+
+    #[test]
+    fn figure_renders_aligned_table() {
+        let mut f = Figure::new("fig0", "test figure", "n", "time");
+        let mut s = Series::new("a");
+        s.push(1.0, 2.0);
+        s.push(10.0, 20.0);
+        f.series.push(s);
+        f.note("hello");
+        let text = f.render_text();
+        assert!(text.contains("fig0"));
+        assert!(text.contains("hello"));
+        assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn figure_serializes_to_json() {
+        let f = Figure::new("fig1", "c", "x", "y");
+        let json = serde_json::to_string(&f).unwrap();
+        assert!(json.contains("\"id\":\"fig1\""));
+    }
+}

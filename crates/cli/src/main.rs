@@ -1,0 +1,15 @@
+//! The `srank` command-line tool. All logic lives in the library so the
+//! integration tests can drive it without spawning processes.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match srank_cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", srank_cli::USAGE);
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Integration tests of the `srank` CLI, driven through the library entry
+//! points (no subprocess spawning).
+
+use srank_cli::{execute_on, parse, Command};
+use srank_data::{read_csv_str, ColumnSpec};
+
+const HIRING_CSV: &str = "\
+candidate,aptitude,experience
+t1,0.63,0.71
+t2,0.83,0.65
+t3,0.58,0.78
+t4,0.70,0.68
+t5,0.53,0.82
+";
+
+fn args(s: &str) -> Vec<String> {
+    s.split_whitespace().map(|p| p.to_string()).collect()
+}
+
+fn table() -> srank_data::RawTable {
+    read_csv_str(
+        "hiring",
+        HIRING_CSV,
+        &[ColumnSpec::higher("aptitude"), ColumnSpec::higher("experience")],
+    )
+    .unwrap()
+}
+
+#[test]
+fn parse_rejects_garbage() {
+    assert!(parse(&args("frobnicate data.csv --higher a")).is_err());
+    assert!(parse(&args("verify data.csv --higher a")).is_err()); // no --weights
+    assert!(parse(&args("inspect data.csv")).is_err()); // no columns
+    assert!(parse(&args("inspect")).is_err()); // no csv
+    assert!(parse(&args("inspect data.csv --higher a --bogus 3")).is_err());
+}
+
+#[test]
+fn parse_collects_options() {
+    let inv = parse(&args(
+        "topk data.csv --higher a,b --lower c -k 7 --ranked --budget 900 --calls 3 \
+         --around 1,1,1 --theta 0.05 --seed 9",
+    ))
+    .unwrap();
+    assert_eq!(inv.higher, vec!["a", "b"]);
+    assert_eq!(inv.lower, vec!["c"]);
+    assert_eq!(inv.around, Some(vec![1.0, 1.0, 1.0]));
+    assert_eq!(inv.theta, Some(0.05));
+    assert_eq!(inv.seed, 9);
+    assert_eq!(
+        inv.command,
+        Command::TopK { k: 7, ranked: true, budget: 900, calls: 3 }
+    );
+}
+
+#[test]
+fn inspect_reports_stats() {
+    let inv = parse(&args("inspect hiring.csv --higher aptitude,experience")).unwrap();
+    let out = execute_on(&inv, &table()).unwrap();
+    assert!(out.contains("5 rows"));
+    assert!(out.contains("aptitude"));
+    assert!(out.contains("dominance fraction"));
+    // Figure 1's items are mutually non-dominating.
+    assert!(out.contains("0.0000"));
+}
+
+#[test]
+fn verify_is_exact_in_2d() {
+    let inv =
+        parse(&args("verify hiring.csv --higher aptitude,experience --weights 1,1")).unwrap();
+    let out = execute_on(&inv, &table()).unwrap();
+    assert!(out.contains("exact (2-D interval)"), "{out}");
+    // The CLI normalizes the CSV columns; compute the expected value the
+    // same way through the library.
+    use srank_core::prelude::*;
+    let data = Dataset::from_rows(&table().normalized()).unwrap();
+    let r = data.rank(&[1.0, 1.0]).unwrap();
+    let expected = stability_verify_2d(&data, &r, AngleInterval::full())
+        .unwrap()
+        .unwrap()
+        .stability;
+    assert!(out.contains(&format!("{expected:.6}")), "{out} vs {expected}");
+}
+
+#[test]
+fn enumerate_lists_all_eleven() {
+    let inv = parse(&args(
+        "enumerate hiring.csv --higher aptitude,experience --top 20",
+    ))
+    .unwrap();
+    let out = execute_on(&inv, &table()).unwrap();
+    assert!(out.contains("(11 feasible rankings in the region) [exact]"), "{out}");
+    assert!(out.contains("#1 "));
+    assert!(out.contains("#11"));
+}
+
+#[test]
+fn enumerate_with_threshold() {
+    let inv = parse(&args(
+        "enumerate hiring.csv --higher aptitude,experience --min-stability 0.1",
+    ))
+    .unwrap();
+    let out = execute_on(&inv, &table()).unwrap();
+    // Expected count computed through the library on the same normalized
+    // data the CLI ranks.
+    use srank_core::prelude::*;
+    let data = Dataset::from_rows(&table().normalized()).unwrap();
+    let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let expected = e.with_stability_at_least(0.1).len();
+    let listed = out.matches("\n#").count() + usize::from(out.starts_with('#'));
+    assert_eq!(listed, expected, "{out}");
+    assert!(expected >= 2, "threshold test needs a few qualifying regions");
+}
+
+#[test]
+fn topk_runs_deterministically() {
+    let inv = parse(&args(
+        "topk hiring.csv --higher aptitude,experience -k 3 --budget 2000 --calls 2 --seed 5",
+    ))
+    .unwrap();
+    let a = execute_on(&inv, &table()).unwrap();
+    let b = execute_on(&inv, &table()).unwrap();
+    assert_eq!(a, b);
+    assert!(a.contains("top-3 sets"));
+    assert!(a.contains("items"));
+}
+
+#[test]
+fn overview_reports_coverage() {
+    let inv = parse(&args("overview hiring.csv --higher aptitude,experience")).unwrap();
+    let out = execute_on(&inv, &table()).unwrap();
+    assert!(out.contains("11 feasible rankings"), "{out}");
+    use srank_core::prelude::*;
+    let data = Dataset::from_rows(&table().normalized()).unwrap();
+    let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let o = StabilityOverview::from_stabilities(
+        e.regions().iter().map(|r| r.stability).collect(),
+    )
+    .unwrap();
+    let expected = o.rankings_to_cover(0.5).unwrap();
+    assert!(out.contains(&format!("50% coverage: top {expected}")), "{out}");
+}
+
+#[test]
+fn cone_roi_flags_work_in_2d() {
+    let inv = parse(&args(
+        "enumerate hiring.csv --higher aptitude,experience --around 1,1 --theta 0.1 --top 20",
+    ))
+    .unwrap();
+    let out = execute_on(&inv, &table()).unwrap();
+    // Fewer rankings fit a narrow interval than the full quadrant.
+    let n: usize = out
+        .split("(")
+        .nth(1)
+        .and_then(|s| s.split(' ').next())
+        .and_then(|s| s.parse().ok())
+        .unwrap();
+    assert!(n < 11, "{out}");
+}
+
+#[test]
+fn weight_arity_mismatch_is_reported() {
+    let inv = parse(&args(
+        "verify hiring.csv --higher aptitude,experience --weights 1,1,1",
+    ))
+    .unwrap();
+    let err = execute_on(&inv, &table()).unwrap_err();
+    assert!(err.contains("3 entries"), "{err}");
+}
+
+#[test]
+fn three_d_verify_uses_girard() {
+    let csv = "\
+a,b,c
+0.8,0.2,0.5
+0.3,0.9,0.4
+0.5,0.5,0.9
+0.9,0.4,0.1
+";
+    let t = read_csv_str(
+        "abc",
+        csv,
+        &[ColumnSpec::higher("a"), ColumnSpec::higher("b"), ColumnSpec::higher("c")],
+    )
+    .unwrap();
+    let inv = parse(&args("verify x.csv --higher a,b,c --weights 1,1,1")).unwrap();
+    let out = execute_on(&inv, &t).unwrap();
+    assert!(out.contains("exact (Girard, d = 3)"), "{out}");
+}
+
+#[test]
+fn end_to_end_through_filesystem() {
+    // Exercise the real file path too.
+    let dir = std::env::temp_dir().join("srank_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("hiring.csv");
+    std::fs::write(&path, HIRING_CSV).unwrap();
+    let out = srank_cli::run(&args(&format!(
+        "inspect {} --higher aptitude,experience",
+        path.display()
+    )))
+    .unwrap();
+    assert!(out.contains("5 rows"));
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,341 @@
+//! The dataset model of §2.1.1: `n` items over `d` normalized scoring
+//! attributes, stored row-major for cache-friendly scoring sweeps.
+
+use crate::error::{Result, StableRankError};
+use crate::ranking::Ranking;
+use srank_geom::dominance::dominates;
+use srank_geom::vector::dot;
+
+/// A fixed database of items with scalar scoring attributes.
+///
+/// Attributes are assumed normalized per the paper: in `[0, 1]` with larger
+/// values preferred (see `srank-data`'s `RawTable::normalized`). The type
+/// does not *enforce* the unit interval — the techniques work for any
+/// non-negative values — but negative attributes break the geometry of
+/// first-orthant scoring and are rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    n: usize,
+    d: usize,
+    /// Row-major attribute matrix, `data[i·d + j] = item i, attribute j`.
+    data: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from item rows.
+    ///
+    /// # Errors
+    /// Rejects empty input, ragged rows, non-finite or negative values.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(StableRankError::EmptyDataset);
+        }
+        let d = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != d {
+                return Err(StableRankError::DimensionMismatch { expected: d, got: r.len() });
+            }
+            for &v in r {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(StableRankError::InvalidWeights(format!(
+                        "item {i} has non-finite or negative attribute {v}"
+                    )));
+                }
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self { n: rows.len(), d, data })
+    }
+
+    /// Number of items `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of scoring attributes `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// Item `i`'s attribute vector.
+    #[inline]
+    pub fn item(&self, i: usize) -> &[f64] {
+        &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// The linear score `f_w(t_i) = Σ_j w_j·t_i[j]`.
+    #[inline]
+    pub fn score(&self, i: usize, w: &[f64]) -> f64 {
+        dot(self.item(i), w)
+    }
+
+    /// Whether item `i` dominates item `j` (§3).
+    pub fn dominates(&self, i: usize, j: usize) -> bool {
+        dominates(self.item(i), self.item(j))
+    }
+
+    /// Validates that `w` has the right arity for this dataset.
+    pub fn check_weights(&self, w: &[f64]) -> Result<()> {
+        if w.len() != self.d {
+            return Err(StableRankError::DimensionMismatch { expected: self.d, got: w.len() });
+        }
+        Ok(())
+    }
+
+    /// The ranking `∇f_w(D)`: items by descending score, ties broken by
+    /// item index (the paper's "consistent tie-break by item identifier").
+    pub fn rank(&self, w: &[f64]) -> Result<Ranking> {
+        self.check_weights(w)?;
+        let mut scores = Vec::new();
+        let mut order = Vec::new();
+        self.rank_into(w, &mut scores, &mut order);
+        Ok(Ranking::from_order_unchecked(order))
+    }
+
+    /// Allocation-free ranking into caller-provided buffers: fills `order`
+    /// with all item indices sorted by descending score. Hot path of the
+    /// randomized operators.
+    pub fn rank_into(&self, w: &[f64], scores: &mut Vec<f64>, order: &mut Vec<u32>) {
+        self.fill_scores(w, scores);
+        order.clear();
+        order.extend(0..self.n as u32);
+        order.sort_unstable_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+    }
+
+    /// The ranked top-k prefix of `∇f_w(D)` without sorting all of `D`:
+    /// an O(n + k log k) selection, the workhorse of the top-k randomized
+    /// operators on million-item datasets.
+    pub fn top_k_into(
+        &self,
+        w: &[f64],
+        k: usize,
+        scores: &mut Vec<f64>,
+        idx: &mut Vec<u32>,
+        out: &mut Vec<u32>,
+    ) {
+        let k = k.min(self.n);
+        self.fill_scores(w, scores);
+        idx.clear();
+        idx.extend(0..self.n as u32);
+        let cmp = |a: &u32, b: &u32| {
+            scores[*b as usize]
+                .partial_cmp(&scores[*a as usize])
+                .unwrap()
+                .then(a.cmp(b))
+        };
+        if k > 0 && k < self.n {
+            idx.select_nth_unstable_by(k - 1, cmp);
+        }
+        let top = &mut idx[..k];
+        top.sort_unstable_by(cmp);
+        out.clear();
+        out.extend_from_slice(top);
+    }
+
+    /// Convenience wrapper allocating fresh buffers.
+    pub fn top_k(&self, w: &[f64], k: usize) -> Result<Vec<u32>> {
+        self.check_weights(w)?;
+        let (mut scores, mut idx, mut out) = (Vec::new(), Vec::new(), Vec::new());
+        self.top_k_into(w, k, &mut scores, &mut idx, &mut out);
+        Ok(out)
+    }
+
+    fn fill_scores(&self, w: &[f64], scores: &mut Vec<f64>) {
+        debug_assert_eq!(w.len(), self.d);
+        scores.clear();
+        scores.reserve(self.n);
+        // Specialized small-d loops keep the inner product branch-free.
+        match self.d {
+            2 => scores.extend(
+                self.data.chunks_exact(2).map(|t| t[0] * w[0] + t[1] * w[1]),
+            ),
+            3 => scores.extend(
+                self.data
+                    .chunks_exact(3)
+                    .map(|t| t[0] * w[0] + t[1] * w[1] + t[2] * w[2]),
+            ),
+            _ => scores.extend(self.data.chunks_exact(self.d).map(|t| dot(t, w))),
+        }
+    }
+
+    /// Appends a derived scoring attribute computed from each item's
+    /// existing attributes — the §2.1.1 device for non-linear scoring:
+    /// "consider f(t) = x1 + x2 + 0.5·x1²; the quadratic term can be added
+    /// as x3 = x1²". The derived values must be finite and non-negative.
+    ///
+    /// ```
+    /// # use srank_core::dataset::Dataset;
+    /// let d = Dataset::figure1();
+    /// // Score f = x1 + x2 + 0.5·x1² becomes linear weights (1, 1, 0.5).
+    /// let augmented = d.with_derived_attribute(|t| t[0] * t[0]).unwrap();
+    /// let quadratic = augmented.rank(&[1.0, 1.0, 0.5]).unwrap();
+    /// assert_eq!(quadratic.len(), 5);
+    /// ```
+    pub fn with_derived_attribute(
+        &self,
+        derive: impl Fn(&[f64]) -> f64,
+    ) -> Result<Dataset> {
+        let rows: Vec<Vec<f64>> = (0..self.n)
+            .map(|i| {
+                let item = self.item(i);
+                let mut row = item.to_vec();
+                row.push(derive(item));
+                row
+            })
+            .collect();
+        Dataset::from_rows(&rows)
+    }
+
+    /// The Figure 1a example database — used pervasively in tests and docs.
+    ///
+    /// ```
+    /// # use srank_core::dataset::Dataset;
+    /// let d = Dataset::figure1();
+    /// let r = d.rank(&[1.0, 1.0]).unwrap();
+    /// // §2.1.2: f = x1 + x2 ranks ⟨t2, t4, t3, t5, t1⟩.
+    /// assert_eq!(r.order(), &[1, 3, 2, 4, 0]);
+    /// ```
+    pub fn figure1() -> Self {
+        Dataset::from_rows(&[
+            vec![0.63, 0.71],
+            vec![0.83, 0.65],
+            vec![0.58, 0.78],
+            vec![0.70, 0.68],
+            vec![0.53, 0.82],
+        ])
+        .expect("static example data is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_validation() {
+        assert_eq!(Dataset::from_rows(&[]), Err(StableRankError::EmptyDataset));
+        assert!(matches!(
+            Dataset::from_rows(&[vec![0.1, 0.2], vec![0.1]]),
+            Err(StableRankError::DimensionMismatch { expected: 2, got: 1 })
+        ));
+        assert!(Dataset::from_rows(&[vec![0.1, -0.2]]).is_err());
+        assert!(Dataset::from_rows(&[vec![0.1, f64::NAN]]).is_err());
+    }
+
+    #[test]
+    fn scores_match_figure1() {
+        let d = Dataset::figure1();
+        // Figure 1a: f = x1 + x2 scores.
+        let expect = [1.34, 1.48, 1.36, 1.38, 1.35];
+        for (i, &s) in expect.iter().enumerate() {
+            assert!((d.score(i, &[1.0, 1.0]) - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ranking_matches_paper() {
+        let d = Dataset::figure1();
+        assert_eq!(d.rank(&[1.0, 1.0]).unwrap().order(), &[1, 3, 2, 4, 0]);
+        // f = x1 alone: order by first attribute.
+        assert_eq!(d.rank(&[1.0, 0.0]).unwrap().order(), &[1, 3, 0, 2, 4]);
+        // f = x2 alone.
+        assert_eq!(d.rank(&[0.0, 1.0]).unwrap().order(), &[4, 2, 0, 3, 1]);
+    }
+
+    #[test]
+    fn ties_break_by_item_index() {
+        let d = Dataset::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5], vec![0.9, 0.9]]).unwrap();
+        assert_eq!(d.rank(&[1.0, 1.0]).unwrap().order(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn top_k_is_ranking_prefix() {
+        let d = Dataset::figure1();
+        for k in 0..=5 {
+            let top = d.top_k(&[1.0, 1.0], k).unwrap();
+            let full = d.rank(&[1.0, 1.0]).unwrap();
+            assert_eq!(top.as_slice(), &full.order()[..k]);
+        }
+    }
+
+    #[test]
+    fn top_k_clamps_to_n() {
+        let d = Dataset::figure1();
+        assert_eq!(d.top_k(&[1.0, 1.0], 99).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn top_k_prefix_consistent_on_larger_data() {
+        // Pseudo-random 3-attribute data; top-k must equal the full
+        // ranking's prefix for every k tested.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let rows: Vec<Vec<f64>> = (0..500).map(|_| (0..3).map(|_| next()).collect()).collect();
+        let d = Dataset::from_rows(&rows).unwrap();
+        let w = [0.5, 0.3, 0.2];
+        let full = d.rank(&w).unwrap();
+        for k in [1usize, 7, 100, 499] {
+            assert_eq!(d.top_k(&w, k).unwrap().as_slice(), &full.order()[..k]);
+        }
+    }
+
+    #[test]
+    fn dominates_wraps_geometry() {
+        let d = Dataset::from_rows(&[vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
+        assert!(d.dominates(0, 1));
+        assert!(!d.dominates(1, 0));
+    }
+
+    #[test]
+    fn weight_arity_checked() {
+        let d = Dataset::figure1();
+        assert!(d.rank(&[1.0, 1.0, 1.0]).is_err());
+        assert!(d.top_k(&[1.0], 3).is_err());
+    }
+
+    #[test]
+    fn derived_attribute_linearizes_quadratic_scoring() {
+        // §2.1.1's example: f = x1 + x2 + 0.5·x1² via x3 = x1².
+        let d = Dataset::figure1();
+        let aug = d.with_derived_attribute(|t| t[0] * t[0]).unwrap();
+        assert_eq!(aug.dim(), 3);
+        // Scores under (1, 1, 0.5) must equal the non-linear formula.
+        for i in 0..d.len() {
+            let t = d.item(i);
+            let nonlinear = t[0] + t[1] + 0.5 * t[0] * t[0];
+            assert!((aug.score(i, &[1.0, 1.0, 0.5]) - nonlinear).abs() < 1e-12);
+        }
+        // And the induced ranking is the non-linear ranking.
+        let mut by_nonlinear: Vec<usize> = (0..d.len()).collect();
+        by_nonlinear.sort_by(|&a, &b| {
+            let s = |i: usize| {
+                let t = d.item(i);
+                t[0] + t[1] + 0.5 * t[0] * t[0]
+            };
+            s(b).partial_cmp(&s(a)).unwrap().then(a.cmp(&b))
+        });
+        let ranked = aug.rank(&[1.0, 1.0, 0.5]).unwrap();
+        let got: Vec<usize> = ranked.order().iter().map(|&i| i as usize).collect();
+        assert_eq!(got, by_nonlinear);
+    }
+
+    #[test]
+    fn derived_attribute_rejects_invalid_values() {
+        let d = Dataset::figure1();
+        assert!(d.with_derived_attribute(|_| -1.0).is_err());
+        assert!(d.with_derived_attribute(|_| f64::NAN).is_err());
+    }
+}

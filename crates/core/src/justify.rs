@@ -1,0 +1,150 @@
+//! Weight justification: the max-margin scoring function of a ranking.
+//!
+//! A producer who wants to *defend* a published ranking benefits from
+//! weights that sit as deep inside the ranking's region as possible — then
+//! the largest possible perturbation is needed before any pair of items
+//! swaps. This module computes those weights exactly: the LP of
+//! `srank-geom::lp` maximizes the minimum ordering-exchange slack over the
+//! weight simplex, a Chebyshev-like center of the ranking region.
+//!
+//! (The paper's §8 notes that a weight vector is a single point of a stable
+//! region and that characterizing the region's interior would be useful —
+//! this is that characterization's most actionable point.)
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::ranking::Ranking;
+use crate::svmd::ranking_region_md;
+use srank_geom::lp::{cone_feasible, LpOutcome};
+
+/// The deepest-interior scoring function of a ranking's region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaxMarginWeights {
+    /// Weights on the simplex (`Σ w_j = 1`, `w ≥ 0`).
+    pub weights: Vec<f64>,
+    /// The minimum score gap between adjacent items of the ranking under
+    /// these weights — the LP's maximized slack. Larger is more defensible.
+    pub margin: f64,
+}
+
+/// Computes the max-margin weights generating `ranking`, or `None` when the
+/// ranking is infeasible (no scoring function generates it).
+///
+/// # Errors
+/// Fails if the ranking does not match the dataset.
+pub fn max_margin_weights(data: &Dataset, ranking: &Ranking) -> Result<Option<MaxMarginWeights>> {
+    let Some(region) = ranking_region_md(data, ranking)? else {
+        return Ok(None);
+    };
+    match cone_feasible(&region) {
+        LpOutcome::Interior { w, slack } => {
+            // A dominance-chain ranking has no constraints; any simplex
+            // point works and the margin is unbounded — report the actual
+            // minimum adjacent score gap instead of ∞.
+            let margin = if slack.is_finite() { slack } else { min_adjacent_gap(data, ranking, &w) };
+            Ok(Some(MaxMarginWeights { weights: w, margin }))
+        }
+        LpOutcome::BoundaryOnly | LpOutcome::Empty => Ok(None),
+    }
+}
+
+fn min_adjacent_gap(data: &Dataset, ranking: &Ranking, w: &[f64]) -> f64 {
+    ranking
+        .order()
+        .windows(2)
+        .map(|p| data.score(p[0] as usize, w) - data.score(p[1] as usize, w))
+        .fold(f64::INFINITY, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sv2d::AngleInterval;
+    use crate::sweep2d::Enumerator2D;
+
+    #[test]
+    fn max_margin_weights_generate_the_ranking() {
+        let data = Dataset::figure1();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        while let Some(s) = e.get_next() {
+            let mm = max_margin_weights(&data, &s.ranking)
+                .unwrap()
+                .expect("enumerated rankings are feasible");
+            assert_eq!(data.rank(&mm.weights).unwrap(), s.ranking);
+            assert!(mm.margin > 0.0);
+            assert!((mm.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn margin_beats_arbitrary_members() {
+        // The max-margin point's minimum adjacent gap must be at least that
+        // of the region midpoint's weights (scaled to the simplex).
+        let data = Dataset::figure1();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let top = e.get_next().unwrap();
+        let mm = max_margin_weights(&data, &top.ranking).unwrap().unwrap();
+
+        let theta = top.region.midpoint();
+        let raw = [theta.cos(), theta.sin()];
+        let sum = raw[0] + raw[1];
+        let mid_simplex = [raw[0] / sum, raw[1] / sum];
+
+        let gap_mm = min_adjacent_gap(&data, &top.ranking, &mm.weights);
+        let gap_mid = min_adjacent_gap(&data, &top.ranking, &mid_simplex);
+        assert!(
+            gap_mm >= gap_mid - 1e-12,
+            "max-margin gap {gap_mm} must beat midpoint gap {gap_mid}"
+        );
+        assert!((gap_mm - mm.margin).abs() < 1e-9, "margin is the realized min gap");
+    }
+
+    #[test]
+    fn infeasible_ranking_yields_none() {
+        let data = Dataset::from_rows(&[vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
+        let bad = Ranking::new(vec![1, 0]).unwrap();
+        assert!(max_margin_weights(&data, &bad).unwrap().is_none());
+    }
+
+    #[test]
+    fn dominance_chain_has_finite_reported_margin() {
+        let data =
+            Dataset::from_rows(&[vec![0.9, 0.8], vec![0.5, 0.5], vec![0.2, 0.1]]).unwrap();
+        let r = Ranking::new(vec![0, 1, 2]).unwrap();
+        let mm = max_margin_weights(&data, &r).unwrap().unwrap();
+        assert!(mm.margin.is_finite());
+        assert!(mm.margin > 0.0);
+        assert_eq!(data.rank(&mm.weights).unwrap(), r);
+    }
+
+    #[test]
+    fn works_in_higher_dimensions() {
+        let rows = vec![
+            vec![0.8, 0.3, 0.5],
+            vec![0.2, 0.9, 0.4],
+            vec![0.5, 0.5, 0.8],
+            vec![0.6, 0.1, 0.9],
+        ];
+        let data = Dataset::from_rows(&rows).unwrap();
+        let r = data.rank(&[0.4, 0.3, 0.3]).unwrap();
+        let mm = max_margin_weights(&data, &r).unwrap().unwrap();
+        assert_eq!(data.rank(&mm.weights).unwrap(), r);
+        // The margin is the worst adjacent gap; verify against a scan.
+        assert!((min_adjacent_gap(&data, &r, &mm.weights) - mm.margin).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thin_regions_get_small_margins() {
+        // Two near-identical items make every separating region thin; the
+        // margin must reflect that.
+        let data = Dataset::from_rows(&[
+            vec![0.500, 0.500],
+            vec![0.501, 0.499],
+            vec![0.9, 0.1],
+        ])
+        .unwrap();
+        let r = data.rank(&[0.5, 0.5]).unwrap();
+        let mm = max_margin_weights(&data, &r).unwrap().unwrap();
+        assert!(mm.margin < 0.01, "margin {} should be tiny", mm.margin);
+    }
+}

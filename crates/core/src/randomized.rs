@@ -1,0 +1,677 @@
+//! The randomized `GET-NEXT` operator — Algorithms 7 and 8 (§4.3–§4.5).
+//!
+//! Uniform samples from `U*` hit each ranking region with probability equal
+//! to its stability, so counting which (partial) ranking each sampled
+//! function induces simultaneously *discovers* rankings and *estimates*
+//! their stability. Two budgets are supported:
+//!
+//! * **fixed budget** (Algorithm 7): spend `N` samples per call, return the
+//!   most frequent not-yet-returned ranking with its Eq. 10 confidence
+//!   error;
+//! * **fixed confidence** (Algorithm 8): keep sampling until the estimate's
+//!   confidence error drops to the requested `e` (with a sample cap so a
+//!   caller can bound the work — exceeding it returns the best candidate
+//!   with its achieved, larger error).
+//!
+//! Unlike the arrangement-based operator, this one supports the top-k
+//! models of §2.2.5 directly: count ranked top-k prefixes or top-k sets
+//! instead of complete rankings. Its per-sample cost is `O(n)` via
+//! selection rather than a full sort, which is what makes the million-item
+//! DoT experiment (Figure 18) tractable.
+
+use crate::dataset::Dataset;
+use crate::error::{Result, StableRankError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use srank_sample::confidence::confidence_error;
+use srank_sample::roi::{RegionOfInterest, RoiSampler};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// Which portion of the ranking defines "the same result" (§2.2.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankingScope {
+    /// The complete ranking of all items.
+    Full,
+    /// The top-k items in order.
+    TopKRanked(usize),
+    /// The top-k items as a set.
+    TopKSet(usize),
+}
+
+/// A ranking discovered by the randomized operator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiscoveredRanking {
+    /// The item indices — ranked order for `Full`/`TopKRanked`, ascending
+    /// index order for `TopKSet`.
+    pub items: Vec<u32>,
+    /// Which scope the key lives in.
+    pub scope: RankingScope,
+    /// Estimated stability `count / samples_used`.
+    pub stability: f64,
+    /// Eq. 10 confidence error at the enumerator's `alpha`.
+    pub confidence_error: f64,
+    /// Total samples the estimate is based on (all calls so far).
+    pub samples_used: u64,
+    /// A sampled weight vector that generated this (partial) ranking.
+    pub exemplar_weights: Vec<f64>,
+}
+
+#[derive(Clone)]
+struct KeyStats {
+    count: u64,
+    exemplar: Vec<f64>,
+}
+
+/// Computes the counting key of a sampled function under a scope, using
+/// caller-provided scratch buffers (the hot path of both the sequential and
+/// the parallel samplers).
+fn key_for(
+    data: &Dataset,
+    scope: RankingScope,
+    w: &[f64],
+    scores: &mut Vec<f64>,
+    idx: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) -> Vec<u32> {
+    match scope {
+        RankingScope::Full => {
+            data.rank_into(w, scores, idx);
+            idx.clone()
+        }
+        RankingScope::TopKRanked(k) => {
+            data.top_k_into(w, k, scores, idx, out);
+            out.clone()
+        }
+        RankingScope::TopKSet(k) => {
+            data.top_k_into(w, k, scores, idx, out);
+            let mut set = out.clone();
+            set.sort_unstable();
+            set
+        }
+    }
+}
+
+/// The randomized `GET-NEXT` operator over a dataset and region of
+/// interest.
+///
+/// Cloning checkpoints the accumulated counts (useful for benchmarks and
+/// for exploring different continuation budgets from a shared prefix).
+#[derive(Clone)]
+pub struct RandomizedEnumerator<'a> {
+    data: &'a Dataset,
+    scope: RankingScope,
+    sampler: RoiSampler,
+    alpha: f64,
+    counts: HashMap<Vec<u32>, KeyStats>,
+    total: u64,
+    returned: HashSet<Vec<u32>>,
+    // Reusable scoring workspace (hot path at n = 10⁶).
+    scores: Vec<f64>,
+    idx: Vec<u32>,
+    out: Vec<u32>,
+}
+
+impl<'a> RandomizedEnumerator<'a> {
+    /// Builds the operator. `alpha` is the significance level of reported
+    /// confidence errors (0.05 → 95%).
+    pub fn new(
+        data: &'a Dataset,
+        roi: &RegionOfInterest,
+        scope: RankingScope,
+        alpha: f64,
+    ) -> Result<Self> {
+        if roi.dim() != data.dim() {
+            return Err(StableRankError::DimensionMismatch {
+                expected: data.dim(),
+                got: roi.dim(),
+            });
+        }
+        if !(0.0..1.0).contains(&alpha) || alpha <= 0.0 {
+            return Err(StableRankError::InvalidWeights(format!(
+                "alpha must lie in (0, 1), got {alpha}"
+            )));
+        }
+        match scope {
+            RankingScope::TopKRanked(k) | RankingScope::TopKSet(k) if k == 0 => {
+                return Err(StableRankError::InvalidRanking("top-k scope needs k ≥ 1".into()));
+            }
+            _ => {}
+        }
+        Ok(Self {
+            data,
+            scope,
+            sampler: roi.sampler(),
+            alpha,
+            counts: HashMap::new(),
+            total: 0,
+            returned: HashSet::new(),
+            scores: Vec::new(),
+            idx: Vec::new(),
+            out: Vec::new(),
+        })
+    }
+
+    /// Total samples drawn so far (the paper's `N'`).
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct (partial) rankings observed so far.
+    pub fn distinct_observed(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Draws one sample and updates the counts.
+    fn observe<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let w = self.sampler.sample(rng);
+        let key = key_for(
+            self.data,
+            self.scope,
+            &w,
+            &mut self.scores,
+            &mut self.idx,
+            &mut self.out,
+        );
+        self.total += 1;
+        match self.counts.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().count += 1,
+            Entry::Vacant(e) => {
+                e.insert(KeyStats { count: 1, exemplar: w });
+            }
+        }
+    }
+
+    /// Draws `n` samples (shared by both operator flavours).
+    pub fn sample_n<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) {
+        for _ in 0..n {
+            self.observe(rng);
+        }
+    }
+
+    /// Draws `n` samples using `threads` worker threads and merges the
+    /// counts — a drop-in accelerator for the large-`n` configurations of
+    /// Figure 18 (sampling is embarrassingly parallel).
+    ///
+    /// Deterministic for a fixed `(base_seed, n, threads)` triple: worker
+    /// `t` uses seed `base_seed + t` and a fixed share of the budget, and
+    /// merging happens in worker order. The resulting sample *stream*
+    /// differs from the sequential [`sample_n`](Self::sample_n) — both are
+    /// uniform over `U*`, so all estimates converge to the same values.
+    pub fn sample_n_parallel(&mut self, base_seed: u64, n: usize, threads: usize) {
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 {
+            let mut rng = StdRng::seed_from_u64(base_seed);
+            self.sample_n(&mut rng, n);
+            return;
+        }
+        let share = n / threads;
+        let remainder = n % threads;
+        let data = self.data;
+        let scope = self.scope;
+        let sampler = &self.sampler;
+        let locals: Vec<HashMap<Vec<u32>, KeyStats>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let budget = share + usize::from(t < remainder);
+                    let sampler = sampler.clone();
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(t as u64));
+                        let mut local: HashMap<Vec<u32>, KeyStats> = HashMap::new();
+                        let (mut scores, mut idx, mut out) = (Vec::new(), Vec::new(), Vec::new());
+                        for _ in 0..budget {
+                            let w = sampler.sample(&mut rng);
+                            let key =
+                                key_for(data, scope, &w, &mut scores, &mut idx, &mut out);
+                            match local.entry(key) {
+                                Entry::Occupied(mut e) => e.get_mut().count += 1,
+                                Entry::Vacant(e) => {
+                                    e.insert(KeyStats { count: 1, exemplar: w });
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("sampler worker panicked")).collect()
+        });
+        for local in locals {
+            for (key, stats) in local {
+                match self.counts.entry(key) {
+                    Entry::Occupied(mut e) => e.get_mut().count += stats.count,
+                    Entry::Vacant(e) => {
+                        e.insert(stats);
+                    }
+                }
+            }
+        }
+        self.total += n as u64;
+    }
+
+    /// Merges another enumerator's accumulated counts into this one —
+    /// the distributed-estimation pattern: sample on several machines (or
+    /// checkpointed sessions) against the same dataset and region of
+    /// interest, then combine. Rankings already returned by either side
+    /// stay returned.
+    ///
+    /// # Errors
+    /// Fails when the two enumerators disagree on scope (their keys would
+    /// be incomparable).
+    pub fn merge(&mut self, other: &RandomizedEnumerator<'_>) -> Result<()> {
+        if self.scope != other.scope {
+            return Err(StableRankError::InvalidRanking(
+                "cannot merge enumerators with different ranking scopes".into(),
+            ));
+        }
+        for (key, stats) in &other.counts {
+            match self.counts.entry(key.clone()) {
+                Entry::Occupied(mut e) => e.get_mut().count += stats.count,
+                Entry::Vacant(e) => {
+                    e.insert(KeyStats { count: stats.count, exemplar: stats.exemplar.clone() });
+                }
+            }
+        }
+        self.total += other.total;
+        for key in &other.returned {
+            self.returned.insert(key.clone());
+        }
+        Ok(())
+    }
+
+    /// The most frequent not-yet-returned key, ties broken by key order
+    /// for determinism.
+    fn best_candidate(&self) -> Option<(&Vec<u32>, &KeyStats)> {
+        self.counts
+            .iter()
+            .filter(|(k, _)| !self.returned.contains(*k))
+            .max_by(|(ka, a), (kb, b)| a.count.cmp(&b.count).then(kb.cmp(ka)))
+    }
+
+    fn emit(&mut self, key: Vec<u32>) -> DiscoveredRanking {
+        let stats = &self.counts[&key];
+        let stability = stats.count as f64 / self.total as f64;
+        let err = confidence_error(stability, self.total as usize, self.alpha);
+        let out = DiscoveredRanking {
+            items: key.clone(),
+            scope: self.scope,
+            stability,
+            confidence_error: err,
+            samples_used: self.total,
+            exemplar_weights: stats.exemplar.clone(),
+        };
+        self.returned.insert(key);
+        out
+    }
+
+    /// Algorithm 7 — fixed budget: draw `budget` fresh samples, then return
+    /// the most frequent undiscovered ranking (`None` if every observed
+    /// ranking has already been returned).
+    pub fn get_next_budget<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        budget: usize,
+    ) -> Option<DiscoveredRanking> {
+        self.sample_n(rng, budget);
+        let key = self.best_candidate().map(|(k, _)| k.clone())?;
+        Some(self.emit(key))
+    }
+
+    /// Algorithm 8 — fixed confidence: sample until the best undiscovered
+    /// ranking's Eq. 10 error is at most `e`, or `max_samples` additional
+    /// samples have been spent. In the capped case the best candidate is
+    /// returned with its achieved (larger) error; callers detect the cap
+    /// by `confidence_error > e`. Returns `None` only when no undiscovered
+    /// ranking is ever observed.
+    pub fn get_next_confidence<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        e: f64,
+        max_samples: usize,
+    ) -> Option<DiscoveredRanking> {
+        assert!(e > 0.0, "get_next_confidence: need e > 0");
+        // Eq. 10 estimates the Bernoulli variance from the sample mean, so
+        // it degenerates to zero width at m ∈ {0, 1}; insist on a CLT-scale
+        // sample count before trusting the interval.
+        const MIN_SAMPLES: u64 = 30;
+        let mut spent = 0usize;
+        loop {
+            if self.total >= MIN_SAMPLES {
+                if let Some((key, stats)) = self.best_candidate() {
+                    let m = stats.count as f64 / self.total as f64;
+                    let err = confidence_error(m, self.total as usize, self.alpha);
+                    if err <= e {
+                        let key = key.clone();
+                        return Some(self.emit(key));
+                    }
+                }
+            }
+            if spent >= max_samples {
+                let key = self.best_candidate().map(|(k, _)| k.clone())?;
+                return Some(self.emit(key));
+            }
+            self.observe(rng);
+            spent += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sv2d::{stability_verify_2d, AngleInterval};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lcg_rows(n: usize, d: usize, mut state: u64) -> Vec<Vec<f64>> {
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        (0..n).map(|_| (0..d).map(|_| next()).collect()).collect()
+    }
+
+    #[test]
+    fn full_scope_matches_exact_2d_stability() {
+        let data = Dataset::figure1();
+        let roi = RegionOfInterest::full(2);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let top = e.get_next_budget(&mut rng, 50_000).unwrap();
+        let ranking = crate::ranking::Ranking::new(top.items.clone()).unwrap();
+        let exact = stability_verify_2d(&data, &ranking, AngleInterval::full())
+            .unwrap()
+            .expect("discovered ranking must be feasible")
+            .stability;
+        assert!(
+            (top.stability - exact).abs() < 3.0 * top.confidence_error.max(0.005),
+            "estimate {} vs exact {}",
+            top.stability,
+            exact
+        );
+    }
+
+    #[test]
+    fn successive_calls_return_distinct_rankings_with_decreasing_counts() {
+        let data = Dataset::from_rows(&lcg_rows(10, 3, 5)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let first = e.get_next_budget(&mut rng, 5000).unwrap();
+        let second = e.get_next_budget(&mut rng, 1000).unwrap();
+        let third = e.get_next_budget(&mut rng, 1000).unwrap();
+        assert_ne!(first.items, second.items);
+        assert_ne!(second.items, third.items);
+        assert_ne!(first.items, third.items);
+    }
+
+    #[test]
+    fn exemplar_weights_reproduce_the_key() {
+        let data = Dataset::from_rows(&lcg_rows(30, 3, 9)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(5), 0.05)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = e.get_next_budget(&mut rng, 2000).unwrap();
+        let reproduced = data.top_k(&d.exemplar_weights, 5).unwrap();
+        assert_eq!(reproduced, d.items);
+    }
+
+    #[test]
+    fn set_scope_is_order_insensitive() {
+        let data = Dataset::from_rows(&lcg_rows(30, 3, 13)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut rng = StdRng::seed_from_u64(4);
+
+        let mut ranked =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(5), 0.05)
+                .unwrap();
+        ranked.sample_n(&mut rng, 4000);
+        let mut set =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(5), 0.05).unwrap();
+        let mut rng2 = StdRng::seed_from_u64(4);
+        set.sample_n(&mut rng2, 4000);
+
+        // Fewer distinct outcomes under the set model, and the most stable
+        // set is at least as stable as the most stable ranked prefix
+        // (§6.3's observation on Figures 17/20).
+        assert!(set.distinct_observed() <= ranked.distinct_observed());
+        let best_set = set.get_next_budget(&mut rng2, 0).unwrap();
+        let best_ranked = ranked.get_next_budget(&mut rng, 0).unwrap();
+        assert!(best_set.stability >= best_ranked.stability - 1e-9);
+        // Set keys are sorted.
+        let mut sorted = best_set.items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, best_set.items);
+    }
+
+    #[test]
+    fn fixed_confidence_meets_the_requested_error() {
+        let data = Dataset::figure1();
+        let roi = RegionOfInterest::full(2);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = e.get_next_confidence(&mut rng, 0.01, 2_000_000).unwrap();
+        assert!(d.confidence_error <= 0.01, "err = {}", d.confidence_error);
+        // Theorem-2 sanity: sample cost is of order 1/S plus CI cost.
+        assert!(d.samples_used >= 10);
+    }
+
+    #[test]
+    fn capped_confidence_reports_achieved_error() {
+        let data = Dataset::from_rows(&lcg_rows(10, 3, 17)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        // Absurdly tight error with a tiny cap: must return a capped result.
+        let d = e.get_next_confidence(&mut rng, 1e-9, 500).unwrap();
+        assert!(d.confidence_error > 1e-9);
+        assert_eq!(d.samples_used, 500);
+    }
+
+    #[test]
+    fn exhausting_all_rankings_returns_none() {
+        // Two items, one exchange: at most 2 distinct rankings.
+        let data = Dataset::from_rows(&[vec![0.8, 0.2], vec![0.3, 0.9]]).unwrap();
+        let roi = RegionOfInterest::full(2);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(e.get_next_budget(&mut rng, 1000).is_some());
+        assert!(e.get_next_budget(&mut rng, 1000).is_some());
+        assert!(e.get_next_budget(&mut rng, 1000).is_none());
+    }
+
+    #[test]
+    fn stability_estimates_sum_to_one_over_all_rankings() {
+        let data = Dataset::from_rows(&lcg_rows(6, 3, 29)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        e.sample_n(&mut rng, 20_000);
+        let mut total = 0.0;
+        while let Some(d) = e.get_next_budget(&mut rng, 0) {
+            total += d.stability;
+        }
+        assert!((total - 1.0).abs() < 1e-9, "counted mass must be exhaustive: {total}");
+    }
+
+    #[test]
+    fn narrow_cone_roi_samples_stay_inside() {
+        let data = Dataset::from_rows(&lcg_rows(20, 4, 31)).unwrap();
+        let roi =
+            RegionOfInterest::cone(&[1.0, 0.5, 0.3, 0.2], std::f64::consts::PI / 100.0);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(10), 0.05)
+                .unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = e.get_next_budget(&mut rng, 2000).unwrap();
+        assert!(roi.contains(&d.exemplar_weights));
+    }
+
+    #[test]
+    fn constructor_validation() {
+        let data = Dataset::figure1();
+        let roi3 = RegionOfInterest::full(3);
+        assert!(RandomizedEnumerator::new(&data, &roi3, RankingScope::Full, 0.05).is_err());
+        let roi2 = RegionOfInterest::full(2);
+        assert!(
+            RandomizedEnumerator::new(&data, &roi2, RankingScope::TopKSet(0), 0.05).is_err()
+        );
+        assert!(RandomizedEnumerator::new(&data, &roi2, RankingScope::Full, 0.0).is_err());
+        assert!(RandomizedEnumerator::new(&data, &roi2, RankingScope::Full, 1.0).is_err());
+    }
+
+    #[test]
+    fn merge_combines_counts_and_returned_sets() {
+        let data = Dataset::from_rows(&lcg_rows(12, 3, 81)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let make = |seed: u64, n: usize| {
+            let mut op =
+                RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(4), 0.05)
+                    .unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            op.sample_n(&mut rng, n);
+            op
+        };
+        let mut a = make(1, 3000);
+        let b = make(2, 2000);
+        // The merged estimate equals counting over the union stream.
+        a.merge(&b).unwrap();
+        assert_eq!(a.total_samples(), 5000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let merged_best = a.get_next_budget(&mut rng, 0).unwrap();
+
+        // Single enumerator over both streams (same seeds, same budgets).
+        let mut combined =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(4), 0.05).unwrap();
+        let mut r1 = StdRng::seed_from_u64(1);
+        combined.sample_n(&mut r1, 3000);
+        let mut r2 = StdRng::seed_from_u64(2);
+        combined.sample_n(&mut r2, 2000);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let combined_best = combined.get_next_budget(&mut rng2, 0).unwrap();
+        assert_eq!(merged_best.items, combined_best.items);
+        assert_eq!(merged_best.stability, combined_best.stability);
+    }
+
+    #[test]
+    fn merge_rejects_scope_mismatch() {
+        let data = Dataset::from_rows(&lcg_rows(6, 3, 83)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut a =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
+        let b = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn merge_preserves_returned_rankings() {
+        let data = Dataset::from_rows(&lcg_rows(8, 3, 85)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut a =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let first = a.get_next_budget(&mut rng, 2000).unwrap();
+        let mut b =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(5);
+        b.sample_n(&mut rng_b, 2000);
+        b.merge(&a).unwrap();
+        // The ranking `a` already returned must not come back from `b`.
+        while let Some(d) = b.get_next_budget(&mut rng_b, 0) {
+            assert_ne!(d.items, first.items, "returned ranking re-emitted after merge");
+        }
+    }
+
+    #[test]
+    fn parallel_sampling_merges_counts_exactly() {
+        let data = Dataset::from_rows(&lcg_rows(20, 3, 61)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut op =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(5), 0.05).unwrap();
+        op.sample_n_parallel(99, 4003, 4);
+        assert_eq!(op.total_samples(), 4003);
+        // All counts sum to the total.
+        let mut total = 0.0;
+        let mut rng = StdRng::seed_from_u64(0);
+        while let Some(d) = op.get_next_budget(&mut rng, 0) {
+            total += d.stability;
+        }
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_sampling_is_deterministic() {
+        let data = Dataset::from_rows(&lcg_rows(15, 3, 67)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let run = || {
+            let mut op =
+                RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(4), 0.05)
+                    .unwrap();
+            op.sample_n_parallel(7, 2000, 3);
+            let mut rng = StdRng::seed_from_u64(1);
+            op.get_next_budget(&mut rng, 0).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.items, b.items);
+        assert_eq!(a.stability, b.stability);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_statistically() {
+        // Different streams, same distribution: top-set estimates within
+        // combined confidence error.
+        let data = Dataset::from_rows(&lcg_rows(12, 3, 71)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut seq =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        seq.sample_n(&mut rng, 20_000);
+        let mut par =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.01).unwrap();
+        par.sample_n_parallel(5, 20_000, 8);
+        let mut rng2 = StdRng::seed_from_u64(6);
+        let a = seq.get_next_budget(&mut rng, 0).unwrap();
+        let b = par.get_next_budget(&mut rng2, 0).unwrap();
+        assert_eq!(a.items, b.items, "both must find the same most stable set");
+        assert!(
+            (a.stability - b.stability).abs()
+                <= 3.0 * (a.confidence_error + b.confidence_error),
+            "{} vs {}",
+            a.stability,
+            b.stability
+        );
+    }
+
+    /// §2.2.5's toy example: the most stable top-3 *set* is {t2, t3, t4},
+    /// not a skyline subset ({t1, t2, t5} is the skyline).
+    #[test]
+    fn paper_toy_example_stable_top3_vs_skyline() {
+        let data = Dataset::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.99, 0.99],
+            vec![0.98, 0.98],
+            vec![0.97, 0.97],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let roi = RegionOfInterest::full(2);
+        let mut e =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let best = e.get_next_budget(&mut rng, 20_000).unwrap();
+        assert_eq!(best.items, vec![1, 2, 3], "most stable top-3 must be {{t2,t3,t4}}");
+        let skyline = srank_geom::dominance::skyline_bnl(
+            &(0..5).map(|i| data.item(i).to_vec()).collect::<Vec<_>>(),
+        );
+        assert_eq!(skyline, vec![0, 1, 4], "while the skyline is {{t1,t2,t5}}");
+    }
+}

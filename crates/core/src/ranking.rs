@@ -1,0 +1,333 @@
+//! Rankings and their top-k projections (§2.1.1, §2.2.5).
+
+use crate::error::{Result, StableRankError};
+
+/// An item whose position differs between two rankings — the unit of a
+/// ranking diff (e.g. "Cornell moves from 11 to 10").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ItemMove {
+    pub item: u32,
+    /// 0-based rank in the reference ranking.
+    pub from: usize,
+    /// 0-based rank in the other ranking.
+    pub to: usize,
+}
+
+impl ItemMove {
+    /// Positive when the item improved (moved toward rank 0).
+    pub fn improvement(&self) -> isize {
+        self.from as isize - self.to as isize
+    }
+}
+
+/// A total ranking of the items of a dataset: `order[0]` is the top item's
+/// index, `order[n−1]` the bottom's.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Ranking {
+    order: Vec<u32>,
+}
+
+impl Ranking {
+    /// Builds a ranking, validating that it is a permutation of `0..n`.
+    pub fn new(order: Vec<u32>) -> Result<Self> {
+        let n = order.len();
+        let mut seen = vec![false; n];
+        for &i in &order {
+            let i = i as usize;
+            if i >= n {
+                return Err(StableRankError::InvalidRanking(format!(
+                    "item index {i} out of range for {n} items"
+                )));
+            }
+            if seen[i] {
+                return Err(StableRankError::InvalidRanking(format!("item {i} appears twice")));
+            }
+            seen[i] = true;
+        }
+        Ok(Self { order })
+    }
+
+    /// Internal constructor for orders already known to be permutations.
+    pub(crate) fn from_order_unchecked(order: Vec<u32>) -> Self {
+        Self { order }
+    }
+
+    /// Item indices from best to worst.
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of ranked items.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The item at the given rank (0-based: rank 0 is the best item).
+    pub fn item_at(&self, rank: usize) -> u32 {
+        self.order[rank]
+    }
+
+    /// The 0-based rank of an item, or `None` if the index is out of range.
+    pub fn rank_of(&self, item: u32) -> Option<usize> {
+        self.order.iter().position(|&i| i == item)
+    }
+
+    /// The ranked top-k prefix.
+    pub fn top_k_ranked(&self, k: usize) -> TopKRanked {
+        TopKRanked { items: self.order[..k.min(self.order.len())].to_vec() }
+    }
+
+    /// The top-k *set*: the same items regardless of their internal order.
+    pub fn top_k_set(&self, k: usize) -> TopKSet {
+        let mut items = self.order[..k.min(self.order.len())].to_vec();
+        items.sort_unstable();
+        TopKSet { items }
+    }
+
+    /// All items whose rank changed between `self` (the reference) and
+    /// `other`, sorted by the magnitude of the move (largest first), ties
+    /// by item index. The consumer-facing "what changed" report of the
+    /// paper's examples (Cornell ↔ Toronto, Tunisia ↔ Mexico).
+    pub fn diff(&self, other: &Ranking) -> Result<Vec<ItemMove>> {
+        if self.len() != other.len() {
+            return Err(StableRankError::InvalidRanking(
+                "rankings of different lengths are incomparable".into(),
+            ));
+        }
+        let mut pos = vec![usize::MAX; self.len()];
+        for (p, &item) in other.order.iter().enumerate() {
+            pos[item as usize] = p;
+        }
+        let mut moves: Vec<ItemMove> = self
+            .order
+            .iter()
+            .enumerate()
+            .filter_map(|(from, &item)| {
+                let to = pos[item as usize];
+                if to == usize::MAX {
+                    // `other` is a permutation of the same length, so every
+                    // item of `self` appears — unless the permutations are
+                    // over different item sets, which `new` prevents.
+                    return None;
+                }
+                (from != to).then_some(ItemMove { item, from, to })
+            })
+            .collect();
+        moves.sort_by(|a, b| {
+            b.improvement()
+                .abs()
+                .cmp(&a.improvement().abs())
+                .then(a.item.cmp(&b.item))
+        });
+        Ok(moves)
+    }
+
+    /// Number of adjacent transpositions separating two rankings of the
+    /// same items — a convenient distance for reporting how far a stable
+    /// ranking drifted from a reference (Kendall-tau distance).
+    pub fn kendall_tau_distance(&self, other: &Ranking) -> Result<usize> {
+        if self.len() != other.len() {
+            return Err(StableRankError::InvalidRanking(
+                "rankings of different lengths are incomparable".into(),
+            ));
+        }
+        let n = self.len();
+        // Positions of each item in `other`.
+        let mut pos = vec![0u32; n];
+        for (p, &item) in other.order.iter().enumerate() {
+            pos[item as usize] = p as u32;
+        }
+        // Count inversions of the mapped sequence via mergesort.
+        let mapped: Vec<u32> = self.order.iter().map(|&i| pos[i as usize]).collect();
+        Ok(count_inversions(mapped))
+    }
+}
+
+/// The ranked top-k model: both membership *and* internal order matter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TopKRanked {
+    items: Vec<u32>,
+}
+
+impl TopKRanked {
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    pub fn k(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// The top-k set model: only membership matters (stored sorted).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TopKSet {
+    items: Vec<u32>,
+}
+
+impl TopKSet {
+    /// Items in ascending index order.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
+    pub fn k(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn contains(&self, item: u32) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+}
+
+fn count_inversions(mut a: Vec<u32>) -> usize {
+    let n = a.len();
+    let mut buf = vec![0u32; n];
+    fn sort(a: &mut [u32], buf: &mut [u32]) -> usize {
+        let n = a.len();
+        if n <= 1 {
+            return 0;
+        }
+        let mid = n / 2;
+        let mut inv = {
+            let (lo, hi) = a.split_at_mut(mid);
+            sort(lo, &mut buf[..mid]) + sort(hi, &mut buf[mid..])
+        };
+        let (mut i, mut j) = (0, mid);
+        for slot in buf[..n].iter_mut() {
+            if i < mid && (j >= n || a[i] <= a[j]) {
+                *slot = a[i];
+                i += 1;
+            } else {
+                inv += mid - i;
+                *slot = a[j];
+                j += 1;
+            }
+        }
+        a.copy_from_slice(&buf[..n]);
+        inv
+    }
+    sort(&mut a, &mut buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_bad_permutations() {
+        assert!(Ranking::new(vec![0, 1, 2]).is_ok());
+        assert!(Ranking::new(vec![0, 0, 2]).is_err());
+        assert!(Ranking::new(vec![0, 3]).is_err());
+        assert!(Ranking::new(vec![]).is_ok());
+    }
+
+    #[test]
+    fn rank_lookup() {
+        let r = Ranking::new(vec![2, 0, 1]).unwrap();
+        assert_eq!(r.item_at(0), 2);
+        assert_eq!(r.rank_of(0), Some(1));
+        assert_eq!(r.rank_of(9), None);
+    }
+
+    #[test]
+    fn top_k_ranked_vs_set_semantics() {
+        let a = Ranking::new(vec![2, 0, 1, 3]).unwrap();
+        let b = Ranking::new(vec![0, 2, 1, 3]).unwrap();
+        // Same top-2 set {0, 2}, different ranked top-2.
+        assert_eq!(a.top_k_set(2), b.top_k_set(2));
+        assert_ne!(a.top_k_ranked(2), b.top_k_ranked(2));
+        assert_eq!(a.top_k_set(2).items(), &[0, 2]);
+        assert!(a.top_k_set(2).contains(2));
+        assert!(!a.top_k_set(2).contains(1));
+    }
+
+    #[test]
+    fn top_k_clamps() {
+        let r = Ranking::new(vec![1, 0]).unwrap();
+        assert_eq!(r.top_k_ranked(10).k(), 2);
+        assert_eq!(r.top_k_set(10).k(), 2);
+    }
+
+    #[test]
+    fn kendall_tau_basics() {
+        let a = Ranking::new(vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(a.kendall_tau_distance(&a).unwrap(), 0);
+        let one_swap = Ranking::new(vec![1, 0, 2, 3]).unwrap();
+        assert_eq!(a.kendall_tau_distance(&one_swap).unwrap(), 1);
+        let reversed = Ranking::new(vec![3, 2, 1, 0]).unwrap();
+        assert_eq!(a.kendall_tau_distance(&reversed).unwrap(), 6);
+    }
+
+    #[test]
+    fn kendall_tau_is_symmetric() {
+        let a = Ranking::new(vec![2, 0, 3, 1, 4]).unwrap();
+        let b = Ranking::new(vec![4, 2, 1, 0, 3]).unwrap();
+        assert_eq!(
+            a.kendall_tau_distance(&b).unwrap(),
+            b.kendall_tau_distance(&a).unwrap()
+        );
+    }
+
+    #[test]
+    fn kendall_tau_rejects_length_mismatch() {
+        let a = Ranking::new(vec![0, 1]).unwrap();
+        let b = Ranking::new(vec![0, 1, 2]).unwrap();
+        assert!(a.kendall_tau_distance(&b).is_err());
+    }
+
+    #[test]
+    fn diff_reports_moves_largest_first() {
+        let a = Ranking::new(vec![0, 1, 2, 3, 4]).unwrap();
+        let b = Ranking::new(vec![4, 1, 2, 3, 0]).unwrap();
+        let moves = a.diff(&b).unwrap();
+        assert_eq!(moves.len(), 2);
+        assert_eq!(moves[0], ItemMove { item: 0, from: 0, to: 4 });
+        assert_eq!(moves[1], ItemMove { item: 4, from: 4, to: 0 });
+        assert_eq!(moves[0].improvement(), -4);
+        assert_eq!(moves[1].improvement(), 4);
+    }
+
+    #[test]
+    fn diff_of_identical_rankings_is_empty() {
+        let a = Ranking::new(vec![2, 0, 1]).unwrap();
+        assert!(a.diff(&a).unwrap().is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_length_mismatch() {
+        let a = Ranking::new(vec![0, 1]).unwrap();
+        let b = Ranking::new(vec![0, 1, 2]).unwrap();
+        assert!(a.diff(&b).is_err());
+    }
+
+    #[test]
+    fn diff_move_count_bounds_kendall_tau() {
+        // Each move participates in at least ⌈|move|⌉ inversions; the diff
+        // and the distance must be consistent: τ ≥ max|improvement|.
+        let a = Ranking::new(vec![0, 1, 2, 3, 4, 5]).unwrap();
+        let b = Ranking::new(vec![1, 2, 3, 0, 4, 5]).unwrap();
+        let moves = a.diff(&b).unwrap();
+        let tau = a.kendall_tau_distance(&b).unwrap();
+        let max_move = moves.iter().map(|m| m.improvement().abs()).max().unwrap();
+        assert!(tau as isize >= max_move);
+        assert_eq!(tau, 3);
+        assert_eq!(moves.len(), 4);
+    }
+
+    #[test]
+    fn hash_equality_for_counting() {
+        use std::collections::HashMap;
+        let mut counts: HashMap<TopKSet, u32> = HashMap::new();
+        let a = Ranking::new(vec![2, 0, 1]).unwrap();
+        let b = Ranking::new(vec![0, 2, 1]).unwrap();
+        *counts.entry(a.top_k_set(2)).or_default() += 1;
+        *counts.entry(b.top_k_set(2)).or_default() += 1;
+        assert_eq!(counts.len(), 1);
+        assert_eq!(counts.values().sum::<u32>(), 2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Linear scoring functions (Definition 1).
+
+use crate::error::{Result, StableRankError};
+use srank_geom::polar::{to_angles, to_cartesian};
+use srank_geom::vector::{cosine_similarity, normalized};
+
+/// A linear scoring function `f_w(t) = Σ_j w_j·t[j]` with non-negative
+/// weights.
+///
+/// Only the *direction* of `w` matters for the induced ranking; the type
+/// keeps the user's raw weights but exposes the unit vector for geometric
+/// use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScoringFunction {
+    weights: Vec<f64>,
+    unit: Vec<f64>,
+}
+
+impl ScoringFunction {
+    /// Builds a scoring function from raw weights.
+    ///
+    /// # Errors
+    /// Rejects empty, non-finite, negative, or all-zero weight vectors.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(StableRankError::InvalidWeights("empty weight vector".into()));
+        }
+        for &w in weights {
+            if !w.is_finite() {
+                return Err(StableRankError::InvalidWeights(format!("non-finite weight {w}")));
+            }
+            if w < 0.0 {
+                return Err(StableRankError::InvalidWeights(format!(
+                    "negative weight {w}; the paper's w ≥ 0 convention applies"
+                )));
+            }
+        }
+        let unit = normalized(weights)
+            .ok_or_else(|| StableRankError::InvalidWeights("all-zero weight vector".into()))?;
+        Ok(Self { weights: weights.to_vec(), unit })
+    }
+
+    /// The scoring function at the given polar angles (§2.1.2's ray
+    /// representation); all angles in `[0, π/2]` give non-negative weights.
+    pub fn from_angles(angles: &[f64]) -> Result<Self> {
+        Self::new(&to_cartesian(1.0, angles))
+    }
+
+    /// Raw weights as provided.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The unit-norm direction of the weight vector.
+    pub fn unit(&self) -> &[f64] {
+        &self.unit
+    }
+
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The `d − 1` polar angles identifying this function's ray.
+    pub fn angles(&self) -> Vec<f64> {
+        to_angles(&self.unit).expect("unit vector is non-zero").1
+    }
+
+    /// Cosine similarity with another function (1 = same ray).
+    pub fn cosine_similarity(&self, other: &ScoringFunction) -> f64 {
+        cosine_similarity(&self.unit, &other.unit).expect("unit vectors are non-zero")
+    }
+
+    /// Applies the function to an item.
+    pub fn score(&self, item: &[f64]) -> f64 {
+        srank_geom::vector::dot(&self.weights, item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_4;
+
+    #[test]
+    fn construction_validation() {
+        assert!(ScoringFunction::new(&[]).is_err());
+        assert!(ScoringFunction::new(&[0.0, 0.0]).is_err());
+        assert!(ScoringFunction::new(&[1.0, -0.1]).is_err());
+        assert!(ScoringFunction::new(&[1.0, f64::INFINITY]).is_err());
+        assert!(ScoringFunction::new(&[1.0, 0.0]).is_ok());
+    }
+
+    #[test]
+    fn unit_direction() {
+        let f = ScoringFunction::new(&[3.0, 4.0]).unwrap();
+        assert!((f.unit()[0] - 0.6).abs() < 1e-12);
+        assert!((f.unit()[1] - 0.8).abs() < 1e-12);
+        assert_eq!(f.weights(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn paper_diagonal_function_angle() {
+        let f = ScoringFunction::new(&[1.0, 1.0]).unwrap();
+        let angles = f.angles();
+        assert_eq!(angles.len(), 1);
+        assert!((angles[0] - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angles_roundtrip() {
+        let f = ScoringFunction::from_angles(&[0.3, 0.9, 1.2]).unwrap();
+        let back = f.angles();
+        assert!(back.iter().zip(&[0.3, 0.9, 1.2]).all(|(a, b)| (a - b).abs() < 1e-10));
+    }
+
+    #[test]
+    fn cosine_similarity_examples() {
+        let a = ScoringFunction::new(&[1.0, 1.0]).unwrap();
+        let b = ScoringFunction::new(&[2.0, 2.0]).unwrap();
+        assert!((a.cosine_similarity(&b) - 1.0).abs() < 1e-12);
+        let c = ScoringFunction::new(&[1.0, 0.0]).unwrap();
+        assert!((a.cosine_similarity(&c) - FRAC_PI_4.cos()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scoring_matches_figure1() {
+        let f = ScoringFunction::new(&[1.0, 1.0]).unwrap();
+        assert!((f.score(&[0.83, 0.65]) - 1.48).abs() < 1e-12);
+    }
+
+    /// The paper's §2.2.2 example: π/10 angle distance corresponds to
+    /// 95.1% cosine similarity.
+    #[test]
+    fn angle_distance_cosine_similarity_equivalence() {
+        let reference = ScoringFunction::new(&[1.0, 1.0]).unwrap();
+        let rotated =
+            ScoringFunction::from_angles(&[FRAC_PI_4 + std::f64::consts::PI / 10.0]).unwrap();
+        let cs = reference.cosine_similarity(&rotated);
+        assert!((cs - 0.951).abs() < 0.001, "cos(π/10) = {cs}");
+    }
+}

@@ -1,0 +1,483 @@
+//! Two-dimensional stable-region enumeration — `RAYSWEEPING` and
+//! `GET-NEXT2D`, Algorithms 2 and 3 (§3.2).
+//!
+//! The sweep maintains the ranked list while a ray rotates from `U*`'s
+//! lower to its upper angle. Only adjacent items can exchange, so a
+//! min-heap of upcoming adjacent-pair exchange angles drives the sweep
+//! (a kinetic sorted list). Every performed exchange closes one ranking
+//! region; the regions then feed a max-heap by stability from which
+//! `get_next` pops the next most stable ranking (Algorithm 3).
+//!
+//! Event validity is checked lazily at pop time: an event `(θ*, a, b)` is
+//! acted on only if `a` is still ranked directly above `b` *and* the pair
+//! is still in its pre-exchange orientation (`a` has the larger first
+//! attribute). Stale duplicates fail the check and are discarded; adjacency
+//! that re-forms later re-pushes the pair. This also handles exact ties
+//! (several exchanges at one angle) without a special batch phase.
+
+use crate::dataset::Dataset;
+use crate::error::{Result, StableRankError};
+use crate::ranking::Ranking;
+use crate::sv2d::AngleInterval;
+use srank_geom::angle2d::{exchange_angle_2d, weight_from_angle_2d};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A ranking region discovered by the sweep: an angle interval and its
+/// stability within the swept region of interest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Region2DInfo {
+    pub lo: f64,
+    pub hi: f64,
+    pub stability: f64,
+}
+
+impl Region2DInfo {
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// A ranking returned by `get_next`: the ranking, its stability, and its
+/// region.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StableRanking2D {
+    pub ranking: Ranking,
+    pub stability: f64,
+    pub region: Region2DInfo,
+}
+
+/// Totally-ordered f64 key for the event/stability heaps (all keys are
+/// finite by construction).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct F64Key(f64);
+
+impl Eq for F64Key {}
+
+impl PartialOrd for F64Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("heap keys are finite")
+    }
+}
+
+/// The 2-D stable-region enumerator: Algorithm 2 at construction,
+/// Algorithm 3 per [`get_next`](Enumerator2D::get_next) call.
+#[derive(Debug)]
+pub struct Enumerator2D<'a> {
+    data: &'a Dataset,
+    regions: Vec<Region2DInfo>,
+    /// Per-region ranking snapshots when constructed via
+    /// [`new_storing_rankings`](Self::new_storing_rankings) — the paper's
+    /// O(log n)-per-call, O(n·|R|)-memory variant.
+    stored: Option<Vec<Ranking>>,
+    /// Max-heap of `(stability, region index)`.
+    heap: BinaryHeap<(F64Key, usize)>,
+}
+
+impl<'a> Enumerator2D<'a> {
+    /// Runs the ray sweep over `interval` and prepares the stability heap.
+    ///
+    /// O(n² log n) worst case; the number of regions found is `|R*|`.
+    pub fn new(data: &'a Dataset, interval: AngleInterval) -> Result<Self> {
+        Self::build(data, interval, false)
+    }
+
+    /// Like [`new`](Self::new), but snapshots each region's ranking during
+    /// the sweep, making every `get_next` call O(log n) at O(n·|R|) memory
+    /// — the trade-off §3.2 describes ("subsequent GET-NEXT2D calls can be
+    /// done in O(log n), with memory cost O(n³)").
+    pub fn new_storing_rankings(data: &'a Dataset, interval: AngleInterval) -> Result<Self> {
+        Self::build(data, interval, true)
+    }
+
+    fn build(data: &'a Dataset, interval: AngleInterval, store: bool) -> Result<Self> {
+        if data.dim() != 2 {
+            return Err(StableRankError::NeedTwoDimensions { got: data.dim() });
+        }
+        if data.is_empty() {
+            return Err(StableRankError::EmptyDataset);
+        }
+        let (regions, stored) = ray_sweep(data, interval, store);
+        let heap = regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (F64Key(r.stability), i))
+            .collect();
+        Ok(Self { data, regions, stored, heap })
+    }
+
+    /// All discovered regions in sweep (angle) order.
+    pub fn regions(&self) -> &[Region2DInfo] {
+        &self.regions
+    }
+
+    /// Number of feasible rankings in the region of interest.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Algorithm 3: the next most stable ranking, or `None` when all
+    /// regions have been returned. With the default constructor the
+    /// ranking is recomputed at the region's midpoint (O(n log n) per
+    /// call, as in the paper); with stored rankings it is a clone.
+    pub fn get_next(&mut self) -> Option<StableRanking2D> {
+        let (_, idx) = self.heap.pop()?;
+        let region = self.regions[idx];
+        let ranking = match &self.stored {
+            Some(snapshots) => snapshots[idx].clone(),
+            None => {
+                let w = weight_from_angle_2d(region.midpoint());
+                self.data.rank(&w).expect("dimension verified at construction")
+            }
+        };
+        Some(StableRanking2D { ranking, stability: region.stability, region })
+    }
+
+    /// Batch form of Problem 2: the top-`h` most stable rankings.
+    pub fn top_h(&mut self, h: usize) -> Vec<StableRanking2D> {
+        (0..h).map_while(|_| self.get_next()).collect()
+    }
+
+    /// Batch form of Problem 2: all rankings with stability at least `s`.
+    pub fn with_stability_at_least(&mut self, s: f64) -> Vec<StableRanking2D> {
+        let mut out = Vec::new();
+        while let Some(top) = self.get_next() {
+            if top.stability < s {
+                break;
+            }
+            out.push(top);
+        }
+        out
+    }
+}
+
+/// Algorithm 2: sweeps `interval` and returns the ranking regions in angle
+/// order, optionally snapshotting each region's ranking.
+fn ray_sweep(
+    data: &Dataset,
+    interval: AngleInterval,
+    store: bool,
+) -> (Vec<Region2DInfo>, Option<Vec<Ranking>>) {
+    let n = data.len();
+    let span = interval.span();
+    let mut snapshots: Option<Vec<Ranking>> = store.then(Vec::new);
+    if n == 1 {
+        let only = Region2DInfo { lo: interval.lo(), hi: interval.hi(), stability: 1.0 };
+        if let Some(s) = &mut snapshots {
+            s.push(Ranking::from_order_unchecked(vec![0]));
+        }
+        return (vec![only], snapshots);
+    }
+
+    // Ranked list at the sweep start.
+    let start = data
+        .rank(&weight_from_angle_2d(interval.lo()))
+        .expect("dimension checked by caller");
+    let mut order: Vec<u32> = start.order().to_vec();
+    let mut pos: Vec<u32> = vec![0; n];
+    for (p, &item) in order.iter().enumerate() {
+        pos[item as usize] = p as u32;
+    }
+
+    // Event min-heap of upcoming exchanges (θ*, above, below).
+    let mut events: BinaryHeap<Reverse<(F64Key, u32, u32)>> = BinaryHeap::new();
+    let push_if_upcoming = |events: &mut BinaryHeap<Reverse<(F64Key, u32, u32)>>,
+                                a: u32,
+                                b: u32| {
+        let (ta, tb) = (data.item(a as usize), data.item(b as usize));
+        if ta[0] <= tb[0] {
+            return; // post-exchange orientation (or tied): nothing upcoming
+        }
+        if let Some(theta) = exchange_angle_2d(ta, tb) {
+            if theta >= interval.lo() && theta < interval.hi() {
+                events.push(Reverse((F64Key(theta), a, b)));
+            }
+        }
+    };
+    for w in order.windows(2) {
+        push_if_upcoming(&mut events, w[0], w[1]);
+    }
+
+    let mut regions = Vec::new();
+    let mut theta_prev = interval.lo();
+    while let Some(Reverse((F64Key(theta), a, b))) = events.pop() {
+        // Lazy validation: still adjacent in pre-exchange orientation?
+        let (pa, pb) = (pos[a as usize], pos[b as usize]);
+        if pa + 1 != pb || data.item(a as usize)[0] <= data.item(b as usize)[0] {
+            continue; // stale event
+        }
+        // Close the region ending at this exchange (skip zero-width slices
+        // produced by simultaneous exchanges).
+        if theta > theta_prev {
+            regions.push(Region2DInfo {
+                lo: theta_prev,
+                hi: theta,
+                stability: (theta - theta_prev) / span,
+            });
+            if let Some(s) = &mut snapshots {
+                s.push(Ranking::from_order_unchecked(order.clone()));
+            }
+            theta_prev = theta;
+        }
+        // Perform the exchange.
+        order.swap(pa as usize, pb as usize);
+        pos[a as usize] = pb;
+        pos[b as usize] = pa;
+        // New adjacencies: (prev, b) and (a, next).
+        if pa > 0 {
+            push_if_upcoming(&mut events, order[(pa - 1) as usize], b);
+        }
+        if (pb as usize) < n - 1 {
+            push_if_upcoming(&mut events, a, order[(pb + 1) as usize]);
+        }
+    }
+    regions.push(Region2DInfo {
+        lo: theta_prev,
+        hi: interval.hi(),
+        stability: (interval.hi() - theta_prev) / span,
+    });
+    if let Some(s) = &mut snapshots {
+        s.push(Ranking::from_order_unchecked(order));
+    }
+    (regions, snapshots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sv2d::stability_verify_2d;
+
+    #[test]
+    fn figure1_has_eleven_regions() {
+        let data = Dataset::figure1();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        assert_eq!(e.num_regions(), 11, "Figure 1c shows 11 regions");
+    }
+
+    #[test]
+    fn regions_partition_the_interval() {
+        let data = Dataset::figure1();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let regions = e.regions();
+        assert_eq!(regions[0].lo, 0.0);
+        assert!((regions.last().unwrap().hi - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        for w in regions.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-12, "gap between regions");
+        }
+        let total: f64 = regions.iter().map(|r| r.stability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn each_region_has_a_constant_ranking() {
+        let data = Dataset::figure1();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        for r in e.regions() {
+            let probes =
+                [r.lo + r.hi * 1e-6 + 1e-9, r.midpoint(), r.hi - (r.hi - r.lo) * 1e-6];
+            let rankings: Vec<Ranking> = probes
+                .iter()
+                .map(|&t| data.rank(&weight_from_angle_2d(t)).unwrap())
+                .collect();
+            assert_eq!(rankings[0], rankings[1]);
+            assert_eq!(rankings[1], rankings[2]);
+        }
+    }
+
+    #[test]
+    fn adjacent_regions_have_distinct_rankings() {
+        let data = Dataset::figure1();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let rankings: Vec<Ranking> = e
+            .regions()
+            .iter()
+            .map(|r| data.rank(&weight_from_angle_2d(r.midpoint())).unwrap())
+            .collect();
+        for w in rankings.windows(2) {
+            assert_ne!(w[0], w[1], "adjacent regions must differ");
+        }
+        // And globally: Theorem 1's one-to-one mapping.
+        for i in 0..rankings.len() {
+            for j in (i + 1)..rankings.len() {
+                assert_ne!(rankings[i], rankings[j], "regions {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn get_next_is_ordered_by_stability() {
+        let data = Dataset::figure1();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let mut prev = f64::INFINITY;
+        let mut count = 0;
+        while let Some(s) = e.get_next() {
+            assert!(s.stability <= prev + 1e-12, "stability must be non-increasing");
+            prev = s.stability;
+            count += 1;
+        }
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn get_next_agrees_with_sv2d() {
+        let data = Dataset::figure1();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        while let Some(s) = e.get_next() {
+            let v = stability_verify_2d(&data, &s.ranking, AngleInterval::full())
+                .unwrap()
+                .expect("enumerated rankings are feasible");
+            assert!(
+                (v.stability - s.stability).abs() < 1e-9,
+                "sweep {} vs SV2D {}",
+                s.stability,
+                v.stability
+            );
+            assert!((v.region.lo() - s.region.lo).abs() < 1e-9);
+            assert!((v.region.hi() - s.region.hi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn narrow_interval_enumerates_a_subset() {
+        let data = Dataset::figure1();
+        let full_count = Enumerator2D::new(&data, AngleInterval::full()).unwrap().num_regions();
+        let narrow = AngleInterval::new(0.6, 0.9).unwrap();
+        let e = Enumerator2D::new(&data, narrow).unwrap();
+        assert!(e.num_regions() < full_count);
+        assert!(e.num_regions() >= 1);
+        let total: f64 = e.regions().iter().map(|r| r.stability).sum();
+        assert!((total - 1.0).abs() < 1e-9, "stability renormalizes to U*");
+    }
+
+    #[test]
+    fn top_h_and_threshold_batches() {
+        let data = Dataset::figure1();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let top3 = e.top_h(3);
+        assert_eq!(top3.len(), 3);
+        assert!(top3[0].stability >= top3[1].stability);
+        assert!(top3[1].stability >= top3[2].stability);
+
+        let mut e2 = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let thresh = top3[1].stability;
+        let batch = e2.with_stability_at_least(thresh);
+        assert!(batch.len() >= 2);
+        assert!(batch.iter().all(|s| s.stability >= thresh));
+    }
+
+    #[test]
+    fn single_item_dataset_has_one_region() {
+        let data = Dataset::from_rows(&[vec![0.4, 0.6]]).unwrap();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let only = e.get_next().unwrap();
+        assert_eq!(only.stability, 1.0);
+        assert!(e.get_next().is_none());
+    }
+
+    #[test]
+    fn dominance_chain_has_single_region() {
+        // Total dominance order ⇒ one ranking everywhere.
+        let data = Dataset::from_rows(&[
+            vec![0.9, 0.9],
+            vec![0.5, 0.5],
+            vec![0.1, 0.1],
+        ])
+        .unwrap();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        assert_eq!(e.num_regions(), 1);
+    }
+
+    #[test]
+    fn duplicate_items_do_not_break_the_sweep() {
+        let data = Dataset::from_rows(&[
+            vec![0.63, 0.71],
+            vec![0.63, 0.71], // exact duplicate of item 0
+            vec![0.83, 0.65],
+            vec![0.53, 0.82],
+        ])
+        .unwrap();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let total: f64 = e.regions().iter().map(|r| r.stability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Duplicates stay in index order in every region's ranking.
+        for r in e.regions() {
+            let rk = data.rank(&weight_from_angle_2d(r.midpoint())).unwrap();
+            assert!(rk.rank_of(0).unwrap() < rk.rank_of(1).unwrap());
+        }
+    }
+
+    #[test]
+    fn stored_rankings_match_recomputed_ones() {
+        // The O(log n) stored variant must return exactly the same stream
+        // as the recompute variant, region by region.
+        let mut state = 0xCAFEu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let rows: Vec<Vec<f64>> = (0..25).map(|_| vec![next(), next()]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let mut recompute = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let mut stored =
+            Enumerator2D::new_storing_rankings(&data, AngleInterval::full()).unwrap();
+        loop {
+            match (recompute.get_next(), stored.get_next()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.ranking, b.ranking);
+                    assert_eq!(a.stability, b.stability);
+                    assert_eq!(a.region, b.region);
+                }
+                other => panic!("streams diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stored_variant_works_on_narrow_intervals_and_singletons() {
+        let data = Dataset::from_rows(&[vec![0.4, 0.6]]).unwrap();
+        let mut e =
+            Enumerator2D::new_storing_rankings(&data, AngleInterval::full()).unwrap();
+        assert_eq!(e.get_next().unwrap().ranking.order(), &[0]);
+
+        let data = Dataset::figure1();
+        let narrow = AngleInterval::new(0.7, 0.9).unwrap();
+        let mut stored = Enumerator2D::new_storing_rankings(&data, narrow).unwrap();
+        let mut plain = Enumerator2D::new(&data, narrow).unwrap();
+        while let (Some(a), Some(b)) = (stored.get_next(), plain.get_next()) {
+            assert_eq!(a.ranking, b.ranking);
+        }
+    }
+
+    #[test]
+    fn region_count_matches_brute_force_on_random_data() {
+        // Deterministic LCG data, cross-checked against a dense angle scan.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let rows: Vec<Vec<f64>> = (0..30).map(|_| vec![next(), next()]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        // Dense scan: count ranking changes across 200k probes.
+        let probes = 200_000;
+        let mut distinct = 1usize;
+        let mut prev = data.rank(&weight_from_angle_2d(1e-9)).unwrap();
+        for i in 1..probes {
+            let t = std::f64::consts::FRAC_PI_2 * (i as f64 + 0.5) / probes as f64;
+            let r = data.rank(&weight_from_angle_2d(t)).unwrap();
+            if r != prev {
+                distinct += 1;
+                prev = r;
+            }
+        }
+        assert_eq!(e.num_regions(), distinct, "sweep vs dense scan");
+    }
+}

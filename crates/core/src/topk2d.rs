@@ -1,0 +1,184 @@
+//! Exact top-k stability in two dimensions.
+//!
+//! §4.5.1 handles top-k only through the randomized operator because the
+//! arrangement cannot attribute regions to shared top-k results. In 2-D,
+//! however, the regions are a *sorted sequence of intervals*, so the exact
+//! stability of every top-k set (or ranked top-k prefix) is simply the sum
+//! of the spans of the regions that produce it. This module computes that —
+//! both as an exact answer in its own right and as the ground truth the
+//! randomized top-k tests calibrate against.
+
+use crate::dataset::Dataset;
+use crate::error::Result;
+use crate::ranking::{TopKRanked, TopKSet};
+use crate::sv2d::AngleInterval;
+use crate::sweep2d::Enumerator2D;
+use srank_geom::angle2d::weight_from_angle_2d;
+use std::collections::HashMap;
+
+/// Exact stabilities of all feasible top-k *sets* in `interval`, sorted by
+/// descending stability (ties by set order, for determinism).
+pub fn top_k_set_stabilities_2d(
+    data: &Dataset,
+    interval: AngleInterval,
+    k: usize,
+) -> Result<Vec<(TopKSet, f64)>> {
+    let e = Enumerator2D::new(data, interval)?;
+    let mut mass: HashMap<TopKSet, f64> = HashMap::new();
+    for region in e.regions() {
+        let ranking = data.rank(&weight_from_angle_2d(region.midpoint()))?;
+        *mass.entry(ranking.top_k_set(k)).or_default() += region.stability;
+    }
+    let mut out: Vec<(TopKSet, f64)> = mass.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.items().cmp(b.0.items())));
+    Ok(out)
+}
+
+/// Exact stabilities of all feasible *ranked* top-k prefixes in `interval`,
+/// sorted by descending stability.
+pub fn top_k_ranked_stabilities_2d(
+    data: &Dataset,
+    interval: AngleInterval,
+    k: usize,
+) -> Result<Vec<(TopKRanked, f64)>> {
+    let e = Enumerator2D::new(data, interval)?;
+    let mut mass: HashMap<TopKRanked, f64> = HashMap::new();
+    for region in e.regions() {
+        let ranking = data.rank(&weight_from_angle_2d(region.midpoint()))?;
+        *mass.entry(ranking.top_k_ranked(k)).or_default() += region.stability;
+    }
+    let mut out: Vec<(TopKRanked, f64)> = mass.into_iter().collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.items().cmp(b.0.items())));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::randomized::{RandomizedEnumerator, RankingScope};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srank_sample::roi::RegionOfInterest;
+
+    fn toy() -> Dataset {
+        Dataset::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.99, 0.99],
+            vec![0.98, 0.98],
+            vec![0.97, 0.97],
+            vec![0.0, 1.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn toy_example_most_stable_top3_set() {
+        // §2.2.5: the most stable top-3 is {t2, t3, t4}, not a skyline
+        // subset — now exactly, not by sampling.
+        let sets = top_k_set_stabilities_2d(&toy(), AngleInterval::full(), 3).unwrap();
+        assert_eq!(sets[0].0.items(), &[1, 2, 3]);
+        assert!(sets[0].1 > 0.5);
+    }
+
+    #[test]
+    fn set_masses_partition_unity() {
+        let data = Dataset::figure1();
+        for k in 1..=5 {
+            let sets = top_k_set_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+            let total: f64 = sets.iter().map(|(_, s)| s).sum();
+            assert!((total - 1.0).abs() < 1e-9, "k={k}: total {total}");
+            let ranked =
+                top_k_ranked_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+            let total_r: f64 = ranked.iter().map(|(_, s)| s).sum();
+            assert!((total_r - 1.0).abs() < 1e-9, "k={k}: ranked total {total_r}");
+        }
+    }
+
+    #[test]
+    fn sets_aggregate_ranked_prefixes() {
+        // Every set's mass equals the sum of the masses of the ranked
+        // prefixes over the same items.
+        let data = Dataset::figure1();
+        let k = 3;
+        let sets = top_k_set_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+        let ranked = top_k_ranked_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+        for (set, mass) in &sets {
+            let sum: f64 = ranked
+                .iter()
+                .filter(|(prefix, _)| {
+                    let mut sorted = prefix.items().to_vec();
+                    sorted.sort_unstable();
+                    sorted == set.items()
+                })
+                .map(|(_, m)| m)
+                .sum();
+            assert!((sum - mass).abs() < 1e-9, "set {set:?}: {sum} vs {mass}");
+        }
+        // And the max set mass dominates the max ranked mass.
+        assert!(sets[0].1 >= ranked[0].1 - 1e-12);
+    }
+
+    #[test]
+    fn k_equal_n_reduces_to_full_rankings() {
+        let data = Dataset::figure1();
+        let ranked = top_k_ranked_stabilities_2d(&data, AngleInterval::full(), 5).unwrap();
+        // 11 regions, 11 distinct full rankings.
+        assert_eq!(ranked.len(), 11);
+    }
+
+    #[test]
+    fn k_one_is_the_most_preferred_item_distribution() {
+        // For k = 1, mass of item i = span of angles where it tops the
+        // list; on the toy data t2 tops almost everywhere.
+        let sets = top_k_set_stabilities_2d(&toy(), AngleInterval::full(), 1).unwrap();
+        assert_eq!(sets[0].0.items(), &[1]);
+        assert!(sets[0].1 > 0.9, "t2 dominates the quadrant: {}", sets[0].1);
+    }
+
+    #[test]
+    fn randomized_estimates_converge_to_exact_values() {
+        // The strongest calibration test for the §4.5.1 operator: the
+        // Monte-Carlo top-k set stabilities must match the exact 2-D ones
+        // within confidence error.
+        let mut state = 0xFEEDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let rows: Vec<Vec<f64>> = (0..25).map(|_| vec![next(), next()]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let k = 5;
+        let exact = top_k_set_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+        let exact_map: HashMap<Vec<u32>, f64> =
+            exact.iter().map(|(s, m)| (s.items().to_vec(), *m)).collect();
+
+        let roi = RegionOfInterest::full(2);
+        let mut op =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(55);
+        op.sample_n(&mut rng, 40_000);
+        let mut checked = 0;
+        while let Some(d) = op.get_next_budget(&mut rng, 0) {
+            if let Some(&truth) = exact_map.get(&d.items) {
+                assert!(
+                    (d.stability - truth).abs() <= (4.0 * d.confidence_error).max(0.01),
+                    "set {:?}: estimate {} vs exact {}",
+                    d.items,
+                    d.stability,
+                    truth
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 3, "need several sets to compare, got {checked}");
+    }
+
+    #[test]
+    fn interval_restriction_renormalizes() {
+        let data = Dataset::figure1();
+        let narrow = AngleInterval::new(0.6, 1.0).unwrap();
+        let sets = top_k_set_stabilities_2d(&data, narrow, 2).unwrap();
+        let total: f64 = sets.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,214 @@
+//! Ordering-exchange hyperplane enumeration — `×hps`, Algorithm 5 (§4.2).
+//!
+//! Collects the `O(n²)` ordering-exchange hyperplanes of all
+//! non-dominating item pairs that actually pass through the region of
+//! interest. Intersection with `U*` is decided analytically where a closed
+//! form exists (full orthant, cones) and by sample witnesses otherwise —
+//! the same sampled `passThrough` the arrangement construction uses (§5.4).
+
+use crate::dataset::Dataset;
+use srank_geom::hyperplane::OrderingExchange;
+use srank_geom::vector::{dot, norm};
+use srank_geom::EPS;
+use srank_sample::roi::RegionOfInterest;
+use srank_sample::store::SampleBuffer;
+
+/// Whether the origin-through hyperplane with the given normal intersects
+/// the *interior* of the region of interest.
+///
+/// * Full orthant: it does iff the normal has strictly mixed signs —
+///   otherwise one open side misses the orthant entirely.
+/// * Cone of angle θ around `ray`: the angular distance from the ray to
+///   the hyperplane is `|π/2 − ∠(normal, ray)|`, so the hyperplane cuts
+///   the cap iff `|normal·ray| < sin θ · ‖normal‖`.
+/// * Constraint set: decided by sample witnesses on both sides.
+pub fn hyperplane_intersects_roi(
+    hp: &OrderingExchange,
+    roi: &RegionOfInterest,
+    samples: &SampleBuffer,
+) -> bool {
+    let coeffs = hp.coeffs();
+    match roi {
+        RegionOfInterest::FullOrthant { .. } => {
+            let has_pos = coeffs.iter().any(|&c| c > EPS);
+            let has_neg = coeffs.iter().any(|&c| c < -EPS);
+            has_pos && has_neg
+        }
+        RegionOfInterest::Cone { ray, theta, .. } => {
+            let nn = norm(coeffs);
+            if nn <= EPS {
+                return false;
+            }
+            (dot(coeffs, ray).abs() / nn) < theta.sin()
+        }
+        RegionOfInterest::Constraints { .. } => {
+            let mut saw_pos = false;
+            let mut saw_neg = false;
+            for w in samples.iter_rows() {
+                let v = hp.eval(w);
+                if v > 0.0 {
+                    saw_pos = true;
+                } else if v < 0.0 {
+                    saw_neg = true;
+                }
+                if saw_pos && saw_neg {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Algorithm 5: the ordering-exchange hyperplanes of all non-dominating
+/// pairs intersecting `U*`, in deterministic `(i, j)` pair order.
+pub fn ordering_exchange_hyperplanes(
+    data: &Dataset,
+    roi: &RegionOfInterest,
+    samples: &SampleBuffer,
+) -> Vec<OrderingExchange> {
+    let n = data.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if data.dominates(i, j) || data.dominates(j, i) {
+                continue;
+            }
+            let hp = OrderingExchange::from_pair(data.item(i), data.item(j));
+            if hp.is_degenerate() {
+                continue; // identical items never exchange
+            }
+            if hyperplane_intersects_roi(&hp, roi, samples) {
+                out.push(hp);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::PI;
+
+    fn samples_for(roi: &RegionOfInterest, seed: u64, n: usize) -> SampleBuffer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        roi.sampler().sample_buffer(&mut rng, n)
+    }
+
+    #[test]
+    fn figure1_produces_ten_hyperplanes_in_u() {
+        // 5 items, no dominance ⇒ C(5,2) = 10 exchanges, all inside U
+        // (Figure 1c shows all ten dual intersections in the quadrant).
+        let data = Dataset::figure1();
+        let roi = RegionOfInterest::full(2);
+        let samples = samples_for(&roi, 1, 100);
+        let hps = ordering_exchange_hyperplanes(&data, &roi, &samples);
+        assert_eq!(hps.len(), 10);
+    }
+
+    #[test]
+    fn dominance_pairs_are_skipped() {
+        let data = Dataset::from_rows(&[
+            vec![0.9, 0.9],
+            vec![0.1, 0.5],
+            vec![0.8, 0.2],
+        ])
+        .unwrap();
+        let roi = RegionOfInterest::full(2);
+        let samples = samples_for(&roi, 2, 100);
+        let hps = ordering_exchange_hyperplanes(&data, &roi, &samples);
+        // Pairs: (0,1) and (0,2) are dominance; only (1,2) exchanges.
+        assert_eq!(hps.len(), 1);
+    }
+
+    #[test]
+    fn narrow_cone_filters_hyperplanes() {
+        let data = Dataset::figure1();
+        let full = RegionOfInterest::full(2);
+        let full_samples = samples_for(&full, 3, 200);
+        let all = ordering_exchange_hyperplanes(&data, &full, &full_samples);
+
+        // A narrow cone around the diagonal keeps only exchanges near π/4.
+        let cone = RegionOfInterest::cone(&[1.0, 1.0], PI / 60.0);
+        let cone_samples = samples_for(&cone, 4, 200);
+        let filtered = ordering_exchange_hyperplanes(&data, &cone, &cone_samples);
+        assert!(filtered.len() < all.len());
+    }
+
+    #[test]
+    fn analytic_cone_test_matches_sampled_witnesses() {
+        let data = Dataset::figure1();
+        let cone = RegionOfInterest::cone(&[1.0, 1.0], PI / 20.0);
+        let samples = samples_for(&cone, 5, 20_000);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                let hp = OrderingExchange::from_pair(data.item(i), data.item(j));
+                let analytic = hyperplane_intersects_roi(&hp, &cone, &samples);
+                // Sampled ground truth.
+                let mut pos = false;
+                let mut neg = false;
+                for w in samples.iter_rows() {
+                    if hp.eval(w) > 0.0 {
+                        pos = true;
+                    } else {
+                        neg = true;
+                    }
+                }
+                let sampled = pos && neg;
+                assert_eq!(
+                    analytic, sampled,
+                    "pair ({i},{j}): analytic {analytic} vs sampled {sampled}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orthant_mixed_sign_rule() {
+        let roi = RegionOfInterest::full(3);
+        let samples = samples_for(&roi, 6, 10);
+        let crossing = OrderingExchange::from_coeffs(vec![0.5, -0.3, 0.1]);
+        assert!(hyperplane_intersects_roi(&crossing, &roi, &samples));
+        let onesided = OrderingExchange::from_coeffs(vec![0.5, 0.3, 0.0]);
+        assert!(!hyperplane_intersects_roi(&onesided, &roi, &samples));
+    }
+
+    #[test]
+    fn constraint_roi_uses_witnesses() {
+        use srank_geom::hyperplane::HalfSpace;
+        // U* = {w1 ≥ w2} ∩ orthant.
+        let roi = RegionOfInterest::constraints(2, vec![HalfSpace::new(vec![1.0, -1.0])]);
+        let samples = samples_for(&roi, 7, 2000);
+        // w1 = 2·w2 passes through U*.
+        let inside = OrderingExchange::from_coeffs(vec![1.0, -2.0]);
+        assert!(hyperplane_intersects_roi(&inside, &roi, &samples));
+        // w1 = w2/2 lies outside U*.
+        let outside = OrderingExchange::from_coeffs(vec![1.0, -0.5]);
+        assert!(!hyperplane_intersects_roi(&outside, &roi, &samples));
+    }
+
+    #[test]
+    fn identical_items_yield_no_hyperplane() {
+        let data = Dataset::from_rows(&[vec![0.4, 0.6], vec![0.4, 0.6]]).unwrap();
+        let roi = RegionOfInterest::full(2);
+        let samples = samples_for(&roi, 8, 50);
+        assert!(ordering_exchange_hyperplanes(&data, &roi, &samples).is_empty());
+    }
+
+    #[test]
+    fn count_is_quadratic_without_dominance() {
+        // Anti-correlated line: no dominance at all ⇒ all C(n,2) pairs.
+        let rows: Vec<Vec<f64>> =
+            (0..12).map(|i| vec![i as f64 / 11.0, 1.0 - i as f64 / 11.0]).collect();
+        let data = Dataset::from_rows(&rows).unwrap();
+        let roi = RegionOfInterest::full(2);
+        let samples = samples_for(&roi, 9, 100);
+        assert_eq!(
+            ordering_exchange_hyperplanes(&data, &roi, &samples).len(),
+            12 * 11 / 2
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Numerical edge cases: near-ties, extreme scales, and high dimensions.
+//!
+//! The geometric predicates all run at `f64` with the crate-wide `EPS`
+//! tolerance; these tests pin the behaviour at the edges where rounding
+//! could otherwise silently corrupt regions or stabilities.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_core::prelude::*;
+use srank_core::regions_via_sorted_exchanges;
+
+/// Items separated by 1e-12 in one attribute: the exchange geometry is
+/// extreme but the sweep must still partition the quadrant exactly.
+#[test]
+fn hairline_attribute_gaps_keep_partition_exact() {
+    let data = Dataset::from_rows(&[
+        vec![0.500000000001, 0.5],
+        vec![0.5, 0.500000000001],
+        vec![0.9, 0.1],
+    ])
+    .unwrap();
+    let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let total: f64 = e.regions().iter().map(|r| r.stability).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // The hairline pair's exchange sits essentially on the diagonal; both
+    // orderings must appear with ~equal mass.
+    let baseline = regions_via_sorted_exchanges(&data, AngleInterval::full()).unwrap();
+    assert_eq!(baseline.len(), e.num_regions());
+}
+
+/// Scores that collide to the same f64 value under one weighting must not
+/// produce duplicate or missing items in the ranking.
+#[test]
+fn exact_score_ties_resolve_by_index_everywhere() {
+    // t0 and t1 tie exactly under (1, 1).
+    let data = Dataset::from_rows(&[
+        vec![0.25, 0.75],
+        vec![0.75, 0.25],
+        vec![0.5, 0.5],
+    ])
+    .unwrap();
+    let r = data.rank(&[1.0, 1.0]).unwrap();
+    // All three items tie at 1.0 under equal weights: index order.
+    assert_eq!(r.order(), &[0, 1, 2]);
+    // And top-k agrees with the full ranking's prefix despite ties.
+    for k in 1..=3 {
+        assert_eq!(data.top_k(&[1.0, 1.0], k).unwrap().as_slice(), &r.order()[..k]);
+    }
+}
+
+/// Tiny attribute magnitudes (subnormal-adjacent) flow through the whole
+/// pipeline without NaNs or panics.
+#[test]
+fn tiny_magnitudes_are_handled() {
+    let data = Dataset::from_rows(&[
+        vec![1e-300, 2e-300],
+        vec![2e-300, 1e-300],
+        vec![1.5e-300, 1.5e-300],
+    ])
+    .unwrap();
+    let v = stability_verify_2d(
+        &data,
+        &data.rank(&[1.0, 1.0]).unwrap(),
+        AngleInterval::full(),
+    )
+    .unwrap();
+    if let Some(v) = v {
+        assert!(v.stability.is_finite());
+        assert!(v.stability >= 0.0);
+    }
+}
+
+/// Eight attributes: the cap sampler, the oracle, and the randomized
+/// operator all work beyond the paper's d = 5 maximum.
+#[test]
+fn eight_dimensional_pipeline_works() {
+    let mut state = 0x8D8D8D8Du64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    let rows: Vec<Vec<f64>> = (0..40).map(|_| (0..8).map(|_| next()).collect()).collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let roi = RegionOfInterest::cone(&vec![1.0; 8], std::f64::consts::PI / 50.0);
+    let mut op =
+        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(5), 0.05).unwrap();
+    let mut rng = StdRng::seed_from_u64(88);
+    let d = op.get_next_budget(&mut rng, 1000).unwrap();
+    assert_eq!(d.items.len(), 5);
+    assert!(roi.contains(&d.exemplar_weights));
+    assert!(d.stability > 0.0 && d.stability <= 1.0);
+}
+
+/// One hundred LP constraints (a full ranking region of a 101-item
+/// dataset): the simplex stays stable and the witness reproduces the
+/// ranking.
+#[test]
+fn lp_scales_to_a_hundred_constraints() {
+    let mut state = 0xC0FFEEu64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 11) as f64) / ((1u64 << 53) as f64)
+    };
+    let rows: Vec<Vec<f64>> = (0..101).map(|_| (0..3).map(|_| next()).collect()).collect();
+    let data = Dataset::from_rows(&rows).unwrap();
+    let r = data.rank(&[0.4, 0.35, 0.25]).unwrap();
+    let mm = max_margin_weights(&data, &r).unwrap().expect("observed ranking is feasible");
+    assert_eq!(data.rank(&mm.weights).unwrap(), r);
+    assert!(mm.margin > 0.0);
+}
+
+/// A one-item and a two-item dataset through every operator: the smallest
+/// possible inputs must not hit degenerate branches.
+#[test]
+fn minimal_datasets_through_every_operator() {
+    let one = Dataset::from_rows(&[vec![0.3, 0.7]]).unwrap();
+    let two = Dataset::from_rows(&[vec![0.8, 0.2], vec![0.2, 0.8]]).unwrap();
+    // SV2D.
+    let v = stability_verify_2d(&one, &one.rank(&[1.0, 1.0]).unwrap(), AngleInterval::full())
+        .unwrap()
+        .unwrap();
+    assert_eq!(v.stability, 1.0);
+    // Sweep.
+    let mut e = Enumerator2D::new(&two, AngleInterval::full()).unwrap();
+    assert_eq!(e.top_h(10).len(), 2);
+    // Arrangement.
+    let roi = RegionOfInterest::full(2);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut md = MdEnumerator::new(&two, &roi, 500, &mut rng).unwrap();
+    let mut total = 0.0;
+    while let Some(s) = md.get_next() {
+        total += s.stability;
+    }
+    assert!((total - 1.0).abs() < 1e-9);
+    // Randomized.
+    let mut op = RandomizedEnumerator::new(&one, &roi, RankingScope::Full, 0.05).unwrap();
+    let d = op.get_next_budget(&mut rng, 50).unwrap();
+    assert_eq!(d.stability, 1.0);
+    // Exact 3D on the minimal 3-attribute input.
+    let one3 = Dataset::from_rows(&[vec![0.1, 0.2, 0.3]]).unwrap();
+    let v3 = stability_verify_3d_exact(&one3, &one3.rank(&[1.0, 1.0, 1.0]).unwrap())
+        .unwrap()
+        .unwrap();
+    assert!((v3.stability - 1.0).abs() < 1e-9);
+}
+
+/// Weights at the orthant boundary (zeros in some coordinates) are valid
+/// scoring functions and verify cleanly.
+#[test]
+fn axis_aligned_weights_verify() {
+    let data = Dataset::figure1();
+    for w in [[1.0, 0.0], [0.0, 1.0]] {
+        let r = data.rank(&w).unwrap();
+        let v = stability_verify_2d(&data, &r, AngleInterval::full()).unwrap().unwrap();
+        assert!(v.stability > 0.0);
+        // The generating boundary angle sits inside the closed region.
+        let theta = w[1].atan2(w[0]);
+        assert!(v.region.lo() <= theta + 1e-12 && theta <= v.region.hi() + 1e-12);
+    }
+}

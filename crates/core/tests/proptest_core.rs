@@ -1,0 +1,180 @@
+//! Property-based tests for the core algorithms: the exact 2-D path, the
+//! arrangement path, and the randomized path must all tell one story.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_core::prelude::*;
+use srank_geom::angle2d::weight_from_angle_2d;
+
+fn attr() -> impl Strategy<Value = f64> {
+    0.01..0.99f64
+}
+
+fn rows(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(attr(), d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SV2D's region must contain the generating angle, and ranking at any
+    /// interior angle of the region must reproduce the ranking.
+    #[test]
+    fn sv2d_region_is_sound(data in rows(2, 2..25), theta_frac in 0.01..0.99f64) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let theta = theta_frac * std::f64::consts::FRAC_PI_2;
+        let r = data.rank(&weight_from_angle_2d(theta)).unwrap();
+        let v = stability_verify_2d(&data, &r, AngleInterval::full())
+            .unwrap()
+            .expect("observed ranking is feasible");
+        prop_assert!(v.region.lo() <= theta && theta <= v.region.hi());
+        // Probe the interior.
+        for i in 1..8 {
+            let t = v.region.lo() + v.region.span() * i as f64 / 8.0;
+            let probe = data.rank(&weight_from_angle_2d(t)).unwrap();
+            prop_assert_eq!(&probe, &r);
+        }
+        prop_assert!(v.stability > 0.0 && v.stability <= 1.0);
+    }
+
+    /// The sweep partitions U* and its per-region stabilities agree with
+    /// SV2D run independently on each region's midpoint ranking.
+    #[test]
+    fn sweep_agrees_with_sv2d(data in rows(2, 2..20)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let mut total = 0.0;
+        for region in e.regions() {
+            let r = data.rank(&weight_from_angle_2d(region.midpoint())).unwrap();
+            let v = stability_verify_2d(&data, &r, AngleInterval::full())
+                .unwrap()
+                .expect("region midpoint ranking is feasible");
+            prop_assert!(
+                (v.stability - region.stability).abs() < 1e-9,
+                "sweep {} vs sv2d {}", region.stability, v.stability
+            );
+            total += region.stability;
+        }
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    /// The MD region of a 2-D ranking contains exactly the same functions
+    /// as the 2-D angle region.
+    #[test]
+    fn md_region_matches_2d_region(data in rows(2, 2..15), theta_frac in 0.05..0.95f64) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let theta = theta_frac * std::f64::consts::FRAC_PI_2;
+        let r = data.rank(&weight_from_angle_2d(theta)).unwrap();
+        let v2 = stability_verify_2d(&data, &r, AngleInterval::full()).unwrap().unwrap();
+        let cone = srank_core::ranking_region_md(&data, &r).unwrap().unwrap();
+        for i in 0..40 {
+            let t = std::f64::consts::FRAC_PI_2 * (i as f64 + 0.5) / 40.0;
+            let w = weight_from_angle_2d(t);
+            let in_2d = t > v2.region.lo() + 1e-9 && t < v2.region.hi() - 1e-9;
+            let on_boundary =
+                (t - v2.region.lo()).abs() < 1e-9 || (t - v2.region.hi()).abs() < 1e-9;
+            if !on_boundary {
+                prop_assert_eq!(cone.contains(&w), in_2d, "disagreement at θ = {}", t);
+            }
+        }
+    }
+
+    /// Randomized estimates converge to exact 2-D stabilities.
+    #[test]
+    fn randomized_estimate_brackets_exact(data in rows(2, 2..12), seed in 0u64..1000) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let roi = RegionOfInterest::full(2);
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Some(found) = e.get_next_budget(&mut rng, 3000) {
+            let r = Ranking::new(found.items.clone()).unwrap();
+            let exact = stability_verify_2d(&data, &r, AngleInterval::full())
+                .unwrap()
+                .expect("sampled rankings are feasible")
+                .stability;
+            // 99% CI plus slack for the 48 repetitions.
+            let tol = (4.0 * found.confidence_error).max(0.02);
+            prop_assert!(
+                (found.stability - exact).abs() < tol,
+                "estimate {} vs exact {} (tol {})", found.stability, exact, tol
+            );
+        }
+    }
+
+    /// Top-k ranked keys are prefixes of full rankings; top-k set keys are
+    /// their sorted forms.
+    #[test]
+    fn topk_keys_are_consistent(data in rows(3, 5..30), seed in 0u64..1000, k in 1usize..5) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ranked =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(k), 0.05).unwrap();
+        let d = ranked.get_next_budget(&mut rng, 200).unwrap();
+        // The exemplar regenerates the key...
+        let again = data.top_k(&d.exemplar_weights, k).unwrap();
+        prop_assert_eq!(&again, &d.items);
+        // ...and the full ranking's prefix matches.
+        let full = data.rank(&d.exemplar_weights).unwrap();
+        prop_assert_eq!(&full.order()[..k.min(full.len())], d.items.as_slice());
+    }
+
+    /// The most stable top-k set is at least as stable as the most stable
+    /// ranked top-k (sets merge ranked outcomes).
+    #[test]
+    fn set_stability_dominates_ranked(data in rows(3, 5..20), seed in 0u64..500) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut r1 = StdRng::seed_from_u64(seed);
+        let mut r2 = StdRng::seed_from_u64(seed);
+        let mut ranked =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(3), 0.05).unwrap();
+        let mut set =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
+        let a = ranked.get_next_budget(&mut r1, 1500).unwrap();
+        let b = set.get_next_budget(&mut r2, 1500).unwrap();
+        // Same seed ⇒ same samples ⇒ the set count of any ranked prefix's
+        // underlying set is at least the ranked count.
+        prop_assert!(b.stability >= a.stability - 1e-9);
+    }
+
+    /// Kendall-tau distance is a metric on the rankings the sweep returns.
+    #[test]
+    fn kendall_tau_triangle_inequality(data in rows(2, 3..12)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let all: Vec<StableRanking2D> = std::iter::from_fn(|| e.get_next()).collect();
+        if all.len() >= 3 {
+            let (a, b, c) = (&all[0].ranking, &all[1].ranking, &all[2].ranking);
+            let ab = a.kendall_tau_distance(b).unwrap();
+            let bc = b.kendall_tau_distance(c).unwrap();
+            let ac = a.kendall_tau_distance(c).unwrap();
+            prop_assert!(ac <= ab + bc);
+            prop_assert!(ab > 0, "distinct rankings have positive distance");
+        }
+    }
+
+    /// Dominance pairs hold their relative order in every enumerated
+    /// ranking (2-D sweep over random data).
+    #[test]
+    fn dominance_is_respected_in_all_regions(data in rows(2, 2..15)) {
+        let ds = Dataset::from_rows(&data).unwrap();
+        let mut e = Enumerator2D::new(&ds, AngleInterval::full()).unwrap();
+        let mut dominant_pairs = Vec::new();
+        for i in 0..ds.len() {
+            for j in 0..ds.len() {
+                if i != j && ds.dominates(i, j) {
+                    dominant_pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+        while let Some(s) = e.get_next() {
+            for &(hi, lo) in &dominant_pairs {
+                let ph = s.ranking.rank_of(hi).unwrap();
+                let pl = s.ranking.rank_of(lo).unwrap();
+                prop_assert!(ph < pl, "dominator {hi} below dominated {lo}");
+            }
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the extension modules: the baseline 2-D
+//! enumerator, exact top-k stability, max-margin justification, the exact
+//! 3-D oracle, and tolerant stability.
+
+use proptest::prelude::*;
+use srank_core::prelude::*;
+use srank_core::regions_via_sorted_exchanges;
+
+fn attr() -> impl Strategy<Value = f64> {
+    0.01..0.99f64
+}
+
+fn rows(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(attr(), d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two independently-implemented exact 2-D enumerators must agree on
+    /// every random dataset.
+    #[test]
+    fn baseline_and_sweep_agree(data in rows(2, 2..25)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let baseline = regions_via_sorted_exchanges(&data, AngleInterval::full()).unwrap();
+        let sweep = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        prop_assert_eq!(baseline.len(), sweep.num_regions());
+        for (a, b) in baseline.iter().zip(sweep.regions()) {
+            prop_assert!((a.lo - b.lo).abs() < 1e-10);
+            prop_assert!((a.hi - b.hi).abs() < 1e-10);
+        }
+    }
+
+    /// Max-margin weights always regenerate their ranking, with a positive
+    /// margin, for every feasible ranking of random data.
+    #[test]
+    fn max_margin_weights_are_sound(data in rows(3, 2..15), w in prop::collection::vec(0.05..1.0f64, 3)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let r = data.rank(&w).unwrap();
+        if let Some(mm) = max_margin_weights(&data, &r).unwrap() {
+            prop_assert_eq!(data.rank(&mm.weights).unwrap(), r);
+            prop_assert!(mm.margin > 0.0);
+            prop_assert!((mm.weights.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        // Feasibility can only fail on exact score ties (measure zero).
+    }
+
+    /// The exact 3-D oracle agrees with SV2D's logic extended: the region
+    /// of the observed ranking contains the generator and has positive
+    /// exact stability.
+    #[test]
+    fn exact_3d_stability_is_sound(data in rows(3, 2..12), w in prop::collection::vec(0.05..1.0f64, 3)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let r = data.rank(&w).unwrap();
+        let v = stability_verify_3d_exact(&data, &r).unwrap();
+        if let Some(v) = v {
+            prop_assert!(v.stability > 0.0, "observed ranking must have positive area");
+            prop_assert!(v.stability <= 1.0 + 1e-9);
+            // Complementary check: swapping the top pair gives a disjoint
+            // region; areas of the two cannot exceed 1 together.
+            let mut order = r.order().to_vec();
+            if order.len() >= 2 {
+                order.swap(0, 1);
+                let swapped = Ranking::new(order).unwrap();
+                if let Some(v2) = stability_verify_3d_exact(&data, &swapped).unwrap() {
+                    prop_assert!(v.stability + v2.stability <= 1.0 + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// Exact top-k masses always partition unity and the best set's mass
+    /// dominates the best ranked prefix's.
+    #[test]
+    fn topk2d_partition_and_dominance(data in rows(2, 3..20), k in 1usize..5) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let sets = top_k_set_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+        let ranked = top_k_ranked_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+        let s_total: f64 = sets.iter().map(|(_, m)| m).sum();
+        let r_total: f64 = ranked.iter().map(|(_, m)| m).sum();
+        prop_assert!((s_total - 1.0).abs() < 1e-9);
+        prop_assert!((r_total - 1.0).abs() < 1e-9);
+        prop_assert!(sets[0].1 >= ranked[0].1 - 1e-12);
+        prop_assert!(sets.len() <= ranked.len());
+    }
+
+    /// τ-tolerant stability is monotone in τ and bounded by total mass.
+    #[test]
+    fn tau_tolerance_is_monotone(data in rows(2, 3..10)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let enumeration: Vec<(Ranking, f64)> =
+            std::iter::from_fn(|| e.get_next()).map(|s| (s.ranking, s.stability)).collect();
+        let center = &enumeration[0].0;
+        let mut prev = 0.0;
+        for tau in 0..6 {
+            let v = tau_tolerant_stability(center, &enumeration, tau).unwrap();
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!(v <= 1.0 + 1e-9);
+            prev = v;
+        }
+    }
+
+    /// Ranking diffs are involutive (swapping arguments flips directions)
+    /// and consistent with rank lookups.
+    #[test]
+    fn diff_is_consistent(data in rows(2, 2..15), w1 in prop::collection::vec(0.05..1.0f64, 2), w2 in prop::collection::vec(0.05..1.0f64, 2)) {
+        let data = Dataset::from_rows(&data).unwrap();
+        let a = data.rank(&w1).unwrap();
+        let b = data.rank(&w2).unwrap();
+        let ab = a.diff(&b).unwrap();
+        let ba = b.diff(&a).unwrap();
+        prop_assert_eq!(ab.len(), ba.len());
+        for m in &ab {
+            prop_assert_eq!(a.rank_of(m.item), Some(m.from));
+            prop_assert_eq!(b.rank_of(m.item), Some(m.to));
+            // The reverse diff contains the mirrored move.
+            prop_assert!(ba.iter().any(|r| r.item == m.item && r.from == m.to && r.to == m.from));
+        }
+        prop_assert_eq!(ab.is_empty(), a == b);
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulated Blue Nile diamond-catalog workload (§6.1).
+//!
+//! The paper's scalability experiments run on a crawl of 116,300 diamonds
+//! with five scoring attributes: `Price` (lower preferred), `Carat`,
+//! `Depth`, `LengthWidthRatio`, and `Table` (higher preferred). This
+//! simulator reproduces the statistical shape that matters for those
+//! experiments — a heavy-tailed carat distribution, price super-linear in
+//! carat (so price and carat are strongly anti-correlated once price is
+//! flipped to lower-is-better... i.e. the two aligned columns correlate),
+//! and near-Gaussian cut proportions — at any requested size.
+
+use crate::table::{Column, RawTable};
+use rand::Rng;
+use srank_sample::normal::NormalSampler;
+
+/// Catalog size of the paper's crawl.
+pub const PAPER_SIZE: usize = 116_300;
+
+/// Generates `n` simulated diamonds.
+pub fn bluenile<R: Rng + ?Sized>(rng: &mut R, n: usize) -> RawTable {
+    let mut normal = NormalSampler::new();
+    let rows = (0..n)
+        .map(|_| {
+            // Carat: log-normal around ~0.9ct, truncated to plausible range.
+            let carat = (0.9 * (0.55 * normal.sample(rng)).exp()).clamp(0.2, 10.0);
+            // Price: roughly carat^2.4 with grade noise (cut/color/clarity),
+            // floored at the catalog's cheapest listings.
+            let price =
+                (4300.0 * carat.powf(2.4) * (0.35 * normal.sample(rng)).exp()).max(250.0);
+            // Cut proportions: near-Gaussian around ideal values.
+            let depth = 61.8 + 1.4 * normal.sample(rng);
+            let lw_ratio = 1.01 + 0.05 * normal.sample(rng).abs();
+            let table = 57.0 + 2.0 * normal.sample(rng);
+            vec![price, carat, depth, lw_ratio, table]
+        })
+        .collect();
+    RawTable::new(
+        "bluenile",
+        vec![
+            Column::lower("price"),
+            Column::higher("carat"),
+            Column::higher("depth"),
+            Column::higher("lw_ratio"),
+            Column::higher("table"),
+        ],
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_plausible_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = bluenile(&mut rng, 1000);
+        assert_eq!(t.n_rows(), 1000);
+        assert_eq!(t.n_cols(), 5);
+        for r in &t.rows {
+            assert!(r[0] > 100.0, "price {}", r[0]);
+            assert!((0.2..=10.0).contains(&r[1]), "carat {}", r[1]);
+            assert!((50.0..75.0).contains(&r[2]), "depth {}", r[2]);
+            assert!((0.9..1.5).contains(&r[3]), "lw {}", r[3]);
+            assert!((45.0..70.0).contains(&r[4]), "table {}", r[4]);
+        }
+    }
+
+    #[test]
+    fn price_tracks_carat() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = bluenile(&mut rng, 5000);
+        let rho = t.correlation(0, 1).unwrap();
+        assert!(rho > 0.6, "price–carat ρ = {rho}");
+    }
+
+    #[test]
+    fn normalization_aligns_directions() {
+        // After normalization, a strictly cheaper and bigger diamond must
+        // score higher under equal weights on (price, carat).
+        let t = RawTable::new(
+            "mini",
+            vec![Column::lower("price"), Column::higher("carat")],
+            vec![vec![1000.0, 1.0], vec![9000.0, 0.5], vec![5000.0, 0.7]],
+        );
+        let norm = t.normalized();
+        let score = |r: &[f64]| r[0] + r[1];
+        assert!(score(&norm[0]) > score(&norm[1]));
+        assert!(score(&norm[0]) > score(&norm[2]));
+    }
+
+    #[test]
+    fn projection_yields_lower_dimensional_variants() {
+        // The paper varies d by projecting the first k attributes.
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = bluenile(&mut rng, 100);
+        for k in 2..=5 {
+            let cols: Vec<usize> = (0..k).collect();
+            assert_eq!(t.project(&cols).n_cols(), k);
+        }
+    }
+
+    #[test]
+    fn subsampling_for_scalability_sweeps() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = bluenile(&mut rng, 2000);
+        for n in [100, 500, 1500] {
+            assert_eq!(t.sample_rows(&mut rng, n).n_rows(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = bluenile(&mut StdRng::seed_from_u64(5), 20);
+        let b = bluenile(&mut StdRng::seed_from_u64(5), 20);
+        assert_eq!(a.rows, b.rows);
+    }
+}

@@ -1,0 +1,286 @@
+//! A small, dependency-free CSV reader for scoring tables.
+//!
+//! Downstream users of the library bring their own data; this module turns
+//! a CSV with a header row into a [`RawTable`], selecting scoring columns
+//! by name and tagging each with a preference direction. It handles the
+//! common real-world cases — quoted fields (RFC-4180 style, with doubled
+//! quotes), surrounding whitespace, empty lines, and both `\n` and `\r\n`
+//! terminators — and reports precise parse errors.
+
+use crate::table::{Column, Direction, RawTable};
+use std::fmt;
+
+/// A column request: name in the header plus its preference direction.
+#[derive(Clone, Debug)]
+pub struct ColumnSpec {
+    pub name: String,
+    pub direction: Direction,
+}
+
+impl ColumnSpec {
+    pub fn higher(name: &str) -> Self {
+        Self { name: name.to_string(), direction: Direction::HigherIsBetter }
+    }
+
+    pub fn lower(name: &str) -> Self {
+        Self { name: name.to_string(), direction: Direction::LowerIsBetter }
+    }
+}
+
+/// Errors from CSV parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header line.
+    MissingHeader,
+    /// A requested column is absent from the header.
+    UnknownColumn(String),
+    /// A data row has fewer fields than the header.
+    ShortRow { line: usize, expected: usize, got: usize },
+    /// A field could not be parsed as a float.
+    BadNumber { line: usize, column: String, value: String },
+    /// A quoted field was never closed.
+    UnterminatedQuote { line: usize },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header line"),
+            CsvError::UnknownColumn(c) => write!(f, "column '{c}' not found in header"),
+            CsvError::ShortRow { line, expected, got } => {
+                write!(f, "line {line}: expected {expected} fields, got {got}")
+            }
+            CsvError::BadNumber { line, column, value } => {
+                write!(f, "line {line}: column '{column}': '{value}' is not a number")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into a [`RawTable`] with the requested scoring columns.
+///
+/// Non-requested columns are ignored (they are the paper's "non-scoring
+/// attributes used for filtering").
+pub fn read_csv_str(name: &str, text: &str, spec: &[ColumnSpec]) -> Result<RawTable, CsvError> {
+    assert!(!spec.is_empty(), "read_csv_str: need at least one column");
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(CsvError::MissingHeader)?;
+    let header = split_csv_line(header_line, 1)?;
+    let mut indices = Vec::with_capacity(spec.len());
+    for s in spec {
+        let idx = header
+            .iter()
+            .position(|h| h == &s.name)
+            .ok_or_else(|| CsvError::UnknownColumn(s.name.clone()))?;
+        indices.push(idx);
+    }
+
+    let mut rows = Vec::new();
+    for (lineno, line) in lines {
+        let line_1based = lineno + 1;
+        let fields = split_csv_line(line, line_1based)?;
+        let max_needed = indices.iter().copied().max().expect("spec non-empty");
+        if fields.len() <= max_needed {
+            return Err(CsvError::ShortRow {
+                line: line_1based,
+                expected: max_needed + 1,
+                got: fields.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(spec.len());
+        for (s, &idx) in spec.iter().zip(&indices) {
+            let raw = fields[idx].trim();
+            let v: f64 = raw.parse().map_err(|_| CsvError::BadNumber {
+                line: line_1based,
+                column: s.name.clone(),
+                value: raw.to_string(),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+
+    let columns = spec
+        .iter()
+        .map(|s| Column { name: s.name.clone(), direction: s.direction })
+        .collect();
+    Ok(RawTable::new(name, columns, rows))
+}
+
+/// Reads a CSV file from disk (thin wrapper over [`read_csv_str`]).
+pub fn read_csv_file(
+    path: &std::path::Path,
+    spec: &[ColumnSpec],
+) -> Result<RawTable, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("csv");
+    Ok(read_csv_str(name, &text, spec)?)
+}
+
+/// Splits one CSV line into fields, honoring RFC-4180 quoting.
+fn split_csv_line(line: &str, lineno: usize) -> Result<Vec<String>, CsvError> {
+    let line = line.strip_suffix('\r').unwrap_or(line);
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    loop {
+        match chars.next() {
+            None => {
+                if in_quotes {
+                    return Err(CsvError::UnterminatedQuote { line: lineno });
+                }
+                fields.push(std::mem::take(&mut field));
+                break;
+            }
+            Some('"') if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"'); // doubled quote ⇒ literal quote
+                } else {
+                    in_quotes = false;
+                }
+            }
+            Some('"') if field.trim().is_empty() => {
+                field.clear(); // opening quote swallows leading whitespace
+                in_quotes = true;
+            }
+            Some(',') if !in_quotes => fields.push(std::mem::take(&mut field)),
+            Some(c) => field.push(c),
+        }
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+name,price,carat,note
+a,1000,0.5,plain
+b,2000,0.9,\"has, comma\"
+c,1500,0.7,\"doubled \"\" quote\"
+";
+
+    #[test]
+    fn reads_selected_columns_in_spec_order() {
+        let t = read_csv_str(
+            "diamonds",
+            SAMPLE,
+            &[ColumnSpec::higher("carat"), ColumnSpec::lower("price")],
+        )
+        .unwrap();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.columns[0].name, "carat");
+        assert_eq!(t.columns[1].name, "price");
+        assert_eq!(t.rows[0], vec![0.5, 1000.0]);
+        assert_eq!(t.rows[2], vec![0.7, 1500.0]);
+        assert_eq!(t.columns[1].direction, Direction::LowerIsBetter);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_doubled_quotes() {
+        // The quoted `note` column must not disturb field indexing.
+        let t = read_csv_str("d", SAMPLE, &[ColumnSpec::higher("carat")]).unwrap();
+        assert_eq!(t.rows.iter().map(|r| r[0]).collect::<Vec<_>>(), vec![0.5, 0.9, 0.7]);
+    }
+
+    #[test]
+    fn crlf_and_blank_lines_are_tolerated() {
+        let text = "x,y\r\n1,2\r\n\r\n3,4\r\n";
+        let t = read_csv_str("t", text, &[ColumnSpec::higher("x"), ColumnSpec::higher("y")])
+            .unwrap();
+        assert_eq!(t.rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+    }
+
+    #[test]
+    fn whitespace_around_numbers_is_trimmed() {
+        let text = "a,b\n 1.5 ,  2.5\n";
+        let t = read_csv_str("t", text, &[ColumnSpec::higher("a"), ColumnSpec::higher("b")])
+            .unwrap();
+        assert_eq!(t.rows[0], vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn unknown_column_is_reported() {
+        let err = read_csv_str("t", SAMPLE, &[ColumnSpec::higher("weight")]).unwrap_err();
+        assert_eq!(err, CsvError::UnknownColumn("weight".into()));
+    }
+
+    #[test]
+    fn bad_number_pinpoints_line_and_column() {
+        let text = "a,b\n1,2\nx,4\n";
+        let err = read_csv_str("t", text, &[ColumnSpec::higher("a")]).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::BadNumber { line: 3, column: "a".into(), value: "x".into() }
+        );
+    }
+
+    #[test]
+    fn short_rows_are_rejected() {
+        let text = "a,b,c\n1,2,3\n4,5\n";
+        let err = read_csv_str("t", text, &[ColumnSpec::higher("c")]).unwrap_err();
+        assert!(matches!(err, CsvError::ShortRow { line: 3, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let text = "a,b\n\"oops,2\n";
+        let err = read_csv_str("t", text, &[ColumnSpec::higher("a")]).unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_has_no_header() {
+        assert_eq!(
+            read_csv_str("t", "", &[ColumnSpec::higher("a")]).unwrap_err(),
+            CsvError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn roundtrip_through_normalization() {
+        // End-to-end: CSV → RawTable → normalized matrix ready for ranking.
+        let t = read_csv_str(
+            "d",
+            SAMPLE,
+            &[ColumnSpec::lower("price"), ColumnSpec::higher("carat")],
+        )
+        .unwrap();
+        let norm = t.normalized();
+        // Cheapest row (a) gets price score 1; biggest carat (b) gets 1.
+        assert_eq!(norm[0][0], 1.0);
+        assert_eq!(norm[1][1], 1.0);
+    }
+
+    #[test]
+    fn file_reader_works() {
+        let dir = std::env::temp_dir().join("srank_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mini.csv");
+        std::fs::write(&path, "x,y\n0.1,0.9\n0.4,0.6\n").unwrap();
+        let t = read_csv_file(&path, &[ColumnSpec::higher("x"), ColumnSpec::higher("y")])
+            .unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.name, "mini");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CsvError::BadNumber { line: 7, column: "q".into(), value: "NaNish".into() };
+        let msg = e.to_string();
+        assert!(msg.contains("line 7") && msg.contains('q') && msg.contains("NaNish"));
+    }
+}

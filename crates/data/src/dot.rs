@@ -1,0 +1,114 @@
+//! Simulated US DoT flight on-time workload (§6.1).
+//!
+//! The paper's largest scalability experiment (Figure 18) uses 1,322,023
+//! flight records from the last quarter of 2017 with three scoring
+//! attributes: `air-time`, `taxi-in`, and `taxi-out` — all lower-preferred
+//! for on-time-performance style ranking. The simulator reproduces the
+//! mixture shape of US domestic air time (short-haul vs long-haul) and
+//! gamma-like taxi times; the experiment itself only exercises linear
+//! scaling of the randomized operator, so the precise parameters are
+//! immaterial.
+
+use crate::table::{Column, RawTable};
+use rand::Rng;
+use srank_sample::normal::NormalSampler;
+
+/// Record count of the paper's extract.
+pub const PAPER_SIZE: usize = 1_322_023;
+
+/// Generates `n` simulated flight records.
+pub fn dot<R: Rng + ?Sized>(rng: &mut R, n: usize) -> RawTable {
+    let mut normal = NormalSampler::new();
+    let rows = (0..n)
+        .map(|_| {
+            // Bimodal air time: ~70% short-haul (≈90 min), 30% long-haul
+            // (≈290 min).
+            let air_time = if rng.random::<f64>() < 0.7 {
+                (90.0 + 25.0 * normal.sample(rng)).max(20.0)
+            } else {
+                (290.0 + 45.0 * normal.sample(rng)).max(120.0)
+            };
+            // Taxi times: gamma-ish via sum of exponentials, in minutes.
+            let exp = |r: &mut R| -> f64 { -(1.0 - r.random::<f64>()).ln() };
+            let taxi_in = 3.0 + 2.5 * (exp(rng) + exp(rng));
+            let taxi_out = 8.0 + 4.0 * (exp(rng) + exp(rng));
+            vec![air_time, taxi_in, taxi_out]
+        })
+        .collect();
+    RawTable::new(
+        "dot",
+        vec![
+            Column::lower("air_time"),
+            Column::lower("taxi_in"),
+            Column::lower("taxi_out"),
+        ],
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = dot(&mut rng, 2000);
+        assert_eq!(t.n_rows(), 2000);
+        assert_eq!(t.n_cols(), 3);
+        for r in &t.rows {
+            assert!(r[0] >= 20.0, "air time {}", r[0]);
+            assert!(r[1] >= 3.0, "taxi in {}", r[1]);
+            assert!(r[2] >= 8.0, "taxi out {}", r[2]);
+        }
+    }
+
+    #[test]
+    fn air_time_is_bimodal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = dot(&mut rng, 20_000);
+        let short = t.rows.iter().filter(|r| r[0] < 180.0).count() as f64;
+        let frac_short = short / t.n_rows() as f64;
+        assert!((frac_short - 0.7).abs() < 0.03, "short-haul fraction {frac_short}");
+        // The valley between modes is sparse.
+        let valley = t
+            .rows
+            .iter()
+            .filter(|r| (170.0..210.0).contains(&r[0]))
+            .count() as f64
+            / t.n_rows() as f64;
+        assert!(valley < 0.05, "valley mass {valley}");
+    }
+
+    #[test]
+    fn all_columns_lower_preferred_flip_under_normalization() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = dot(&mut rng, 500);
+        let norm = t.normalized();
+        // The record with the minimum air time must have normalized air
+        // time 1.0.
+        let (argmin, _) = t
+            .rows
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
+            .unwrap();
+        assert!((norm[argmin][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scales_to_large_sizes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = dot(&mut rng, 100_000);
+        assert_eq!(t.n_rows(), 100_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = dot(&mut StdRng::seed_from_u64(5), 10);
+        let b = dot(&mut StdRng::seed_from_u64(5), 10);
+        assert_eq!(a.rows, b.rows);
+    }
+}

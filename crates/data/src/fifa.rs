@@ -1,0 +1,117 @@
+//! Simulated FIFA men's world-ranking workload (§6.1).
+//!
+//! The FIFA score of a national team combines four yearly performance
+//! values with decaying weights: `t[1] + 0.5·t[2] + 0.3·t[3] + 0.2·t[4]`.
+//! We simulate the top-100 teams: each team has a latent strength, and its
+//! four yearly values are noisy observations of that strength — strongly
+//! correlated across years, as real team performance is, which is what
+//! produces the dense arrangement of thin regions inside the paper's
+//! 0.999-cosine-similarity region of interest (Figure 9).
+
+use crate::table::{Column, RawTable};
+use rand::Rng;
+use srank_sample::normal::NormalSampler;
+
+/// FIFA's published weighting of the four yearly performance attributes.
+pub const REFERENCE_WEIGHTS: [f64; 4] = [1.0, 0.5, 0.3, 0.2];
+
+/// Generates `n` simulated national teams with four yearly performance
+/// columns (`year0` = current year … `year3` = three years back), all
+/// higher-is-better, in FIFA-points-like raw units.
+pub fn fifa<R: Rng + ?Sized>(rng: &mut R, n: usize) -> RawTable {
+    let mut normal = NormalSampler::new();
+    let rows = (0..n)
+        .map(|_| {
+            // Latent team strength in points (FIFA points ranged ~0–1600
+            // in the era the paper studied).
+            let strength = 700.0 + 250.0 * normal.sample(rng);
+            (0..4)
+                .map(|year| {
+                    // Performance drifts year to year; older years carry
+                    // slightly more noise (squad turnover).
+                    let sigma = 90.0 + 15.0 * year as f64;
+                    (strength + sigma * normal.sample(rng)).max(0.0)
+                })
+                .collect()
+        })
+        .collect();
+    RawTable::new(
+        "fifa",
+        vec![
+            Column::higher("year0"),
+            Column::higher("year1"),
+            Column::higher("year2"),
+            Column::higher("year3"),
+        ],
+        rows,
+    )
+}
+
+/// The paper's slice: the top-100 teams under the reference ranking.
+pub fn fifa_top100<R: Rng + ?Sized>(rng: &mut R) -> RawTable {
+    let universe = fifa(rng, 211); // FIFA ranked 211 member associations
+    let norm = universe.normalized();
+    let score = |r: &[f64]| {
+        REFERENCE_WEIGHTS.iter().zip(r).map(|(w, x)| w * x).sum::<f64>()
+    };
+    let mut idx: Vec<usize> = (0..norm.len()).collect();
+    idx.sort_by(|&a, &b| score(&norm[b]).partial_cmp(&score(&norm[a])).unwrap().then(a.cmp(&b)));
+    idx.truncate(100);
+    let rows = idx.into_iter().map(|i| universe.rows[i].clone()).collect();
+    RawTable::new("fifa-top100", universe.columns.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shape() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = fifa(&mut rng, 50);
+        assert_eq!(t.n_rows(), 50);
+        assert_eq!(t.n_cols(), 4);
+        assert!(t.rows.iter().flatten().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn yearly_values_are_correlated() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = fifa(&mut rng, 3000);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                let rho = t.correlation(a, b).unwrap();
+                assert!(rho > 0.6, "ρ({a},{b}) = {rho}: yearly form must persist");
+                assert!(rho < 0.99, "ρ({a},{b}) = {rho}: but not perfectly");
+            }
+        }
+    }
+
+    #[test]
+    fn top100_slice_has_paper_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = fifa_top100(&mut rng);
+        assert_eq!(t.n_rows(), 100);
+        assert_eq!(t.n_cols(), 4);
+    }
+
+    #[test]
+    fn reference_weights_order_the_slice() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = fifa_top100(&mut rng);
+        let norm = t.normalized();
+        let score = |r: &[f64]| {
+            REFERENCE_WEIGHTS.iter().zip(r).map(|(w, x)| w * x).sum::<f64>()
+        };
+        assert!(score(&norm[0]) > score(&norm[99]) - 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = fifa_top100(&mut StdRng::seed_from_u64(9));
+        let b = fifa_top100(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a.rows, b.rows);
+    }
+}

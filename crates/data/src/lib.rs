@@ -1,0 +1,34 @@
+//! Dataset generators and simulators for ranking-stability experiments.
+//!
+//! The evaluation of *On Obtaining Stable Rankings* (VLDB 2018) runs on
+//! four real datasets — CSMetrics (d = 2), FIFA rankings (d = 4), the Blue
+//! Nile diamond catalog (d = 5), and US DoT flight records (d = 3) — plus
+//! the synthetic independent / correlated / anti-correlated generator of
+//! the skyline literature. None of the real crawls are redistributable, so
+//! this crate ships *simulators* tuned to reproduce the statistical
+//! structure each experiment actually exercises (sizes, dimensionality,
+//! correlation shape, preference directions); DESIGN.md §5 documents each
+//! substitution and why it preserves the measured behaviour.
+//!
+//! All generators take an explicit RNG so every experiment is reproducible
+//! from a seed, and return a [`RawTable`] whose
+//! [`normalized`](table::RawTable::normalized) form is the `[0, 1]`,
+//! higher-is-better matrix the ranking algorithms consume.
+
+pub mod bluenile;
+pub mod csmetrics;
+pub mod csv;
+pub mod dot;
+pub mod fifa;
+pub mod stats;
+pub mod synthetic;
+pub mod table;
+
+pub use bluenile::bluenile;
+pub use csmetrics::{csmetrics, csmetrics_top100};
+pub use csv::{read_csv_file, read_csv_str, ColumnSpec, CsvError};
+pub use dot::dot;
+pub use fifa::{fifa, fifa_top100};
+pub use stats::{table_stats, ColumnStats, TableStats};
+pub use synthetic::{synthetic, CorrelationKind};
+pub use table::{Column, Direction, RawTable};

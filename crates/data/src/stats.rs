@@ -1,0 +1,206 @@
+//! Summary statistics for scoring tables.
+//!
+//! Producers should understand their data before interpreting stability:
+//! attribute ranges drive normalization, and correlation structure drives
+//! the number and skew of feasible rankings (§6.3 / Figure 21). This module
+//! computes the per-column and pairwise summaries the CLI's `inspect`
+//! command prints.
+
+use crate::table::RawTable;
+use serde::Serialize;
+
+/// Per-column summary statistics.
+#[derive(Clone, Debug, Serialize)]
+pub struct ColumnStats {
+    pub name: String,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    pub std_dev: f64,
+}
+
+/// A full table summary: per-column stats plus the Pearson correlation
+/// matrix (row-major, `d × d`; `None` entries for constant columns).
+#[derive(Clone, Debug, Serialize)]
+pub struct TableStats {
+    pub n_rows: usize,
+    pub columns: Vec<ColumnStats>,
+    pub correlations: Vec<Vec<Option<f64>>>,
+    /// Fraction of item pairs in a dominance relationship (on the
+    /// normalized table) — the direct driver of how many ordering
+    /// exchanges, and hence feasible rankings, the dataset admits.
+    /// Estimated on a capped subsample for large tables.
+    pub dominance_fraction: f64,
+}
+
+/// Pairs examined for the dominance fraction before sampling kicks in.
+const DOMINANCE_PAIR_CAP: usize = 2_000_000;
+
+/// Computes summary statistics for a table.
+///
+/// # Panics
+/// Panics on empty tables.
+pub fn table_stats(table: &RawTable) -> TableStats {
+    assert!(table.n_rows() > 0, "table_stats: empty table");
+    let d = table.n_cols();
+    let n = table.n_rows();
+    let mut columns = Vec::with_capacity(d);
+    for j in 0..d {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for r in &table.rows {
+            min = min.min(r[j]);
+            max = max.max(r[j]);
+            sum += r[j];
+        }
+        let mean = sum / n as f64;
+        let var =
+            table.rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n as f64;
+        columns.push(ColumnStats {
+            name: table.columns[j].name.clone(),
+            min,
+            max,
+            mean,
+            std_dev: var.sqrt(),
+        });
+    }
+    let correlations = (0..d)
+        .map(|a| (0..d).map(|b| table.correlation(a, b)).collect())
+        .collect();
+
+    // Dominance fraction on the normalized rows (direction-adjusted).
+    let norm = table.normalized();
+    let total_pairs = n * (n - 1) / 2;
+    let stride = (total_pairs / DOMINANCE_PAIR_CAP).max(1);
+    let mut examined = 0usize;
+    let mut dominated = 0usize;
+    let mut counter = 0usize;
+    'outer: for i in 0..n {
+        for j in (i + 1)..n {
+            counter += 1;
+            if !counter.is_multiple_of(stride) {
+                continue;
+            }
+            examined += 1;
+            if srank_geom::dominance::dominates(&norm[i], &norm[j])
+                || srank_geom::dominance::dominates(&norm[j], &norm[i])
+            {
+                dominated += 1;
+            }
+            if examined >= DOMINANCE_PAIR_CAP {
+                break 'outer;
+            }
+        }
+    }
+    let dominance_fraction =
+        if examined == 0 { 0.0 } else { dominated as f64 / examined as f64 };
+
+    TableStats { n_rows: n, columns, correlations, dominance_fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic, CorrelationKind};
+    use crate::table::Column;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mini() -> RawTable {
+        RawTable::new(
+            "mini",
+            vec![Column::higher("x"), Column::lower("y")],
+            vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![2.0, 20.0]],
+        )
+    }
+
+    #[test]
+    fn column_stats_are_correct() {
+        let s = table_stats(&mini());
+        assert_eq!(s.n_rows, 3);
+        let x = &s.columns[0];
+        assert_eq!((x.min, x.max), (1.0, 3.0));
+        assert!((x.mean - 2.0).abs() < 1e-12);
+        assert!((x.std_dev - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_with_unit_diagonal() {
+        let s = table_stats(&mini());
+        assert!((s.correlations[0][0].unwrap() - 1.0).abs() < 1e-12);
+        assert!((s.correlations[1][1].unwrap() - 1.0).abs() < 1e-12);
+        assert!(
+            (s.correlations[0][1].unwrap() - s.correlations[1][0].unwrap()).abs() < 1e-12
+        );
+        // x and y move together in the raw values.
+        assert!(s.correlations[0][1].unwrap() > 0.99);
+    }
+
+    #[test]
+    fn dominance_fraction_reflects_direction_adjustment() {
+        // Raw x and y are positively correlated, but y is lower-preferred:
+        // after normalization they anti-align, so dominance is rare.
+        let s = table_stats(&mini());
+        assert_eq!(s.dominance_fraction, 0.0);
+
+        // Same values, both higher-preferred ⇒ full dominance chain.
+        let aligned = RawTable::new(
+            "a",
+            vec![Column::higher("x"), Column::higher("y")],
+            mini().rows,
+        );
+        assert_eq!(table_stats(&aligned).dominance_fraction, 1.0);
+    }
+
+    #[test]
+    fn correlated_data_has_more_dominance_than_anticorrelated() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cor = table_stats(&synthetic(&mut rng, CorrelationKind::Correlated, 500, 3));
+        let mut rng = StdRng::seed_from_u64(1);
+        let anti =
+            table_stats(&synthetic(&mut rng, CorrelationKind::AntiCorrelated, 500, 3));
+        assert!(
+            cor.dominance_fraction > 3.0 * anti.dominance_fraction,
+            "{} vs {}",
+            cor.dominance_fraction,
+            anti.dominance_fraction
+        );
+    }
+
+    #[test]
+    fn constant_column_yields_none_correlation() {
+        let t = RawTable::new(
+            "c",
+            vec![Column::higher("x"), Column::higher("k")],
+            vec![vec![1.0, 5.0], vec![2.0, 5.0]],
+        );
+        let s = table_stats(&t);
+        assert!(s.correlations[0][1].is_none());
+        assert_eq!(s.columns[1].std_dev, 0.0);
+    }
+
+    #[test]
+    fn large_table_subsampling_stays_calibrated() {
+        // The strided estimate on a big independent table must land near
+        // the analytic value: for i.i.d. continuous attributes a pair is in
+        // a dominance relationship (either direction) with probability
+        // 2·(1/2)^d — all d attribute comparisons agreeing, times two
+        // directions.
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = synthetic(&mut rng, CorrelationKind::Independent, 3000, 3);
+        let s = table_stats(&t);
+        let analytic = 2.0 * 0.5f64.powi(3);
+        assert!(
+            (s.dominance_fraction - analytic).abs() < 0.02,
+            "{} vs {analytic}",
+            s.dominance_fraction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty table")]
+    fn empty_table_panics() {
+        table_stats(&RawTable::new("e", vec![Column::higher("x")], vec![]));
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthetic data generators in the style of Börzsönyi et al. (the skyline
+//! paper's generator, which §6.1 uses for the correlation experiment of
+//! Figure 21): independent, correlated, and anti-correlated attributes in
+//! `[0, 1]`.
+
+use crate::table::{Column, RawTable};
+use rand::Rng;
+
+/// Correlation family of a synthetic dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorrelationKind {
+    Independent,
+    Correlated,
+    AntiCorrelated,
+}
+
+impl CorrelationKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            CorrelationKind::Independent => "independent",
+            CorrelationKind::Correlated => "correlated",
+            CorrelationKind::AntiCorrelated => "anti-correlated",
+        }
+    }
+}
+
+/// Strength of the (anti-)correlation; 0.9 reproduces the strongly-skewed
+/// stability distributions of Figure 21.
+const MIX: f64 = 0.9;
+
+/// Generates `n` items with `d` attributes of the given correlation kind.
+///
+/// * `Independent` — i.i.d. `U(0, 1)` per attribute.
+/// * `Correlated` — a shared `U(0, 1)` base value mixed with per-attribute
+///   noise: items are good (or bad) in all dimensions at once, so many
+///   dominance pairs exist.
+/// * `AntiCorrelated` — attribute mass is split across dimensions so the
+///   per-item sum is nearly constant: items good in one dimension are bad
+///   in others, yielding almost no dominance pairs.
+pub fn synthetic<R: Rng + ?Sized>(
+    rng: &mut R,
+    kind: CorrelationKind,
+    n: usize,
+    d: usize,
+) -> RawTable {
+    assert!(d >= 2, "synthetic: need d ≥ 2");
+    let columns = (0..d).map(|j| Column::higher(&format!("x{}", j + 1))).collect();
+    let rows = (0..n)
+        .map(|_| match kind {
+            CorrelationKind::Independent => (0..d).map(|_| rng.random::<f64>()).collect(),
+            CorrelationKind::Correlated => {
+                let base: f64 = rng.random();
+                (0..d)
+                    .map(|_| {
+                        let noise: f64 = rng.random();
+                        (MIX * base + (1.0 - MIX) * noise).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            }
+            CorrelationKind::AntiCorrelated => {
+                // Split a near-constant total across dimensions with a
+                // symmetric Dirichlet draw (normalized exponentials), then
+                // mix with uniform noise.
+                let exps: Vec<f64> = (0..d)
+                    .map(|_| -((1.0 - rng.random::<f64>()).ln()))
+                    .collect();
+                let sum: f64 = exps.iter().sum();
+                let total = 0.5 * d as f64;
+                exps.iter()
+                    .map(|e| {
+                        let share = e / sum * total;
+                        let noise: f64 = rng.random();
+                        (MIX * share + (1.0 - MIX) * noise).clamp(0.0, 1.0)
+                    })
+                    .collect()
+            }
+        })
+        .collect();
+    RawTable::new(&format!("synthetic-{}", kind.label()), columns, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srank_geom::dominance::skyline_sort_filter;
+
+    fn gen(kind: CorrelationKind) -> RawTable {
+        let mut rng = StdRng::seed_from_u64(100);
+        synthetic(&mut rng, kind, 2000, 3)
+    }
+
+    #[test]
+    fn values_stay_in_unit_cube() {
+        for kind in [
+            CorrelationKind::Independent,
+            CorrelationKind::Correlated,
+            CorrelationKind::AntiCorrelated,
+        ] {
+            let t = gen(kind);
+            assert_eq!(t.n_rows(), 2000);
+            assert!(t.rows.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn correlation_signs_match_kinds() {
+        let ind = gen(CorrelationKind::Independent).correlation(0, 1).unwrap();
+        let cor = gen(CorrelationKind::Correlated).correlation(0, 1).unwrap();
+        let anti = gen(CorrelationKind::AntiCorrelated).correlation(0, 1).unwrap();
+        assert!(ind.abs() < 0.1, "independent: ρ = {ind}");
+        assert!(cor > 0.8, "correlated: ρ = {cor}");
+        assert!(anti < -0.2, "anti-correlated: ρ = {anti}");
+    }
+
+    /// The defining skyline behaviour (and the cause of Figure 21's
+    /// stability skew): correlated data has a tiny skyline, anti-correlated
+    /// a huge one.
+    #[test]
+    fn skyline_sizes_order_by_correlation() {
+        let sky = |kind| skyline_sort_filter(&gen(kind).rows).len();
+        let s_cor = sky(CorrelationKind::Correlated);
+        let s_ind = sky(CorrelationKind::Independent);
+        let s_anti = sky(CorrelationKind::AntiCorrelated);
+        assert!(s_cor < s_ind && s_ind < s_anti, "{s_cor} < {s_ind} < {s_anti} violated");
+        assert!(s_cor <= 30, "correlated skyline should be small: {s_cor}");
+        assert!(s_anti >= 50, "anti-correlated skyline should be large: {s_anti}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = {
+            let mut rng = StdRng::seed_from_u64(7);
+            synthetic(&mut rng, CorrelationKind::Correlated, 10, 3)
+        };
+        let b = {
+            let mut rng = StdRng::seed_from_u64(7);
+            synthetic(&mut rng, CorrelationKind::Correlated, 10, 3)
+        };
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn dimension_is_parameterizable() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for d in 2..6 {
+            let t = synthetic(&mut rng, CorrelationKind::Independent, 50, d);
+            assert_eq!(t.n_cols(), d);
+        }
+    }
+}

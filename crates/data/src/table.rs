@@ -1,0 +1,246 @@
+//! Raw tables: named columns with preference directions, plus the §2.1.1 /
+//! §6.1 normalization pipeline.
+//!
+//! The paper normalizes every scoring attribute to `[0, 1]` with larger
+//! values preferred: a higher-preferred attribute `A` maps
+//! `v ↦ (v − min A)/(max A − min A)`, a lower-preferred one (e.g. Blue
+//! Nile's `Price`) maps `v ↦ (max A − v)/(max A − min A)`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::Serialize;
+
+/// Whether larger or smaller raw values are preferred.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Direction {
+    HigherIsBetter,
+    LowerIsBetter,
+}
+
+/// A named scoring attribute.
+#[derive(Clone, Debug, Serialize)]
+pub struct Column {
+    pub name: String,
+    pub direction: Direction,
+}
+
+impl Column {
+    pub fn higher(name: &str) -> Self {
+        Self { name: name.to_string(), direction: Direction::HigherIsBetter }
+    }
+
+    pub fn lower(name: &str) -> Self {
+        Self { name: name.to_string(), direction: Direction::LowerIsBetter }
+    }
+}
+
+/// A raw dataset: rows of attribute values plus per-column metadata.
+#[derive(Clone, Debug, Serialize)]
+pub struct RawTable {
+    pub name: String,
+    pub columns: Vec<Column>,
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl RawTable {
+    /// Builds a table, validating that every row matches the column count.
+    ///
+    /// # Panics
+    /// Panics on ragged rows or empty columns.
+    pub fn new(name: &str, columns: Vec<Column>, rows: Vec<Vec<f64>>) -> Self {
+        assert!(!columns.is_empty(), "RawTable: need at least one column");
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), columns.len(), "RawTable: row {i} has wrong arity");
+        }
+        Self { name: name.to_string(), columns, rows }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Min-max normalizes each column to `[0, 1]`, flipping lower-preferred
+    /// columns so that larger is always better. Constant columns normalize
+    /// to all-zeros (no ranking signal either way).
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        let d = self.n_cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for r in &self.rows {
+            for j in 0..d {
+                mins[j] = mins[j].min(r[j]);
+                maxs[j] = maxs[j].max(r[j]);
+            }
+        }
+        self.rows
+            .iter()
+            .map(|r| {
+                (0..d)
+                    .map(|j| {
+                        let range = maxs[j] - mins[j];
+                        if range <= f64::EPSILON {
+                            return 0.0;
+                        }
+                        match self.columns[j].direction {
+                            Direction::HigherIsBetter => (r[j] - mins[j]) / range,
+                            Direction::LowerIsBetter => (maxs[j] - r[j]) / range,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Keeps only the given columns (the paper's "project the first k
+    /// attributes" device for varying `d`).
+    pub fn project(&self, cols: &[usize]) -> RawTable {
+        let columns = cols.iter().map(|&j| self.columns[j].clone()).collect();
+        let rows = self.rows.iter().map(|r| cols.iter().map(|&j| r[j]).collect()).collect();
+        RawTable::new(&format!("{}[{:?}]", self.name, cols), columns, rows)
+    }
+
+    /// A uniform random subset of `n` rows (the paper's device for varying
+    /// the dataset size); returns all rows when `n ≥ n_rows`.
+    pub fn sample_rows<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> RawTable {
+        if n >= self.n_rows() {
+            return self.clone();
+        }
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        idx.sort_unstable();
+        let rows = idx.into_iter().map(|i| self.rows[i].clone()).collect();
+        RawTable::new(&format!("{}(n={n})", self.name), self.columns.clone(), rows)
+    }
+
+    /// Pearson correlation between two raw columns; `None` when either
+    /// column is constant. Used by tests to validate generator shapes.
+    pub fn correlation(&self, a: usize, b: usize) -> Option<f64> {
+        let n = self.n_rows() as f64;
+        if n < 2.0 {
+            return None;
+        }
+        let mean = |j: usize| self.rows.iter().map(|r| r[j]).sum::<f64>() / n;
+        let (ma, mb) = (mean(a), mean(b));
+        let mut cov = 0.0;
+        let mut va = 0.0;
+        let mut vb = 0.0;
+        for r in &self.rows {
+            let da = r[a] - ma;
+            let db = r[b] - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        if va <= f64::EPSILON || vb <= f64::EPSILON {
+            return None;
+        }
+        Some(cov / (va.sqrt() * vb.sqrt()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> RawTable {
+        RawTable::new(
+            "t",
+            vec![Column::higher("score"), Column::lower("price")],
+            vec![vec![10.0, 100.0], vec![20.0, 300.0], vec![15.0, 200.0]],
+        )
+    }
+
+    #[test]
+    fn normalization_ranges_and_direction() {
+        let norm = table().normalized();
+        // Higher-preferred column: 10→0, 20→1.
+        assert_eq!(norm[0][0], 0.0);
+        assert_eq!(norm[1][0], 1.0);
+        assert_eq!(norm[2][0], 0.5);
+        // Lower-preferred column flips: 100→1, 300→0.
+        assert_eq!(norm[0][1], 1.0);
+        assert_eq!(norm[1][1], 0.0);
+        assert_eq!(norm[2][1], 0.5);
+    }
+
+    #[test]
+    fn normalized_values_always_in_unit_interval() {
+        let norm = table().normalized();
+        assert!(norm.iter().flatten().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn constant_column_normalizes_to_zero() {
+        let t = RawTable::new(
+            "c",
+            vec![Column::higher("x")],
+            vec![vec![5.0], vec![5.0], vec![5.0]],
+        );
+        assert!(t.normalized().iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn projection_keeps_selected_columns() {
+        let p = table().project(&[1]);
+        assert_eq!(p.n_cols(), 1);
+        assert_eq!(p.columns[0].name, "price");
+        assert_eq!(p.rows[1], vec![300.0]);
+    }
+
+    #[test]
+    fn sampling_rows_is_without_replacement() {
+        let t = RawTable::new(
+            "s",
+            vec![Column::higher("x")],
+            (0..100).map(|i| vec![i as f64]).collect(),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = t.sample_rows(&mut rng, 30);
+        assert_eq!(s.n_rows(), 30);
+        let mut vals: Vec<f64> = s.rows.iter().map(|r| r[0]).collect();
+        let before = vals.len();
+        vals.dedup();
+        assert_eq!(vals.len(), before, "sampled rows must be distinct");
+        // Oversampling returns everything.
+        assert_eq!(t.sample_rows(&mut rng, 1000).n_rows(), 100);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let pos = RawTable::new(
+            "p",
+            vec![Column::higher("a"), Column::higher("b")],
+            (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect(),
+        );
+        assert!((pos.correlation(0, 1).unwrap() - 1.0).abs() < 1e-12);
+        let neg = RawTable::new(
+            "n",
+            vec![Column::higher("a"), Column::higher("b")],
+            (0..50).map(|i| vec![i as f64, -(i as f64)]).collect(),
+        );
+        assert!((neg.correlation(0, 1).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_of_constant_column_is_none() {
+        let t = RawTable::new(
+            "c",
+            vec![Column::higher("a"), Column::higher("b")],
+            (0..10).map(|i| vec![i as f64, 7.0]).collect(),
+        );
+        assert!(t.correlation(0, 1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn ragged_rows_rejected() {
+        RawTable::new("bad", vec![Column::higher("x")], vec![vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the dataset substrate.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_data::{
+    read_csv_str, synthetic, table_stats, Column, ColumnSpec, CorrelationKind, Direction,
+    RawTable,
+};
+
+fn finite_rows(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-1e6..1e6f64, d), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Normalization always lands in [0, 1] and preserves the order of
+    /// higher-preferred columns / reverses lower-preferred ones.
+    #[test]
+    fn normalization_is_order_preserving(rows in finite_rows(2, 2..40)) {
+        let t = RawTable::new(
+            "t",
+            vec![Column::higher("a"), Column::lower("b")],
+            rows.clone(),
+        );
+        let norm = t.normalized();
+        prop_assert!(norm.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                if rows[i][0] < rows[j][0] {
+                    prop_assert!(norm[i][0] <= norm[j][0] + 1e-12);
+                }
+                // Lower-preferred column flips.
+                if rows[i][1] < rows[j][1] {
+                    prop_assert!(norm[i][1] >= norm[j][1] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Projection then normalization equals normalization then column
+    /// selection (min-max is per-column).
+    #[test]
+    fn projection_commutes_with_normalization(rows in finite_rows(3, 2..25)) {
+        let t = RawTable::new(
+            "t",
+            vec![Column::higher("a"), Column::higher("b"), Column::higher("c")],
+            rows,
+        );
+        let direct = t.project(&[2, 0]).normalized();
+        let full = t.normalized();
+        for (i, row) in direct.iter().enumerate() {
+            prop_assert!((row[0] - full[i][2]).abs() < 1e-12);
+            prop_assert!((row[1] - full[i][0]).abs() < 1e-12);
+        }
+    }
+
+    /// Sampling rows never invents values and respects the requested size.
+    #[test]
+    fn row_sampling_is_a_subset(rows in finite_rows(2, 5..60), seed in 0u64..1000, frac in 0.1..0.9f64) {
+        let t = RawTable::new("t", vec![Column::higher("a"), Column::higher("b")], rows.clone());
+        let n = ((rows.len() as f64) * frac).max(1.0) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = t.sample_rows(&mut rng, n);
+        prop_assert_eq!(s.n_rows(), n.min(rows.len()));
+        for r in &s.rows {
+            prop_assert!(rows.contains(r));
+        }
+    }
+
+    /// Correlation is symmetric and bounded.
+    #[test]
+    fn correlation_is_symmetric(rows in finite_rows(2, 3..50)) {
+        let t = RawTable::new("t", vec![Column::higher("a"), Column::higher("b")], rows);
+        if let (Some(ab), Some(ba)) = (t.correlation(0, 1), t.correlation(1, 0)) {
+            prop_assert!((ab - ba).abs() < 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ab));
+        }
+    }
+
+    /// CSV writing-equivalent text parses back to the same numbers.
+    #[test]
+    fn csv_roundtrip(rows in finite_rows(2, 1..30)) {
+        let mut text = String::from("a,b\n");
+        for r in &rows {
+            text.push_str(&format!("{},{}\n", r[0], r[1]));
+        }
+        let t = read_csv_str(
+            "t",
+            &text,
+            &[ColumnSpec::higher("a"), ColumnSpec::lower("b")],
+        ).unwrap();
+        prop_assert_eq!(t.n_rows(), rows.len());
+        for (parsed, original) in t.rows.iter().zip(&rows) {
+            prop_assert!((parsed[0] - original[0]).abs() < 1e-9 * original[0].abs().max(1.0));
+            prop_assert!((parsed[1] - original[1]).abs() < 1e-9 * original[1].abs().max(1.0));
+        }
+        prop_assert_eq!(t.columns[1].direction, Direction::LowerIsBetter);
+    }
+
+    /// Synthetic generators always fill the unit cube at any (n, d, kind).
+    #[test]
+    fn synthetic_generators_are_well_formed(
+        seed in 0u64..500,
+        n in 1usize..200,
+        d in 2usize..5,
+        kind_idx in 0usize..3,
+    ) {
+        let kind = [
+            CorrelationKind::Independent,
+            CorrelationKind::Correlated,
+            CorrelationKind::AntiCorrelated,
+        ][kind_idx];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = synthetic(&mut rng, kind, n, d);
+        prop_assert_eq!(t.n_rows(), n);
+        prop_assert_eq!(t.n_cols(), d);
+        prop_assert!(t.rows.iter().flatten().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    /// The CSV parser never panics on arbitrary input — it either parses
+    /// or returns a structured error (fuzz-style robustness).
+    #[test]
+    fn csv_parser_never_panics(text in "\\PC{0,300}") {
+        let _ = read_csv_str("fuzz", &text, &[ColumnSpec::higher("a")]);
+    }
+
+    /// Same for input that looks like a CSV but with arbitrary field
+    /// contents, including quotes and commas.
+    #[test]
+    fn csv_parser_never_panics_on_structured_garbage(
+        fields in prop::collection::vec("[\\PC]{0,12}", 1..8),
+    ) {
+        let header = "a,b,c";
+        let line = fields.join(",");
+        let text = format!("{header}\n{line}\n");
+        let _ = read_csv_str("fuzz", &text, &[ColumnSpec::higher("b")]);
+    }
+
+    /// Table stats invariants: min ≤ mean ≤ max and zero std only for
+    /// constant columns.
+    #[test]
+    fn stats_invariants(rows in finite_rows(2, 1..50)) {
+        let t = RawTable::new("t", vec![Column::higher("a"), Column::higher("b")], rows);
+        let s = table_stats(&t);
+        for c in &s.columns {
+            prop_assert!(c.min <= c.mean + 1e-9 && c.mean <= c.max + 1e-9);
+            if c.std_dev == 0.0 {
+                prop_assert!((c.max - c.min).abs() < 1e-9);
+            }
+        }
+        prop_assert!((0.0..=1.0).contains(&s.dominance_fraction));
+    }
+}

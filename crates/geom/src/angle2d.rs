@@ -1,0 +1,169 @@
+//! Closed-form 2-D ordering-exchange angles (Eq. 6 of the paper).
+//!
+//! In two dimensions a scoring function is a single angle `θ ∈ [0, π/2]`
+//! with weight vector `(cos θ, sin θ)`. Two non-dominating items `t, t'`
+//! exchange order at exactly one angle
+//!
+//! ```text
+//! θ_{t,t'} = arctan( (t'[1] − t[1]) / (t[2] − t'[2]) )       (paper, 1-based)
+//! ```
+//!
+//! For a non-dominating pair the numerator and denominator share a sign, so
+//! the angle lies strictly inside `(0, π/2)`.
+
+use crate::EPS;
+
+/// Weight vector `(cos θ, sin θ)` for the function at angle `θ`.
+#[inline]
+pub fn weight_from_angle_2d(theta: f64) -> [f64; 2] {
+    [theta.cos(), theta.sin()]
+}
+
+/// Which item of a 2-D pair ranks higher on which side of their exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeOrder {
+    /// The first item ranks higher for angles *below* the exchange angle
+    /// (it has the larger first attribute).
+    FirstAboveForSmallerAngles,
+    /// The first item ranks higher for angles *above* the exchange angle.
+    FirstAboveForLargerAngles,
+}
+
+impl ExchangeOrder {
+    /// Determines the order for the pair `(t, u)`; `None` when the pair has
+    /// equal first attributes (then one dominates the other, or they are
+    /// identical — either way there is no exchange inside `(0, π/2)`).
+    pub fn of_pair(t: &[f64], u: &[f64]) -> Option<Self> {
+        debug_assert_eq!(t.len(), 2);
+        debug_assert_eq!(u.len(), 2);
+        if (t[0] - u[0]).abs() <= EPS {
+            None
+        } else if t[0] > u[0] {
+            // At θ = 0 the score is the first attribute alone, so the item
+            // with the larger first attribute wins below the exchange.
+            Some(ExchangeOrder::FirstAboveForSmallerAngles)
+        } else {
+            Some(ExchangeOrder::FirstAboveForLargerAngles)
+        }
+    }
+}
+
+/// The exchange angle `θ_{t,u} ∈ (0, π/2)` of two 2-D items, or `None` when
+/// they never exchange inside the open first quadrant (one dominates the
+/// other, they are identical, or they tie on an attribute).
+pub fn exchange_angle_2d(t: &[f64], u: &[f64]) -> Option<f64> {
+    debug_assert_eq!(t.len(), 2, "exchange_angle_2d: need d = 2");
+    debug_assert_eq!(u.len(), 2, "exchange_angle_2d: need d = 2");
+    let num = u[0] - t[0]; // t'[1] − t[1] in the paper's 1-based notation
+    let den = t[1] - u[1]; // t[2] − t'[2]
+    if num.abs() <= EPS || den.abs() <= EPS {
+        // Tied on an attribute ⇒ dominance or identity; no interior exchange.
+        return None;
+    }
+    if num.signum() != den.signum() {
+        // One item dominates the other; the formal angle falls outside
+        // (0, π/2) and the order never flips in the first quadrant.
+        return None;
+    }
+    Some((num / den).atan().abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::dot;
+    use std::f64::consts::FRAC_PI_2;
+
+    // Figure 1a items.
+    const T1: [f64; 2] = [0.63, 0.71];
+    const T2: [f64; 2] = [0.83, 0.65];
+    const T4: [f64; 2] = [0.70, 0.68];
+    const T5: [f64; 2] = [0.53, 0.82];
+
+    #[test]
+    fn angle_is_symmetric_in_the_pair() {
+        let a = exchange_angle_2d(&T1, &T2).unwrap();
+        let b = exchange_angle_2d(&T2, &T1).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_lies_in_open_quadrant() {
+        for (t, u) in [(&T1, &T2), (&T1, &T4), (&T2, &T4), (&T4, &T5)] {
+            let theta = exchange_angle_2d(t.as_slice(), u.as_slice()).unwrap();
+            assert!(theta > 0.0 && theta < FRAC_PI_2, "θ = {theta}");
+        }
+    }
+
+    #[test]
+    fn scores_tie_exactly_at_exchange_angle() {
+        let theta = exchange_angle_2d(&T1, &T4).unwrap();
+        let w = weight_from_angle_2d(theta);
+        let s1 = dot(&T1, &w);
+        let s4 = dot(&T4, &w);
+        assert!((s1 - s4).abs() < 1e-12, "scores at exchange must tie");
+    }
+
+    #[test]
+    fn order_flips_across_exchange_angle() {
+        let theta = exchange_angle_2d(&T2, &T5).unwrap();
+        let before = weight_from_angle_2d(theta - 1e-4);
+        let after = weight_from_angle_2d(theta + 1e-4);
+        let diff_before = dot(&T2, &before) - dot(&T5, &before);
+        let diff_after = dot(&T2, &after) - dot(&T5, &after);
+        assert!(diff_before * diff_after < 0.0, "order must flip across ×(t2,t5)");
+    }
+
+    #[test]
+    fn dominating_pair_has_no_exchange() {
+        // (0.9, 0.9) dominates (0.1, 0.2).
+        assert!(exchange_angle_2d(&[0.9, 0.9], &[0.1, 0.2]).is_none());
+    }
+
+    #[test]
+    fn tied_attribute_has_no_exchange() {
+        assert!(exchange_angle_2d(&[0.5, 0.7], &[0.5, 0.9]).is_none());
+        assert!(exchange_angle_2d(&[0.5, 0.7], &[0.8, 0.7]).is_none());
+    }
+
+    #[test]
+    fn identical_items_have_no_exchange() {
+        assert!(exchange_angle_2d(&[0.4, 0.4], &[0.4, 0.4]).is_none());
+    }
+
+    #[test]
+    fn exchange_order_matches_first_attribute() {
+        assert_eq!(
+            ExchangeOrder::of_pair(&T2, &T1),
+            Some(ExchangeOrder::FirstAboveForSmallerAngles)
+        );
+        assert_eq!(
+            ExchangeOrder::of_pair(&T1, &T2),
+            Some(ExchangeOrder::FirstAboveForLargerAngles)
+        );
+        assert_eq!(ExchangeOrder::of_pair(&[0.5, 0.1], &[0.5, 0.9]), None);
+    }
+
+    #[test]
+    fn order_semantics_validated_by_scores() {
+        // t2 has the larger x1, so t2 must outrank t5 for θ slightly below
+        // the exchange and lose slightly above it.
+        let theta = exchange_angle_2d(&T2, &T5).unwrap();
+        assert_eq!(
+            ExchangeOrder::of_pair(&T2, &T5),
+            Some(ExchangeOrder::FirstAboveForSmallerAngles)
+        );
+        let below = weight_from_angle_2d(theta - 1e-4);
+        assert!(dot(&T2, &below) > dot(&T5, &below));
+        let above = weight_from_angle_2d(theta + 1e-4);
+        assert!(dot(&T2, &above) < dot(&T5, &above));
+    }
+
+    #[test]
+    fn weight_from_angle_endpoints() {
+        let w0 = weight_from_angle_2d(0.0);
+        assert!((w0[0] - 1.0).abs() < 1e-15 && w0[1].abs() < 1e-15);
+        let w1 = weight_from_angle_2d(FRAC_PI_2);
+        assert!(w1[0].abs() < 1e-15 && (w1[1] - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,160 @@
+//! The dominance relation and skyline baselines.
+//!
+//! `t` *dominates* `t'` when no attribute of `t'` exceeds the corresponding
+//! attribute of `t` and at least one attribute of `t` strictly exceeds `t'`
+//! (§3 of the paper, following Börzsönyi et al.). Dominating pairs never
+//! exchange order under non-negative linear scoring, which is what lets the
+//! stability algorithms skip them.
+//!
+//! The skyline (pareto-optimal set) is implemented twice — a straightforward
+//! block-nested-loop and the presorted "sort-filter" variant — because
+//! §2.2.5 contrasts stable top-k sets against the skyline, and because an
+//! independent second implementation is a useful correctness oracle.
+
+/// True when `a` dominates `b`: `∄ j` with `b[j] > a[j]` and `∃ j` with
+/// `a[j] > b[j]`.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "dominates: dimension mismatch");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if y > x {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Block-nested-loop skyline: indices of all non-dominated items, in input
+/// order. Quadratic but obviously correct; used as the test oracle.
+pub fn skyline_bnl(items: &[Vec<f64>]) -> Vec<usize> {
+    let mut result: Vec<usize> = Vec::new();
+    for (i, t) in items.iter().enumerate() {
+        if !items.iter().enumerate().any(|(j, u)| j != i && dominates(u, t)) {
+            result.push(i);
+        }
+    }
+    result
+}
+
+/// Sort-filter skyline: presort by descending attribute sum, then a single
+/// filtered pass. An item can only be dominated by one with a strictly
+/// larger attribute sum, so comparing against the retained prefix suffices.
+/// Returns indices in ascending input order.
+pub fn skyline_sort_filter(items: &[Vec<f64>]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        let sa: f64 = items[a].iter().sum();
+        let sb: f64 = items[b].iter().sum();
+        sb.partial_cmp(&sa).unwrap().then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = Vec::new();
+    'outer: for &i in &order {
+        for &k in &kept {
+            if dominates(&items[k], &items[i]) {
+                continue 'outer;
+            }
+        }
+        // Duplicates: an identical earlier item does not dominate this one,
+        // so both are kept — matching the BNL oracle's behaviour.
+        kept.push(i);
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_dominance() {
+        assert!(dominates(&[0.9, 0.9], &[0.1, 0.2]));
+        assert!(!dominates(&[0.1, 0.2], &[0.9, 0.9]));
+    }
+
+    #[test]
+    fn equal_items_do_not_dominate() {
+        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn weak_dominance_with_one_tie() {
+        assert!(dominates(&[0.5, 0.9], &[0.5, 0.2]));
+        assert!(!dominates(&[0.5, 0.2], &[0.5, 0.9]));
+    }
+
+    #[test]
+    fn incomparable_items() {
+        assert!(!dominates(&[0.9, 0.1], &[0.1, 0.9]));
+        assert!(!dominates(&[0.1, 0.9], &[0.9, 0.1]));
+    }
+
+    #[test]
+    fn dominance_is_transitive_on_chain() {
+        let a = [0.9, 0.9, 0.9];
+        let b = [0.5, 0.5, 0.5];
+        let c = [0.1, 0.1, 0.1];
+        assert!(dominates(&a, &b) && dominates(&b, &c) && dominates(&a, &c));
+    }
+
+    /// §2.2.5 toy example: D = {t1(1,0), t2(.99,.99), t3(.98,.98),
+    /// t4(.97,.97), t5(0,1)}; the skyline is {t1, t2, t5}.
+    fn toy() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 0.0],
+            vec![0.99, 0.99],
+            vec![0.98, 0.98],
+            vec![0.97, 0.97],
+            vec![0.0, 1.0],
+        ]
+    }
+
+    #[test]
+    fn paper_toy_example_skyline() {
+        assert_eq!(skyline_bnl(&toy()), vec![0, 1, 4]);
+        assert_eq!(skyline_sort_filter(&toy()), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn figure1_items_are_all_skyline() {
+        // The Figure 1a database produces 11 regions precisely because no
+        // item dominates another.
+        let items = vec![
+            vec![0.63, 0.71],
+            vec![0.83, 0.65],
+            vec![0.58, 0.78],
+            vec![0.70, 0.68],
+            vec![0.53, 0.82],
+        ];
+        assert_eq!(skyline_bnl(&items), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn both_skylines_agree_on_random_data() {
+        // Deterministic pseudo-random data (LCG) to avoid a rand dev-dep here.
+        let mut state: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        let items: Vec<Vec<f64>> = (0..200).map(|_| (0..3).map(|_| next()).collect()).collect();
+        assert_eq!(skyline_bnl(&items), skyline_sort_filter(&items));
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let items = vec![vec![0.5, 0.5], vec![0.5, 0.5], vec![0.1, 0.1]];
+        assert_eq!(skyline_bnl(&items), vec![0, 1]);
+        assert_eq!(skyline_sort_filter(&items), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(skyline_bnl(&[]).is_empty());
+        assert_eq!(skyline_bnl(&[vec![0.3, 0.3]]), vec![0]);
+        assert_eq!(skyline_sort_filter(&[vec![0.3, 0.3]]), vec![0]);
+    }
+}

@@ -1,0 +1,173 @@
+//! The dual-space representation of items (§2.1.2 of the paper).
+//!
+//! An item `t` becomes the hyperplane `d(t): Σ_j t[j]·x_j = 1` (Eq. 1). A
+//! scoring function is the same origin-starting ray as in the original
+//! space; `d(t)` meets the ray of `f_w` at `a·w` with `a = 1 / f_w(t)`, so
+//! ordering items by their intersections' distance from the origin (closest
+//! first) reproduces the score ranking (highest first). This module exists
+//! both to implement that machinery and to *test* the paper's geometric
+//! claims directly.
+
+use crate::vector::dot;
+
+/// The dual hyperplane `d(t): Σ t[j]·x_j = 1` of an item `t`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DualHyperplane {
+    item: Vec<f64>,
+}
+
+impl DualHyperplane {
+    /// Builds `d(t)` for an item with the given (normalized) attributes.
+    pub fn new(item: Vec<f64>) -> Self {
+        Self { item }
+    }
+
+    /// The item's attribute vector (the hyperplane's coefficients).
+    pub fn item(&self) -> &[f64] {
+        &self.item
+    }
+
+    /// The scale `a ≥ 0` such that the intersection of this hyperplane with
+    /// the ray of `w` is the point `a·w`, i.e. `a = 1 / f_w(t)`.
+    ///
+    /// Returns `None` when the ray is parallel to the hyperplane
+    /// (`f_w(t) ≤ 0`, which cannot happen for non-degenerate items with
+    /// non-negative attributes and a non-zero weight vector in the first
+    /// orthant).
+    pub fn ray_intersection_scale(&self, w: &[f64]) -> Option<f64> {
+        let score = dot(&self.item, w);
+        if score <= f64::EPSILON {
+            None
+        } else {
+            Some(1.0 / score)
+        }
+    }
+
+    /// The intersection point `a·w` itself (see
+    /// [`ray_intersection_scale`](Self::ray_intersection_scale)).
+    pub fn ray_intersection(&self, w: &[f64]) -> Option<Vec<f64>> {
+        let a = self.ray_intersection_scale(w)?;
+        Some(w.iter().map(|x| a * x).collect())
+    }
+
+    /// Euclidean distance from the origin to the intersection with the ray
+    /// of `w`. Smaller distance ⇔ higher rank under `f_w` (§2.1.2).
+    pub fn ray_intersection_distance(&self, w: &[f64]) -> Option<f64> {
+        let a = self.ray_intersection_scale(w)?;
+        Some(a * crate::vector::norm(w))
+    }
+
+    /// Whether a point `x` lies (within `tol`) on the hyperplane.
+    pub fn contains_point(&self, x: &[f64], tol: f64) -> bool {
+        (dot(&self.item, x) - 1.0).abs() <= tol
+    }
+}
+
+/// Ranks item indices by descending score under `w`, breaking ties by index
+/// — computed *via the dual space* (ascending intersection distance along
+/// the ray of `w`).
+///
+/// This is deliberately the "slow, geometric" path; `srank-core` sorts by
+/// score directly. Tests assert both paths agree, which is exactly the
+/// duality claim of §2.1.2.
+pub fn rank_by_dual_intersections(items: &[Vec<f64>], w: &[f64]) -> Vec<usize> {
+    let mut scales: Vec<(usize, f64)> = items
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let a = DualHyperplane::new(t.clone())
+                .ray_intersection_scale(w)
+                .unwrap_or(f64::INFINITY);
+            (i, a)
+        })
+        .collect();
+    scales.sort_by(|l, r| l.1.partial_cmp(&r.1).unwrap().then(l.0.cmp(&r.0)));
+    scales.into_iter().map(|(i, _)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 1a sample database.
+    fn figure1() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.63, 0.71], // t1
+            vec![0.83, 0.65], // t2
+            vec![0.58, 0.78], // t3
+            vec![0.70, 0.68], // t4
+            vec![0.53, 0.82], // t5
+        ]
+    }
+
+    #[test]
+    fn intersection_scale_is_reciprocal_score() {
+        let t2 = DualHyperplane::new(vec![0.83, 0.65]);
+        let a = t2.ray_intersection_scale(&[1.0, 1.0]).unwrap();
+        assert!((a - 1.0 / 1.48).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_point_lies_on_hyperplane_and_ray() {
+        let t = DualHyperplane::new(vec![0.7, 0.68]);
+        let w = [0.4, 0.6];
+        let p = t.ray_intersection(&w).unwrap();
+        assert!(t.contains_point(&p, 1e-12));
+        // p is a positive multiple of w.
+        assert!((p[0] / w[0] - p[1] / w[1]).abs() < 1e-12);
+        assert!(p[0] / w[0] > 0.0);
+    }
+
+    #[test]
+    fn paper_ranking_under_sum_function() {
+        // §2.1.2: under f = x1 + x2 the ranking is ⟨t2, t4, t3, t5, t1⟩.
+        let order = rank_by_dual_intersections(&figure1(), &[1.0, 1.0]);
+        assert_eq!(order, vec![1, 3, 2, 4, 0]);
+    }
+
+    #[test]
+    fn closest_intersection_is_top_ranked() {
+        let items = figure1();
+        let w = [1.0, 1.0];
+        let d_t2 = DualHyperplane::new(items[1].clone())
+            .ray_intersection_distance(&w)
+            .unwrap();
+        for (i, t) in items.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let dist = DualHyperplane::new(t.clone()).ray_intersection_distance(&w).unwrap();
+            assert!(d_t2 < dist, "t2 must be closest to the origin along f = x1+x2");
+        }
+    }
+
+    #[test]
+    fn extreme_function_ranks_by_single_attribute() {
+        // Projection onto the x1 axis (f = x1): order by descending x1.
+        let order = rank_by_dual_intersections(&figure1(), &[1.0, 0.0]);
+        assert_eq!(order, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn parallel_ray_yields_none() {
+        let t = DualHyperplane::new(vec![0.0, 0.5]);
+        assert!(t.ray_intersection_scale(&[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn dual_ranking_matches_score_ranking_3d() {
+        let items = vec![
+            vec![0.2, 0.9, 0.4],
+            vec![0.8, 0.1, 0.5],
+            vec![0.5, 0.5, 0.5],
+            vec![0.9, 0.2, 0.1],
+        ];
+        let w = [0.5, 0.3, 0.2];
+        let by_dual = rank_by_dual_intersections(&items, &w);
+        let mut by_score: Vec<usize> = (0..items.len()).collect();
+        by_score.sort_by(|&a, &b| {
+            dot(&items[b], &w).partial_cmp(&dot(&items[a], &w)).unwrap().then(a.cmp(&b))
+        });
+        assert_eq!(by_dual, by_score);
+    }
+}

@@ -1,0 +1,170 @@
+//! Small dense row-major matrices.
+//!
+//! Rotations in this crate act on `d ≤ 10`-dimensional weight vectors, so a
+//! heap-allocated row-major buffer is plenty; no external linear-algebra
+//! dependency is needed.
+
+/// A dense `rows × cols` matrix in row-major order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Square identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "Matrix::from_rows: wrong buffer size");
+        Self { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
+        (0..self.rows).map(|i| crate::vector::dot(self.row(i), v)).collect()
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_mat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "mul_mat: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out[(i, j)] += a * other[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute entry of `self − other`; used by tests to assert
+    /// closeness of matrices.
+    pub fn linf_distance(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when `selfᵀ · self ≈ I` within `tol` — i.e. the matrix is
+    /// orthogonal (columns form an orthonormal basis).
+    pub fn is_orthogonal(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let gram = self.transpose().mul_mat(self);
+        gram.linf_distance(&Matrix::identity(self.rows)) <= tol
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_vector_is_vector() {
+        let m = Matrix::identity(3);
+        assert_eq!(m.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_rows(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.mul_mat(&b);
+        assert_eq!(c, Matrix::from_rows(2, 2, vec![19.0, 22.0, 43.0, 50.0]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn rotation_2d_is_orthogonal() {
+        let t: f64 = 0.7;
+        let r = Matrix::from_rows(2, 2, vec![t.cos(), -t.sin(), t.sin(), t.cos()]);
+        assert!(r.is_orthogonal(1e-12));
+    }
+
+    #[test]
+    fn non_square_is_not_orthogonal() {
+        let a = Matrix::zeros(2, 3);
+        assert!(!a.is_orthogonal(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_vec_checks_dims() {
+        Matrix::identity(3).mul_vec(&[1.0, 2.0]);
+    }
+}

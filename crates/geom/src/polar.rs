@@ -1,0 +1,162 @@
+//! Polar coordinates for scoring-function rays.
+//!
+//! The paper identifies a scoring function `f_w` with an origin-starting ray,
+//! and a ray in `R^d` with `d − 1` angles `⟨θ_1, …, θ_{d−1}⟩`, each in
+//! `[0, π/2]` for the first orthant (§2.1.2). We fix the recursive
+//! convention used implicitly by the cap sampler of §5.2 (Algorithm 11
+//! combines a point on the `(d−1)`-sphere with a final polar angle `x`
+//! *measured from the `d`-th axis*):
+//!
+//! ```text
+//! to_cartesian(r, ⟨θ_1, …, θ_{d−1}⟩):
+//!     x_d        = r · cos θ_{d−1}
+//!     (x_1…x_{d−1}) = to_cartesian(r · sin θ_{d−1}, ⟨θ_1, …, θ_{d−2}⟩)
+//! base case d = 2:  (x_1, x_2) = (r cos θ_1, r sin θ_1)
+//! base case d = 1:  (x_1)      = (r)
+//! ```
+//!
+//! so the *last* angle is always the inclination from the last axis. In 2-D
+//! this reduces to the familiar `(cos θ, sin θ)` with `θ` measured from the
+//! `x_1` axis, matching Figure 1b where `f = x_1 + x_2` has angle `π/4`.
+
+/// Converts polar coordinates `(radius, angles)` to a Cartesian point in
+/// `R^{angles.len() + 1}`.
+///
+/// All angles in `[0, π/2]` yield a point in the first orthant.
+pub fn to_cartesian(radius: f64, angles: &[f64]) -> Vec<f64> {
+    let d = angles.len() + 1;
+    let mut out = vec![0.0; d];
+    let mut r = radius;
+    // Peel angles from the last axis inwards, down to the planar base case.
+    for i in (2..d).rev() {
+        let theta = angles[i - 1];
+        out[i] = r * theta.cos();
+        r *= theta.sin();
+    }
+    if d >= 2 {
+        out[0] = r * angles[0].cos();
+        out[1] = r * angles[0].sin();
+    } else {
+        out[0] = r;
+    }
+    out
+}
+
+/// Converts a Cartesian point (not the origin) to `(radius, angles)`,
+/// the inverse of [`to_cartesian`].
+///
+/// For points in the closed first orthant the returned angles lie in
+/// `[0, π/2]`. Degenerate prefixes (all remaining coordinates zero) produce
+/// zero angles, which is a valid preimage.
+///
+/// Returns `None` for the zero vector.
+pub fn to_angles(point: &[f64]) -> Option<(f64, Vec<f64>)> {
+    let d = point.len();
+    assert!(d >= 1, "to_angles: empty point");
+    let radius = crate::vector::norm(point);
+    if radius <= f64::EPSILON {
+        return None;
+    }
+    let mut angles = vec![0.0; d - 1];
+    let mut r = radius;
+    for i in (2..d).rev() {
+        if r <= f64::EPSILON {
+            // The rest of the coordinates are zero; any angles work, zero
+            // is the canonical choice.
+            angles[i - 1] = 0.0;
+            continue;
+        }
+        let c = (point[i] / r).clamp(-1.0, 1.0);
+        let theta = c.acos();
+        angles[i - 1] = theta;
+        r *= theta.sin();
+    }
+    if d >= 2 {
+        // Planar base case: θ_1 = atan2(x_2, x_1) ∈ [0, π/2] in the orthant.
+        angles[0] = if r <= f64::EPSILON { 0.0 } else { point[1].atan2(point[0]) };
+    }
+    Some((radius, angles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::{linf_distance, norm};
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, FRAC_PI_6};
+
+    #[test]
+    fn two_d_matches_cos_sin() {
+        let p = to_cartesian(1.0, &[FRAC_PI_4]);
+        assert!((p[0] - FRAC_PI_4.cos()).abs() < 1e-15);
+        assert!((p[1] - FRAC_PI_4.sin()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn paper_figure_1b_diagonal_function() {
+        // f with weights ⟨1,1⟩ is identified by the single angle π/4.
+        let (_, angles) = to_angles(&[1.0, 1.0]).unwrap();
+        assert!((angles[0] - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_angle_is_inclination_from_last_axis() {
+        // Angle vector with last angle 0 should be exactly the d-th axis.
+        let p = to_cartesian(1.0, &[0.3, 0.9, 0.0]);
+        assert!(linf_distance(&p, &[0.0, 0.0, 0.0, 1.0]) < 1e-15);
+    }
+
+    #[test]
+    fn three_d_point_explicit() {
+        // d=3, angles (θ1, θ2): x3 = cos θ2, (x1,x2) = sin θ2 · (cos θ1, sin θ1)
+        let p = to_cartesian(2.0, &[FRAC_PI_6, FRAC_PI_4]);
+        assert!((p[2] - 2.0 * FRAC_PI_4.cos()).abs() < 1e-14);
+        assert!((p[0] - 2.0 * FRAC_PI_4.sin() * FRAC_PI_6.cos()).abs() < 1e-14);
+        assert!((p[1] - 2.0 * FRAC_PI_4.sin() * FRAC_PI_6.sin()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn radius_is_norm() {
+        let p = to_cartesian(3.5, &[0.2, 0.7, 1.1]);
+        assert!((norm(&p) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_interior_angles() {
+        let angles = [0.3, 0.8, 1.2, 0.5];
+        let p = to_cartesian(1.0, &angles);
+        let (r, back) = to_angles(&p).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+        assert!(linf_distance(&back, &angles) < 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_cartesian_first_orthant() {
+        let p = [0.1, 0.7, 0.3, 0.64];
+        let (r, angles) = to_angles(&p).unwrap();
+        let back = to_cartesian(r, &angles);
+        assert!(linf_distance(&back, &p) < 1e-12);
+        assert!(angles.iter().all(|&a| (0.0..=FRAC_PI_2 + 1e-12).contains(&a)));
+    }
+
+    #[test]
+    fn zero_vector_has_no_angles() {
+        assert!(to_angles(&[0.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn axis_points_give_boundary_angles() {
+        // x1 axis: every peel takes the "cos = 0" branch → all angles π/2
+        // except the innermost, which is 0.
+        let (_, a) = to_angles(&[1.0, 0.0, 0.0]).unwrap();
+        assert!((a[1] - FRAC_PI_2).abs() < 1e-12);
+        assert!(a[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_dimensional_point() {
+        let (r, angles) = to_angles(&[4.2]).unwrap();
+        assert_eq!(angles.len(), 0);
+        assert!((r - 4.2).abs() < 1e-15);
+        assert_eq!(to_cartesian(4.2, &[]), vec![4.2]);
+    }
+}

@@ -1,0 +1,165 @@
+//! Convex cone regions: intersections of strict origin-through half-spaces.
+//!
+//! The ranking region of §4.1 is exactly such a cone — one half-space per
+//! adjacent pair of the ranking — and the lazily-built arrangement of §4.2
+//! splits cones by adding one half-space at a time.
+
+use crate::hyperplane::HalfSpace;
+use crate::EPS;
+
+/// An open convex cone `{ w : h·w > 0 for every half-space h }`.
+///
+/// The empty intersection (no half-spaces) is the whole space.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConeRegion {
+    dim: usize,
+    halfspaces: Vec<HalfSpace>,
+}
+
+impl ConeRegion {
+    /// The full space of the given dimension (no constraints yet).
+    pub fn full(dim: usize) -> Self {
+        assert!(dim >= 1, "ConeRegion: need dim ≥ 1");
+        Self { dim, halfspaces: Vec::new() }
+    }
+
+    /// Builds a cone from a list of half-spaces.
+    ///
+    /// # Panics
+    /// Panics if the half-spaces disagree on dimension.
+    pub fn from_halfspaces(dim: usize, halfspaces: Vec<HalfSpace>) -> Self {
+        for h in &halfspaces {
+            assert_eq!(h.dim(), dim, "ConeRegion: half-space dimension mismatch");
+        }
+        Self { dim, halfspaces }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn halfspaces(&self) -> &[HalfSpace] {
+        &self.halfspaces
+    }
+
+    /// Number of constraining half-spaces.
+    pub fn len(&self) -> usize {
+        self.halfspaces.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.halfspaces.is_empty()
+    }
+
+    /// Adds one half-space constraint.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn push(&mut self, h: HalfSpace) {
+        assert_eq!(h.dim(), self.dim, "ConeRegion::push: dimension mismatch");
+        self.halfspaces.push(h);
+    }
+
+    /// A copy of this cone with one extra half-space.
+    pub fn with(&self, h: HalfSpace) -> Self {
+        let mut c = self.clone();
+        c.push(h);
+        c
+    }
+
+    /// Strict containment: every half-space slack exceeds [`crate::EPS`].
+    pub fn contains(&self, w: &[f64]) -> bool {
+        self.contains_with_tol(w, EPS)
+    }
+
+    /// Containment with an explicit tolerance.
+    pub fn contains_with_tol(&self, w: &[f64], tol: f64) -> bool {
+        self.halfspaces.iter().all(|h| h.contains_with_tol(w, tol))
+    }
+
+    /// The minimum slack `min_h h·w` — positive inside the cone, and a
+    /// proxy for distance to the boundary for unit `w`.
+    pub fn min_slack(&self, w: &[f64]) -> f64 {
+        self.halfspaces.iter().map(|h| h.slack(w)).fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadrant_cone() -> ConeRegion {
+        // { w : w1 > 0, w2 > 0 } expressed through half-spaces.
+        ConeRegion::from_halfspaces(
+            2,
+            vec![HalfSpace::new(vec![1.0, 0.0]), HalfSpace::new(vec![0.0, 1.0])],
+        )
+    }
+
+    #[test]
+    fn full_space_contains_everything() {
+        let c = ConeRegion::full(3);
+        assert!(c.contains(&[1.0, -5.0, 0.0]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn quadrant_membership() {
+        let c = quadrant_cone();
+        assert!(c.contains(&[0.5, 0.5]));
+        assert!(!c.contains(&[-0.5, 0.5]));
+        assert!(!c.contains(&[0.5, 0.0])); // boundary is excluded (strict)
+    }
+
+    #[test]
+    fn push_narrows_the_cone() {
+        let mut c = quadrant_cone();
+        assert!(c.contains(&[0.9, 0.1]));
+        c.push(HalfSpace::new(vec![-1.0, 1.0])); // w2 > w1
+        assert!(!c.contains(&[0.9, 0.1]));
+        assert!(c.contains(&[0.1, 0.9]));
+    }
+
+    #[test]
+    fn with_does_not_mutate_original() {
+        let c = quadrant_cone();
+        let narrowed = c.with(HalfSpace::new(vec![-1.0, 1.0]));
+        assert_eq!(c.len(), 2);
+        assert_eq!(narrowed.len(), 3);
+    }
+
+    #[test]
+    fn min_slack_sign_tracks_membership() {
+        let c = quadrant_cone();
+        assert!(c.min_slack(&[0.3, 0.7]) > 0.0);
+        assert!(c.min_slack(&[-0.3, 0.7]) < 0.0);
+        assert_eq!(ConeRegion::full(2).min_slack(&[1.0, 1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_checked_on_push() {
+        quadrant_cone().push(HalfSpace::new(vec![1.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn ranking_region_from_adjacent_pairs() {
+        // Figure 1a ranking ⟨t2, t4, t3, t5, t1⟩ under f = x1+x2: the cone
+        // built from its adjacent pairs must contain (1,1) (normalized).
+        let items = [
+            vec![0.63, 0.71],
+            vec![0.83, 0.65],
+            vec![0.58, 0.78],
+            vec![0.70, 0.68],
+            vec![0.53, 0.82],
+        ];
+        let order = [1usize, 3, 2, 4, 0];
+        let mut cone = ConeRegion::full(2);
+        for pair in order.windows(2) {
+            cone.push(HalfSpace::ranking_pair(&items[pair[0]], &items[pair[1]]));
+        }
+        assert!(cone.contains(&[1.0, 1.0]));
+        // And it must exclude the x1-only extreme, whose ranking differs.
+        assert!(!cone.contains(&[1.0, 0.0]));
+    }
+}

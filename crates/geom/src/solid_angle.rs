@@ -1,0 +1,307 @@
+//! Exact spherical areas of 3-D cones — an exact stability oracle for
+//! `d = 3`.
+//!
+//! The paper estimates region volumes by Monte-Carlo because polyhedron
+//! volume is #P-hard in general dimension. In `d = 3`, however, a ranking
+//! region intersected with the unit sphere is a *convex spherical polygon*,
+//! whose area Girard's theorem gives exactly: the sum of interior angles
+//! minus `(k − 2)π`. This module computes that area, yielding exact
+//! stabilities for three-attribute datasets — used both as a feature and as
+//! ground truth for calibrating the sampling oracle.
+
+use crate::hyperplane::HalfSpace;
+use crate::region::ConeRegion;
+use crate::vector::{dot, normalized};
+
+const TOL: f64 = 1e-9;
+
+/// Area of the unit-sphere patch `{x ∈ S² : n·x ≥ 0 for every normal n}`
+/// for a set of half-space normals in R³.
+///
+/// Returns 0 for empty interiors. Supports patches bounded by at least
+/// three planes (every ranking-stability use intersects the first orthant,
+/// which contributes three); `None` when the input is not 3-D or the patch
+/// is unbounded by fewer than three independent planes (a hemisphere or
+/// lune), which cannot arise in orthant-clipped queries.
+pub fn spherical_patch_area(normals: &[Vec<f64>]) -> Option<f64> {
+    if normals.iter().any(|n| n.len() != 3) {
+        return None;
+    }
+    // Normalize and deduplicate directions.
+    let mut dirs: Vec<Vec<f64>> = Vec::new();
+    for n in normals {
+        let Some(u) = normalized(n) else { continue };
+        if dirs.iter().any(|d| crate::vector::linf_distance(d, &u) < TOL) {
+            continue;
+        }
+        dirs.push(u);
+    }
+    if dirs.len() < 3 {
+        return None; // hemisphere/lune: out of scope (never orthant-clipped)
+    }
+
+    // Candidate vertices: intersections of boundary great circles that
+    // satisfy every constraint.
+    let mut vertices: Vec<Vec<f64>> = Vec::new();
+    for i in 0..dirs.len() {
+        for j in (i + 1)..dirs.len() {
+            let c = cross(&dirs[i], &dirs[j]);
+            let Some(v) = normalized(&c) else { continue }; // parallel planes
+            for cand in [v.clone(), vec![-v[0], -v[1], -v[2]]] {
+                if dirs.iter().all(|d| dot(d, &cand) >= -TOL)
+                    && !vertices
+                        .iter()
+                        .any(|u| crate::vector::linf_distance(u, &cand) < 1e-7)
+                {
+                    vertices.push(cand);
+                }
+            }
+        }
+    }
+    if vertices.len() < 3 {
+        return Some(0.0); // empty or measure-zero patch
+    }
+
+    // Order vertices around the patch centroid.
+    let mut centroid = vec![0.0; 3];
+    for v in &vertices {
+        for (c, x) in centroid.iter_mut().zip(v) {
+            *c += x;
+        }
+    }
+    let centroid = normalized(&centroid)?;
+    // Tangent-plane basis at the centroid.
+    let helper = if centroid[0].abs() < 0.9 { [1.0, 0.0, 0.0] } else { [0.0, 1.0, 0.0] };
+    let u = normalized(&cross(&centroid, &helper))?;
+    let w = cross(&centroid, &u);
+    vertices.sort_by(|a, b| {
+        let ang = |v: &[f64]| dot(v, &w).atan2(dot(v, &u));
+        ang(a).partial_cmp(&ang(b)).unwrap()
+    });
+
+    // Girard: Σ interior angles − (k − 2)·π.
+    let k = vertices.len();
+    let mut angle_sum = 0.0;
+    for i in 0..k {
+        let prev = &vertices[(i + k - 1) % k];
+        let here = &vertices[i];
+        let next = &vertices[(i + 1) % k];
+        angle_sum += interior_angle(prev, here, next);
+    }
+    let area = angle_sum - (k as f64 - 2.0) * std::f64::consts::PI;
+    Some(area.max(0.0))
+}
+
+/// Interior angle of the spherical polygon at `b`, between the great-circle
+/// arcs toward `a` and `c`: the angle between the tangents of the arcs.
+fn interior_angle(a: &[f64], b: &[f64], c: &[f64]) -> f64 {
+    let t1 = tangent_toward(b, a);
+    let t2 = tangent_toward(b, c);
+    dot(&t1, &t2).clamp(-1.0, 1.0).acos()
+}
+
+/// Unit tangent at `from` along the great circle toward `to`.
+fn tangent_toward(from: &[f64], to: &[f64]) -> Vec<f64> {
+    let along = dot(to, from);
+    let raw: Vec<f64> = to.iter().zip(from).map(|(t, f)| t - along * f).collect();
+    normalized(&raw).unwrap_or_else(|| vec![0.0; 3])
+}
+
+fn cross(a: &[f64], b: &[f64]) -> Vec<f64> {
+    vec![
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+
+/// Exact stability of a 3-D ranking region within the first orthant:
+/// `area(region ∩ orthant ∩ S²) / area(orthant ∩ S²)`.
+///
+/// Returns `None` unless the region is 3-dimensional.
+pub fn exact_stability_3d(region: &ConeRegion) -> Option<f64> {
+    if region.dim() != 3 {
+        return None;
+    }
+    let mut normals: Vec<Vec<f64>> = region.halfspaces().iter().map(|h| h.coeffs().to_vec()).collect();
+    // The first orthant.
+    normals.push(vec![1.0, 0.0, 0.0]);
+    normals.push(vec![0.0, 1.0, 0.0]);
+    normals.push(vec![0.0, 0.0, 1.0]);
+    let area = spherical_patch_area(&normals)?;
+    let orthant = std::f64::consts::PI / 2.0; // 4π / 8
+    Some(area / orthant)
+}
+
+/// Convenience: exact 3-D stability from raw half-spaces.
+pub fn exact_stability_3d_of(halfspaces: &[HalfSpace]) -> Option<f64> {
+    let region = ConeRegion::from_halfspaces(3, halfspaces.to_vec());
+    exact_stability_3d(&region)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn orthant_area_is_one_eighth_of_sphere() {
+        let area = spherical_patch_area(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        assert!((area - PI / 2.0).abs() < 1e-9, "area = {area}");
+    }
+
+    #[test]
+    fn full_orthant_region_has_stability_one() {
+        let region = ConeRegion::full(3);
+        let s = exact_stability_3d(&region).unwrap();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_orthant_is_one_half() {
+        let region =
+            ConeRegion::from_halfspaces(3, vec![HalfSpace::new(vec![1.0, -1.0, 0.0])]);
+        let s = exact_stability_3d(&region).unwrap();
+        assert!((s - 0.5).abs() < 1e-9, "s = {s}");
+    }
+
+    #[test]
+    fn coordinate_ordering_is_one_sixth() {
+        // {w1 > w2 > w3}: one of the 3! symmetric orderings.
+        let region = ConeRegion::from_halfspaces(
+            3,
+            vec![
+                HalfSpace::new(vec![1.0, -1.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0, -1.0]),
+            ],
+        );
+        let s = exact_stability_3d(&region).unwrap();
+        assert!((s - 1.0 / 6.0).abs() < 1e-9, "s = {s}");
+    }
+
+    #[test]
+    fn all_six_orderings_partition_the_orthant() {
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let mut total = 0.0;
+        for p in perms {
+            let mut hs = Vec::new();
+            for w in p.windows(2) {
+                let mut coeffs = vec![0.0; 3];
+                coeffs[w[0]] = 1.0;
+                coeffs[w[1]] = -1.0;
+                hs.push(HalfSpace::new(coeffs));
+            }
+            let s = exact_stability_3d_of(&hs).unwrap();
+            assert!((s - 1.0 / 6.0).abs() < 1e-9);
+            total += s;
+        }
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_region_has_zero_area() {
+        let s = exact_stability_3d_of(&[
+            HalfSpace::new(vec![1.0, -1.0, 0.0]),
+            HalfSpace::new(vec![-1.0, 1.0, 0.0]),
+        ])
+        .unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn region_outside_orthant_is_zero() {
+        // Requires w1 < 0: impossible in the orthant.
+        let s = exact_stability_3d_of(&[HalfSpace::new(vec![-1.0, 0.0, 0.0])]).unwrap();
+        assert_eq!(s, 0.0);
+    }
+
+    #[test]
+    fn narrow_wedge_has_small_positive_area() {
+        // w1 > w2 > 0.99·w1: a thin wedge.
+        let s = exact_stability_3d_of(&[
+            HalfSpace::new(vec![1.0, -1.0, 0.0]),
+            HalfSpace::new(vec![-0.99, 1.0, 0.0]),
+        ])
+        .unwrap();
+        assert!(s > 0.0 && s < 0.01, "s = {s}");
+    }
+
+    #[test]
+    fn nested_regions_are_monotone() {
+        let outer = exact_stability_3d_of(&[HalfSpace::new(vec![1.0, -1.0, 0.0])]).unwrap();
+        let inner = exact_stability_3d_of(&[
+            HalfSpace::new(vec![1.0, -1.0, 0.0]),
+            HalfSpace::new(vec![0.0, 1.0, -1.0]),
+        ])
+        .unwrap();
+        assert!(inner < outer);
+    }
+
+    #[test]
+    fn redundant_constraints_change_nothing() {
+        let base = exact_stability_3d_of(&[HalfSpace::new(vec![1.0, -1.0, 0.0])]).unwrap();
+        let redundant = exact_stability_3d_of(&[
+            HalfSpace::new(vec![1.0, -1.0, 0.0]),
+            HalfSpace::new(vec![2.0, -2.0, 0.0]),
+            HalfSpace::new(vec![1.0, 0.0, 0.0]), // orthant repeat
+        ])
+        .unwrap();
+        assert!((base - redundant).abs() < 1e-9);
+    }
+
+    #[test]
+    fn non_3d_inputs_rejected() {
+        assert!(exact_stability_3d(&ConeRegion::full(2)).is_none());
+        assert!(spherical_patch_area(&[vec![1.0, 0.0]]).is_none());
+    }
+
+    /// Exact areas agree with a fine Monte-Carlo estimate on random cones.
+    #[test]
+    fn matches_monte_carlo_on_random_cones() {
+        let mut state = 0xABCDu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for trial in 0..10 {
+            let hs: Vec<HalfSpace> = (0..3)
+                .map(|_| HalfSpace::new(vec![next(), next(), next()]))
+                .collect();
+            let exact = exact_stability_3d_of(&hs).unwrap();
+            // MC with a deterministic low-discrepancy-ish grid over the
+            // orthant: sample directions from a fine lattice of angles with
+            // area weighting sin(φ).
+            let region = ConeRegion::from_halfspaces(3, hs);
+            let steps = 400;
+            let mut inside = 0.0;
+            let mut total = 0.0;
+            for a in 0..steps {
+                let theta = (a as f64 + 0.5) / steps as f64 * (PI / 2.0);
+                for b in 0..steps {
+                    let phi = (b as f64 + 0.5) / steps as f64 * (PI / 2.0);
+                    let w = [
+                        phi.sin() * theta.cos(),
+                        phi.sin() * theta.sin(),
+                        phi.cos(),
+                    ];
+                    let weight = phi.sin();
+                    total += weight;
+                    if region.contains_with_tol(&w, 0.0) {
+                        inside += weight;
+                    }
+                }
+            }
+            let mc = inside / total;
+            assert!(
+                (exact - mc).abs() < 0.01,
+                "trial {trial}: exact {exact} vs quadrature {mc}"
+            );
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Dense-vector algebra on `&[f64]` slices.
+//!
+//! Dimensions in this problem are tiny (`d ≤ 10` in every experiment of the
+//! paper) while item counts reach a million, so vectors are plain slices and
+//! all hot operations are free functions that the compiler can inline into
+//! the scoring loops.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Returns `a` scaled to unit Euclidean norm.
+///
+/// Returns `None` for the zero vector (no direction).
+pub fn normalized(a: &[f64]) -> Option<Vec<f64>> {
+    let n = norm(a);
+    if n <= f64::EPSILON {
+        return None;
+    }
+    Some(a.iter().map(|x| x / n).collect())
+}
+
+/// Component-wise difference `a − b`.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Component-wise sum `a + b`.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add: dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Scalar multiple `c·a`.
+pub fn scale(a: &[f64], c: f64) -> Vec<f64> {
+    a.iter().map(|x| x * c).collect()
+}
+
+/// Cosine similarity between two non-zero vectors, clamped to `[-1, 1]`
+/// so that `acos` never receives an out-of-domain argument due to rounding.
+///
+/// Returns `None` if either vector is (numerically) zero.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> Option<f64> {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return None;
+    }
+    Some((dot(a, b) / (na * nb)).clamp(-1.0, 1.0))
+}
+
+/// Angle (radians, in `[0, π]`) between two non-zero vectors.
+///
+/// This is the "angle distance" the paper uses to specify regions of
+/// interest: a cone of angle `θ` around a reference ray contains every
+/// function whose `angle_between` the reference is at most `θ`
+/// (equivalently, cosine similarity at least `cos θ`).
+pub fn angle_between(a: &[f64], b: &[f64]) -> Option<f64> {
+    cosine_similarity(a, b).map(f64::acos)
+}
+
+/// True when every component is ≥ `-tol` (the vector lies in the closed
+/// first orthant up to tolerance).
+pub fn in_first_orthant(a: &[f64], tol: f64) -> bool {
+    a.iter().all(|&x| x >= -tol)
+}
+
+/// Maximum absolute component difference — an `L∞` distance used by tests.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "linf_distance: dimension mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_product_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm_of_unit_axes() {
+        assert_eq!(norm(&[1.0, 0.0]), 1.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_rejects_zero_vector() {
+        assert!(normalized(&[0.0, 0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn normalized_has_unit_norm() {
+        let v = normalized(&[1.0, 2.0, 2.0]).unwrap();
+        assert!((norm(&v) - 1.0).abs() < 1e-12);
+        assert!((v[0] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_and_add_roundtrip() {
+        let a = [0.3, 0.9, 0.1];
+        let b = [0.5, 0.2, 0.4];
+        let d = sub(&a, &b);
+        let back = add(&d, &b);
+        assert!(linf_distance(&back, &a) < 1e-15);
+    }
+
+    #[test]
+    fn cosine_similarity_orthogonal_and_parallel() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).unwrap()).abs() < 1e-12);
+        assert!((cosine_similarity(&[2.0, 0.0], &[5.0, 0.0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_zero_vector_is_none() {
+        assert!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn angle_between_diagonal_is_quarter_pi() {
+        let a = angle_between(&[1.0, 0.0], &[1.0, 1.0]).unwrap();
+        assert!((a - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_similarity_is_clamped() {
+        // Two numerically-identical vectors can produce a cosine slightly
+        // above one before clamping; acos must still be finite.
+        let v = [0.123456789, 0.987654321, 0.5555555];
+        let angle = angle_between(&v, &v).unwrap();
+        assert!(angle.is_finite());
+        assert!(angle.abs() < 1e-7);
+    }
+
+    #[test]
+    fn orthant_membership() {
+        assert!(in_first_orthant(&[0.0, 0.2], 0.0));
+        assert!(!in_first_orthant(&[-0.1, 0.2], 1e-3));
+        assert!(in_first_orthant(&[-1e-12, 0.2], 1e-9));
+    }
+}

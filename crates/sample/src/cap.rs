@@ -1,0 +1,388 @@
+//! Uniform sampling from a spherical cap — the inverse-CDF sampler of §5.2
+//! (Algorithms 10 and 11).
+//!
+//! A region of interest "within angle θ of the ray ρ" is modeled as the
+//! surface of the unit `d`-spherical cap of angle `θ` around the `d`-th
+//! axis. A uniform point on the cap decomposes into
+//!
+//! 1. a polar angle `x ∈ [0, θ]` from the axis, distributed with CDF
+//!    `F(x) = ∫₀ˣ sin^{d−2} φ dφ / ∫₀^θ sin^{d−2} φ dφ` (Eq. 14), drawn by
+//!    inverse transform — closed form for `d = 2, 3` (Eq. 15), Riemann-sum
+//!    table plus binary search otherwise (Algorithm 10);
+//! 2. a uniform direction on the `(d−1)`-sphere of the cap's cross-section;
+//! 3. a rotation taking the `d`-th axis onto `ρ` (Appendix A).
+
+use crate::sphere::sample_sphere_direction;
+use rand::Rng;
+use srank_geom::matrix::Matrix;
+use srank_geom::rotation::rotation_to_vector;
+use srank_geom::vector::normalized;
+use std::f64::consts::FRAC_PI_2;
+
+/// Algorithm 10: the table of partial Riemann sums of `∫ sin^{d−2}` over a
+/// regular partition of `[0, θ]`, normalized to a CDF.
+#[derive(Clone, Debug)]
+pub struct RiemannTable {
+    step: f64,
+    /// `cumulative[i] = F(i·step)`, so `cumulative[0] = 0` and
+    /// `cumulative[partitions] = 1`.
+    cumulative: Vec<f64>,
+    /// Unnormalized `∫₀^θ sin^{d−2} φ dφ` (midpoint rule).
+    total: f64,
+}
+
+impl RiemannTable {
+    /// Builds the table for exponent `k = d − 2` with `partitions` cells.
+    ///
+    /// # Panics
+    /// Panics unless `theta > 0` and `partitions ≥ 1`.
+    pub fn new(theta: f64, k: usize, partitions: usize) -> Self {
+        assert!(theta > 0.0, "RiemannTable: need θ > 0");
+        assert!(partitions >= 1, "RiemannTable: need ≥ 1 partition");
+        let step = theta / partitions as f64;
+        let mut cumulative = Vec::with_capacity(partitions + 1);
+        cumulative.push(0.0);
+        let mut acc = 0.0;
+        for i in 0..partitions {
+            // Midpoint rule: more accurate than the paper's right-endpoint
+            // sum at identical cost.
+            let mid = (i as f64 + 0.5) * step;
+            acc += mid.sin().powi(k as i32);
+            cumulative.push(acc);
+        }
+        let total = acc * step;
+        for v in &mut cumulative {
+            *v /= acc;
+        }
+        Self { step, cumulative, total }
+    }
+
+    /// The unnormalized integral `∫₀^θ sin^{d−2} φ dφ`, used by the §5.2
+    /// cost model for choosing between inverse-CDF and rejection sampling.
+    pub fn total_integral(&self) -> f64 {
+        self.total
+    }
+
+    /// Number of partitions `γ`.
+    pub fn partitions(&self) -> usize {
+        self.cumulative.len() - 1
+    }
+
+    /// Inverse CDF: the angle `x` with `F(x) = y`, interpolating linearly
+    /// inside the located partition (the fine-granularity assumption of
+    /// Algorithm 11).
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ y ≤ 1`.
+    pub fn inverse_cdf(&self, y: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&y), "inverse_cdf: y ∉ [0,1]: {y}");
+        // Binary search for the first index with cumulative ≥ y.
+        let idx = self.cumulative.partition_point(|&c| c < y);
+        if idx == 0 {
+            return 0.0;
+        }
+        let lo = self.cumulative[idx - 1];
+        let hi = self.cumulative[idx];
+        let frac = if hi > lo { (y - lo) / (hi - lo) } else { 0.5 };
+        ((idx - 1) as f64 + frac) * self.step
+    }
+}
+
+/// How the polar angle is inverted.
+#[derive(Clone, Debug)]
+enum PolarAngleCdf {
+    /// `d = 2`: `sin⁰ = 1`, so `F(x) = x/θ`.
+    Uniform { theta: f64 },
+    /// `d = 3`: Eq. 15, `F⁻¹(y) = arccos(1 − (1 − cos θ)·y)`.
+    ClosedForm3 { one_minus_cos_theta: f64 },
+    /// General `d`: Algorithm 10's table.
+    Table(RiemannTable),
+}
+
+impl PolarAngleCdf {
+    fn inverse(&self, y: f64) -> f64 {
+        match self {
+            PolarAngleCdf::Uniform { theta } => y * theta,
+            PolarAngleCdf::ClosedForm3 { one_minus_cos_theta } => {
+                (1.0 - one_minus_cos_theta * y).clamp(-1.0, 1.0).acos()
+            }
+            PolarAngleCdf::Table(t) => t.inverse_cdf(y),
+        }
+    }
+}
+
+/// Default number of Riemann partitions; the paper suggests `|L| = O(n)` to
+/// keep lookups at `O(log n)` — 4096 keeps interpolation error far below
+/// Monte-Carlo noise for every experiment in the evaluation.
+pub const DEFAULT_PARTITIONS: usize = 4096;
+
+/// Algorithm 11: a uniform sampler on the spherical cap of angle `theta`
+/// around an arbitrary reference ray.
+#[derive(Clone, Debug)]
+pub struct CapSampler {
+    dim: usize,
+    theta: f64,
+    ray: Vec<f64>,
+    rotation: Matrix,
+    cdf: PolarAngleCdf,
+}
+
+impl CapSampler {
+    /// Builds a sampler around `ray` (any non-zero vector; normalized
+    /// internally) with maximum polar angle `theta`.
+    ///
+    /// Closed-form inverse CDFs are used for `d = 2, 3`; higher dimensions
+    /// build a [`RiemannTable`] with [`DEFAULT_PARTITIONS`] cells.
+    ///
+    /// # Panics
+    /// Panics if `ray` is zero, `ray.len() < 2`, or `theta ∉ (0, π/2]`.
+    pub fn new(ray: &[f64], theta: f64) -> Self {
+        Self::with_partitions(ray, theta, DEFAULT_PARTITIONS)
+    }
+
+    /// [`CapSampler::new`] with an explicit table size (only relevant for
+    /// `d ≥ 4`).
+    pub fn with_partitions(ray: &[f64], theta: f64, partitions: usize) -> Self {
+        let dim = ray.len();
+        assert!(dim >= 2, "CapSampler: need d ≥ 2");
+        assert!(
+            theta > 0.0 && theta <= FRAC_PI_2 + 1e-12,
+            "CapSampler: need θ ∈ (0, π/2], got {theta}"
+        );
+        let unit = normalized(ray).expect("CapSampler: reference ray must be non-zero");
+        let rotation = rotation_to_vector(&unit).expect("non-zero ray has a rotation");
+        let cdf = match dim {
+            2 => PolarAngleCdf::Uniform { theta },
+            3 => PolarAngleCdf::ClosedForm3 { one_minus_cos_theta: 1.0 - theta.cos() },
+            _ => PolarAngleCdf::Table(RiemannTable::new(theta, dim - 2, partitions)),
+        };
+        Self { dim, theta, ray: unit, rotation, cdf }
+    }
+
+    /// Forces the Riemann-table path even for `d = 2, 3`; used to validate
+    /// the numeric route against the closed forms.
+    pub fn with_forced_table(ray: &[f64], theta: f64, partitions: usize) -> Self {
+        let mut s = Self::with_partitions(ray, theta, partitions);
+        s.cdf = PolarAngleCdf::Table(RiemannTable::new(theta, s.dim - 2, partitions));
+        s
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The (unit) reference ray.
+    pub fn ray(&self) -> &[f64] {
+        &self.ray
+    }
+
+    /// One uniform sample from the cap (a unit vector within `theta` of the
+    /// reference ray). Coordinates may be slightly negative when the cap
+    /// leaks out of the first orthant — see `roi` for orthant clipping.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let x = self.cdf.inverse(rng.random::<f64>());
+        let (sin_x, cos_x) = x.sin_cos();
+        let mut p = vec![0.0; self.dim];
+        if self.dim == 2 {
+            // The 0-sphere: the cross-section is the two points ±1.
+            let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+            p[0] = sign * sin_x;
+        } else {
+            let s = sample_sphere_direction(rng, self.dim - 1);
+            for (pi, si) in p[..self.dim - 1].iter_mut().zip(&s) {
+                *pi = sin_x * si;
+            }
+        }
+        p[self.dim - 1] = cos_x;
+        self.rotation.mul_vec(&p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::sin_power_integral;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srank_geom::vector::{angle_between, norm};
+    use std::f64::consts::{FRAC_PI_3, FRAC_PI_4, FRAC_PI_6, PI};
+
+    #[test]
+    fn riemann_table_cdf_endpoints() {
+        let t = RiemannTable::new(1.0, 2, 512);
+        assert_eq!(t.inverse_cdf(0.0), 0.0);
+        assert!((t.inverse_cdf(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn riemann_table_matches_exact_integral() {
+        for k in [0usize, 1, 2, 3, 5] {
+            let theta = 1.2;
+            let t = RiemannTable::new(theta, k, 8192);
+            let exact = sin_power_integral(theta, k);
+            assert!(
+                (t.total_integral() - exact).abs() < 1e-6,
+                "k={k}: {} vs {exact}",
+                t.total_integral()
+            );
+        }
+    }
+
+    #[test]
+    fn riemann_inverse_cdf_matches_closed_form_d3() {
+        // d = 3 ⇒ k = 1 ⇒ F(x) = (1 − cos x)/(1 − cos θ).
+        let theta = FRAC_PI_3;
+        let t = RiemannTable::new(theta, 1, 8192);
+        for y in [0.05, 0.13, 0.5, 0.77, 0.95] {
+            let want = (1.0 - (1.0 - theta.cos()) * y).acos();
+            let got = t.inverse_cdf(y);
+            assert!((got - want).abs() < 1e-4, "y={y}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn riemann_inverse_is_monotone() {
+        let t = RiemannTable::new(0.9, 3, 1024);
+        let mut prev = -1.0;
+        for i in 0..=100 {
+            let x = t.inverse_cdf(i as f64 / 100.0);
+            assert!(x >= prev);
+            prev = x;
+        }
+    }
+
+    #[test]
+    fn samples_are_unit_and_within_theta() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for (ray, theta) in [
+            (vec![1.0, 1.0], FRAC_PI_6),
+            (vec![1.0, 1.0, 1.0], PI / 20.0),
+            (vec![1.0, 0.5, 0.3, 0.2], PI / 100.0),
+            (vec![0.3, 0.9, 0.2, 0.5, 0.4], PI / 10.0),
+        ] {
+            let sampler = CapSampler::new(&ray, theta);
+            for _ in 0..300 {
+                let w = sampler.sample(&mut rng);
+                assert!((norm(&w) - 1.0).abs() < 1e-9);
+                let a = angle_between(&w, &ray).unwrap();
+                assert!(a <= theta + 1e-9, "angle {a} exceeds θ = {theta}");
+            }
+        }
+    }
+
+    /// Empirical polar-angle CDF must match Eq. 14 — the defining property
+    /// of the inverse-CDF sampler. Checked for d = 3 (closed form) and
+    /// d = 5 (Riemann table).
+    #[test]
+    fn polar_angle_distribution_matches_analytic_cdf() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (d, theta) in [(3usize, FRAC_PI_4), (5, FRAC_PI_6)] {
+            let ray = vec![1.0; d];
+            let sampler = CapSampler::new(&ray, theta);
+            let n = 20_000;
+            let mut angles: Vec<f64> = (0..n)
+                .map(|_| angle_between(&sampler.sample(&mut rng), &ray).unwrap())
+                .collect();
+            angles.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let denom = sin_power_integral(theta, d - 2);
+            let mut max_dev = 0.0f64;
+            for (i, &x) in angles.iter().enumerate() {
+                let empirical = (i + 1) as f64 / n as f64;
+                let analytic = sin_power_integral(x.min(theta), d - 2) / denom;
+                max_dev = max_dev.max((empirical - analytic).abs());
+            }
+            // Kolmogorov–Smirnov 99.9% critical value ≈ 1.95/√n ≈ 0.0138.
+            assert!(max_dev < 0.02, "d={d}: KS deviation {max_dev}");
+        }
+    }
+
+    #[test]
+    fn forced_table_agrees_with_closed_form_distribution() {
+        let mut rng1 = StdRng::seed_from_u64(12);
+        let mut rng2 = StdRng::seed_from_u64(12);
+        let ray = vec![1.0, 2.0, 2.0];
+        let theta = FRAC_PI_6;
+        let closed = CapSampler::new(&ray, theta);
+        let table = CapSampler::with_forced_table(&ray, theta, 8192);
+        // Same seed ⇒ same uniforms ⇒ nearly identical polar angles.
+        for _ in 0..200 {
+            let a = angle_between(&closed.sample(&mut rng1), &ray).unwrap();
+            let b = angle_between(&table.sample(&mut rng2), &ray).unwrap();
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn two_d_cap_is_uniform_arc() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let ray = [1.0, 1.0];
+        let theta = FRAC_PI_6;
+        let sampler = CapSampler::new(&ray, theta);
+        let n = 30_000;
+        let mut signed: Vec<f64> = (0..n)
+            .map(|_| {
+                let w = sampler.sample(&mut rng);
+                w[1].atan2(w[0]) - FRAC_PI_4
+            })
+            .collect();
+        signed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Uniform on [−θ, θ]: mean ≈ 0, and quartiles at ±θ/2.
+        let mean: f64 = signed.iter().sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01);
+        let q1 = signed[n / 4];
+        let q3 = signed[3 * n / 4];
+        assert!((q1 + theta / 2.0).abs() < 0.01, "q1 = {q1}");
+        assert!((q3 - theta / 2.0).abs() < 0.01, "q3 = {q3}");
+    }
+
+    #[test]
+    fn mean_direction_is_the_ray() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let ray = vec![1.0, 0.5, 0.3, 0.2];
+        let unit = srank_geom::vector::normalized(&ray).unwrap();
+        let sampler = CapSampler::new(&ray, PI / 20.0);
+        let n = 10_000;
+        let mut mean = vec![0.0; 4];
+        for _ in 0..n {
+            let w = sampler.sample(&mut rng);
+            for (m, x) in mean.iter_mut().zip(&w) {
+                *m += x / n as f64;
+            }
+        }
+        let mean_unit = srank_geom::vector::normalized(&mean).unwrap();
+        assert!(
+            srank_geom::vector::linf_distance(&mean_unit, &unit) < 0.01,
+            "{mean_unit:?} vs {unit:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let sampler = CapSampler::new(&[1.0, 1.0, 1.0], FRAC_PI_6);
+        let a: Vec<Vec<f64>> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..5).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        let b: Vec<Vec<f64>> = {
+            let mut rng = StdRng::seed_from_u64(99);
+            (0..5).map(|_| sampler.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "θ ∈ (0, π/2]")]
+    fn rejects_bad_theta() {
+        CapSampler::new(&[1.0, 1.0], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_ray() {
+        CapSampler::new(&[0.0, 0.0], 0.3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Bernoulli confidence machinery (§4.4–§4.5).
+//!
+//! Stability estimation treats each sampled function as a Bernoulli trial
+//! ("did it generate ranking `r`?"). The central limit theorem then gives
+//! the confidence error of Eq. 10, the required-sample-count inversion of
+//! Eq. 11, and Theorem 2's geometric-distribution model of how many samples
+//! it takes to *discover* a ranking at all.
+
+use crate::special::z_value;
+
+/// A symmetric confidence interval `estimate ± error` at confidence level
+/// `1 − alpha`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// The point estimate (a sample mean `m_r`).
+    pub estimate: f64,
+    /// The half-width `e` of Eq. 10.
+    pub error: f64,
+    /// The significance level `α` (e.g. 0.05 for 95% confidence).
+    pub alpha: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds the Eq. 10 interval for a Bernoulli mean estimated from
+    /// `n` samples at significance `alpha`.
+    pub fn bernoulli(estimate: f64, n: usize, alpha: f64) -> Self {
+        Self { estimate, error: confidence_error(estimate, n, alpha), alpha }
+    }
+
+    pub fn lower(&self) -> f64 {
+        self.estimate - self.error
+    }
+
+    pub fn upper(&self) -> f64 {
+        self.estimate + self.error
+    }
+
+    /// Whether `value` falls inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower() && value <= self.upper()
+    }
+}
+
+/// Eq. 10: the confidence error `e = Z(1 − α/2) · √(m(1 − m)/N)` of a
+/// Bernoulli mean `m` estimated from `n` samples.
+///
+/// Returns 0 for `n = 0` inputs only in the degenerate `m ∈ {0, 1}` case;
+/// otherwise `n = 0` is rejected.
+///
+/// # Panics
+/// Panics if `m ∉ [0, 1]`, `alpha ∉ (0, 1)`, or `n == 0` with `0 < m < 1`.
+pub fn confidence_error(m: f64, n: usize, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&m), "confidence_error: mean out of [0,1]: {m}");
+    let var = m * (1.0 - m);
+    if var == 0.0 {
+        return 0.0;
+    }
+    assert!(n > 0, "confidence_error: need at least one sample");
+    z_value(alpha) * (var / n as f64).sqrt()
+}
+
+/// Eq. 11: the expected number of samples needed to pin a Bernoulli mean
+/// `p` down to half-width `e` at significance `alpha`:
+/// `N = p(1 − p)·(Z(1 − α/2)/e)²` (rounded up).
+///
+/// # Panics
+/// Panics if `e ≤ 0`.
+pub fn required_samples(p: f64, alpha: f64, e: f64) -> usize {
+    assert!(e > 0.0, "required_samples: need e > 0");
+    assert!((0.0..=1.0).contains(&p), "required_samples: p out of [0,1]: {p}");
+    let z = z_value(alpha);
+    (p * (1.0 - p) * (z / e).powi(2)).ceil() as usize
+}
+
+/// Theorem 2: the expected number of uniform samples before a ranking of
+/// stability `s` is observed for the first time (geometric distribution):
+/// `1/s`.
+///
+/// # Panics
+/// Panics unless `0 < s ≤ 1`.
+pub fn expected_samples_to_observe(s: f64) -> f64 {
+    assert!(s > 0.0 && s <= 1.0, "expected_samples_to_observe: s ∉ (0,1]: {s}");
+    1.0 / s
+}
+
+/// Theorem 2: the variance of the first-observation sample count,
+/// `(1 − s)/s²`.
+///
+/// # Panics
+/// Panics unless `0 < s ≤ 1`.
+pub fn variance_samples_to_observe(s: f64) -> f64 {
+    assert!(s > 0.0 && s <= 1.0, "variance_samples_to_observe: s ∉ (0,1]: {s}");
+    (1.0 - s) / (s * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn error_shrinks_with_sample_count() {
+        let e100 = confidence_error(0.3, 100, 0.05);
+        let e10000 = confidence_error(0.3, 10_000, 0.05);
+        assert!(e100 > e10000);
+        // √100 scaling.
+        assert!((e100 / e10000 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_is_maximal_at_half() {
+        let at_half = confidence_error(0.5, 1000, 0.05);
+        for m in [0.1, 0.3, 0.7, 0.95] {
+            assert!(confidence_error(m, 1000, 0.05) < at_half);
+        }
+    }
+
+    #[test]
+    fn degenerate_means_have_zero_error() {
+        assert_eq!(confidence_error(0.0, 100, 0.05), 0.0);
+        assert_eq!(confidence_error(1.0, 100, 0.05), 0.0);
+        // Even with n = 0, by the variance short-circuit.
+        assert_eq!(confidence_error(0.0, 0, 0.05), 0.0);
+    }
+
+    #[test]
+    fn known_error_value() {
+        // m = 0.5, n = 10000, 95%: e = 1.96·√(0.25/10⁴) ≈ 0.0098.
+        let e = confidence_error(0.5, 10_000, 0.05);
+        assert!((e - 0.0098).abs() < 1e-4, "e = {e}");
+    }
+
+    #[test]
+    fn required_samples_inverts_confidence_error() {
+        let p = 0.2;
+        let alpha = 0.05;
+        let e = 0.01;
+        let n = required_samples(p, alpha, e);
+        // With n samples the achieved error is ≤ e; with n−1 it exceeds it.
+        assert!(confidence_error(p, n, alpha) <= e + 1e-12);
+        assert!(confidence_error(p, n - 1, alpha) > e);
+    }
+
+    #[test]
+    fn interval_bounds_and_membership() {
+        let ci = ConfidenceInterval::bernoulli(0.4, 2500, 0.05);
+        assert!(ci.contains(0.4));
+        assert!(ci.contains(ci.lower()) && ci.contains(ci.upper()));
+        assert!(!ci.contains(ci.upper() + 1e-9));
+        assert!((ci.upper() - ci.lower() - 2.0 * ci.error).abs() < 1e-15);
+    }
+
+    #[test]
+    fn theorem2_moments() {
+        assert_eq!(expected_samples_to_observe(0.5), 2.0);
+        assert_eq!(expected_samples_to_observe(0.01), 100.0);
+        assert_eq!(variance_samples_to_observe(1.0), 0.0);
+        assert!((variance_samples_to_observe(0.1) - 0.9 / 0.01).abs() < 1e-12);
+    }
+
+    /// Empirical check of Theorem 2: simulate geometric waiting times.
+    #[test]
+    fn theorem2_matches_simulation() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let s = 0.05;
+        let rounds = 20_000;
+        let mut total = 0u64;
+        for _ in 0..rounds {
+            let mut trials = 1u64;
+            while rng.random::<f64>() >= s {
+                trials += 1;
+            }
+            total += trials;
+        }
+        let mean = total as f64 / rounds as f64;
+        let expected = expected_samples_to_observe(s);
+        assert!((mean - expected).abs() / expected < 0.05, "{mean} vs {expected}");
+    }
+
+    /// The CI of Eq. 10 must actually cover the true mean at roughly the
+    /// nominal rate.
+    #[test]
+    fn coverage_is_close_to_nominal() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let p_true = 0.3;
+        let n = 1000;
+        let rounds = 2000;
+        let mut covered = 0;
+        for _ in 0..rounds {
+            let hits = (0..n).filter(|_| rng.random::<f64>() < p_true).count();
+            let m = hits as f64 / n as f64;
+            if ConfidenceInterval::bernoulli(m, n, 0.05).contains(p_true) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / rounds as f64;
+        assert!((coverage - 0.95).abs() < 0.02, "coverage = {coverage}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one sample")]
+    fn zero_samples_rejected_for_interior_mean() {
+        confidence_error(0.5, 0, 0.05);
+    }
+}

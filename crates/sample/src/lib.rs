@@ -1,0 +1,52 @@
+//! Unbiased scoring-function sampling and Monte-Carlo stability estimation.
+//!
+//! This crate implements §5 of *On Obtaining Stable Rankings* (Asudeh et
+//! al., VLDB 2018):
+//!
+//! * [`normal`] — standard-normal deviates (Marsaglia polar method); the
+//!   building block of every sphere sampler, hand-rolled so the workspace
+//!   needs no distribution crate;
+//! * [`special`] — the special functions the samplers and confidence
+//!   machinery lean on: inverse normal CDF (Acklam), `ln Γ`, the
+//!   regularized incomplete beta function (Eq. 16), and `∫ sinᵏ`;
+//! * [`sphere`] — Algorithm 9's uniform sampler on the first orthant of the
+//!   unit `d`-sphere, plus the *biased* naive angle sampler of Figure 3
+//!   kept around for demonstration and tests;
+//! * [`cap`] — the spherical-cap inverse-CDF sampler (Algorithms 10/11)
+//!   with closed forms for `d = 2, 3` (Eq. 15) and the Riemann-sum table
+//!   for general `d`;
+//! * [`roi`] — regions of interest `U*` (§2.2.2): the full orthant, a cone
+//!   around a reference ray, or an arbitrary half-space constraint set;
+//! * [`rejection`] — acceptance–rejection sampling and the §5.2 cost-model
+//!   crossover between rejection and inverse-CDF sampling;
+//! * [`store`] — a flat, cache-friendly buffer of sampled weight vectors;
+//! * [`oracle`] — the stability oracle of Algorithm 12 (sequential and
+//!   multi-threaded);
+//! * [`partition`] — the §5.4 in-place sample partitioning that gives the
+//!   lazy arrangement constructor O(1) stability reads;
+//! * [`confidence`] — Bernoulli confidence intervals (Eq. 10), required
+//!   sample counts (Eq. 11), and the geometric-distribution discovery-cost
+//!   model of Theorem 2.
+
+pub mod cap;
+pub mod confidence;
+pub mod normal;
+pub mod oracle;
+pub mod partition;
+pub mod rejection;
+pub mod roi;
+pub mod special;
+pub mod sphere;
+pub mod store;
+
+pub use cap::CapSampler;
+pub use confidence::{
+    confidence_error, expected_samples_to_observe, required_samples, ConfidenceInterval,
+};
+pub use normal::NormalSampler;
+pub use oracle::{estimate_stability, estimate_stability_parallel};
+pub use partition::PartitionedSamples;
+pub use rejection::RejectionSampler;
+pub use roi::{RegionOfInterest, RoiSampler};
+pub use sphere::{sample_angles_naive, sample_orthant_direction, sample_sphere_direction};
+pub use store::SampleBuffer;

@@ -1,0 +1,123 @@
+//! Standard-normal deviates via the Marsaglia polar method.
+//!
+//! §5.1 samples points uniformly on the sphere by normalizing vectors of
+//! independent `N(0, 1)` draws (Muller/Marsaglia). The workspace keeps its
+//! dependency set minimal, so the normal generator is implemented here
+//! rather than pulled from a distributions crate.
+
+use rand::Rng;
+
+/// A standard-normal sampler that caches the spare deviate the polar method
+/// produces in pairs.
+#[derive(Clone, Debug, Default)]
+pub struct NormalSampler {
+    spare: Option<f64>,
+}
+
+impl NormalSampler {
+    pub fn new() -> Self {
+        Self { spare: None }
+    }
+
+    /// One `N(0, 1)` deviate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        loop {
+            let u: f64 = 2.0 * rng.random::<f64>() - 1.0;
+            let v: f64 = 2.0 * rng.random::<f64>() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let m = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * m);
+                return u * m;
+            }
+        }
+    }
+
+    /// Fills `out` with independent `N(0, 1)` deviates.
+    pub fn fill<R: Rng + ?Sized>(&mut self, rng: &mut R, out: &mut [f64]) {
+        for x in out {
+            *x = self.sample(rng);
+        }
+    }
+}
+
+/// Convenience: a single deviate without keeping sampler state (the spare
+/// is discarded).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    NormalSampler::new().sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = NormalSampler::new();
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        let mut sum3 = 0.0;
+        for _ in 0..n {
+            let x = s.sample(&mut rng);
+            sum += x;
+            sum2 += x * x;
+            sum3 += x * x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        let skew = sum3 / n as f64;
+        assert!(mean.abs() < 0.01, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var = {var}");
+        assert!(skew.abs() < 0.03, "third moment = {skew}");
+    }
+
+    #[test]
+    fn tail_mass_is_plausible() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut s = NormalSampler::new();
+        let n = 100_000;
+        let beyond_two = (0..n).filter(|_| s.sample(&mut rng).abs() > 2.0).count();
+        let frac = beyond_two as f64 / n as f64;
+        // P(|Z| > 2) ≈ 0.0455.
+        assert!((frac - 0.0455).abs() < 0.005, "frac = {frac}");
+    }
+
+    #[test]
+    fn spare_is_used_and_cleared() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = NormalSampler::new();
+        let _ = s.sample(&mut rng);
+        assert!(s.spare.is_some());
+        let _ = s.sample(&mut rng);
+        assert!(s.spare.is_none());
+    }
+
+    #[test]
+    fn fill_produces_distinct_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = NormalSampler::new();
+        let mut buf = [0.0; 8];
+        s.fill(&mut rng, &mut buf);
+        for w in buf.windows(2) {
+            assert_ne!(w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = NormalSampler::new();
+            (0..4).map(|_| s.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+}

@@ -1,0 +1,153 @@
+//! The Monte-Carlo stability oracle (Algorithm 12, §5.3).
+//!
+//! Given a ranking region `R` — an intersection of half-spaces — and a set
+//! `S` of functions drawn uniformly from the region of interest `U*`, the
+//! stability of `R` in `U*` is estimated as the fraction of samples that
+//! satisfy every half-space: `count / |S|`, at cost `O(|R|·|S|)`.
+
+use crate::store::SampleBuffer;
+use srank_geom::region::ConeRegion;
+
+/// Algorithm 12: fraction of `samples` inside the region.
+pub fn estimate_stability(region: &ConeRegion, samples: &SampleBuffer) -> f64 {
+    assert_eq!(region.dim(), samples.dim(), "oracle: dimension mismatch");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let count = count_inside(region, samples, 0, samples.len());
+    count as f64 / samples.len() as f64
+}
+
+/// Number of samples with index in `[lo, hi)` inside the region.
+///
+/// The half-space loop breaks on the first violation, mirroring the early
+/// exit in the paper's pseudocode.
+pub fn count_inside(region: &ConeRegion, samples: &SampleBuffer, lo: usize, hi: usize) -> usize {
+    let mut count = 0;
+    for i in lo..hi {
+        let w = samples.row(i);
+        if region.halfspaces().iter().all(|h| h.slack(w) > 0.0) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Multi-threaded [`estimate_stability`] for the million-sample
+/// configurations of Figure 12. Results are exact (not approximate) with
+/// respect to the sequential version: each sample is tested independently,
+/// so the split is embarrassingly parallel.
+pub fn estimate_stability_parallel(
+    region: &ConeRegion,
+    samples: &SampleBuffer,
+    threads: usize,
+) -> f64 {
+    assert_eq!(region.dim(), samples.dim(), "oracle: dimension mismatch");
+    let n = samples.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return estimate_stability(region, samples);
+    }
+    let chunk = n.div_ceil(threads);
+    let total: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || count_inside(region, samples, lo, hi))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("oracle worker panicked")).sum()
+    });
+    total as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::sample_orthant_direction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srank_geom::hyperplane::HalfSpace;
+
+    fn orthant_samples(seed: u64, n: usize, d: usize) -> SampleBuffer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        SampleBuffer::generate(&mut rng, n, |r| sample_orthant_direction(r, d))
+    }
+
+    #[test]
+    fn unconstrained_region_has_stability_one() {
+        let samples = orthant_samples(1, 1000, 3);
+        assert_eq!(estimate_stability(&ConeRegion::full(3), &samples), 1.0);
+    }
+
+    #[test]
+    fn empty_sample_set_yields_zero() {
+        let samples = SampleBuffer::new(3);
+        assert_eq!(estimate_stability(&ConeRegion::full(3), &samples), 0.0);
+    }
+
+    /// In 2D, the region {w₁ > w₂} occupies exactly half the arc measure of
+    /// the quadrant; the estimate must land near 0.5.
+    #[test]
+    fn half_plane_region_in_2d() {
+        let samples = orthant_samples(2, 50_000, 2);
+        let region =
+            ConeRegion::from_halfspaces(2, vec![HalfSpace::new(vec![1.0, -1.0])]);
+        let s = estimate_stability(&region, &samples);
+        assert!((s - 0.5).abs() < 0.01, "s = {s}");
+    }
+
+    /// In 3D, {w₁ > w₂ > w₃} is one of 3! = 6 symmetric orderings of the
+    /// coordinates, so its stability in the orthant is 1/6.
+    #[test]
+    fn coordinate_ordering_region_in_3d() {
+        let samples = orthant_samples(3, 60_000, 3);
+        let region = ConeRegion::from_halfspaces(
+            3,
+            vec![
+                HalfSpace::new(vec![1.0, -1.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0, -1.0]),
+            ],
+        );
+        let s = estimate_stability(&region, &samples);
+        assert!((s - 1.0 / 6.0).abs() < 0.01, "s = {s}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let samples = orthant_samples(4, 10_001, 3);
+        let region = ConeRegion::from_halfspaces(
+            3,
+            vec![
+                HalfSpace::new(vec![1.0, -0.5, -0.2]),
+                HalfSpace::new(vec![-0.1, 1.0, -0.4]),
+            ],
+        );
+        let seq = estimate_stability(&region, &samples);
+        for threads in [1, 2, 3, 7, 16] {
+            let par = estimate_stability_parallel(&region, &samples, threads);
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn disjoint_regions_partition_the_mass() {
+        let samples = orthant_samples(5, 40_000, 2);
+        let above = ConeRegion::from_halfspaces(2, vec![HalfSpace::new(vec![-1.0, 1.0])]);
+        let below = ConeRegion::from_halfspaces(2, vec![HalfSpace::new(vec![1.0, -1.0])]);
+        let total = estimate_stability(&above, &samples) + estimate_stability(&below, &samples);
+        // The boundary has measure zero; the two halves must sum to ≈ 1.
+        assert!((total - 1.0).abs() < 1e-3, "total = {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn oracle_checks_dimensions() {
+        let samples = orthant_samples(6, 10, 3);
+        estimate_stability(&ConeRegion::full(2), &samples);
+    }
+}

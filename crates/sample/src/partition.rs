@@ -1,0 +1,247 @@
+//! In-place sample partitioning for lazy arrangement construction (§5.4).
+//!
+//! The key trick of the paper's `GET-NEXTmd`: keep all `U*` samples in one
+//! array; every region of the growing arrangement owns a contiguous range
+//! `[sb, se)` of it. Splitting a region by a hyperplane quick-sort
+//! partitions its range in place, which simultaneously
+//!
+//! * answers `passThrough` (the hyperplane crosses the region iff both
+//!   sides of the split are non-empty), and
+//! * re-establishes the ownership invariant so each child's stability is
+//!   the O(1) quantity `(se − sb) / |S|`.
+
+use crate::store::SampleBuffer;
+use srank_geom::hyperplane::OrderingExchange;
+
+/// A sample buffer with quick-sort-style range partitioning.
+#[derive(Clone, Debug)]
+pub struct PartitionedSamples {
+    buf: SampleBuffer,
+}
+
+/// Result of splitting a range by a hyperplane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Split {
+    /// First index of the positive-side block; rows `[lo, split)` lie on
+    /// the negative side, rows `[split, hi)` on the positive side.
+    pub split: usize,
+}
+
+impl PartitionedSamples {
+    pub fn new(buf: SampleBuffer) -> Self {
+        Self { buf }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn dim(&self) -> usize {
+        self.buf.dim()
+    }
+
+    /// Read access to the underlying buffer.
+    pub fn buffer(&self) -> &SampleBuffer {
+        &self.buf
+    }
+
+    /// Partitions rows `[lo, hi)` by the hyperplane: after the call, rows
+    /// with `coeffs·w ≤ 0` precede rows with `coeffs·w > 0`, and the
+    /// returned split index separates the blocks.
+    ///
+    /// Samples exactly on the hyperplane (a measure-zero event) go to the
+    /// negative block; the arrangement treats region boundaries as
+    /// belonging to neither open region, so their placement cannot bias
+    /// any stability estimate by more than the sampling error itself.
+    ///
+    /// # Panics
+    /// Panics if `hi > len` or `lo > hi`.
+    pub fn partition(&mut self, lo: usize, hi: usize, hp: &OrderingExchange) -> Split {
+        assert!(lo <= hi && hi <= self.len(), "partition: bad range [{lo}, {hi})");
+        let mut i = lo;
+        let mut j = hi;
+        while i < j {
+            if hp.eval(self.buf.row(i)) <= 0.0 {
+                i += 1;
+            } else {
+                j -= 1;
+                self.buf.swap_rows(i, j);
+            }
+        }
+        Split { split: i }
+    }
+
+    /// The paper's `passThrough` via samples: `true` when the hyperplane
+    /// has witnesses on both sides within `[lo, hi)` (without reordering).
+    pub fn crosses(&self, lo: usize, hi: usize, hp: &OrderingExchange) -> bool {
+        let mut saw_neg = false;
+        let mut saw_pos = false;
+        for i in lo..hi {
+            if hp.eval(self.buf.row(i)) <= 0.0 {
+                saw_neg = true;
+            } else {
+                saw_pos = true;
+            }
+            if saw_neg && saw_pos {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// O(1) stability of a region owning `[lo, hi)`: `(hi − lo) / |S|`.
+    pub fn stability_of_range(&self, lo: usize, hi: usize) -> f64 {
+        debug_assert!(lo <= hi && hi <= self.len());
+        if self.is_empty() {
+            return 0.0;
+        }
+        (hi - lo) as f64 / self.len() as f64
+    }
+
+    /// A representative function for the region owning `[lo, hi)`: the
+    /// centroid of its samples (which lies in the region by convexity).
+    pub fn representative(&self, lo: usize, hi: usize) -> Option<Vec<f64>> {
+        self.buf.mean_of_range(lo, hi)
+    }
+
+    /// Row access, forwarded from the buffer.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.buf.row(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sphere::sample_orthant_direction;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(seed: u64, n: usize, d: usize) -> PartitionedSamples {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PartitionedSamples::new(SampleBuffer::generate(&mut rng, n, |r| {
+            sample_orthant_direction(r, d)
+        }))
+    }
+
+    #[test]
+    fn partition_separates_sides() {
+        let mut ps = samples(1, 1000, 3);
+        let hp = OrderingExchange::from_coeffs(vec![1.0, -1.0, 0.0]);
+        let Split { split } = ps.partition(0, 1000, &hp);
+        for i in 0..split {
+            assert!(hp.eval(ps.row(i)) <= 0.0, "row {i} on wrong side");
+        }
+        for i in split..1000 {
+            assert!(hp.eval(ps.row(i)) > 0.0, "row {i} on wrong side");
+        }
+        // Both sides populated for this symmetric hyperplane.
+        assert!(split > 300 && split < 700, "split = {split}");
+    }
+
+    #[test]
+    fn partition_preserves_multiset() {
+        let mut ps = samples(2, 200, 2);
+        let mut before: Vec<(u64, u64)> = ps
+            .buffer()
+            .iter_rows()
+            .map(|r| (r[0].to_bits(), r[1].to_bits()))
+            .collect();
+        before.sort_unstable();
+        ps.partition(0, 200, &OrderingExchange::from_coeffs(vec![1.0, -2.0]));
+        let mut after: Vec<(u64, u64)> = ps
+            .buffer()
+            .iter_rows()
+            .map(|r| (r[0].to_bits(), r[1].to_bits()))
+            .collect();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn nested_partitions_stay_consistent() {
+        // Split by h1, then split the positive block by h2: the three
+        // resulting blocks must each satisfy their defining constraints.
+        let mut ps = samples(3, 2000, 3);
+        let h1 = OrderingExchange::from_coeffs(vec![1.0, -1.0, 0.0]);
+        let h2 = OrderingExchange::from_coeffs(vec![0.0, 1.0, -1.0]);
+        let s1 = ps.partition(0, 2000, &h1).split;
+        let s2 = ps.partition(s1, 2000, &h2).split;
+        for i in 0..s1 {
+            assert!(h1.eval(ps.row(i)) <= 0.0);
+        }
+        for i in s1..s2 {
+            assert!(h1.eval(ps.row(i)) > 0.0);
+            assert!(h2.eval(ps.row(i)) <= 0.0);
+        }
+        for i in s2..2000 {
+            assert!(h1.eval(ps.row(i)) > 0.0);
+            assert!(h2.eval(ps.row(i)) > 0.0);
+        }
+    }
+
+    #[test]
+    fn crosses_detects_straddling_hyperplane() {
+        let ps = samples(4, 500, 2);
+        let diagonal = OrderingExchange::from_coeffs(vec![1.0, -1.0]);
+        assert!(ps.crosses(0, 500, &diagonal));
+        // A hyperplane entirely below the orthant never crosses.
+        let outside = OrderingExchange::from_coeffs(vec![1.0, 1.0]);
+        assert!(!ps.crosses(0, 500, &outside));
+    }
+
+    #[test]
+    fn crosses_after_partition_respects_blocks() {
+        let mut ps = samples(5, 1000, 2);
+        let diagonal = OrderingExchange::from_coeffs(vec![1.0, -1.0]);
+        let Split { split } = ps.partition(0, 1000, &diagonal);
+        // Within either block the same hyperplane no longer crosses.
+        assert!(!ps.crosses(0, split, &diagonal));
+        assert!(!ps.crosses(split, 1000, &diagonal));
+    }
+
+    #[test]
+    fn stability_of_range_is_count_ratio() {
+        let ps = samples(6, 400, 2);
+        assert_eq!(ps.stability_of_range(0, 400), 1.0);
+        assert_eq!(ps.stability_of_range(100, 300), 0.5);
+        assert_eq!(ps.stability_of_range(7, 7), 0.0);
+    }
+
+    #[test]
+    fn representative_lies_in_partitioned_region() {
+        let mut ps = samples(7, 1000, 3);
+        let hp = OrderingExchange::from_coeffs(vec![1.0, -1.0, 0.0]);
+        let Split { split } = ps.partition(0, 1000, &hp);
+        let rep_neg = ps.representative(0, split).unwrap();
+        let rep_pos = ps.representative(split, 1000).unwrap();
+        assert!(hp.eval(&rep_neg) <= 0.0);
+        assert!(hp.eval(&rep_pos) > 0.0);
+    }
+
+    #[test]
+    fn empty_range_has_no_representative() {
+        let ps = samples(8, 10, 2);
+        assert!(ps.representative(5, 5).is_none());
+    }
+
+    #[test]
+    fn partition_matches_oracle_counts() {
+        // The count on the positive side must equal Algorithm 12's count
+        // for the single-half-space region.
+        use srank_geom::hyperplane::HalfSpace;
+        use srank_geom::region::ConeRegion;
+        let mut ps = samples(9, 3000, 3);
+        let coeffs = vec![0.3, -0.9, 0.4];
+        let hp = OrderingExchange::from_coeffs(coeffs.clone());
+        let region = ConeRegion::from_halfspaces(3, vec![HalfSpace::new(coeffs)]);
+        let oracle_count =
+            crate::oracle::count_inside(&region, ps.buffer(), 0, ps.len());
+        let Split { split } = ps.partition(0, 3000, &hp);
+        assert_eq!(3000 - split, oracle_count);
+    }
+}

@@ -1,0 +1,170 @@
+//! Acceptance–rejection sampling and the §5.2 method-selection cost model.
+//!
+//! The paper's rule: use acceptance–rejection (draw from the function space,
+//! keep what lands in `U*`) when the region is large, and the inverse-CDF
+//! cap sampler when it is small. The crossover compares the `O(log |L|)`
+//! lookup of the table method against the expected `1/p` trials of
+//! rejection, where `p` is the area ratio of Eqs. 12–13.
+
+use crate::special::{ln_gamma, sin_power_integral};
+use rand::Rng;
+use std::f64::consts::PI;
+
+/// A generic acceptance–rejection sampler: repeatedly draw from `proposal`
+/// and keep draws satisfying `accept`.
+pub struct RejectionSampler<P, A> {
+    proposal: P,
+    accept: A,
+}
+
+impl<P, A> RejectionSampler<P, A>
+where
+    P: FnMut(&mut dyn rand::RngCore) -> Vec<f64>,
+    A: FnMut(&[f64]) -> bool,
+{
+    pub fn new(proposal: P, accept: A) -> Self {
+        Self { proposal, accept }
+    }
+
+    /// Draws one accepted sample, also reporting how many proposals it
+    /// consumed; `None` if `max_trials` proposals were all rejected.
+    pub fn sample_counted<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        max_trials: usize,
+    ) -> Option<(Vec<f64>, usize)> {
+        for trial in 1..=max_trials {
+            let w = (self.proposal)(rng);
+            if (self.accept)(&w) {
+                return Some((w, trial));
+            }
+        }
+        None
+    }
+}
+
+/// Surface area of the unit `(δ)`-sphere `S^{δ−1} ⊂ R^δ` (Eq. 12 with
+/// `r = 1`): `2 π^{δ/2} / Γ(δ/2)`.
+pub fn unit_sphere_area(delta: usize) -> f64 {
+    assert!(delta >= 1, "unit_sphere_area: need δ ≥ 1");
+    let half = delta as f64 / 2.0;
+    2.0 * (half * PI.ln() - ln_gamma(half)).exp()
+}
+
+/// Surface area of the unit `d`-spherical cap of angle `θ` (Eq. 13):
+/// `A_{d−1}(1) · ∫₀^θ sin^{d−2} φ dφ`.
+pub fn unit_cap_area(d: usize, theta: f64) -> f64 {
+    assert!(d >= 2, "unit_cap_area: need d ≥ 2");
+    unit_sphere_area(d - 1) * sin_power_integral(theta, d - 2)
+}
+
+/// Expected number of proposals for rejection-sampling a cap of angle `θ`
+/// from a *full-orthant* proposal: the ratio of the orthant's area
+/// (`2^{−d}` of the sphere) to the cap's area. This assumes the cap lies
+/// inside the orthant, which holds for the narrow regions of interest the
+/// evaluation uses.
+pub fn expected_rejection_trials(d: usize, theta: f64) -> f64 {
+    let orthant = unit_sphere_area(d) / 2f64.powi(d as i32);
+    orthant / unit_cap_area(d, theta)
+}
+
+/// The §5.2 selection rule: `true` when the inverse-CDF method (cost
+/// `O(log |L|)` per sample) is expected to beat acceptance–rejection (cost
+/// `≈ expected_rejection_trials` proposals per sample).
+pub fn prefer_inverse_cdf(d: usize, theta: f64, table_size: usize) -> bool {
+    let lookup_cost = (table_size.max(2) as f64).log2();
+    lookup_cost <= expected_rejection_trials(d, theta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn sphere_areas_match_known_values() {
+        // S¹ (circle): 2π. S² (sphere in R³): 4π. S³: 2π².
+        assert!((unit_sphere_area(2) - 2.0 * PI).abs() < 1e-10);
+        assert!((unit_sphere_area(3) - 4.0 * PI).abs() < 1e-10);
+        assert!((unit_sphere_area(4) - 2.0 * PI * PI).abs() < 1e-10);
+    }
+
+    #[test]
+    fn hemisphere_cap_is_half_sphere() {
+        // θ = π/2 carves out exactly half of the sphere's surface... for a
+        // cap that is a hemisphere.
+        for d in 2..6 {
+            let cap = unit_cap_area(d, FRAC_PI_2);
+            let half = unit_sphere_area(d) / 2.0;
+            assert!((cap - half).abs() < 1e-9, "d = {d}: {cap} vs {half}");
+        }
+    }
+
+    #[test]
+    fn cap_area_is_monotone_in_theta() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let a = unit_cap_area(4, i as f64 * FRAC_PI_2 / 10.0);
+            assert!(a > prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn rejection_trials_grow_as_cap_shrinks() {
+        let wide = expected_rejection_trials(3, FRAC_PI_2 / 2.0);
+        let narrow = expected_rejection_trials(3, PI / 100.0);
+        assert!(narrow > wide);
+        assert!(narrow > 100.0, "π/100 cap in 3D is tiny: {narrow}");
+    }
+
+    #[test]
+    fn empirical_rejection_rate_matches_model() {
+        // Rejection-sample a 3D cap from the orthant and compare the trial
+        // count against the analytic expectation. The cap around the
+        // diagonal at θ = π/10 stays inside the orthant, so the model's
+        // assumption holds.
+        let mut rng = StdRng::seed_from_u64(31);
+        let theta = PI / 10.0;
+        let diag = [1.0 / 3f64.sqrt(); 3];
+        let mut sampler = RejectionSampler::new(
+            |r: &mut dyn rand::RngCore| crate::sphere::sample_orthant_direction(r, 3),
+            |w: &[f64]| {
+                srank_geom::vector::angle_between(w, &diag).unwrap() <= theta
+            },
+        );
+        let rounds = 400;
+        let mut total_trials = 0usize;
+        for _ in 0..rounds {
+            let (_, trials) = sampler.sample_counted(&mut rng, 1_000_000).unwrap();
+            total_trials += trials;
+        }
+        let empirical = total_trials as f64 / rounds as f64;
+        let expected = expected_rejection_trials(3, theta);
+        assert!(
+            (empirical - expected).abs() / expected < 0.25,
+            "empirical {empirical} vs model {expected}"
+        );
+    }
+
+    #[test]
+    fn method_selection_prefers_table_for_narrow_regions() {
+        // π/100 in d = 4: rejection needs thousands of trials; table wins.
+        assert!(prefer_inverse_cdf(4, PI / 100.0, 4096));
+        // A hemisphere in d = 2: rejection accepts half the time; rejection
+        // wins over a 4096-entry table lookup.
+        assert!(!prefer_inverse_cdf(2, FRAC_PI_2, 4096));
+    }
+
+    #[test]
+    fn rejection_sampler_gives_up_gracefully() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let mut sampler = RejectionSampler::new(
+            |r: &mut dyn rand::RngCore| crate::sphere::sample_orthant_direction(r, 2),
+            |_: &[f64]| false,
+        );
+        assert!(sampler.sample_counted(&mut rng, 100).is_none());
+    }
+}

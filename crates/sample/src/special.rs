@@ -1,0 +1,356 @@
+//! Special functions backing the samplers and the confidence machinery.
+//!
+//! * [`inverse_normal_cdf`] / [`z_value`] — Acklam's rational approximation
+//!   of `Φ⁻¹`, used for the `Z(1 − α/2)` factors of Eq. 10/11;
+//! * [`ln_gamma`] — Lanczos approximation, used by sphere-area formulas
+//!   (Eq. 12) and the beta function;
+//! * [`regularized_incomplete_beta`] — `I_x(a, b)` via the Lentz continued
+//!   fraction, realizing the closed-form cap CDF of Eq. 16;
+//! * [`sin_power_integral`] — `∫₀^θ sinᵏ φ dφ` by the standard reduction
+//!   formula, the quantity Algorithm 10 tabulates.
+
+/// Acklam's rational approximation to the inverse of the standard normal
+/// CDF. Absolute error below `1.15e-9` over the open unit interval.
+///
+/// # Panics
+/// Panics unless `0 < p < 1`.
+#[allow(clippy::excessive_precision)] // published Acklam constants, verbatim
+pub fn inverse_normal_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inverse_normal_cdf: p must lie in (0, 1), got {p}");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The two-sided critical value `Z(1 − α/2)` for confidence level `1 − α`
+/// (e.g. `alpha = 0.05` gives ≈ 1.96).
+///
+/// # Panics
+/// Panics unless `0 < alpha < 1`.
+pub fn z_value(alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "z_value: alpha must lie in (0, 1), got {alpha}");
+    inverse_normal_cdf(1.0 - alpha / 2.0)
+}
+
+/// Natural log of the gamma function (Lanczos, g = 7, 9 coefficients);
+/// accurate to ~1e-13 for positive arguments.
+#[allow(clippy::excessive_precision)] // published Lanczos coefficients, verbatim
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma: need x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// The complete beta function `B(a, b)`.
+pub fn beta(a: f64, b: f64) -> f64 {
+    (ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)).exp()
+}
+
+/// The regularized incomplete beta function `I_x(a, b)`, computed with the
+/// Lentz continued fraction (Numerical Recipes' `betacf`).
+///
+/// # Panics
+/// Panics unless `0 ≤ x ≤ 1` and `a, b > 0`.
+pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "I_x(a,b): x ∉ [0,1]: {x}");
+    assert!(a > 0.0 && b > 0.0, "I_x(a,b): need a, b > 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln())
+        .exp();
+    // The continued fraction converges fast for x < (a+1)/(a+b+2); apply
+    // the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) directly otherwise (the
+    // front factor is symmetric under (a, x) ↔ (b, 1−x)).
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(x, a, b) / a
+    } else {
+        1.0 - front * beta_cf(1.0 - x, b, a) / b
+    }
+}
+
+fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m_f = m as f64;
+        let m2 = 2.0 * m_f;
+        // Even step.
+        let aa = m_f * (b - m_f) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m_f) * (qab + m_f) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// `∫₀^θ sinᵏ φ dφ` for integer `k ≥ 0` and `θ ∈ [0, π]`, via the standard
+/// reduction `I_k = (−sin^{k−1}θ cos θ + (k−1) I_{k−2}) / k`.
+///
+/// For the cap geometry of §5.2, `k = d − 2` and the ratio
+/// `I(x) / I(θ)` is the polar-angle CDF of Eq. 14; the same quantity in
+/// beta form (Eq. 16) is `½·B_{sin²x}((k+1)/2, ½)` — the tests check both
+/// routes agree.
+pub fn sin_power_integral(theta: f64, k: usize) -> f64 {
+    assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&theta), "θ out of range: {theta}");
+    match k {
+        0 => theta,
+        1 => 1.0 - theta.cos(),
+        _ => {
+            let (s, c) = theta.sin_cos();
+            let mut i_even = theta; // I_0
+            let mut i_odd = 1.0 - c; // I_1
+            let mut result = if k.is_multiple_of(2) { i_even } else { i_odd };
+            for j in 2..=k {
+                let prev = if j.is_multiple_of(2) { i_even } else { i_odd };
+                let next = (-s.powi(j as i32 - 1) * c + (j as f64 - 1.0) * prev) / j as f64;
+                if j.is_multiple_of(2) {
+                    i_even = next;
+                } else {
+                    i_odd = next;
+                }
+                result = next;
+            }
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn inverse_normal_cdf_known_quantiles() {
+        assert!(inverse_normal_cdf(0.5).abs() < 1e-9);
+        assert!((inverse_normal_cdf(0.975) - 1.959964).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.84134474) - 1.0).abs() < 1e-5);
+        assert!((inverse_normal_cdf(0.025) + 1.959964).abs() < 1e-5);
+    }
+
+    #[test]
+    fn inverse_normal_cdf_tails() {
+        assert!((inverse_normal_cdf(1e-6) + 4.753424).abs() < 1e-4);
+        assert!((inverse_normal_cdf(1.0 - 1e-6) - 4.753424).abs() < 1e-4);
+    }
+
+    #[test]
+    fn z_value_common_levels() {
+        assert!((z_value(0.05) - 1.959964).abs() < 1e-5);
+        assert!((z_value(0.01) - 2.575829).abs() < 1e-5);
+        assert!((z_value(0.10) - 1.644854).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must lie in (0, 1)")]
+    fn z_value_rejects_bad_alpha() {
+        z_value(1.5);
+    }
+
+    #[test]
+    fn ln_gamma_factorials() {
+        // Γ(n) = (n−1)!
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(11.0) - 3628800.0_f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn beta_symmetry_and_known_value() {
+        assert!((beta(2.0, 3.0) - beta(3.0, 2.0)).abs() < 1e-12);
+        // B(2,3) = 1!·2!/4! = 1/12.
+        assert!((beta(2.0, 3.0) - 1.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries_and_symmetry() {
+        assert_eq!(regularized_incomplete_beta(0.0, 2.0, 3.0), 0.0);
+        assert_eq!(regularized_incomplete_beta(1.0, 2.0, 3.0), 1.0);
+        let x = 0.37;
+        let lhs = regularized_incomplete_beta(x, 2.5, 1.5);
+        let rhs = 1.0 - regularized_incomplete_beta(1.0 - x, 1.5, 2.5);
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1, 1) = x.
+        for x in [0.1, 0.35, 0.62, 0.99] {
+            assert!((regularized_incomplete_beta(x, 1.0, 1.0) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_half_half_is_arcsine() {
+        // I_x(1/2, 1/2) = (2/π)·arcsin(√x).
+        for x in [0.2f64, 0.5, 0.8] {
+            let want = 2.0 / PI * x.sqrt().asin();
+            let got = regularized_incomplete_beta(x, 0.5, 0.5);
+            assert!((got - want).abs() < 1e-10, "x = {x}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn sin_power_integral_closed_forms() {
+        // k = 0: θ. k = 1: 1 − cos θ. k = 2: θ/2 − sin(2θ)/4.
+        let th = 0.9;
+        assert!((sin_power_integral(th, 0) - th).abs() < 1e-14);
+        assert!((sin_power_integral(th, 1) - (1.0 - th.cos())).abs() < 1e-14);
+        let want2 = th / 2.0 - (2.0 * th).sin() / 4.0;
+        assert!((sin_power_integral(th, 2) - want2).abs() < 1e-12);
+        // k = 3: cos³θ/3 − cos θ + 2/3.
+        let want3 = th.cos().powi(3) / 3.0 - th.cos() + 2.0 / 3.0;
+        assert!((sin_power_integral(th, 3) - want3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sin_power_integral_matches_beta_form() {
+        // ∫₀^θ sinᵏ = ½ B_{sin²θ}((k+1)/2, ½) for θ ∈ [0, π/2]  (Li 2011).
+        for k in 0..8 {
+            for theta in [0.2, FRAC_PI_4, 1.1, FRAC_PI_2] {
+                let direct = sin_power_integral(theta, k);
+                let x = theta.sin().powi(2);
+                let a = (k as f64 + 1.0) / 2.0;
+                let via_beta = 0.5 * regularized_incomplete_beta(x, a, 0.5) * beta(a, 0.5);
+                assert!(
+                    (direct - via_beta).abs() < 1e-9,
+                    "k={k}, θ={theta}: {direct} vs {via_beta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sin_power_integral_matches_riemann_sum() {
+        for k in [2usize, 4, 7] {
+            let theta = 1.3;
+            let steps = 200_000;
+            let h = theta / steps as f64;
+            let riemann: f64 =
+                (0..steps).map(|i| ((i as f64 + 0.5) * h).sin().powi(k as i32) * h).sum();
+            let exact = sin_power_integral(theta, k);
+            assert!((exact - riemann).abs() < 1e-8, "k={k}: {exact} vs {riemann}");
+        }
+    }
+
+    #[test]
+    fn sin_power_integral_monotone_in_theta() {
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let v = sin_power_integral(i as f64 * FRAC_PI_2 / 10.0, 3);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+}

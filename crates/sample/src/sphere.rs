@@ -1,0 +1,176 @@
+//! Uniform sampling on the unit sphere and its first orthant (§5.1).
+//!
+//! Algorithm 9: draw `|N(0, 1)|` per coordinate and normalize. Because the
+//! multivariate standard normal is rotation invariant, the normalized
+//! vector is uniform on the sphere; taking absolute values folds it into
+//! the first orthant, which is exactly the universe `U` of scoring
+//! functions.
+//!
+//! The *naive* sampler — uniform angles, then `to_cartesian` — is biased
+//! (Figure 3 of the paper) and is kept solely to demonstrate and test that
+//! bias.
+
+use crate::normal::NormalSampler;
+use rand::Rng;
+use srank_geom::polar::to_cartesian;
+use std::f64::consts::FRAC_PI_2;
+
+/// Algorithm 9: a uniform random scoring function — a point on the first
+/// orthant of the unit `d`-sphere.
+pub fn sample_orthant_direction<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    assert!(d >= 1, "sample_orthant_direction: need d ≥ 1");
+    let mut normal = NormalSampler::new();
+    loop {
+        let mut w: Vec<f64> = (0..d).map(|_| normal.sample(rng).abs()).collect();
+        let n: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > f64::EPSILON {
+            for x in &mut w {
+                *x /= n;
+            }
+            return w;
+        }
+    }
+}
+
+/// A uniform random direction on the full unit `d`-sphere.
+pub fn sample_sphere_direction<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    assert!(d >= 1, "sample_sphere_direction: need d ≥ 1");
+    let mut normal = NormalSampler::new();
+    loop {
+        let mut w: Vec<f64> = (0..d).map(|_| normal.sample(rng)).collect();
+        let n: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if n > f64::EPSILON {
+            for x in &mut w {
+                *x /= n;
+            }
+            return w;
+        }
+    }
+}
+
+/// The biased sampler of Figure 3: draw the `d − 1` polar angles uniformly
+/// in `[0, π/2]` and convert to Cartesian. Correct only for `d = 2`.
+pub fn sample_angles_naive<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    assert!(d >= 2, "sample_angles_naive: need d ≥ 2");
+    let angles: Vec<f64> = (0..d - 1).map(|_| rng.random::<f64>() * FRAC_PI_2).collect();
+    to_cartesian(1.0, &angles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use srank_geom::vector::norm;
+
+    #[test]
+    fn orthant_samples_are_unit_and_nonnegative() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let w = sample_orthant_direction(&mut rng, 4);
+            assert!((norm(&w) - 1.0).abs() < 1e-12);
+            assert!(w.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn sphere_samples_are_unit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let w = sample_sphere_direction(&mut rng, 5);
+            assert!((norm(&w) - 1.0).abs() < 1e-12);
+        }
+        // And they hit all sign patterns eventually.
+        let mut saw_negative = false;
+        for _ in 0..100 {
+            if sample_sphere_direction(&mut rng, 3).iter().any(|&x| x < 0.0) {
+                saw_negative = true;
+                break;
+            }
+        }
+        assert!(saw_negative);
+    }
+
+    /// Per-coordinate mean of a uniform orthant sample in R³. By symmetry
+    /// all coordinates share the same mean; its exact value is the centroid
+    /// coordinate of the spherical triangle, `E[x_i] = (4/π)·(1/2)/… `
+    /// — rather than deriving it we assert symmetry plus a Monte-Carlo
+    /// bracket, which is what distinguishes the unbiased sampler from the
+    /// naive one below.
+    #[test]
+    fn orthant_sampler_is_coordinate_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 60_000;
+        let mut means = [0.0f64; 3];
+        for _ in 0..n {
+            let w = sample_orthant_direction(&mut rng, 3);
+            for (m, x) in means.iter_mut().zip(&w) {
+                *m += x;
+            }
+        }
+        for m in &mut means {
+            *m /= n as f64;
+        }
+        assert!((means[0] - means[1]).abs() < 0.01, "{means:?}");
+        assert!((means[1] - means[2]).abs() < 0.01, "{means:?}");
+    }
+
+    /// The Figure 3 demonstration, as a statistic instead of a scatter
+    /// plot: under uniform-angle sampling in R³ the last coordinate is
+    /// cos(θ₂) with θ₂ ~ U[0, π/2], so E[x₃] = 2/π ≈ 0.637 — far above the
+    /// unbiased sampler's symmetric mean. The naive sampler is *not*
+    /// coordinate-symmetric.
+    #[test]
+    fn naive_sampler_is_biased_toward_last_axis() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 60_000;
+        let mut mean_last = 0.0;
+        let mut mean_first = 0.0;
+        for _ in 0..n {
+            let w = sample_angles_naive(&mut rng, 3);
+            mean_last += w[2];
+            mean_first += w[0];
+        }
+        mean_last /= n as f64;
+        mean_first /= n as f64;
+        assert!(
+            (mean_last - 2.0 / std::f64::consts::PI).abs() < 0.01,
+            "E[x₃] = {mean_last}, expected ≈ 0.6366"
+        );
+        assert!(mean_last - mean_first > 0.1, "naive sampler must be asymmetric");
+    }
+
+    #[test]
+    fn naive_sampler_is_fine_in_2d() {
+        // In 2D the arc-length measure *is* the angle measure, so the naive
+        // sampler is unbiased; the empirical mean angle must be π/4.
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let mut mean_angle = 0.0;
+        for _ in 0..n {
+            let w = sample_angles_naive(&mut rng, 2);
+            mean_angle += w[1].atan2(w[0]);
+        }
+        mean_angle /= n as f64;
+        assert!((mean_angle - std::f64::consts::FRAC_PI_4).abs() < 0.01);
+    }
+
+    /// Chi-square uniformity of the orthant sampler over octant-like solid
+    /// angle cells: split by which coordinate is largest — by symmetry each
+    /// cell has probability 1/3 in R³.
+    #[test]
+    fn orthant_sampler_chi_square_on_argmax_cells() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 30_000usize;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            let w = sample_orthant_direction(&mut rng, 3);
+            let argmax = (0..3).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+            counts[argmax] += 1;
+        }
+        let expected = n as f64 / 3.0;
+        let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        // 2 degrees of freedom; P(χ² > 13.8) ≈ 0.001.
+        assert!(chi2 < 13.8, "χ² = {chi2}, counts = {counts:?}");
+    }
+}

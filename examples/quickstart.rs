@@ -1,0 +1,80 @@
+//! Quickstart: the paper's running example (Figure 1).
+//!
+//! An HR department scores five candidates on aptitude (x1) and experience
+//! (x2) and publishes the ranking under f = x1 + x2. We play both roles:
+//! the *consumer* verifies how stable the published ranking is, and the
+//! *producer* enumerates every feasible ranking in order of stability.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stable_rankings::prelude::*;
+
+fn main() {
+    // Figure 1a: the candidate database.
+    let data = Dataset::figure1();
+    let names = ["t1", "t2", "t3", "t4", "t5"];
+    println!("The Figure 1a database (aptitude, experience):");
+    for (i, name) in names.iter().enumerate() {
+        let item = data.item(i);
+        println!("  {name}: ({:.2}, {:.2})", item[0], item[1]);
+    }
+
+    // The published ranking under equal weights.
+    let f = ScoringFunction::new(&[1.0, 1.0]).unwrap();
+    let published = data.rank(f.weights()).unwrap();
+    println!(
+        "\nPublished ranking under f = x1 + x2: {}",
+        format_ranking(&published, &names)
+    );
+
+    // --- Consumer: stability verification (Problem 1, Algorithm 1) -----
+    let verified = stability_verify_2d(&data, &published, AngleInterval::full())
+        .unwrap()
+        .expect("the published ranking is feasible");
+    println!(
+        "Stability: {:.1}% of all scoring functions produce this ranking",
+        100.0 * verified.stability
+    );
+    println!(
+        "Region: angles [{:.4}, {:.4}] rad (f itself sits at {:.4})",
+        verified.region.lo(),
+        verified.region.hi(),
+        std::f64::consts::FRAC_PI_4
+    );
+
+    // --- Producer: enumerate rankings by stability (Problems 2–3) ------
+    let mut enumerator = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    println!(
+        "\nAll {} feasible rankings, most stable first (Figure 1c has 11 regions):",
+        enumerator.num_regions()
+    );
+    let mut rank_index = 1;
+    while let Some(stable) = enumerator.get_next() {
+        println!(
+            "  #{rank_index:2}  stability {:5.1}%  {}",
+            100.0 * stable.stability,
+            format_ranking(&stable.ranking, &names)
+        );
+        rank_index += 1;
+    }
+
+    // --- Producer with constraints: an acceptable region ---------------
+    // Example 3: aptitude should be about twice as important as
+    // experience — weights within 20% of ratio 2.
+    let lo = (1.0f64 / 2.4).atan(); // w2/w1 = 1/2.4
+    let hi = (1.0f64 / 1.6).atan(); // w2/w1 = 1/1.6
+    let interval = AngleInterval::new(lo, hi).unwrap();
+    let mut constrained = Enumerator2D::new(&data, interval).unwrap();
+    let best = constrained.get_next().unwrap();
+    println!(
+        "\nWithin the acceptable region (aptitude ≈ 2× experience):\n  \
+         most stable ranking is {} with {:.1}% of the region",
+        format_ranking(&best.ranking, &names),
+        100.0 * best.stability
+    );
+}
+
+fn format_ranking(r: &Ranking, names: &[&str]) -> String {
+    let parts: Vec<&str> = r.order().iter().map(|&i| names[i as usize]).collect();
+    format!("⟨{}⟩", parts.join(", "))
+}

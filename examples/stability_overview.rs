@@ -1,0 +1,62 @@
+//! Stability overviews and tolerant stability — the paper's §1 "overview"
+//! mode and the §8 future-work extension, on the CSMetrics workload.
+//!
+//! A producer who cannot pick a single scoring function can still publish a
+//! defensible summary: how concentrated the stability mass is, how many
+//! rankings it takes to cover most of the acceptable region, and which
+//! ranking is most stable once "off-by-a-few-swaps" rankings are treated as
+//! equivalent (Kendall-tau tolerance).
+//!
+//! Run with: `cargo run --release --example stability_overview`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stable_rankings::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let table = csmetrics_top100(&mut rng);
+    let data = Dataset::from_rows(&table.normalized()).unwrap();
+
+    // Enumerate everything exactly (d = 2).
+    let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let enumeration: Vec<(Ranking, f64)> =
+        std::iter::from_fn(|| e.get_next()).map(|s| (s.ranking, s.stability)).collect();
+
+    // --- The overview -----------------------------------------------------
+    let overview = StabilityOverview::from_stabilities(
+        enumeration.iter().map(|(_, s)| *s).collect(),
+    )
+    .unwrap();
+    println!("{} feasible rankings over the whole function space.", overview.len());
+    println!(
+        "Effective number of rankings (entropy-based): {:.1}",
+        overview.effective_rankings()
+    );
+    for fraction in [0.25, 0.5, 0.75, 0.9] {
+        println!(
+            "  covering {:>3.0}% of all weight choices takes the top {} rankings",
+            fraction * 100.0,
+            overview.rankings_to_cover(fraction).unwrap()
+        );
+    }
+
+    // --- Tolerant stability (§8 future work) ------------------------------
+    // Treat rankings within τ adjacent swaps as "the same result".
+    let reference = data.rank(&[0.3, 0.7]).unwrap();
+    println!("\nKendall-tau–tolerant stability of the published (α = 0.3) ranking:");
+    for tau in [0usize, 1, 2, 5, 10, 25] {
+        let s = tau_tolerant_stability(&reference, &enumeration, tau).unwrap();
+        println!("  τ = {tau:>2}: {:.2}% of weight choices", 100.0 * s);
+    }
+
+    let (idx0, mass0) = most_tau_stable(&enumeration, 0).unwrap().unwrap();
+    let (idx5, mass5) = most_tau_stable(&enumeration, 5).unwrap().unwrap();
+    println!(
+        "\nMost stable ranking: #{idx0} with {:.2}%; most τ=5-stable: #{idx5} with \
+         {:.2}% — tolerance can promote a different ranking whose neighbourhood is \
+         collectively large.",
+        100.0 * mass0,
+        100.0 * mass5
+    );
+}

@@ -1,0 +1,83 @@
+//! # stable-rankings
+//!
+//! A production-quality Rust implementation of **“On Obtaining Stable
+//! Rankings”** (Asudeh, Jagadish, Miklau, Stoyanovich — PVLDB 12(3),
+//! 2018): tools for *consumers* of ranked lists to verify how robust a
+//! published ranking is to the choice of scoring weights, and for
+//! *producers* to discover the most stable rankings within an acceptable
+//! region of scoring functions.
+//!
+//! This facade crate re-exports the four library crates of the workspace:
+//!
+//! * [`core`] (`srank-core`) — the paper's algorithms: `SV2D`,
+//!   `RAYSWEEPING`/`GET-NEXT2D`, multi-dimensional `SV`, `×hps`, the lazy
+//!   arrangement `GET-NEXTmd`, and the randomized Monte-Carlo `GET-NEXTr`
+//!   with full / top-k-ranked / top-k-set scopes;
+//! * [`geom`] (`srank-geom`) — dual space, ordering-exchange hyperplanes,
+//!   convex cones, rotations, dominance/skyline, LP feasibility;
+//! * [`sample`] (`srank-sample`) — uniform function sampling (orthant and
+//!   spherical-cap inverse-CDF), the stability oracle, sample
+//!   partitioning, and Bernoulli confidence machinery;
+//! * [`data`] (`srank-data`) — reproducible simulators for the paper's
+//!   evaluation workloads (CSMetrics, FIFA, Blue Nile, DoT, synthetic).
+//!
+//! ## Example
+//!
+//! ```
+//! use stable_rankings::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A producer scores candidates on aptitude and experience.
+//! let data = Dataset::figure1();
+//!
+//! // How robust is the equal-weights ranking?
+//! let published = data.rank(&[1.0, 1.0]).unwrap();
+//! let verified =
+//!     stability_verify_2d(&data, &published, AngleInterval::full()).unwrap().unwrap();
+//! println!("published ranking occupies {:.1}% of the weight space",
+//!          100.0 * verified.stability);
+//!
+//! // What would the most stable ranking be?
+//! let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+//! let best = e.get_next().unwrap();
+//! assert!(best.stability >= verified.stability);
+//! ```
+
+pub use srank_core as core;
+pub use srank_data as data;
+pub use srank_geom as geom;
+pub use srank_sample as sample;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use srank_core::prelude::*;
+    pub use srank_core::{ordering_exchange_hyperplanes, ranking_region_md, Region2DInfo};
+    pub use srank_data::{
+        bluenile, csmetrics, csmetrics_top100, dot, fifa, fifa_top100, synthetic, Column,
+        CorrelationKind, Direction, RawTable,
+    };
+    pub use srank_geom::dominance::{dominates, skyline_bnl, skyline_sort_filter};
+    pub use srank_sample::confidence::{confidence_error, ConfidenceInterval};
+    pub use srank_sample::store::SampleBuffer;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_glues_data_to_core() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+        let table = csmetrics_top100(&mut rng);
+        let data = Dataset::from_rows(&table.normalized()).unwrap();
+        assert_eq!(data.len(), 100);
+        assert_eq!(data.dim(), 2);
+        let reference = data.rank(&[0.3, 0.7]).unwrap();
+        let v = stability_verify_2d(&data, &reference, AngleInterval::full())
+            .unwrap()
+            .expect("reference ranking is feasible");
+        assert!(v.stability > 0.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Integration tests pinning the paper's concrete claims and worked
+//! examples, end to end.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use stable_rankings::prelude::*;
+
+/// §2.1.2 + Figure 1: the full worked example.
+#[test]
+fn figure1_worked_example() {
+    let data = Dataset::figure1();
+    // Scores under f = x1 + x2 (Figure 1a).
+    let f = ScoringFunction::new(&[1.0, 1.0]).unwrap();
+    let scores: Vec<f64> = (0..5).map(|i| f.score(data.item(i))).collect();
+    let expected = [1.34, 1.48, 1.36, 1.38, 1.35];
+    for (s, e) in scores.iter().zip(&expected) {
+        assert!((s - e).abs() < 1e-12);
+    }
+    // Ranking ⟨t2, t4, t3, t5, t1⟩.
+    assert_eq!(data.rank(f.weights()).unwrap().order(), &[1, 3, 2, 4, 0]);
+    // Figure 1c: 11 regions.
+    let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    assert_eq!(e.num_regions(), 11);
+}
+
+/// §3.2: the region-of-interest examples. U*₁ = {w₁ ≤ w₂, 2w₁ ≥ w₂};
+/// U*₂ = π/10 around ⟨1, 1⟩, i.e. [3π/20, 7π/20] — check the angles.
+#[test]
+fn section_3_2_interval_examples() {
+    use std::f64::consts::{FRAC_PI_4, PI};
+    // U*₂ = the π/10-cone around f = x1 + x2 is [π/4 − π/10, π/4 + π/10]
+    // = [3π/20, 7π/20] exactly as the paper states.
+    let u2 = AngleInterval::around(&[1.0, 1.0], PI / 10.0).unwrap();
+    assert!((u2.lo() - 3.0 * PI / 20.0).abs() < 1e-12);
+    assert!((u2.hi() - 7.0 * PI / 20.0).abs() < 1e-12);
+    // And π/10 is the 95.1% cosine similarity the paper quotes.
+    assert!(((PI / 10.0).cos() - 0.951).abs() < 5e-4);
+    // U*₁ spans [π/4, arctan 2] (the paper rounds the top to π/3).
+    let f_lo = ScoringFunction::from_angles(&[FRAC_PI_4 + 1e-6]).unwrap();
+    assert!(f_lo.weights()[1] >= f_lo.weights()[0]);
+}
+
+/// §2.2.5 toy example, via the exact enumerator: among all top-3 sets,
+/// {t2, t3, t4} is the most stable while the skyline is {t1, t2, t5}.
+#[test]
+fn toy_example_exact_top3_sets() {
+    let rows = vec![
+        vec![1.0, 0.0],
+        vec![0.99, 0.99],
+        vec![0.98, 0.98],
+        vec![0.97, 0.97],
+        vec![0.0, 1.0],
+    ];
+    let data = Dataset::from_rows(&rows).unwrap();
+    // Exact: accumulate top-3-set stability over the sweep's regions.
+    let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let mut set_stability: std::collections::HashMap<Vec<u32>, f64> = Default::default();
+    while let Some(s) = e.get_next() {
+        let set = s.ranking.top_k_set(3).items().to_vec();
+        *set_stability.entry(set).or_default() += s.stability;
+    }
+    let (best_set, best_mass) = set_stability
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .map(|(k, v)| (k.clone(), *v))
+        .unwrap();
+    assert_eq!(best_set, vec![1, 2, 3], "most stable top-3 must be {{t2,t3,t4}}");
+    assert!(best_mass > 0.5, "the near-diagonal trio owns most of the quadrant");
+    assert_eq!(skyline_bnl(&rows), vec![0, 1, 4]);
+}
+
+/// §6.2 CSMetrics claims, on the simulator: a few hundred feasible
+/// rankings; the reference ranking is mid-pack stable (not top-100); the
+/// most stable ranking beats it severalfold; the narrow 0.998-cos-sim
+/// region still holds dozens of rankings with the reference below its
+/// maximum.
+#[test]
+fn csmetrics_shape_claims() {
+    let mut rng = StdRng::seed_from_u64(2018);
+    let table = csmetrics_top100(&mut rng);
+    let data = Dataset::from_rows(&table.normalized()).unwrap();
+    let reference = data.rank(&[0.3, 0.7]).unwrap();
+
+    let mut all = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let n = all.num_regions();
+    assert!(
+        (150..1500).contains(&n),
+        "feasible rankings should be a few hundred (paper: 336), got {n}"
+    );
+
+    let v = stability_verify_2d(&data, &reference, AngleInterval::full())
+        .unwrap()
+        .expect("reference is feasible");
+
+    // Rank of the reference by stability.
+    let mut position = 0;
+    let mut best = None;
+    while let Some(s) = all.get_next() {
+        position += 1;
+        if best.is_none() {
+            best = Some(s.clone());
+        }
+        if s.ranking == reference {
+            break;
+        }
+    }
+    assert!(position > 50, "reference must not be among the most stable (got #{position})");
+    let best = best.unwrap();
+    assert!(
+        best.stability > 3.0 * v.stability,
+        "most stable ({}) should dwarf the reference ({})",
+        best.stability,
+        v.stability
+    );
+
+    // The narrow region around the reference function.
+    let narrow = AngleInterval::around(&[0.3, 0.7], 0.998f64.acos()).unwrap();
+    let mut near = Enumerator2D::new(&data, narrow).unwrap();
+    let m = near.num_regions();
+    assert!((5..200).contains(&m), "paper found 22 rankings in the narrow region, got {m}");
+    let near_best = near.get_next().unwrap();
+    let v_near = stability_verify_2d(&data, &reference, narrow)
+        .unwrap()
+        .expect("reference is feasible in its own neighbourhood");
+    assert!(
+        near_best.stability > v_near.stability,
+        "even nearby, the reference is not the most stable"
+    );
+}
+
+/// §6.2 FIFA claim: inside the 0.999-cosine cone around FIFA's weights
+/// there are many feasible rankings and the official one is not among the
+/// most stable.
+#[test]
+fn fifa_shape_claims() {
+    let mut rng = StdRng::seed_from_u64(1904);
+    let table = fifa_top100(&mut rng);
+    let data = Dataset::from_rows(&table.normalized()).unwrap();
+    let reference = data.rank(&[1.0, 0.5, 0.3, 0.2]).unwrap();
+    let roi = RegionOfInterest::cone_cosine(&[1.0, 0.5, 0.3, 0.2], 0.999);
+
+    let mut md_rng = StdRng::seed_from_u64(20);
+    let mut md = MdEnumerator::new(&data, &roi, 10_000, &mut md_rng).unwrap();
+    let top100 = md.top_h(100);
+    assert!(top100.len() >= 50, "d = 4 should yield many rankings even in a narrow cone");
+    assert!(
+        !top100.iter().any(|s| s.ranking == reference),
+        "the official FIFA ranking should not appear among the top-100 stable"
+    );
+}
+
+/// §6.3 Figure 21 claim: correlated data concentrates stability mass on
+/// the top sets (steeper drop), anti-correlated data spreads it out.
+#[test]
+fn correlation_effect_on_topk_stability() {
+    let stability_profile = |kind: CorrelationKind, seed: u64| -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let table = synthetic(&mut rng, kind, 2_000, 3);
+        let data = Dataset::from_rows(&table.normalized()).unwrap();
+        let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], std::f64::consts::PI / 50.0);
+        let mut op =
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(10), 0.05).unwrap();
+        let mut op_rng = StdRng::seed_from_u64(seed + 1);
+        op.sample_n(&mut op_rng, 5_000);
+        (0..10)
+            .map_while(|_| op.get_next_budget(&mut op_rng, 0))
+            .map(|d| d.stability)
+            .collect()
+    };
+    let cor = stability_profile(CorrelationKind::Correlated, 30);
+    let anti = stability_profile(CorrelationKind::AntiCorrelated, 40);
+    assert!(
+        cor[0] > anti[0],
+        "correlated top set should be more stable: {} vs {}",
+        cor[0],
+        anti[0]
+    );
+    // Steeper slope for correlated data: ratio of 1st to 5th stability.
+    if cor.len() >= 5 && anti.len() >= 5 {
+        let cor_slope = cor[0] / cor[4].max(1e-9);
+        let anti_slope = anti[0] / anti[4].max(1e-9);
+        assert!(
+            cor_slope > anti_slope,
+            "correlated should drop faster: {cor_slope} vs {anti_slope}"
+        );
+    }
+}
+
+/// Theorem 2 in action end-to-end: discovering a ranking of stability S
+/// takes on the order of 1/S samples.
+#[test]
+fn discovery_cost_follows_theorem2() {
+    let data = Dataset::figure1();
+    let roi = RegionOfInterest::full(2);
+    // Exact stabilities of all 11 rankings.
+    let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+    let all: Vec<StableRanking2D> = std::iter::from_fn(|| e.get_next()).collect();
+    let rarest = all.last().unwrap();
+    let expected_cost = 1.0 / rarest.stability;
+
+    // Measure the average discovery time of the rarest ranking.
+    let trials = 40;
+    let mut total = 0u64;
+    for t in 0..trials {
+        let mut rng = StdRng::seed_from_u64(1000 + t);
+        let sampler = roi.sampler();
+        let mut count = 0u64;
+        loop {
+            count += 1;
+            let w = sampler.sample(&mut rng);
+            if data.rank(&w).unwrap() == rarest.ranking {
+                break;
+            }
+            assert!(count < 1_000_000, "rarest ranking never sampled");
+        }
+        total += count;
+    }
+    let mean = total as f64 / trials as f64;
+    assert!(
+        mean > expected_cost / 3.0 && mean < expected_cost * 3.0,
+        "mean discovery cost {mean} should be near 1/S = {expected_cost}"
+    );
+}
