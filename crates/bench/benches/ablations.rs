@@ -25,13 +25,19 @@ fn bench_2d_enumeration(c: &mut Criterion) {
         let data = bluenile_dataset(n, 2);
         g.bench_with_input(BenchmarkId::new("ray_sweep", n), &n, |b, _| {
             b.iter(|| {
-                black_box(Enumerator2D::new(&data, AngleInterval::full()).unwrap().num_regions())
+                black_box(
+                    Enumerator2D::new(&data, AngleInterval::full())
+                        .unwrap()
+                        .num_regions(),
+                )
             })
         });
         g.bench_with_input(BenchmarkId::new("sorted_exchanges", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    regions_via_sorted_exchanges(&data, AngleInterval::full()).unwrap().len(),
+                    regions_via_sorted_exchanges(&data, AngleInterval::full())
+                        .unwrap()
+                        .len(),
                 )
             })
         });
@@ -73,10 +79,7 @@ fn bench_parallel_sampling(c: &mut Criterion) {
     for threads in [1usize, 4, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter_batched(
-                || {
-                    RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(10), 0.05)
-                        .unwrap()
-                },
+                || RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(10), 0.05).unwrap(),
                 |mut op| {
                     op.sample_n_parallel(7, 500, t);
                     black_box(op.total_samples())
@@ -88,5 +91,10 @@ fn bench_parallel_sampling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_2d_enumeration, bench_passthrough_modes, bench_parallel_sampling);
+criterion_group!(
+    benches,
+    bench_2d_enumeration,
+    bench_passthrough_modes,
+    bench_parallel_sampling
+);
 criterion_main!(benches);

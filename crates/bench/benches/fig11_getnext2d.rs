@@ -19,8 +19,7 @@ fn bench_first_call(c: &mut Criterion) {
         let data = bluenile_dataset(n, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let mut e =
-                    Enumerator2D::new(black_box(&data), AngleInterval::full()).unwrap();
+                let mut e = Enumerator2D::new(black_box(&data), AngleInterval::full()).unwrap();
                 black_box(e.get_next())
             })
         });

@@ -25,8 +25,7 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    stability_verify_md(black_box(&data), black_box(&ranking), &samples)
-                        .unwrap(),
+                    stability_verify_md(black_box(&data), black_box(&ranking), &samples).unwrap(),
                 )
             })
         });

@@ -17,8 +17,11 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig15_getnextmd_theta");
     g.sample_size(10).warm_up_time(Duration::from_millis(300));
     let data = bluenile_dataset(100, 3);
-    for (label, theta) in [("pi_10", PI / 10.0), ("pi_50", PI / 50.0), ("pi_100", PI / 100.0)]
-    {
+    for (label, theta) in [
+        ("pi_10", PI / 10.0),
+        ("pi_50", PI / 50.0),
+        ("pi_100", PI / 100.0),
+    ] {
         let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], theta);
         let mut rng = StdRng::seed_from_u64(15);
         let template = MdEnumerator::new(&data, &roi, 20_000, &mut rng).unwrap();

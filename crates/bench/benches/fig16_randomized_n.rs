@@ -21,13 +21,9 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
                 || {
-                    let op = RandomizedEnumerator::new(
-                        &data,
-                        &roi,
-                        RankingScope::TopKRanked(10),
-                        0.05,
-                    )
-                    .unwrap();
+                    let op =
+                        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(10), 0.05)
+                            .unwrap();
                     (op, StdRng::seed_from_u64(16))
                 },
                 |(mut op, mut rng)| black_box(op.get_next_budget(&mut rng, 5_000)),

@@ -26,13 +26,9 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter_batched(
                 || {
-                    let op = RandomizedEnumerator::new(
-                        &data,
-                        &roi,
-                        RankingScope::TopKSet(10),
-                        0.05,
-                    )
-                    .unwrap();
+                    let op =
+                        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(10), 0.05)
+                            .unwrap();
                     (op, StdRng::seed_from_u64(18))
                 },
                 |(mut op, mut rng)| black_box(op.get_next_budget(&mut rng, 100)),

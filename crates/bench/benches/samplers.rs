@@ -72,9 +72,7 @@ fn bench_oracle(c: &mut Criterion) {
     let mut g = c.benchmark_group("stability_oracle");
     g.sample_size(10).warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(3);
-    let samples = SampleBuffer::generate(&mut rng, 1_000_000, |r| {
-        sample_orthant_direction(r, 3)
-    });
+    let samples = SampleBuffer::generate(&mut rng, 1_000_000, |r| sample_orthant_direction(r, 3));
     let region = ConeRegion::from_halfspaces(
         3,
         vec![
@@ -99,11 +97,9 @@ fn bench_partition_vs_oracle(c: &mut Criterion) {
     let mut g = c.benchmark_group("partition_vs_oracle");
     g.sample_size(10).warm_up_time(Duration::from_millis(300));
     let mut rng = StdRng::seed_from_u64(4);
-    let buffer =
-        SampleBuffer::generate(&mut rng, 200_000, |r| sample_orthant_direction(r, 3));
+    let buffer = SampleBuffer::generate(&mut rng, 200_000, |r| sample_orthant_direction(r, 3));
     let hp = OrderingExchange::from_coeffs(vec![0.4, -0.8, 0.3]);
-    let region =
-        ConeRegion::from_halfspaces(3, vec![HalfSpace::new(vec![0.4, -0.8, 0.3])]);
+    let region = ConeRegion::from_halfspaces(3, vec![HalfSpace::new(vec![0.4, -0.8, 0.3])]);
 
     // One partition pays O(|S|) once; afterwards stability reads are O(1).
     g.bench_function("partition_once_200k", |b| {

@@ -1,0 +1,104 @@
+//! srank-service result cache: cold vs cached query latency.
+//!
+//! The acceptance bar for the service is a ≥ 10× speedup of a repeated
+//! identical `verify` over a cold one on a DoT/FIFA-sized dataset; the
+//! measured gap is orders of magnitude larger (an LRU lookup vs a full
+//! Monte-Carlo verification), which is the whole point of fronting the
+//! paper's oracles with a cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use srank_service::registry::DatasetSource;
+use srank_service::{Engine, EngineConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+struct Workload {
+    label: &'static str,
+    family: &'static str,
+    n: usize,
+    weights: &'static str,
+}
+
+const WORKLOADS: &[Workload] = &[
+    // The paper's DoT flight table (d = 3) at interactive scale.
+    Workload {
+        label: "dot2000",
+        family: "dot",
+        n: 2_000,
+        weights: "[1, 1, 1]",
+    },
+    // The FIFA top-100 workload (d = 4) of Figures 13–17.
+    Workload {
+        label: "fifa100",
+        family: "fifa",
+        n: 100,
+        weights: "[1, 1, 1, 1]",
+    },
+];
+
+fn engine_for(w: &Workload) -> Engine {
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .registry()
+        .load(
+            w.label,
+            &DatasetSource::Builtin {
+                family: w.family.into(),
+                n: w.n,
+                d: 0,
+                seed: 1322,
+            },
+        )
+        .expect("builtin dataset loads");
+    engine
+}
+
+fn verify_line(w: &Workload, weights: &str, seed: u64) -> String {
+    format!(
+        r#"{{"op": "verify", "dataset": "{}", "weights": {weights}, "samples": 20000, "seed": {seed}}}"#,
+        w.label
+    )
+}
+
+fn bench_cold_vs_cached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service_verify");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(10));
+    for w in WORKLOADS {
+        let engine = engine_for(w);
+        // Cold path: every iteration changes the seed, so both the result
+        // cache and the sample cache miss and the full Monte-Carlo
+        // verification runs.
+        let mut seed = 0u64;
+        g.bench_with_input(BenchmarkId::new("cold", w.label), w, |b, w| {
+            b.iter(|| {
+                seed += 1;
+                black_box(engine.handle_line(&verify_line(w, w.weights, seed)))
+            })
+        });
+        // Cached path: the identical request, answered from the LRU.
+        let line = verify_line(w, w.weights, 999);
+        engine.handle_line(&line); // prime
+        g.bench_with_input(BenchmarkId::new("cached", w.label), w, |b, _| {
+            b.iter(|| black_box(engine.handle_line(&line)))
+        });
+        // Sample-reuse middle ground: new weights every iteration, same
+        // dataset/ROI — the result cache misses but the Monte-Carlo batch
+        // is shared instead of redrawn.
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("sample_reuse", w.label), w, |b, w| {
+            b.iter(|| {
+                i += 1;
+                let weights = w
+                    .weights
+                    .replace("1]", &format!("{}]", 1.0 + i as f64 * 1e-6));
+                black_box(engine.handle_line(&verify_line(w, &weights, 999)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_cached);
+criterion_main!(benches);

@@ -22,8 +22,8 @@ use srank_core::prelude::*;
 use srank_core::Region2DInfo;
 use srank_data::CorrelationKind;
 use srank_sample::cap::CapSampler;
-use srank_sample::sphere::{sample_angles_naive, sample_orthant_direction};
 use srank_sample::special::sin_power_integral;
+use srank_sample::sphere::{sample_angles_naive, sample_orthant_direction};
 use std::f64::consts::PI;
 use std::time::Instant;
 
@@ -49,9 +49,7 @@ fn main() {
             other if other.starts_with("fig") => wanted.push(other.to_string()),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!(
-                    "usage: figures [--quick|--full] [--json DIR] [fig3 ... fig21 | all]"
-                );
+                eprintln!("usage: figures [--quick|--full] [--json DIR] [fig3 ... fig21 | all]");
                 std::process::exit(2);
             }
         }
@@ -90,8 +88,7 @@ fn main() {
         if let Some(dir) = &json_dir {
             std::fs::create_dir_all(dir).expect("create json dir");
             let path = format!("{dir}/{id}.json");
-            std::fs::write(&path, serde_json::to_string_pretty(&fig).unwrap())
-                .expect("write json");
+            std::fs::write(&path, serde_json::to_string_pretty(&fig).unwrap()).expect("write json");
         }
     }
 }
@@ -118,11 +115,16 @@ fn cloud_stats(points: &[Vec<f64>]) -> (Vec<f64>, f64) {
         for (m, x) in means.iter_mut().zip(p) {
             *m += x / n as f64;
         }
-        let argmax = (0..d).max_by(|&a, &b| p[a].partial_cmp(&p[b]).unwrap()).unwrap();
+        let argmax = (0..d)
+            .max_by(|&a, &b| p[a].partial_cmp(&p[b]).unwrap())
+            .unwrap();
         counts[argmax] += 1;
     }
     let expected = n as f64 / d as f64;
-    let chi2 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+    let chi2 = counts
+        .iter()
+        .map(|&c| (c as f64 - expected).powi(2) / expected)
+        .sum();
     (means, chi2)
 }
 
@@ -134,7 +136,9 @@ fn fig3(_: Scale) -> Figure {
         "mean coordinate value",
     );
     let mut rng = StdRng::seed_from_u64(seeds::SAMPLER);
-    let pts: Vec<Vec<f64>> = (0..1000).map(|_| sample_angles_naive(&mut rng, 3)).collect();
+    let pts: Vec<Vec<f64>> = (0..1000)
+        .map(|_| sample_angles_naive(&mut rng, 3))
+        .collect();
     let (means, chi2) = cloud_stats(&pts);
     let mut s = Series::new("naive (uniform angles)");
     for (j, m) in means.iter().enumerate() {
@@ -156,15 +160,18 @@ fn fig4(_: Scale) -> Figure {
         "mean coordinate value",
     );
     let mut rng = StdRng::seed_from_u64(seeds::SAMPLER);
-    let pts: Vec<Vec<f64>> =
-        (0..1000).map(|_| sample_orthant_direction(&mut rng, 3)).collect();
+    let pts: Vec<Vec<f64>> = (0..1000)
+        .map(|_| sample_orthant_direction(&mut rng, 3))
+        .collect();
     let (means, chi2) = cloud_stats(&pts);
     let mut s = Series::new("Algorithm 9");
     for (j, m) in means.iter().enumerate() {
         s.push(j as f64 + 1.0, *m);
     }
     fig.series.push(s);
-    fig.note(format!("argmax-cell χ² = {chi2:.1} (df = 2): consistent with uniformity"));
+    fig.note(format!(
+        "argmax-cell χ² = {chi2:.1} (df = 2): consistent with uniformity"
+    ));
     fig
 }
 
@@ -245,9 +252,12 @@ fn fig7(_: Scale) -> Figure {
     fig.series.push(s);
 
     let reference = data.rank(&[0.3, 0.7]).unwrap();
-    let v = stability_verify_2d(&data, &reference, AngleInterval::full()).unwrap().unwrap();
-    let position =
-        regions.iter().position(|r| (r.stability - v.stability).abs() < 1e-15);
+    let v = stability_verify_2d(&data, &reference, AngleInterval::full())
+        .unwrap()
+        .unwrap();
+    let position = regions
+        .iter()
+        .position(|r| (r.stability - v.stability).abs() < 1e-15);
     fig.note(format!("{} feasible rankings (paper: 336)", regions.len()));
     fig.note(format!(
         "reference ranking (α = 0.3): stability {:.5} — the {}-th most stable \
@@ -255,7 +265,10 @@ fn fig7(_: Scale) -> Figure {
         v.stability,
         position.map(|p| p + 1).unwrap_or(0)
     ));
-    fig.note(format!("most stable ranking: {:.5} (paper: ~0.02)", regions[0].stability));
+    fig.note(format!(
+        "most stable ranking: {:.5} (paper: ~0.02)",
+        regions[0].stability
+    ));
     fig
 }
 
@@ -275,9 +288,16 @@ fn fig8(_: Scale) -> Figure {
     }
     fig.series.push(s);
     let reference = data.rank(&[0.3, 0.7]).unwrap();
-    let v = stability_verify_2d(&data, &reference, interval).unwrap().unwrap();
-    let pos = regions.iter().position(|r| (r.stability - v.stability).abs() < 1e-15);
-    fig.note(format!("{} feasible rankings in the region (paper: 22)", regions.len()));
+    let v = stability_verify_2d(&data, &reference, interval)
+        .unwrap()
+        .unwrap();
+    let pos = regions
+        .iter()
+        .position(|r| (r.stability - v.stability).abs() < 1e-15);
+    fig.note(format!(
+        "{} feasible rankings in the region (paper: 22)",
+        regions.len()
+    ));
     fig.note(format!(
         "reference ranking: stability {:.5}, position {} (paper: well below the max)",
         v.stability,
@@ -313,7 +333,10 @@ fn fig9(scale: Scale) -> Figure {
     fig.note(format!(
         "reference ranking in top-100 stable: {in_top} (paper: not in top-100)"
     ));
-    fig.note(format!("{} exchange hyperplanes cross the cone", md.num_hyperplanes()));
+    fig.note(format!(
+        "{} exchange hyperplanes cross the cone",
+        md.num_hyperplanes()
+    ));
     fig
 }
 
@@ -338,7 +361,9 @@ fn fig10(scale: Scale) -> Figure {
         let data = bluenile_dataset(n, 2);
         let ranking = data.rank(&[1.0, 1.0]).unwrap();
         let (v, secs) = time(|| {
-            stability_verify_2d(&data, &ranking, AngleInterval::full()).unwrap().unwrap()
+            stability_verify_2d(&data, &ranking, AngleInterval::full())
+                .unwrap()
+                .unwrap()
         });
         t_series.push(n as f64, secs);
         s_series.push(n as f64, v.stability);
@@ -410,8 +435,11 @@ fn fig12(scale: Scale) -> Figure {
     for &n in ns {
         let data = bluenile_dataset(n, 3);
         let ranking = data.rank(&[1.0, 1.0, 1.0]).unwrap();
-        let (v, secs) =
-            time(|| stability_verify_md(&data, &ranking, &samples).unwrap().unwrap());
+        let (v, secs) = time(|| {
+            stability_verify_md(&data, &ranking, &samples)
+                .unwrap()
+                .unwrap()
+        });
         t_series.push(n as f64, secs);
         s_series.push(n as f64, v.stability);
     }
@@ -478,7 +506,11 @@ fn fig14(scale: Scale) -> Figure {
         "call #",
         "seconds",
     );
-    let n_samples = if scale == Scale::Quick { 20_000 } else { 100_000 };
+    let n_samples = if scale == Scale::Quick {
+        20_000
+    } else {
+        100_000
+    };
     for d in [3usize, 4, 5] {
         let data = bluenile_dataset(100, d);
         let roi = RegionOfInterest::cone(&vec![1.0; d], PI / 100.0);
@@ -505,10 +537,16 @@ fn fig15(scale: Scale) -> Figure {
         "call #",
         "seconds",
     );
-    let n_samples = if scale == Scale::Quick { 20_000 } else { 100_000 };
-    for (label, theta) in
-        [("θ=π/10", PI / 10.0), ("θ=π/50", PI / 50.0), ("θ=π/100", PI / 100.0)]
-    {
+    let n_samples = if scale == Scale::Quick {
+        20_000
+    } else {
+        100_000
+    };
+    for (label, theta) in [
+        ("θ=π/10", PI / 10.0),
+        ("θ=π/50", PI / 50.0),
+        ("θ=π/100", PI / 100.0),
+    ] {
         let data = bluenile_dataset(100, 3);
         let roi = RegionOfInterest::cone(&[1.0, 1.0, 1.0], theta);
         let times = getnextmd_call_times(&data, &roi, n_samples, 10, 15);
@@ -582,8 +620,15 @@ fn fig16(scale: Scale) -> Figure {
     let mut notes = Vec::new();
     for &n in ns {
         let data = bluenile_dataset(n, 3);
-        let run =
-            run_randomized(&data, &roi, RankingScope::TopKRanked(10), 5_000, 1_000, 10, 16);
+        let run = run_randomized(
+            &data,
+            &roi,
+            RankingScope::TopKRanked(10),
+            5_000,
+            1_000,
+            10,
+            16,
+        );
         t.push(n as f64, run.first_time);
         s.push(n as f64, run.top_stability);
         notes.push(format!("n={n}: e = {:.5}", run.top_error));
@@ -648,8 +693,7 @@ fn fig18(scale: Scale) -> Figure {
     let mut rest = Series::new("subsequent call (s)");
     for &n in ns {
         let data = dot_dataset(n);
-        let run =
-            run_randomized(&data, &roi, RankingScope::TopKSet(10), 5_000, 1_000, 5, 18);
+        let run = run_randomized(&data, &roi, RankingScope::TopKSet(10), 5_000, 1_000, 5, 18);
         first.push(n as f64, run.first_time);
         rest.push(n as f64, run.subsequent_time);
     }
@@ -677,8 +721,15 @@ fn fig19(scale: Scale) -> Figure {
     for d in [3usize, 4, 5] {
         let data = bluenile_dataset(n, d);
         let roi = RegionOfInterest::cone(&vec![1.0; d], PI / 50.0);
-        let run =
-            run_randomized(&data, &roi, RankingScope::TopKRanked(10), 5_000, 1_000, 10, 19);
+        let run = run_randomized(
+            &data,
+            &roi,
+            RankingScope::TopKRanked(10),
+            5_000,
+            1_000,
+            10,
+            19,
+        );
         t.push(d as f64, run.first_time);
         s.push(d as f64, run.top_stability);
         notes.push(format!("d={d}: e = {:.5}", run.top_error));
@@ -736,8 +787,7 @@ fn fig21(scale: Scale) -> Figure {
         CorrelationKind::Correlated,
     ] {
         let data = synthetic_dataset(kind, n, 3);
-        let run =
-            run_randomized(&data, &roi, RankingScope::TopKSet(10), 5_000, 1_000, 10, 21);
+        let run = run_randomized(&data, &roi, RankingScope::TopKSet(10), 5_000, 1_000, 10, 21);
         let mut s = Series::new(kind.label());
         for (i, st) in run.stabilities.iter().enumerate() {
             s.push((i + 1) as f64, *st);

@@ -70,7 +70,11 @@ pub struct Series {
 
 impl Series {
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), x: Vec::new(), y: Vec::new() }
+        Self {
+            label: label.into(),
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, x: f64, y: f64) {
@@ -131,7 +135,12 @@ impl Figure {
         writeln!(out).unwrap();
         let rows = self.series.iter().map(|s| s.x.len()).max().unwrap_or(0);
         for i in 0..rows {
-            let x = self.series.iter().find_map(|s| s.x.get(i)).copied().unwrap_or(f64::NAN);
+            let x = self
+                .series
+                .iter()
+                .find_map(|s| s.x.get(i))
+                .copied()
+                .unwrap_or(f64::NAN);
             write!(out, "{x:>14.6}").unwrap();
             for s in &self.series {
                 match s.y.get(i) {

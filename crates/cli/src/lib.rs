@@ -24,8 +24,12 @@ use std::fmt::Write as _;
 // reports `String` errors, so shadow it back to std's form explicitly.
 use std::result::Result;
 
+pub mod service_cmd;
+
 pub const USAGE: &str = "\
 usage: srank <command> <data.csv> --higher a,b [--lower c,d] [options]
+       srank serve [--stdio | --listen HOST:PORT] [--workers N] [--preload FAMILY[:NAME]]…
+       srank query <HOST:PORT> <REQUEST_JSON | -> [--pretty]
 
 commands:
   inspect                      table statistics
@@ -33,6 +37,8 @@ commands:
   enumerate [--top H] [--min-stability S] [--samples N] [--seed S]
   topk      -k K [--ranked] [--budget N] [--calls C] [--seed S]
   overview  [--samples N] [--seed S]
+  serve                        run the srank-service query engine
+  query                        send JSON requests to a running server
 
 region of interest (verify/enumerate/topk/overview):
   --around w1,w2,…  --theta RAD | --cosine C
@@ -56,14 +62,31 @@ pub struct Invocation {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Command {
     Inspect,
-    Verify { weights: Vec<f64> },
-    Enumerate { top: Option<usize>, min_stability: Option<f64> },
-    TopK { k: usize, ranked: bool, budget: usize, calls: usize },
+    Verify {
+        weights: Vec<f64>,
+    },
+    Enumerate {
+        top: Option<usize>,
+        min_stability: Option<f64>,
+    },
+    TopK {
+        k: usize,
+        ranked: bool,
+        budget: usize,
+        calls: usize,
+    },
     Overview,
 }
 
 /// Parses and runs a full command line, returning the rendered output.
 pub fn run(args: &[String]) -> Result<String, String> {
+    // The service subcommands have their own argument shape (no CSV
+    // positional); route them before the data-command parser.
+    match args.first().map(String::as_str) {
+        Some("serve") => return service_cmd::run_serve(&args[1..]),
+        Some("query") => return service_cmd::run_query(&args[1..]),
+        _ => {}
+    }
     let inv = parse(args)?;
     execute(&inv)
 }
@@ -123,19 +146,39 @@ pub fn parse(args: &[String]) -> Result<Invocation, String> {
             weights: weights.ok_or("verify needs --weights")?,
         },
         "enumerate" => Command::Enumerate { top, min_stability },
-        "topk" => Command::TopK { k, ranked, budget, calls },
+        "topk" => Command::TopK {
+            k,
+            ranked,
+            budget,
+            calls,
+        },
         "overview" => Command::Overview,
         other => return Err(format!("unknown command: {other}")),
     };
-    Ok(Invocation { command, csv_path, higher, lower, around, theta, cosine, seed, samples })
+    Ok(Invocation {
+        command,
+        csv_path,
+        higher,
+        lower,
+        around,
+        theta,
+        cosine,
+        seed,
+        samples,
+    })
 }
 
 fn split_names(s: &str) -> Vec<String> {
-    s.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect()
+    s.split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 fn parse_float(s: &str) -> Result<f64, String> {
-    s.trim().parse().map_err(|_| format!("'{s}' is not a number"))
+    s.trim()
+        .parse()
+        .map_err(|_| format!("'{s}' is not a number"))
 }
 
 fn parse_floats(s: &str) -> Result<Vec<f64>, String> {
@@ -143,7 +186,9 @@ fn parse_floats(s: &str) -> Result<Vec<f64>, String> {
 }
 
 fn parse_usize(s: &str) -> Result<usize, String> {
-    s.trim().parse().map_err(|_| format!("'{s}' is not an integer"))
+    s.trim()
+        .parse()
+        .map_err(|_| format!("'{s}' is not an integer"))
 }
 
 /// Loads the table and dispatches the command.
@@ -168,9 +213,12 @@ pub fn execute_on(inv: &Invocation, table: &RawTable) -> Result<String, String> 
         Command::Enumerate { top, min_stability } => {
             cmd_enumerate(inv, &data, *top, *min_stability)
         }
-        Command::TopK { k, ranked, budget, calls } => {
-            cmd_topk(inv, &data, *k, *ranked, *budget, *calls)
-        }
+        Command::TopK {
+            k,
+            ranked,
+            budget,
+            calls,
+        } => cmd_topk(inv, &data, *k, *ranked, *budget, *calls),
         Command::Overview => cmd_overview(inv, &data),
     }
 }
@@ -199,9 +247,7 @@ fn roi_for(inv: &Invocation, d: usize) -> Result<RegionOfInterest, String> {
 fn interval_for(inv: &Invocation) -> Result<AngleInterval, String> {
     match (&inv.around, inv.theta, inv.cosine) {
         (None, None, None) => Ok(AngleInterval::full()),
-        (Some(ray), Some(t), None) => {
-            AngleInterval::around(ray, t).map_err(|e| e.to_string())
-        }
+        (Some(ray), Some(t), None) => AngleInterval::around(ray, t).map_err(|e| e.to_string()),
         (Some(ray), None, Some(c)) => {
             AngleInterval::around(ray, c.acos()).map_err(|e| e.to_string())
         }
@@ -212,10 +258,20 @@ fn interval_for(inv: &Invocation) -> Result<AngleInterval, String> {
 fn render_inspect(table: &RawTable) -> String {
     let stats = table_stats(table);
     let mut out = String::new();
-    writeln!(out, "{}: {} rows × {} scoring columns", table.name, stats.n_rows, table.n_cols())
-        .unwrap();
-    writeln!(out, "{:<14} {:>12} {:>12} {:>12} {:>12}", "column", "min", "max", "mean", "std")
-        .unwrap();
+    writeln!(
+        out,
+        "{}: {} rows × {} scoring columns",
+        table.name,
+        stats.n_rows,
+        table.n_cols()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>12} {:>12}",
+        "column", "min", "max", "mean", "std"
+    )
+    .unwrap();
     for c in &stats.columns {
         writeln!(
             out,
@@ -243,14 +299,22 @@ fn render_inspect(table: &RawTable) -> String {
 
 fn cmd_verify(inv: &Invocation, data: &Dataset, weights: &[f64]) -> Result<String, String> {
     if weights.len() != data.dim() {
-        return Err(format!("--weights has {} entries, data has {}", weights.len(), data.dim()));
+        return Err(format!(
+            "--weights has {} entries, data has {}",
+            weights.len(),
+            data.dim()
+        ));
     }
     let ranking = data.rank(weights).map_err(|e| e.to_string())?;
     let mut out = String::new();
     writeln!(out, "ranking induced by weights {weights:?}:").unwrap();
     let shown = ranking.order().iter().take(10).collect::<Vec<_>>();
-    writeln!(out, "  top items (row indices): {shown:?}{}", if data.len() > 10 { " …" } else { "" })
-        .unwrap();
+    writeln!(
+        out,
+        "  top items (row indices): {shown:?}{}",
+        if data.len() > 10 { " …" } else { "" }
+    )
+    .unwrap();
 
     let (stability, method) = match data.dim() {
         2 => {
@@ -273,11 +337,19 @@ fn cmd_verify(inv: &Invocation, data: &Dataset, weights: &[f64]) -> Result<Strin
             (v.map_or(0.0, |v| v.stability), "Monte-Carlo")
         }
     };
-    writeln!(out, "stability: {:.6} ({:.4}% of the region of interest) [{method}]",
-             stability, 100.0 * stability)
-        .unwrap();
+    writeln!(
+        out,
+        "stability: {:.6} ({:.4}% of the region of interest) [{method}]",
+        stability,
+        100.0 * stability
+    )
+    .unwrap();
     if stability == 0.0 {
-        writeln!(out, "note: 0 means infeasible or below measurement resolution").unwrap();
+        writeln!(
+            out,
+            "note: 0 means infeasible or below measurement resolution"
+        )
+        .unwrap();
     }
     Ok(out)
 }
@@ -291,8 +363,14 @@ fn cmd_enumerate(
     let limit = top.unwrap_or(10);
     let mut out = String::new();
     let mut emit = |idx: usize, stability: f64, head: &[u32]| {
-        writeln!(out, "#{:<3} stability {:>9.5}%  top: {:?}", idx, 100.0 * stability, head)
-            .unwrap();
+        writeln!(
+            out,
+            "#{:<3} stability {:>9.5}%  top: {:?}",
+            idx,
+            100.0 * stability,
+            head
+        )
+        .unwrap();
     };
     if data.dim() == 2 {
         let interval = interval_for(inv)?;
@@ -302,20 +380,33 @@ fn cmd_enumerate(
             None => e.top_h(limit),
         };
         for (i, s) in list.iter().enumerate() {
-            emit(i + 1, s.stability, &s.ranking.order()[..s.ranking.len().min(8)]);
+            emit(
+                i + 1,
+                s.stability,
+                &s.ranking.order()[..s.ranking.len().min(8)],
+            );
         }
-        writeln!(out, "({} feasible rankings in the region) [exact]", e.num_regions()).unwrap();
+        writeln!(
+            out,
+            "({} feasible rankings in the region) [exact]",
+            e.num_regions()
+        )
+        .unwrap();
     } else {
         let roi = roi_for(inv, data.dim())?;
         let mut rng = StdRng::seed_from_u64(inv.seed);
-        let mut e = MdEnumerator::new(data, &roi, inv.samples, &mut rng)
-            .map_err(|e| e.to_string())?;
+        let mut e =
+            MdEnumerator::new(data, &roi, inv.samples, &mut rng).map_err(|e| e.to_string())?;
         let list = match min_stability {
             Some(s) => e.with_stability_at_least(s),
             None => e.top_h(limit),
         };
         for (i, s) in list.iter().enumerate() {
-            emit(i + 1, s.stability, &s.ranking.order()[..s.ranking.len().min(8)]);
+            emit(
+                i + 1,
+                s.stability,
+                &s.ranking.order()[..s.ranking.len().min(8)],
+            );
         }
         writeln!(out, "[Monte-Carlo over {} samples]", inv.samples).unwrap();
     }
@@ -331,9 +422,12 @@ fn cmd_topk(
     calls: usize,
 ) -> Result<String, String> {
     let roi = roi_for(inv, data.dim())?;
-    let scope = if ranked { RankingScope::TopKRanked(k) } else { RankingScope::TopKSet(k) };
-    let mut op =
-        RandomizedEnumerator::new(data, &roi, scope, 0.05).map_err(|e| e.to_string())?;
+    let scope = if ranked {
+        RankingScope::TopKRanked(k)
+    } else {
+        RankingScope::TopKSet(k)
+    };
+    let mut op = RandomizedEnumerator::new(data, &roi, scope, 0.05).map_err(|e| e.to_string())?;
     let mut rng = StdRng::seed_from_u64(inv.seed);
     let mut out = String::new();
     writeln!(
@@ -373,14 +467,20 @@ fn cmd_overview(inv: &Invocation, data: &Dataset) -> Result<String, String> {
     } else {
         let roi = roi_for(inv, data.dim())?;
         let mut rng = StdRng::seed_from_u64(inv.seed);
-        let mut e = MdEnumerator::new(data, &roi, inv.samples, &mut rng)
-            .map_err(|e| e.to_string())?;
-        std::iter::from_fn(|| e.get_next()).map(|s| s.stability).collect()
+        let mut e =
+            MdEnumerator::new(data, &roi, inv.samples, &mut rng).map_err(|e| e.to_string())?;
+        std::iter::from_fn(|| e.get_next())
+            .map(|s| s.stability)
+            .collect()
     };
     let o = StabilityOverview::from_stabilities(stabilities).map_err(|e| e.to_string())?;
-    writeln!(out, "{} feasible rankings; effective number (entropy): {:.1}",
-             o.len(), o.effective_rankings())
-        .unwrap();
+    writeln!(
+        out,
+        "{} feasible rankings; effective number (entropy): {:.1}",
+        o.len(),
+        o.effective_rankings()
+    )
+    .unwrap();
     for f in [0.25, 0.5, 0.75, 0.9, 0.99] {
         match o.rankings_to_cover(f) {
             Some(n) => writeln!(out, "  {:>4.0}% coverage: top {n} rankings", f * 100.0).unwrap(),

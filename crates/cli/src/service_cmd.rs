@@ -1,0 +1,133 @@
+//! The `srank serve` / `srank query` subcommands — the CLI face of
+//! `srank-service`.
+//!
+//! ```text
+//! srank serve --stdio [--preload FAMILY[:NAME]]...
+//! srank serve --listen 127.0.0.1:7878 --workers 4 [--preload ...]...
+//! srank query 127.0.0.1:7878 '{"op": "ping"}' [--pretty]
+//! srank query 127.0.0.1:7878 -            # stream request lines from stdin
+//! ```
+
+use srank_service::registry::DatasetSource;
+use srank_service::{Client, Engine, EngineConfig};
+use std::sync::Arc;
+
+/// Parses and runs `serve`. Blocks until the transport ends (EOF on
+/// stdio, never for TCP). Returns the (possibly empty) final output.
+pub fn run_serve(args: &[String]) -> Result<String, String> {
+    let mut listen: Option<String> = None;
+    let mut workers = 4usize;
+    let mut stdio = false;
+    let mut preload = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--listen" => listen = Some(it.next().ok_or("--listen needs HOST:PORT")?.clone()),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?
+            }
+            "--stdio" => stdio = true,
+            "--preload" => preload.push(it.next().ok_or("--preload needs a dataset")?.clone()),
+            other => return Err(format!("serve: unknown option {other}")),
+        }
+    }
+    if stdio && listen.is_some() {
+        return Err("serve: use either --stdio or --listen, not both".into());
+    }
+
+    let engine = Engine::new(EngineConfig::default());
+    for spec in &preload {
+        let (family, name) = match spec.split_once(':') {
+            Some((f, n)) => (f, n),
+            None => (spec.as_str(), spec.as_str()),
+        };
+        // Synthetic families require an explicit dimension; d = 0 means
+        // "native width" for the real-data simulators.
+        let d = if family.starts_with("synthetic-") {
+            3
+        } else {
+            0
+        };
+        let source = DatasetSource::Builtin {
+            family: family.to_string(),
+            n: 100,
+            d,
+            seed: 42,
+        };
+        let entry = engine
+            .registry()
+            .load(name, &source)
+            .map_err(|e| format!("--preload {spec}: {e}"))?;
+        eprintln!(
+            "preloaded '{}' ({} rows × {} attrs)",
+            entry.name,
+            entry.dataset.len(),
+            entry.dataset.dim()
+        );
+    }
+
+    match listen {
+        None => {
+            srank_service::serve_stdio(&engine).map_err(|e| format!("stdio transport: {e}"))?;
+            Ok(String::new())
+        }
+        Some(addr) => {
+            let handle = srank_service::serve_tcp(Arc::new(engine), &addr, workers)
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            eprintln!(
+                "srank-service listening on {} ({workers} workers)",
+                handle.addr()
+            );
+            handle.join();
+            Ok(String::new())
+        }
+    }
+}
+
+/// Parses and runs `query`: one request (or a stdin stream) against a
+/// running server, responses printed one per line.
+pub fn run_query(args: &[String]) -> Result<String, String> {
+    let mut pretty = false;
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--pretty" => pretty = true,
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [addr, request]: [String; 2] = positional
+        .try_into()
+        .map_err(|_| "query needs exactly: ADDR REQUEST_JSON (or '-' for stdin)".to_string())?;
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let mut render = |line: &str| -> Result<String, String> {
+        let request = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
+        let response = client.call(&request).map_err(|e| e.to_string())?;
+        let out = if pretty {
+            serde_json::to_string_pretty(&response)
+        } else {
+            serde_json::to_string(&response)
+        };
+        out.map_err(|e| e.to_string())
+    };
+
+    if request == "-" {
+        let mut out = String::new();
+        for line in std::io::stdin().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push_str(&render(&line)?);
+            out.push('\n');
+        }
+        Ok(out)
+    } else {
+        Ok(render(&request)? + "\n")
+    }
+}

@@ -21,7 +21,10 @@ fn table() -> srank_data::RawTable {
     read_csv_str(
         "hiring",
         HIRING_CSV,
-        &[ColumnSpec::higher("aptitude"), ColumnSpec::higher("experience")],
+        &[
+            ColumnSpec::higher("aptitude"),
+            ColumnSpec::higher("experience"),
+        ],
     )
     .unwrap()
 }
@@ -49,7 +52,12 @@ fn parse_collects_options() {
     assert_eq!(inv.seed, 9);
     assert_eq!(
         inv.command,
-        Command::TopK { k: 7, ranked: true, budget: 900, calls: 3 }
+        Command::TopK {
+            k: 7,
+            ranked: true,
+            budget: 900,
+            calls: 3
+        }
     );
 }
 
@@ -66,8 +74,10 @@ fn inspect_reports_stats() {
 
 #[test]
 fn verify_is_exact_in_2d() {
-    let inv =
-        parse(&args("verify hiring.csv --higher aptitude,experience --weights 1,1")).unwrap();
+    let inv = parse(&args(
+        "verify hiring.csv --higher aptitude,experience --weights 1,1",
+    ))
+    .unwrap();
     let out = execute_on(&inv, &table()).unwrap();
     assert!(out.contains("exact (2-D interval)"), "{out}");
     // The CLI normalizes the CSV columns; compute the expected value the
@@ -79,7 +89,10 @@ fn verify_is_exact_in_2d() {
         .unwrap()
         .unwrap()
         .stability;
-    assert!(out.contains(&format!("{expected:.6}")), "{out} vs {expected}");
+    assert!(
+        out.contains(&format!("{expected:.6}")),
+        "{out} vs {expected}"
+    );
 }
 
 #[test]
@@ -89,7 +102,10 @@ fn enumerate_lists_all_eleven() {
     ))
     .unwrap();
     let out = execute_on(&inv, &table()).unwrap();
-    assert!(out.contains("(11 feasible rankings in the region) [exact]"), "{out}");
+    assert!(
+        out.contains("(11 feasible rankings in the region) [exact]"),
+        "{out}"
+    );
     assert!(out.contains("#1 "));
     assert!(out.contains("#11"));
 }
@@ -109,7 +125,10 @@ fn enumerate_with_threshold() {
     let expected = e.with_stability_at_least(0.1).len();
     let listed = out.matches("\n#").count() + usize::from(out.starts_with('#'));
     assert_eq!(listed, expected, "{out}");
-    assert!(expected >= 2, "threshold test needs a few qualifying regions");
+    assert!(
+        expected >= 2,
+        "threshold test needs a few qualifying regions"
+    );
 }
 
 #[test]
@@ -133,12 +152,13 @@ fn overview_reports_coverage() {
     use srank_core::prelude::*;
     let data = Dataset::from_rows(&table().normalized()).unwrap();
     let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
-    let o = StabilityOverview::from_stabilities(
-        e.regions().iter().map(|r| r.stability).collect(),
-    )
-    .unwrap();
+    let o = StabilityOverview::from_stabilities(e.regions().iter().map(|r| r.stability).collect())
+        .unwrap();
     let expected = o.rankings_to_cover(0.5).unwrap();
-    assert!(out.contains(&format!("50% coverage: top {expected}")), "{out}");
+    assert!(
+        out.contains(&format!("50% coverage: top {expected}")),
+        "{out}"
+    );
 }
 
 #[test]
@@ -180,7 +200,11 @@ a,b,c
     let t = read_csv_str(
         "abc",
         csv,
-        &[ColumnSpec::higher("a"), ColumnSpec::higher("b"), ColumnSpec::higher("c")],
+        &[
+            ColumnSpec::higher("a"),
+            ColumnSpec::higher("b"),
+            ColumnSpec::higher("c"),
+        ],
     )
     .unwrap();
     let inv = parse(&args("verify x.csv --higher a,b,c --weights 1,1,1")).unwrap();

@@ -1,0 +1,52 @@
+//! CLI-level tests of `srank serve` / `srank query`: a real TCP server
+//! (started through the service library on an ephemeral port) driven via
+//! the `query` subcommand's code path.
+
+use srank_service::{serve_tcp, Engine, EngineConfig};
+use std::sync::Arc;
+
+fn args(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn query_round_trips_against_a_live_server() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.addr().to_string();
+
+    let ping = srank_cli::run(&args(&["query", &addr, r#"{"op": "ping"}"#])).unwrap();
+    assert!(ping.contains("\"pong\":true"), "{ping}");
+
+    let load = srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    ]))
+    .unwrap();
+    assert!(load.contains("\"rows\":5"), "{load}");
+
+    let verify = srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"op": "verify", "dataset": "h", "weights": [1, 1]}"#,
+        "--pretty",
+    ]))
+    .unwrap();
+    assert!(verify.contains("\"stability\""), "{verify}");
+    assert!(verify.contains('\n'), "--pretty output is multi-line");
+
+    server.shutdown();
+}
+
+#[test]
+fn query_reports_connection_and_usage_errors() {
+    // Unreachable address: error mentions the address.
+    let err = srank_cli::run(&args(&["query", "127.0.0.1:1", r#"{"op": "ping"}"#])).unwrap_err();
+    assert!(err.contains("127.0.0.1:1"), "{err}");
+    // Wrong arity.
+    assert!(srank_cli::run(&args(&["query", "justone"])).is_err());
+    // Serve rejects contradictory transports.
+    assert!(srank_cli::run(&args(&["serve", "--stdio", "--listen", "x"])).is_err());
+    assert!(srank_cli::run(&args(&["serve", "--bogus"])).is_err());
+}

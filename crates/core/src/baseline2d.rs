@@ -126,8 +126,7 @@ mod tests {
     fn matches_sweep_on_random_data() {
         for seed in [3u64, 17, 99, 12345] {
             let data = Dataset::from_rows(&lcg_rows(40, seed)).unwrap();
-            let baseline =
-                regions_via_sorted_exchanges(&data, AngleInterval::full()).unwrap();
+            let baseline = regions_via_sorted_exchanges(&data, AngleInterval::full()).unwrap();
             let sweep = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
             assert_same_regions(&baseline, sweep.regions());
         }
@@ -170,8 +169,7 @@ mod tests {
 
     #[test]
     fn dominance_chain_single_region() {
-        let data =
-            Dataset::from_rows(&[vec![0.9, 0.9], vec![0.5, 0.5], vec![0.1, 0.1]]).unwrap();
+        let data = Dataset::from_rows(&[vec![0.9, 0.9], vec![0.5, 0.5], vec![0.1, 0.1]]).unwrap();
         let regions = regions_via_sorted_exchanges(&data, AngleInterval::full()).unwrap();
         assert_eq!(regions.len(), 1);
         assert_eq!(regions[0].stability, 1.0);

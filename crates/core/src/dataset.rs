@@ -34,7 +34,10 @@ impl Dataset {
         let mut data = Vec::with_capacity(rows.len() * d);
         for (i, r) in rows.iter().enumerate() {
             if r.len() != d {
-                return Err(StableRankError::DimensionMismatch { expected: d, got: r.len() });
+                return Err(StableRankError::DimensionMismatch {
+                    expected: d,
+                    got: r.len(),
+                });
             }
             for &v in r {
                 if !v.is_finite() || v < 0.0 {
@@ -45,7 +48,11 @@ impl Dataset {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { n: rows.len(), d, data })
+        Ok(Self {
+            n: rows.len(),
+            d,
+            data,
+        })
     }
 
     /// Number of items `n`.
@@ -82,7 +89,10 @@ impl Dataset {
     /// Validates that `w` has the right arity for this dataset.
     pub fn check_weights(&self, w: &[f64]) -> Result<()> {
         if w.len() != self.d {
-            return Err(StableRankError::DimensionMismatch { expected: self.d, got: w.len() });
+            return Err(StableRankError::DimensionMismatch {
+                expected: self.d,
+                got: w.len(),
+            });
         }
         Ok(())
     }
@@ -156,9 +166,7 @@ impl Dataset {
         scores.reserve(self.n);
         // Specialized small-d loops keep the inner product branch-free.
         match self.d {
-            2 => scores.extend(
-                self.data.chunks_exact(2).map(|t| t[0] * w[0] + t[1] * w[1]),
-            ),
+            2 => scores.extend(self.data.chunks_exact(2).map(|t| t[0] * w[0] + t[1] * w[1])),
             3 => scores.extend(
                 self.data
                     .chunks_exact(3)
@@ -181,10 +189,7 @@ impl Dataset {
     /// let quadratic = augmented.rank(&[1.0, 1.0, 0.5]).unwrap();
     /// assert_eq!(quadratic.len(), 5);
     /// ```
-    pub fn with_derived_attribute(
-        &self,
-        derive: impl Fn(&[f64]) -> f64,
-    ) -> Result<Dataset> {
+    pub fn with_derived_attribute(&self, derive: impl Fn(&[f64]) -> f64) -> Result<Dataset> {
         let rows: Vec<Vec<f64>> = (0..self.n)
             .map(|i| {
                 let item = self.item(i);
@@ -226,7 +231,10 @@ mod tests {
         assert_eq!(Dataset::from_rows(&[]), Err(StableRankError::EmptyDataset));
         assert!(matches!(
             Dataset::from_rows(&[vec![0.1, 0.2], vec![0.1]]),
-            Err(StableRankError::DimensionMismatch { expected: 2, got: 1 })
+            Err(StableRankError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
         assert!(Dataset::from_rows(&[vec![0.1, -0.2]]).is_err());
         assert!(Dataset::from_rows(&[vec![0.1, f64::NAN]]).is_err());

@@ -25,10 +25,16 @@ impl fmt::Display for StableRankError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StableRankError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: expected {expected} attributes, got {got}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} attributes, got {got}"
+                )
             }
             StableRankError::NeedTwoDimensions { got } => {
-                write!(f, "this algorithm requires exactly 2 scoring attributes, got {got}")
+                write!(
+                    f,
+                    "this algorithm requires exactly 2 scoring attributes, got {got}"
+                )
             }
             StableRankError::EmptyDataset => write!(f, "dataset has no items"),
             StableRankError::InvalidWeights(msg) => write!(f, "invalid weight vector: {msg}"),
@@ -51,10 +57,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = StableRankError::DimensionMismatch { expected: 3, got: 2 };
+        let e = StableRankError::DimensionMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
-        assert!(StableRankError::NeedTwoDimensions { got: 5 }.to_string().contains('5'));
-        assert!(StableRankError::EmptyDataset.to_string().contains("no items"));
+        assert!(StableRankError::NeedTwoDimensions { got: 5 }
+            .to_string()
+            .contains('5'));
+        assert!(StableRankError::EmptyDataset
+            .to_string()
+            .contains("no items"));
     }
 
     #[test]

@@ -99,6 +99,32 @@ impl Ord for HeapEntry {
     }
 }
 
+/// An owned, `Send + 'static` snapshot of an [`MdEnumerator`]'s progress,
+/// detached from the dataset borrow — the arrangement refinement so far
+/// (hyperplanes, partitioned samples, pending-region heap).
+///
+/// Detach with [`MdEnumerator::into_state`], reattach with
+/// [`MdEnumerator::from_state`]; both are O(1) moves, so a long-lived
+/// session (e.g. in `srank-service`) pays nothing to persist between
+/// `get_next` calls.
+#[derive(Clone)]
+pub struct MdState {
+    n_items: usize,
+    hyperplanes: Vec<OrderingExchange>,
+    samples: PartitionedSamples,
+    heap: Vec<HeapEntry>,
+    seq: usize,
+    mode: PassThroughMode,
+    roi_halfspaces: Vec<HalfSpace>,
+}
+
+impl MdState {
+    /// Number of partially-refined regions still pending.
+    pub fn pending_regions(&self) -> usize {
+        self.heap.len()
+    }
+}
+
 /// The multi-dimensional `GET-NEXT` operator (Algorithm 6).
 ///
 /// Cloning is cheap relative to construction (no re-sampling, no `×hps`
@@ -194,8 +220,64 @@ impl<'a> MdEnumerator<'a> {
             se: total,
         };
         let mut heap = BinaryHeap::new();
-        heap.push(HeapEntry { count: total, seq: 0, region: root });
-        Ok(Self { data, hyperplanes, samples, heap, seq: 1, mode, roi_halfspaces })
+        heap.push(HeapEntry {
+            count: total,
+            seq: 0,
+            region: root,
+        });
+        Ok(Self {
+            data,
+            hyperplanes,
+            samples,
+            heap,
+            seq: 1,
+            mode,
+            roi_halfspaces,
+        })
+    }
+
+    /// Detaches the enumeration state from the dataset borrow (see
+    /// [`MdState`]).
+    pub fn into_state(self) -> MdState {
+        MdState {
+            n_items: self.data.len(),
+            hyperplanes: self.hyperplanes,
+            samples: self.samples,
+            heap: self.heap.into_vec(),
+            seq: self.seq,
+            mode: self.mode,
+            roi_halfspaces: self.roi_halfspaces,
+        }
+    }
+
+    /// Reattaches a detached state to its dataset.
+    ///
+    /// # Errors
+    /// Fails when `data` disagrees with the dataset the state was built
+    /// over on dimension or item count (the cheap shape checks available —
+    /// equal-shape datasets with different contents cannot be told apart).
+    pub fn from_state(data: &'a Dataset, state: MdState) -> Result<Self> {
+        if state.samples.dim() != data.dim() {
+            return Err(StableRankError::DimensionMismatch {
+                expected: state.samples.dim(),
+                got: data.dim(),
+            });
+        }
+        if state.n_items != data.len() {
+            return Err(StableRankError::DimensionMismatch {
+                expected: state.n_items,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            hyperplanes: state.hyperplanes,
+            samples: state.samples,
+            heap: state.heap.into(),
+            seq: state.seq,
+            mode: state.mode,
+            roi_halfspaces: state.roi_halfspaces,
+        })
     }
 
     /// The region's cone joined with the `U*` constraints — the feasibility
@@ -224,9 +306,7 @@ impl<'a> MdEnumerator<'a> {
                 // ranges canonical and yields the split index when needed.
                 let split = self.samples.partition(region.sb, region.se, hp).split;
                 let crosses = match self.mode {
-                    PassThroughMode::SamplePartition => {
-                        split > region.sb && split < region.se
-                    }
+                    PassThroughMode::SamplePartition => split > region.sb && split < region.se,
                     PassThroughMode::ExactLp => {
                         // The sampled witness is sound (both sides occupied
                         // ⇒ crossing); the LP settles the undecided cases.
@@ -243,8 +323,7 @@ impl<'a> MdEnumerator<'a> {
             let Some(split) = crossing else {
                 // Fully refined: emit.
                 let stability = self.samples.stability_of_range(region.sb, region.se);
-                let representative = match self.samples.representative(region.sb, region.se)
-                {
+                let representative = match self.samples.representative(region.sb, region.se) {
                     Some(rep) => rep,
                     // Zero-sample region (ExactLp only): take the LP's
                     // interior point.
@@ -291,7 +370,11 @@ impl<'a> MdEnumerator<'a> {
                     }
                 }
                 let count = child.count();
-                self.heap.push(HeapEntry { count, seq: self.seq, region: child });
+                self.heap.push(HeapEntry {
+                    count,
+                    seq: self.seq,
+                    region: child,
+                });
                 self.seq += 1;
             }
         }
@@ -349,7 +432,10 @@ mod tests {
             count += 1;
         }
         assert!(count > 1, "several regions expected");
-        assert!((total - 1.0).abs() < 1e-9, "sampled mass must be fully assigned");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "sampled mass must be fully assigned"
+        );
     }
 
     #[test]
@@ -456,6 +542,40 @@ mod tests {
     }
 
     #[test]
+    fn detached_state_resumes_exactly_where_it_left_off() {
+        let data = Dataset::from_rows(&lcg_rows(9, 3, 77)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut rng = StdRng::seed_from_u64(12);
+        let buffer = roi.sampler().sample_buffer(&mut rng, 8_000);
+        let mut reference = MdEnumerator::with_samples(&data, &roi, buffer.clone()).unwrap();
+        let mut session = MdEnumerator::with_samples(&data, &roi, buffer).unwrap();
+        loop {
+            session = MdEnumerator::from_state(&data, session.into_state()).unwrap();
+            match (reference.get_next(), session.get_next()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.ranking, b.ranking);
+                    assert_eq!(a.stability, b.stability);
+                }
+                other => panic!("streams diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_dimension_mismatch() {
+        let data = Dataset::from_rows(&lcg_rows(6, 3, 79)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut rng = StdRng::seed_from_u64(13);
+        let state = MdEnumerator::new(&data, &roi, 500, &mut rng)
+            .unwrap()
+            .into_state();
+        assert!(state.pending_regions() > 0);
+        let other = Dataset::figure1(); // d = 2
+        assert!(MdEnumerator::from_state(&other, state).is_err());
+    }
+
+    #[test]
     fn zero_samples_is_an_error() {
         let data = Dataset::figure1();
         let roi = RegionOfInterest::full(2);
@@ -473,7 +593,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         assert!(matches!(
             MdEnumerator::new(&data, &roi, 10, &mut rng),
-            Err(StableRankError::DimensionMismatch { expected: 2, got: 3 })
+            Err(StableRankError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 
@@ -564,13 +687,10 @@ mod tests {
         let roi = RegionOfInterest::cone(&[1.0, 1.0], 0.1);
         let mut rng = StdRng::seed_from_u64(80);
         let buffer = roi.sampler().sample_buffer(&mut rng, 10);
-        assert!(MdEnumerator::with_samples_and_mode(
-            &data,
-            &roi,
-            buffer,
-            PassThroughMode::ExactLp
-        )
-        .is_err());
+        assert!(
+            MdEnumerator::with_samples_and_mode(&data, &roi, buffer, PassThroughMode::ExactLp)
+                .is_err()
+        );
     }
 
     #[test]

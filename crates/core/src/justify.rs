@@ -41,7 +41,11 @@ pub fn max_margin_weights(data: &Dataset, ranking: &Ranking) -> Result<Option<Ma
             // A dominance-chain ranking has no constraints; any simplex
             // point works and the margin is unbounded — report the actual
             // minimum adjacent score gap instead of ∞.
-            let margin = if slack.is_finite() { slack } else { min_adjacent_gap(data, ranking, &w) };
+            let margin = if slack.is_finite() {
+                slack
+            } else {
+                min_adjacent_gap(data, ranking, &w)
+            };
             Ok(Some(MaxMarginWeights { weights: w, margin }))
         }
         LpOutcome::BoundaryOnly | LpOutcome::Empty => Ok(None),
@@ -96,7 +100,10 @@ mod tests {
             gap_mm >= gap_mid - 1e-12,
             "max-margin gap {gap_mm} must beat midpoint gap {gap_mid}"
         );
-        assert!((gap_mm - mm.margin).abs() < 1e-9, "margin is the realized min gap");
+        assert!(
+            (gap_mm - mm.margin).abs() < 1e-9,
+            "margin is the realized min gap"
+        );
     }
 
     #[test]
@@ -108,8 +115,7 @@ mod tests {
 
     #[test]
     fn dominance_chain_has_finite_reported_margin() {
-        let data =
-            Dataset::from_rows(&[vec![0.9, 0.8], vec![0.5, 0.5], vec![0.2, 0.1]]).unwrap();
+        let data = Dataset::from_rows(&[vec![0.9, 0.8], vec![0.5, 0.5], vec![0.2, 0.1]]).unwrap();
         let r = Ranking::new(vec![0, 1, 2]).unwrap();
         let mm = max_margin_weights(&data, &r).unwrap().unwrap();
         assert!(mm.margin.is_finite());
@@ -137,12 +143,8 @@ mod tests {
     fn thin_regions_get_small_margins() {
         // Two near-identical items make every separating region thin; the
         // margin must reflect that.
-        let data = Dataset::from_rows(&[
-            vec![0.500, 0.500],
-            vec![0.501, 0.499],
-            vec![0.9, 0.1],
-        ])
-        .unwrap();
+        let data =
+            Dataset::from_rows(&[vec![0.500, 0.500], vec![0.501, 0.499], vec![0.9, 0.1]]).unwrap();
         let r = data.rank(&[0.5, 0.5]).unwrap();
         let mm = max_margin_weights(&data, &r).unwrap().unwrap();
         assert!(mm.margin < 0.01, "margin {} should be tiny", mm.margin);

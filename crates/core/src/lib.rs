@@ -43,6 +43,43 @@
 //! let most_stable = producer.get_next().unwrap();
 //! assert!(most_stable.stability >= verified.stability);
 //! ```
+//!
+//! ## Long-lived sessions: detachable enumerator state
+//!
+//! The enumerators borrow their dataset (`&'a Dataset`), which suits
+//! one-shot calls but not a server holding thousands of concurrent
+//! producer sessions over `Arc`-shared datasets. Each enumerator
+//! therefore exposes an owned, `Send + 'static` snapshot of its progress
+//! — [`sweep2d::Sweep2DState`], [`getnext_md::MdState`],
+//! [`randomized::RandomizedState`] — via O(1) `into_state` /
+//! `from_state` conversions:
+//!
+//! ```
+//! use srank_core::prelude::*;
+//!
+//! let data = std::sync::Arc::new(Dataset::figure1());
+//! // Construction (the ray sweep) happens once…
+//! let session = Enumerator2D::new(&data, AngleInterval::full())
+//!     .unwrap()
+//!     .into_state(); // …then the state outlives any borrow.
+//!
+//! // Later (another request, possibly another thread): reattach,
+//! // advance, detach.
+//! let mut e = Enumerator2D::from_state(&data, session).unwrap();
+//! let best = e.get_next().unwrap();
+//! let session = e.into_state();
+//! assert!(best.stability > 0.0);
+//! assert_eq!(session.remaining(), 10, "one of 11 regions consumed");
+//! ```
+//!
+//! `srank-service` builds its session manager on exactly this: the
+//! expensive construction (ray sweep, `×hps` harvest, sample partition)
+//! runs at `session.open`, and every `session.get_next` reattaches,
+//! pops, and detaches. `from_state` re-validates the dataset's *shape*
+//! (dimension and item count) — equal-shape datasets with different
+//! contents cannot be told apart, so callers that swap datasets must
+//! track identity themselves, as `srank-service` does with registry
+//! generation stamps.
 
 pub mod baseline2d;
 pub mod dataset;
@@ -54,23 +91,23 @@ pub mod randomized;
 pub mod ranking;
 pub mod scoring;
 pub mod sv2d;
-pub mod sweep2d;
 pub mod svmd;
+pub mod sweep2d;
 pub mod topk2d;
 pub mod xhps;
 
 pub use baseline2d::regions_via_sorted_exchanges;
 pub use dataset::Dataset;
 pub use error::{Result, StableRankError};
-pub use getnext_md::{MdEnumerator, PassThroughMode, StableRankingMd};
+pub use getnext_md::{MdEnumerator, MdState, PassThroughMode, StableRankingMd};
 pub use justify::{max_margin_weights, MaxMarginWeights};
 pub use overview::{most_tau_stable, tau_tolerant_stability, StabilityOverview};
-pub use randomized::{DiscoveredRanking, RandomizedEnumerator, RankingScope};
+pub use randomized::{DiscoveredRanking, RandomizedEnumerator, RandomizedState, RankingScope};
 pub use ranking::{ItemMove, Ranking, TopKRanked, TopKSet};
 pub use scoring::ScoringFunction;
 pub use sv2d::{stability_verify_2d, AngleInterval, Verified2D};
-pub use sweep2d::{Enumerator2D, Region2DInfo, StableRanking2D};
 pub use svmd::{ranking_region_md, stability_verify_3d_exact, stability_verify_md, VerifiedMd};
+pub use sweep2d::{Enumerator2D, Region2DInfo, StableRanking2D, Sweep2DState};
 pub use topk2d::{top_k_ranked_stabilities_2d, top_k_set_stabilities_2d};
 pub use xhps::ordering_exchange_hyperplanes;
 
@@ -85,8 +122,8 @@ pub mod prelude {
     pub use crate::ranking::{ItemMove, Ranking, TopKRanked, TopKSet};
     pub use crate::scoring::ScoringFunction;
     pub use crate::sv2d::{stability_verify_2d, AngleInterval, Verified2D};
-    pub use crate::sweep2d::{Enumerator2D, StableRanking2D};
     pub use crate::svmd::{stability_verify_3d_exact, stability_verify_md, VerifiedMd};
+    pub use crate::sweep2d::{Enumerator2D, StableRanking2D};
     pub use crate::topk2d::{top_k_ranked_stabilities_2d, top_k_set_stabilities_2d};
     pub use srank_sample::roi::RegionOfInterest;
 }

@@ -49,7 +49,10 @@ impl StabilityOverview {
             .into_iter()
             .map(|stability| {
                 cumulative += stability;
-                OverviewEntry { stability, cumulative }
+                OverviewEntry {
+                    stability,
+                    cumulative,
+                }
             })
             .collect();
         Ok(Self { entries })
@@ -73,8 +76,14 @@ impl StabilityOverview {
     /// `fraction` of the region of interest; `None` if the summarized mass
     /// never reaches it (truncated enumerations).
     pub fn rankings_to_cover(&self, fraction: f64) -> Option<usize> {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must lie in [0, 1]");
-        self.entries.iter().position(|e| e.cumulative >= fraction).map(|p| p + 1)
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must lie in [0, 1]"
+        );
+        self.entries
+            .iter()
+            .position(|e| e.cumulative >= fraction)
+            .map(|p| p + 1)
     }
 
     /// Total summarized stability mass (1.0 for a complete enumeration).
@@ -133,18 +142,13 @@ pub fn tau_tolerant_stability(
 /// The most τ-tolerant-stable ranking of an enumeration: the member whose
 /// τ-ball carries the most stability mass. Ties break toward the ranking
 /// with higher own stability, then enumeration order.
-pub fn most_tau_stable(
-    enumeration: &[(Ranking, f64)],
-    tau: usize,
-) -> Result<Option<(usize, f64)>> {
+pub fn most_tau_stable(enumeration: &[(Ranking, f64)], tau: usize) -> Result<Option<(usize, f64)>> {
     let mut best: Option<(usize, f64, f64)> = None;
     for (i, (r, own)) in enumeration.iter().enumerate() {
         let ball = tau_tolerant_stability(r, enumeration, tau)?;
         let better = match &best {
             None => true,
-            Some((_, bb, bo)) => {
-                ball > *bb + 1e-15 || ((ball - *bb).abs() <= 1e-15 && *own > *bo)
-            }
+            Some((_, bb, bo)) => ball > *bb + 1e-15 || ((ball - *bb).abs() <= 1e-15 && *own > *bo),
         };
         if better {
             best = Some((i, ball, *own));
@@ -163,7 +167,9 @@ mod tests {
     fn figure1_enumeration() -> Vec<(Ranking, f64)> {
         let data = Dataset::figure1();
         let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
-        std::iter::from_fn(|| e.get_next()).map(|s| (s.ranking, s.stability)).collect()
+        std::iter::from_fn(|| e.get_next())
+            .map(|s| (s.ranking, s.stability))
+            .collect()
     }
 
     #[test]
@@ -206,10 +212,8 @@ mod tests {
     #[test]
     fn figure1_overview_coverage() {
         let enumeration = figure1_enumeration();
-        let o = StabilityOverview::from_stabilities(
-            enumeration.iter().map(|(_, s)| *s).collect(),
-        )
-        .unwrap();
+        let o = StabilityOverview::from_stabilities(enumeration.iter().map(|(_, s)| *s).collect())
+            .unwrap();
         assert_eq!(o.len(), 11);
         assert!((o.total_mass() - 1.0).abs() < 1e-9);
         // The top region holds ~39.5%, so covering half of U takes 2

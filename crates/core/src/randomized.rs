@@ -92,6 +92,38 @@ fn key_for(
     }
 }
 
+/// An owned, `Send + 'static` snapshot of a [`RandomizedEnumerator`]'s
+/// accumulated counts, detached from the dataset borrow.
+///
+/// Detach with [`RandomizedEnumerator::into_state`], reattach with
+/// [`RandomizedEnumerator::from_state`]; both are O(1) moves (the scoring
+/// scratch buffers are dropped on detach and lazily regrown). The RNG is
+/// *not* part of the state — callers that need reproducible continuation
+/// keep their seeded `StdRng` alongside (as `srank-service` sessions do).
+#[derive(Clone)]
+pub struct RandomizedState {
+    dim: usize,
+    n_items: usize,
+    scope: RankingScope,
+    sampler: RoiSampler,
+    alpha: f64,
+    counts: HashMap<Vec<u32>, KeyStats>,
+    total: u64,
+    returned: HashSet<Vec<u32>>,
+}
+
+impl RandomizedState {
+    /// Total samples accumulated so far.
+    pub fn total_samples(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct (partial) rankings observed so far.
+    pub fn distinct_observed(&self) -> usize {
+        self.counts.len()
+    }
+}
+
 /// The randomized `GET-NEXT` operator over a dataset and region of
 /// interest.
 ///
@@ -134,7 +166,9 @@ impl<'a> RandomizedEnumerator<'a> {
         }
         match scope {
             RankingScope::TopKRanked(k) | RankingScope::TopKSet(k) if k == 0 => {
-                return Err(StableRankError::InvalidRanking("top-k scope needs k ≥ 1".into()));
+                return Err(StableRankError::InvalidRanking(
+                    "top-k scope needs k ≥ 1".into(),
+                ));
             }
             _ => {}
         }
@@ -146,6 +180,54 @@ impl<'a> RandomizedEnumerator<'a> {
             counts: HashMap::new(),
             total: 0,
             returned: HashSet::new(),
+            scores: Vec::new(),
+            idx: Vec::new(),
+            out: Vec::new(),
+        })
+    }
+
+    /// Detaches the accumulated counting state from the dataset borrow
+    /// (see [`RandomizedState`]).
+    pub fn into_state(self) -> RandomizedState {
+        RandomizedState {
+            dim: self.data.dim(),
+            n_items: self.data.len(),
+            scope: self.scope,
+            sampler: self.sampler,
+            alpha: self.alpha,
+            counts: self.counts,
+            total: self.total,
+            returned: self.returned,
+        }
+    }
+
+    /// Reattaches a detached state to its dataset.
+    ///
+    /// # Errors
+    /// Fails when `data` disagrees with the dataset the state was
+    /// accumulated over on dimension or item count (the cheap shape
+    /// checks available).
+    pub fn from_state(data: &'a Dataset, state: RandomizedState) -> Result<Self> {
+        if state.dim != data.dim() {
+            return Err(StableRankError::DimensionMismatch {
+                expected: state.dim,
+                got: data.dim(),
+            });
+        }
+        if state.n_items != data.len() {
+            return Err(StableRankError::DimensionMismatch {
+                expected: state.n_items,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            scope: state.scope,
+            sampler: state.sampler,
+            alpha: state.alpha,
+            counts: state.counts,
+            total: state.total,
+            returned: state.returned,
             scores: Vec::new(),
             idx: Vec::new(),
             out: Vec::new(),
@@ -177,7 +259,10 @@ impl<'a> RandomizedEnumerator<'a> {
         match self.counts.entry(key) {
             Entry::Occupied(mut e) => e.get_mut().count += 1,
             Entry::Vacant(e) => {
-                e.insert(KeyStats { count: 1, exemplar: w });
+                e.insert(KeyStats {
+                    count: 1,
+                    exemplar: w,
+                });
             }
         }
     }
@@ -221,12 +306,14 @@ impl<'a> RandomizedEnumerator<'a> {
                         let (mut scores, mut idx, mut out) = (Vec::new(), Vec::new(), Vec::new());
                         for _ in 0..budget {
                             let w = sampler.sample(&mut rng);
-                            let key =
-                                key_for(data, scope, &w, &mut scores, &mut idx, &mut out);
+                            let key = key_for(data, scope, &w, &mut scores, &mut idx, &mut out);
                             match local.entry(key) {
                                 Entry::Occupied(mut e) => e.get_mut().count += 1,
                                 Entry::Vacant(e) => {
-                                    e.insert(KeyStats { count: 1, exemplar: w });
+                                    e.insert(KeyStats {
+                                        count: 1,
+                                        exemplar: w,
+                                    });
                                 }
                             }
                         }
@@ -234,7 +321,10 @@ impl<'a> RandomizedEnumerator<'a> {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("sampler worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sampler worker panicked"))
+                .collect()
         });
         for local in locals {
             for (key, stats) in local {
@@ -268,7 +358,10 @@ impl<'a> RandomizedEnumerator<'a> {
             match self.counts.entry(key.clone()) {
                 Entry::Occupied(mut e) => e.get_mut().count += stats.count,
                 Entry::Vacant(e) => {
-                    e.insert(KeyStats { count: stats.count, exemplar: stats.exemplar.clone() });
+                    e.insert(KeyStats {
+                        count: stats.count,
+                        exemplar: stats.exemplar.clone(),
+                    });
                 }
             }
         }
@@ -375,8 +468,7 @@ mod tests {
     fn full_scope_matches_exact_2d_stability() {
         let data = Dataset::figure1();
         let roi = RegionOfInterest::full(2);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let top = e.get_next_budget(&mut rng, 50_000).unwrap();
         let ranking = crate::ranking::Ranking::new(top.items.clone()).unwrap();
@@ -396,8 +488,7 @@ mod tests {
     fn successive_calls_return_distinct_rankings_with_decreasing_counts() {
         let data = Dataset::from_rows(&lcg_rows(10, 3, 5)).unwrap();
         let roi = RegionOfInterest::full(3);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let first = e.get_next_budget(&mut rng, 5000).unwrap();
         let second = e.get_next_budget(&mut rng, 1000).unwrap();
@@ -412,8 +503,7 @@ mod tests {
         let data = Dataset::from_rows(&lcg_rows(30, 3, 9)).unwrap();
         let roi = RegionOfInterest::full(3);
         let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(5), 0.05)
-                .unwrap();
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(5), 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let d = e.get_next_budget(&mut rng, 2000).unwrap();
         let reproduced = data.top_k(&d.exemplar_weights, 5).unwrap();
@@ -427,8 +517,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
 
         let mut ranked =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(5), 0.05)
-                .unwrap();
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(5), 0.05).unwrap();
         ranked.sample_n(&mut rng, 4000);
         let mut set =
             RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(5), 0.05).unwrap();
@@ -452,8 +541,7 @@ mod tests {
     fn fixed_confidence_meets_the_requested_error() {
         let data = Dataset::figure1();
         let roi = RegionOfInterest::full(2);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let d = e.get_next_confidence(&mut rng, 0.01, 2_000_000).unwrap();
         assert!(d.confidence_error <= 0.01, "err = {}", d.confidence_error);
@@ -465,8 +553,7 @@ mod tests {
     fn capped_confidence_reports_achieved_error() {
         let data = Dataset::from_rows(&lcg_rows(10, 3, 17)).unwrap();
         let roi = RegionOfInterest::full(3);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(6);
         // Absurdly tight error with a tiny cap: must return a capped result.
         let d = e.get_next_confidence(&mut rng, 1e-9, 500).unwrap();
@@ -479,8 +566,7 @@ mod tests {
         // Two items, one exchange: at most 2 distinct rankings.
         let data = Dataset::from_rows(&[vec![0.8, 0.2], vec![0.3, 0.9]]).unwrap();
         let roi = RegionOfInterest::full(2);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         assert!(e.get_next_budget(&mut rng, 1000).is_some());
         assert!(e.get_next_budget(&mut rng, 1000).is_some());
@@ -491,25 +577,25 @@ mod tests {
     fn stability_estimates_sum_to_one_over_all_rankings() {
         let data = Dataset::from_rows(&lcg_rows(6, 3, 29)).unwrap();
         let roi = RegionOfInterest::full(3);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         e.sample_n(&mut rng, 20_000);
         let mut total = 0.0;
         while let Some(d) = e.get_next_budget(&mut rng, 0) {
             total += d.stability;
         }
-        assert!((total - 1.0).abs() < 1e-9, "counted mass must be exhaustive: {total}");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "counted mass must be exhaustive: {total}"
+        );
     }
 
     #[test]
     fn narrow_cone_roi_samples_stay_inside() {
         let data = Dataset::from_rows(&lcg_rows(20, 4, 31)).unwrap();
-        let roi =
-            RegionOfInterest::cone(&[1.0, 0.5, 0.3, 0.2], std::f64::consts::PI / 100.0);
+        let roi = RegionOfInterest::cone(&[1.0, 0.5, 0.3, 0.2], std::f64::consts::PI / 100.0);
         let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(10), 0.05)
-                .unwrap();
+            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(10), 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(9);
         let d = e.get_next_budget(&mut rng, 2000).unwrap();
         assert!(roi.contains(&d.exemplar_weights));
@@ -521,9 +607,7 @@ mod tests {
         let roi3 = RegionOfInterest::full(3);
         assert!(RandomizedEnumerator::new(&data, &roi3, RankingScope::Full, 0.05).is_err());
         let roi2 = RegionOfInterest::full(2);
-        assert!(
-            RandomizedEnumerator::new(&data, &roi2, RankingScope::TopKSet(0), 0.05).is_err()
-        );
+        assert!(RandomizedEnumerator::new(&data, &roi2, RankingScope::TopKSet(0), 0.05).is_err());
         assert!(RandomizedEnumerator::new(&data, &roi2, RankingScope::Full, 0.0).is_err());
         assert!(RandomizedEnumerator::new(&data, &roi2, RankingScope::Full, 1.0).is_err());
     }
@@ -534,8 +618,7 @@ mod tests {
         let roi = RegionOfInterest::full(3);
         let make = |seed: u64, n: usize| {
             let mut op =
-                RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(4), 0.05)
-                    .unwrap();
+                RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(4), 0.05).unwrap();
             let mut rng = StdRng::seed_from_u64(seed);
             op.sample_n(&mut rng, n);
             op
@@ -565,8 +648,7 @@ mod tests {
     fn merge_rejects_scope_mismatch() {
         let data = Dataset::from_rows(&lcg_rows(6, 3, 83)).unwrap();
         let roi = RegionOfInterest::full(3);
-        let mut a =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
+        let mut a = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
         let b = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         assert!(a.merge(&b).is_err());
     }
@@ -575,18 +657,19 @@ mod tests {
     fn merge_preserves_returned_rankings() {
         let data = Dataset::from_rows(&lcg_rows(8, 3, 85)).unwrap();
         let roi = RegionOfInterest::full(3);
-        let mut a =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut a = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let first = a.get_next_budget(&mut rng, 2000).unwrap();
-        let mut b =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut b = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
         let mut rng_b = StdRng::seed_from_u64(5);
         b.sample_n(&mut rng_b, 2000);
         b.merge(&a).unwrap();
         // The ranking `a` already returned must not come back from `b`.
         while let Some(d) = b.get_next_budget(&mut rng_b, 0) {
-            assert_ne!(d.items, first.items, "returned ranking re-emitted after merge");
+            assert_ne!(
+                d.items, first.items,
+                "returned ranking re-emitted after merge"
+            );
         }
     }
 
@@ -613,8 +696,7 @@ mod tests {
         let roi = RegionOfInterest::full(3);
         let run = || {
             let mut op =
-                RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(4), 0.05)
-                    .unwrap();
+                RandomizedEnumerator::new(&data, &roi, RankingScope::TopKRanked(4), 0.05).unwrap();
             op.sample_n_parallel(7, 2000, 3);
             let mut rng = StdRng::seed_from_u64(1);
             op.get_next_budget(&mut rng, 0).unwrap()
@@ -643,12 +725,43 @@ mod tests {
         let b = par.get_next_budget(&mut rng2, 0).unwrap();
         assert_eq!(a.items, b.items, "both must find the same most stable set");
         assert!(
-            (a.stability - b.stability).abs()
-                <= 3.0 * (a.confidence_error + b.confidence_error),
+            (a.stability - b.stability).abs() <= 3.0 * (a.confidence_error + b.confidence_error),
             "{} vs {}",
             a.stability,
             b.stability
         );
+    }
+
+    #[test]
+    fn detached_state_resumes_exactly_where_it_left_off() {
+        let data = Dataset::from_rows(&lcg_rows(10, 3, 55)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let run = |detach: bool| {
+            let mut op = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut out = Vec::new();
+            for _ in 0..4 {
+                if detach {
+                    op = RandomizedEnumerator::from_state(&data, op.into_state()).unwrap();
+                }
+                if let Some(d) = op.get_next_budget(&mut rng, 800) {
+                    out.push((d.items, d.stability));
+                }
+            }
+            out
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn from_state_rejects_dimension_mismatch() {
+        let data = Dataset::from_rows(&lcg_rows(6, 3, 57)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let op = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let state = op.into_state();
+        assert_eq!(state.total_samples(), 0);
+        let other = Dataset::figure1();
+        assert!(RandomizedEnumerator::from_state(&other, state).is_err());
     }
 
     /// §2.2.5's toy example: the most stable top-3 *set* is {t2, t3, t4},
@@ -664,11 +777,14 @@ mod tests {
         ])
         .unwrap();
         let roi = RegionOfInterest::full(2);
-        let mut e =
-            RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
         let mut rng = StdRng::seed_from_u64(10);
         let best = e.get_next_budget(&mut rng, 20_000).unwrap();
-        assert_eq!(best.items, vec![1, 2, 3], "most stable top-3 must be {{t2,t3,t4}}");
+        assert_eq!(
+            best.items,
+            vec![1, 2, 3],
+            "most stable top-3 must be {{t2,t3,t4}}"
+        );
         let skyline = srank_geom::dominance::skyline_bnl(
             &(0..5).map(|i| data.item(i).to_vec()).collect::<Vec<_>>(),
         );

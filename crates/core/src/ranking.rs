@@ -40,7 +40,9 @@ impl Ranking {
                 )));
             }
             if seen[i] {
-                return Err(StableRankError::InvalidRanking(format!("item {i} appears twice")));
+                return Err(StableRankError::InvalidRanking(format!(
+                    "item {i} appears twice"
+                )));
             }
             seen[i] = true;
         }
@@ -78,7 +80,9 @@ impl Ranking {
 
     /// The ranked top-k prefix.
     pub fn top_k_ranked(&self, k: usize) -> TopKRanked {
-        TopKRanked { items: self.order[..k.min(self.order.len())].to_vec() }
+        TopKRanked {
+            items: self.order[..k.min(self.order.len())].to_vec(),
+        }
     }
 
     /// The top-k *set*: the same items regardless of their internal order.
@@ -286,8 +290,22 @@ mod tests {
         let b = Ranking::new(vec![4, 1, 2, 3, 0]).unwrap();
         let moves = a.diff(&b).unwrap();
         assert_eq!(moves.len(), 2);
-        assert_eq!(moves[0], ItemMove { item: 0, from: 0, to: 4 });
-        assert_eq!(moves[1], ItemMove { item: 4, from: 4, to: 0 });
+        assert_eq!(
+            moves[0],
+            ItemMove {
+                item: 0,
+                from: 0,
+                to: 4
+            }
+        );
+        assert_eq!(
+            moves[1],
+            ItemMove {
+                item: 4,
+                from: 4,
+                to: 0
+            }
+        );
         assert_eq!(moves[0].improvement(), -4);
         assert_eq!(moves[1].improvement(), 4);
     }

@@ -23,11 +23,15 @@ impl ScoringFunction {
     /// Rejects empty, non-finite, negative, or all-zero weight vectors.
     pub fn new(weights: &[f64]) -> Result<Self> {
         if weights.is_empty() {
-            return Err(StableRankError::InvalidWeights("empty weight vector".into()));
+            return Err(StableRankError::InvalidWeights(
+                "empty weight vector".into(),
+            ));
         }
         for &w in weights {
             if !w.is_finite() {
-                return Err(StableRankError::InvalidWeights(format!("non-finite weight {w}")));
+                return Err(StableRankError::InvalidWeights(format!(
+                    "non-finite weight {w}"
+                )));
             }
             if w < 0.0 {
                 return Err(StableRankError::InvalidWeights(format!(
@@ -37,7 +41,10 @@ impl ScoringFunction {
         }
         let unit = normalized(weights)
             .ok_or_else(|| StableRankError::InvalidWeights("all-zero weight vector".into()))?;
-        Ok(Self { weights: weights.to_vec(), unit })
+        Ok(Self {
+            weights: weights.to_vec(),
+            unit,
+        })
     }
 
     /// The scoring function at the given polar angles (§2.1.2's ray
@@ -110,7 +117,10 @@ mod tests {
     fn from_angles_roundtrip() {
         let f = ScoringFunction::from_angles(&[0.3, 0.9, 1.2]).unwrap();
         let back = f.angles();
-        assert!(back.iter().zip(&[0.3, 0.9, 1.2]).all(|(a, b)| (a - b).abs() < 1e-10));
+        assert!(back
+            .iter()
+            .zip(&[0.3, 0.9, 1.2])
+            .all(|(a, b)| (a - b).abs() < 1e-10));
     }
 
     #[test]

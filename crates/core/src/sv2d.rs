@@ -22,7 +22,10 @@ pub struct AngleInterval {
 impl AngleInterval {
     /// The full function space `U` (the first quadrant).
     pub fn full() -> Self {
-        Self { lo: 0.0, hi: FRAC_PI_2 }
+        Self {
+            lo: 0.0,
+            hi: FRAC_PI_2,
+        }
     }
 
     /// An explicit interval.
@@ -36,7 +39,10 @@ impl AngleInterval {
         {
             return Err(StableRankError::EmptyRegionOfInterest);
         }
-        Ok(Self { lo, hi: hi.min(FRAC_PI_2) })
+        Ok(Self {
+            lo,
+            hi: hi.min(FRAC_PI_2),
+        })
     }
 
     /// The cone "within `theta` of `ray`", clipped to the first quadrant —
@@ -182,13 +188,19 @@ mod tests {
     fn every_angle_in_region_reproduces_the_ranking() {
         let data = Dataset::figure1();
         let r = rank_at(&data, FRAC_PI_4);
-        let v = stability_verify_2d(&data, &r, AngleInterval::full()).unwrap().unwrap();
+        let v = stability_verify_2d(&data, &r, AngleInterval::full())
+            .unwrap()
+            .unwrap();
         for i in 1..20 {
             let theta = v.region.lo() + v.region.span() * i as f64 / 20.0;
             if theta >= v.region.hi() {
                 break;
             }
-            assert_eq!(rank_at(&data, theta), r, "ranking changed inside its own region");
+            assert_eq!(
+                rank_at(&data, theta),
+                r,
+                "ranking changed inside its own region"
+            );
         }
     }
 
@@ -204,9 +216,11 @@ mod tests {
         let mut order = feasible.order().to_vec();
         order.swap(0, 4);
         let infeasible = Ranking::new(order).unwrap();
-        assert!(stability_verify_2d(&data, &infeasible, AngleInterval::full())
-            .unwrap()
-            .is_none());
+        assert!(
+            stability_verify_2d(&data, &infeasible, AngleInterval::full())
+                .unwrap()
+                .is_none()
+        );
         // And the constructed one above must match a dense scan's verdict.
         let scan_feasible = (0..2000)
             .map(|i| rank_at(&data, FRAC_PI_2 * (i as f64 + 0.5) / 2000.0))
@@ -219,9 +233,13 @@ mod tests {
     fn dominated_above_dominator_is_rejected() {
         let data = Dataset::from_rows(&[vec![0.9, 0.9], vec![0.1, 0.1]]).unwrap();
         let bad = Ranking::new(vec![1, 0]).unwrap();
-        assert!(stability_verify_2d(&data, &bad, AngleInterval::full()).unwrap().is_none());
+        assert!(stability_verify_2d(&data, &bad, AngleInterval::full())
+            .unwrap()
+            .is_none());
         let good = Ranking::new(vec![0, 1]).unwrap();
-        let v = stability_verify_2d(&data, &good, AngleInterval::full()).unwrap().unwrap();
+        let v = stability_verify_2d(&data, &good, AngleInterval::full())
+            .unwrap()
+            .unwrap();
         assert_eq!(v.stability, 1.0, "the dominance ranking is the only one");
     }
 
@@ -230,9 +248,11 @@ mod tests {
         let data = Dataset::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
         let canonical = Ranking::new(vec![0, 1]).unwrap();
         let flipped = Ranking::new(vec![1, 0]).unwrap();
-        assert!(stability_verify_2d(&data, &canonical, AngleInterval::full())
-            .unwrap()
-            .is_some());
+        assert!(
+            stability_verify_2d(&data, &canonical, AngleInterval::full())
+                .unwrap()
+                .is_some()
+        );
         assert!(stability_verify_2d(&data, &flipped, AngleInterval::full())
             .unwrap()
             .is_none());
@@ -268,7 +288,9 @@ mod tests {
     fn narrower_interval_rescales_stability() {
         let data = Dataset::figure1();
         let r = rank_at(&data, FRAC_PI_4);
-        let full = stability_verify_2d(&data, &r, AngleInterval::full()).unwrap().unwrap();
+        let full = stability_verify_2d(&data, &r, AngleInterval::full())
+            .unwrap()
+            .unwrap();
         // A region of interest that strictly contains the ranking region.
         let roi = AngleInterval::new(
             (full.region.lo() - 0.05).max(0.0),
@@ -285,7 +307,9 @@ mod tests {
     fn ranking_outside_interval_is_infeasible_there() {
         let data = Dataset::figure1();
         let r_low = rank_at(&data, 0.05);
-        let v = stability_verify_2d(&data, &r_low, AngleInterval::full()).unwrap().unwrap();
+        let v = stability_verify_2d(&data, &r_low, AngleInterval::full())
+            .unwrap()
+            .unwrap();
         // Ask about it in an interval strictly above its region.
         let above = AngleInterval::new((v.region.hi() + 0.01).min(1.5), 1.55).unwrap();
         assert!(stability_verify_2d(&data, &r_low, above).unwrap().is_none());
@@ -303,8 +327,7 @@ mod tests {
 
     #[test]
     fn dimension_and_arity_errors() {
-        let data3 =
-            Dataset::from_rows(&[vec![0.1, 0.2, 0.3], vec![0.3, 0.2, 0.1]]).unwrap();
+        let data3 = Dataset::from_rows(&[vec![0.1, 0.2, 0.3], vec![0.3, 0.2, 0.1]]).unwrap();
         let r = Ranking::new(vec![0, 1]).unwrap();
         assert!(matches!(
             stability_verify_2d(&data3, &r, AngleInterval::full()),

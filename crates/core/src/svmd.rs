@@ -91,12 +91,12 @@ pub fn stability_verify_md(
 /// is #P-hard; `d = 3` is the one multi-dimensional case with a clean
 /// closed form, and it doubles as the calibration ground truth for the
 /// sampling oracle.
-pub fn stability_verify_3d_exact(
-    data: &Dataset,
-    ranking: &Ranking,
-) -> Result<Option<VerifiedMd>> {
+pub fn stability_verify_3d_exact(data: &Dataset, ranking: &Ranking) -> Result<Option<VerifiedMd>> {
     if data.dim() != 3 {
-        return Err(StableRankError::DimensionMismatch { expected: 3, got: data.dim() });
+        return Err(StableRankError::DimensionMismatch {
+            expected: 3,
+            got: data.dim(),
+        });
     }
     let Some(region) = ranking_region_md(data, ranking)? else {
         return Ok(None);
@@ -147,12 +147,19 @@ mod tests {
         for s in samples.iter_rows() {
             if region.contains(s) {
                 inside += 1;
-                assert_eq!(data.rank(s).unwrap(), r, "region member gave another ranking");
+                assert_eq!(
+                    data.rank(s).unwrap(),
+                    r,
+                    "region member gave another ranking"
+                );
             } else {
                 assert_ne!(data.rank(s).unwrap(), r, "outsider gave the same ranking");
             }
         }
-        assert!(inside > 0, "sampled no witnesses; region too thin for the test");
+        assert!(
+            inside > 0,
+            "sampled no witnesses; region too thin for the test"
+        );
     }
 
     #[test]
@@ -166,7 +173,10 @@ mod tests {
             .unwrap()
             .stability;
         let samples = orthant_samples(2, 100_000, 2);
-        let est = stability_verify_md(&data, &r, &samples).unwrap().unwrap().stability;
+        let est = stability_verify_md(&data, &r, &samples)
+            .unwrap()
+            .unwrap()
+            .stability;
         assert!((est - exact).abs() < 0.01, "MC {est} vs exact {exact}");
     }
 
@@ -180,13 +190,14 @@ mod tests {
         .unwrap();
         let bad = Ranking::new(vec![1, 0, 2]).unwrap(); // dominated first
         let samples = orthant_samples(3, 100, 3);
-        assert!(stability_verify_md(&data, &bad, &samples).unwrap().is_none());
+        assert!(stability_verify_md(&data, &bad, &samples)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn identical_items_tie_break_in_md() {
-        let data =
-            Dataset::from_rows(&[vec![0.4, 0.4, 0.4], vec![0.4, 0.4, 0.4]]).unwrap();
+        let data = Dataset::from_rows(&[vec![0.4, 0.4, 0.4], vec![0.4, 0.4, 0.4]]).unwrap();
         let canonical = Ranking::new(vec![0, 1]).unwrap();
         let flipped = Ranking::new(vec![1, 0]).unwrap();
         assert!(ranking_region_md(&data, &canonical).unwrap().is_some());
@@ -216,7 +227,10 @@ mod tests {
         let samples = orthant_samples(5, 10, 3);
         assert!(matches!(
             stability_verify_md(&data, &r, &samples),
-            Err(StableRankError::DimensionMismatch { expected: 2, got: 3 })
+            Err(StableRankError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 
@@ -234,8 +248,14 @@ mod tests {
             vec![0.7, 0.2, 0.1],
         ] {
             let r = data.rank(&probe).unwrap();
-            let exact = stability_verify_3d_exact(&data, &r).unwrap().unwrap().stability;
-            let mc = stability_verify_md(&data, &r, &samples).unwrap().unwrap().stability;
+            let exact = stability_verify_3d_exact(&data, &r)
+                .unwrap()
+                .unwrap()
+                .stability;
+            let mc = stability_verify_md(&data, &r, &samples)
+                .unwrap()
+                .unwrap()
+                .stability;
             // 200k samples ⇒ σ ≈ √(p/200k) ≤ 0.0016 at p ≈ 0.5.
             assert!(
                 (exact - mc).abs() < 0.005,
@@ -261,7 +281,12 @@ mod tests {
         }
         let total: f64 = seen
             .iter()
-            .map(|r| stability_verify_3d_exact(&data, r).unwrap().unwrap().stability)
+            .map(|r| {
+                stability_verify_3d_exact(&data, r)
+                    .unwrap()
+                    .unwrap()
+                    .stability
+            })
             .sum();
         // 50k samples find every region of non-trivial mass; the missing
         // tail is below the sampling resolution.
@@ -289,7 +314,12 @@ mod tests {
         }
         let total: f64 = seen
             .iter()
-            .map(|r| stability_verify_md(&data, r, &samples).unwrap().unwrap().stability)
+            .map(|r| {
+                stability_verify_md(&data, r, &samples)
+                    .unwrap()
+                    .unwrap()
+                    .stability
+            })
             .sum();
         // Every sample is counted by exactly one ranking region (boundary
         // hits are measure-zero), so the sum is 1 up to boundary ties.

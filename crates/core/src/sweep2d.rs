@@ -109,7 +109,12 @@ impl<'a> Enumerator2D<'a> {
             .enumerate()
             .map(|(i, r)| (F64Key(r.stability), i))
             .collect();
-        Ok(Self { data, regions, stored, heap })
+        Ok(Self {
+            data,
+            regions,
+            stored,
+            heap,
+        })
     }
 
     /// All discovered regions in sweep (angle) order.
@@ -133,10 +138,16 @@ impl<'a> Enumerator2D<'a> {
             Some(snapshots) => snapshots[idx].clone(),
             None => {
                 let w = weight_from_angle_2d(region.midpoint());
-                self.data.rank(&w).expect("dimension verified at construction")
+                self.data
+                    .rank(&w)
+                    .expect("dimension verified at construction")
             }
         };
-        Some(StableRanking2D { ranking, stability: region.stability, region })
+        Some(StableRanking2D {
+            ranking,
+            stability: region.stability,
+            region,
+        })
     }
 
     /// Batch form of Problem 2: the top-`h` most stable rankings.
@@ -157,6 +168,72 @@ impl<'a> Enumerator2D<'a> {
     }
 }
 
+/// An owned, `Send + 'static` snapshot of an [`Enumerator2D`]'s progress,
+/// detached from the dataset borrow.
+///
+/// Long-lived holders (e.g. `srank-service` sessions) keep the dataset in
+/// an `Arc` and the enumerator as a `Sweep2DState`; each `get_next` call
+/// reattaches with [`Enumerator2D::from_state`], pops, and detaches again
+/// with [`Enumerator2D::into_state`]. Both conversions are O(1) moves.
+#[derive(Clone, Debug)]
+pub struct Sweep2DState {
+    n_items: usize,
+    regions: Vec<Region2DInfo>,
+    stored: Option<Vec<Ranking>>,
+    heap: Vec<(f64, usize)>,
+}
+
+impl Sweep2DState {
+    /// Number of regions not yet returned by `get_next`.
+    pub fn remaining(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of regions discovered by the sweep.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+impl<'a> Enumerator2D<'a> {
+    /// Detaches the enumeration state from the dataset borrow.
+    pub fn into_state(self) -> Sweep2DState {
+        Sweep2DState {
+            n_items: self.data.len(),
+            regions: self.regions,
+            stored: self.stored,
+            heap: self.heap.into_iter().map(|(F64Key(s), i)| (s, i)).collect(),
+        }
+    }
+
+    /// Reattaches a detached state to its dataset.
+    ///
+    /// # Errors
+    /// Fails when `data` is not the dataset the state was built over (only
+    /// the cheap shape checks are possible: dimension and item count).
+    pub fn from_state(data: &'a Dataset, state: Sweep2DState) -> Result<Self> {
+        if data.dim() != 2 {
+            return Err(StableRankError::NeedTwoDimensions { got: data.dim() });
+        }
+        if data.len() != state.n_items {
+            return Err(StableRankError::DimensionMismatch {
+                expected: state.n_items,
+                got: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            regions: state.regions,
+            stored: state.stored,
+            heap: state
+                .heap
+                .into_iter()
+                .map(|(s, i)| (F64Key(s), i))
+                .collect(),
+        })
+    }
+}
+
 /// Algorithm 2: sweeps `interval` and returns the ranking regions in angle
 /// order, optionally snapshotting each region's ranking.
 fn ray_sweep(
@@ -168,7 +245,11 @@ fn ray_sweep(
     let span = interval.span();
     let mut snapshots: Option<Vec<Ranking>> = store.then(Vec::new);
     if n == 1 {
-        let only = Region2DInfo { lo: interval.lo(), hi: interval.hi(), stability: 1.0 };
+        let only = Region2DInfo {
+            lo: interval.lo(),
+            hi: interval.hi(),
+            stability: 1.0,
+        };
         if let Some(s) = &mut snapshots {
             s.push(Ranking::from_order_unchecked(vec![0]));
         }
@@ -187,19 +268,18 @@ fn ray_sweep(
 
     // Event min-heap of upcoming exchanges (θ*, above, below).
     let mut events: BinaryHeap<Reverse<(F64Key, u32, u32)>> = BinaryHeap::new();
-    let push_if_upcoming = |events: &mut BinaryHeap<Reverse<(F64Key, u32, u32)>>,
-                                a: u32,
-                                b: u32| {
-        let (ta, tb) = (data.item(a as usize), data.item(b as usize));
-        if ta[0] <= tb[0] {
-            return; // post-exchange orientation (or tied): nothing upcoming
-        }
-        if let Some(theta) = exchange_angle_2d(ta, tb) {
-            if theta >= interval.lo() && theta < interval.hi() {
-                events.push(Reverse((F64Key(theta), a, b)));
+    let push_if_upcoming =
+        |events: &mut BinaryHeap<Reverse<(F64Key, u32, u32)>>, a: u32, b: u32| {
+            let (ta, tb) = (data.item(a as usize), data.item(b as usize));
+            if ta[0] <= tb[0] {
+                return; // post-exchange orientation (or tied): nothing upcoming
             }
-        }
-    };
+            if let Some(theta) = exchange_angle_2d(ta, tb) {
+                if theta >= interval.lo() && theta < interval.hi() {
+                    events.push(Reverse((F64Key(theta), a, b)));
+                }
+            }
+        };
     for w in order.windows(2) {
         push_if_upcoming(&mut events, w[0], w[1]);
     }
@@ -279,8 +359,11 @@ mod tests {
         let data = Dataset::figure1();
         let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
         for r in e.regions() {
-            let probes =
-                [r.lo + r.hi * 1e-6 + 1e-9, r.midpoint(), r.hi - (r.hi - r.lo) * 1e-6];
+            let probes = [
+                r.lo + r.hi * 1e-6 + 1e-9,
+                r.midpoint(),
+                r.hi - (r.hi - r.lo) * 1e-6,
+            ];
             let rankings: Vec<Ranking> = probes
                 .iter()
                 .map(|&t| data.rank(&weight_from_angle_2d(t)).unwrap())
@@ -317,7 +400,10 @@ mod tests {
         let mut prev = f64::INFINITY;
         let mut count = 0;
         while let Some(s) = e.get_next() {
-            assert!(s.stability <= prev + 1e-12, "stability must be non-increasing");
+            assert!(
+                s.stability <= prev + 1e-12,
+                "stability must be non-increasing"
+            );
             prev = s.stability;
             count += 1;
         }
@@ -346,7 +432,9 @@ mod tests {
     #[test]
     fn narrow_interval_enumerates_a_subset() {
         let data = Dataset::figure1();
-        let full_count = Enumerator2D::new(&data, AngleInterval::full()).unwrap().num_regions();
+        let full_count = Enumerator2D::new(&data, AngleInterval::full())
+            .unwrap()
+            .num_regions();
         let narrow = AngleInterval::new(0.6, 0.9).unwrap();
         let e = Enumerator2D::new(&data, narrow).unwrap();
         assert!(e.num_regions() < full_count);
@@ -383,12 +471,7 @@ mod tests {
     #[test]
     fn dominance_chain_has_single_region() {
         // Total dominance order ⇒ one ranking everywhere.
-        let data = Dataset::from_rows(&[
-            vec![0.9, 0.9],
-            vec![0.5, 0.5],
-            vec![0.1, 0.1],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[vec![0.9, 0.9], vec![0.5, 0.5], vec![0.1, 0.1]]).unwrap();
         let e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
         assert_eq!(e.num_regions(), 1);
     }
@@ -424,8 +507,7 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..25).map(|_| vec![next(), next()]).collect();
         let data = Dataset::from_rows(&rows).unwrap();
         let mut recompute = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
-        let mut stored =
-            Enumerator2D::new_storing_rankings(&data, AngleInterval::full()).unwrap();
+        let mut stored = Enumerator2D::new_storing_rankings(&data, AngleInterval::full()).unwrap();
         loop {
             match (recompute.get_next(), stored.get_next()) {
                 (None, None) => break,
@@ -442,8 +524,7 @@ mod tests {
     #[test]
     fn stored_variant_works_on_narrow_intervals_and_singletons() {
         let data = Dataset::from_rows(&[vec![0.4, 0.6]]).unwrap();
-        let mut e =
-            Enumerator2D::new_storing_rankings(&data, AngleInterval::full()).unwrap();
+        let mut e = Enumerator2D::new_storing_rankings(&data, AngleInterval::full()).unwrap();
         assert_eq!(e.get_next().unwrap().ranking.order(), &[0]);
 
         let data = Dataset::figure1();
@@ -453,6 +534,41 @@ mod tests {
         while let (Some(a), Some(b)) = (stored.get_next(), plain.get_next()) {
             assert_eq!(a.ranking, b.ranking);
         }
+    }
+
+    #[test]
+    fn detached_state_resumes_exactly_where_it_left_off() {
+        let data = Dataset::figure1();
+        let mut reference = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        let mut session = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
+        // Interleave detach/reattach between every call: the streams must
+        // be identical and validation must hold.
+        loop {
+            let state = session.into_state();
+            assert_eq!(state.num_regions(), 11);
+            session = Enumerator2D::from_state(&data, state).unwrap();
+            match (reference.get_next(), session.get_next()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.ranking, b.ranking);
+                    assert_eq!(a.stability, b.stability);
+                }
+                other => panic!("streams diverged: {other:?}"),
+            }
+        }
+        assert_eq!(session.into_state().remaining(), 0);
+    }
+
+    #[test]
+    fn from_state_rejects_mismatched_datasets() {
+        let data = Dataset::figure1();
+        let state = Enumerator2D::new(&data, AngleInterval::full())
+            .unwrap()
+            .into_state();
+        let other = Dataset::from_rows(&[vec![0.1, 0.2], vec![0.3, 0.4]]).unwrap();
+        assert!(Enumerator2D::from_state(&other, state.clone()).is_err());
+        let three_d = Dataset::from_rows(&vec![vec![0.1, 0.2, 0.3]; 5]).unwrap();
+        assert!(Enumerator2D::from_state(&three_d, state).is_err());
     }
 
     #[test]

@@ -30,7 +30,11 @@ pub fn top_k_set_stabilities_2d(
         *mass.entry(ranking.top_k_set(k)).or_default() += region.stability;
     }
     let mut out: Vec<(TopKSet, f64)> = mass.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.items().cmp(b.0.items())));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then_with(|| a.0.items().cmp(b.0.items()))
+    });
     Ok(out)
 }
 
@@ -48,7 +52,11 @@ pub fn top_k_ranked_stabilities_2d(
         *mass.entry(ranking.top_k_ranked(k)).or_default() += region.stability;
     }
     let mut out: Vec<(TopKRanked, f64)> = mass.into_iter().collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.items().cmp(b.0.items())));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap()
+            .then_with(|| a.0.items().cmp(b.0.items()))
+    });
     Ok(out)
 }
 
@@ -87,10 +95,12 @@ mod tests {
             let sets = top_k_set_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
             let total: f64 = sets.iter().map(|(_, s)| s).sum();
             assert!((total - 1.0).abs() < 1e-9, "k={k}: total {total}");
-            let ranked =
-                top_k_ranked_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
+            let ranked = top_k_ranked_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
             let total_r: f64 = ranked.iter().map(|(_, s)| s).sum();
-            assert!((total_r - 1.0).abs() < 1e-9, "k={k}: ranked total {total_r}");
+            assert!(
+                (total_r - 1.0).abs() < 1e-9,
+                "k={k}: ranked total {total_r}"
+            );
         }
     }
 
@@ -149,8 +159,10 @@ mod tests {
         let data = Dataset::from_rows(&rows).unwrap();
         let k = 5;
         let exact = top_k_set_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
-        let exact_map: HashMap<Vec<u32>, f64> =
-            exact.iter().map(|(s, m)| (s.items().to_vec(), *m)).collect();
+        let exact_map: HashMap<Vec<u32>, f64> = exact
+            .iter()
+            .map(|(s, m)| (s.items().to_vec(), *m))
+            .collect();
 
         let roi = RegionOfInterest::full(2);
         let mut op =

@@ -111,12 +111,7 @@ mod tests {
 
     #[test]
     fn dominance_pairs_are_skipped() {
-        let data = Dataset::from_rows(&[
-            vec![0.9, 0.9],
-            vec![0.1, 0.5],
-            vec![0.8, 0.2],
-        ])
-        .unwrap();
+        let data = Dataset::from_rows(&[vec![0.9, 0.9], vec![0.1, 0.5], vec![0.8, 0.2]]).unwrap();
         let roi = RegionOfInterest::full(2);
         let samples = samples_for(&roi, 2, 100);
         let hps = ordering_exchange_hyperplanes(&data, &roi, &samples);
@@ -201,8 +196,9 @@ mod tests {
     #[test]
     fn count_is_quadratic_without_dominance() {
         // Anti-correlated line: no dominance at all ⇒ all C(n,2) pairs.
-        let rows: Vec<Vec<f64>> =
-            (0..12).map(|i| vec![i as f64 / 11.0, 1.0 - i as f64 / 11.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![i as f64 / 11.0, 1.0 - i as f64 / 11.0])
+            .collect();
         let data = Dataset::from_rows(&rows).unwrap();
         let roi = RegionOfInterest::full(2);
         let samples = samples_for(&roi, 9, 100);

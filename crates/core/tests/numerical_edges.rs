@@ -33,18 +33,16 @@ fn hairline_attribute_gaps_keep_partition_exact() {
 #[test]
 fn exact_score_ties_resolve_by_index_everywhere() {
     // t0 and t1 tie exactly under (1, 1).
-    let data = Dataset::from_rows(&[
-        vec![0.25, 0.75],
-        vec![0.75, 0.25],
-        vec![0.5, 0.5],
-    ])
-    .unwrap();
+    let data = Dataset::from_rows(&[vec![0.25, 0.75], vec![0.75, 0.25], vec![0.5, 0.5]]).unwrap();
     let r = data.rank(&[1.0, 1.0]).unwrap();
     // All three items tie at 1.0 under equal weights: index order.
     assert_eq!(r.order(), &[0, 1, 2]);
     // And top-k agrees with the full ranking's prefix despite ties.
     for k in 1..=3 {
-        assert_eq!(data.top_k(&[1.0, 1.0], k).unwrap().as_slice(), &r.order()[..k]);
+        assert_eq!(
+            data.top_k(&[1.0, 1.0], k).unwrap().as_slice(),
+            &r.order()[..k]
+        );
     }
 }
 
@@ -81,9 +79,8 @@ fn eight_dimensional_pipeline_works() {
     };
     let rows: Vec<Vec<f64>> = (0..40).map(|_| (0..8).map(|_| next()).collect()).collect();
     let data = Dataset::from_rows(&rows).unwrap();
-    let roi = RegionOfInterest::cone(&vec![1.0; 8], std::f64::consts::PI / 50.0);
-    let mut op =
-        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(5), 0.05).unwrap();
+    let roi = RegionOfInterest::cone(&[1.0; 8], std::f64::consts::PI / 50.0);
+    let mut op = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(5), 0.05).unwrap();
     let mut rng = StdRng::seed_from_u64(88);
     let d = op.get_next_budget(&mut rng, 1000).unwrap();
     assert_eq!(d.items.len(), 5);
@@ -104,7 +101,9 @@ fn lp_scales_to_a_hundred_constraints() {
     let rows: Vec<Vec<f64>> = (0..101).map(|_| (0..3).map(|_| next()).collect()).collect();
     let data = Dataset::from_rows(&rows).unwrap();
     let r = data.rank(&[0.4, 0.35, 0.25]).unwrap();
-    let mm = max_margin_weights(&data, &r).unwrap().expect("observed ranking is feasible");
+    let mm = max_margin_weights(&data, &r)
+        .unwrap()
+        .expect("observed ranking is feasible");
     assert_eq!(data.rank(&mm.weights).unwrap(), r);
     assert!(mm.margin > 0.0);
 }
@@ -151,7 +150,9 @@ fn axis_aligned_weights_verify() {
     let data = Dataset::figure1();
     for w in [[1.0, 0.0], [0.0, 1.0]] {
         let r = data.rank(&w).unwrap();
-        let v = stability_verify_2d(&data, &r, AngleInterval::full()).unwrap().unwrap();
+        let v = stability_verify_2d(&data, &r, AngleInterval::full())
+            .unwrap()
+            .unwrap();
         assert!(v.stability > 0.0);
         // The generating boundary angle sits inside the closed region.
         let theta = w[1].atan2(w[0]);

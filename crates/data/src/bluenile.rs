@@ -25,8 +25,7 @@ pub fn bluenile<R: Rng + ?Sized>(rng: &mut R, n: usize) -> RawTable {
             let carat = (0.9 * (0.55 * normal.sample(rng)).exp()).clamp(0.2, 10.0);
             // Price: roughly carat^2.4 with grade noise (cut/color/clarity),
             // floored at the catalog's cheapest listings.
-            let price =
-                (4300.0 * carat.powf(2.4) * (0.35 * normal.sample(rng)).exp()).max(250.0);
+            let price = (4300.0 * carat.powf(2.4) * (0.35 * normal.sample(rng)).exp()).max(250.0);
             // Cut proportions: near-Gaussian around ideal values.
             let depth = 61.8 + 1.4 * normal.sample(rng);
             let lw_ratio = 1.01 + 0.05 * normal.sample(rng).abs();

@@ -44,7 +44,10 @@ pub fn csmetrics<R: Rng + ?Sized>(rng: &mut R, n: usize) -> RawTable {
         .collect();
     RawTable::new(
         "csmetrics",
-        vec![Column::higher("log_measured"), Column::higher("log_predicted")],
+        vec![
+            Column::higher("log_measured"),
+            Column::higher("log_predicted"),
+        ],
         rows,
     )
 }
@@ -101,8 +104,7 @@ mod tests {
         // The first row must score at least as high as the last row under
         // the reference weights (ordering was by the pre-truncation
         // normalization, so allow slack for renormalization).
-        let score =
-            |r: &[f64]| REFERENCE_WEIGHTS[0] * r[0] + REFERENCE_WEIGHTS[1] * r[1];
+        let score = |r: &[f64]| REFERENCE_WEIGHTS[0] * r[0] + REFERENCE_WEIGHTS[1] * r[1];
         assert!(score(&norm[0]) > score(&norm[99]) - 1e-9);
     }
 

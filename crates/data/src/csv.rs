@@ -19,11 +19,17 @@ pub struct ColumnSpec {
 
 impl ColumnSpec {
     pub fn higher(name: &str) -> Self {
-        Self { name: name.to_string(), direction: Direction::HigherIsBetter }
+        Self {
+            name: name.to_string(),
+            direction: Direction::HigherIsBetter,
+        }
     }
 
     pub fn lower(name: &str) -> Self {
-        Self { name: name.to_string(), direction: Direction::LowerIsBetter }
+        Self {
+            name: name.to_string(),
+            direction: Direction::LowerIsBetter,
+        }
     }
 }
 
@@ -35,9 +41,17 @@ pub enum CsvError {
     /// A requested column is absent from the header.
     UnknownColumn(String),
     /// A data row has fewer fields than the header.
-    ShortRow { line: usize, expected: usize, got: usize },
+    ShortRow {
+        line: usize,
+        expected: usize,
+        got: usize,
+    },
     /// A field could not be parsed as a float.
-    BadNumber { line: usize, column: String, value: String },
+    BadNumber {
+        line: usize,
+        column: String,
+        value: String,
+    },
     /// A quoted field was never closed.
     UnterminatedQuote { line: usize },
 }
@@ -47,11 +61,22 @@ impl fmt::Display for CsvError {
         match self {
             CsvError::MissingHeader => write!(f, "CSV input has no header line"),
             CsvError::UnknownColumn(c) => write!(f, "column '{c}' not found in header"),
-            CsvError::ShortRow { line, expected, got } => {
+            CsvError::ShortRow {
+                line,
+                expected,
+                got,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, got {got}")
             }
-            CsvError::BadNumber { line, column, value } => {
-                write!(f, "line {line}: column '{column}': '{value}' is not a number")
+            CsvError::BadNumber {
+                line,
+                column,
+                value,
+            } => {
+                write!(
+                    f,
+                    "line {line}: column '{column}': '{value}' is not a number"
+                )
             }
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")
@@ -110,7 +135,10 @@ pub fn read_csv_str(name: &str, text: &str, spec: &[ColumnSpec]) -> Result<RawTa
 
     let columns = spec
         .iter()
-        .map(|s| Column { name: s.name.clone(), direction: s.direction })
+        .map(|s| Column {
+            name: s.name.clone(),
+            direction: s.direction,
+        })
         .collect();
     Ok(RawTable::new(name, columns, rows))
 }
@@ -192,22 +220,33 @@ c,1500,0.7,\"doubled \"\" quote\"
     fn quoted_fields_with_commas_and_doubled_quotes() {
         // The quoted `note` column must not disturb field indexing.
         let t = read_csv_str("d", SAMPLE, &[ColumnSpec::higher("carat")]).unwrap();
-        assert_eq!(t.rows.iter().map(|r| r[0]).collect::<Vec<_>>(), vec![0.5, 0.9, 0.7]);
+        assert_eq!(
+            t.rows.iter().map(|r| r[0]).collect::<Vec<_>>(),
+            vec![0.5, 0.9, 0.7]
+        );
     }
 
     #[test]
     fn crlf_and_blank_lines_are_tolerated() {
         let text = "x,y\r\n1,2\r\n\r\n3,4\r\n";
-        let t = read_csv_str("t", text, &[ColumnSpec::higher("x"), ColumnSpec::higher("y")])
-            .unwrap();
+        let t = read_csv_str(
+            "t",
+            text,
+            &[ColumnSpec::higher("x"), ColumnSpec::higher("y")],
+        )
+        .unwrap();
         assert_eq!(t.rows, vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
     }
 
     #[test]
     fn whitespace_around_numbers_is_trimmed() {
         let text = "a,b\n 1.5 ,  2.5\n";
-        let t = read_csv_str("t", text, &[ColumnSpec::higher("a"), ColumnSpec::higher("b")])
-            .unwrap();
+        let t = read_csv_str(
+            "t",
+            text,
+            &[ColumnSpec::higher("a"), ColumnSpec::higher("b")],
+        )
+        .unwrap();
         assert_eq!(t.rows[0], vec![1.5, 2.5]);
     }
 
@@ -223,7 +262,11 @@ c,1500,0.7,\"doubled \"\" quote\"
         let err = read_csv_str("t", text, &[ColumnSpec::higher("a")]).unwrap_err();
         assert_eq!(
             err,
-            CsvError::BadNumber { line: 3, column: "a".into(), value: "x".into() }
+            CsvError::BadNumber {
+                line: 3,
+                column: "a".into(),
+                value: "x".into()
+            }
         );
     }
 
@@ -270,8 +313,7 @@ c,1500,0.7,\"doubled \"\" quote\"
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("mini.csv");
         std::fs::write(&path, "x,y\n0.1,0.9\n0.4,0.6\n").unwrap();
-        let t = read_csv_file(&path, &[ColumnSpec::higher("x"), ColumnSpec::higher("y")])
-            .unwrap();
+        let t = read_csv_file(&path, &[ColumnSpec::higher("x"), ColumnSpec::higher("y")]).unwrap();
         assert_eq!(t.n_rows(), 2);
         assert_eq!(t.name, "mini");
         std::fs::remove_file(&path).ok();
@@ -279,7 +321,11 @@ c,1500,0.7,\"doubled \"\" quote\"
 
     #[test]
     fn display_messages_are_informative() {
-        let e = CsvError::BadNumber { line: 7, column: "q".into(), value: "NaNish".into() };
+        let e = CsvError::BadNumber {
+            line: 7,
+            column: "q".into(),
+            value: "NaNish".into(),
+        };
         let msg = e.to_string();
         assert!(msg.contains("line 7") && msg.contains('q') && msg.contains("NaNish"));
     }

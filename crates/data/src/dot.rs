@@ -71,7 +71,10 @@ mod tests {
         let t = dot(&mut rng, 20_000);
         let short = t.rows.iter().filter(|r| r[0] < 180.0).count() as f64;
         let frac_short = short / t.n_rows() as f64;
-        assert!((frac_short - 0.7).abs() < 0.03, "short-haul fraction {frac_short}");
+        assert!(
+            (frac_short - 0.7).abs() < 0.03,
+            "short-haul fraction {frac_short}"
+        );
         // The valley between modes is sparse.
         let valley = t
             .rows

@@ -52,10 +52,19 @@ pub fn fifa_top100<R: Rng + ?Sized>(rng: &mut R) -> RawTable {
     let universe = fifa(rng, 211); // FIFA ranked 211 member associations
     let norm = universe.normalized();
     let score = |r: &[f64]| {
-        REFERENCE_WEIGHTS.iter().zip(r).map(|(w, x)| w * x).sum::<f64>()
+        REFERENCE_WEIGHTS
+            .iter()
+            .zip(r)
+            .map(|(w, x)| w * x)
+            .sum::<f64>()
     };
     let mut idx: Vec<usize> = (0..norm.len()).collect();
-    idx.sort_by(|&a, &b| score(&norm[b]).partial_cmp(&score(&norm[a])).unwrap().then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        score(&norm[b])
+            .partial_cmp(&score(&norm[a]))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
     idx.truncate(100);
     let rows = idx.into_iter().map(|i| universe.rows[i].clone()).collect();
     RawTable::new("fifa-top100", universe.columns.clone(), rows)
@@ -103,7 +112,11 @@ mod tests {
         let t = fifa_top100(&mut rng);
         let norm = t.normalized();
         let score = |r: &[f64]| {
-            REFERENCE_WEIGHTS.iter().zip(r).map(|(w, x)| w * x).sum::<f64>()
+            REFERENCE_WEIGHTS
+                .iter()
+                .zip(r)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
         };
         assert!(score(&norm[0]) > score(&norm[99]) - 1e-9);
     }

@@ -55,8 +55,12 @@ pub fn table_stats(table: &RawTable) -> TableStats {
             sum += r[j];
         }
         let mean = sum / n as f64;
-        let var =
-            table.rows.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = table
+            .rows
+            .iter()
+            .map(|r| (r[j] - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         columns.push(ColumnStats {
             name: table.columns[j].name.clone(),
             min,
@@ -93,10 +97,18 @@ pub fn table_stats(table: &RawTable) -> TableStats {
             }
         }
     }
-    let dominance_fraction =
-        if examined == 0 { 0.0 } else { dominated as f64 / examined as f64 };
+    let dominance_fraction = if examined == 0 {
+        0.0
+    } else {
+        dominated as f64 / examined as f64
+    };
 
-    TableStats { n_rows: n, columns, correlations, dominance_fraction }
+    TableStats {
+        n_rows: n,
+        columns,
+        correlations,
+        dominance_fraction,
+    }
 }
 
 #[cfg(test)]
@@ -130,9 +142,7 @@ mod tests {
         let s = table_stats(&mini());
         assert!((s.correlations[0][0].unwrap() - 1.0).abs() < 1e-12);
         assert!((s.correlations[1][1].unwrap() - 1.0).abs() < 1e-12);
-        assert!(
-            (s.correlations[0][1].unwrap() - s.correlations[1][0].unwrap()).abs() < 1e-12
-        );
+        assert!((s.correlations[0][1].unwrap() - s.correlations[1][0].unwrap()).abs() < 1e-12);
         // x and y move together in the raw values.
         assert!(s.correlations[0][1].unwrap() > 0.99);
     }
@@ -158,8 +168,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let cor = table_stats(&synthetic(&mut rng, CorrelationKind::Correlated, 500, 3));
         let mut rng = StdRng::seed_from_u64(1);
-        let anti =
-            table_stats(&synthetic(&mut rng, CorrelationKind::AntiCorrelated, 500, 3));
+        let anti = table_stats(&synthetic(
+            &mut rng,
+            CorrelationKind::AntiCorrelated,
+            500,
+            3,
+        ));
         assert!(
             cor.dominance_fraction > 3.0 * anti.dominance_fraction,
             "{} vs {}",

@@ -44,7 +44,9 @@ pub fn synthetic<R: Rng + ?Sized>(
     d: usize,
 ) -> RawTable {
     assert!(d >= 2, "synthetic: need d ≥ 2");
-    let columns = (0..d).map(|j| Column::higher(&format!("x{}", j + 1))).collect();
+    let columns = (0..d)
+        .map(|j| Column::higher(&format!("x{}", j + 1)))
+        .collect();
     let rows = (0..n)
         .map(|_| match kind {
             CorrelationKind::Independent => (0..d).map(|_| rng.random::<f64>()).collect(),
@@ -108,7 +110,9 @@ mod tests {
     fn correlation_signs_match_kinds() {
         let ind = gen(CorrelationKind::Independent).correlation(0, 1).unwrap();
         let cor = gen(CorrelationKind::Correlated).correlation(0, 1).unwrap();
-        let anti = gen(CorrelationKind::AntiCorrelated).correlation(0, 1).unwrap();
+        let anti = gen(CorrelationKind::AntiCorrelated)
+            .correlation(0, 1)
+            .unwrap();
         assert!(ind.abs() < 0.1, "independent: ρ = {ind}");
         assert!(cor > 0.8, "correlated: ρ = {cor}");
         assert!(anti < -0.2, "anti-correlated: ρ = {anti}");
@@ -123,9 +127,15 @@ mod tests {
         let s_cor = sky(CorrelationKind::Correlated);
         let s_ind = sky(CorrelationKind::Independent);
         let s_anti = sky(CorrelationKind::AntiCorrelated);
-        assert!(s_cor < s_ind && s_ind < s_anti, "{s_cor} < {s_ind} < {s_anti} violated");
+        assert!(
+            s_cor < s_ind && s_ind < s_anti,
+            "{s_cor} < {s_ind} < {s_anti} violated"
+        );
         assert!(s_cor <= 30, "correlated skyline should be small: {s_cor}");
-        assert!(s_anti >= 50, "anti-correlated skyline should be large: {s_anti}");
+        assert!(
+            s_anti >= 50,
+            "anti-correlated skyline should be large: {s_anti}"
+        );
     }
 
     #[test]

@@ -26,11 +26,17 @@ pub struct Column {
 
 impl Column {
     pub fn higher(name: &str) -> Self {
-        Self { name: name.to_string(), direction: Direction::HigherIsBetter }
+        Self {
+            name: name.to_string(),
+            direction: Direction::HigherIsBetter,
+        }
     }
 
     pub fn lower(name: &str) -> Self {
-        Self { name: name.to_string(), direction: Direction::LowerIsBetter }
+        Self {
+            name: name.to_string(),
+            direction: Direction::LowerIsBetter,
+        }
     }
 }
 
@@ -52,7 +58,11 @@ impl RawTable {
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), columns.len(), "RawTable: row {i} has wrong arity");
         }
-        Self { name: name.to_string(), columns, rows }
+        Self {
+            name: name.to_string(),
+            columns,
+            rows,
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -99,7 +109,11 @@ impl RawTable {
     /// attributes" device for varying `d`).
     pub fn project(&self, cols: &[usize]) -> RawTable {
         let columns = cols.iter().map(|&j| self.columns[j].clone()).collect();
-        let rows = self.rows.iter().map(|r| cols.iter().map(|&j| r[j]).collect()).collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| cols.iter().map(|&j| r[j]).collect())
+            .collect();
         RawTable::new(&format!("{}[{:?}]", self.name, cols), columns, rows)
     }
 
@@ -217,7 +231,9 @@ mod tests {
         let pos = RawTable::new(
             "p",
             vec![Column::higher("a"), Column::higher("b")],
-            (0..50).map(|i| vec![i as f64, 2.0 * i as f64 + 1.0]).collect(),
+            (0..50)
+                .map(|i| vec![i as f64, 2.0 * i as f64 + 1.0])
+                .collect(),
         );
         assert!((pos.correlation(0, 1).unwrap() - 1.0).abs() < 1e-12);
         let neg = RawTable::new(

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use srank_data::{
-    read_csv_str, synthetic, table_stats, Column, ColumnSpec, CorrelationKind, Direction,
-    RawTable,
+    read_csv_str, synthetic, table_stats, Column, ColumnSpec, CorrelationKind, Direction, RawTable,
 };
 
 fn finite_rows(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Vec<f64>>> {

@@ -111,7 +111,10 @@ mod tests {
         let after = weight_from_angle_2d(theta + 1e-4);
         let diff_before = dot(&T2, &before) - dot(&T5, &before);
         let diff_after = dot(&T2, &after) - dot(&T5, &after);
-        assert!(diff_before * diff_after < 0.0, "order must flip across ×(t2,t5)");
+        assert!(
+            diff_before * diff_after < 0.0,
+            "order must flip across ×(t2,t5)"
+        );
     }
 
     #[test]

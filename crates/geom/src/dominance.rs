@@ -32,7 +32,11 @@ pub fn dominates(a: &[f64], b: &[f64]) -> bool {
 pub fn skyline_bnl(items: &[Vec<f64>]) -> Vec<usize> {
     let mut result: Vec<usize> = Vec::new();
     for (i, t) in items.iter().enumerate() {
-        if !items.iter().enumerate().any(|(j, u)| j != i && dominates(u, t)) {
+        if !items
+            .iter()
+            .enumerate()
+            .any(|(j, u)| j != i && dominates(u, t))
+        {
             result.push(i);
         }
     }
@@ -137,7 +141,9 @@ mod tests {
         // Deterministic pseudo-random data (LCG) to avoid a rand dev-dep here.
         let mut state: u64 = 0x9E3779B97F4A7C15;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64) / ((1u64 << 53) as f64)
         };
         let items: Vec<Vec<f64>> = (0..200).map(|_| (0..3).map(|_| next()).collect()).collect();

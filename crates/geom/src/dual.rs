@@ -136,8 +136,13 @@ mod tests {
             if i == 1 {
                 continue;
             }
-            let dist = DualHyperplane::new(t.clone()).ray_intersection_distance(&w).unwrap();
-            assert!(d_t2 < dist, "t2 must be closest to the origin along f = x1+x2");
+            let dist = DualHyperplane::new(t.clone())
+                .ray_intersection_distance(&w)
+                .unwrap();
+            assert!(
+                d_t2 < dist,
+                "t2 must be closest to the origin along f = x1+x2"
+            );
         }
     }
 
@@ -166,7 +171,10 @@ mod tests {
         let by_dual = rank_by_dual_intersections(&items, &w);
         let mut by_score: Vec<usize> = (0..items.len()).collect();
         by_score.sort_by(|&a, &b| {
-            dot(&items[b], &w).partial_cmp(&dot(&items[a], &w)).unwrap().then(a.cmp(&b))
+            dot(&items[b], &w)
+                .partial_cmp(&dot(&items[a], &w))
+                .unwrap()
+                .then(a.cmp(&b))
         });
         assert_eq!(by_dual, by_score);
     }

@@ -33,7 +33,9 @@ impl OrderingExchange {
     /// functions that rank `a` above `b`.
     pub fn from_pair(a: &[f64], b: &[f64]) -> Self {
         debug_assert_eq!(a.len(), b.len(), "ordering exchange: dimension mismatch");
-        Self { coeffs: a.iter().zip(b).map(|(x, y)| x - y).collect() }
+        Self {
+            coeffs: a.iter().zip(b).map(|(x, y)| x - y).collect(),
+        }
     }
 
     /// Builds a hyperplane from raw coefficients.

@@ -55,7 +55,10 @@ pub fn cone_feasible(cone: &ConeRegion) -> LpOutcome {
     let m_ineq = cone.len();
     if m_ineq == 0 {
         // No half-spaces: the whole simplex qualifies and ε is unconstrained.
-        return LpOutcome::Interior { w: vec![1.0 / d as f64; d], slack: f64::INFINITY };
+        return LpOutcome::Interior {
+            w: vec![1.0 / d as f64; d],
+            slack: f64::INFINITY,
+        };
     }
     // Variables: w_1..w_d, then ε — all non-negative.
     let n_struct = d + 1;
@@ -91,9 +94,15 @@ pub fn cone_feasible(cone: &ConeRegion) -> LpOutcome {
             // with an arbitrary large slack via a feasible point.
             unreachable!("ε is bounded on the simplex; unbounded LP indicates malformed input")
         }
-        SimplexResult::Optimal { objective: eps, solution } => {
+        SimplexResult::Optimal {
+            objective: eps,
+            solution,
+        } => {
             if eps > LP_TOL {
-                LpOutcome::Interior { w: solution[..d].to_vec(), slack: eps }
+                LpOutcome::Interior {
+                    w: solution[..d].to_vec(),
+                    slack: eps,
+                }
             } else {
                 LpOutcome::BoundaryOnly
             }
@@ -142,7 +151,10 @@ enum SimplexResult {
 fn solve_lp(rows: &[Vec<f64>], kinds: &[RowKind], rhs: &[f64], c: &[f64]) -> SimplexResult {
     let m = rows.len();
     let n_struct = c.len();
-    debug_assert!(rhs.iter().all(|&b| b >= 0.0), "solve_lp: rhs must be non-negative");
+    debug_assert!(
+        rhs.iter().all(|&b| b >= 0.0),
+        "solve_lp: rhs must be non-negative"
+    );
 
     // Column layout: structural | surplus (one per ≥ row) | artificial (one
     // per row). Every row gets an artificial so the initial basis is the
@@ -173,8 +185,12 @@ fn solve_lp(rows: &[Vec<f64>], kinds: &[RowKind], rhs: &[f64], c: &[f64]) -> Sim
         // occur; but be safe.
         return SimplexResult::Infeasible;
     }
-    let artificial_sum: f64 =
-        basis.iter().enumerate().filter(|(_, &j)| j >= art_start).map(|(i, _)| b[i]).sum();
+    let artificial_sum: f64 = basis
+        .iter()
+        .enumerate()
+        .filter(|(_, &j)| j >= art_start)
+        .map(|(i, _)| b[i])
+        .sum();
     if artificial_sum > LP_TOL {
         return SimplexResult::Infeasible;
     }
@@ -196,7 +212,15 @@ fn solve_lp(rows: &[Vec<f64>], kinds: &[RowKind], rhs: &[f64], c: &[f64]) -> Sim
     // Phase 2: original objective, artificials barred from entering.
     let mut phase2_obj = vec![0.0; n];
     phase2_obj[..n_struct].copy_from_slice(c);
-    if !run_simplex(&mut a, &mut b, &mut basis, &phase2_obj, n, m, Some(art_start)) {
+    if !run_simplex(
+        &mut a,
+        &mut b,
+        &mut basis,
+        &phase2_obj,
+        n,
+        m,
+        Some(art_start),
+    ) {
         return SimplexResult::Unbounded;
     }
 
@@ -207,7 +231,10 @@ fn solve_lp(rows: &[Vec<f64>], kinds: &[RowKind], rhs: &[f64], c: &[f64]) -> Sim
         }
     }
     let objective = crate::vector::dot(c, &x);
-    SimplexResult::Optimal { objective, solution: x }
+    SimplexResult::Optimal {
+        objective,
+        solution: x,
+    }
 }
 
 /// Runs primal-simplex pivots until optimality (`true`) or unboundedness
@@ -266,7 +293,15 @@ fn run_simplex(
 }
 
 /// Pivots the tableau on `(row, col)`.
-fn pivot(a: &mut [f64], b: &mut [f64], basis: &mut [usize], n: usize, m: usize, row: usize, col: usize) {
+fn pivot(
+    a: &mut [f64],
+    b: &mut [f64],
+    basis: &mut [usize],
+    n: usize,
+    m: usize,
+    row: usize,
+    col: usize,
+) {
     let p = a[row * n + col];
     debug_assert!(p.abs() > 0.0, "pivot on zero element");
     for j in 0..n {
@@ -430,7 +465,12 @@ mod tests {
     fn redundant_constraints_are_harmless() {
         let c = cone(
             2,
-            vec![vec![1.0, -1.0], vec![1.0, -1.0], vec![2.0, -2.0], vec![1.0, 0.0]],
+            vec![
+                vec![1.0, -1.0],
+                vec![1.0, -1.0],
+                vec![2.0, -2.0],
+                vec![1.0, 0.0],
+            ],
         );
         assert!(cone_feasible(&c).is_interior());
     }

@@ -15,7 +15,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Square identity matrix.
@@ -32,7 +36,11 @@ impl Matrix {
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "Matrix::from_rows: wrong buffer size");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_rows: wrong buffer size"
+        );
         Self { rows, cols, data }
     }
 
@@ -55,7 +63,9 @@ impl Matrix {
     /// Panics if `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "mul_vec: dimension mismatch");
-        (0..self.rows).map(|i| crate::vector::dot(self.row(i), v)).collect()
+        (0..self.rows)
+            .map(|i| crate::vector::dot(self.row(i), v))
+            .collect()
     }
 
     /// Matrix–matrix product `self · other`.

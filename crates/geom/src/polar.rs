@@ -73,7 +73,11 @@ pub fn to_angles(point: &[f64]) -> Option<(f64, Vec<f64>)> {
     }
     if d >= 2 {
         // Planar base case: θ_1 = atan2(x_2, x_1) ∈ [0, π/2] in the orthant.
-        angles[0] = if r <= f64::EPSILON { 0.0 } else { point[1].atan2(point[0]) };
+        angles[0] = if r <= f64::EPSILON {
+            0.0
+        } else {
+            point[1].atan2(point[0])
+        };
     }
     Some((radius, angles))
 }
@@ -135,7 +139,9 @@ mod tests {
         let (r, angles) = to_angles(&p).unwrap();
         let back = to_cartesian(r, &angles);
         assert!(linf_distance(&back, &p) < 1e-12);
-        assert!(angles.iter().all(|&a| (0.0..=FRAC_PI_2 + 1e-12).contains(&a)));
+        assert!(angles
+            .iter()
+            .all(|&a| (0.0..=FRAC_PI_2 + 1e-12).contains(&a)));
     }
 
     #[test]

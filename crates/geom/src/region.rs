@@ -20,7 +20,10 @@ impl ConeRegion {
     /// The full space of the given dimension (no constraints yet).
     pub fn full(dim: usize) -> Self {
         assert!(dim >= 1, "ConeRegion: need dim ≥ 1");
-        Self { dim, halfspaces: Vec::new() }
+        Self {
+            dim,
+            halfspaces: Vec::new(),
+        }
     }
 
     /// Builds a cone from a list of half-spaces.
@@ -80,7 +83,10 @@ impl ConeRegion {
     /// The minimum slack `min_h h·w` — positive inside the cone, and a
     /// proxy for distance to the boundary for unit `w`.
     pub fn min_slack(&self, w: &[f64]) -> f64 {
-        self.halfspaces.iter().map(|h| h.slack(w)).fold(f64::INFINITY, f64::min)
+        self.halfspaces
+            .iter()
+            .map(|h| h.slack(w))
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -92,7 +98,10 @@ mod tests {
         // { w : w1 > 0, w2 > 0 } expressed through half-spaces.
         ConeRegion::from_halfspaces(
             2,
-            vec![HalfSpace::new(vec![1.0, 0.0]), HalfSpace::new(vec![0.0, 1.0])],
+            vec![
+                HalfSpace::new(vec![1.0, 0.0]),
+                HalfSpace::new(vec![0.0, 1.0]),
+            ],
         )
     }
 

@@ -39,7 +39,10 @@ use std::f64::consts::FRAC_PI_2;
 /// # Panics
 /// Panics unless `1 ≤ i ≤ d − 1`.
 pub fn plane_rotation(d: usize, i: usize, beta: f64) -> Matrix {
-    assert!(i >= 1 && i < d, "plane_rotation: need 1 ≤ i ≤ d−1, got i={i}, d={d}");
+    assert!(
+        i >= 1 && i < d,
+        "plane_rotation: need 1 ≤ i ≤ d−1, got i={i}, d={d}"
+    );
     let mut m = Matrix::identity(d);
     let (c, s) = (beta.cos(), beta.sin());
     m[(0, 0)] = c;
@@ -169,7 +172,10 @@ mod tests {
             assert!(r.is_orthogonal(1e-10), "d={d}: not orthogonal");
             let got = r.mul_vec(&e_last(d));
             let want = to_cartesian(1.0, &angles);
-            assert!(linf_distance(&got, &want) < 1e-10, "d={d}: {got:?} vs {want:?}");
+            assert!(
+                linf_distance(&got, &want) < 1e-10,
+                "d={d}: {got:?} vs {want:?}"
+            );
         }
     }
 

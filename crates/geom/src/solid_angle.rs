@@ -31,7 +31,10 @@ pub fn spherical_patch_area(normals: &[Vec<f64>]) -> Option<f64> {
     let mut dirs: Vec<Vec<f64>> = Vec::new();
     for n in normals {
         let Some(u) = normalized(n) else { continue };
-        if dirs.iter().any(|d| crate::vector::linf_distance(d, &u) < TOL) {
+        if dirs
+            .iter()
+            .any(|d| crate::vector::linf_distance(d, &u) < TOL)
+        {
             continue;
         }
         dirs.push(u);
@@ -71,7 +74,11 @@ pub fn spherical_patch_area(normals: &[Vec<f64>]) -> Option<f64> {
     }
     let centroid = normalized(&centroid)?;
     // Tangent-plane basis at the centroid.
-    let helper = if centroid[0].abs() < 0.9 { [1.0, 0.0, 0.0] } else { [0.0, 1.0, 0.0] };
+    let helper = if centroid[0].abs() < 0.9 {
+        [1.0, 0.0, 0.0]
+    } else {
+        [0.0, 1.0, 0.0]
+    };
     let u = normalized(&cross(&centroid, &helper))?;
     let w = cross(&centroid, &u);
     vertices.sort_by(|a, b| {
@@ -123,7 +130,11 @@ pub fn exact_stability_3d(region: &ConeRegion) -> Option<f64> {
     if region.dim() != 3 {
         return None;
     }
-    let mut normals: Vec<Vec<f64>> = region.halfspaces().iter().map(|h| h.coeffs().to_vec()).collect();
+    let mut normals: Vec<Vec<f64>> = region
+        .halfspaces()
+        .iter()
+        .map(|h| h.coeffs().to_vec())
+        .collect();
     // The first orthant.
     normals.push(vec![1.0, 0.0, 0.0]);
     normals.push(vec![0.0, 1.0, 0.0]);
@@ -164,8 +175,7 @@ mod tests {
 
     #[test]
     fn half_orthant_is_one_half() {
-        let region =
-            ConeRegion::from_halfspaces(3, vec![HalfSpace::new(vec![1.0, -1.0, 0.0])]);
+        let region = ConeRegion::from_halfspaces(3, vec![HalfSpace::new(vec![1.0, -1.0, 0.0])]);
         let s = exact_stability_3d(&region).unwrap();
         assert!((s - 0.5).abs() < 1e-9, "s = {s}");
     }
@@ -186,8 +196,14 @@ mod tests {
 
     #[test]
     fn all_six_orderings_partition_the_orthant() {
-        let perms: [[usize; 3]; 6] =
-            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
         let mut total = 0.0;
         for p in perms {
             let mut hs = Vec::new();
@@ -285,11 +301,7 @@ mod tests {
                 let theta = (a as f64 + 0.5) / steps as f64 * (PI / 2.0);
                 for b in 0..steps {
                     let phi = (b as f64 + 0.5) / steps as f64 * (PI / 2.0);
-                    let w = [
-                        phi.sin() * theta.cos(),
-                        phi.sin() * theta.sin(),
-                        phi.cos(),
-                    ];
+                    let w = [phi.sin() * theta.cos(), phi.sin() * theta.sin(), phi.cos()];
                     let weight = phi.sin();
                     total += weight;
                     if region.contains_with_tol(&w, 0.0) {

@@ -54,7 +54,11 @@ impl RiemannTable {
         for v in &mut cumulative {
             *v /= acc;
         }
-        Self { step, cumulative, total }
+        Self {
+            step,
+            cumulative,
+            total,
+        }
     }
 
     /// The unnormalized integral `∫₀^θ sin^{d−2} φ dφ`, used by the §5.2
@@ -103,9 +107,9 @@ impl PolarAngleCdf {
     fn inverse(&self, y: f64) -> f64 {
         match self {
             PolarAngleCdf::Uniform { theta } => y * theta,
-            PolarAngleCdf::ClosedForm3 { one_minus_cos_theta } => {
-                (1.0 - one_minus_cos_theta * y).clamp(-1.0, 1.0).acos()
-            }
+            PolarAngleCdf::ClosedForm3 {
+                one_minus_cos_theta,
+            } => (1.0 - one_minus_cos_theta * y).clamp(-1.0, 1.0).acos(),
             PolarAngleCdf::Table(t) => t.inverse_cdf(y),
         }
     }
@@ -153,10 +157,18 @@ impl CapSampler {
         let rotation = rotation_to_vector(&unit).expect("non-zero ray has a rotation");
         let cdf = match dim {
             2 => PolarAngleCdf::Uniform { theta },
-            3 => PolarAngleCdf::ClosedForm3 { one_minus_cos_theta: 1.0 - theta.cos() },
+            3 => PolarAngleCdf::ClosedForm3 {
+                one_minus_cos_theta: 1.0 - theta.cos(),
+            },
             _ => PolarAngleCdf::Table(RiemannTable::new(theta, dim - 2, partitions)),
         };
-        Self { dim, theta, ray: unit, rotation, cdf }
+        Self {
+            dim,
+            theta,
+            ray: unit,
+            rotation,
+            cdf,
+        }
     }
 
     /// Forces the Riemann-table path even for `d = 2, 3`; used to validate

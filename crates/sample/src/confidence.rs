@@ -24,7 +24,11 @@ impl ConfidenceInterval {
     /// Builds the Eq. 10 interval for a Bernoulli mean estimated from
     /// `n` samples at significance `alpha`.
     pub fn bernoulli(estimate: f64, n: usize, alpha: f64) -> Self {
-        Self { estimate, error: confidence_error(estimate, n, alpha), alpha }
+        Self {
+            estimate,
+            error: confidence_error(estimate, n, alpha),
+            alpha,
+        }
     }
 
     pub fn lower(&self) -> f64 {
@@ -50,7 +54,10 @@ impl ConfidenceInterval {
 /// # Panics
 /// Panics if `m ∉ [0, 1]`, `alpha ∉ (0, 1)`, or `n == 0` with `0 < m < 1`.
 pub fn confidence_error(m: f64, n: usize, alpha: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&m), "confidence_error: mean out of [0,1]: {m}");
+    assert!(
+        (0.0..=1.0).contains(&m),
+        "confidence_error: mean out of [0,1]: {m}"
+    );
     let var = m * (1.0 - m);
     if var == 0.0 {
         return 0.0;
@@ -67,7 +74,10 @@ pub fn confidence_error(m: f64, n: usize, alpha: f64) -> f64 {
 /// Panics if `e ≤ 0`.
 pub fn required_samples(p: f64, alpha: f64, e: f64) -> usize {
     assert!(e > 0.0, "required_samples: need e > 0");
-    assert!((0.0..=1.0).contains(&p), "required_samples: p out of [0,1]: {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "required_samples: p out of [0,1]: {p}"
+    );
     let z = z_value(alpha);
     (p * (1.0 - p) * (z / e).powi(2)).ceil() as usize
 }
@@ -79,7 +89,10 @@ pub fn required_samples(p: f64, alpha: f64, e: f64) -> usize {
 /// # Panics
 /// Panics unless `0 < s ≤ 1`.
 pub fn expected_samples_to_observe(s: f64) -> f64 {
-    assert!(s > 0.0 && s <= 1.0, "expected_samples_to_observe: s ∉ (0,1]: {s}");
+    assert!(
+        s > 0.0 && s <= 1.0,
+        "expected_samples_to_observe: s ∉ (0,1]: {s}"
+    );
     1.0 / s
 }
 
@@ -89,7 +102,10 @@ pub fn expected_samples_to_observe(s: f64) -> f64 {
 /// # Panics
 /// Panics unless `0 < s ≤ 1`.
 pub fn variance_samples_to_observe(s: f64) -> f64 {
-    assert!(s > 0.0 && s <= 1.0, "variance_samples_to_observe: s ∉ (0,1]: {s}");
+    assert!(
+        s > 0.0 && s <= 1.0,
+        "variance_samples_to_observe: s ∉ (0,1]: {s}"
+    );
     (1.0 - s) / (s * s)
 }
 
@@ -175,7 +191,10 @@ mod tests {
         }
         let mean = total as f64 / rounds as f64;
         let expected = expected_samples_to_observe(s);
-        assert!((mean - expected).abs() / expected < 0.05, "{mean} vs {expected}");
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "{mean} vs {expected}"
+        );
     }
 
     /// The CI of Eq. 10 must actually cover the true mean at roughly the

@@ -60,7 +60,10 @@ pub fn estimate_stability_parallel(
                 scope.spawn(move || count_inside(region, samples, lo, hi))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("oracle worker panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("oracle worker panicked"))
+            .sum()
     });
     total as f64 / n as f64
 }
@@ -95,8 +98,7 @@ mod tests {
     #[test]
     fn half_plane_region_in_2d() {
         let samples = orthant_samples(2, 50_000, 2);
-        let region =
-            ConeRegion::from_halfspaces(2, vec![HalfSpace::new(vec![1.0, -1.0])]);
+        let region = ConeRegion::from_halfspaces(2, vec![HalfSpace::new(vec![1.0, -1.0])]);
         let s = estimate_stability(&region, &samples);
         assert!((s - 0.5).abs() < 0.01, "s = {s}");
     }

@@ -61,7 +61,10 @@ impl PartitionedSamples {
     /// # Panics
     /// Panics if `hi > len` or `lo > hi`.
     pub fn partition(&mut self, lo: usize, hi: usize, hp: &OrderingExchange) -> Split {
-        assert!(lo <= hi && hi <= self.len(), "partition: bad range [{lo}, {hi})");
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "partition: bad range [{lo}, {hi})"
+        );
         let mut i = lo;
         let mut j = hi;
         while i < j {
@@ -239,8 +242,7 @@ mod tests {
         let coeffs = vec![0.3, -0.9, 0.4];
         let hp = OrderingExchange::from_coeffs(coeffs.clone());
         let region = ConeRegion::from_halfspaces(3, vec![HalfSpace::new(coeffs)]);
-        let oracle_count =
-            crate::oracle::count_inside(&region, ps.buffer(), 0, ps.len());
+        let oracle_count = crate::oracle::count_inside(&region, ps.buffer(), 0, ps.len());
         let Split { split } = ps.partition(0, 3000, &hp);
         assert_eq!(3000 - split, oracle_count);
     }

@@ -131,9 +131,7 @@ mod tests {
         let diag = [1.0 / 3f64.sqrt(); 3];
         let mut sampler = RejectionSampler::new(
             |r: &mut dyn rand::RngCore| crate::sphere::sample_orthant_direction(r, 3),
-            |w: &[f64]| {
-                srank_geom::vector::angle_between(w, &diag).unwrap() <= theta
-            },
+            |w: &[f64]| srank_geom::vector::angle_between(w, &diag).unwrap() <= theta,
         );
         let rounds = 400;
         let mut total_trials = 0usize;

@@ -32,13 +32,20 @@ pub enum RegionOfInterest {
     /// unless `clip_to_orthant` is set: a cap around an interior reference
     /// vector with small θ stays inside the orthant anyway, and clipping
     /// changes the normalizing volume.
-    Cone { ray: Vec<f64>, theta: f64, clip_to_orthant: bool },
+    Cone {
+        ray: Vec<f64>,
+        theta: f64,
+        clip_to_orthant: bool,
+    },
     /// Functions in the first orthant satisfying every half-space
     /// constraint, e.g. `w₂ ≤ w₁` as `HalfSpace::new(vec![1, −1])`.
     ///
     /// Closed constraints are accepted up to [`srank_geom::EPS`]; the
     /// boundary has measure zero, so this does not bias sampling.
-    Constraints { dim: usize, halfspaces: Vec<HalfSpace> },
+    Constraints {
+        dim: usize,
+        halfspaces: Vec<HalfSpace>,
+    },
 }
 
 impl RegionOfInterest {
@@ -59,7 +66,11 @@ impl RegionOfInterest {
             "RegionOfInterest: need θ ∈ (0, π/2], got {theta}"
         );
         let unit = normalized(ray).expect("RegionOfInterest: reference ray must be non-zero");
-        RegionOfInterest::Cone { ray: unit, theta, clip_to_orthant: false }
+        RegionOfInterest::Cone {
+            ray: unit,
+            theta,
+            clip_to_orthant: false,
+        }
     }
 
     /// The cone of functions with at least `cos_sim` cosine similarity to
@@ -78,9 +89,11 @@ impl RegionOfInterest {
     /// Restricts a cone to the first orthant (rejection against `w ≥ 0`).
     pub fn clipped_to_orthant(self) -> Self {
         match self {
-            RegionOfInterest::Cone { ray, theta, .. } => {
-                RegionOfInterest::Cone { ray, theta, clip_to_orthant: true }
-            }
+            RegionOfInterest::Cone { ray, theta, .. } => RegionOfInterest::Cone {
+                ray,
+                theta,
+                clip_to_orthant: true,
+            },
             other => other,
         }
     }
@@ -89,7 +102,11 @@ impl RegionOfInterest {
     pub fn constraints(dim: usize, halfspaces: Vec<HalfSpace>) -> Self {
         assert!(dim >= 2, "RegionOfInterest: need d ≥ 2");
         for h in &halfspaces {
-            assert_eq!(h.dim(), dim, "RegionOfInterest: half-space dimension mismatch");
+            assert_eq!(
+                h.dim(),
+                dim,
+                "RegionOfInterest: half-space dimension mismatch"
+            );
         }
         RegionOfInterest::Constraints { dim, halfspaces }
     }
@@ -107,7 +124,11 @@ impl RegionOfInterest {
     pub fn contains(&self, w: &[f64]) -> bool {
         match self {
             RegionOfInterest::FullOrthant { .. } => in_first_orthant(w, EPS),
-            RegionOfInterest::Cone { ray, theta, clip_to_orthant } => {
+            RegionOfInterest::Cone {
+                ray,
+                theta,
+                clip_to_orthant,
+            } => {
                 let inside_cap = match angle_between(w, ray) {
                     Some(a) => a <= *theta + EPS,
                     None => false,
@@ -115,8 +136,7 @@ impl RegionOfInterest {
                 inside_cap && (!clip_to_orthant || in_first_orthant(w, EPS))
             }
             RegionOfInterest::Constraints { halfspaces, .. } => {
-                in_first_orthant(w, EPS)
-                    && halfspaces.iter().all(|h| h.slack(w) >= -EPS)
+                in_first_orthant(w, EPS) && halfspaces.iter().all(|h| h.slack(w) >= -EPS)
             }
         }
     }
@@ -127,7 +147,11 @@ impl RegionOfInterest {
     pub fn sampler(&self) -> RoiSampler {
         match self {
             RegionOfInterest::FullOrthant { dim } => RoiSampler::Orthant { dim: *dim },
-            RegionOfInterest::Cone { ray, theta, clip_to_orthant } => RoiSampler::Cap {
+            RegionOfInterest::Cone {
+                ray,
+                theta,
+                clip_to_orthant,
+            } => RoiSampler::Cap {
                 cap: CapSampler::new(ray, *theta),
                 clip_to_orthant: *clip_to_orthant,
             },
@@ -142,9 +166,17 @@ impl RegionOfInterest {
 /// A uniform sampler over a [`RegionOfInterest`].
 #[derive(Clone, Debug)]
 pub enum RoiSampler {
-    Orthant { dim: usize },
-    Cap { cap: CapSampler, clip_to_orthant: bool },
-    Rejection { dim: usize, halfspaces: Vec<HalfSpace> },
+    Orthant {
+        dim: usize,
+    },
+    Cap {
+        cap: CapSampler,
+        clip_to_orthant: bool,
+    },
+    Rejection {
+        dim: usize,
+        halfspaces: Vec<HalfSpace>,
+    },
 }
 
 impl RoiSampler {
@@ -155,15 +187,19 @@ impl RoiSampler {
     /// region is empty or vanishingly small); use
     /// [`try_sample`](Self::try_sample) for graceful handling.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
-        self.try_sample(rng, REJECTION_LIMIT)
-            .expect("RoiSampler: rejection limit exhausted — empty or degenerate region of interest")
+        self.try_sample(rng, REJECTION_LIMIT).expect(
+            "RoiSampler: rejection limit exhausted — empty or degenerate region of interest",
+        )
     }
 
     /// One uniform sample, giving up after `max_trials` rejected proposals.
     pub fn try_sample<R: Rng + ?Sized>(&self, rng: &mut R, max_trials: usize) -> Option<Vec<f64>> {
         match self {
             RoiSampler::Orthant { dim } => Some(sample_orthant_direction(rng, *dim)),
-            RoiSampler::Cap { cap, clip_to_orthant } => {
+            RoiSampler::Cap {
+                cap,
+                clip_to_orthant,
+            } => {
                 if !clip_to_orthant {
                     return Some(cap.sample(rng));
                 }
@@ -255,10 +291,7 @@ mod tests {
         let regions = [
             RegionOfInterest::full(4),
             RegionOfInterest::cone(&[1.0, 0.5, 0.3, 0.2], PI / 100.0),
-            RegionOfInterest::constraints(
-                4,
-                vec![HalfSpace::new(vec![1.0, -1.0, 0.0, 0.0])],
-            ),
+            RegionOfInterest::constraints(4, vec![HalfSpace::new(vec![1.0, -1.0, 0.0, 0.0])]),
         ];
         for roi in &regions {
             let sampler = roi.sampler();
@@ -341,7 +374,9 @@ mod tests {
     #[test]
     fn sample_buffer_has_requested_shape() {
         let mut rng = StdRng::seed_from_u64(26);
-        let buf = RegionOfInterest::full(3).sampler().sample_buffer(&mut rng, 500);
+        let buf = RegionOfInterest::full(3)
+            .sampler()
+            .sample_buffer(&mut rng, 500);
         assert_eq!(buf.len(), 500);
         assert_eq!(buf.dim(), 3);
     }

@@ -16,7 +16,10 @@
 /// Panics unless `0 < p < 1`.
 #[allow(clippy::excessive_precision)] // published Acklam constants, verbatim
 pub fn inverse_normal_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inverse_normal_cdf: p must lie in (0, 1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inverse_normal_cdf: p must lie in (0, 1), got {p}"
+    );
 
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -71,7 +74,10 @@ pub fn inverse_normal_cdf(p: f64) -> f64 {
 /// # Panics
 /// Panics unless `0 < alpha < 1`.
 pub fn z_value(alpha: f64) -> f64 {
-    assert!(alpha > 0.0 && alpha < 1.0, "z_value: alpha must lie in (0, 1), got {alpha}");
+    assert!(
+        alpha > 0.0 && alpha < 1.0,
+        "z_value: alpha must lie in (0, 1), got {alpha}"
+    );
     inverse_normal_cdf(1.0 - alpha / 2.0)
 }
 
@@ -125,8 +131,8 @@ pub fn regularized_incomplete_beta(x: f64, a: f64, b: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln())
-        .exp();
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
     // The continued fraction converges fast for x < (a+1)/(a+b+2); apply
     // the symmetry I_x(a,b) = 1 − I_{1−x}(b,a) directly otherwise (the
     // front factor is symmetric under (a, x) ↔ (b, 1−x)).
@@ -195,7 +201,10 @@ fn beta_cf(x: f64, a: f64, b: f64) -> f64 {
 /// beta form (Eq. 16) is `½·B_{sin²x}((k+1)/2, ½)` — the tests check both
 /// routes agree.
 pub fn sin_power_integral(theta: f64, k: usize) -> f64 {
-    assert!((0.0..=std::f64::consts::PI + 1e-12).contains(&theta), "θ out of range: {theta}");
+    assert!(
+        (0.0..=std::f64::consts::PI + 1e-12).contains(&theta),
+        "θ out of range: {theta}"
+    );
     match k {
         0 => theta,
         1 => 1.0 - theta.cos(),
@@ -337,10 +346,14 @@ mod tests {
             let theta = 1.3;
             let steps = 200_000;
             let h = theta / steps as f64;
-            let riemann: f64 =
-                (0..steps).map(|i| ((i as f64 + 0.5) * h).sin().powi(k as i32) * h).sum();
+            let riemann: f64 = (0..steps)
+                .map(|i| ((i as f64 + 0.5) * h).sin().powi(k as i32) * h)
+                .sum();
             let exact = sin_power_integral(theta, k);
-            assert!((exact - riemann).abs() < 1e-8, "k={k}: {exact} vs {riemann}");
+            assert!(
+                (exact - riemann).abs() < 1e-8,
+                "k={k}: {exact} vs {riemann}"
+            );
         }
     }
 

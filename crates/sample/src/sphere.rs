@@ -52,7 +52,9 @@ pub fn sample_sphere_direction<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f6
 /// in `[0, π/2]` and convert to Cartesian. Correct only for `d = 2`.
 pub fn sample_angles_naive<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
     assert!(d >= 2, "sample_angles_naive: need d ≥ 2");
-    let angles: Vec<f64> = (0..d - 1).map(|_| rng.random::<f64>() * FRAC_PI_2).collect();
+    let angles: Vec<f64> = (0..d - 1)
+        .map(|_| rng.random::<f64>() * FRAC_PI_2)
+        .collect();
     to_cartesian(1.0, &angles)
 }
 
@@ -83,7 +85,10 @@ mod tests {
         // And they hit all sign patterns eventually.
         let mut saw_negative = false;
         for _ in 0..100 {
-            if sample_sphere_direction(&mut rng, 3).iter().any(|&x| x < 0.0) {
+            if sample_sphere_direction(&mut rng, 3)
+                .iter()
+                .any(|&x| x < 0.0)
+            {
                 saw_negative = true;
                 break;
             }
@@ -137,7 +142,10 @@ mod tests {
             (mean_last - 2.0 / std::f64::consts::PI).abs() < 0.01,
             "E[x₃] = {mean_last}, expected ≈ 0.6366"
         );
-        assert!(mean_last - mean_first > 0.1, "naive sampler must be asymmetric");
+        assert!(
+            mean_last - mean_first > 0.1,
+            "naive sampler must be asymmetric"
+        );
     }
 
     #[test]
@@ -165,11 +173,16 @@ mod tests {
         let mut counts = [0usize; 3];
         for _ in 0..n {
             let w = sample_orthant_direction(&mut rng, 3);
-            let argmax = (0..3).max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap()).unwrap();
+            let argmax = (0..3)
+                .max_by(|&a, &b| w[a].partial_cmp(&w[b]).unwrap())
+                .unwrap();
             counts[argmax] += 1;
         }
         let expected = n as f64 / 3.0;
-        let chi2: f64 = counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| (c as f64 - expected).powi(2) / expected)
+            .sum();
         // 2 degrees of freedom; P(χ² > 13.8) ≈ 0.001.
         assert!(chi2 < 13.8, "χ² = {chi2}, counts = {counts:?}");
     }

@@ -17,13 +17,19 @@ impl SampleBuffer {
     /// An empty buffer for vectors of the given dimension.
     pub fn new(dim: usize) -> Self {
         assert!(dim >= 1, "SampleBuffer: need dim ≥ 1");
-        Self { dim, data: Vec::new() }
+        Self {
+            dim,
+            data: Vec::new(),
+        }
     }
 
     /// An empty buffer with space reserved for `n` rows.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim >= 1, "SampleBuffer: need dim ≥ 1");
-        Self { dim, data: Vec::with_capacity(dim * n) }
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
     }
 
     /// Fills a buffer with `n` draws from a sampling closure.
@@ -149,12 +155,13 @@ mod tests {
     #[test]
     fn generate_uses_the_closure() {
         let mut rng = StdRng::seed_from_u64(0);
-        let b = SampleBuffer::generate(&mut rng, 10, |r| {
-            vec![r.random::<f64>(), r.random::<f64>()]
-        });
+        let b =
+            SampleBuffer::generate(&mut rng, 10, |r| vec![r.random::<f64>(), r.random::<f64>()]);
         assert_eq!(b.len(), 10);
         assert_eq!(b.dim(), 2);
-        assert!(b.iter_rows().all(|r| r.iter().all(|&x| (0.0..1.0).contains(&x))));
+        assert!(b
+            .iter_rows()
+            .all(|r| r.iter().all(|&x| (0.0..1.0).contains(&x))));
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! A small LRU cache for query results and shared Monte-Carlo sample
+//! batches.
+//!
+//! Recency is tracked with a monotonic tick per entry plus a
+//! `BTreeMap<tick, key>` reverse index, giving O(log n) touch/insert/evict
+//! without unsafe intrusive lists — the capacities involved (hundreds of
+//! hot query results) make the constant factors irrelevant next to the
+//! Monte-Carlo work a hit avoids.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    order: BTreeMap<u64, K>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache: capacity must be positive");
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let tick = self.next_tick();
+        let (value, stamp) = self.map.get_mut(key)?;
+        self.order.remove(stamp);
+        *stamp = tick;
+        self.order.insert(tick, key.clone());
+        Some(value)
+    }
+
+    /// Inserts (or replaces) `key`, evicting the least recently used entry
+    /// when over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        let tick = self.next_tick();
+        if let Some((_, old_stamp)) = self.map.insert(key.clone(), (value, tick)) {
+            self.order.remove(&old_stamp);
+        }
+        self.order.insert(tick, key);
+        while self.map.len() > self.capacity {
+            let (&oldest, _) = self
+                .order
+                .iter()
+                .next()
+                .expect("map non-empty implies order");
+            let victim = self.order.remove(&oldest).expect("just observed");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh a: b is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was least recently used");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_keeps_len_consistent() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&"a"), Some(&2));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = LruCache::new(4);
+        c.insert(1, "x");
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+    }
+}

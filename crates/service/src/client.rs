@@ -1,0 +1,65 @@
+//! A minimal blocking client for the TCP transport — used by
+//! `srank query`, the integration tests, and the benches.
+
+use crate::proto::{ServiceError, ServiceResult};
+use serde_json::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running `srank serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request object and reads one response line.
+    pub fn call(&mut self, request: &Value) -> ServiceResult<Value> {
+        let io = |e: std::io::Error| ServiceError::internal(format!("transport: {e}"));
+        let line =
+            serde_json::to_string(request).map_err(|e| ServiceError::internal(e.to_string()))?;
+        self.writer.write_all(line.as_bytes()).map_err(io)?;
+        self.writer.write_all(b"\n").map_err(io)?;
+        self.writer.flush().map_err(io)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response).map_err(io)?;
+        if n == 0 {
+            return Err(ServiceError::internal("server closed the connection"));
+        }
+        serde_json::from_str(response.trim_end())
+            .map_err(|e| ServiceError::internal(format!("bad response JSON: {e}")))
+    }
+
+    /// `call`, then unwraps the `result` field of an `ok` response.
+    pub fn call_ok(&mut self, request: &Value) -> ServiceResult<Value> {
+        let response = self.call(request)?;
+        expect_ok(&response)
+    }
+}
+
+/// Splits a response envelope into its `result` or its error.
+pub fn expect_ok(response: &Value) -> ServiceResult<Value> {
+    if response.get("ok").and_then(Value::as_bool) == Some(true) {
+        return Ok(response.get("result").cloned().unwrap_or(Value::Null));
+    }
+    let code = response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .unwrap_or("internal");
+    let message = response
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Value::as_str)
+        .unwrap_or("malformed error response");
+    Err(ServiceError::internal(format!("{code}: {message}")))
+}

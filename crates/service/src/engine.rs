@@ -1,0 +1,892 @@
+//! The query engine: dispatches protocol requests against the registry,
+//! session manager, result cache, and shared Monte-Carlo sample store.
+//!
+//! One `Engine` is shared (`Arc`) by every transport worker; all state is
+//! behind interior locks, and the lock order is strictly
+//! registry → sessions → caches (no method holds two of them at once).
+
+use crate::cache::LruCache;
+use crate::proto::{envelope, Fields, Object, ServiceError, ServiceResult};
+use crate::registry::{DatasetRegistry, DatasetSource};
+use crate::session::{SessionManager, SessionState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+use srank_core::{
+    stability_verify_2d, stability_verify_3d_exact, stability_verify_md, AngleInterval, Dataset,
+    Enumerator2D, MdEnumerator, RandomizedEnumerator, RankingScope, StabilityOverview,
+};
+use srank_sample::roi::RegionOfInterest;
+use srank_sample::store::SampleBuffer;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Sessions idle longer than this are evicted on the next touch.
+    pub idle_ttl: Duration,
+    /// Entries in the query-result LRU.
+    pub result_cache_capacity: usize,
+    /// Entries in the shared Monte-Carlo sample-batch LRU.
+    pub sample_cache_capacity: usize,
+    /// Maximum concurrently open sessions.
+    pub max_sessions: usize,
+    /// Default Monte-Carlo sample count when a request omits `samples`.
+    pub default_samples: usize,
+    /// Default RNG seed when a request omits `seed`.
+    pub default_seed: u64,
+    /// Upper bound on client-supplied `samples` / `budget` (a request
+    /// beyond it is `bad_request`, not an allocation the size of the
+    /// client's imagination).
+    pub max_samples: usize,
+    /// Upper bound on `registry.load`'s `n`.
+    pub max_rows: usize,
+    /// Upper bound on `registry.load`'s `d`.
+    pub max_dim: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            idle_ttl: Duration::from_secs(300),
+            result_cache_capacity: 512,
+            sample_cache_capacity: 16,
+            max_sessions: 256,
+            default_samples: 20_000,
+            default_seed: 42,
+            max_samples: 2_000_000,
+            max_rows: 2_000_000,
+            max_dim: 32,
+        }
+    }
+}
+
+/// Cache hit/miss counters (exposed via `stats` and used by the benches).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    pub hits: AtomicU64,
+    pub misses: AtomicU64,
+}
+
+impl CacheStats {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A parsed, normalized region of interest (`None` = the full orthant).
+#[derive(Clone, Debug)]
+struct RoiSpec {
+    around: Vec<f64>,
+    theta: f64,
+}
+
+/// The concurrent stability-query engine.
+pub struct Engine {
+    config: EngineConfig,
+    registry: DatasetRegistry,
+    sessions: SessionManager,
+    results: Mutex<LruCache<String, Value>>,
+    samples: Mutex<LruCache<String, Arc<SampleBuffer>>>,
+    pub result_stats: CacheStats,
+    pub sample_stats: CacheStats,
+    started: Instant,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        Self {
+            registry: DatasetRegistry::new(),
+            sessions: SessionManager::new(config.max_sessions),
+            results: Mutex::new(LruCache::new(config.result_cache_capacity)),
+            samples: Mutex::new(LruCache::new(config.sample_cache_capacity)),
+            result_stats: CacheStats::default(),
+            sample_stats: CacheStats::default(),
+            started: Instant::now(),
+            config,
+        }
+    }
+
+    pub fn with_defaults() -> Self {
+        Self::new(EngineConfig::default())
+    }
+
+    pub fn registry(&self) -> &DatasetRegistry {
+        &self.registry
+    }
+
+    /// Evicts idle sessions now, against an explicit TTL (tests) or the
+    /// configured one.
+    pub fn evict_idle_sessions(&self, ttl: Option<Duration>) -> usize {
+        self.sessions
+            .evict_idle(ttl.unwrap_or(self.config.idle_ttl))
+    }
+
+    /// Handles one raw request line, returning one response line (no
+    /// trailing newline).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str(line) {
+            Ok(request) => self.handle(&request),
+            Err(e) => envelope(None, Err(ServiceError::parse_error(e.to_string()))),
+        };
+        serde_json::to_string(&response).expect("responses are serializable")
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&self, request: &Value) -> Value {
+        // Every touch sweeps idle sessions — cheap (one lock, linear in
+        // open sessions) and keeps the table bounded without a timer
+        // thread.
+        self.evict_idle_sessions(None);
+        let id = request.get("id").cloned();
+        let outcome = self.dispatch(request);
+        envelope(id, outcome)
+    }
+
+    fn dispatch(&self, request: &Value) -> ServiceResult<(Value, bool)> {
+        let fields = Fields::of(request)?;
+        let op = fields.required_str("op")?;
+        match op {
+            "ping" => Ok((Object::new().field("pong", true).build(), false)),
+            "stats" => self.op_stats(),
+            "registry.load" => self.op_registry_load(&fields),
+            "registry.list" => self.op_registry_list(),
+            "registry.drop" => self.op_registry_drop(&fields),
+            "verify" => self.cached(op, &fields, |e, f| e.op_verify(f)),
+            "overview" => self.cached(op, &fields, |e, f| e.op_overview(f)),
+            "session.open" => self.op_session_open(&fields),
+            "session.get_next" => self.op_session_get_next(&fields),
+            "session.close" => self.op_session_close(&fields),
+            other => Err(ServiceError::bad_request(format!("unknown op '{other}'"))),
+        }
+    }
+
+    /// Reads an optional size parameter, applying the default and the
+    /// server-side cap (a request beyond the cap is `bad_request`).
+    fn capped_usize(
+        &self,
+        fields: &Fields<'_>,
+        key: &str,
+        default: usize,
+        max: usize,
+    ) -> ServiceResult<usize> {
+        match fields.usize(key)? {
+            None => Ok(default),
+            Some(v) if v <= max => Ok(v),
+            Some(v) => Err(ServiceError::bad_request(format!(
+                "'{key}' = {v} exceeds the server limit ({max})"
+            ))),
+        }
+    }
+
+    fn samples_param(&self, fields: &Fields<'_>) -> ServiceResult<usize> {
+        self.capped_usize(
+            fields,
+            "samples",
+            self.config.default_samples,
+            self.config.max_samples,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Result cache
+
+    /// Runs `compute` through the result LRU. The key embeds the dataset
+    /// generation, so reloads invalidate implicitly; determinism of the
+    /// compute path (fixed seeds) makes cached and fresh answers
+    /// indistinguishable apart from latency.
+    fn cached(
+        &self,
+        op: &str,
+        fields: &Fields<'_>,
+        compute: impl FnOnce(&Self, &Fields<'_>) -> ServiceResult<Value>,
+    ) -> ServiceResult<(Value, bool)> {
+        let key = self.cache_key(op, fields)?;
+        if let Some(hit) = self
+            .results
+            .lock()
+            .expect("result cache poisoned")
+            .get(&key)
+        {
+            self.result_stats.hit();
+            return Ok((hit.clone(), true));
+        }
+        self.result_stats.miss();
+        let result = compute(self, fields)?;
+        self.results
+            .lock()
+            .expect("result cache poisoned")
+            .insert(key, result.clone());
+        Ok((result, false))
+    }
+
+    /// Canonical cache key: op, dataset identity (name + generation), ROI,
+    /// and the op's parameters in a fixed order.
+    fn cache_key(&self, op: &str, fields: &Fields<'_>) -> ServiceResult<String> {
+        let name = fields.required_str("dataset")?;
+        let entry = self.registry.get(name)?;
+        let roi = Self::parse_roi(fields)?;
+        let weights = fields.f64_array("weights")?;
+        let samples = self.samples_param(fields)?;
+        let seed = fields.u64("seed")?.unwrap_or(self.config.default_seed);
+        let tau = fields.usize("tau")?.unwrap_or(0);
+        Ok(format!(
+            "{op}|{name}|g{generation}|{roi}|w{weights:?}|s{samples}|r{seed}|t{tau}",
+            generation = entry.generation,
+            roi = Self::roi_key(&roi),
+        ))
+    }
+
+    fn roi_key(roi: &Option<RoiSpec>) -> String {
+        match roi {
+            None => "full".to_string(),
+            Some(RoiSpec { around, theta }) => format!("cone({around:?},{theta:.15e})"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared Monte-Carlo sample batches
+
+    /// A sample batch for `(dataset, roi, n, seed)`, drawn once and shared
+    /// across every query and session on that dataset/ROI.
+    fn sample_batch(
+        &self,
+        dataset: &str,
+        generation: u64,
+        roi: &RegionOfInterest,
+        roi_key: &str,
+        n: usize,
+        seed: u64,
+    ) -> Arc<SampleBuffer> {
+        let key = format!("{dataset}|g{generation}|{roi_key}|n{n}|r{seed}");
+        if let Some(hit) = self
+            .samples
+            .lock()
+            .expect("sample cache poisoned")
+            .get(&key)
+        {
+            self.sample_stats.hit();
+            return Arc::clone(hit);
+        }
+        self.sample_stats.miss();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let buffer = Arc::new(roi.sampler().sample_buffer(&mut rng, n));
+        self.samples
+            .lock()
+            .expect("sample cache poisoned")
+            .insert(key, Arc::clone(&buffer));
+        buffer
+    }
+
+    // ------------------------------------------------------------------
+    // Regions of interest
+
+    fn parse_roi(fields: &Fields<'_>) -> ServiceResult<Option<RoiSpec>> {
+        let Some(roi) = fields.raw("roi") else {
+            return Ok(None);
+        };
+        let roi =
+            Fields::of(roi).map_err(|_| ServiceError::bad_request("'roi' must be an object"))?;
+        let around = roi
+            .f64_array("around")?
+            .ok_or_else(|| ServiceError::bad_request("'roi' needs an 'around' ray"))?;
+        let theta = match (roi.f64("theta")?, roi.f64("cosine")?) {
+            (Some(t), None) => t,
+            (None, Some(c)) => {
+                if !(0.0..1.0).contains(&c) {
+                    return Err(ServiceError::bad_request("'roi.cosine' must lie in [0, 1)"));
+                }
+                c.acos()
+            }
+            (None, None) => {
+                return Err(ServiceError::bad_request("'roi' needs 'theta' or 'cosine'"))
+            }
+            (Some(_), Some(_)) => {
+                return Err(ServiceError::bad_request(
+                    "'roi' takes either 'theta' or 'cosine', not both",
+                ))
+            }
+        };
+        if !(theta > 0.0 && theta.is_finite()) {
+            return Err(ServiceError::bad_request(
+                "'roi' opening angle must be positive",
+            ));
+        }
+        // Reject rays the cone sampler would panic on (client input must
+        // never be able to unwind a worker thread).
+        if around.iter().any(|x| !x.is_finite()) || around.iter().all(|&x| x == 0.0) {
+            return Err(ServiceError::bad_request(
+                "'roi.around' must be a finite, non-zero ray",
+            ));
+        }
+        Ok(Some(RoiSpec { around, theta }))
+    }
+
+    fn roi_for(spec: &Option<RoiSpec>, d: usize) -> ServiceResult<RegionOfInterest> {
+        match spec {
+            None => Ok(RegionOfInterest::full(d)),
+            Some(RoiSpec { around, theta }) => {
+                if around.len() != d {
+                    return Err(ServiceError::bad_request(format!(
+                        "'roi.around' has {} weights, dataset has {d}",
+                        around.len()
+                    )));
+                }
+                if *theta > std::f64::consts::FRAC_PI_2 + 1e-12 {
+                    return Err(ServiceError::bad_request("'roi.theta' must be at most π/2"));
+                }
+                Ok(RegionOfInterest::cone(around, *theta))
+            }
+        }
+    }
+
+    fn interval_for(spec: &Option<RoiSpec>) -> ServiceResult<AngleInterval> {
+        match spec {
+            None => Ok(AngleInterval::full()),
+            Some(RoiSpec { around, theta }) => {
+                if around.len() != 2 {
+                    return Err(ServiceError::bad_request(
+                        "2-D region of interest needs a 2-weight 'around' ray",
+                    ));
+                }
+                AngleInterval::around(around, *theta)
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ops
+
+    fn op_stats(&self) -> ServiceResult<(Value, bool)> {
+        let sessions: Vec<Value> = self
+            .sessions
+            .list()
+            .into_iter()
+            .map(|(id, dataset, kind, returned)| {
+                Object::new()
+                    .field("session", id)
+                    .field("dataset", dataset)
+                    .field("kind", kind)
+                    .field("returned", returned)
+                    .build()
+            })
+            .collect();
+        let cache = |stats: &CacheStats, entries: usize| {
+            Object::new()
+                .field("hits", stats.hits.load(Ordering::Relaxed))
+                .field("misses", stats.misses.load(Ordering::Relaxed))
+                .field("entries", entries)
+                .build()
+        };
+        let result_entries = self.results.lock().expect("result cache poisoned").len();
+        let sample_entries = self.samples.lock().expect("sample cache poisoned").len();
+        let stats = Object::new()
+            .field("uptime_seconds", self.started.elapsed().as_secs_f64())
+            .field("datasets", self.registry.list().len())
+            .field("sessions", sessions)
+            .field("result_cache", cache(&self.result_stats, result_entries))
+            .field("sample_cache", cache(&self.sample_stats, sample_entries))
+            .build();
+        Ok((stats, false))
+    }
+
+    fn op_registry_load(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let name = fields.required_str("dataset")?;
+        let source = if let Some(builtin) = fields.str("builtin")? {
+            DatasetSource::Builtin {
+                family: builtin.to_string(),
+                n: self.capped_usize(fields, "n", 100, self.config.max_rows)?,
+                d: self.capped_usize(fields, "d", 0, self.config.max_dim)?,
+                seed: fields.u64("seed")?.unwrap_or(self.config.default_seed),
+            }
+        } else if let Some(path) = fields.str("csv")? {
+            let names = |key: &str| -> ServiceResult<Vec<String>> {
+                Ok(match fields.raw(key) {
+                    None => Vec::new(),
+                    Some(v) => v
+                        .as_array()
+                        .ok_or_else(|| {
+                            ServiceError::bad_request(format!(
+                                "field '{key}' must be an array of column names"
+                            ))
+                        })?
+                        .iter()
+                        .map(|x| {
+                            x.as_str().map(str::to_string).ok_or_else(|| {
+                                ServiceError::bad_request(format!(
+                                    "field '{key}' must be an array of column names"
+                                ))
+                            })
+                        })
+                        .collect::<ServiceResult<_>>()?,
+                })
+            };
+            DatasetSource::Csv {
+                path: path.to_string(),
+                higher: names("higher")?,
+                lower: names("lower")?,
+            }
+        } else {
+            return Err(ServiceError::bad_request(
+                "registry.load needs 'builtin' or 'csv'",
+            ));
+        };
+        let entry = self.registry.load(name, &source)?;
+        Ok((
+            Object::new()
+                .field("dataset", entry.name.as_str())
+                .field("rows", entry.dataset.len())
+                .field("dim", entry.dataset.dim())
+                .field("generation", entry.generation)
+                .field("source", entry.source.as_str())
+                .build(),
+            false,
+        ))
+    }
+
+    fn op_registry_list(&self) -> ServiceResult<(Value, bool)> {
+        let datasets: Vec<Value> = self
+            .registry
+            .list()
+            .into_iter()
+            .map(|e| {
+                Object::new()
+                    .field("dataset", e.name.as_str())
+                    .field("rows", e.dataset.len())
+                    .field("dim", e.dataset.dim())
+                    .field("generation", e.generation)
+                    .field("source", e.source.as_str())
+                    .build()
+            })
+            .collect();
+        Ok((Object::new().field("datasets", datasets).build(), false))
+    }
+
+    fn op_registry_drop(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let name = fields.required_str("dataset")?;
+        let dropped = self.registry.drop_entry(name);
+        Ok((Object::new().field("dropped", dropped).build(), false))
+    }
+
+    /// Problem 1 — stability verification of the ranking induced by
+    /// `weights`: exact in 2-D (interval) and 3-D full-orthant (Girard),
+    /// Monte-Carlo elsewhere. τ-tolerant verification (`tau` > 0) counts
+    /// the mass of all rankings within Kendall-tau distance τ in 2-D.
+    fn op_verify(&self, fields: &Fields<'_>) -> ServiceResult<Value> {
+        let entry = self.registry.get(fields.required_str("dataset")?)?;
+        let data = &*entry.dataset;
+        let weights = fields
+            .f64_array("weights")?
+            .ok_or_else(|| ServiceError::bad_request("verify needs 'weights'"))?;
+        if weights.len() != data.dim() {
+            return Err(ServiceError::bad_request(format!(
+                "'weights' has {} entries, dataset has {}",
+                weights.len(),
+                data.dim()
+            )));
+        }
+        let ranking = data
+            .rank(&weights)
+            .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+        let roi = Self::parse_roi(fields)?;
+        let tau = fields.usize("tau")?.unwrap_or(0);
+        if tau > 0 {
+            return self.verify_tau_tolerant(data, &ranking, &roi, tau);
+        }
+        let (stability, method, samples_used) = match data.dim() {
+            2 => {
+                let interval = Self::interval_for(&roi)?;
+                let v = stability_verify_2d(data, &ranking, interval)
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                (v.map_or(0.0, |v| v.stability), "exact-2d", None)
+            }
+            3 if roi.is_none() => {
+                let v = stability_verify_3d_exact(data, &ranking)
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                (v.map_or(0.0, |v| v.stability), "exact-girard-3d", None)
+            }
+            d => {
+                let region = Self::roi_for(&roi, d)?;
+                let n = self.samples_param(fields)?;
+                let seed = fields.u64("seed")?.unwrap_or(self.config.default_seed);
+                let batch = self.sample_batch(
+                    &entry.name,
+                    entry.generation,
+                    &region,
+                    &Self::roi_key(&roi),
+                    n,
+                    seed,
+                );
+                let v = stability_verify_md(data, &ranking, &batch)
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                (v.map_or(0.0, |v| v.stability), "monte-carlo", Some(n))
+            }
+        };
+        let head: Vec<u32> = ranking.order().iter().take(10).copied().collect();
+        let mut out = Object::new()
+            .field("stability", stability)
+            .field("method", method)
+            .field("items", ranking.len())
+            .field("head", head.as_slice());
+        if let Some(n) = samples_used {
+            out = out.field("samples", n);
+        }
+        Ok(out.build())
+    }
+
+    /// §8's tolerant-stability extension, exact in 2-D: enumerate the
+    /// region's rankings and sum the mass within Kendall-tau distance τ.
+    fn verify_tau_tolerant(
+        &self,
+        data: &Dataset,
+        ranking: &srank_core::Ranking,
+        roi: &Option<RoiSpec>,
+        tau: usize,
+    ) -> ServiceResult<Value> {
+        if data.dim() != 2 {
+            return Err(ServiceError::bad_request(
+                "tau-tolerant verification is exact-2D only; omit 'tau' for d > 2",
+            ));
+        }
+        let interval = Self::interval_for(roi)?;
+        let mut e = Enumerator2D::new(data, interval)
+            .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+        let enumeration: Vec<(srank_core::Ranking, f64)> = std::iter::from_fn(|| e.get_next())
+            .map(|s| (s.ranking, s.stability))
+            .collect();
+        let stability = srank_core::tau_tolerant_stability(ranking, &enumeration, tau)
+            .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+        Ok(Object::new()
+            .field("stability", stability)
+            .field("method", "exact-2d-tau")
+            .field("tau", tau)
+            .field("items", ranking.len())
+            .build())
+    }
+
+    /// The §1 "overview" promise: the stability distribution over all
+    /// feasible rankings of the region of interest, with coverage counts.
+    fn op_overview(&self, fields: &Fields<'_>) -> ServiceResult<Value> {
+        let entry = self.registry.get(fields.required_str("dataset")?)?;
+        let data = &*entry.dataset;
+        let roi = Self::parse_roi(fields)?;
+        let (stabilities, method) = if data.dim() == 2 {
+            let interval = Self::interval_for(&roi)?;
+            let e = Enumerator2D::new(data, interval)
+                .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+            let s: Vec<f64> = e.regions().iter().map(|r| r.stability).collect();
+            (s, "exact-2d")
+        } else {
+            let region = Self::roi_for(&roi, data.dim())?;
+            let n = self.samples_param(fields)?;
+            let seed = fields.u64("seed")?.unwrap_or(self.config.default_seed);
+            let batch = self.sample_batch(
+                &entry.name,
+                entry.generation,
+                &region,
+                &Self::roi_key(&roi),
+                n,
+                seed,
+            );
+            let mut e = MdEnumerator::with_samples(data, &region, (*batch).clone())
+                .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+            let mut s = Vec::new();
+            while let Some(r) = e.get_next() {
+                s.push(r.stability);
+            }
+            (s, "monte-carlo")
+        };
+        let overview = StabilityOverview::from_stabilities(stabilities)
+            .map_err(|e| ServiceError::internal(e.to_string()))?;
+        let coverage = [0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&f| {
+                let v = overview
+                    .rankings_to_cover(f)
+                    .map_or(Value::Null, |n| Value::Number(n as f64));
+                (format!("{}", (f * 100.0).round() as u64), v)
+            })
+            .collect::<Vec<_>>();
+        Ok(Object::new()
+            .field("rankings", overview.len())
+            .field("effective_rankings", overview.effective_rankings())
+            .field("total_mass", overview.total_mass())
+            .field("coverage", Value::Object(coverage))
+            .field("method", method)
+            .build())
+    }
+
+    fn op_session_open(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let entry = self.registry.get(fields.required_str("dataset")?)?;
+        let data = &*entry.dataset;
+        let kind = fields.str("kind")?.unwrap_or("auto");
+        let roi = Self::parse_roi(fields)?;
+        let seed = fields.u64("seed")?.unwrap_or(self.config.default_seed);
+        let kind = match kind {
+            "auto" if data.dim() == 2 => "sweep2d",
+            "auto" => "md",
+            k => k,
+        };
+        let state = match kind {
+            "sweep2d" => {
+                let interval = Self::interval_for(&roi)?;
+                let e = Enumerator2D::new(data, interval)
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                SessionState::Sweep2D(e.into_state())
+            }
+            "md" => {
+                let region = Self::roi_for(&roi, data.dim())?;
+                let n = self.samples_param(fields)?;
+                let batch = self.sample_batch(
+                    &entry.name,
+                    entry.generation,
+                    &region,
+                    &Self::roi_key(&roi),
+                    n,
+                    seed,
+                );
+                let e = MdEnumerator::with_samples(data, &region, (*batch).clone())
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                SessionState::Md(e.into_state())
+            }
+            "randomized" => {
+                let region = Self::roi_for(&roi, data.dim())?;
+                let scope = match (fields.str("scope")?.unwrap_or("full"), fields.usize("k")?) {
+                    ("full", _) => RankingScope::Full,
+                    ("top-k-ranked", Some(k)) => RankingScope::TopKRanked(k),
+                    ("top-k-set", Some(k)) => RankingScope::TopKSet(k),
+                    ("top-k-ranked" | "top-k-set", None) => {
+                        return Err(ServiceError::bad_request("top-k scopes need a 'k' field"))
+                    }
+                    (other, _) => {
+                        return Err(ServiceError::bad_request(format!(
+                            "unknown scope '{other}' (full | top-k-ranked | top-k-set)"
+                        )))
+                    }
+                };
+                let alpha = fields.f64("alpha")?.unwrap_or(0.05);
+                let budget = self.capped_usize(fields, "budget", 1000, self.config.max_samples)?;
+                let e = RandomizedEnumerator::new(data, &region, scope, alpha)
+                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                SessionState::Randomized {
+                    state: e.into_state(),
+                    rng: StdRng::seed_from_u64(seed),
+                    budget,
+                }
+            }
+            other => {
+                return Err(ServiceError::bad_request(format!(
+                    "unknown session kind '{other}' (sweep2d | md | randomized | auto)"
+                )))
+            }
+        };
+        let kind_name = state.kind();
+        let id = self
+            .sessions
+            .open(entry.name.clone(), entry.generation, state)?;
+        Ok((
+            Object::new()
+                .field("session", id)
+                .field("dataset", entry.name.as_str())
+                .field("kind", kind_name)
+                .build(),
+            false,
+        ))
+    }
+
+    fn op_session_get_next(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let id = fields
+            .u64("session")?
+            .ok_or_else(|| ServiceError::bad_request("session.get_next needs 'session'"))?;
+        // Every fallible request-parameter read happens before the session
+        // state is touched, so a bad_request can never corrupt a session.
+        let head_cap = fields.usize("head")?.unwrap_or(10);
+        let budget_override = match fields.usize("budget")? {
+            Some(v) if v > self.config.max_samples => {
+                return Err(ServiceError::bad_request(format!(
+                    "'budget' = {v} exceeds the server limit ({})",
+                    self.config.max_samples
+                )))
+            }
+            other => other,
+        };
+        let checked = self.sessions.check_out(id)?;
+        let result = self.advance_session(checked, head_cap, budget_override);
+        result.map(|v| (v, false))
+    }
+
+    fn advance_session(
+        &self,
+        mut checked: crate::session::CheckedOut<'_>,
+        head_cap: usize,
+        budget_override: Option<usize>,
+    ) -> ServiceResult<Value> {
+        let (dataset, id, generation) = {
+            let session = checked.session();
+            (session.dataset.clone(), session.id, session.generation)
+        };
+        // A stale session (dataset dropped/reloaded under it) is closed
+        // rather than checked back in.
+        let entry = match self.registry.get(&dataset) {
+            Err(_) => {
+                checked.discard();
+                return Err(ServiceError::session_not_found(format!(
+                    "dataset '{dataset}' was dropped; session {id} is stale"
+                )));
+            }
+            Ok(entry) if entry.generation != generation => {
+                checked.discard();
+                return Err(ServiceError::session_not_found(format!(
+                    "dataset '{dataset}' was reloaded; session {id} is stale"
+                )));
+            }
+            Ok(entry) => entry,
+        };
+        let data = &*entry.dataset;
+
+        // Temporarily move the state out to reattach it to the dataset.
+        // `advance` returns `(restored state, payload)`; a from_state
+        // failure cannot happen for a generation-matched dataset (same
+        // `Arc`, same shape), but if it somehow does the state has been
+        // consumed, so the session is closed instead of being kept in a
+        // silently-corrupted form.
+        let taken = std::mem::replace(
+            &mut checked.session().state,
+            SessionState::Sweep2D(placeholder_state()),
+        );
+        let advanced: Result<(SessionState, Option<Value>), srank_core::StableRankError> =
+            match taken {
+                SessionState::Sweep2D(state) => {
+                    Enumerator2D::from_state(data, state).map(|mut e| {
+                        let next = e.get_next();
+                        (
+                            SessionState::Sweep2D(e.into_state()),
+                            next.map(|s| {
+                                ranking_payload(
+                                    s.ranking.order(),
+                                    s.stability,
+                                    head_cap,
+                                    Object::new()
+                                        .field("region_lo", s.region.lo)
+                                        .field("region_hi", s.region.hi),
+                                )
+                            }),
+                        )
+                    })
+                }
+                SessionState::Md(state) => MdEnumerator::from_state(data, state).map(|mut e| {
+                    let next = e.get_next();
+                    (
+                        SessionState::Md(e.into_state()),
+                        next.map(|s| {
+                            ranking_payload(
+                                s.ranking.order(),
+                                s.stability,
+                                head_cap,
+                                Object::new().field("representative", s.representative.as_slice()),
+                            )
+                        }),
+                    )
+                }),
+                SessionState::Randomized {
+                    state,
+                    mut rng,
+                    budget,
+                } => RandomizedEnumerator::from_state(data, state).map(|mut e| {
+                    let next = e.get_next_budget(&mut rng, budget_override.unwrap_or(budget));
+                    (
+                        SessionState::Randomized {
+                            state: e.into_state(),
+                            rng,
+                            budget,
+                        },
+                        next.map(|d| {
+                            ranking_payload(
+                                &d.items,
+                                d.stability,
+                                head_cap,
+                                Object::new()
+                                    .field("confidence_error", d.confidence_error)
+                                    .field("samples_used", d.samples_used)
+                                    .field("exemplar_weights", d.exemplar_weights.as_slice()),
+                            )
+                        }),
+                    )
+                }),
+            };
+        let (state, payload) = match advanced {
+            Ok(ok) => ok,
+            Err(e) => {
+                checked.discard();
+                return Err(ServiceError::internal(e.to_string()));
+            }
+        };
+        let session = checked.session();
+        session.state = state;
+        match payload {
+            None => Ok(Object::new()
+                .field("done", true)
+                .field("returned", session.returned)
+                .build()),
+            Some(payload) => {
+                session.returned += 1;
+                if let Some(s) = payload.get("stability").and_then(Value::as_f64) {
+                    session.last_stability = Some(s);
+                }
+                Ok(payload)
+            }
+        }
+    }
+
+    fn op_session_close(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let id = fields
+            .u64("session")?
+            .ok_or_else(|| ServiceError::bad_request("session.close needs 'session'"))?;
+        Ok((
+            Object::new()
+                .field("closed", self.sessions.close(id))
+                .build(),
+            false,
+        ))
+    }
+}
+
+/// Payload for one returned ranking: stability, full length, and the top
+/// `head_cap` items (the full order of a million-item ranking does not
+/// belong on the wire by default).
+fn ranking_payload(items: &[u32], stability: f64, head_cap: usize, extra: Object) -> Value {
+    let head: Vec<u32> = items.iter().take(head_cap).copied().collect();
+    let mut out = Object::new()
+        .field("done", false)
+        .field("stability", stability)
+        .field("len", items.len())
+        .field("head", head.as_slice());
+    let Value::Object(extra) = extra.build() else {
+        unreachable!("Object builds objects")
+    };
+    for (k, v) in extra {
+        out = out.field(&k, v);
+    }
+    out.build()
+}
+
+/// An empty 2-D state used only as a `mem::replace` placeholder while a
+/// session's real state is being advanced.
+fn placeholder_state() -> srank_core::Sweep2DState {
+    static PLACEHOLDER: std::sync::OnceLock<srank_core::Sweep2DState> = std::sync::OnceLock::new();
+    PLACEHOLDER
+        .get_or_init(|| {
+            let data = Dataset::from_rows(&[vec![0.5, 0.5]]).expect("static data");
+            let mut e = Enumerator2D::new(&data, AngleInterval::full()).expect("1 item");
+            while e.get_next().is_some() {}
+            e.into_state()
+        })
+        .clone()
+}

@@ -1,0 +1,70 @@
+//! # srank-service — a concurrent stability-query engine
+//!
+//! The library behind `srank serve`: a long-running server for the
+//! interactive workload *On Obtaining Stable Rankings* (Asudeh et al.,
+//! PVLDB 2018) describes — consumers probing published rankings
+//! (`verify`, `overview`) and producers iterating `GET-NEXT`
+//! (`session.*`) — without re-loading the dataset, re-deriving
+//! ordering-exchange hyperplanes, or re-drawing Monte-Carlo samples on
+//! every call.
+//!
+//! Four layers:
+//!
+//! * [`registry`] — loads/normalizes each dataset once (builtin simulators
+//!   or CSV) and shares it via `Arc`; every (re)load bumps a generation
+//!   stamp that scopes cache keys and sessions;
+//! * [`session`] — live enumerator sessions built on `srank-core`'s
+//!   detachable state snapshots (`Sweep2DState`, `MdState`,
+//!   `RandomizedState`), with busy-checkout semantics and idle eviction;
+//! * [`cache`] — an LRU over query results plus a second LRU of shared
+//!   Monte-Carlo sample batches, so a hot `verify` is a lookup and a cold
+//!   one at least reuses the samples drawn for its dataset/ROI;
+//! * [`server`] / [`client`] — line-delimited JSON over stdin/stdout or a
+//!   `TcpListener` with a fixed worker-thread pool (std only, no async
+//!   runtime).
+//!
+//! The wire protocol is documented in `crates/service/README.md`; the
+//! protocol types and error codes live in [`proto`].
+//!
+//! ## Embedding
+//!
+//! The engine is usable without any transport:
+//!
+//! ```
+//! use srank_service::engine::{Engine, EngineConfig};
+//! use srank_service::registry::DatasetSource;
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! engine
+//!     .registry()
+//!     .load("hiring", &DatasetSource::Builtin {
+//!         family: "figure1".into(), n: 0, d: 0, seed: 0,
+//!     })
+//!     .unwrap();
+//! let response = engine.handle(
+//!     &serde_json::from_str(
+//!         r#"{"op": "verify", "dataset": "hiring", "weights": [1, 1]}"#,
+//!     )
+//!     .unwrap(),
+//! );
+//! assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+//! let stability = response
+//!     .get("result").unwrap()
+//!     .get("stability").unwrap()
+//!     .as_f64().unwrap();
+//! assert!(stability > 0.0);
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod session;
+
+pub use client::Client;
+pub use engine::{Engine, EngineConfig};
+pub use proto::{ErrorCode, ServiceError, ServiceResult};
+pub use registry::{DatasetRegistry, DatasetSource};
+pub use server::{serve_stdio, serve_stream, serve_tcp, ServerHandle};

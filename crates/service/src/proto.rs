@@ -1,0 +1,346 @@
+//! The wire protocol: line-delimited JSON requests and responses.
+//!
+//! One request per line, one response line per request, in order:
+//!
+//! ```json
+//! {"id": 7, "op": "verify", "dataset": "fifa", "weights": [1, 1, 1, 1]}
+//! {"id": 7, "ok": true, "cached": false, "result": {"stability": 0.132, ...}}
+//! ```
+//!
+//! `id` is echoed verbatim (any JSON value, optional). Errors come back as
+//! `{"id": ..., "ok": false, "error": {"code": "...", "message": "..."}}`.
+//! See `crates/service/README.md` for the full op catalogue.
+
+use serde_json::Value;
+
+/// Machine-readable error categories of the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line was not valid JSON.
+    ParseError,
+    /// The request was valid JSON but malformed (missing/ill-typed field,
+    /// unknown op, invalid parameter combination).
+    BadRequest,
+    /// The referenced dataset is not registered.
+    NotFound,
+    /// The referenced session does not exist (never opened, closed, or
+    /// evicted after idling).
+    SessionNotFound,
+    /// The referenced session is currently executing another request.
+    SessionBusy,
+    /// The engine refused to open another session (capacity).
+    SessionLimit,
+    /// An internal invariant failed.
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::ParseError => "parse_error",
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::NotFound => "not_found",
+            ErrorCode::SessionNotFound => "session_not_found",
+            ErrorCode::SessionBusy => "session_busy",
+            ErrorCode::SessionLimit => "session_limit",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+/// A protocol-level error: code + human-readable message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceError {
+    pub code: ErrorCode,
+    pub message: String,
+}
+
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+impl ServiceError {
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse_error(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::ParseError, message)
+    }
+
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::BadRequest, message)
+    }
+
+    pub fn not_found(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::NotFound, message)
+    }
+
+    pub fn session_not_found(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::SessionNotFound, message)
+    }
+
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::Internal, message)
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code.as_str(), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Builder for JSON objects (field order = insertion order).
+#[derive(Debug, Default)]
+pub struct Object {
+    fields: Vec<(String, Value)>,
+}
+
+impl Object {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn field(mut self, key: &str, value: impl IntoValue) -> Self {
+        self.fields.push((key.to_string(), value.into_value()));
+        self
+    }
+
+    pub fn build(self) -> Value {
+        Value::Object(self.fields)
+    }
+}
+
+/// Conversion into a JSON value (local stand-in for `serde::Serialize`,
+/// covering the handful of shapes responses are built from).
+pub trait IntoValue {
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Number(self)
+    }
+}
+
+impl IntoValue for u64 {
+    fn into_value(self) -> Value {
+        Value::Number(self as f64)
+    }
+}
+
+impl IntoValue for usize {
+    fn into_value(self) -> Value {
+        Value::Number(self as f64)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::String(self)
+    }
+}
+
+impl IntoValue for &[f64] {
+    fn into_value(self) -> Value {
+        Value::Array(self.iter().map(|&x| Value::Number(x)).collect())
+    }
+}
+
+impl IntoValue for &[u32] {
+    fn into_value(self) -> Value {
+        Value::Array(self.iter().map(|&x| Value::Number(f64::from(x))).collect())
+    }
+}
+
+impl IntoValue for Vec<Value> {
+    fn into_value(self) -> Value {
+        Value::Array(self)
+    }
+}
+
+/// Typed field access on a request object.
+pub struct Fields<'a> {
+    value: &'a Value,
+}
+
+impl<'a> Fields<'a> {
+    pub fn of(value: &'a Value) -> ServiceResult<Self> {
+        match value {
+            Value::Object(_) => Ok(Self { value }),
+            _ => Err(ServiceError::bad_request("request must be a JSON object")),
+        }
+    }
+
+    pub fn raw(&self, key: &str) -> Option<&'a Value> {
+        self.value.get(key).filter(|v| !v.is_null())
+    }
+
+    pub fn str(&self, key: &str) -> ServiceResult<Option<&'a str>> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| type_error(key, "a string")),
+        }
+    }
+
+    pub fn required_str(&self, key: &str) -> ServiceResult<&'a str> {
+        self.str(key)?.ok_or_else(|| missing(key))
+    }
+
+    pub fn f64(&self, key: &str) -> ServiceResult<Option<f64>> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| type_error(key, "a number")),
+        }
+    }
+
+    pub fn u64(&self, key: &str) -> ServiceResult<Option<u64>> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| type_error(key, "a non-negative integer")),
+        }
+    }
+
+    pub fn usize(&self, key: &str) -> ServiceResult<Option<usize>> {
+        Ok(self.u64(key)?.map(|v| v as usize))
+    }
+
+    pub fn bool(&self, key: &str) -> ServiceResult<Option<bool>> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| type_error(key, "a boolean")),
+        }
+    }
+
+    pub fn f64_array(&self, key: &str) -> ServiceResult<Option<Vec<f64>>> {
+        match self.raw(key) {
+            None => Ok(None),
+            Some(v) => {
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| type_error(key, "an array of numbers"))?;
+                items
+                    .iter()
+                    .map(|x| {
+                        x.as_f64()
+                            .ok_or_else(|| type_error(key, "an array of numbers"))
+                    })
+                    .collect::<ServiceResult<Vec<f64>>>()
+                    .map(Some)
+            }
+        }
+    }
+}
+
+fn missing(key: &str) -> ServiceError {
+    ServiceError::bad_request(format!("missing required field '{key}'"))
+}
+
+fn type_error(key: &str, expected: &str) -> ServiceError {
+    ServiceError::bad_request(format!("field '{key}' must be {expected}"))
+}
+
+/// Wraps a handler outcome into the response envelope, echoing `id`.
+pub fn envelope(id: Option<Value>, outcome: ServiceResult<(Value, bool)>) -> Value {
+    let mut out = Object::new();
+    if let Some(id) = id {
+        out = out.field("id", id);
+    }
+    match outcome {
+        Ok((result, cached)) => out
+            .field("ok", true)
+            .field("cached", cached)
+            .field("result", result)
+            .build(),
+        Err(e) => out
+            .field("ok", false)
+            .field(
+                "error",
+                Object::new()
+                    .field("code", e.code.as_str())
+                    .field("message", e.message)
+                    .build(),
+            )
+            .build(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_accessors_validate_types() {
+        let v = serde_json::from_str(
+            r#"{"s": "x", "n": 3, "f": 1.5, "a": [1, 2], "b": true, "z": null}"#,
+        )
+        .unwrap();
+        let f = Fields::of(&v).unwrap();
+        assert_eq!(f.required_str("s").unwrap(), "x");
+        assert_eq!(f.u64("n").unwrap(), Some(3));
+        assert_eq!(f.f64("f").unwrap(), Some(1.5));
+        assert_eq!(f.f64_array("a").unwrap(), Some(vec![1.0, 2.0]));
+        assert_eq!(f.bool("b").unwrap(), Some(true));
+        assert_eq!(f.str("z").unwrap(), None, "null reads as absent");
+        assert_eq!(f.str("missing").unwrap(), None);
+        assert!(f.required_str("missing").is_err());
+        assert!(f.u64("f").is_err());
+        assert!(f.str("n").is_err());
+    }
+
+    #[test]
+    fn envelope_shapes() {
+        let ok = envelope(
+            Some(Value::Number(7.0)),
+            Ok((Object::new().field("x", 1u64).build(), true)),
+        );
+        assert_eq!(ok.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(ok.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            ok.get("result").unwrap().get("x").unwrap().as_u64(),
+            Some(1)
+        );
+
+        let err = envelope(None, Err(ServiceError::not_found("nope")));
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            err.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("not_found")
+        );
+    }
+}

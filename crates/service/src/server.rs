@@ -1,0 +1,205 @@
+//! Transports: line-delimited JSON over stdin/stdout and over TCP with a
+//! fixed worker-thread pool.
+//!
+//! The TCP server binds one `TcpListener` shared by `workers` threads;
+//! each worker accepts a connection, drains its request lines, and goes
+//! back to accepting. `accept(2)` on a shared listener is the thread pool:
+//! no queue, no async runtime, no dependency beyond `std`.
+
+use crate::engine::Engine;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP server. Dropping the handle does *not* stop the workers;
+/// call [`shutdown`](ServerHandle::shutdown) for a clean stop.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until every worker exits (i.e. forever, unless another
+    /// thread calls [`shutdown`](Self::shutdown)) — the foreground mode of
+    /// `srank serve --listen`.
+    pub fn join(mut self) {
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Signals every worker to stop and joins them. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Workers block in accept(); poke each one awake.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Serves `engine` on `addr` (e.g. `"127.0.0.1:0"`) with a fixed pool of
+/// `workers` threads. Returns immediately; the workers run detached until
+/// [`ServerHandle::shutdown`].
+pub fn serve_tcp(engine: Arc<Engine>, addr: &str, workers: usize) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let listener = Arc::new(listener);
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers = (1..=workers.max(1))
+        .map(|_| {
+            let listener = Arc::clone(&listener);
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loop {
+                let conn = listener.accept();
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                match conn {
+                    Ok((stream, _peer)) => {
+                        // Client errors end this connection only.
+                        let _ = serve_connection(&engine, stream, &stop);
+                    }
+                    // Transient accept failures (ECONNABORTED from a
+                    // client resetting mid-handshake, EMFILE under fd
+                    // pressure) must not shrink the worker pool; back off
+                    // briefly and keep accepting.
+                    Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+                }
+            })
+        })
+        .collect();
+    Ok(ServerHandle {
+        addr,
+        stop,
+        workers,
+    })
+}
+
+fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+    // A short read timeout keeps this worker responsive to shutdown even
+    // while a client holds the connection open without sending anything.
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+    // Each worker serves one connection at a time, so a silent peer is a
+    // captured worker; disconnect it after an idle deadline to return the
+    // worker to the accept pool (clients reconnect per request anyway).
+    const IDLE_DISCONNECT: std::time::Duration = std::time::Duration::from_secs(60);
+    let mut last_activity = std::time::Instant::now();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // Lines accumulate as raw bytes: `read_until` keeps partial reads
+    // across timeouts intact (a `read_line` would discard bytes when a
+    // timeout splits a multi-byte UTF-8 character).
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) if line.is_empty() => return Ok(()), // EOF
+            Ok(n) => {
+                let eof = n == 0 || line.last() != Some(&b'\n');
+                respond(engine, &mut writer, &line)?;
+                line.clear();
+                if eof {
+                    return Ok(());
+                }
+                last_activity = std::time::Instant::now();
+            }
+            // Timeout: partial bytes stay accumulated in `line`; loop to
+            // re-check the stop flag and the idle deadline, then keep
+            // reading.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= IDLE_DISCONNECT {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Handles one raw request line and writes the response — shared by the
+/// TCP and stream transports. A panic inside the engine (it should not
+/// happen; request validation exists to prevent it) is caught and
+/// answered as an `internal` error instead of unwinding the worker thread
+/// out of the pool (TCP) or killing the process (stdio).
+fn respond(engine: &Engine, writer: &mut impl Write, line: &[u8]) -> std::io::Result<()> {
+    let line = String::from_utf8_lossy(line);
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.handle_line(&line)
+    }))
+    .unwrap_or_else(|_| {
+        r#"{"ok": false, "error": {"code": "internal", "message": "request handler panicked"}}"#
+            .to_string()
+    });
+    writer.write_all(response.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Serves `engine` over arbitrary reader/writer streams — the
+/// `srank serve --stdio` transport, and directly testable with byte
+/// buffers. Returns when the reader reaches EOF.
+pub fn serve_stream(
+    engine: &Engine,
+    reader: impl std::io::Read,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let line = line?;
+        respond(engine, &mut writer, line.as_bytes())?;
+    }
+    Ok(())
+}
+
+/// `serve_stream` wired to this process's stdin/stdout.
+pub fn serve_stdio(engine: &Engine) -> std::io::Result<()> {
+    serve_stream(engine, std::io::stdin().lock(), std::io::stdout().lock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    #[test]
+    fn stream_transport_answers_line_per_line() {
+        let engine = Engine::new(EngineConfig::default());
+        let input = b"{\"id\": 1, \"op\": \"ping\"}\n\nnot json\n".to_vec();
+        let mut out = Vec::new();
+        serve_stream(&engine, &input[..], &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "blank line skipped: {text}");
+        let ok = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(ok.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(ok.get("id").unwrap().as_u64(), Some(1));
+        let err = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            err.get("error").unwrap().get("code").unwrap().as_str(),
+            Some("parse_error")
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! The session manager: long-lived `GET-NEXT` enumerations.
+//!
+//! A session pins a dataset (by `Arc`) and owns a detached enumerator
+//! state (`Sweep2DState` / `MdState` / `RandomizedState` from
+//! `srank-core`). Each `session.get_next` request checks the session out
+//! of the table, reattaches the state to the dataset, advances it, and
+//! checks it back in — so the expensive construction (ray sweep, `×hps`
+//! harvest, sample partition) happens once at `session.open` and every
+//! later call is incremental, exactly the paper's Problem-3 interaction.
+//!
+//! Check-out is an RAII guard: dropping a [`CheckedOut`] — including via
+//! an unwinding panic in the request handler — returns the session to
+//! the table, so a crashed request can never leak a slot into a
+//! permanently-busy state.
+//!
+//! Idle sessions are evicted: every engine touch sweeps sessions whose
+//! last use is older than the configured TTL.
+
+use crate::proto::{ErrorCode, ServiceError, ServiceResult};
+use rand::rngs::StdRng;
+use srank_core::{MdState, RandomizedState, Sweep2DState};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The detached enumerator of one session.
+pub enum SessionState {
+    Sweep2D(Sweep2DState),
+    Md(MdState),
+    Randomized {
+        state: RandomizedState,
+        /// The session's private RNG stream, seeded at `session.open` —
+        /// identical open parameters replay an identical session.
+        rng: StdRng,
+        /// Default per-call budget when the request omits one.
+        budget: usize,
+    },
+}
+
+impl SessionState {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SessionState::Sweep2D(_) => "sweep2d",
+            SessionState::Md(_) => "md",
+            SessionState::Randomized { .. } => "randomized",
+        }
+    }
+}
+
+/// One open session.
+pub struct Session {
+    pub id: u64,
+    pub dataset: String,
+    /// Registry generation the session was opened against; a reloaded
+    /// dataset invalidates the session rather than silently mixing states.
+    pub generation: u64,
+    pub state: SessionState,
+    pub created: Instant,
+    pub last_used: Instant,
+    /// Rankings returned so far.
+    pub returned: usize,
+    /// Stability of the most recent ranking (monotonically non-increasing
+    /// within a session; serialized for observability).
+    pub last_stability: Option<f64>,
+}
+
+/// Exclusive ownership of a session for the duration of one request.
+///
+/// Dropping the guard checks the session back in (also on panic);
+/// [`discard`](CheckedOut::discard) closes it instead.
+pub struct CheckedOut<'a> {
+    manager: &'a SessionManager,
+    session: Option<Session>,
+}
+
+impl CheckedOut<'_> {
+    pub fn session(&mut self) -> &mut Session {
+        self.session.as_mut().expect("present until drop/discard")
+    }
+
+    /// Closes the session instead of returning it to the table (used when
+    /// a request discovers the session is stale or corrupted).
+    pub fn discard(mut self) {
+        if let Some(session) = self.session.take() {
+            self.manager.close(session.id);
+        }
+    }
+}
+
+impl Drop for CheckedOut<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.manager.restore(session);
+        }
+    }
+}
+
+impl std::fmt::Debug for CheckedOut<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("CheckedOut");
+        if let Some(session) = &self.session {
+            s.field("id", &session.id)
+                .field("dataset", &session.dataset)
+                .field("kind", &session.state.kind());
+        }
+        s.finish()
+    }
+}
+
+/// One table entry: the session itself, or a marker while a request
+/// thread owns it.
+enum Slot {
+    Available(Box<Session>),
+    CheckedOut,
+}
+
+/// The shared session table. All methods take `&self`.
+pub struct SessionManager {
+    slots: Mutex<HashMap<u64, Slot>>,
+    next_id: Mutex<u64>,
+    max_sessions: usize,
+}
+
+impl SessionManager {
+    pub fn new(max_sessions: usize) -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            next_id: Mutex::new(0),
+            max_sessions: max_sessions.max(1),
+        }
+    }
+
+    /// Opens a session and returns its id.
+    pub fn open(
+        &self,
+        dataset: String,
+        generation: u64,
+        state: SessionState,
+    ) -> ServiceResult<u64> {
+        let mut slots = self.slots.lock().expect("session lock poisoned");
+        if slots.len() >= self.max_sessions {
+            return Err(ServiceError::new(
+                ErrorCode::SessionLimit,
+                format!("session limit reached ({} open)", self.max_sessions),
+            ));
+        }
+        let id = {
+            let mut next = self.next_id.lock().expect("id lock poisoned");
+            *next += 1;
+            *next
+        };
+        let now = Instant::now();
+        slots.insert(
+            id,
+            Slot::Available(Box::new(Session {
+                id,
+                dataset,
+                generation,
+                state,
+                created: now,
+                last_used: now,
+                returned: 0,
+                last_stability: None,
+            })),
+        );
+        Ok(id)
+    }
+
+    /// Takes exclusive ownership of a session for the duration of one
+    /// request. Concurrent requests against the same session get
+    /// `session_busy` instead of blocking a worker thread.
+    pub fn check_out(&self, id: u64) -> ServiceResult<CheckedOut<'_>> {
+        let mut slots = self.slots.lock().expect("session lock poisoned");
+        match slots.get_mut(&id) {
+            None => Err(ServiceError::session_not_found(format!(
+                "session {id} does not exist (never opened, closed, or evicted)"
+            ))),
+            Some(Slot::CheckedOut) => Err(ServiceError::new(
+                ErrorCode::SessionBusy,
+                format!("session {id} is executing another request"),
+            )),
+            Some(slot) => {
+                let Slot::Available(session) = std::mem::replace(slot, Slot::CheckedOut) else {
+                    unreachable!("CheckedOut matched above")
+                };
+                Ok(CheckedOut {
+                    manager: self,
+                    session: Some(*session),
+                })
+            }
+        }
+    }
+
+    /// Returns a checked-out session to the table, stamping last-use
+    /// (called from [`CheckedOut::drop`]).
+    fn restore(&self, mut session: Session) {
+        session.last_used = Instant::now();
+        let mut slots = self.slots.lock().expect("session lock poisoned");
+        // A close/eviction that raced the check-out wins: only re-insert
+        // when the slot still exists.
+        if let Some(slot) = slots.get_mut(&session.id) {
+            *slot = Slot::Available(Box::new(session));
+        }
+    }
+
+    /// Closes a session; reports whether it existed.
+    pub fn close(&self, id: u64) -> bool {
+        self.slots
+            .lock()
+            .expect("session lock poisoned")
+            .remove(&id)
+            .is_some()
+    }
+
+    /// Evicts sessions idle longer than `ttl`; returns how many were
+    /// dropped. Checked-out sessions are never evicted mid-request.
+    pub fn evict_idle(&self, ttl: Duration) -> usize {
+        let mut slots = self.slots.lock().expect("session lock poisoned");
+        let now = Instant::now();
+        let before = slots.len();
+        slots.retain(|_, slot| match slot {
+            Slot::Available(s) => now.duration_since(s.last_used) < ttl,
+            Slot::CheckedOut => true,
+        });
+        before - slots.len()
+    }
+
+    /// Number of open sessions (including checked-out ones).
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("session lock poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(id, dataset, kind, returned)` rows for `stats`, sorted by id.
+    /// Checked-out sessions appear with their kind reported as `"busy"`.
+    pub fn list(&self) -> Vec<(u64, String, String, usize)> {
+        let slots = self.slots.lock().expect("session lock poisoned");
+        let mut rows: Vec<(u64, String, String, usize)> = slots
+            .iter()
+            .map(|(&id, slot)| match slot {
+                Slot::Available(s) => (
+                    id,
+                    s.dataset.clone(),
+                    s.state.kind().to_string(),
+                    s.returned,
+                ),
+                Slot::CheckedOut => (id, String::new(), "busy".to_string(), 0),
+            })
+            .collect();
+        rows.sort_by_key(|r| r.0);
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use srank_core::{AngleInterval, Dataset, Enumerator2D};
+
+    fn sweep_state() -> SessionState {
+        let data = Dataset::figure1();
+        SessionState::Sweep2D(
+            Enumerator2D::new(&data, AngleInterval::full())
+                .unwrap()
+                .into_state(),
+        )
+    }
+
+    #[test]
+    fn open_checkout_checkin_roundtrip() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        // Concurrent check-out is refused, not blocked.
+        assert_eq!(mgr.check_out(id).unwrap_err().code, ErrorCode::SessionBusy);
+        drop(out); // RAII check-in
+        assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn panic_while_checked_out_still_checks_in() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _out = mgr.check_out(id).unwrap();
+            panic!("request handler crashed");
+        }));
+        assert!(result.is_err());
+        // The guard's Drop ran during unwinding: the session is usable.
+        assert!(mgr.check_out(id).is_ok(), "slot must not leak as busy");
+    }
+
+    #[test]
+    fn discard_closes_instead_of_restoring() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        mgr.check_out(id).unwrap().discard();
+        assert_eq!(
+            mgr.check_out(id).unwrap_err().code,
+            ErrorCode::SessionNotFound
+        );
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn close_and_unknown_ids() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        assert!(mgr.close(id));
+        assert!(!mgr.close(id));
+        assert_eq!(
+            mgr.check_out(id).unwrap_err().code,
+            ErrorCode::SessionNotFound
+        );
+    }
+
+    #[test]
+    fn session_limit_is_enforced() {
+        let mgr = SessionManager::new(2);
+        mgr.open("a".into(), 1, sweep_state()).unwrap();
+        mgr.open("b".into(), 1, sweep_state()).unwrap();
+        let err = mgr.open("c".into(), 1, sweep_state()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionLimit);
+    }
+
+    #[test]
+    fn idle_eviction_drops_only_stale_sessions() {
+        let mgr = SessionManager::new(8);
+        let old = mgr.open("a".into(), 1, sweep_state()).unwrap();
+        // Nothing is older than an hour.
+        assert_eq!(mgr.evict_idle(Duration::from_secs(3600)), 0);
+        // Everything is older than zero.
+        assert_eq!(mgr.evict_idle(Duration::ZERO), 1);
+        assert_eq!(
+            mgr.check_out(old).unwrap_err().code,
+            ErrorCode::SessionNotFound
+        );
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn checked_out_sessions_survive_eviction() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("a".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        assert_eq!(
+            mgr.evict_idle(Duration::ZERO),
+            0,
+            "in-flight request is safe"
+        );
+        drop(out);
+        assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn close_racing_a_checkout_wins() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("a".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        assert!(mgr.close(id));
+        drop(out); // must not resurrect the closed session
+        assert_eq!(
+            mgr.check_out(id).unwrap_err().code,
+            ErrorCode::SessionNotFound
+        );
+        assert!(mgr.is_empty());
+    }
+}

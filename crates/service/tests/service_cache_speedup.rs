@@ -1,0 +1,55 @@
+//! The ISSUE's acceptance bar, asserted: a repeated identical `verify` on
+//! a DoT-sized dataset must be served from cache at least 10× faster than
+//! the cold computation. The real gap is a hash lookup vs a full
+//! Monte-Carlo pass (orders of magnitude), so the 10× threshold holds
+//! comfortably even under debug builds and noisy CI neighbours.
+
+use srank_service::registry::DatasetSource;
+use srank_service::{Engine, EngineConfig};
+use std::time::Instant;
+
+#[test]
+fn cached_verify_is_at_least_10x_faster_than_cold() {
+    let engine = Engine::new(EngineConfig::default());
+    engine
+        .registry()
+        .load(
+            "dot",
+            &DatasetSource::Builtin {
+                family: "dot".into(),
+                n: 2_000,
+                d: 0,
+                seed: 1322,
+            },
+        )
+        .unwrap();
+    let line =
+        r#"{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 5000, "seed": 7}"#;
+
+    let cold_start = Instant::now();
+    let cold = engine.handle_line(line);
+    let cold_time = cold_start.elapsed();
+    assert!(
+        cold.contains("\"cached\":false") || cold.contains("\"cached\": false"),
+        "{cold}"
+    );
+
+    // Median of several cached calls, so one scheduler hiccup cannot fail
+    // the assertion.
+    let mut times = Vec::new();
+    for _ in 0..9 {
+        let start = Instant::now();
+        let hot = engine.handle_line(line);
+        times.push(start.elapsed());
+        assert!(
+            hot.contains("\"cached\":true") || hot.contains("\"cached\": true"),
+            "{hot}"
+        );
+    }
+    times.sort();
+    let hot_time = times[times.len() / 2];
+    assert!(
+        cold_time >= hot_time * 10,
+        "expected ≥ 10× speedup, got cold {cold_time:?} vs cached {hot_time:?}"
+    );
+}

@@ -1,0 +1,115 @@
+//! Concurrency smoke tests: N client threads against one TCP server with
+//! a fixed worker pool, mixing cached consumer queries and per-thread
+//! producer sessions.
+
+use serde_json::Value;
+use srank_service::{serve_tcp, Client, Engine, EngineConfig};
+use std::sync::Arc;
+
+fn obj(s: &str) -> Value {
+    serde_json::from_str(s).expect("test request is valid JSON")
+}
+
+#[test]
+fn n_clients_against_one_server() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let mut server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0", 4).expect("bind");
+    let addr = server.addr();
+
+    // Register the shared dataset once, over the wire.
+    let mut setup = Client::connect(addr).expect("connect");
+    setup
+        .call_ok(&obj(
+            r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+        ))
+        .expect("load");
+
+    const CLIENTS: usize = 8;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Consumer path: everyone verifies the same ranking; after
+                // the first computation the rest are cache hits.
+                let verify = obj(r#"{"op": "verify", "dataset": "h", "weights": [1, 1]}"#);
+                let stability = client
+                    .call_ok(&verify)
+                    .expect("verify")
+                    .get("stability")
+                    .and_then(Value::as_f64)
+                    .expect("stability");
+
+                // Producer path: a private session per thread, drained to
+                // completion; streams must not interleave across sessions.
+                let opened = client
+                    .call_ok(&obj(r#"{"op": "session.open", "dataset": "h"}"#))
+                    .expect("open");
+                let id = opened.get("session").and_then(Value::as_u64).expect("id");
+                let mut stabilities = Vec::new();
+                loop {
+                    let next = client
+                        .call_ok(&obj(&format!(
+                            r#"{{"op": "session.get_next", "session": {id}}}"#
+                        )))
+                        .expect("get_next");
+                    if next.get("done").and_then(Value::as_bool) == Some(true) {
+                        break;
+                    }
+                    stabilities.push(
+                        next.get("stability")
+                            .and_then(Value::as_f64)
+                            .expect("stability"),
+                    );
+                }
+                client
+                    .call_ok(&obj(&format!(
+                        r#"{{"op": "session.close", "session": {id}}}"#
+                    )))
+                    .expect("close");
+                (t, stability, stabilities)
+            })
+        })
+        .collect();
+
+    let mut results = Vec::new();
+    for handle in handles {
+        results.push(handle.join().expect("client thread panicked"));
+    }
+    // Every thread saw the same exact verify answer and the same complete,
+    // monotone enumeration.
+    let (_, first_stability, first_stream) = &results[0];
+    assert_eq!(first_stream.len(), 11);
+    for w in first_stream.windows(2) {
+        assert!(w[1] <= w[0] + 1e-12);
+    }
+    for (_, stability, stream) in &results {
+        assert_eq!(stability, first_stability);
+        assert_eq!(stream, first_stream);
+    }
+
+    // The shared verify was computed once; the other 7 were cache hits.
+    let stats = setup.call_ok(&obj(r#"{"op": "stats"}"#)).expect("stats");
+    let cache = stats.get("result_cache").unwrap();
+    assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(1));
+    assert_eq!(
+        cache.get("hits").and_then(Value::as_u64),
+        Some((CLIENTS - 1) as u64)
+    );
+    // All sessions were closed.
+    assert_eq!(stats.get("sessions").unwrap().as_array().unwrap().len(), 0);
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_workers_promptly() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    client.call_ok(&obj(r#"{"op": "ping"}"#)).expect("ping");
+    server.shutdown();
+    // The listener port is released: a fresh bind to the same port works.
+    let rebind = std::net::TcpListener::bind(addr);
+    assert!(rebind.is_ok(), "port still held after shutdown");
+}

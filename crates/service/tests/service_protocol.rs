@@ -1,0 +1,521 @@
+//! End-to-end protocol tests against an in-process engine: registry load,
+//! consumer queries (verify/overview) with result caching, producer
+//! sessions with monotone `get_next`, idle eviction, and determinism of
+//! the seeded Monte-Carlo paths.
+
+use serde_json::Value;
+use srank_service::{Engine, EngineConfig};
+use std::time::Duration;
+
+fn engine() -> Engine {
+    Engine::new(EngineConfig::default())
+}
+
+fn call(engine: &Engine, line: &str) -> Value {
+    serde_json::from_str(&engine.handle_line(line)).expect("response is JSON")
+}
+
+fn result(response: &Value) -> &Value {
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "expected ok response, got {}",
+        serde_json::to_string(response).unwrap()
+    );
+    response.get("result").expect("ok responses carry a result")
+}
+
+fn error_code(response: &Value) -> &str {
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    response
+        .get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .expect("error responses carry a code")
+}
+
+#[test]
+fn load_verify_overview_on_figure1() {
+    let e = engine();
+    let loaded = call(
+        &e,
+        r#"{"id": 1, "op": "registry.load", "dataset": "hiring", "builtin": "figure1"}"#,
+    );
+    let r = result(&loaded);
+    assert_eq!(r.get("rows").unwrap().as_u64(), Some(5));
+    assert_eq!(r.get("dim").unwrap().as_u64(), Some(2));
+
+    // Figure 1: the equal-weights ranking ⟨t2, t4, t3, t5, t1⟩.
+    let verified = call(
+        &e,
+        r#"{"op": "verify", "dataset": "hiring", "weights": [1, 1]}"#,
+    );
+    let r = result(&verified);
+    assert_eq!(r.get("method").unwrap().as_str(), Some("exact-2d"));
+    let stability = r.get("stability").unwrap().as_f64().unwrap();
+    assert!(stability > 0.0 && stability < 1.0);
+    let head: Vec<u64> = r
+        .get("head")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_u64().unwrap())
+        .collect();
+    assert_eq!(head, vec![1, 3, 2, 4, 0]);
+
+    // Figure 1c: eleven feasible rankings.
+    let overview = call(&e, r#"{"op": "overview", "dataset": "hiring"}"#);
+    let r = result(&overview);
+    assert_eq!(r.get("rankings").unwrap().as_u64(), Some(11));
+    assert!((r.get("total_mass").unwrap().as_f64().unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn repeated_identical_verify_is_served_from_cache() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "f", "builtin": "fifa", "n": 60, "seed": 3}"#,
+    );
+    let request = r#"{"op": "verify", "dataset": "f", "weights": [1, 1, 1, 1], "samples": 4000}"#;
+
+    let cold = call(&e, request);
+    assert_eq!(cold.get("cached").unwrap().as_bool(), Some(false));
+    let hot = call(&e, request);
+    assert_eq!(
+        hot.get("cached").unwrap().as_bool(),
+        Some(true),
+        "second identical query hits"
+    );
+    assert_eq!(
+        result(&cold),
+        result(&hot),
+        "cache returns the identical result"
+    );
+
+    let stats = call(&e, r#"{"op": "stats"}"#);
+    let cache = result(&stats).get("result_cache").unwrap();
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+
+    // A different parameterization misses.
+    let other = call(
+        &e,
+        r#"{"op": "verify", "dataset": "f", "weights": [1, 1, 1, 1], "samples": 4000, "seed": 9}"#,
+    );
+    assert_eq!(other.get("cached").unwrap().as_bool(), Some(false));
+}
+
+#[test]
+fn reloading_a_dataset_invalidates_its_cache_entries() {
+    let e = engine();
+    let load = r#"{"op": "registry.load", "dataset": "d", "builtin": "dot", "n": 80, "seed": 5}"#;
+    call(&e, load);
+    let request = r#"{"op": "verify", "dataset": "d", "weights": [1, 1, 1]}"#;
+    assert_eq!(
+        call(&e, request).get("cached").unwrap().as_bool(),
+        Some(false)
+    );
+    assert_eq!(
+        call(&e, request).get("cached").unwrap().as_bool(),
+        Some(true)
+    );
+    // Reload under the same name: new generation ⇒ cold again.
+    call(&e, load);
+    assert_eq!(
+        call(&e, request).get("cached").unwrap().as_bool(),
+        Some(false)
+    );
+}
+
+#[test]
+fn monte_carlo_sample_batches_are_shared_across_queries() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "b", "builtin": "bluenile", "n": 50, "d": 5, "seed": 1}"#,
+    );
+    // Different weight vectors on the same dataset/ROI: the sample batch
+    // is drawn once and reused (second query differs only in weights).
+    call(
+        &e,
+        r#"{"op": "verify", "dataset": "b", "weights": [1, 1, 1, 1, 1], "samples": 3000}"#,
+    );
+    call(
+        &e,
+        r#"{"op": "verify", "dataset": "b", "weights": [2, 1, 1, 1, 1], "samples": 3000}"#,
+    );
+    let stats = call(&e, r#"{"op": "stats"}"#);
+    let samples = result(&stats).get("sample_cache").unwrap();
+    assert_eq!(samples.get("misses").unwrap().as_u64(), Some(1), "one draw");
+    assert_eq!(samples.get("hits").unwrap().as_u64(), Some(1), "one reuse");
+}
+
+#[test]
+fn session_get_next_is_monotonically_non_increasing_until_done() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    );
+    let opened = call(
+        &e,
+        r#"{"op": "session.open", "dataset": "h", "kind": "sweep2d"}"#,
+    );
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+
+    let mut stabilities = Vec::new();
+    loop {
+        let next = call(
+            &e,
+            &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+        );
+        let r = result(&next);
+        if r.get("done").unwrap().as_bool() == Some(true) {
+            assert_eq!(r.get("returned").unwrap().as_u64(), Some(11));
+            break;
+        }
+        stabilities.push(r.get("stability").unwrap().as_f64().unwrap());
+    }
+    assert_eq!(stabilities.len(), 11, "Figure 1c has 11 regions");
+    for w in stabilities.windows(2) {
+        assert!(
+            w[1] <= w[0] + 1e-12,
+            "stability must be non-increasing: {stabilities:?}"
+        );
+    }
+    assert!((stabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    let closed = call(
+        &e,
+        &format!(r#"{{"op": "session.close", "session": {id}}}"#),
+    );
+    assert_eq!(result(&closed).get("closed").unwrap().as_bool(), Some(true));
+    let gone = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+    );
+    assert_eq!(error_code(&gone), "session_not_found");
+}
+
+#[test]
+fn md_session_on_fifa_is_monotone_and_incremental() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "f", "builtin": "fifa", "n": 40, "seed": 2}"#,
+    );
+    let opened = call(
+        &e,
+        r#"{"op": "session.open", "dataset": "f", "kind": "md", "samples": 3000, "seed": 4}"#,
+    );
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    let mut prev = f64::INFINITY;
+    for _ in 0..5 {
+        let next = call(
+            &e,
+            &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+        );
+        let r = result(&next);
+        assert_eq!(r.get("done").unwrap().as_bool(), Some(false));
+        let s = r.get("stability").unwrap().as_f64().unwrap();
+        assert!(s <= prev + 1e-12);
+        prev = s;
+        assert_eq!(r.get("len").unwrap().as_u64(), Some(40));
+        assert_eq!(r.get("head").unwrap().as_array().unwrap().len(), 10);
+    }
+}
+
+#[test]
+fn randomized_session_replays_identically_for_one_seed() {
+    let run = || {
+        let e = engine();
+        call(
+            &e,
+            r#"{"op": "registry.load", "dataset": "f", "builtin": "fifa", "n": 30, "seed": 8}"#,
+        );
+        let opened = call(
+            &e,
+            r#"{"op": "session.open", "dataset": "f", "kind": "randomized",
+                "scope": "top-k-set", "k": 5, "seed": 77, "budget": 1500}"#,
+        );
+        let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            let next = call(
+                &e,
+                &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+            );
+            out.push(serde_json::to_string(result(&next)).unwrap());
+        }
+        out
+    };
+    assert_eq!(run(), run(), "same seed ⇒ identical session stream");
+}
+
+#[test]
+fn identical_monte_carlo_requests_agree_across_fresh_engines() {
+    // Determinism of the service's Monte-Carlo oracle: a fresh engine
+    // (cold cache) must reproduce the same verify result for the same
+    // request, because the sample batch is derived from the request seed.
+    let request = r#"{"op": "verify", "dataset": "b", "weights": [1, 2, 1, 1, 2], "samples": 5000, "seed": 31}"#;
+    let run = || {
+        let e = engine();
+        call(
+            &e,
+            r#"{"op": "registry.load", "dataset": "b", "builtin": "bluenile", "n": 40, "d": 5, "seed": 6}"#,
+        );
+        serde_json::to_string(result(&call(&e, request))).unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn idle_sessions_are_evicted() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    );
+    let opened = call(&e, r#"{"op": "session.open", "dataset": "h"}"#);
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    // A get_next keeps it warm.
+    let next = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+    );
+    result(&next);
+    // Now force the idle sweep with a zero TTL (as the configured TTL
+    // would after 300 idle seconds).
+    assert_eq!(e.evict_idle_sessions(Some(Duration::ZERO)), 1);
+    let gone = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+    );
+    assert_eq!(error_code(&gone), "session_not_found");
+}
+
+#[test]
+fn sessions_go_stale_when_their_dataset_is_reloaded() {
+    let e = engine();
+    let load = r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#;
+    call(&e, load);
+    let opened = call(&e, r#"{"op": "session.open", "dataset": "h"}"#);
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    call(&e, load); // new generation
+    let stale = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+    );
+    assert_eq!(error_code(&stale), "session_not_found");
+}
+
+#[test]
+fn tau_tolerant_verification() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    );
+    let strict = result(&call(
+        &e,
+        r#"{"op": "verify", "dataset": "h", "weights": [1, 1]}"#,
+    ))
+    .get("stability")
+    .unwrap()
+    .as_f64()
+    .unwrap();
+    let tolerant = call(
+        &e,
+        r#"{"op": "verify", "dataset": "h", "weights": [1, 1], "tau": 1}"#,
+    );
+    let r = result(&tolerant);
+    assert_eq!(r.get("method").unwrap().as_str(), Some("exact-2d-tau"));
+    let tau1 = r.get("stability").unwrap().as_f64().unwrap();
+    assert!(tau1 >= strict - 1e-12, "tolerance can only add mass");
+}
+
+#[test]
+fn protocol_error_codes() {
+    let e = engine();
+    assert_eq!(error_code(&call(&e, r#"{"op": "nope"}"#)), "bad_request");
+    assert_eq!(error_code(&call(&e, r#"{"nop": 1}"#)), "bad_request");
+    assert_eq!(
+        error_code(&call(
+            &e,
+            r#"{"op": "verify", "dataset": "ghost", "weights": [1, 1]}"#
+        )),
+        "not_found"
+    );
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    );
+    assert_eq!(
+        error_code(&call(
+            &e,
+            r#"{"op": "verify", "dataset": "h", "weights": [1, 1, 1]}"#
+        )),
+        "bad_request"
+    );
+    assert_eq!(
+        error_code(&call(&e, r#"{"op": "session.get_next", "session": 999}"#)),
+        "session_not_found"
+    );
+    let raw = e.handle_line("{not json");
+    let parsed: Value = serde_json::from_str(&raw).unwrap();
+    assert_eq!(error_code(&parsed), "parse_error");
+    // The id is echoed even on failures, for request/response pairing.
+    let with_id = call(&e, r#"{"id": "abc", "op": "nope"}"#);
+    assert_eq!(with_id.get("id").unwrap().as_str(), Some("abc"));
+}
+
+#[test]
+fn ill_typed_get_next_params_do_not_corrupt_the_session() {
+    // Regression: a fallible parameter read after the session state had
+    // been taken out used to swap the session to an exhausted placeholder.
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "f", "builtin": "fifa", "n": 30, "seed": 8}"#,
+    );
+    let opened = call(
+        &e,
+        r#"{"op": "session.open", "dataset": "f", "kind": "randomized", "scope": "full", "seed": 3, "budget": 500}"#,
+    );
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    let bad = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}, "budget": "abc"}}"#),
+    );
+    assert_eq!(error_code(&bad), "bad_request");
+    // The session still works and is still a randomized session.
+    let next = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}}}"#),
+    );
+    let r = result(&next);
+    assert_eq!(r.get("done").unwrap().as_bool(), Some(false));
+    assert!(
+        r.get("confidence_error").is_some(),
+        "randomized payload expected"
+    );
+}
+
+#[test]
+fn degenerate_roi_rays_are_rejected_not_panicked() {
+    // Regression: a zero ray used to reach the cone sampler's expect()
+    // and unwind the worker thread.
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "f", "builtin": "fifa", "n": 20, "seed": 1}"#,
+    );
+    let zero = call(
+        &e,
+        r#"{"op": "verify", "dataset": "f", "weights": [1, 1, 1, 1],
+            "roi": {"around": [0, 0, 0, 0], "theta": 0.5}, "samples": 100}"#,
+    );
+    assert_eq!(error_code(&zero), "bad_request");
+    let huge_theta = call(
+        &e,
+        r#"{"op": "verify", "dataset": "f", "weights": [1, 1, 1, 1],
+            "roi": {"around": [1, 1, 1, 1], "theta": 9.0}, "samples": 100}"#,
+    );
+    assert_eq!(error_code(&huge_theta), "bad_request");
+}
+
+#[test]
+fn invalid_dataset_shapes_are_rejected_not_panicked() {
+    // Regression: synthetic builtins without 'd' and one-column CSVs used
+    // to reach library asserts and unwind the transport.
+    let e = engine();
+    let no_d = call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "s", "builtin": "synthetic-independent", "n": 50}"#,
+    );
+    assert_eq!(error_code(&no_d), "bad_request");
+    let with_d = call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "s", "builtin": "synthetic-independent", "n": 50, "d": 3}"#,
+    );
+    assert_eq!(result(&with_d).get("dim").unwrap().as_u64(), Some(3));
+
+    // One scoring attribute: rejected at the registry boundary.
+    let dir = std::env::temp_dir().join("srank_service_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("one_col.csv");
+    std::fs::write(&path, "x\n1\n2\n3\n").unwrap();
+    let one_col = call(
+        &e,
+        &format!(
+            r#"{{"op": "registry.load", "dataset": "one", "csv": "{}", "higher": ["x"]}}"#,
+            path.display()
+        ),
+    );
+    assert_eq!(error_code(&one_col), "bad_request");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn oversized_requests_are_refused_not_allocated() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "f", "builtin": "fifa", "n": 20, "seed": 1}"#,
+    );
+    let huge_samples = call(
+        &e,
+        r#"{"op": "verify", "dataset": "f", "weights": [1, 1, 1, 1], "samples": 2000000000}"#,
+    );
+    assert_eq!(error_code(&huge_samples), "bad_request");
+    let huge_n = call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "x", "builtin": "dot", "n": 2000000000}"#,
+    );
+    assert_eq!(error_code(&huge_n), "bad_request");
+    let opened = call(
+        &e,
+        r#"{"op": "session.open", "dataset": "f", "kind": "randomized", "scope": "full", "seed": 1}"#,
+    );
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    let huge_budget = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}, "budget": 2000000000}}"#),
+    );
+    assert_eq!(error_code(&huge_budget), "bad_request");
+}
+
+#[test]
+fn registry_list_and_drop_round_trip() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "a", "builtin": "figure1"}"#,
+    );
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "b", "builtin": "dot", "n": 30}"#,
+    );
+    let listed = call(&e, r#"{"op": "registry.list"}"#);
+    let names: Vec<&str> = result(&listed)
+        .get("datasets")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|d| d.get("dataset").unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(names, vec!["a", "b"]);
+    let dropped = call(&e, r#"{"op": "registry.drop", "dataset": "a"}"#);
+    assert_eq!(
+        result(&dropped).get("dropped").unwrap().as_bool(),
+        Some(true)
+    );
+    let again = call(&e, r#"{"op": "registry.drop", "dataset": "a"}"#);
+    assert_eq!(
+        result(&again).get("dropped").unwrap().as_bool(),
+        Some(false)
+    );
+}

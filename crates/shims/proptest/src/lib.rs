@@ -1,0 +1,489 @@
+//! Offline shim of `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(...)]` header,
+//! range strategies over `f64`/integers, `prop::collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   printed; reproduce by pasting them into a unit test.
+//! * **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test name (FNV-1a), so failures reproduce run-to-run.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A value generator. Upstream proptest separates strategies from
+    /// value trees (for shrinking); the shim generates directly.
+    pub trait Strategy {
+        type Value: std::fmt::Debug;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            self.start + (self.end - self.start) * rng.random::<f64>()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.random::<u64>() % span) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i64 - self.start as i64) as u64;
+                    (self.start as i64 + (rng.random::<u64>() % span) as i64) as $t
+                }
+            }
+        )*};
+    }
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    /// Constant strategy (upstream `Just`).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// String strategies from a regex-like pattern, as upstream proptest
+    /// provides for `&str`. The shim supports the subset used by this
+    /// workspace's fuzz-style tests: a sequence of units — `\PC` (any
+    /// non-control character), a character class `[...]` (literal chars,
+    /// `a-z` ranges, and `\PC`), or a literal character — each optionally
+    /// followed by a `{lo,hi}` repetition.
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let units = parse_pattern(self);
+            let mut out = String::new();
+            for (unit, lo, hi) in units {
+                let n = lo + (rng.random::<u64>() as usize) % (hi - lo + 1);
+                for _ in 0..n {
+                    out.push(unit.generate(rng));
+                }
+            }
+            out
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum CharUnit {
+        Printable,
+        Literal(char),
+        Class(Vec<CharUnit>),
+    }
+
+    impl CharUnit {
+        fn generate(&self, rng: &mut StdRng) -> char {
+            match self {
+                CharUnit::Literal(c) => *c,
+                CharUnit::Printable => random_printable(rng),
+                CharUnit::Class(units) => {
+                    let pick = (rng.random::<u64>() as usize) % units.len();
+                    units[pick].generate(rng)
+                }
+            }
+        }
+    }
+
+    fn random_printable(rng: &mut StdRng) -> char {
+        // Mostly ASCII printables, with an occasional non-ASCII scalar to
+        // exercise UTF-8 handling; never a control character.
+        if rng.random::<f64>() < 0.9 {
+            char::from(b' ' + (rng.random::<u64>() % 95) as u8)
+        } else {
+            const EXOTIC: &[char] = &['é', 'ß', '漢', 'Ω', '→', '🦀', '"', '\'', '\u{00A0}'];
+            EXOTIC[(rng.random::<u64>() as usize) % EXOTIC.len()]
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<(CharUnit, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut units = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let unit = match chars[i] {
+                '\\' => {
+                    let unit = parse_escape(&chars, &mut i);
+                    i += 1;
+                    unit
+                }
+                '[' => {
+                    i += 1;
+                    let mut class = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        if chars[i] == '\\' {
+                            class.push(parse_escape(&chars, &mut i));
+                            i += 1;
+                        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']'
+                        {
+                            let (a, b) = (chars[i], chars[i + 2]);
+                            for c in a..=b {
+                                class.push(CharUnit::Literal(c));
+                            }
+                            i += 3;
+                        } else {
+                            class.push(CharUnit::Literal(chars[i]));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // ']'
+                    assert!(!class.is_empty(), "empty character class in '{pattern}'");
+                    CharUnit::Class(class)
+                }
+                c => {
+                    i += 1;
+                    CharUnit::Literal(c)
+                }
+            };
+            // Optional {lo,hi} repetition.
+            let (mut lo, mut hi) = (1usize, 1usize);
+            if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (l, h) = body
+                    .split_once(',')
+                    .unwrap_or((body.as_str(), body.as_str()));
+                lo = l.trim().parse().expect("repetition lower bound");
+                hi = h.trim().parse().expect("repetition upper bound");
+                i = close + 1;
+            }
+            units.push((unit, lo, hi));
+        }
+        units
+    }
+
+    /// Parses the escape starting at `chars[*i] == '\\'`, leaving `*i` on
+    /// the last consumed character.
+    fn parse_escape(chars: &[char], i: &mut usize) -> CharUnit {
+        match chars.get(*i + 1) {
+            Some('P') | Some('p') => {
+                // `\PC` / `\pC`-style category escape: treat as printable.
+                *i += 2;
+                CharUnit::Printable
+            }
+            Some('n') => {
+                *i += 1;
+                CharUnit::Literal('\n')
+            }
+            Some('t') => {
+                *i += 1;
+                CharUnit::Literal('\t')
+            }
+            Some(&c) => {
+                *i += 1;
+                CharUnit::Literal(c)
+            }
+            None => CharUnit::Literal('\\'),
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A length spec: an exact length or a half-open range.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// `prop::collection::vec(element, len)`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let n = self.size.lo + (rng.random::<u64>() % span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 128,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: draw fresh inputs, don't count the case.
+    Reject,
+    /// `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Drives one property: draws inputs, runs the body, panics on failure
+/// with the inputs that produced it.
+pub fn run_proptest(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+) {
+    let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        let (inputs, outcome) = case(&mut rng);
+        match outcome {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "proptest '{name}': too many prop_assume! rejections \
+                     ({rejected} rejects for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed after {passed} passing case(s): {msg}\n\
+                     inputs: {inputs}"
+                );
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The proptest entry macro: an optional config header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(&($cfg), stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                (__inputs, __outcome)
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {:?} == {:?}", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {:?} != {:?}", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.25..0.75f64, n in 3u64..9, k in 1usize..4) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((1..4).contains(&k));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(v in prop::collection::vec(0.0..1.0f64, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn nested_vec_and_assume(v in prop::collection::vec(prop::collection::vec(-1.0..1.0f64, 3), 1..4)) {
+            prop_assume!(!v.is_empty());
+            prop_assert_eq!(v[0].len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failures_report_inputs() {
+        crate::run_proptest(&ProptestConfig::with_cases(4), "always_fails", |_| {
+            (
+                "x = 1; ".to_string(),
+                Err(crate::TestCaseError::Fail("boom".into())),
+            )
+        });
+    }
+}

@@ -1,0 +1,170 @@
+//! Offline shim of `serde_derive`: a hand-rolled `#[derive(Serialize)]`
+//! (no `syn`/`quote` — the build environment is offline), supporting the
+//! shapes this workspace actually derives on:
+//!
+//! * structs with named fields → a JSON object, field order preserved;
+//! * enums with unit variants → the variant name as a JSON string.
+//!
+//! The generated impl targets the `serde::Serialize` trait of the sibling
+//! `serde` shim: `fn to_value(&self) -> serde::Value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let parsed = parse(&tokens).unwrap_or_else(|e| panic!("#[derive(Serialize)]: {e}"));
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__obj.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(__obj)"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "Self::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                ));
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = parsed.name
+    );
+    out.parse().expect("generated impl must tokenize")
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    UnitEnum(Vec<String>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+fn parse(tokens: &[TokenTree]) -> Result<Parsed, String> {
+    let mut i = 0;
+    // Skip attributes and visibility to find `struct` / `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("no struct/enum keyword found".into()),
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"struct" => break "struct",
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"enum" => break "enum",
+            _ => i += 1,
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    // Find the brace-delimited body (skipping generics, which this shim
+    // does not support in a parameterized way — none of the derived types
+    // here are generic).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or("expected a brace-delimited body (tuple/unit types unsupported)")?;
+    let body: Vec<TokenTree> = body.into_iter().collect();
+    let shape = if kind == "struct" {
+        Shape::Struct(struct_fields(&body)?)
+    } else {
+        Shape::UnitEnum(enum_variants(&body)?)
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Splits the body at commas that sit outside `<...>` nesting (groups are
+/// already opaque single tokens, so only angle brackets need tracking).
+fn split_top_level(body: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle = 0i32;
+    for t in body {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().expect("non-empty").push(t.clone());
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+/// `attrs* vis? name : type` per comma-separated part → the field names.
+fn struct_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level(body) {
+        let mut j = 0;
+        skip_attrs_and_vis(&part, &mut j);
+        match (part.get(j), part.get(j + 1)) {
+            (Some(TokenTree::Ident(id)), Some(TokenTree::Punct(p))) if p.as_char() == ':' => {
+                fields.push(id.to_string());
+            }
+            _ => return Err(format!("unsupported field shape: {part:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// `attrs* name` per comma-separated part → the variant names. Payload
+/// variants are rejected.
+fn enum_variants(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level(body) {
+        let mut j = 0;
+        skip_attrs_and_vis(&part, &mut j);
+        match part.get(j) {
+            Some(TokenTree::Ident(id)) if part.len() == j + 1 => variants.push(id.to_string()),
+            _ => {
+                return Err(format!(
+                    "only unit enum variants are supported by the offline shim: {part:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn skip_attrs_and_vis(part: &[TokenTree], j: &mut usize) {
+    loop {
+        match part.get(*j) {
+            // `#[...]`
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *j += 2,
+            // `pub` or `pub(...)`
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                *j += 1;
+                if let Some(TokenTree::Group(g)) = part.get(*j) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *j += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}

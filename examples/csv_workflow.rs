@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example csv_workflow`
 
-use stable_rankings::prelude::*;
 use stable_rankings::data::{read_csv_str, table_stats, ColumnSpec};
+use stable_rankings::prelude::*;
 
 // A laptop-buying shortlist: price is lower-better, the rest higher-better.
 const CATALOG: &str = "\
@@ -30,11 +30,21 @@ fn main() {
         ColumnSpec::higher("ram_gb"),
     ];
     let table = read_csv_str("laptops", CATALOG, &spec).unwrap();
-    let names = ["aurora-14", "nimbus-13", "titan-16", "breeze-15", "vertex-14", "zephyr-13"];
+    let names = [
+        "aurora-14",
+        "nimbus-13",
+        "titan-16",
+        "breeze-15",
+        "vertex-14",
+        "zephyr-13",
+    ];
 
     // 2. Inspect before trusting any ranking.
     let stats = table_stats(&table);
-    println!("{} laptops; dominance fraction {:.2} —", stats.n_rows, stats.dominance_fraction);
+    println!(
+        "{} laptops; dominance fraction {:.2} —",
+        stats.n_rows, stats.dominance_fraction
+    );
     println!("  (every dominated model can be discarded before weighing anything)\n");
 
     // 3. Normalize and rank under a first-guess weighting.
@@ -50,22 +60,22 @@ fn main() {
     let roi = RegionOfInterest::cone(&guess, std::f64::consts::PI / 20.0);
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     let samples = roi.sampler().sample_buffer(&mut rng, 20_000);
-    let v = stability_verify_md(&data, &ranking, &samples).unwrap().unwrap();
+    let v = stability_verify_md(&data, &ranking, &samples)
+        .unwrap()
+        .unwrap();
     println!(
         "\nWithin ~9° of equal weights, this exact order holds {:.1}% of the time.",
         100.0 * v.stability
     );
 
     // 5. Producer question: what is the most defensible top-3 shortlist?
-    let mut op =
-        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
+    let mut op = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(3), 0.05).unwrap();
     let mut op_rng = rand::rngs::StdRng::seed_from_u64(8);
     println!("\nMost stable top-3 shortlists near equal weights:");
     for rank in 1..=3 {
         match op.get_next_budget(&mut op_rng, if rank == 1 { 5000 } else { 1000 }) {
             Some(d) => {
-                let members: Vec<&str> =
-                    d.items.iter().map(|&i| names[i as usize]).collect();
+                let members: Vec<&str> = d.items.iter().map(|&i| names[i as usize]).collect();
                 println!(
                     "  #{rank}: {{{}}} — {:.1}% ± {:.1}%",
                     members.join(", "),
@@ -81,7 +91,10 @@ fn main() {
     let mm = max_margin_weights(&data, &ranking).unwrap().unwrap();
     println!(
         "\nMax-margin weights for the published order: {:?} (min score gap {:.4})",
-        mm.weights.iter().map(|w| (w * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+        mm.weights
+            .iter()
+            .map(|w| (w * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>(),
         mm.margin
     );
 }

@@ -19,7 +19,11 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(43);
     let table = bluenile(&mut rng, n);
     let data = Dataset::from_rows(&table.normalized()).unwrap();
-    println!("Blue Nile-style catalog: {} diamonds × {} attributes.", data.len(), data.dim());
+    println!(
+        "Blue Nile-style catalog: {} diamonds × {} attributes.",
+        data.len(),
+        data.dim()
+    );
 
     // The shop's default: equal weights, slightly price-heavy region of
     // interest (θ = π/50 around the default).
@@ -54,8 +58,7 @@ fn main() {
 
     // --- The set model is more stable than the ranked model ------------
     let mut set_rng = StdRng::seed_from_u64(5);
-    let mut sets =
-        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05).unwrap();
+    let mut sets = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05).unwrap();
     let best_set = sets.get_next_budget(&mut set_rng, 5000).unwrap();
     println!(
         "\n[top-{k} set] most stable set: stability {:.2}% (≥ ranked {:.2}%, \
@@ -66,10 +69,11 @@ fn main() {
 
     // --- Fixed confidence: pin the estimate to ±1% -----------------------
     let mut conf_rng = StdRng::seed_from_u64(6);
-    let mut conf =
-        RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05).unwrap();
+    let mut conf = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05).unwrap();
     let start = Instant::now();
-    let pinned = conf.get_next_confidence(&mut conf_rng, 0.01, 200_000).unwrap();
+    let pinned = conf
+        .get_next_confidence(&mut conf_rng, 0.01, 200_000)
+        .unwrap();
     println!(
         "\n[fixed confidence] stability {:.2}% ± {:.2}% after {} samples ({:.2?})",
         100.0 * pinned.stability,

@@ -23,7 +23,11 @@ fn main() {
     // --- What changed? --------------------------------------------------
     println!("Moving from the published ranking to the most stable one:");
     for m in published.diff(&best.ranking).unwrap() {
-        let dir = if m.improvement() > 0 { "rises" } else { "falls" };
+        let dir = if m.improvement() > 0 {
+            "rises"
+        } else {
+            "falls"
+        };
         println!(
             "  {} {dir} from rank {} to rank {}",
             names[m.item as usize],
@@ -72,7 +76,12 @@ fn main() {
     let ranked = top_k_ranked_stabilities_2d(&data, AngleInterval::full(), k).unwrap();
     println!(
         "Most stable ranked short list: {:?} at {:.1}% (sets ≥ ranked always).",
-        ranked[0].0.items().iter().map(|&i| names[i as usize]).collect::<Vec<_>>(),
+        ranked[0]
+            .0
+            .items()
+            .iter()
+            .map(|&i| names[i as usize])
+            .collect::<Vec<_>>(),
         100.0 * ranked[0].1
     );
 }

@@ -1,0 +1,117 @@
+//! Quickstart for `srank-service`: the consumer/producer workflow of the
+//! paper, served by an embedded engine (the same engine `srank serve`
+//! exposes over stdio/TCP).
+//!
+//! Run with: `cargo run --example service_session`
+
+use serde_json::Value;
+use srank_service::{Engine, EngineConfig};
+
+fn call(engine: &Engine, line: &str) -> Value {
+    let response: Value =
+        serde_json::from_str(&engine.handle_line(line)).expect("response is JSON");
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {}",
+        serde_json::to_string(&response).unwrap()
+    );
+    response
+}
+
+fn result(response: &Value) -> &Value {
+    response.get("result").expect("ok response carries result")
+}
+
+fn main() {
+    let engine = Engine::new(EngineConfig::default());
+
+    // -- Registry: load Figure 1's hiring table once; later queries and
+    //    sessions share the normalized dataset by Arc.
+    let loaded = call(
+        &engine,
+        r#"{"op": "registry.load", "dataset": "hiring", "builtin": "figure1"}"#,
+    );
+    let r = result(&loaded);
+    println!(
+        "loaded 'hiring': {} rows × {} attributes",
+        r.get("rows").unwrap().as_u64().unwrap(),
+        r.get("dim").unwrap().as_u64().unwrap()
+    );
+
+    // -- Consumer (Problem 1): how stable is the published ranking under
+    //    f = x1 + x2?
+    let verify = r#"{"op": "verify", "dataset": "hiring", "weights": [1, 1]}"#;
+    let cold = call(&engine, verify);
+    let stability = result(&cold).get("stability").unwrap().as_f64().unwrap();
+    println!(
+        "\npublished ranking occupies {:.1}% of the weight space [{}]",
+        100.0 * stability,
+        result(&cold).get("method").unwrap().as_str().unwrap()
+    );
+
+    // The identical query again: answered from the result cache.
+    let hot = call(&engine, verify);
+    println!(
+        "repeated identical query: cached = {}",
+        hot.get("cached").unwrap().as_bool().unwrap()
+    );
+
+    // -- Consumer overview (§1): how is stability mass distributed?
+    let overview = call(&engine, r#"{"op": "overview", "dataset": "hiring"}"#);
+    let r = result(&overview);
+    println!(
+        "\n{} feasible rankings; effective number (entropy): {:.1}",
+        r.get("rankings").unwrap().as_u64().unwrap(),
+        r.get("effective_rankings").unwrap().as_f64().unwrap()
+    );
+
+    // -- Producer (Problem 3): iterate GET-NEXT through a live session.
+    //    The ray sweep ran once at open; every get_next is a heap pop.
+    let opened = call(
+        &engine,
+        r#"{"op": "session.open", "dataset": "hiring", "kind": "sweep2d"}"#,
+    );
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    println!("\nsession {id}: most stable rankings, in order");
+    loop {
+        let next = call(
+            &engine,
+            &format!(r#"{{"op": "session.get_next", "session": {id}, "head": 5}}"#),
+        );
+        let r = result(&next);
+        if r.get("done").unwrap().as_bool() == Some(true) {
+            println!(
+                "  (enumeration exhausted after {} rankings)",
+                r.get("returned").unwrap().as_u64().unwrap()
+            );
+            break;
+        }
+        let head: Vec<u64> = r
+            .get("head")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_u64().unwrap())
+            .collect();
+        println!(
+            "  stability {:>7.3}%  order {:?}",
+            100.0 * r.get("stability").unwrap().as_f64().unwrap(),
+            head
+        );
+    }
+    call(
+        &engine,
+        &format!(r#"{{"op": "session.close", "session": {id}}}"#),
+    );
+
+    // -- Observability: cache hit counters confirm the amortization.
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    let cache = result(&stats).get("result_cache").unwrap();
+    println!(
+        "\nresult cache: {} hits / {} misses",
+        cache.get("hits").unwrap().as_u64().unwrap(),
+        cache.get("misses").unwrap().as_u64().unwrap()
+    );
+}

@@ -20,15 +20,17 @@ fn main() {
 
     // Enumerate everything exactly (d = 2).
     let mut e = Enumerator2D::new(&data, AngleInterval::full()).unwrap();
-    let enumeration: Vec<(Ranking, f64)> =
-        std::iter::from_fn(|| e.get_next()).map(|s| (s.ranking, s.stability)).collect();
+    let enumeration: Vec<(Ranking, f64)> = std::iter::from_fn(|| e.get_next())
+        .map(|s| (s.ranking, s.stability))
+        .collect();
 
     // --- The overview -----------------------------------------------------
-    let overview = StabilityOverview::from_stabilities(
-        enumeration.iter().map(|(_, s)| *s).collect(),
-    )
-    .unwrap();
-    println!("{} feasible rankings over the whole function space.", overview.len());
+    let overview =
+        StabilityOverview::from_stabilities(enumeration.iter().map(|(_, s)| *s).collect()).unwrap();
+    println!(
+        "{} feasible rankings over the whole function space.",
+        overview.len()
+    );
     println!(
         "Effective number of rankings (entropy-based): {:.1}",
         overview.effective_rankings()

@@ -21,7 +21,10 @@ fn main() {
     let reference_weights = [0.3, 0.7]; // α = 0.3 on (log M, log P)
 
     let reference = data.rank(&reference_weights).unwrap();
-    println!("CSMetrics-style ranking of {} institutions, α = 0.3.", data.len());
+    println!(
+        "CSMetrics-style ranking of {} institutions, α = 0.3.",
+        data.len()
+    );
 
     // --- Consumer: verify the published ranking ------------------------
     let verified = stability_verify_2d(&data, &reference, AngleInterval::full())
@@ -79,7 +82,11 @@ fn main() {
     );
     let top = near.top_h(5);
     for (i, s) in top.iter().enumerate() {
-        let marker = if s.ranking == reference { "  ← published" } else { "" };
+        let marker = if s.ranking == reference {
+            "  ← published"
+        } else {
+            ""
+        };
         println!(
             "  #{:<2} stability {:6.2}%  Kendall-tau from published: {}{}",
             i + 1,
@@ -94,10 +101,18 @@ fn main() {
 fn report_rank_changes(reference: &Ranking, stable: &Ranking, k: usize) {
     let ref_top = reference.top_k_set(k);
     let new_top = stable.top_k_set(k);
-    let entered: Vec<u32> =
-        new_top.items().iter().copied().filter(|&i| !ref_top.contains(i)).collect();
-    let left: Vec<u32> =
-        ref_top.items().iter().copied().filter(|&i| !new_top.contains(i)).collect();
+    let entered: Vec<u32> = new_top
+        .items()
+        .iter()
+        .copied()
+        .filter(|&i| !ref_top.contains(i))
+        .collect();
+    let left: Vec<u32> = ref_top
+        .items()
+        .iter()
+        .copied()
+        .filter(|&i| !new_top.contains(i))
+        .collect();
     if entered.is_empty() {
         println!("[producer] The top-{k} membership is unchanged.");
     } else {

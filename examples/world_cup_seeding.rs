@@ -88,8 +88,7 @@ fn main() {
     // --- Seeding is a top-k question: randomized operator --------------
     let k = 8;
     let mut r_rng = StdRng::seed_from_u64(9);
-    let mut pots = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05)
-        .unwrap();
+    let mut pots = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05).unwrap();
     println!("\n[producer] Most stable top-{k} *sets* (the seeding pots):");
     for i in 0..3 {
         match pots.get_next_budget(&mut r_rng, if i == 0 { 5000 } else { 1000 }) {

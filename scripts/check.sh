@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The full local gate: build, tests, formatting, lints, and bench/example
+# compilation. CI and pre-merge runs should both go through this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo build --benches (bench targets compile)"
+cargo build --benches
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

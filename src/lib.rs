@@ -7,7 +7,7 @@
 //! *producers* to discover the most stable rankings within an acceptable
 //! region of scoring functions.
 //!
-//! This facade crate re-exports the four library crates of the workspace:
+//! This facade crate re-exports the five library crates of the workspace:
 //!
 //! * [`core`] (`srank-core`) — the paper's algorithms: `SV2D`,
 //!   `RAYSWEEPING`/`GET-NEXT2D`, multi-dimensional `SV`, `×hps`, the lazy
@@ -19,7 +19,12 @@
 //!   spherical-cap inverse-CDF), the stability oracle, sample
 //!   partitioning, and Bernoulli confidence machinery;
 //! * [`data`] (`srank-data`) — reproducible simulators for the paper's
-//!   evaluation workloads (CSMetrics, FIFA, Blue Nile, DoT, synthetic).
+//!   evaluation workloads (CSMetrics, FIFA, Blue Nile, DoT, synthetic);
+//! * [`service`] (`srank-service`) — the concurrent stability-query
+//!   engine behind `srank serve`: dataset registry, live `GET-NEXT`
+//!   sessions with idle eviction, an LRU result cache with shared
+//!   Monte-Carlo sample batches, and a line-delimited JSON transport
+//!   (stdio or TCP worker pool).
 //!
 //! ## Example
 //!
@@ -47,6 +52,7 @@ pub use srank_core as core;
 pub use srank_data as data;
 pub use srank_geom as geom;
 pub use srank_sample as sample;
+pub use srank_service as service;
 
 /// One-stop imports for applications.
 pub mod prelude {

@@ -26,8 +26,7 @@ fn three_paths_agree_on_csmetrics() {
 
     // Randomized counting.
     let mut r_rng = StdRng::seed_from_u64(3);
-    let mut randomized =
-        RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+    let mut randomized = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
     let counted = randomized.get_next_budget(&mut r_rng, 100_000).unwrap();
 
     assert_eq!(exact.ranking, sampled.ranking, "sweep vs arrangement");
@@ -60,7 +59,9 @@ fn fixed_confidence_brackets_exact_stability() {
 
     let mut op = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.01).unwrap();
     let mut op_rng = StdRng::seed_from_u64(5);
-    let found = op.get_next_confidence(&mut op_rng, 0.002, 2_000_000).unwrap();
+    let found = op
+        .get_next_confidence(&mut op_rng, 0.002, 2_000_000)
+        .unwrap();
     assert!(found.confidence_error <= 0.002);
 
     let ranking = Ranking::new(found.items.clone()).unwrap();
@@ -182,7 +183,10 @@ fn dominance_respected_through_pipeline() {
             }
         }
     }
-    assert!(!pairs.is_empty(), "correlated data should have dominance pairs");
+    assert!(
+        !pairs.is_empty(),
+        "correlated data should have dominance pairs"
+    );
 
     let roi = RegionOfInterest::full(3);
     let mut md_rng = StdRng::seed_from_u64(13);
@@ -208,8 +212,7 @@ fn randomized_topk_matches_brute_force_counting() {
     let k = 10;
 
     // Operator path.
-    let mut op = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05)
-        .unwrap();
+    let mut op = RandomizedEnumerator::new(&data, &roi, RankingScope::TopKSet(k), 0.05).unwrap();
     let mut op_rng = StdRng::seed_from_u64(15);
     let best = op.get_next_budget(&mut op_rng, 5_000).unwrap();
 

@@ -45,7 +45,9 @@ fn randomized_stabilities_match_exact_areas() {
     let mut rng = StdRng::seed_from_u64(2);
     let mut checked = 0;
     for _ in 0..6 {
-        let Some(d) = op.get_next_budget(&mut rng, 0) else { break };
+        let Some(d) = op.get_next_budget(&mut rng, 0) else {
+            break;
+        };
         let ranking = Ranking::new(d.items.clone()).unwrap();
         let exact = stability_verify_3d_exact(&data, &ranking)
             .unwrap()
@@ -75,13 +77,8 @@ fn exact_lp_enumeration_covers_the_orthant() {
     let data = Dataset::from_rows(&table.normalized()).unwrap();
     let roi = RegionOfInterest::full(3);
     let buffer = roi.sampler().sample_buffer(&mut rng, 300);
-    let mut lp = MdEnumerator::with_samples_and_mode(
-        &data,
-        &roi,
-        buffer,
-        PassThroughMode::ExactLp,
-    )
-    .unwrap();
+    let mut lp =
+        MdEnumerator::with_samples_and_mode(&data, &roi, buffer, PassThroughMode::ExactLp).unwrap();
     let mut exact_total = 0.0;
     let mut count = 0;
     while let Some(s) = lp.get_next() {

@@ -64,8 +64,15 @@ fn toy_example_exact_top3_sets() {
         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
         .map(|(k, v)| (k.clone(), *v))
         .unwrap();
-    assert_eq!(best_set, vec![1, 2, 3], "most stable top-3 must be {{t2,t3,t4}}");
-    assert!(best_mass > 0.5, "the near-diagonal trio owns most of the quadrant");
+    assert_eq!(
+        best_set,
+        vec![1, 2, 3],
+        "most stable top-3 must be {{t2,t3,t4}}"
+    );
+    assert!(
+        best_mass > 0.5,
+        "the near-diagonal trio owns most of the quadrant"
+    );
     assert_eq!(skyline_bnl(&rows), vec![0, 1, 4]);
 }
 
@@ -104,7 +111,10 @@ fn csmetrics_shape_claims() {
             break;
         }
     }
-    assert!(position > 50, "reference must not be among the most stable (got #{position})");
+    assert!(
+        position > 50,
+        "reference must not be among the most stable (got #{position})"
+    );
     let best = best.unwrap();
     assert!(
         best.stability > 3.0 * v.stability,
@@ -117,7 +127,10 @@ fn csmetrics_shape_claims() {
     let narrow = AngleInterval::around(&[0.3, 0.7], 0.998f64.acos()).unwrap();
     let mut near = Enumerator2D::new(&data, narrow).unwrap();
     let m = near.num_regions();
-    assert!((5..200).contains(&m), "paper found 22 rankings in the narrow region, got {m}");
+    assert!(
+        (5..200).contains(&m),
+        "paper found 22 rankings in the narrow region, got {m}"
+    );
     let near_best = near.get_next().unwrap();
     let v_near = stability_verify_2d(&data, &reference, narrow)
         .unwrap()
@@ -142,7 +155,10 @@ fn fifa_shape_claims() {
     let mut md_rng = StdRng::seed_from_u64(20);
     let mut md = MdEnumerator::new(&data, &roi, 10_000, &mut md_rng).unwrap();
     let top100 = md.top_h(100);
-    assert!(top100.len() >= 50, "d = 4 should yield many rankings even in a narrow cone");
+    assert!(
+        top100.len() >= 50,
+        "d = 4 should yield many rankings even in a narrow cone"
+    );
     assert!(
         !top100.iter().any(|s| s.ranking == reference),
         "the official FIFA ranking should not appear among the top-100 stable"
