@@ -1,0 +1,86 @@
+//! The randomized-sampler hot path: interned kernel vs the pre-PR
+//! accumulator shape, on the full-scope DoT workload (reduced sample
+//! counts — `bench_record` runs the committed 100k-sample figures).
+//!
+//! Three flavours: the legacy HashMap accumulator (row-major scores,
+//! indirect comparator sort, owned-key clone per sample), the interned
+//! kernel (`sample_n`), and the worker-merged parallel kernel
+//! (`sample_n_parallel`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use srank_bench::bluenile_dataset;
+use srank_core::prelude::*;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("randomized_kernel");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(10));
+    let data = bluenile_dataset(2000, 3);
+    let roi = RegionOfInterest::full(3);
+    let samples = 2_000usize;
+
+    g.bench_with_input(
+        BenchmarkId::new("legacy_hashmap", samples),
+        &samples,
+        |b, &n| {
+            b.iter(|| {
+                let sampler = roi.sampler();
+                let mut rng = StdRng::seed_from_u64(7);
+                let mut counts: HashMap<Vec<u32>, u64> = HashMap::new();
+                let (mut scores, mut idx) = (Vec::new(), Vec::new());
+                for _ in 0..n {
+                    let w = sampler.sample(&mut rng);
+                    data.scores_into_row_major(&w, &mut scores);
+                    idx.clear();
+                    idx.extend(0..data.len() as u32);
+                    idx.sort_unstable_by(|&a, &b| {
+                        scores[b as usize]
+                            .partial_cmp(&scores[a as usize])
+                            .unwrap()
+                            .then(a.cmp(&b))
+                    });
+                    *counts.entry(idx.clone()).or_insert(0) += 1;
+                }
+                black_box(counts.len())
+            })
+        },
+    );
+
+    g.bench_with_input(
+        BenchmarkId::new("interned_kernel", samples),
+        &samples,
+        |b, &n| {
+            b.iter(|| {
+                let mut e =
+                    RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+                let mut rng = StdRng::seed_from_u64(7);
+                e.sample_n(&mut rng, n);
+                black_box(e.distinct_observed())
+            })
+        },
+    );
+
+    g.bench_with_input(
+        BenchmarkId::new("parallel_kernel", samples),
+        &samples,
+        |b, &n| {
+            let threads = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
+            b.iter(|| {
+                let mut e =
+                    RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+                e.sample_n_parallel(7, n, threads);
+                black_box(e.distinct_observed())
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

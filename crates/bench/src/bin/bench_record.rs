@@ -1,0 +1,317 @@
+//! `bench_record` — the PR-over-PR performance trajectory recorder.
+//!
+//! Measures the randomized-sampler kernel (cold `sample_n`, parallel
+//! `sample_n_parallel`) on the full-scope DoT workload (n = 2000,
+//! 100k samples), the faithful pre-interning baseline for comparison, and
+//! the service batch-op round-trip, then writes the numbers as JSON
+//! (`BENCH_2.json` by default) so future PRs can diff throughput.
+//!
+//! ```text
+//! cargo run --release -p srank-bench --bin bench_record -- [--smoke] [--out PATH]
+//! ```
+//!
+//! Each sampler phase re-executes this binary (`--phase …`) so every
+//! measurement runs in a fresh process: the legacy accumulator churns
+//! ~1 GB of heap, and allocator/THP state left behind by one phase was
+//! measured to distort the next by >50% when they share a process.
+//!
+//! `--smoke` shrinks every workload ~20× for a sub-minute CI sanity run
+//! (same shape, useless absolute numbers — never commit a smoke file).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::Value;
+use srank_bench::dot_dataset;
+use srank_core::prelude::*;
+use srank_core::Dataset;
+use srank_service::registry::DatasetSource;
+use srank_service::{serve_tcp, Client, Engine, EngineConfig};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const N_ITEMS: usize = 2000;
+const SEED: u64 = 16;
+
+/// The pre-PR accumulator, verbatim: allocate a weight vector per draw,
+/// score row-major, sort with the indirect comparator, clone the scratch
+/// ranking into an owned key, and count it in a `HashMap` under the
+/// default (SipHash) hasher. Kept here so the recorded speedup is against
+/// the real historical kernel, not a strawman.
+fn legacy_sample_n(data: &Dataset, roi: &RegionOfInterest, n: usize) -> usize {
+    let sampler = roi.sampler();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut counts: HashMap<Vec<u32>, (u64, Vec<f64>)> = HashMap::new();
+    let (mut scores, mut idx) = (Vec::new(), Vec::new());
+    for _ in 0..n {
+        let w = sampler.sample(&mut rng);
+        data.scores_into_row_major(&w, &mut scores);
+        idx.clear();
+        idx.extend(0..data.len() as u32);
+        idx.sort_unstable_by(|&a, &b| {
+            scores[b as usize]
+                .partial_cmp(&scores[a as usize])
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        match counts.entry(idx.clone()) {
+            Entry::Occupied(mut e) => e.get_mut().0 += 1,
+            Entry::Vacant(e) => {
+                e.insert((1, w));
+            }
+        }
+    }
+    counts.len()
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn rate(n: usize, seconds: f64) -> Value {
+    obj(vec![
+        ("seconds", Value::Number(seconds)),
+        ("ops_per_sec", Value::Number(n as f64 / seconds)),
+    ])
+}
+
+/// Runs one sampler phase in *this* process and prints a JSON line.
+fn run_phase(phase: &str, samples: usize, threads: usize) {
+    let data = dot_dataset(N_ITEMS);
+    let roi = RegionOfInterest::full(data.dim());
+    let (seconds, distinct) = match phase {
+        "legacy" => {
+            let t = Instant::now();
+            let distinct = legacy_sample_n(&data, &roi, samples);
+            (t.elapsed().as_secs_f64(), distinct)
+        }
+        "kernel" => {
+            let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+            let mut rng = StdRng::seed_from_u64(SEED);
+            let t = Instant::now();
+            e.sample_n(&mut rng, samples);
+            (t.elapsed().as_secs_f64(), e.distinct_observed())
+        }
+        "parallel" => {
+            let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+            let t = Instant::now();
+            e.sample_n_parallel(SEED, samples, threads);
+            (t.elapsed().as_secs_f64(), e.distinct_observed())
+        }
+        other => panic!("bench_record: unknown phase {other}"),
+    };
+    let line = obj(vec![
+        ("seconds", Value::Number(seconds)),
+        ("distinct", Value::Number(distinct as f64)),
+    ]);
+    println!("{}", serde_json::to_string(&line).unwrap());
+}
+
+/// Re-executes this binary for one phase, several fresh-process trials,
+/// and returns the **minimum** wall time (the noise-free estimate on a
+/// shared/virtualized host — first trials absorb frequency ramp-up and
+/// page-cache warming) plus the distinct-key count.
+fn spawn_phase(phase: &str, samples: usize, threads: usize, trials: usize) -> (f64, usize) {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut best = f64::INFINITY;
+    let mut distinct = 0usize;
+    for trial in 0..trials {
+        eprintln!(
+            "sampler phase '{phase}' trial {}/{trials}: {samples} samples…",
+            trial + 1
+        );
+        let output = std::process::Command::new(&exe)
+            .args([
+                "--phase",
+                phase,
+                "--samples",
+                &samples.to_string(),
+                "--threads",
+                &threads.to_string(),
+            ])
+            .output()
+            .expect("spawn phase");
+        assert!(
+            output.status.success(),
+            "phase {phase} failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let text = String::from_utf8(output.stdout).expect("phase output utf8");
+        let value: Value = serde_json::from_str(text.trim()).expect("phase output JSON");
+        best = best.min(
+            value
+                .get("seconds")
+                .and_then(Value::as_f64)
+                .expect("seconds"),
+        );
+        distinct = value
+            .get("distinct")
+            .and_then(Value::as_u64)
+            .expect("distinct") as usize;
+    }
+    (best, distinct)
+}
+
+fn measure_sampler(samples: usize, trials: usize) -> (Value, f64) {
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get().min(8));
+    let (legacy_secs, legacy_distinct) = spawn_phase("legacy", samples, threads, trials);
+    let (kernel_secs, kernel_distinct) = spawn_phase("kernel", samples, threads, trials);
+    assert_eq!(
+        kernel_distinct, legacy_distinct,
+        "kernel and baseline must count the same stream identically"
+    );
+    let (parallel_secs, _) = spawn_phase("parallel", samples, threads, trials);
+
+    let speedup = legacy_secs / kernel_secs;
+    let value = obj(vec![
+        (
+            "workload",
+            obj(vec![
+                ("dataset", Value::String("dot".into())),
+                ("n", Value::Number(N_ITEMS as f64)),
+                ("d", Value::Number(3.0)),
+                ("scope", Value::String("full".into())),
+                ("samples", Value::Number(samples as f64)),
+                ("distinct_rankings", Value::Number(legacy_distinct as f64)),
+            ]),
+        ),
+        ("legacy_sample_n", rate(samples, legacy_secs)),
+        ("cold_sample_n", rate(samples, kernel_secs)),
+        (
+            "parallel_sample_n",
+            obj(vec![
+                ("threads", Value::Number(threads as f64)),
+                ("seconds", Value::Number(parallel_secs)),
+                ("ops_per_sec", Value::Number(samples as f64 / parallel_secs)),
+            ]),
+        ),
+        ("speedup_vs_legacy", Value::Number(speedup)),
+    ]);
+    (value, speedup)
+}
+
+fn measure_service(rounds: usize) -> Value {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    engine
+        .registry()
+        .load(
+            "dot2000",
+            &DatasetSource::Builtin {
+                family: "dot".into(),
+                n: N_ITEMS,
+                d: 0,
+                seed: 1322,
+            },
+        )
+        .expect("builtin dataset loads");
+    let mut server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0", 4).expect("bind");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    const SUBS: usize = 8;
+    let sub = |i: usize| {
+        format!(
+            r#"{{"id": {i}, "op": "verify", "dataset": "dot2000", "weights": [1, 1, {}], "samples": 20000}}"#,
+            1.0 + i as f64 * 1e-3
+        )
+    };
+    let batch_line = format!(
+        r#"{{"op": "batch", "requests": [{}]}}"#,
+        (0..SUBS).map(sub).collect::<Vec<_>>().join(", ")
+    );
+    let parse = |s: &str| serde_json::from_str(s).expect("valid JSON");
+
+    // Warm every sub-result so both measurements exercise the same
+    // (cached) compute and the difference is round-trip/fan-out overhead.
+    for i in 0..SUBS {
+        client.call_ok(&parse(&sub(i))).expect("warm verify");
+    }
+
+    eprintln!("service: {rounds} rounds of {SUBS} sequential round-trips…");
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for i in 0..SUBS {
+            client.call_ok(&parse(&sub(i))).expect("sequential verify");
+        }
+    }
+    let sequential_secs = t.elapsed().as_secs_f64();
+
+    eprintln!("service: {rounds} rounds of one {SUBS}-sub batch op…");
+    let batch_request = parse(&batch_line);
+    let t = Instant::now();
+    for _ in 0..rounds {
+        let result = client.call_ok(&batch_request).expect("batch verify");
+        let results = result
+            .get("results")
+            .and_then(Value::as_array)
+            .expect("batch results");
+        assert_eq!(results.len(), SUBS);
+    }
+    let batch_secs = t.elapsed().as_secs_f64();
+    server.shutdown();
+
+    obj(vec![
+        ("sub_requests", Value::Number(SUBS as f64)),
+        ("rounds", Value::Number(rounds as f64)),
+        ("sequential", rate(rounds * SUBS, sequential_secs)),
+        ("batch_op", rate(rounds * SUBS, batch_secs)),
+        ("batch_speedup", Value::Number(sequential_secs / batch_secs)),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_2.json".to_string();
+    let mut phase: Option<String> = None;
+    let mut samples_override: Option<usize> = None;
+    let mut threads = 1usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--phase" => phase = Some(args.next().expect("--phase needs a name")),
+            "--samples" => {
+                samples_override = Some(
+                    args.next()
+                        .expect("--samples needs a count")
+                        .parse()
+                        .unwrap(),
+                )
+            }
+            "--threads" => threads = args.next().expect("--threads").parse().unwrap(),
+            other => panic!("bench_record: unknown option {other}"),
+        }
+    }
+    let (samples, rounds, trials) = if smoke {
+        (5_000, 5, 1)
+    } else {
+        (100_000, 50, 3)
+    };
+    if let Some(phase) = phase {
+        run_phase(&phase, samples_override.unwrap_or(samples), threads);
+        return;
+    }
+
+    let (sampler, speedup) = measure_sampler(samples, trials);
+    let service = measure_service(rounds);
+    let report = obj(vec![
+        ("bench", Value::String("BENCH_2".into())),
+        (
+            "mode",
+            Value::String(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("sampler", sampler),
+        ("service_batch", service),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    std::fs::write(&out, format!("{json}\n")).expect("write report");
+    println!("{json}");
+    eprintln!("sampler speedup vs legacy: {speedup:.2}× → {out}");
+}

@@ -6,7 +6,12 @@
 //! srank serve --listen 127.0.0.1:7878 --workers 4 [--preload ...]...
 //! srank query 127.0.0.1:7878 '{"op": "ping"}' [--pretty]
 //! srank query 127.0.0.1:7878 -            # stream request lines from stdin
+//! srank query 127.0.0.1:7878 - --batch    # wrap stdin lines into ONE batch op
 //! ```
+//!
+//! `--batch` sends every request line as a single server-side `batch`
+//! request (one round-trip, server-side fan-out) and prints the per-request
+//! response envelopes one per line — drop-in faster for request files.
 
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
@@ -92,10 +97,12 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
 /// running server, responses printed one per line.
 pub fn run_query(args: &[String]) -> Result<String, String> {
     let mut pretty = false;
+    let mut batch = false;
     let mut positional = Vec::new();
     for a in args {
         match a.as_str() {
             "--pretty" => pretty = true,
+            "--batch" => batch = true,
             other => positional.push(other.to_string()),
         }
     }
@@ -105,17 +112,70 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
     let mut client =
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
-    let mut render = |line: &str| -> Result<String, String> {
-        let request = serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))?;
-        let response = client.call(&request).map_err(|e| e.to_string())?;
+    let parse = |line: &str| -> Result<serde_json::Value, String> {
+        serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
+    };
+    let show = |response: &serde_json::Value| -> Result<String, String> {
         let out = if pretty {
-            serde_json::to_string_pretty(&response)
+            serde_json::to_string_pretty(response)
         } else {
-            serde_json::to_string(&response)
+            serde_json::to_string(response)
         };
         out.map_err(|e| e.to_string())
     };
 
+    // The server caps a batch at 64 sub-requests (EngineConfig default);
+    // longer request files are sent as successive chunks, envelopes still
+    // one per line in input order.
+    const BATCH_CHUNK: usize = 64;
+    if batch {
+        // Server-side batch ops: one round-trip per chunk, per-request
+        // envelopes unwrapped back to one per line. Requests are gathered
+        // up front (a batch needs them anyway).
+        let lines: Vec<String> = if request == "-" {
+            std::io::stdin()
+                .lines()
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .filter(|l| !l.trim().is_empty())
+                .collect()
+        } else {
+            vec![request]
+        };
+        let requests = lines
+            .iter()
+            .map(|l| parse(l))
+            .collect::<Result<Vec<_>, String>>()?;
+        let mut out = String::new();
+        for chunk in requests.chunks(BATCH_CHUNK) {
+            let wrapper = serde_json::Value::Object(vec![
+                ("op".to_string(), serde_json::Value::String("batch".into())),
+                (
+                    "requests".to_string(),
+                    serde_json::Value::Array(chunk.to_vec()),
+                ),
+            ]);
+            let response = client.call(&wrapper).map_err(|e| e.to_string())?;
+            let result = srank_service::client::expect_ok(&response).map_err(|e| e.to_string())?;
+            let results = result
+                .get("results")
+                .and_then(serde_json::Value::as_array)
+                .ok_or("batch response carries no results array")?;
+            for envelope in results {
+                out.push_str(&show(envelope)?);
+                out.push('\n');
+            }
+        }
+        return Ok(out);
+    }
+
+    // Non-batch: one round-trip per request line, streamed incrementally
+    // from stdin.
+    let mut render = |line: &str| -> Result<String, String> {
+        let response = client.call(&parse(line)?).map_err(|e| e.to_string())?;
+        show(&response)
+    };
     if request == "-" {
         let mut out = String::new();
         for line in std::io::stdin().lines() {

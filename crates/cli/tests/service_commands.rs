@@ -50,3 +50,33 @@ fn query_reports_connection_and_usage_errors() {
     assert!(srank_cli::run(&args(&["serve", "--stdio", "--listen", "x"])).is_err());
     assert!(srank_cli::run(&args(&["serve", "--bogus"])).is_err());
 }
+
+#[test]
+fn query_batch_unwraps_envelopes_one_per_line() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.addr().to_string();
+
+    srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    ]))
+    .unwrap();
+
+    // A single request under --batch goes through the batch op and comes
+    // back as its own envelope line.
+    let out = srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"id": 5, "op": "verify", "dataset": "h", "weights": [1, 1]}"#,
+        "--batch",
+    ]))
+    .unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 1, "{out}");
+    assert!(lines[0].contains("\"id\":5"), "{out}");
+    assert!(lines[0].contains("\"stability\""), "{out}");
+
+    server.shutdown();
+}

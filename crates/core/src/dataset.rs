@@ -1,5 +1,40 @@
 //! The dataset model of §2.1.1: `n` items over `d` normalized scoring
-//! attributes, stored row-major for cache-friendly scoring sweeps.
+//! attributes, with both a row-major and a columnar (struct-of-arrays)
+//! view of the attribute matrix.
+//!
+//! ## The scoring kernel
+//!
+//! Every Monte-Carlo operator reduces to the same inner loop: score all
+//! `n` items under a sampled weight vector, then order them. Two layouts
+//! serve that loop:
+//!
+//! * **row-major** (`data[i·d + j]`) — one dot product per item; natural
+//!   for single-item scoring ([`Dataset::score`]) and kept as the
+//!   reference path ([`Dataset::scores_into_row_major`]);
+//! * **columnar** (`cols[j·n + i]`) — [`Dataset::scores_into`] accumulates
+//!   `w_j · col_j` one attribute at a time with 4-way unrolled loops the
+//!   compiler can vectorize. Per-column accumulation wins once `n` is
+//!   large enough for SIMD to matter (hundreds of items) because each
+//!   pass is a pure stride-1 multiply-add with no horizontal reduction.
+//!
+//! Both paths add the `d` partial products in the same order, so their
+//! results are **bit-identical** — tests cross-check them with exact
+//! equality, and switching the default layout cannot perturb any seeded
+//! expectation downstream.
+//!
+//! Ordering on top of the scores avoids `f64` comparisons in the common
+//! case. Each item packs into one `u64` of `(inverted quantized score,
+//! index)` — the quantization keeps the top 32 bits of the
+//! order-preserving bit pattern of the score — and then:
+//!
+//! * [`Dataset::rank_into_keyed`] sorts the packed keys with a stable
+//!   3-pass LSD radix (no comparisons at all), and
+//! * [`Dataset::top_k_into_keyed`] selects/sorts them as machine words;
+//!
+//! both fall back to the exact `f64` comparator only where two quantized
+//! halves collide, so their output is *exactly* the order of the kept
+//! reference path ([`Dataset::rank_into`] / [`Dataset::top_k_into`]):
+//! descending score, ties broken by ascending item index.
 
 use crate::error::{Result, StableRankError};
 use crate::ranking::Ranking;
@@ -19,6 +54,124 @@ pub struct Dataset {
     d: usize,
     /// Row-major attribute matrix, `data[i·d + j] = item i, attribute j`.
     data: Vec<f64>,
+    /// Columnar mirror, `cols[j·n + i] = item i, attribute j` — the
+    /// struct-of-arrays layout of the scoring kernel.
+    cols: Vec<f64>,
+}
+
+/// Maps a finite score to a `u64` whose unsigned order equals the score's
+/// numeric order (the standard sign-flip trick, covering the negative
+/// scores an unclipped cone sample can produce).
+#[inline]
+fn orderable_bits(s: f64) -> u64 {
+    let b = s.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1u64 << 63)
+    }
+}
+
+/// Packs item `i` with its score into one sortable key: high 32 bits are
+/// the *inverted* quantized score (so ascending key order is descending
+/// score order), low 32 bits the item index.
+#[inline]
+fn packed_key(score: f64, i: u32) -> u64 {
+    let q = (orderable_bits(score) >> 32) as u32;
+    ((!q as u64) << 32) | i as u64
+}
+
+/// The exact comparator over packed keys: quantized halves first, the
+/// full-precision score (descending) and item index (ascending) only on a
+/// quantized collision. Total order identical to the reference
+/// comparator of [`Dataset::rank_into`].
+#[inline]
+fn packed_cmp(scores: &[f64], a: u64, b: u64) -> std::cmp::Ordering {
+    let (qa, qb) = (a >> 32, b >> 32);
+    if qa != qb {
+        return qa.cmp(&qb);
+    }
+    let (ia, ib) = (a as u32, b as u32);
+    scores[ib as usize]
+        .partial_cmp(&scores[ia as usize])
+        .unwrap()
+        .then(ia.cmp(&ib))
+}
+
+/// Sorts packed keys ascending by a 3-pass LSD radix over the 32
+/// quantized-score bits (11 + 11 + 10), ping-ponging between `keys` and
+/// `spare`. Stable, so equal quantized scores keep ascending-index order.
+/// The sorted keys end up back in `keys`; `spare` is pure scratch.
+/// Radix is immune to the score *distribution* (bits are bits), which a
+/// value-bucketing sort is not.
+fn radix_sort_keys(keys: &mut Vec<u64>, spare: &mut Vec<u64>) {
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    spare.clear();
+    spare.resize(n, 0);
+    let (mut h0, mut h1, mut h2) = ([0u32; 2048], [0u32; 2048], [0u32; 1024]);
+    // One histogram pass for all digits, plus the OR of bit differences —
+    // a digit all keys agree on needs no scatter pass at all (typical for
+    // the top bits: every score of one sample shares an exponent range).
+    let first = keys[0] >> 32;
+    let mut diff = 0u64;
+    for &k in keys.iter() {
+        let v = k >> 32;
+        diff |= v ^ first;
+        h0[(v & 0x7ff) as usize] += 1;
+        h1[((v >> 11) & 0x7ff) as usize] += 1;
+        h2[(v >> 22) as usize] += 1;
+    }
+    let prefix = |h: &mut [u32]| {
+        let mut acc = 0u32;
+        for c in h.iter_mut() {
+            let next = acc + *c;
+            *c = acc;
+            acc = next;
+        }
+    };
+    // Ping-pong between the two buffers, running only the passes whose
+    // digit actually varies; stability of each pass preserves the
+    // ascending-index build order within equal keys.
+    let (mut src, mut dst) = (keys, spare);
+    let mut passes = 0usize;
+    if diff & 0x7ff != 0 {
+        prefix(&mut h0);
+        for &k in src.iter() {
+            let d = ((k >> 32) & 0x7ff) as usize;
+            dst[h0[d] as usize] = k;
+            h0[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        passes += 1;
+    }
+    if diff & (0x7ff << 11) != 0 {
+        prefix(&mut h1);
+        for &k in src.iter() {
+            let d = ((k >> 43) & 0x7ff) as usize;
+            dst[h1[d] as usize] = k;
+            h1[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        passes += 1;
+    }
+    if diff & (0x3ff << 22) != 0 {
+        prefix(&mut h2);
+        for &k in src.iter() {
+            let d = (k >> 54) as usize;
+            dst[h2[d] as usize] = k;
+            h2[d] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+        passes += 1;
+    }
+    // An odd pass count leaves the sorted data in the caller's `spare`
+    // (`src` points at it after the final swap); move it home to `keys`.
+    if passes % 2 == 1 {
+        std::mem::swap(src, dst);
+    }
 }
 
 impl Dataset {
@@ -48,11 +201,14 @@ impl Dataset {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self {
-            n: rows.len(),
-            d,
-            data,
-        })
+        let n = rows.len();
+        let mut cols = vec![0.0; n * d];
+        for (i, r) in rows.iter().enumerate() {
+            for (j, &v) in r.iter().enumerate() {
+                cols[j * n + i] = v;
+            }
+        }
+        Ok(Self { n, d, data, cols })
     }
 
     /// Number of items `n`.
@@ -73,6 +229,12 @@ impl Dataset {
     #[inline]
     pub fn item(&self, i: usize) -> &[f64] {
         &self.data[i * self.d..(i + 1) * self.d]
+    }
+
+    /// Attribute `j` across all items — the columnar view.
+    #[inline]
+    pub fn column(&self, j: usize) -> &[f64] {
+        &self.cols[j * self.n..(j + 1) * self.n]
     }
 
     /// The linear score `f_w(t_i) = Σ_j w_j·t_i[j]`.
@@ -108,10 +270,12 @@ impl Dataset {
     }
 
     /// Allocation-free ranking into caller-provided buffers: fills `order`
-    /// with all item indices sorted by descending score. Hot path of the
-    /// randomized operators.
+    /// with all item indices sorted by descending score, via a comparator
+    /// sort — the reference path the radix fast path
+    /// ([`rank_into_keyed`](Self::rank_into_keyed)) is cross-checked
+    /// against.
     pub fn rank_into(&self, w: &[f64], scores: &mut Vec<f64>, order: &mut Vec<u32>) {
-        self.fill_scores(w, scores);
+        self.scores_into(w, scores);
         order.clear();
         order.extend(0..self.n as u32);
         order.sort_unstable_by(|&a, &b| {
@@ -120,6 +284,52 @@ impl Dataset {
                 .unwrap()
                 .then(a.cmp(&b))
         });
+    }
+
+    /// The radix fast path of [`rank_into`](Self::rank_into): items become
+    /// `(inverted quantized score, index)` machine words, a stable 3-pass
+    /// LSD radix sorts them without a single `f64` comparison, and runs of
+    /// equal quantized scores (rare: equal top-32 score bits) are re-sorted
+    /// with the exact comparator. Output order is *identical* to
+    /// `rank_into`; `keys`/`spare` are two more scratch buffers the caller
+    /// keeps alive between samples, so steady state does zero heap
+    /// allocations.
+    pub fn rank_into_keyed(
+        &self,
+        w: &[f64],
+        scores: &mut Vec<f64>,
+        keys: &mut Vec<u64>,
+        spare: &mut Vec<u64>,
+        order: &mut Vec<u32>,
+    ) {
+        self.scores_into(w, scores);
+        keys.clear();
+        keys.extend(
+            scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| packed_key(s, i as u32)),
+        );
+        radix_sort_keys(keys, spare);
+        // Quantized collisions sorted by index instead of exact score:
+        // re-sort those runs with the exact comparator so the final order
+        // matches `rank_into` everywhere.
+        let s = &scores[..];
+        let n = keys.len();
+        let mut i = 0;
+        while i < n {
+            let q = keys[i] >> 32;
+            let mut j = i + 1;
+            while j < n && keys[j] >> 32 == q {
+                j += 1;
+            }
+            if j - i > 1 {
+                keys[i..j].sort_unstable_by(|&a, &b| packed_cmp(s, a, b));
+            }
+            i = j;
+        }
+        order.clear();
+        order.extend(keys.iter().map(|&k| k as u32));
     }
 
     /// The ranked top-k prefix of `∇f_w(D)` without sorting all of `D`:
@@ -134,7 +344,7 @@ impl Dataset {
         out: &mut Vec<u32>,
     ) {
         let k = k.min(self.n);
-        self.fill_scores(w, scores);
+        self.scores_into(w, scores);
         idx.clear();
         idx.extend(0..self.n as u32);
         let cmp = |a: &u32, b: &u32| {
@@ -152,6 +362,36 @@ impl Dataset {
         out.extend_from_slice(top);
     }
 
+    /// The packed-key fast path of [`top_k_into`](Self::top_k_into):
+    /// selection and prefix sort over `(quantized score, index)` machine
+    /// words, identical output order.
+    pub fn top_k_into_keyed(
+        &self,
+        w: &[f64],
+        k: usize,
+        scores: &mut Vec<f64>,
+        keys: &mut Vec<u64>,
+        out: &mut Vec<u32>,
+    ) {
+        let k = k.min(self.n);
+        self.scores_into(w, scores);
+        keys.clear();
+        keys.extend(
+            scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| packed_key(s, i as u32)),
+        );
+        let s = &scores[..];
+        if k > 0 && k < self.n {
+            keys.select_nth_unstable_by(k - 1, |&a, &b| packed_cmp(s, a, b));
+        }
+        let top = &mut keys[..k];
+        top.sort_unstable_by(|&a, &b| packed_cmp(s, a, b));
+        out.clear();
+        out.extend(top.iter().map(|&key| key as u32));
+    }
+
     /// Convenience wrapper allocating fresh buffers.
     pub fn top_k(&self, w: &[f64], k: usize) -> Result<Vec<u32>> {
         self.check_weights(w)?;
@@ -160,11 +400,52 @@ impl Dataset {
         Ok(out)
     }
 
-    fn fill_scores(&self, w: &[f64], scores: &mut Vec<f64>) {
+    /// The columnar scoring kernel: `scores[i] = Σ_j w_j · cols[j][i]`,
+    /// accumulated one column at a time with 4-way unrolling. Adds the
+    /// partial products in the same `j` order as the row-major path, so
+    /// the two are bit-identical.
+    pub fn scores_into(&self, w: &[f64], scores: &mut Vec<f64>) {
+        debug_assert_eq!(w.len(), self.d);
+        scores.clear();
+        scores.resize(self.n, 0.0);
+        let out = &mut scores[..];
+        for (j, &wj) in w.iter().enumerate() {
+            let col = &self.cols[j * self.n..(j + 1) * self.n];
+            if j == 0 {
+                let (o4, o_tail) = out.as_chunks_mut::<4>();
+                let (c4, c_tail) = col.as_chunks::<4>();
+                for (o, c) in o4.iter_mut().zip(c4) {
+                    o[0] = wj * c[0];
+                    o[1] = wj * c[1];
+                    o[2] = wj * c[2];
+                    o[3] = wj * c[3];
+                }
+                for (o, &c) in o_tail.iter_mut().zip(c_tail) {
+                    *o = wj * c;
+                }
+            } else {
+                let (o4, o_tail) = out.as_chunks_mut::<4>();
+                let (c4, c_tail) = col.as_chunks::<4>();
+                for (o, c) in o4.iter_mut().zip(c4) {
+                    o[0] += wj * c[0];
+                    o[1] += wj * c[1];
+                    o[2] += wj * c[2];
+                    o[3] += wj * c[3];
+                }
+                for (o, &c) in o_tail.iter_mut().zip(c_tail) {
+                    *o += wj * c;
+                }
+            }
+        }
+    }
+
+    /// The row-major reference path: one dot product per item (with the
+    /// historical small-`d` specializations). Kept for cross-checking the
+    /// columnar kernel and for callers that score a handful of items.
+    pub fn scores_into_row_major(&self, w: &[f64], scores: &mut Vec<f64>) {
         debug_assert_eq!(w.len(), self.d);
         scores.clear();
         scores.reserve(self.n);
-        // Specialized small-d loops keep the inner product branch-free.
         match self.d {
             2 => scores.extend(self.data.chunks_exact(2).map(|t| t[0] * w[0] + t[1] * w[1])),
             3 => scores.extend(
@@ -297,6 +578,93 @@ mod tests {
         let full = d.rank(&w).unwrap();
         for k in [1usize, 7, 100, 499] {
             assert_eq!(d.top_k(&w, k).unwrap().as_slice(), &full.order()[..k]);
+        }
+    }
+
+    #[test]
+    fn columnar_and_row_major_scores_are_bit_identical() {
+        let mut state = 0xfeed_beefu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for (n, d) in [
+            (1usize, 2usize),
+            (5, 2),
+            (7, 3),
+            (37, 4),
+            (203, 5),
+            (500, 7),
+        ] {
+            let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next()).collect()).collect();
+            let data = Dataset::from_rows(&rows).unwrap();
+            let w: Vec<f64> = (0..d).map(|_| next()).collect();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            data.scores_into(&w, &mut a);
+            data.scores_into_row_major(&w, &mut b);
+            assert_eq!(a.len(), n);
+            // Same f64 association order ⇒ exact equality, not tolerance.
+            assert_eq!(a, b, "n={n} d={d}");
+        }
+    }
+
+    #[test]
+    fn fast_ranking_matches_reference_comparator() {
+        let mut state = 0xabcdu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 11) as f64) / ((1u64 << 53) as f64)
+        };
+        for n in [1usize, 2, 17, 100, 501] {
+            let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..3).map(|_| next()).collect()).collect();
+            let data = Dataset::from_rows(&rows).unwrap();
+            let w = [next(), next(), next()];
+            let (mut s1, mut s2, mut keys, mut spare) =
+                (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+            let (mut ref_order, mut fast_order) = (Vec::new(), Vec::new());
+            data.rank_into(&w, &mut s1, &mut ref_order);
+            data.rank_into_keyed(&w, &mut s2, &mut keys, &mut spare, &mut fast_order);
+            assert_eq!(ref_order, fast_order, "n={n}");
+            for k in [0usize, 1, n / 2, n] {
+                let (mut idx, mut out_ref, mut out_fast) = (Vec::new(), Vec::new(), Vec::new());
+                data.top_k_into(&w, k, &mut s1, &mut idx, &mut out_ref);
+                data.top_k_into_keyed(&w, k, &mut s2, &mut keys, &mut out_fast);
+                assert_eq!(out_ref, out_fast, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_ranking_resolves_exact_ties_by_index() {
+        // Duplicate rows land in one bucket *and* compare exactly equal:
+        // the fixup comparator must break ties by ascending index.
+        let d = Dataset::from_rows(&[
+            vec![0.5, 0.5],
+            vec![0.9, 0.3],
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+        ])
+        .unwrap();
+        let (mut s, mut keys, mut spare, mut order) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        d.rank_into_keyed(&[1.0, 1.0], &mut s, &mut keys, &mut spare, &mut order);
+        assert_eq!(order, vec![1, 0, 2, 3]);
+        let mut out = Vec::new();
+        d.top_k_into_keyed(&[1.0, 1.0], 2, &mut s, &mut keys, &mut out);
+        assert_eq!(out, vec![1, 0]);
+        // All-equal scores: one quantized run, full comparator fallback.
+        let tied = Dataset::from_rows(&vec![vec![0.5, 0.5]; 6]).unwrap();
+        tied.rank_into_keyed(&[1.0, 1.0], &mut s, &mut keys, &mut spare, &mut order);
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn column_view_mirrors_rows() {
+        let d = Dataset::figure1();
+        for j in 0..d.dim() {
+            for i in 0..d.len() {
+                assert_eq!(d.column(j)[i], d.item(i)[j]);
+            }
         }
     }
 

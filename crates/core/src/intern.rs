@@ -1,0 +1,305 @@
+//! A key-interning count table for the randomized operator's accumulator.
+//!
+//! The randomized `GET-NEXT` operator counts how often each (partial)
+//! ranking key is induced by a sampled scoring function. The natural
+//! `HashMap<Vec<u32>, Stats>` pays, on *every* sample, one heap
+//! allocation for the owned key, one SipHash pass over it, and — across
+//! table growth — a full re-hash of every stored key. [`KeyInterner`]
+//! removes all of that:
+//!
+//! * **Fixed-stride arena** — every key of one enumeration has the same
+//!   length (`n` for the full scope, `min(k, n)` for the top-k scopes),
+//!   so keys live back-to-back in a single `Vec<u32>` and entry `e`'s key
+//!   is the slice at `e · stride`. A key is materialized exactly once, on
+//!   first observation; a repeat observation allocates nothing.
+//! * **Cached hashes** — a fast deterministic multi-lane hash is computed
+//!   from the caller's *scratch slice* (no owned key needed to probe) and
+//!   stored per entry, so growing the open-addressing slot array never
+//!   re-reads key bytes.
+//! * **Insertion-order entries** — entries are appended and never move,
+//!   which gives deterministic iteration (unlike `HashMap`) and lets the
+//!   enumerator track per-entry flags (e.g. "already returned") in a
+//!   parallel `Vec<bool>` indexed by entry id.
+//!
+//! Exemplar weight vectors (one per distinct key, the first scoring
+//! function observed to generate it) live in a second fixed-stride arena.
+//!
+//! ## Invariants
+//!
+//! * `keys.len() == len() · stride`, `exemplars.len() == len() · dim`,
+//!   `hashes.len() == counts.len() == len()`.
+//! * `slots` is a power-of-two open-addressing table of `entry + 1`
+//!   values (`0` = empty) kept under ¾ load; every entry appears in
+//!   exactly one slot.
+//! * Entry ids are dense, stable, and ordered by first observation.
+
+/// Deterministic 64-bit hash of a `u32` key sequence. Two accumulation
+/// lanes over pairs of packed words keep the multiply chain short enough
+/// to pipeline on long (full-ranking) keys; a SplitMix64 finalizer
+/// avalanches the combined state.
+#[inline]
+pub fn hash_key(key: &[u32]) -> u64 {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h0: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut h1: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    let mut chunks = key.chunks_exact(4);
+    for c in &mut chunks {
+        let a = ((c[0] as u64) << 32) | c[1] as u64;
+        let b = ((c[2] as u64) << 32) | c[3] as u64;
+        h0 = (h0.rotate_left(5) ^ a).wrapping_mul(K);
+        h1 = (h1.rotate_left(5) ^ b).wrapping_mul(K);
+    }
+    for &v in chunks.remainder() {
+        h0 = (h0.rotate_left(5) ^ v as u64).wrapping_mul(K);
+    }
+    let mut h = h0 ^ h1.rotate_left(32) ^ key.len() as u64;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The interning count table: distinct fixed-length `u32` keys, each with
+/// an observation count and an exemplar `f64` vector.
+#[derive(Clone, Debug)]
+pub struct KeyInterner {
+    stride: usize,
+    dim: usize,
+    keys: Vec<u32>,
+    counts: Vec<u64>,
+    exemplars: Vec<f64>,
+    hashes: Vec<u64>,
+    /// Open addressing: `entry + 1`, `0` = empty. Power-of-two length.
+    slots: Vec<u32>,
+}
+
+const INITIAL_SLOTS: usize = 64;
+
+impl KeyInterner {
+    /// An empty table for keys of length `stride` and exemplars of length
+    /// `dim`.
+    pub fn new(stride: usize, dim: usize) -> Self {
+        Self {
+            stride,
+            dim,
+            keys: Vec::new(),
+            counts: Vec::new(),
+            exemplars: Vec::new(),
+            hashes: Vec::new(),
+            slots: vec![0; INITIAL_SLOTS],
+        }
+    }
+
+    /// Number of distinct keys interned.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Key length this table interns.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Exemplar length this table stores.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry `e`'s key.
+    #[inline]
+    pub fn key(&self, e: u32) -> &[u32] {
+        let e = e as usize;
+        &self.keys[e * self.stride..(e + 1) * self.stride]
+    }
+
+    /// Entry `e`'s observation count.
+    #[inline]
+    pub fn count(&self, e: u32) -> u64 {
+        self.counts[e as usize]
+    }
+
+    /// Entry `e`'s exemplar (the first weight vector observed to generate
+    /// the key).
+    #[inline]
+    pub fn exemplar(&self, e: u32) -> &[f64] {
+        let e = e as usize;
+        &self.exemplars[e * self.dim..(e + 1) * self.dim]
+    }
+
+    /// Entries in insertion (first-observation) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32], u64, &[f64])> + '_ {
+        (0..self.len() as u32).map(move |e| (e, self.key(e), self.count(e), self.exemplar(e)))
+    }
+
+    /// The entry holding `key`, if interned.
+    pub fn lookup(&self, key: &[u32]) -> Option<u32> {
+        debug_assert_eq!(key.len(), self.stride);
+        let h = hash_key(key);
+        let mask = self.slots.len() - 1;
+        let mut i = h as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return None;
+            }
+            let e = s - 1;
+            if self.hashes[e as usize] == h && self.key(e) == key {
+                return Some(e);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Counts one observation of `key`: a repeat bumps the count with zero
+    /// allocations; a first observation interns the key and `exemplar`.
+    /// Returns the entry id.
+    #[inline]
+    pub fn observe(&mut self, key: &[u32], exemplar: &[f64]) -> u32 {
+        self.add(key, 1, exemplar)
+    }
+
+    /// Adds `count` observations of `key` (the merge primitive). The
+    /// `exemplar` is stored only when the key is new.
+    pub fn add(&mut self, key: &[u32], count: u64, exemplar: &[f64]) -> u32 {
+        debug_assert_eq!(key.len(), self.stride);
+        debug_assert_eq!(exemplar.len(), self.dim);
+        let h = hash_key(key);
+        let mask = self.slots.len() - 1;
+        let mut i = h as usize & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return self.insert_at(i, h, key, count, exemplar);
+            }
+            let e = s - 1;
+            if self.hashes[e as usize] == h && self.key(e) == key {
+                self.counts[e as usize] += count;
+                return e;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert_at(&mut self, slot: usize, h: u64, key: &[u32], count: u64, exemplar: &[f64]) -> u32 {
+        let e = self.counts.len() as u32;
+        self.keys.extend_from_slice(key);
+        self.exemplars.extend_from_slice(exemplar);
+        self.counts.push(count);
+        self.hashes.push(h);
+        self.slots[slot] = e + 1;
+        // Grow before the next insert would push load past ¾.
+        if (self.counts.len() + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        e
+    }
+
+    /// Doubles the slot table, re-seating entries from their cached hashes
+    /// (key bytes are never re-read).
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mask = new_len - 1;
+        let mut slots = vec![0u32; new_len];
+        for (e, &h) in self.hashes.iter().enumerate() {
+            let mut i = h as usize & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = e as u32 + 1;
+        }
+        self.slots = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn observe_counts_and_interns_once() {
+        let mut t = KeyInterner::new(3, 2);
+        let a = t.observe(&[1, 2, 3], &[0.5, 0.5]);
+        let b = t.observe(&[1, 2, 3], &[0.9, 0.1]); // repeat: exemplar kept
+        let c = t.observe(&[3, 2, 1], &[0.1, 0.9]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.count(a), 2);
+        assert_eq!(t.count(c), 1);
+        assert_eq!(t.key(a), &[1, 2, 3]);
+        assert_eq!(t.exemplar(a), &[0.5, 0.5], "first observation wins");
+        assert_eq!(t.lookup(&[3, 2, 1]), Some(c));
+        assert_eq!(t.lookup(&[9, 9, 9]), None);
+    }
+
+    #[test]
+    fn growth_preserves_every_entry() {
+        let mut t = KeyInterner::new(2, 1);
+        let mut reference: HashMap<Vec<u32>, u64> = HashMap::new();
+        let mut state = 7u64;
+        for i in 0..10_000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = [(state >> 40) as u32 % 97, i % 53];
+            t.observe(&key, &[i as f64]);
+            *reference.entry(key.to_vec()).or_insert(0) += 1;
+        }
+        assert_eq!(t.len(), reference.len());
+        for (e, key, count, _) in t.iter() {
+            assert_eq!(reference[key], count, "entry {e}");
+            assert_eq!(t.lookup(key), Some(e));
+        }
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut t = KeyInterner::new(1, 1);
+        for v in [5u32, 3, 9, 3, 5, 1] {
+            t.observe(&[v], &[f64::from(v)]);
+        }
+        let keys: Vec<u32> = t.iter().map(|(_, k, _, _)| k[0]).collect();
+        assert_eq!(keys, vec![5, 3, 9, 1]);
+        let counts: Vec<u64> = t.iter().map(|(_, _, c, _)| c).collect();
+        assert_eq!(counts, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn add_merges_counts() {
+        let mut a = KeyInterner::new(2, 1);
+        a.observe(&[1, 2], &[0.1]);
+        a.observe(&[1, 2], &[0.2]);
+        let mut b = KeyInterner::new(2, 1);
+        b.observe(&[1, 2], &[0.3]);
+        b.observe(&[4, 5], &[0.4]);
+        for (_, key, count, ex) in b.iter() {
+            a.add(key, count, ex);
+        }
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.count(a.lookup(&[1, 2]).unwrap()), 3);
+        assert_eq!(a.exemplar(a.lookup(&[1, 2]).unwrap()), &[0.1]);
+        assert_eq!(a.count(a.lookup(&[4, 5]).unwrap()), 1);
+        assert_eq!(a.exemplar(a.lookup(&[4, 5]).unwrap()), &[0.4]);
+    }
+
+    #[test]
+    fn empty_stride_is_a_single_bucket() {
+        let mut t = KeyInterner::new(0, 1);
+        let a = t.observe(&[], &[1.0]);
+        let b = t.observe(&[], &[2.0]);
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.count(a), 2);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_length_sensitive() {
+        assert_eq!(hash_key(&[1, 2, 3]), hash_key(&[1, 2, 3]));
+        assert_ne!(hash_key(&[1, 2, 3]), hash_key(&[1, 2]));
+        assert_ne!(hash_key(&[0, 0]), hash_key(&[0, 0, 0]));
+    }
+}

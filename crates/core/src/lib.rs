@@ -85,6 +85,7 @@ pub mod baseline2d;
 pub mod dataset;
 pub mod error;
 pub mod getnext_md;
+pub mod intern;
 pub mod justify;
 pub mod overview;
 pub mod randomized;
@@ -100,6 +101,7 @@ pub use baseline2d::regions_via_sorted_exchanges;
 pub use dataset::Dataset;
 pub use error::{Result, StableRankError};
 pub use getnext_md::{MdEnumerator, MdState, PassThroughMode, StableRankingMd};
+pub use intern::KeyInterner;
 pub use justify::{max_margin_weights, MaxMarginWeights};
 pub use overview::{most_tau_stable, tau_tolerant_stability, StabilityOverview};
 pub use randomized::{DiscoveredRanking, RandomizedEnumerator, RandomizedState, RankingScope};

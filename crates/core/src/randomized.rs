@@ -18,15 +18,40 @@
 //! instead of complete rankings. Its per-sample cost is `O(n)` via
 //! selection rather than a full sort, which is what makes the million-item
 //! DoT experiment (Figure 18) tractable.
+//!
+//! ## The sampling hot path
+//!
+//! Throughput is the whole game here (Hall & Miller's bootstrap view of
+//! ranking variability needs samples in bulk for tight estimates), so the
+//! per-sample loop is built to do **zero steady-state heap allocations**:
+//!
+//! 1. the weight vector is sampled into a reusable scratch buffer
+//!    ([`RoiSampler::sample_into`]);
+//! 2. scores come from the columnar kernel and the ranking key from the
+//!    bucket-scatter sort ([`Dataset::rank_into`]) or the packed top-k
+//!    selection ([`Dataset::top_k_into_keyed`]), all into scratch buffers;
+//! 3. the key is counted against a [`KeyInterner`]: a repeat observation
+//!    bumps a counter after one hash of the scratch slice — the key is
+//!    materialized into owned storage only the first time it is ever
+//!    seen. (On scopes where almost every sample discovers a new ranking
+//!    — e.g. the full scope over thousands of items — the arena still
+//!    beats a `HashMap<Vec<u32>, _>`: one append to a flat buffer instead
+//!    of a per-key allocation, and growth never re-hashes stored keys.)
+//!
+//! [`sample_n_parallel`](RandomizedEnumerator::sample_n_parallel) gives
+//! each worker its own interner and merges the tables directly, and
+//! [`observe_samples`](RandomizedEnumerator::observe_samples) feeds an
+//! externally drawn (e.g. cached, shared) sample batch through the same
+//! accumulator without re-keying or redrawing anything.
 
 use crate::dataset::Dataset;
 use crate::error::{Result, StableRankError};
+use crate::intern::KeyInterner;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use srank_sample::confidence::confidence_error;
 use srank_sample::roi::{RegionOfInterest, RoiSampler};
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use srank_sample::store::SampleBuffer;
 
 /// Which portion of the ranking defines "the same result" (§2.2.5).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,38 +82,56 @@ pub struct DiscoveredRanking {
     pub exemplar_weights: Vec<f64>,
 }
 
-#[derive(Clone)]
-struct KeyStats {
-    count: u64,
-    exemplar: Vec<f64>,
+/// Reusable scoring workspace of one sampling thread: the sampled weight
+/// vector, the score buffer, the packed sort keys, and the index/output
+/// buffers of the ranking kernels. Steady-state sampling touches no other
+/// memory besides the interner.
+#[derive(Clone, Default)]
+struct RankScratch {
+    w: Vec<f64>,
+    scores: Vec<f64>,
+    keys: Vec<u64>,
+    spare: Vec<u64>,
+    idx: Vec<u32>,
+    out: Vec<u32>,
 }
 
-/// Computes the counting key of a sampled function under a scope, using
-/// caller-provided scratch buffers (the hot path of both the sequential and
-/// the parallel samplers).
-fn key_for(
-    data: &Dataset,
-    scope: RankingScope,
-    w: &[f64],
-    scores: &mut Vec<f64>,
-    idx: &mut Vec<u32>,
-    out: &mut Vec<u32>,
-) -> Vec<u32> {
+impl RankScratch {
+    /// Computes the counting key of `w` under `scope` into the scratch
+    /// buffers and returns it as a slice — no owned key is materialized.
+    /// For [`RankingScope::TopKSet`] the top-k buffer is sorted *in place*
+    /// (it is scratch; the next sample overwrites it anyway).
+    fn key_for(&mut self, data: &Dataset, scope: RankingScope, w: &[f64]) -> &[u32] {
+        match scope {
+            RankingScope::Full => {
+                data.rank_into_keyed(
+                    w,
+                    &mut self.scores,
+                    &mut self.keys,
+                    &mut self.spare,
+                    &mut self.idx,
+                );
+                &self.idx
+            }
+            RankingScope::TopKRanked(k) => {
+                data.top_k_into_keyed(w, k, &mut self.scores, &mut self.keys, &mut self.out);
+                &self.out
+            }
+            RankingScope::TopKSet(k) => {
+                data.top_k_into_keyed(w, k, &mut self.scores, &mut self.keys, &mut self.out);
+                self.out.sort_unstable();
+                &self.out
+            }
+        }
+    }
+}
+
+/// Key length of a scope over `n` items (fixed per enumeration — what
+/// makes the fixed-stride interner possible).
+fn key_len(scope: RankingScope, n: usize) -> usize {
     match scope {
-        RankingScope::Full => {
-            data.rank_into(w, scores, idx);
-            idx.clone()
-        }
-        RankingScope::TopKRanked(k) => {
-            data.top_k_into(w, k, scores, idx, out);
-            out.clone()
-        }
-        RankingScope::TopKSet(k) => {
-            data.top_k_into(w, k, scores, idx, out);
-            let mut set = out.clone();
-            set.sort_unstable();
-            set
-        }
+        RankingScope::Full => n,
+        RankingScope::TopKRanked(k) | RankingScope::TopKSet(k) => k.min(n),
     }
 }
 
@@ -107,9 +150,11 @@ pub struct RandomizedState {
     scope: RankingScope,
     sampler: RoiSampler,
     alpha: f64,
-    counts: HashMap<Vec<u32>, KeyStats>,
+    table: KeyInterner,
     total: u64,
-    returned: HashSet<Vec<u32>>,
+    /// Per-entry "already returned" flags, parallel to the interner's
+    /// entry ids (lazily grown; a missing index means not returned).
+    returned: Vec<bool>,
 }
 
 impl RandomizedState {
@@ -120,7 +165,7 @@ impl RandomizedState {
 
     /// Number of distinct (partial) rankings observed so far.
     pub fn distinct_observed(&self) -> usize {
-        self.counts.len()
+        self.table.len()
     }
 }
 
@@ -135,13 +180,11 @@ pub struct RandomizedEnumerator<'a> {
     scope: RankingScope,
     sampler: RoiSampler,
     alpha: f64,
-    counts: HashMap<Vec<u32>, KeyStats>,
+    table: KeyInterner,
     total: u64,
-    returned: HashSet<Vec<u32>>,
+    returned: Vec<bool>,
     // Reusable scoring workspace (hot path at n = 10⁶).
-    scores: Vec<f64>,
-    idx: Vec<u32>,
-    out: Vec<u32>,
+    scratch: RankScratch,
 }
 
 impl<'a> RandomizedEnumerator<'a> {
@@ -177,12 +220,10 @@ impl<'a> RandomizedEnumerator<'a> {
             scope,
             sampler: roi.sampler(),
             alpha,
-            counts: HashMap::new(),
+            table: KeyInterner::new(key_len(scope, data.len()), data.dim()),
             total: 0,
-            returned: HashSet::new(),
-            scores: Vec::new(),
-            idx: Vec::new(),
-            out: Vec::new(),
+            returned: Vec::new(),
+            scratch: RankScratch::default(),
         })
     }
 
@@ -195,7 +236,7 @@ impl<'a> RandomizedEnumerator<'a> {
             scope: self.scope,
             sampler: self.sampler,
             alpha: self.alpha,
-            counts: self.counts,
+            table: self.table,
             total: self.total,
             returned: self.returned,
         }
@@ -225,12 +266,10 @@ impl<'a> RandomizedEnumerator<'a> {
             scope: state.scope,
             sampler: state.sampler,
             alpha: state.alpha,
-            counts: state.counts,
+            table: state.table,
             total: state.total,
             returned: state.returned,
-            scores: Vec::new(),
-            idx: Vec::new(),
-            out: Vec::new(),
+            scratch: RankScratch::default(),
         })
     }
 
@@ -241,30 +280,31 @@ impl<'a> RandomizedEnumerator<'a> {
 
     /// Number of distinct (partial) rankings observed so far.
     pub fn distinct_observed(&self) -> usize {
-        self.counts.len()
+        self.table.len()
+    }
+
+    /// The accumulated `(key, count, exemplar)` triples, in
+    /// first-observation order — the raw counting distribution behind the
+    /// stability estimates.
+    pub fn observed(&self) -> impl Iterator<Item = (&[u32], u64, &[f64])> + '_ {
+        self.table.iter().map(|(_, k, c, x)| (k, c, x))
+    }
+
+    /// Counts one already-sampled weight vector (the allocation-free core
+    /// of every sampling flavour).
+    #[inline]
+    fn observe_weight(&mut self, w: &[f64]) {
+        let key = self.scratch.key_for(self.data, self.scope, w);
+        self.total += 1;
+        self.table.observe(key, w);
     }
 
     /// Draws one sample and updates the counts.
     fn observe<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let w = self.sampler.sample(rng);
-        let key = key_for(
-            self.data,
-            self.scope,
-            &w,
-            &mut self.scores,
-            &mut self.idx,
-            &mut self.out,
-        );
-        self.total += 1;
-        match self.counts.entry(key) {
-            Entry::Occupied(mut e) => e.get_mut().count += 1,
-            Entry::Vacant(e) => {
-                e.insert(KeyStats {
-                    count: 1,
-                    exemplar: w,
-                });
-            }
-        }
+        let mut w = std::mem::take(&mut self.scratch.w);
+        self.sampler.sample_into(rng, &mut w);
+        self.observe_weight(&w);
+        self.scratch.w = w;
     }
 
     /// Draws `n` samples (shared by both operator flavours).
@@ -272,6 +312,30 @@ impl<'a> RandomizedEnumerator<'a> {
         for _ in 0..n {
             self.observe(rng);
         }
+    }
+
+    /// Feeds an externally drawn sample batch through the accumulator —
+    /// the cached-batch path of `srank-service`: a shared Monte-Carlo
+    /// buffer for this dataset/ROI counts into the interner directly,
+    /// with no redrawing and no owned-key materialization for repeats.
+    ///
+    /// The caller is responsible for the batch being uniform draws from
+    /// this enumerator's region of interest (feeding anything else biases
+    /// every stability estimate).
+    ///
+    /// # Errors
+    /// Fails when the batch dimension disagrees with the dataset.
+    pub fn observe_samples(&mut self, batch: &SampleBuffer) -> Result<()> {
+        if batch.dim() != self.data.dim() {
+            return Err(StableRankError::DimensionMismatch {
+                expected: self.data.dim(),
+                got: batch.dim(),
+            });
+        }
+        for i in 0..batch.len() {
+            self.observe_weight(batch.row(i));
+        }
+        Ok(())
     }
 
     /// Draws `n` samples using `threads` worker threads and merges the
@@ -294,28 +358,22 @@ impl<'a> RandomizedEnumerator<'a> {
         let remainder = n % threads;
         let data = self.data;
         let scope = self.scope;
+        let stride = self.table.stride();
         let sampler = &self.sampler;
-        let locals: Vec<HashMap<Vec<u32>, KeyStats>> = std::thread::scope(|s| {
+        let locals: Vec<KeyInterner> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
                     let budget = share + usize::from(t < remainder);
                     let sampler = sampler.clone();
                     s.spawn(move || {
                         let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(t as u64));
-                        let mut local: HashMap<Vec<u32>, KeyStats> = HashMap::new();
-                        let (mut scores, mut idx, mut out) = (Vec::new(), Vec::new(), Vec::new());
+                        let mut local = KeyInterner::new(stride, data.dim());
+                        let mut scratch = RankScratch::default();
+                        let mut w = Vec::new();
                         for _ in 0..budget {
-                            let w = sampler.sample(&mut rng);
-                            let key = key_for(data, scope, &w, &mut scores, &mut idx, &mut out);
-                            match local.entry(key) {
-                                Entry::Occupied(mut e) => e.get_mut().count += 1,
-                                Entry::Vacant(e) => {
-                                    e.insert(KeyStats {
-                                        count: 1,
-                                        exemplar: w,
-                                    });
-                                }
-                            }
+                            sampler.sample_into(&mut rng, &mut w);
+                            let key = scratch.key_for(data, scope, &w);
+                            local.observe(key, &w);
                         }
                         local
                     })
@@ -326,14 +384,12 @@ impl<'a> RandomizedEnumerator<'a> {
                 .map(|h| h.join().expect("sampler worker panicked"))
                 .collect()
         });
+        // Interned tables merge directly, in worker order: entries stream
+        // out in each worker's first-observation order, so the merged
+        // table (and every exemplar) is deterministic.
         for local in locals {
-            for (key, stats) in local {
-                match self.counts.entry(key) {
-                    Entry::Occupied(mut e) => e.get_mut().count += stats.count,
-                    Entry::Vacant(e) => {
-                        e.insert(stats);
-                    }
-                }
+            for (_, key, count, exemplar) in local.iter() {
+                self.table.add(key, count, exemplar);
             }
         }
         self.total += n as u64;
@@ -354,46 +410,69 @@ impl<'a> RandomizedEnumerator<'a> {
                 "cannot merge enumerators with different ranking scopes".into(),
             ));
         }
-        for (key, stats) in &other.counts {
-            match self.counts.entry(key.clone()) {
-                Entry::Occupied(mut e) => e.get_mut().count += stats.count,
-                Entry::Vacant(e) => {
-                    e.insert(KeyStats {
-                        count: stats.count,
-                        exemplar: stats.exemplar.clone(),
-                    });
-                }
-            }
+        for (_, key, count, exemplar) in other.table.iter() {
+            self.table.add(key, count, exemplar);
         }
         self.total += other.total;
-        for key in &other.returned {
-            self.returned.insert(key.clone());
+        for (e, &returned) in other.returned.iter().enumerate() {
+            if returned {
+                let here = self
+                    .table
+                    .lookup(other.table.key(e as u32))
+                    .expect("counts were merged above");
+                self.mark_returned(here);
+            }
         }
         Ok(())
     }
 
-    /// The most frequent not-yet-returned key, ties broken by key order
-    /// for determinism.
-    fn best_candidate(&self) -> Option<(&Vec<u32>, &KeyStats)> {
-        self.counts
-            .iter()
-            .filter(|(k, _)| !self.returned.contains(*k))
-            .max_by(|(ka, a), (kb, b)| a.count.cmp(&b.count).then(kb.cmp(ka)))
+    fn mark_returned(&mut self, e: u32) {
+        if self.returned.len() <= e as usize {
+            self.returned.resize(e as usize + 1, false);
+        }
+        self.returned[e as usize] = true;
     }
 
-    fn emit(&mut self, key: Vec<u32>) -> DiscoveredRanking {
-        let stats = &self.counts[&key];
-        let stability = stats.count as f64 / self.total as f64;
+    fn is_returned(&self, e: u32) -> bool {
+        self.returned.get(e as usize).copied().unwrap_or(false)
+    }
+
+    /// The most frequent not-yet-returned entry, ties broken by key order
+    /// for determinism (smallest key wins, as under the map-based
+    /// accumulator).
+    fn best_candidate(&self) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for e in 0..self.table.len() as u32 {
+            if self.is_returned(e) {
+                continue;
+            }
+            best = Some(match best {
+                None => e,
+                Some(b) => {
+                    let (cb, ce) = (self.table.count(b), self.table.count(e));
+                    if ce > cb || (ce == cb && self.table.key(e) < self.table.key(b)) {
+                        e
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    fn emit(&mut self, e: u32) -> DiscoveredRanking {
+        let stability = self.table.count(e) as f64 / self.total as f64;
         let err = confidence_error(stability, self.total as usize, self.alpha);
         let out = DiscoveredRanking {
-            items: key.clone(),
+            items: self.table.key(e).to_vec(),
             scope: self.scope,
             stability,
             confidence_error: err,
             samples_used: self.total,
-            exemplar_weights: stats.exemplar.clone(),
+            exemplar_weights: self.table.exemplar(e).to_vec(),
         };
-        self.returned.insert(key);
+        self.mark_returned(e);
         out
     }
 
@@ -406,8 +485,8 @@ impl<'a> RandomizedEnumerator<'a> {
         budget: usize,
     ) -> Option<DiscoveredRanking> {
         self.sample_n(rng, budget);
-        let key = self.best_candidate().map(|(k, _)| k.clone())?;
-        Some(self.emit(key))
+        let e = self.best_candidate()?;
+        Some(self.emit(e))
     }
 
     /// Algorithm 8 — fixed confidence: sample until the best undiscovered
@@ -430,18 +509,17 @@ impl<'a> RandomizedEnumerator<'a> {
         let mut spent = 0usize;
         loop {
             if self.total >= MIN_SAMPLES {
-                if let Some((key, stats)) = self.best_candidate() {
-                    let m = stats.count as f64 / self.total as f64;
+                if let Some(entry) = self.best_candidate() {
+                    let m = self.table.count(entry) as f64 / self.total as f64;
                     let err = confidence_error(m, self.total as usize, self.alpha);
                     if err <= e {
-                        let key = key.clone();
-                        return Some(self.emit(key));
+                        return Some(self.emit(entry));
                     }
                 }
             }
             if spent >= max_samples {
-                let key = self.best_candidate().map(|(k, _)| k.clone())?;
-                return Some(self.emit(key));
+                let entry = self.best_candidate()?;
+                return Some(self.emit(entry));
             }
             self.observe(rng);
             spent += 1;

@@ -192,6 +192,24 @@ impl RoiSampler {
         )
     }
 
+    /// One uniform sample into a caller-provided buffer — the
+    /// zero-allocation form for sampling hot loops. The orthant sampler
+    /// fills `out` in place; the cap and rejection samplers currently fall
+    /// back to the allocating path (their draws are dominated by rotation
+    /// / rejection work, not the allocation). Consumes the RNG exactly
+    /// like [`sample`](Self::sample), so streams are interchangeable.
+    ///
+    /// # Panics
+    /// As [`sample`](Self::sample), if the rejection limit is exhausted.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut Vec<f64>) {
+        match self {
+            RoiSampler::Orthant { dim } => {
+                crate::sphere::sample_orthant_direction_into(rng, *dim, out)
+            }
+            _ => *out = self.sample(rng),
+        }
+    }
+
     /// One uniform sample, giving up after `max_trials` rejected proposals.
     pub fn try_sample<R: Rng + ?Sized>(&self, rng: &mut R, max_trials: usize) -> Option<Vec<f64>> {
         match self {

@@ -18,16 +18,27 @@ use std::f64::consts::FRAC_PI_2;
 /// Algorithm 9: a uniform random scoring function — a point on the first
 /// orthant of the unit `d`-sphere.
 pub fn sample_orthant_direction<R: Rng + ?Sized>(rng: &mut R, d: usize) -> Vec<f64> {
+    let mut w = Vec::new();
+    sample_orthant_direction_into(rng, d, &mut w);
+    w
+}
+
+/// [`sample_orthant_direction`] into a caller-provided buffer — the
+/// zero-allocation form the Monte-Carlo hot loops use. Consumes the RNG
+/// exactly like the allocating form (a fresh [`NormalSampler`] per draw),
+/// so the two produce identical streams from identical generator states.
+pub fn sample_orthant_direction_into<R: Rng + ?Sized>(rng: &mut R, d: usize, out: &mut Vec<f64>) {
     assert!(d >= 1, "sample_orthant_direction: need d ≥ 1");
     let mut normal = NormalSampler::new();
     loop {
-        let mut w: Vec<f64> = (0..d).map(|_| normal.sample(rng).abs()).collect();
-        let n: f64 = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        out.clear();
+        out.extend((0..d).map(|_| normal.sample(rng).abs()));
+        let n: f64 = out.iter().map(|x| x * x).sum::<f64>().sqrt();
         if n > f64::EPSILON {
-            for x in &mut w {
+            for x in out.iter_mut() {
                 *x /= n;
             }
-            return w;
+            return;
         }
     }
 }

@@ -15,6 +15,9 @@ pub struct Client {
 impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are single small writes that wait for a response;
+        // Nagle's algorithm only adds delayed-ACK latency to that pattern.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
@@ -25,10 +28,12 @@ impl Client {
     /// Sends one request object and reads one response line.
     pub fn call(&mut self, request: &Value) -> ServiceResult<Value> {
         let io = |e: std::io::Error| ServiceError::internal(format!("transport: {e}"));
-        let line =
+        let mut line =
             serde_json::to_string(request).map_err(|e| ServiceError::internal(e.to_string()))?;
+        // One write per request: splitting the newline into its own write
+        // used to cost a Nagle/delayed-ACK round on every call.
+        line.push('\n');
         self.writer.write_all(line.as_bytes()).map_err(io)?;
-        self.writer.write_all(b"\n").map_err(io)?;
         self.writer.flush().map_err(io)?;
         let mut response = String::new();
         let n = self.reader.read_line(&mut response).map_err(io)?;

@@ -18,7 +18,7 @@ use srank_core::{
 };
 use srank_sample::roi::RegionOfInterest;
 use srank_sample::store::SampleBuffer;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -45,6 +45,13 @@ pub struct EngineConfig {
     pub max_rows: usize,
     /// Upper bound on `registry.load`'s `d`.
     pub max_dim: usize,
+    /// Upper bound on sub-requests per `batch` op.
+    pub max_batch: usize,
+    /// Fan-out threads a `batch` op may use. `0` (the default) sizes to
+    /// the machine (`available_parallelism`, capped at 8) — on a
+    /// single-core host that degrades to inline execution, which still
+    /// beats per-request round-trips.
+    pub batch_workers: usize,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +66,8 @@ impl Default for EngineConfig {
             max_samples: 2_000_000,
             max_rows: 2_000_000,
             max_dim: 32,
+            max_batch: 64,
+            batch_workers: 0,
         }
     }
 }
@@ -154,6 +163,7 @@ impl Engine {
         let op = fields.required_str("op")?;
         match op {
             "ping" => Ok((Object::new().field("pong", true).build(), false)),
+            "batch" => self.op_batch(&fields),
             "stats" => self.op_stats(),
             "registry.load" => self.op_registry_load(&fields),
             "registry.list" => self.op_registry_list(),
@@ -192,6 +202,83 @@ impl Engine {
             self.config.default_samples,
             self.config.max_samples,
         )
+    }
+
+    // ------------------------------------------------------------------
+    // Batch execution
+
+    /// `batch` — executes a list of sub-requests, fanning them across a
+    /// small scoped worker pool, and returns their response envelopes *in
+    /// request order* (each sub-request succeeds or fails independently;
+    /// its envelope echoes its own `id`). Nested batches are rejected per
+    /// sub-request; the whole batch is `bad_request` when `requests` is
+    /// missing, ill-typed, or longer than the server cap.
+    fn op_batch(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let requests = fields
+            .raw("requests")
+            .ok_or_else(|| ServiceError::bad_request("batch needs a 'requests' array"))?
+            .as_array()
+            .ok_or_else(|| ServiceError::bad_request("'requests' must be an array"))?;
+        if requests.len() > self.config.max_batch {
+            return Err(ServiceError::bad_request(format!(
+                "batch of {} exceeds the server limit ({})",
+                requests.len(),
+                self.config.max_batch
+            )));
+        }
+        let workers = match self.config.batch_workers {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get().min(8)),
+            n => n,
+        }
+        .min(requests.len().max(1));
+        let results: Vec<Value> = if workers <= 1 {
+            requests.iter().map(|r| self.handle_sub(r)).collect()
+        } else {
+            // A shared cursor hands out sub-requests; slots keep responses
+            // in request order regardless of completion order.
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Value>> =
+                requests.iter().map(|_| Mutex::new(Value::Null)).collect();
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(request) = requests.get(i) else {
+                            break;
+                        };
+                        *slots[i].lock().expect("batch slot poisoned") = self.handle_sub(request);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("batch slot poisoned"))
+                .collect()
+        };
+        Ok((
+            Object::new()
+                .field("count", results.len())
+                .field("results", results)
+                .build(),
+            false,
+        ))
+    }
+
+    /// Handles one batch sub-request into its own response envelope. The
+    /// idle sweep already ran for the enclosing request, and `batch`
+    /// itself is refused so batches cannot nest (unbounded fan-out).
+    fn handle_sub(&self, request: &Value) -> Value {
+        let id = request.get("id").cloned();
+        let outcome = (|| {
+            let fields = Fields::of(request)?;
+            if fields.required_str("op")? == "batch" {
+                return Err(ServiceError::bad_request(
+                    "batch sub-requests cannot be batches",
+                ));
+            }
+            self.dispatch(request)
+        })();
+        envelope(id, outcome)
     }
 
     // ------------------------------------------------------------------
@@ -673,11 +760,41 @@ impl Engine {
                 };
                 let alpha = fields.f64("alpha")?.unwrap_or(0.05);
                 let budget = self.capped_usize(fields, "budget", 1000, self.config.max_samples)?;
-                let e = RandomizedEnumerator::new(data, &region, scope, alpha)
+                let mut e = RandomizedEnumerator::new(data, &region, scope, alpha)
                     .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                // `prime: true` warm-starts the accumulator from the shared
+                // Monte-Carlo sample batch for this dataset/ROI — cached
+                // samples feed the interning table directly, so a session
+                // opens with `samples` observations already counted and no
+                // RNG consumed (the session stream starts fresh).
+                let primed = fields.bool("prime")?.unwrap_or(false);
+                if primed {
+                    let n = self.samples_param(fields)?;
+                    let batch = self.sample_batch(
+                        &entry.name,
+                        entry.generation,
+                        &region,
+                        &Self::roi_key(&roi),
+                        n,
+                        seed,
+                    );
+                    e.observe_samples(&batch)
+                        .map_err(|e| ServiceError::bad_request(e.to_string()))?;
+                }
+                // The shared batch is drawn from StdRng(seed); a primed
+                // session continuing from StdRng(seed) would replay that
+                // exact stream and double-count every primed observation.
+                // Primed sessions therefore continue on a derived stream —
+                // still a pure function of the open parameters, so
+                // identical opens still replay identically.
+                let session_seed = if primed {
+                    seed ^ 0x9e37_79b9_7f4a_7c15
+                } else {
+                    seed
+                };
                 SessionState::Randomized {
-                    state: e.into_state(),
-                    rng: StdRng::seed_from_u64(seed),
+                    state: Box::new(e.into_state()),
+                    rng: StdRng::seed_from_u64(session_seed),
                     budget,
                 }
             }
@@ -799,11 +916,11 @@ impl Engine {
                     state,
                     mut rng,
                     budget,
-                } => RandomizedEnumerator::from_state(data, state).map(|mut e| {
+                } => RandomizedEnumerator::from_state(data, *state).map(|mut e| {
                     let next = e.get_next_budget(&mut rng, budget_override.unwrap_or(budget));
                     (
                         SessionState::Randomized {
-                            state: e.into_state(),
+                            state: Box::new(e.into_state()),
                             rng,
                             budget,
                         },

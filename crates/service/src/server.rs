@@ -92,6 +92,10 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
     // A short read timeout keeps this worker responsive to shutdown even
     // while a client holds the connection open without sending anything.
     stream.set_read_timeout(Some(std::time::Duration::from_millis(100)))?;
+    // Responses are written as (line, newline) pairs followed by a read;
+    // without TCP_NODELAY the split write interacts with delayed ACKs and
+    // adds tens of milliseconds to every request.
+    stream.set_nodelay(true)?;
     // Each worker serves one connection at a time, so a silent peer is a
     // captured worker; disconnect it after an idle deadline to return the
     // worker to the accept pool (clients reconnect per request anyway).
@@ -152,8 +156,12 @@ fn respond(engine: &Engine, writer: &mut impl Write, line: &[u8]) -> std::io::Re
         r#"{"ok": false, "error": {"code": "internal", "message": "request handler panicked"}}"#
             .to_string()
     });
-    writer.write_all(response.as_bytes())?;
-    writer.write_all(b"\n")?;
+    // One write per response (line + newline in a single buffer): split
+    // small writes cost an extra TCP segment — and, without TCP_NODELAY,
+    // a delayed-ACK round — per request.
+    let mut response = response.into_bytes();
+    response.push(b'\n');
+    writer.write_all(&response)?;
     writer.flush()
 }
 

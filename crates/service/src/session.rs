@@ -15,20 +15,49 @@
 //!
 //! Idle sessions are evicted: every engine touch sweeps sessions whose
 //! last use is older than the configured TTL.
+//!
+//! ## Sharding
+//!
+//! The table is sharded **per dataset**: a session's dataset name hashes
+//! to one of [`NUM_SHARDS`] shards, each behind its own mutex, and the
+//! session id encodes its shard in the low [`SHARD_BITS`] bits so every
+//! id-keyed operation (`check_out`, `close`, `restore`) locks exactly one
+//! shard. Concurrent producers on *different* datasets therefore never
+//! contend on a session lock; the only cross-shard operations are the
+//! idle sweep and `stats`, which visit shards one at a time. The global
+//! session cap is enforced with a lock-free counter.
 
 use crate::proto::{ErrorCode, ServiceError, ServiceResult};
 use rand::rngs::StdRng;
 use srank_core::{MdState, RandomizedState, Sweep2DState};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Shard-index width of a session id.
+pub const SHARD_BITS: u32 = 4;
+/// Number of per-dataset shards of the session table.
+pub const NUM_SHARDS: usize = 1 << SHARD_BITS;
+
+/// Deterministic FNV-1a over the dataset name, folded to a shard index —
+/// every session of one dataset lives in one shard.
+fn dataset_shard(dataset: &str) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in dataset.as_bytes() {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+    }
+    (h % NUM_SHARDS as u64) as usize
+}
 
 /// The detached enumerator of one session.
 pub enum SessionState {
     Sweep2D(Sweep2DState),
     Md(MdState),
     Randomized {
-        state: RandomizedState,
+        /// Boxed: the interning table makes this state much larger than
+        /// the other variants.
+        state: Box<RandomizedState>,
         /// The session's private RNG stream, seeded at `session.open` —
         /// identical open parameters replay an identical session.
         rng: StdRng,
@@ -116,18 +145,29 @@ enum Slot {
 
 /// The shared session table. All methods take `&self`.
 pub struct SessionManager {
-    slots: Mutex<HashMap<u64, Slot>>,
-    next_id: Mutex<u64>,
+    shards: Vec<Mutex<HashMap<u64, Slot>>>,
+    next_seq: AtomicU64,
+    /// Open sessions across all shards (including checked-out ones) —
+    /// the lock-free capacity gate.
+    count: AtomicUsize,
     max_sessions: usize,
 }
 
 impl SessionManager {
     pub fn new(max_sessions: usize) -> Self {
         Self {
-            slots: Mutex::new(HashMap::new()),
-            next_id: Mutex::new(0),
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            next_seq: AtomicU64::new(0),
+            count: AtomicUsize::new(0),
             max_sessions: max_sessions.max(1),
         }
+    }
+
+    /// The shard a session id routes to (encoded in its low bits).
+    fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, Slot>> {
+        &self.shards[(id & (NUM_SHARDS as u64 - 1)) as usize]
     }
 
     /// Opens a session and returns its id.
@@ -137,40 +177,49 @@ impl SessionManager {
         generation: u64,
         state: SessionState,
     ) -> ServiceResult<u64> {
-        let mut slots = self.slots.lock().expect("session lock poisoned");
-        if slots.len() >= self.max_sessions {
+        // Claim a capacity slot first, lock-free; release it on any later
+        // failure path (there are none today, but close/evict must pair).
+        if self
+            .count
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                (c < self.max_sessions).then_some(c + 1)
+            })
+            .is_err()
+        {
             return Err(ServiceError::new(
                 ErrorCode::SessionLimit,
                 format!("session limit reached ({} open)", self.max_sessions),
             ));
         }
-        let id = {
-            let mut next = self.next_id.lock().expect("id lock poisoned");
-            *next += 1;
-            *next
-        };
+        let shard = dataset_shard(&dataset);
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let id = (seq << SHARD_BITS) | shard as u64;
         let now = Instant::now();
-        slots.insert(
-            id,
-            Slot::Available(Box::new(Session {
+        self.shards[shard]
+            .lock()
+            .expect("session lock poisoned")
+            .insert(
                 id,
-                dataset,
-                generation,
-                state,
-                created: now,
-                last_used: now,
-                returned: 0,
-                last_stability: None,
-            })),
-        );
+                Slot::Available(Box::new(Session {
+                    id,
+                    dataset,
+                    generation,
+                    state,
+                    created: now,
+                    last_used: now,
+                    returned: 0,
+                    last_stability: None,
+                })),
+            );
         Ok(id)
     }
 
     /// Takes exclusive ownership of a session for the duration of one
     /// request. Concurrent requests against the same session get
-    /// `session_busy` instead of blocking a worker thread.
+    /// `session_busy` instead of blocking a worker thread. Locks only the
+    /// session's own dataset shard.
     pub fn check_out(&self, id: u64) -> ServiceResult<CheckedOut<'_>> {
-        let mut slots = self.slots.lock().expect("session lock poisoned");
+        let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
         match slots.get_mut(&id) {
             None => Err(ServiceError::session_not_found(format!(
                 "session {id} does not exist (never opened, closed, or evicted)"
@@ -195,7 +244,10 @@ impl SessionManager {
     /// (called from [`CheckedOut::drop`]).
     fn restore(&self, mut session: Session) {
         session.last_used = Instant::now();
-        let mut slots = self.slots.lock().expect("session lock poisoned");
+        let mut slots = self
+            .shard_of(session.id)
+            .lock()
+            .expect("session lock poisoned");
         // A close/eviction that raced the check-out wins: only re-insert
         // when the slot still exists.
         if let Some(slot) = slots.get_mut(&session.id) {
@@ -205,29 +257,42 @@ impl SessionManager {
 
     /// Closes a session; reports whether it existed.
     pub fn close(&self, id: u64) -> bool {
-        self.slots
+        let removed = self
+            .shard_of(id)
             .lock()
             .expect("session lock poisoned")
             .remove(&id)
-            .is_some()
+            .is_some();
+        if removed {
+            self.count.fetch_sub(1, Ordering::AcqRel);
+        }
+        removed
     }
 
     /// Evicts sessions idle longer than `ttl`; returns how many were
     /// dropped. Checked-out sessions are never evicted mid-request.
+    /// Shards are swept one at a time — no global freeze.
     pub fn evict_idle(&self, ttl: Duration) -> usize {
-        let mut slots = self.slots.lock().expect("session lock poisoned");
         let now = Instant::now();
-        let before = slots.len();
-        slots.retain(|_, slot| match slot {
-            Slot::Available(s) => now.duration_since(s.last_used) < ttl,
-            Slot::CheckedOut => true,
-        });
-        before - slots.len()
+        let mut evicted = 0;
+        for shard in &self.shards {
+            let mut slots = shard.lock().expect("session lock poisoned");
+            let before = slots.len();
+            slots.retain(|_, slot| match slot {
+                Slot::Available(s) => now.duration_since(s.last_used) < ttl,
+                Slot::CheckedOut => true,
+            });
+            evicted += before - slots.len();
+        }
+        if evicted > 0 {
+            self.count.fetch_sub(evicted, Ordering::AcqRel);
+        }
+        evicted
     }
 
     /// Number of open sessions (including checked-out ones).
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("session lock poisoned").len()
+        self.count.load(Ordering::Acquire)
     }
 
     pub fn is_empty(&self) -> bool {
@@ -237,10 +302,10 @@ impl SessionManager {
     /// `(id, dataset, kind, returned)` rows for `stats`, sorted by id.
     /// Checked-out sessions appear with their kind reported as `"busy"`.
     pub fn list(&self) -> Vec<(u64, String, String, usize)> {
-        let slots = self.slots.lock().expect("session lock poisoned");
-        let mut rows: Vec<(u64, String, String, usize)> = slots
-            .iter()
-            .map(|(&id, slot)| match slot {
+        let mut rows: Vec<(u64, String, String, usize)> = Vec::new();
+        for shard in &self.shards {
+            let slots = shard.lock().expect("session lock poisoned");
+            rows.extend(slots.iter().map(|(&id, slot)| match slot {
                 Slot::Available(s) => (
                     id,
                     s.dataset.clone(),
@@ -248,8 +313,8 @@ impl SessionManager {
                     s.returned,
                 ),
                 Slot::CheckedOut => (id, String::new(), "busy".to_string(), 0),
-            })
-            .collect();
+            }));
+        }
         rows.sort_by_key(|r| r.0);
         rows
     }
@@ -353,6 +418,64 @@ mod tests {
         );
         drop(out);
         assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn sessions_of_one_dataset_share_a_shard_and_ids_stay_unique() {
+        let mgr = SessionManager::new(64);
+        let mask = NUM_SHARDS as u64 - 1;
+        let a1 = mgr.open("alpha".into(), 1, sweep_state()).unwrap();
+        let a2 = mgr.open("alpha".into(), 1, sweep_state()).unwrap();
+        assert_eq!(a1 & mask, a2 & mask, "same dataset ⇒ same shard");
+        assert_ne!(a1, a2, "ids stay unique within a shard");
+        // 16 distinct datasets spread across more than one shard.
+        let shards: std::collections::HashSet<u64> = (0..16)
+            .map(|i| mgr.open(format!("ds-{i}"), 1, sweep_state()).unwrap() & mask)
+            .collect();
+        assert!(shards.len() > 1, "hashing must actually spread datasets");
+    }
+
+    #[test]
+    fn contention_smoke_parallel_sessions_across_datasets() {
+        // 8 threads × distinct datasets hammer open/check-out/advance/close
+        // concurrently; per-dataset sharding means they mostly touch
+        // disjoint locks, and every invariant must hold at the end.
+        let mgr = SessionManager::new(1024);
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 40;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let mgr = &mgr;
+                s.spawn(move || {
+                    for r in 0..ROUNDS {
+                        let id = mgr
+                            .open(format!("dataset-{t}"), 1, sweep_state())
+                            .expect("under the cap");
+                        {
+                            let mut out = mgr.check_out(id).expect("fresh session");
+                            // Busy semantics hold even under load.
+                            assert_eq!(mgr.check_out(id).unwrap_err().code, ErrorCode::SessionBusy);
+                            out.session().returned += 1;
+                        }
+                        // Keep a few sessions alive per thread, close the rest.
+                        if r % 4 != 0 {
+                            assert!(mgr.close(id));
+                        }
+                    }
+                });
+            }
+        });
+        let expected_alive = THREADS * ROUNDS.div_ceil(4);
+        assert_eq!(mgr.len(), expected_alive);
+        assert_eq!(mgr.list().len(), expected_alive);
+        // Everything is checked in: every survivor can be checked out.
+        for (id, dataset, kind, returned) in mgr.list() {
+            assert!(dataset.starts_with("dataset-"), "{id}: {kind}");
+            assert_eq!(returned, 1);
+            drop(mgr.check_out(id).expect("checked in"));
+        }
+        assert_eq!(mgr.evict_idle(Duration::ZERO), expected_alive);
+        assert!(mgr.is_empty());
     }
 
     #[test]

@@ -519,3 +519,210 @@ fn registry_list_and_drop_round_trip() {
         Some(false)
     );
 }
+
+#[test]
+fn batch_returns_envelopes_in_request_order() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    );
+    let batch = call(
+        &e,
+        r#"{"id": "outer", "op": "batch", "requests": [
+            {"id": 1, "op": "verify", "dataset": "h", "weights": [1, 1]},
+            {"id": 2, "op": "ping"},
+            {"id": 3, "op": "verify", "dataset": "h", "weights": [2, 1]},
+            {"id": 4, "op": "stats"}
+        ]}"#,
+    );
+    assert_eq!(batch.get("id").unwrap().as_str(), Some("outer"));
+    let result = result(&batch);
+    assert_eq!(result.get("count").unwrap().as_u64(), Some(4));
+    let results = result.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 4);
+    for (i, sub) in results.iter().enumerate() {
+        assert_eq!(
+            sub.get("id").unwrap().as_u64(),
+            Some(i as u64 + 1),
+            "in-order envelope {i}"
+        );
+        assert_eq!(sub.get("ok").unwrap().as_bool(), Some(true));
+    }
+    assert!(results[0].get("result").unwrap().get("stability").is_some());
+    assert_eq!(
+        results[1]
+            .get("result")
+            .unwrap()
+            .get("pong")
+            .unwrap()
+            .as_bool(),
+        Some(true)
+    );
+    // Sub-results flow through the result cache like top-level queries.
+    let direct = call(&e, r#"{"op": "verify", "dataset": "h", "weights": [1, 1]}"#);
+    assert_eq!(direct.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        result.get("results").unwrap().as_array().unwrap()[0]
+            .get("result")
+            .unwrap()
+            .get("stability")
+            .unwrap()
+            .as_f64(),
+        direct
+            .get("result")
+            .unwrap()
+            .get("stability")
+            .unwrap()
+            .as_f64()
+    );
+}
+
+#[test]
+fn batch_sub_requests_fail_independently() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    );
+    let batch = call(
+        &e,
+        r#"{"op": "batch", "requests": [
+            {"id": "good", "op": "ping"},
+            {"id": "missing", "op": "verify", "dataset": "nope", "weights": [1, 1]},
+            {"id": "nested", "op": "batch", "requests": []},
+            {"id": "alsogood", "op": "verify", "dataset": "h", "weights": [1, 1]}
+        ]}"#,
+    );
+    let results = result(&batch).get("results").unwrap().as_array().unwrap();
+    assert_eq!(results[0].get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(results[1].get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        results[1]
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str(),
+        Some("not_found")
+    );
+    assert_eq!(results[2].get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        results[2]
+            .get("error")
+            .unwrap()
+            .get("code")
+            .unwrap()
+            .as_str(),
+        Some("bad_request"),
+        "nested batch refused per-sub"
+    );
+    assert_eq!(results[3].get("ok").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn batch_validates_its_own_shape() {
+    let e = engine();
+    assert_eq!(error_code(&call(&e, r#"{"op": "batch"}"#)), "bad_request");
+    assert_eq!(
+        error_code(&call(&e, r#"{"op": "batch", "requests": 7}"#)),
+        "bad_request"
+    );
+    // Empty batches are legal and answer immediately.
+    let empty = call(&e, r#"{"op": "batch", "requests": []}"#);
+    assert_eq!(result(&empty).get("count").unwrap().as_u64(), Some(0));
+    // Over the cap: refused as a whole.
+    let subs: Vec<String> = (0..65).map(|_| r#"{"op": "ping"}"#.to_string()).collect();
+    let line = format!(r#"{{"op": "batch", "requests": [{}]}}"#, subs.join(", "));
+    assert_eq!(error_code(&call(&e, &line)), "bad_request");
+}
+
+#[test]
+fn primed_randomized_session_counts_the_cached_batch() {
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "d", "builtin": "dot", "n": 40}"#,
+    );
+    // Priming feeds the shared sample batch through the accumulator: the
+    // first get_next with a zero budget must already have estimates based
+    // on `samples` observations.
+    let opened = call(
+        &e,
+        r#"{"op": "session.open", "dataset": "d", "kind": "randomized", "prime": true, "samples": 4000, "seed": 9}"#,
+    );
+    let id = result(&opened).get("session").unwrap().as_u64().unwrap();
+    let next = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {id}, "budget": 0}}"#),
+    );
+    assert_eq!(
+        result(&next).get("samples_used").unwrap().as_u64(),
+        Some(4000),
+        "primed session starts with the batch counted"
+    );
+    // The same open without priming has nothing to report at budget 0.
+    let cold = call(
+        &e,
+        r#"{"op": "session.open", "dataset": "d", "kind": "randomized", "seed": 9}"#,
+    );
+    let cold_id = result(&cold).get("session").unwrap().as_u64().unwrap();
+    let cold_next = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {cold_id}, "budget": 0}}"#),
+    );
+    assert_eq!(
+        result(&cold_next).get("done").unwrap().as_bool(),
+        Some(true),
+        "unprimed session has observed nothing yet"
+    );
+    // Priming hit the shared sample cache (drawn once at open).
+    let stats = call(&e, r#"{"op": "stats"}"#);
+    let sample_cache = result(&stats).get("sample_cache").unwrap();
+    assert_eq!(sample_cache.get("entries").unwrap().as_u64(), Some(1));
+}
+
+#[test]
+fn primed_session_continuation_does_not_replay_the_primed_batch() {
+    // Regression: the primed batch is drawn from StdRng(seed); if the
+    // session's private RNG also started at StdRng(seed), the first
+    // `samples` live draws would replay the batch verbatim — every count
+    // doubled, stability ratios identical, confidence intervals tightened
+    // by sqrt(2) on zero new information. Detectable exactly: the doubled
+    // table's top stability equals the batch-only top stability.
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "d", "builtin": "dot", "n": 40}"#,
+    );
+    let open = |req: &str| {
+        let opened = call(&e, req);
+        result(&opened).get("session").unwrap().as_u64().unwrap()
+    };
+    let prime_only = open(
+        r#"{"op": "session.open", "dataset": "d", "kind": "randomized", "prime": true, "samples": 2000, "seed": 9}"#,
+    );
+    let batch_stability = {
+        let next = call(
+            &e,
+            &format!(r#"{{"op": "session.get_next", "session": {prime_only}, "budget": 0}}"#),
+        );
+        result(&next).get("stability").unwrap().as_f64().unwrap()
+    };
+    let continued = open(
+        r#"{"op": "session.open", "dataset": "d", "kind": "randomized", "prime": true, "samples": 2000, "seed": 9}"#,
+    );
+    let next = call(
+        &e,
+        &format!(r#"{{"op": "session.get_next", "session": {continued}, "budget": 2000}}"#),
+    );
+    assert_eq!(
+        result(&next).get("samples_used").unwrap().as_u64(),
+        Some(4000)
+    );
+    let continued_stability = result(&next).get("stability").unwrap().as_f64().unwrap();
+    assert_ne!(
+        continued_stability, batch_stability,
+        "continuation must draw fresh samples, not replay the primed batch"
+    );
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Records the PR-over-PR performance trajectory: runs the randomized
+# sampler benches (cold sample_n, parallel sample_n, and the faithful
+# pre-interning baseline) plus the service batch-op round-trip, and
+# writes the numbers to BENCH_2.json at the repo root. Commit the file.
+#
+# Usage: scripts/bench_record.sh [--smoke] [--out PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p srank-bench
+cargo run --release -p srank-bench --bin bench_record -- "$@"

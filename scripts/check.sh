@@ -1,8 +1,21 @@
 #!/usr/bin/env bash
 # The full local gate: build, tests, formatting, lints, and bench/example
 # compilation. CI and pre-merge runs should both go through this script.
+#
+# Optional: --bench-smoke additionally runs a shrunken bench_record pass
+# (sampler kernel + batch op, ~20× reduced workloads) as an end-to-end
+# perf-path sanity check. It writes to /tmp, never to the committed
+# BENCH_2.json — use scripts/bench_record.sh for the real figures.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "check.sh: unknown option $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -18,5 +31,10 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  echo "==> bench smoke (bench_record --smoke)"
+  cargo run --release -p srank-bench --bin bench_record -- --smoke --out /tmp/bench_smoke.json
+fi
 
 echo "All checks passed."
