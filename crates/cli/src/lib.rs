@@ -29,7 +29,7 @@ pub mod service_cmd;
 pub const USAGE: &str = "\
 usage: srank <command> <data.csv> --higher a,b [--lower c,d] [options]
        srank serve [--stdio | --listen HOST:PORT] [--workers N] [--preload FAMILY[:NAME]]…
-       srank query <HOST:PORT> <REQUEST_JSON | -> [--pretty]
+       srank query <HOST:PORT> <REQUEST_JSON | -> [--pretty] [--batch] [--stream]
 
 commands:
   inspect                      table statistics

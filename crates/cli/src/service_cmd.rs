@@ -7,11 +7,19 @@
 //! srank query 127.0.0.1:7878 '{"op": "ping"}' [--pretty]
 //! srank query 127.0.0.1:7878 -            # stream request lines from stdin
 //! srank query 127.0.0.1:7878 - --batch    # wrap stdin lines into ONE batch op
+//! srank query 127.0.0.1:7878 - --stream   # batch + stream: envelopes as they land
 //! ```
 //!
 //! `--batch` sends every request line as a single server-side `batch`
 //! request (one round-trip, server-side fan-out) and prints the per-request
 //! response envelopes one per line — drop-in faster for request files.
+//!
+//! `--stream` (implies `--batch`) asks the server for wire-protocol-v2
+//! streaming: each response envelope is printed *the moment its
+//! sub-request completes* on the server's worker pool (completion order,
+//! tagged `{"batch_id", "index", "last"}`), followed by one terminal
+//! summary line per batch — so a long batch shows progress instead of
+//! buffering until the slowest sub-request finishes.
 
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
@@ -94,8 +102,15 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
 }
 
 /// Parses and runs `query`: one request (or a stdin stream) against a
-/// running server, responses printed one per line.
+/// running server, responses printed one per line. `--stream` writes
+/// directly to stdout as envelopes arrive (nothing is buffered into the
+/// returned string).
 pub fn run_query(args: &[String]) -> Result<String, String> {
+    if args.iter().any(|a| a == "--stream") {
+        let stdout = std::io::stdout();
+        run_query_streamed(args, &mut stdout.lock())?;
+        return Ok(String::new());
+    }
     let mut pretty = false;
     let mut batch = false;
     let mut positional = Vec::new();
@@ -124,38 +139,14 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
         out.map_err(|e| e.to_string())
     };
 
-    // The server caps a batch at 64 sub-requests (EngineConfig default);
-    // longer request files are sent as successive chunks, envelopes still
-    // one per line in input order.
-    const BATCH_CHUNK: usize = 64;
     if batch {
         // Server-side batch ops: one round-trip per chunk, per-request
         // envelopes unwrapped back to one per line. Requests are gathered
         // up front (a batch needs them anyway).
-        let lines: Vec<String> = if request == "-" {
-            std::io::stdin()
-                .lines()
-                .collect::<Result<Vec<_>, _>>()
-                .map_err(|e| e.to_string())?
-                .into_iter()
-                .filter(|l| !l.trim().is_empty())
-                .collect()
-        } else {
-            vec![request]
-        };
-        let requests = lines
-            .iter()
-            .map(|l| parse(l))
-            .collect::<Result<Vec<_>, String>>()?;
+        let requests = gather_requests(request)?;
         let mut out = String::new();
         for chunk in requests.chunks(BATCH_CHUNK) {
-            let wrapper = serde_json::Value::Object(vec![
-                ("op".to_string(), serde_json::Value::String("batch".into())),
-                (
-                    "requests".to_string(),
-                    serde_json::Value::Array(chunk.to_vec()),
-                ),
-            ]);
+            let wrapper = batch_wrapper(chunk, false);
             let response = client.call(&wrapper).map_err(|e| e.to_string())?;
             let result = srank_service::client::expect_ok(&response).map_err(|e| e.to_string())?;
             let results = result
@@ -190,4 +181,97 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
     } else {
         Ok(render(&request)? + "\n")
     }
+}
+
+/// The server caps a batch at 64 sub-requests (`EngineConfig` default);
+/// longer request files are sent as successive chunks, shared by the
+/// `--batch` and `--stream` paths.
+const BATCH_CHUNK: usize = 64;
+
+/// Gathers the request lines for a batched send — stdin (`-`, blank
+/// lines skipped) or the single literal — parsed into values.
+fn gather_requests(request: String) -> Result<Vec<serde_json::Value>, String> {
+    let lines: Vec<String> = if request == "-" {
+        std::io::stdin()
+            .lines()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| e.to_string())?
+            .into_iter()
+            .filter(|l| !l.trim().is_empty())
+            .collect()
+    } else {
+        vec![request]
+    };
+    lines
+        .iter()
+        .map(|l| serde_json::from_str(l).map_err(|e| format!("bad request: {e}")))
+        .collect()
+}
+
+/// Builds the server-side `batch` wrapper around one chunk of requests.
+fn batch_wrapper(chunk: &[serde_json::Value], stream: bool) -> serde_json::Value {
+    let mut fields = vec![("op".to_string(), serde_json::Value::String("batch".into()))];
+    if stream {
+        fields.push(("stream".to_string(), serde_json::Value::Bool(true)));
+    }
+    fields.push((
+        "requests".to_string(),
+        serde_json::Value::Array(chunk.to_vec()),
+    ));
+    serde_json::Value::Object(fields)
+}
+
+/// `query … --stream`: wraps the request lines into server-side `batch`
+/// ops with `"stream": true` and writes every response line to `out` the
+/// moment it arrives — streamed sub-envelopes in completion order, then
+/// each batch's terminal summary line. Public (with an injectable
+/// writer) so the CLI tests can capture the stream without a TTY.
+pub fn run_query_streamed(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let mut positional = Vec::new();
+    for a in args {
+        match a.as_str() {
+            // --stream implies --batch; both are accepted.
+            "--stream" | "--batch" => {}
+            "--pretty" => return Err("--stream prints compact lines; drop --pretty".into()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [addr, request]: [String; 2] = positional
+        .try_into()
+        .map_err(|_| "query needs exactly: ADDR REQUEST_JSON (or '-' for stdin)".to_string())?;
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let requests = gather_requests(request)?;
+    let mut emit_error: Option<String> = None;
+    for chunk in requests.chunks(BATCH_CHUNK) {
+        let wrapper = batch_wrapper(chunk, true);
+        let mut emit = |envelope: &serde_json::Value| {
+            if emit_error.is_some() {
+                return;
+            }
+            let result = serde_json::to_string(envelope)
+                .map_err(|e| e.to_string())
+                .and_then(|line| {
+                    writeln!(out, "{line}")
+                        .and_then(|()| out.flush())
+                        .map_err(|e| e.to_string())
+                });
+            if let Err(e) = result {
+                emit_error = Some(e);
+            }
+        };
+        let terminal = client
+            .call_streamed(&wrapper, &mut emit)
+            .map_err(|e| e.to_string())?;
+        emit(&terminal);
+        if let Some(e) = emit_error.take() {
+            return Err(e);
+        }
+        // A tag-less terminal is a whole-batch failure (shape error).
+        if terminal.get("stream").is_none() {
+            srank_service::client::expect_ok(&terminal).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
 }

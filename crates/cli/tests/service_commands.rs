@@ -52,6 +52,67 @@ fn query_reports_connection_and_usage_errors() {
 }
 
 #[test]
+fn query_stream_prints_tagged_envelopes_plus_a_terminal_line() {
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.addr().to_string();
+
+    srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    ]))
+    .unwrap();
+
+    // Three request lines go out as ONE streamed batch; the envelopes are
+    // captured through the injectable writer the `--stream` path prints
+    // through (stdin is replaced by a literal request here).
+    let request = r#"{"id": 9, "op": "verify", "dataset": "h", "weights": [1, 1]}"#;
+    let mut captured: Vec<u8> = Vec::new();
+    srank_cli::service_cmd::run_query_streamed(&args(&[&addr, request, "--stream"]), &mut captured)
+        .unwrap();
+    let out = String::from_utf8(captured).unwrap();
+    let lines: Vec<serde_json::Value> = out
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("output lines are JSON"))
+        .collect();
+    assert_eq!(lines.len(), 2, "one sub envelope + one terminal: {out}");
+    let sub = &lines[0];
+    assert_eq!(sub.get("id").and_then(serde_json::Value::as_u64), Some(9));
+    assert!(sub.get("result").unwrap().get("stability").is_some());
+    let tag = sub.get("stream").expect("streamed envelopes are tagged");
+    assert_eq!(
+        tag.get("index").and_then(serde_json::Value::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        tag.get("last").and_then(serde_json::Value::as_bool),
+        Some(false)
+    );
+    let terminal = &lines[1];
+    assert_eq!(
+        terminal
+            .get("stream")
+            .and_then(|t| t.get("last"))
+            .and_then(serde_json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        terminal
+            .get("result")
+            .and_then(|r| r.get("count"))
+            .and_then(serde_json::Value::as_u64),
+        Some(1)
+    );
+
+    // --stream rejects --pretty (envelopes are compact lines).
+    let err = srank_cli::run(&args(&["query", &addr, request, "--stream", "--pretty"]));
+    assert!(err.is_err());
+
+    server.shutdown();
+}
+
+#[test]
 fn query_batch_unwraps_envelopes_one_per_line() {
     let engine = Arc::new(Engine::new(EngineConfig::default()));
     let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");

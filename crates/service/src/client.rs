@@ -25,8 +25,7 @@ impl Client {
         })
     }
 
-    /// Sends one request object and reads one response line.
-    pub fn call(&mut self, request: &Value) -> ServiceResult<Value> {
+    fn send(&mut self, request: &Value) -> ServiceResult<()> {
         let io = |e: std::io::Error| ServiceError::internal(format!("transport: {e}"));
         let mut line =
             serde_json::to_string(request).map_err(|e| ServiceError::internal(e.to_string()))?;
@@ -34,7 +33,11 @@ impl Client {
         // used to cost a Nagle/delayed-ACK round on every call.
         line.push('\n');
         self.writer.write_all(line.as_bytes()).map_err(io)?;
-        self.writer.flush().map_err(io)?;
+        self.writer.flush().map_err(io)
+    }
+
+    fn read_response(&mut self) -> ServiceResult<Value> {
+        let io = |e: std::io::Error| ServiceError::internal(format!("transport: {e}"));
         let mut response = String::new();
         let n = self.reader.read_line(&mut response).map_err(io)?;
         if n == 0 {
@@ -44,10 +47,67 @@ impl Client {
             .map_err(|e| ServiceError::internal(format!("bad response JSON: {e}")))
     }
 
+    /// Sends one request object and reads its single response line.
+    ///
+    /// If the request was a streaming batch (`"stream": true`) sent
+    /// through this non-streaming entry point by mistake, the server
+    /// answers with *multiple* lines — this method drains them all (so
+    /// the connection stays request/response-aligned for later calls)
+    /// and returns an error directing the caller to
+    /// [`call_streamed`](Self::call_streamed).
+    pub fn call(&mut self, request: &Value) -> ServiceResult<Value> {
+        self.send(request)?;
+        let mut response = self.read_response()?;
+        if response.get("stream").is_none() {
+            return Ok(response);
+        }
+        // Streamed response on the plain API: drain through the terminal
+        // line, then fail loudly. Returning the first line instead would
+        // hand back an arbitrary sub-envelope and desync every later
+        // response on this connection by the remaining line count.
+        while let Some(tag) = response.get("stream") {
+            if tag.get("last").and_then(Value::as_bool) == Some(true) {
+                break;
+            }
+            response = self.read_response()?;
+        }
+        Err(ServiceError::bad_request(
+            "the server answered with a streamed response ('stream': true); \
+             use call_streamed (or `srank query --stream`) for streaming batches",
+        ))
+    }
+
     /// `call`, then unwraps the `result` field of an `ok` response.
     pub fn call_ok(&mut self, request: &Value) -> ServiceResult<Value> {
         let response = self.call(request)?;
         expect_ok(&response)
+    }
+
+    /// Sends one *streaming* request (a `batch` with `"stream": true`)
+    /// and reads response lines until the stream terminates, invoking
+    /// `on_envelope` for every streamed sub-response as it arrives (in
+    /// completion order, each tagged `{"batch_id", "index", "last"}`).
+    ///
+    /// Returns the terminal line: the summary envelope tagged
+    /// `"last": true`, or — when the server answered with a single
+    /// untagged envelope (shape error, or a pre-v2 server that ignores
+    /// `stream`) — that envelope verbatim.
+    pub fn call_streamed(
+        &mut self,
+        request: &Value,
+        mut on_envelope: impl FnMut(&Value),
+    ) -> ServiceResult<Value> {
+        self.send(request)?;
+        loop {
+            let value = self.read_response()?;
+            match value.get("stream") {
+                None => return Ok(value),
+                Some(tag) if tag.get("last").and_then(Value::as_bool) == Some(true) => {
+                    return Ok(value)
+                }
+                Some(_) => on_envelope(&value),
+            }
+        }
     }
 }
 

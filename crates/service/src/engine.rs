@@ -1,12 +1,35 @@
 //! The query engine: dispatches protocol requests against the registry,
 //! session manager, result cache, and shared Monte-Carlo sample store.
 //!
-//! One `Engine` is shared (`Arc`) by every transport worker; all state is
-//! behind interior locks, and the lock order is strictly
-//! registry → sessions → caches (no method holds two of them at once).
+//! Two layers:
+//!
+//! * [`EngineCore`] — all shared state (registry, sessions, caches,
+//!   metrics) behind interior locks; lock order is strictly
+//!   registry → sessions → caches (no method holds two at once). It is
+//!   `Arc`-shared with every transport worker *and* with every job on
+//!   the batch worker pool.
+//! * [`Engine`] — the public handle: owns the persistent
+//!   [`WorkerPool`](crate::pool::WorkerPool) (created once, sized to the
+//!   machine) and implements the `batch` op on top of it, in both
+//!   buffered (protocol v1) and streaming (protocol v2) forms. It derefs
+//!   to the core, so the embedding API is unchanged.
+//!
+//! ## Batch pipeline
+//!
+//! A `batch` submission enqueues its sub-requests on the pool's MPMC
+//! work queue with an in-flight window equal to the pool width, and
+//! collects completions from a bounded response queue. With
+//! `"stream": true` each completion is emitted to the transport the
+//! moment it lands (tagged `{batch_id, index, last}`); without it the
+//! completions fill slots and the response is the familiar in-order
+//! buffered envelope. The bounded response queue is the backpressure
+//! mechanism: a slow consumer blocks the pushing worker (counted in
+//! `stats.pool.backpressure_waits`), which stops pulling new work.
 
 use crate::cache::LruCache;
-use crate::proto::{envelope, Fields, Object, ServiceError, ServiceResult};
+use crate::metrics::{OpLatencies, PoolMetrics};
+use crate::pool::{BoundedQueue, CloseOnDrop, WorkerPool};
+use crate::proto::{envelope, with_stream_tag, Fields, Object, ServiceError, ServiceResult};
 use crate::registry::{DatasetRegistry, DatasetSource};
 use crate::session::{SessionManager, SessionState};
 use rand::rngs::StdRng;
@@ -18,7 +41,7 @@ use srank_core::{
 };
 use srank_sample::roi::RegionOfInterest;
 use srank_sample::store::SampleBuffer;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -47,11 +70,14 @@ pub struct EngineConfig {
     pub max_dim: usize,
     /// Upper bound on sub-requests per `batch` op.
     pub max_batch: usize,
-    /// Fan-out threads a `batch` op may use. `0` (the default) sizes to
-    /// the machine (`available_parallelism`, capped at 8) — on a
-    /// single-core host that degrades to inline execution, which still
-    /// beats per-request round-trips.
-    pub batch_workers: usize,
+    /// Width of the persistent batch worker pool, created once at
+    /// `Engine::new`. `0` (the default) sizes to the machine
+    /// (`available_parallelism`, capped at 8).
+    pub pool_workers: usize,
+    /// Capacity of the per-batch bounded response queue — the
+    /// backpressure knob. `0` (the default) uses the pool width; smaller
+    /// values make workers block earlier behind a slow consumer.
+    pub stream_queue_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -67,7 +93,8 @@ impl Default for EngineConfig {
             max_rows: 2_000_000,
             max_dim: 32,
             max_batch: 64,
-            batch_workers: 0,
+            pool_workers: 0,
+            stream_queue_cap: 0,
         }
     }
 }
@@ -96,8 +123,27 @@ struct RoiSpec {
     theta: f64,
 }
 
-/// The concurrent stability-query engine.
+/// The public engine handle: shared state plus the persistent batch
+/// worker pool. Derefs to [`EngineCore`] for everything that is not
+/// batch execution.
 pub struct Engine {
+    core: Arc<EngineCore>,
+    pool: WorkerPool,
+    /// Monotonic id tagging every streamed batch's envelopes.
+    batch_ids: AtomicU64,
+}
+
+impl std::ops::Deref for Engine {
+    type Target = EngineCore;
+
+    fn deref(&self) -> &EngineCore {
+        &self.core
+    }
+}
+
+/// The concurrent stability-query state, shared (`Arc`) by transport
+/// workers and pool jobs alike.
+pub struct EngineCore {
     config: EngineConfig,
     registry: DatasetRegistry,
     sessions: SessionManager,
@@ -105,20 +151,40 @@ pub struct Engine {
     samples: Mutex<LruCache<String, Arc<SampleBuffer>>>,
     pub result_stats: CacheStats,
     pub sample_stats: CacheStats,
+    /// Per-op latency histograms (all ops, including batch sub-requests).
+    pub op_latency: OpLatencies,
+    /// Counters written by the worker pool, read by `stats`.
+    pool_metrics: Arc<PoolMetrics>,
+    /// Resolved pool width (for `stats`; the pool itself lives on
+    /// [`Engine`]).
+    pool_width: usize,
     started: Instant,
 }
 
 impl Engine {
     pub fn new(config: EngineConfig) -> Self {
-        Self {
+        let pool_width = match config.pool_workers {
+            0 => std::thread::available_parallelism().map_or(1, |p| p.get().min(8)),
+            n => n,
+        };
+        let pool_metrics = Arc::new(PoolMetrics::default());
+        let core = Arc::new(EngineCore {
             registry: DatasetRegistry::new(),
             sessions: SessionManager::new(config.max_sessions),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             samples: Mutex::new(LruCache::new(config.sample_cache_capacity)),
             result_stats: CacheStats::default(),
             sample_stats: CacheStats::default(),
+            op_latency: OpLatencies::default(),
+            pool_metrics: Arc::clone(&pool_metrics),
+            pool_width,
             started: Instant::now(),
             config,
+        });
+        Self {
+            core,
+            pool: WorkerPool::new(pool_width, pool_metrics),
+            batch_ids: AtomicU64::new(0),
         }
     }
 
@@ -126,6 +192,243 @@ impl Engine {
         Self::new(EngineConfig::default())
     }
 
+    /// Handles one raw request line, returning one response line (no
+    /// trailing newline). Streaming (`batch` + `"stream": true`) is not
+    /// available through this single-line API — it answers `bad_request`
+    /// pointing at [`handle_line_streamed`](Self::handle_line_streamed).
+    pub fn handle_line(&self, line: &str) -> String {
+        let response = match serde_json::from_str(line) {
+            Ok(request) => self.handle(&request),
+            Err(e) => envelope(None, Err(ServiceError::parse_error(e.to_string()))),
+        };
+        serde_json::to_string(&response).expect("responses are serializable")
+    }
+
+    /// Handles one parsed request into one response value (buffered).
+    pub fn handle(&self, request: &Value) -> Value {
+        // Every touch sweeps idle sessions — cheap (one lock, linear in
+        // open sessions) and keeps the table bounded without a timer
+        // thread.
+        self.evict_idle_sessions(None);
+        let id = request.get("id").cloned();
+        let outcome = self.dispatch_top(request);
+        envelope(id, outcome)
+    }
+
+    /// Handles one raw request line, emitting one *or more* response
+    /// lines through `sink` — the transport entry point of wire protocol
+    /// v2. Every request except a streaming batch emits exactly one line
+    /// (identical to [`handle_line`](Self::handle_line)); a `batch` with
+    /// `"stream": true` emits one envelope per sub-request in completion
+    /// order, tagged `{"batch_id", "index", "last": false}`, followed by
+    /// one terminal summary line tagged `{"batch_id", "last": true}`.
+    pub fn handle_line_streamed(
+        &self,
+        line: &str,
+        sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let request: Value = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => {
+                let response = envelope(None, Err(ServiceError::parse_error(e.to_string())));
+                return sink(&serde_json::to_string(&response).expect("serializable"));
+            }
+        };
+        let streaming = request.get("op").and_then(Value::as_str) == Some("batch")
+            && request.get("stream").and_then(Value::as_bool) == Some(true);
+        if !streaming {
+            let response = self.handle(&request);
+            return sink(&serde_json::to_string(&response).expect("serializable"));
+        }
+        self.evict_idle_sessions(None);
+        self.op_batch_streamed(&request, sink)
+    }
+
+    fn dispatch_top(&self, request: &Value) -> ServiceResult<(Value, bool)> {
+        let fields = Fields::of(request)?;
+        if fields.required_str("op")? == "batch" {
+            let start = Instant::now();
+            let outcome = self.op_batch_buffered(&fields);
+            self.core.op_latency.record("batch", start.elapsed());
+            return outcome;
+        }
+        self.core.dispatch(request)
+    }
+
+    // ------------------------------------------------------------------
+    // Batch execution (persistent pool, buffered & streamed)
+
+    /// Validates the shared `batch` shape and returns the sub-requests.
+    fn validate_batch<'a>(&self, fields: &Fields<'a>) -> ServiceResult<&'a [Value]> {
+        let requests = fields
+            .raw("requests")
+            .ok_or_else(|| ServiceError::bad_request("batch needs a 'requests' array"))?
+            .as_array()
+            .ok_or_else(|| ServiceError::bad_request("'requests' must be an array"))?;
+        if requests.len() > self.core.config.max_batch {
+            return Err(ServiceError::bad_request(format!(
+                "batch of {} exceeds the server limit ({})",
+                requests.len(),
+                self.core.config.max_batch
+            )));
+        }
+        Ok(requests)
+    }
+
+    /// Protocol-v1 `batch`: executes the sub-requests on the persistent
+    /// pool and returns their envelopes *in request order* in one
+    /// buffered response (each sub-request succeeds or fails
+    /// independently; its envelope echoes its own `id`).
+    fn op_batch_buffered(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        if fields.bool("stream")? == Some(true) {
+            return Err(ServiceError::bad_request(
+                "streaming batch responses need a line transport (stdio/TCP, or \
+                 Engine::handle_line_streamed); this entry point is single-response",
+            ));
+        }
+        let requests = self.validate_batch(fields)?;
+        self.core
+            .pool_metrics
+            .batches_buffered
+            .fetch_add(1, Ordering::Relaxed);
+        let mut slots: Vec<Value> = requests.iter().map(|_| Value::Null).collect();
+        self.execute_batch(requests, |i, env| slots[i] = env);
+        Ok((
+            Object::new()
+                .field("count", slots.len())
+                .field("results", slots)
+                .build(),
+            false,
+        ))
+    }
+
+    /// Protocol-v2 `batch` with `"stream": true`: emits each sub-response
+    /// the moment it completes, then a terminal summary line. Sink errors
+    /// (client gone mid-stream) abort emission but still drain the
+    /// in-flight jobs.
+    fn op_batch_streamed(
+        &self,
+        request: &Value,
+        sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        let start = Instant::now();
+        let id = request.get("id").cloned();
+        let fields = Fields::of(request).expect("op was read from an object");
+        let requests = match self.validate_batch(&fields) {
+            Ok(requests) => requests,
+            Err(e) => {
+                // Shape errors answer as one plain (untagged) envelope —
+                // clients treat a tag-less response as terminal.
+                let response = envelope(id, Err(e));
+                return sink(&serde_json::to_string(&response).expect("serializable"));
+            }
+        };
+        self.core
+            .pool_metrics
+            .batches_streamed
+            .fetch_add(1, Ordering::Relaxed);
+        let batch_id = self.batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let n = requests.len();
+        let mut errors = 0u64;
+        let mut io_error: Option<std::io::Error> = None;
+        self.execute_batch(requests, |index, env| {
+            if env.get("ok").and_then(Value::as_bool) == Some(false) {
+                errors += 1;
+            }
+            if io_error.is_some() {
+                return; // keep draining, stop writing
+            }
+            let tagged = with_stream_tag(env, batch_id, Some(index), false);
+            let line = serde_json::to_string(&tagged).expect("serializable");
+            if let Err(e) = sink(&line) {
+                io_error = Some(e);
+            }
+        });
+        self.core.op_latency.record("batch", start.elapsed());
+        if let Some(e) = io_error {
+            return Err(e);
+        }
+        let summary = Object::new()
+            .field("count", n)
+            .field("errors", errors)
+            .build();
+        let terminal = with_stream_tag(envelope(id, Ok((summary, false))), batch_id, None, true);
+        sink(&serde_json::to_string(&terminal).expect("serializable"))
+    }
+
+    /// The shared batch pipeline: submits sub-requests to the persistent
+    /// pool with an in-flight window equal to the pool width, and hands
+    /// each completion (in completion order) to `deliver`. Responses
+    /// travel through a bounded queue so a slow `deliver` backpressures
+    /// the workers instead of buffering without limit.
+    fn execute_batch(&self, requests: &[Value], mut deliver: impl FnMut(usize, Value)) {
+        let n = requests.len();
+        if n == 0 {
+            return;
+        }
+        let window = self.pool.width();
+        let cap = match self.core.config.stream_queue_cap {
+            0 => window,
+            cap => cap,
+        };
+        let responses: Arc<BoundedQueue<(usize, Value)>> =
+            Arc::new(BoundedQueue::new(cap, Arc::clone(&self.core.pool_metrics)));
+        // If `deliver` panics, closing the queue on unwind releases any
+        // worker blocked mid-push so the pool cannot wedge.
+        let _close_guard = CloseOnDrop(&responses);
+        let mut submitted = 0usize;
+        let mut delivered = 0usize;
+        while delivered < n {
+            // Top up the in-flight window. A slot is released only when
+            // its response is *delivered* (submitter-local, so there is
+            // no race against worker-side counters): at most `window`
+            // jobs of this batch can ever be executing, queued, or
+            // blocking a worker mid-push. A wedged consumer therefore
+            // stalls its own submitter and holds at most its own window
+            // — it cannot draft the whole pool into one batch and
+            // starve the others.
+            while submitted < n && submitted - delivered < window {
+                let core = Arc::clone(&self.core);
+                let request = requests[submitted].clone();
+                let job_responses = Arc::clone(&responses);
+                let index = submitted;
+                let accepted = self.pool.submit(Box::new(move || {
+                    // A panic inside a sub-request must still produce an
+                    // envelope — a missing completion would deadlock the
+                    // submitter.
+                    let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        core.handle_sub(&request)
+                    }))
+                    .unwrap_or_else(|_| {
+                        envelope(
+                            request.get("id").cloned(),
+                            Err(ServiceError::internal("sub-request handler panicked")),
+                        )
+                    });
+                    job_responses.push((index, env));
+                }));
+                if !accepted {
+                    // Only reachable while the engine is being torn down.
+                    responses.push((
+                        index,
+                        envelope(
+                            requests[index].get("id").cloned(),
+                            Err(ServiceError::internal("engine is shutting down")),
+                        ),
+                    ));
+                }
+                submitted += 1;
+            }
+            let Some((index, env)) = responses.pop() else {
+                break; // closed — cannot happen while this loop runs
+            };
+            delivered += 1;
+            deliver(index, env);
+        }
+    }
+}
+
+impl EngineCore {
     pub fn registry(&self) -> &DatasetRegistry {
         &self.registry
     }
@@ -137,44 +440,46 @@ impl Engine {
             .evict_idle(ttl.unwrap_or(self.config.idle_ttl))
     }
 
-    /// Handles one raw request line, returning one response line (no
-    /// trailing newline).
-    pub fn handle_line(&self, line: &str) -> String {
-        let response = match serde_json::from_str(line) {
-            Ok(request) => self.handle(&request),
-            Err(e) => envelope(None, Err(ServiceError::parse_error(e.to_string()))),
-        };
-        serde_json::to_string(&response).expect("responses are serializable")
-    }
-
-    /// Handles one parsed request.
-    pub fn handle(&self, request: &Value) -> Value {
-        // Every touch sweeps idle sessions — cheap (one lock, linear in
-        // open sessions) and keeps the table bounded without a timer
-        // thread.
-        self.evict_idle_sessions(None);
-        let id = request.get("id").cloned();
-        let outcome = self.dispatch(request);
-        envelope(id, outcome)
-    }
-
+    /// Dispatches one non-batch request (also the batch sub-request
+    /// path), recording per-op latency.
     fn dispatch(&self, request: &Value) -> ServiceResult<(Value, bool)> {
         let fields = Fields::of(request)?;
         let op = fields.required_str("op")?;
+        let start = Instant::now();
+        let outcome = self.dispatch_op(op, &fields);
+        self.op_latency.record(op, start.elapsed());
+        outcome
+    }
+
+    fn dispatch_op(&self, op: &str, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
         match op {
             "ping" => Ok((Object::new().field("pong", true).build(), false)),
-            "batch" => self.op_batch(&fields),
+            // Top-level batches are routed on `Engine` before reaching
+            // the core, so this arm only sees nested ones (which must be
+            // refused: a batch job blocking on its own pool would
+            // deadlock a width-1 pool).
+            "batch" => Err(ServiceError::bad_request(
+                "batch sub-requests cannot be batches",
+            )),
             "stats" => self.op_stats(),
-            "registry.load" => self.op_registry_load(&fields),
+            "registry.load" => self.op_registry_load(fields),
             "registry.list" => self.op_registry_list(),
-            "registry.drop" => self.op_registry_drop(&fields),
-            "verify" => self.cached(op, &fields, |e, f| e.op_verify(f)),
-            "overview" => self.cached(op, &fields, |e, f| e.op_overview(f)),
-            "session.open" => self.op_session_open(&fields),
-            "session.get_next" => self.op_session_get_next(&fields),
-            "session.close" => self.op_session_close(&fields),
+            "registry.drop" => self.op_registry_drop(fields),
+            "verify" => self.cached(op, fields, |e, f| e.op_verify(f)),
+            "overview" => self.cached(op, fields, |e, f| e.op_overview(f)),
+            "session.open" => self.op_session_open(fields),
+            "session.get_next" => self.op_session_get_next(fields),
+            "session.close" => self.op_session_close(fields),
             other => Err(ServiceError::bad_request(format!("unknown op '{other}'"))),
         }
+    }
+
+    /// Handles one batch sub-request into its own response envelope. The
+    /// idle sweep already ran for the enclosing request; nested batches
+    /// are refused in [`dispatch_op`].
+    pub(crate) fn handle_sub(&self, request: &Value) -> Value {
+        let id = request.get("id").cloned();
+        envelope(id, self.dispatch(request))
     }
 
     /// Reads an optional size parameter, applying the default and the
@@ -202,83 +507,6 @@ impl Engine {
             self.config.default_samples,
             self.config.max_samples,
         )
-    }
-
-    // ------------------------------------------------------------------
-    // Batch execution
-
-    /// `batch` — executes a list of sub-requests, fanning them across a
-    /// small scoped worker pool, and returns their response envelopes *in
-    /// request order* (each sub-request succeeds or fails independently;
-    /// its envelope echoes its own `id`). Nested batches are rejected per
-    /// sub-request; the whole batch is `bad_request` when `requests` is
-    /// missing, ill-typed, or longer than the server cap.
-    fn op_batch(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
-        let requests = fields
-            .raw("requests")
-            .ok_or_else(|| ServiceError::bad_request("batch needs a 'requests' array"))?
-            .as_array()
-            .ok_or_else(|| ServiceError::bad_request("'requests' must be an array"))?;
-        if requests.len() > self.config.max_batch {
-            return Err(ServiceError::bad_request(format!(
-                "batch of {} exceeds the server limit ({})",
-                requests.len(),
-                self.config.max_batch
-            )));
-        }
-        let workers = match self.config.batch_workers {
-            0 => std::thread::available_parallelism().map_or(1, |p| p.get().min(8)),
-            n => n,
-        }
-        .min(requests.len().max(1));
-        let results: Vec<Value> = if workers <= 1 {
-            requests.iter().map(|r| self.handle_sub(r)).collect()
-        } else {
-            // A shared cursor hands out sub-requests; slots keep responses
-            // in request order regardless of completion order.
-            let next = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Value>> =
-                requests.iter().map(|_| Mutex::new(Value::Null)).collect();
-            std::thread::scope(|s| {
-                for _ in 0..workers {
-                    s.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(request) = requests.get(i) else {
-                            break;
-                        };
-                        *slots[i].lock().expect("batch slot poisoned") = self.handle_sub(request);
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("batch slot poisoned"))
-                .collect()
-        };
-        Ok((
-            Object::new()
-                .field("count", results.len())
-                .field("results", results)
-                .build(),
-            false,
-        ))
-    }
-
-    /// Handles one batch sub-request into its own response envelope. The
-    /// idle sweep already ran for the enclosing request, and `batch`
-    /// itself is refused so batches cannot nest (unbounded fan-out).
-    fn handle_sub(&self, request: &Value) -> Value {
-        let id = request.get("id").cloned();
-        let outcome = (|| {
-            let fields = Fields::of(request)?;
-            if fields.required_str("op")? == "batch" {
-                return Err(ServiceError::bad_request(
-                    "batch sub-requests cannot be batches",
-                ));
-            }
-            self.dispatch(request)
-        })();
-        envelope(id, outcome)
     }
 
     // ------------------------------------------------------------------
@@ -474,12 +702,23 @@ impl Engine {
         };
         let result_entries = self.results.lock().expect("result cache poisoned").len();
         let sample_entries = self.samples.lock().expect("sample cache poisoned").len();
+        let (open, checked_out, busy_conflicts) = self.sessions.counters();
         let stats = Object::new()
             .field("uptime_seconds", self.started.elapsed().as_secs_f64())
             .field("datasets", self.registry.list().len())
             .field("sessions", sessions)
+            .field(
+                "session_table",
+                Object::new()
+                    .field("open", open)
+                    .field("checked_out", checked_out)
+                    .field("busy_conflicts", busy_conflicts)
+                    .build(),
+            )
             .field("result_cache", cache(&self.result_stats, result_entries))
             .field("sample_cache", cache(&self.sample_stats, sample_entries))
+            .field("pool", self.pool_metrics.to_value(self.pool_width))
+            .field("ops", self.op_latency.to_value())
             .build();
         Ok((stats, false))
     }

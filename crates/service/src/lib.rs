@@ -8,7 +8,7 @@
 //! ordering-exchange hyperplanes, or re-drawing Monte-Carlo samples on
 //! every call.
 //!
-//! Four layers:
+//! Six layers:
 //!
 //! * [`registry`] — loads/normalizes each dataset once (builtin simulators
 //!   or CSV) and shares it via `Arc`; every (re)load bumps a generation
@@ -19,9 +19,16 @@
 //! * [`cache`] — an LRU over query results plus a second LRU of shared
 //!   Monte-Carlo sample batches, so a hot `verify` is a lookup and a cold
 //!   one at least reuses the samples drawn for its dataset/ROI;
+//! * [`pool`] — the persistent batch worker pool (created once per
+//!   engine, MPMC work queue) plus the bounded response queue that turns
+//!   a slow batch consumer into backpressure on the workers;
+//! * [`metrics`] — pool counters and per-op latency histograms, surfaced
+//!   by the `stats` op;
 //! * [`server`] / [`client`] — line-delimited JSON over stdin/stdout or a
 //!   `TcpListener` with a fixed worker-thread pool (std only, no async
-//!   runtime).
+//!   runtime). `batch` requests with `"stream": true` answer with one
+//!   envelope line per sub-request the moment it completes (wire
+//!   protocol v2).
 //!
 //! The wire protocol is documented in `crates/service/README.md`; the
 //! protocol types and error codes live in [`proto`].
@@ -58,13 +65,15 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod metrics;
+pub mod pool;
 pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod session;
 
 pub use client::Client;
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineCore};
 pub use proto::{ErrorCode, ServiceError, ServiceResult};
 pub use registry::{DatasetRegistry, DatasetSource};
 pub use server::{serve_stdio, serve_stream, serve_tcp, ServerHandle};

@@ -1,0 +1,195 @@
+//! Engine observability: pool counters and per-op latency histograms,
+//! all lock-free atomics so recording never contends with the hot path.
+//!
+//! Everything here is surfaced through the `stats` op (see
+//! `crates/service/README.md` for the schema). The counters are written
+//! by the worker pool and the dispatch wrapper and only ever read by
+//! `stats`, so `Relaxed` ordering is sufficient throughout — a `stats`
+//! snapshot is allowed to be a few operations behind each thread.
+
+use crate::proto::Object;
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets. Bucket `i` counts requests
+/// with latency in `[2^i, 2^(i+1))` microseconds; the last bucket absorbs
+/// everything ≥ ~17 minutes (nothing the engine does takes that long).
+const LATENCY_BUCKETS: usize = 30;
+
+/// A log2-bucketed latency histogram (microsecond resolution).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    pub fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+        let bucket = (63 - micros.max(1).leading_zeros()) as usize;
+        self.buckets[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Serializes to `{"count", "total_micros", "max_micros", "buckets"}`
+    /// where `buckets` is a sparse `[[upper_bound_micros, count]…]` over
+    /// the non-empty buckets.
+    pub fn to_value(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| {
+                    Value::Array(vec![
+                        Value::Number(2f64.powi(i as i32 + 1)),
+                        Value::Number(count as f64),
+                    ])
+                })
+            })
+            .collect();
+        Object::new()
+            .field("count", self.count.load(Ordering::Relaxed))
+            .field("total_micros", self.total_micros.load(Ordering::Relaxed))
+            .field("max_micros", self.max_micros.load(Ordering::Relaxed))
+            .field("buckets", buckets)
+            .build()
+    }
+}
+
+/// The fixed op catalogue, in `stats` output order. Unknown ops (which
+/// fail dispatch anyway) are not recorded.
+const OPS: &[&str] = &[
+    "ping",
+    "batch",
+    "stats",
+    "registry.load",
+    "registry.list",
+    "registry.drop",
+    "verify",
+    "overview",
+    "session.open",
+    "session.get_next",
+    "session.close",
+];
+
+/// One latency histogram per protocol op.
+#[derive(Debug, Default)]
+pub struct OpLatencies {
+    histograms: [LatencyHistogram; OPS.len()],
+}
+
+impl OpLatencies {
+    pub fn record(&self, op: &str, elapsed: Duration) {
+        if let Some(i) = OPS.iter().position(|&name| name == op) {
+            self.histograms[i].record(elapsed);
+        }
+    }
+
+    pub fn histogram(&self, op: &str) -> Option<&LatencyHistogram> {
+        OPS.iter()
+            .position(|&name| name == op)
+            .map(|i| &self.histograms[i])
+    }
+
+    /// `{"op": {histogram}, …}` over the ops that have been seen.
+    pub fn to_value(&self) -> Value {
+        let mut out = Object::new();
+        for (name, h) in OPS.iter().zip(&self.histograms) {
+            if h.count() > 0 {
+                out = out.field(name, h.to_value());
+            }
+        }
+        out.build()
+    }
+}
+
+/// Counters shared between the persistent worker pool (writer) and the
+/// `stats` op (reader).
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    /// Worker threads ever created — constant at pool width after
+    /// startup; the "zero spawns in steady state" acceptance check.
+    pub threads_spawned: AtomicU64,
+    /// Jobs enqueued on the work queue.
+    pub submitted: AtomicU64,
+    /// Jobs fully executed.
+    pub completed: AtomicU64,
+    /// Jobs currently executing on a worker.
+    pub executing: AtomicU64,
+    /// Jobs currently waiting on the work queue.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: AtomicU64,
+    /// Cumulative enqueue→dequeue wait across all jobs.
+    pub queue_wait_micros: AtomicU64,
+    /// Times a worker blocked pushing a completed response into a full
+    /// (bounded) response queue — the backpressure signal.
+    pub backpressure_waits: AtomicU64,
+    /// Buffered `batch` ops served.
+    pub batches_buffered: AtomicU64,
+    /// Streamed `batch` ops served.
+    pub batches_streamed: AtomicU64,
+}
+
+impl PoolMetrics {
+    pub fn to_value(&self, workers: usize) -> Value {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Object::new()
+            .field("workers", workers)
+            .field("threads_spawned", load(&self.threads_spawned))
+            .field("submitted", load(&self.submitted))
+            .field("completed", load(&self.completed))
+            .field("executing", load(&self.executing))
+            .field("queue_depth", load(&self.queue_depth))
+            .field("max_queue_depth", load(&self.max_queue_depth))
+            .field("queue_wait_micros", load(&self.queue_wait_micros))
+            .field("backpressure_waits", load(&self.backpressure_waits))
+            .field("batches_buffered", load(&self.batches_buffered))
+            .field("batches_streamed", load(&self.batches_streamed))
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2_micros() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(3)); // bucket [2, 4)
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100)); // bucket [64, 128)
+        assert_eq!(h.count(), 3);
+        let v = h.to_value();
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("total_micros").unwrap().as_u64(), Some(106));
+        assert_eq!(v.get("max_micros").unwrap().as_u64(), Some(100));
+        let buckets = v.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 2, "two non-empty buckets");
+        assert_eq!(buckets[0].as_array().unwrap()[0].as_u64(), Some(4));
+        assert_eq!(buckets[0].as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
+    #[test]
+    fn op_latencies_only_reports_seen_ops() {
+        let ops = OpLatencies::default();
+        ops.record("verify", Duration::from_micros(10));
+        ops.record("nonsense", Duration::from_micros(10)); // dropped
+        let v = ops.to_value();
+        let entries = v.as_object().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, "verify");
+    }
+}

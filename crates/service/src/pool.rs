@@ -1,0 +1,346 @@
+//! The persistent batch worker pool and its queues.
+//!
+//! PR 2's `batch` op spawned a scoped thread per worker *per batch*,
+//! paying thread start-up on every request and making large batches
+//! all-or-nothing. This module replaces that with one pool per engine:
+//!
+//! * [`WorkerPool`] — `width` threads created once at `Engine::new`,
+//!   looping over an MPMC work queue of boxed jobs. Worker count is
+//!   constant for the life of the engine (asserted by the regression
+//!   tests via `stats.pool.threads_spawned`).
+//! * [`BoundedQueue`] — the per-batch response channel. Workers push
+//!   completed sub-responses; the submitting transport thread pops and
+//!   writes them to the wire. The bound is what turns a slow client into
+//!   backpressure: a full queue blocks the pushing worker (counted in
+//!   `PoolMetrics::backpressure_waits`), which stops it from pulling new
+//!   work, which bounds the whole pipeline's memory.
+//!
+//! Jobs are fully self-contained `FnOnce` closures (each owns its
+//! `Arc<EngineCore>` clone), so the pool holds no back-reference to the
+//! engine and dropping the engine tears the pool down cleanly: the work
+//! queue closes, workers drain what is queued, then exit and are joined.
+
+use crate::metrics::PoolMetrics;
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A unit of pool work. Must not block on the pool itself (nested `batch`
+/// sub-requests are refused at dispatch for exactly this reason).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct WorkQueueInner {
+    jobs: VecDeque<(Job, Instant)>,
+    closed: bool,
+}
+
+/// MPMC FIFO of jobs: any thread may submit, every worker pops.
+struct WorkQueue {
+    inner: Mutex<WorkQueueInner>,
+    available: Condvar,
+}
+
+impl WorkQueue {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(WorkQueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) -> bool {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        if inner.closed {
+            return false;
+        }
+        inner.jobs.push_back((job, Instant::now()));
+        drop(inner);
+        self.available.notify_one();
+        true
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained (shutdown still runs everything already accepted).
+    fn pop(&self) -> Option<(Job, Instant)> {
+        let mut inner = self.inner.lock().expect("work queue poisoned");
+        loop {
+            if let Some(entry) = inner.jobs.pop_front() {
+                return Some(entry);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("work queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("work queue poisoned").closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// A fixed-width persistent worker pool.
+pub struct WorkerPool {
+    queue: Arc<WorkQueue>,
+    metrics: Arc<PoolMetrics>,
+    workers: Vec<JoinHandle<()>>,
+    width: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `width` workers (at least 1) sharing `metrics`.
+    pub fn new(width: usize, metrics: Arc<PoolMetrics>) -> Self {
+        let width = width.max(1);
+        let queue = Arc::new(WorkQueue::new());
+        let workers = (0..width)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                metrics.threads_spawned.fetch_add(1, Ordering::Relaxed);
+                std::thread::spawn(move || {
+                    while let Some((job, enqueued)) = queue.pop() {
+                        let waited = enqueued.elapsed().as_micros().min(u128::from(u64::MAX));
+                        metrics
+                            .queue_wait_micros
+                            .fetch_add(waited as u64, Ordering::Relaxed);
+                        metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        metrics.executing.fetch_add(1, Ordering::Relaxed);
+                        // A panicking job must not shrink the pool — the
+                        // submitter's accounting relies on a constant
+                        // worker count. Jobs are also expected to catch
+                        // their own panics so a response is still pushed;
+                        // this is the second line of defense.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        metrics.executing.fetch_sub(1, Ordering::Relaxed);
+                        metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            queue,
+            metrics,
+            workers,
+            width,
+        }
+    }
+
+    /// Number of worker threads (fixed for the pool's lifetime).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Enqueues a job. Returns `false` only during shutdown.
+    pub fn submit(&self, job: Job) -> bool {
+        // Depth is incremented *before* the push: a worker can pop (and
+        // decrement) the instant the job is visible, so the other order
+        // would transiently wrap the gauge below zero.
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        if !self.queue.push(job) {
+            self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+            self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct BoundedQueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC channel for completed batch sub-responses.
+///
+/// `push` blocks while the queue is full (recording each blocking event
+/// in the shared metrics — that block *is* the backpressure signal) and
+/// silently drops the item once the queue is closed, so a submitter that
+/// bails out early (client disconnect mid-stream) can never wedge a
+/// worker forever: it closes the queue and the workers' remaining pushes
+/// become no-ops.
+pub struct BoundedQueue<T> {
+    inner: Mutex<BoundedQueueInner<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+    metrics: Arc<PoolMetrics>,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(cap: usize, metrics: Arc<PoolMetrics>) -> Self {
+        Self {
+            inner: Mutex::new(BoundedQueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+            metrics,
+        }
+    }
+
+    /// Blocks until there is room (or the queue is closed, in which case
+    /// the item is discarded).
+    pub fn push(&self, item: T) {
+        let mut inner = self.inner.lock().expect("response queue poisoned");
+        if inner.items.len() >= self.cap && !inner.closed {
+            // One blocking *event* — counted once, not once per condvar
+            // wakeup, so the metric reads as "times a worker had to wait"
+            // rather than inflating with spurious/raced wakeups.
+            self.metrics
+                .backpressure_waits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        while inner.items.len() >= self.cap && !inner.closed {
+            inner = self.not_full.wait(inner).expect("response queue poisoned");
+        }
+        if inner.closed {
+            return;
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks for the next item; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("response queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("response queue poisoned");
+        }
+    }
+
+    /// Marks the queue closed: pending and future `push`es drop their
+    /// items, blocked pushers wake immediately.
+    pub fn close(&self) {
+        self.inner.lock().expect("response queue poisoned").closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Closes a [`BoundedQueue`] when dropped — the early-return guard for
+/// batch submitters (a sink IO error must release any blocked workers).
+pub struct CloseOnDrop<'a, T>(pub &'a BoundedQueue<T>);
+
+impl<T> Drop for CloseOnDrop<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_submitted_job() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let pool = WorkerPool::new(3, Arc::clone(&metrics));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })));
+        }
+        drop(pool); // close + drain + join
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(metrics.threads_spawned.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.submitted.load(Ordering::Relaxed), 100);
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 100);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.executing.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn pool_survives_panicking_jobs() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let pool = WorkerPool::new(1, Arc::clone(&metrics));
+        let counter = Arc::new(AtomicUsize::new(0));
+        assert!(pool.submit(Box::new(|| panic!("job exploded"))));
+        let after = Arc::clone(&counter);
+        assert!(pool.submit(Box::new(move || {
+            after.fetch_add(1, Ordering::Relaxed);
+        })));
+        drop(pool);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            1,
+            "the single worker survived the panic and ran the next job"
+        );
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn bounded_queue_blocks_pushers_and_counts_backpressure() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let queue = Arc::new(BoundedQueue::new(1, Arc::clone(&metrics)));
+        let pusher = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for i in 0..10 {
+                    queue.push(i);
+                }
+            })
+        };
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            // A slow consumer: the pusher must block on the cap-1 queue.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            got.push(queue.pop().unwrap());
+        }
+        pusher.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(
+            metrics.backpressure_waits.load(Ordering::Relaxed) > 0,
+            "full queue must have blocked the pusher at least once"
+        );
+    }
+
+    #[test]
+    fn closing_the_queue_releases_blocked_pushers() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let queue = Arc::new(BoundedQueue::new(1, metrics));
+        queue.push(0);
+        let pusher = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(1)) // blocks: queue full
+        };
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        queue.close();
+        pusher.join().expect("close must unblock the pusher");
+        // The pre-close item drains; the blocked push was discarded.
+        assert_eq!(queue.pop(), Some(0));
+        assert_eq!(queue.pop(), None, "closed queue drains to None");
+    }
+}

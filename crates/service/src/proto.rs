@@ -274,6 +274,26 @@ fn type_error(key: &str, expected: &str) -> ServiceError {
     ServiceError::bad_request(format!("field '{key}' must be {expected}"))
 }
 
+/// Appends the wire-protocol-v2 stream tag to a response envelope:
+/// `"stream": {"batch_id": B, "index": i?, "last": bool}`. Sub-response
+/// envelopes carry their request `index` and `last: false`; the one
+/// terminal summary line per streamed batch carries `last: true` and no
+/// index.
+pub fn with_stream_tag(envelope: Value, batch_id: u64, index: Option<usize>, last: bool) -> Value {
+    let mut tag = Object::new().field("batch_id", batch_id);
+    if let Some(index) = index {
+        tag = tag.field("index", index);
+    }
+    let tag = tag.field("last", last).build();
+    match envelope {
+        Value::Object(mut fields) => {
+            fields.push(("stream".to_string(), tag));
+            Value::Object(fields)
+        }
+        other => other, // envelopes are always objects
+    }
+}
+
 /// Wraps a handler outcome into the response envelope, echoing `id`.
 pub fn envelope(id: Option<Value>, outcome: ServiceResult<(Value, bool)>) -> Value {
     let mut out = Object::new();
@@ -320,6 +340,26 @@ mod tests {
         assert!(f.required_str("missing").is_err());
         assert!(f.u64("f").is_err());
         assert!(f.str("n").is_err());
+    }
+
+    #[test]
+    fn stream_tags_append_without_disturbing_the_envelope() {
+        let base = envelope(
+            Some(Value::String("a".into())),
+            Ok((Object::new().field("x", 1u64).build(), false)),
+        );
+        let sub = with_stream_tag(base.clone(), 7, Some(2), false);
+        assert_eq!(sub.get("id").unwrap().as_str(), Some("a"));
+        assert_eq!(sub.get("ok").unwrap().as_bool(), Some(true));
+        let tag = sub.get("stream").unwrap();
+        assert_eq!(tag.get("batch_id").unwrap().as_u64(), Some(7));
+        assert_eq!(tag.get("index").unwrap().as_u64(), Some(2));
+        assert_eq!(tag.get("last").unwrap().as_bool(), Some(false));
+
+        let terminal = with_stream_tag(base, 7, None, true);
+        let tag = terminal.get("stream").unwrap();
+        assert!(tag.get("index").is_none(), "terminal line has no index");
+        assert_eq!(tag.get("last").unwrap().as_bool(), Some(true));
     }
 
     #[test]

@@ -139,30 +139,44 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
     }
 }
 
-/// Handles one raw request line and writes the response — shared by the
-/// TCP and stream transports. A panic inside the engine (it should not
-/// happen; request validation exists to prevent it) is caught and
-/// answered as an `internal` error instead of unwinding the worker thread
-/// out of the pool (TCP) or killing the process (stdio).
+/// Handles one raw request line and writes the response line(s) — shared
+/// by the TCP and stream transports. Most requests answer with exactly
+/// one line; a `batch` with `"stream": true` writes one envelope line per
+/// sub-request *as it completes* plus a terminal summary line (wire
+/// protocol v2 — each line is flushed immediately so envelopes reach the
+/// client before the batch finishes). A panic inside the engine (it
+/// should not happen; request validation exists to prevent it) is caught
+/// and answered as an `internal` error instead of unwinding the worker
+/// thread out of the pool (TCP) or killing the process (stdio).
 fn respond(engine: &Engine, writer: &mut impl Write, line: &[u8]) -> std::io::Result<()> {
     let line = String::from_utf8_lossy(line);
     if line.trim().is_empty() {
         return Ok(());
     }
-    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.handle_line(&line)
-    }))
-    .unwrap_or_else(|_| {
-        r#"{"ok": false, "error": {"code": "internal", "message": "request handler panicked"}}"#
-            .to_string()
-    });
-    // One write per response (line + newline in a single buffer): split
-    // small writes cost an extra TCP segment — and, without TCP_NODELAY,
-    // a delayed-ACK round — per request.
-    let mut response = response.into_bytes();
-    response.push(b'\n');
-    writer.write_all(&response)?;
-    writer.flush()
+    let mut sink = |response: &str| -> std::io::Result<()> {
+        // One write per response (line + newline in a single buffer):
+        // split small writes cost an extra TCP segment — and, without
+        // TCP_NODELAY, a delayed-ACK round — per line.
+        let mut bytes = Vec::with_capacity(response.len() + 1);
+        bytes.extend_from_slice(response.as_bytes());
+        bytes.push(b'\n');
+        writer.write_all(&bytes)?;
+        writer.flush()
+    };
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        engine.handle_line_streamed(&line, &mut sink)
+    }));
+    match outcome {
+        Ok(io_result) => io_result,
+        Err(_) => {
+            let mut fallback =
+                br#"{"ok": false, "error": {"code": "internal", "message": "request handler panicked"}}"#
+                    .to_vec();
+            fallback.push(b'\n');
+            writer.write_all(&fallback)?;
+            writer.flush()
+        }
+    }
 }
 
 /// Serves `engine` over arbitrary reader/writer streams — the

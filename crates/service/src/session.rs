@@ -111,6 +111,7 @@ impl CheckedOut<'_> {
     /// a request discovers the session is stale or corrupted).
     pub fn discard(mut self) {
         if let Some(session) = self.session.take() {
+            self.manager.checked_out.fetch_sub(1, Ordering::Relaxed);
             self.manager.close(session.id);
         }
     }
@@ -150,6 +151,13 @@ pub struct SessionManager {
     /// Open sessions across all shards (including checked-out ones) —
     /// the lock-free capacity gate.
     count: AtomicUsize,
+    /// Sessions currently checked out by a request thread or pool
+    /// worker. With the batch worker pool, several sub-requests can
+    /// target one session concurrently; this (with `busy_conflicts`)
+    /// makes those collisions observable via `stats`.
+    checked_out: AtomicUsize,
+    /// Cumulative `session_busy` refusals from [`check_out`].
+    busy_conflicts: AtomicU64,
     max_sessions: usize,
 }
 
@@ -161,6 +169,8 @@ impl SessionManager {
                 .collect(),
             next_seq: AtomicU64::new(0),
             count: AtomicUsize::new(0),
+            checked_out: AtomicUsize::new(0),
+            busy_conflicts: AtomicU64::new(0),
             max_sessions: max_sessions.max(1),
         }
     }
@@ -224,14 +234,21 @@ impl SessionManager {
             None => Err(ServiceError::session_not_found(format!(
                 "session {id} does not exist (never opened, closed, or evicted)"
             ))),
-            Some(Slot::CheckedOut) => Err(ServiceError::new(
-                ErrorCode::SessionBusy,
-                format!("session {id} is executing another request"),
-            )),
+            Some(Slot::CheckedOut) => {
+                self.busy_conflicts.fetch_add(1, Ordering::Relaxed);
+                Err(ServiceError::new(
+                    ErrorCode::SessionBusy,
+                    format!(
+                        "session {id} is executing another request \
+                         (sessions are single-flight, also across batch sub-requests)"
+                    ),
+                ))
+            }
             Some(slot) => {
                 let Slot::Available(session) = std::mem::replace(slot, Slot::CheckedOut) else {
                     unreachable!("CheckedOut matched above")
                 };
+                self.checked_out.fetch_add(1, Ordering::Relaxed);
                 Ok(CheckedOut {
                     manager: self,
                     session: Some(*session),
@@ -243,6 +260,7 @@ impl SessionManager {
     /// Returns a checked-out session to the table, stamping last-use
     /// (called from [`CheckedOut::drop`]).
     fn restore(&self, mut session: Session) {
+        self.checked_out.fetch_sub(1, Ordering::Relaxed);
         session.last_used = Instant::now();
         let mut slots = self
             .shard_of(session.id)
@@ -297,6 +315,16 @@ impl SessionManager {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// `(open, checked_out_now, busy_conflicts)` — the `stats` op's
+    /// `session_table` row.
+    pub fn counters(&self) -> (usize, usize, u64) {
+        (
+            self.count.load(Ordering::Acquire),
+            self.checked_out.load(Ordering::Relaxed),
+            self.busy_conflicts.load(Ordering::Relaxed),
+        )
     }
 
     /// `(id, dataset, kind, returned)` rows for `stats`, sorted by id.
@@ -476,6 +504,24 @@ mod tests {
         }
         assert_eq!(mgr.evict_idle(Duration::ZERO), expected_alive);
         assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn checkout_counters_track_busy_conflicts_and_balance() {
+        let mgr = SessionManager::new(8);
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        assert_eq!(mgr.counters(), (1, 0, 0));
+        let out = mgr.check_out(id).unwrap();
+        assert_eq!(mgr.counters(), (1, 1, 0));
+        // Two concurrent touches of a busy session are counted, not lost.
+        assert!(mgr.check_out(id).is_err());
+        assert!(mgr.check_out(id).is_err());
+        assert_eq!(mgr.counters(), (1, 1, 2));
+        drop(out);
+        assert_eq!(mgr.counters(), (1, 0, 2));
+        // Discard balances the checked-out gauge too.
+        mgr.check_out(id).unwrap().discard();
+        assert_eq!(mgr.counters(), (0, 0, 2));
     }
 
     #[test]

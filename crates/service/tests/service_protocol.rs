@@ -683,6 +683,63 @@ fn primed_randomized_session_counts_the_cached_batch() {
 }
 
 #[test]
+fn primed_session_continued_through_a_streamed_batch_never_replays_the_primed_samples() {
+    // The streaming pipeline runs session.get_next on a pool worker; the
+    // no-replay guarantee of `prime: true` (the session's live RNG stream
+    // must not repeat the primed cache batch) has to survive that path
+    // identically to a direct request.
+    let e = engine();
+    call(
+        &e,
+        r#"{"op": "registry.load", "dataset": "d", "builtin": "dot", "n": 40}"#,
+    );
+    let open = |req: &str| {
+        let opened = call(&e, req);
+        result(&opened).get("session").unwrap().as_u64().unwrap()
+    };
+    let open_line = r#"{"op": "session.open", "dataset": "d", "kind": "randomized", "prime": true, "samples": 2000, "seed": 9}"#;
+    // Reference: the primed table alone (budget 0).
+    let prime_only = open(open_line);
+    let batch_stability = {
+        let next = call(
+            &e,
+            &format!(r#"{{"op": "session.get_next", "session": {prime_only}, "budget": 0}}"#),
+        );
+        result(&next).get("stability").unwrap().as_f64().unwrap()
+    };
+    // Same open, continued with live draws *through a streamed batch*.
+    let continued = open(open_line);
+    let line = format!(
+        r#"{{"op": "batch", "stream": true, "requests": [
+            {{"id": "next", "op": "session.get_next", "session": {continued}, "budget": 2000}},
+            {{"id": "p", "op": "ping"}}
+        ]}}"#
+    );
+    let mut lines: Vec<Value> = Vec::new();
+    e.handle_line_streamed(&line, &mut |l| {
+        lines.push(serde_json::from_str(l).expect("line is JSON"));
+        Ok(())
+    })
+    .unwrap();
+    assert_eq!(lines.len(), 3, "two sub envelopes + terminal");
+    let next = lines
+        .iter()
+        .find(|l| l.get("id").and_then(Value::as_str) == Some("next"))
+        .expect("get_next envelope streamed");
+    let r = result(next);
+    assert_eq!(
+        r.get("samples_used").unwrap().as_u64(),
+        Some(4000),
+        "primed 2000 + live 2000"
+    );
+    let continued_stability = r.get("stability").unwrap().as_f64().unwrap();
+    assert_ne!(
+        continued_stability, batch_stability,
+        "a streamed continuation must draw fresh samples, not replay the primed batch"
+    );
+}
+
+#[test]
 fn primed_session_continuation_does_not_replay_the_primed_batch() {
     // Regression: the primed batch is drawn from StdRng(seed); if the
     // session's private RNG also started at StdRng(seed), the first

@@ -6,13 +6,20 @@
 # (sampler kernel + batch op, ~20× reduced workloads) as an end-to-end
 # perf-path sanity check. It writes to /tmp, never to the committed
 # BENCH_2.json — use scripts/bench_record.sh for the real figures.
+#
+# Optional: --stress additionally runs the streaming/pool stress tests
+# (including the #[ignore]d heavy variant) in release mode under a
+# timeout guard, so a deadlocked pipeline fails the gate fast instead of
+# wedging CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+STRESS=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --stress) STRESS=1 ;;
     *) echo "check.sh: unknown option $arg" >&2; exit 2 ;;
   esac
 done
@@ -35,6 +42,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "$BENCH_SMOKE" = 1 ]; then
   echo "==> bench smoke (bench_record --smoke)"
   cargo run --release -p srank-bench --bin bench_record -- --smoke --out /tmp/bench_smoke.json
+fi
+
+if [ "$STRESS" = 1 ]; then
+  # A hang here is a pipeline deadlock (pool starvation, a response queue
+  # nobody drains, a lost wakeup): kill it after the guard rather than
+  # letting the job wedge. 300 s is ~10× the observed release runtime.
+  STRESS_TIMEOUT="${STRESS_TIMEOUT:-300}"
+  echo "==> streaming/pool stress tests (timeout ${STRESS_TIMEOUT}s)"
+  timeout --signal=KILL "$STRESS_TIMEOUT" \
+    cargo test --release -p srank-service \
+      --test service_pool_stress --test service_streaming \
+      -- --include-ignored \
+    || { echo "check.sh: stress tests failed or timed out (deadlock?)" >&2; exit 1; }
 fi
 
 echo "All checks passed."
