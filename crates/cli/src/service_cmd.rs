@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! srank serve --stdio [--preload FAMILY[:NAME]]...
-//! srank serve --listen 127.0.0.1:7878 --workers 4 [--preload ...]...
+//! srank serve --listen 127.0.0.1:7878 --workers 4 [--session-queue 64] [--mux 4] [--preload ...]...
 //! srank query 127.0.0.1:7878 '{"op": "ping"}' [--pretty]
 //! srank query 127.0.0.1:7878 -            # stream request lines from stdin
 //! srank query 127.0.0.1:7878 - --batch    # wrap stdin lines into ONE batch op
@@ -17,9 +17,18 @@
 //! `--stream` (implies `--batch`) asks the server for wire-protocol-v2
 //! streaming: each response envelope is printed *the moment its
 //! sub-request completes* on the server's worker pool (completion order,
-//! tagged `{"batch_id", "index", "last"}`), followed by one terminal
-//! summary line per batch — so a long batch shows progress instead of
-//! buffering until the slowest sub-request finishes.
+//! tagged `{"batch_id", "request", "index", "last"}`), followed by one
+//! terminal summary line per batch — so a long batch shows progress
+//! instead of buffering until the slowest sub-request finishes. Request
+//! files longer than one batch (64 lines) are *multiplexed*: up to
+//! [`CLI_MUX_WINDOW`] chunk batches ride the single connection
+//! concurrently, their envelopes interleaved as they land and
+//! demultiplexed by the `stream.request` id echo.
+//!
+//! Serve-side tuning: `--session-queue N` bounds the per-session FIFO
+//! dispatch queue (0 restores hard `session_busy` refusals), `--mux N`
+//! caps the streamed batches one connection may interleave (0 serializes
+//! them).
 
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
@@ -32,17 +41,22 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
     let mut workers = 4usize;
     let mut stdio = false;
     let mut preload = Vec::new();
+    let mut config = EngineConfig::default();
     let mut it = args.iter();
+    let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
+        value
+            .ok_or(format!("{flag} needs a count"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs an integer"))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--listen" => listen = Some(it.next().ok_or("--listen needs HOST:PORT")?.clone()),
-            "--workers" => {
-                workers = it
-                    .next()
-                    .ok_or("--workers needs a count")?
-                    .parse()
-                    .map_err(|_| "--workers needs an integer".to_string())?
+            "--workers" => workers = parse_count("--workers", it.next())?,
+            "--session-queue" => {
+                config.session_queue_depth = parse_count("--session-queue", it.next())?
             }
+            "--mux" => config.mux_streams = parse_count("--mux", it.next())?,
             "--stdio" => stdio = true,
             "--preload" => preload.push(it.next().ok_or("--preload needs a dataset")?.clone()),
             other => return Err(format!("serve: unknown option {other}")),
@@ -52,7 +66,7 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
         return Err("serve: use either --stdio or --listen, not both".into());
     }
 
-    let engine = Engine::new(EngineConfig::default());
+    let engine = Engine::new(config);
     for spec in &preload {
         let (family, name) = match spec.split_once(':') {
             Some((f, n)) => (f, n),
@@ -221,11 +235,18 @@ fn batch_wrapper(chunk: &[serde_json::Value], stream: bool) -> serde_json::Value
     serde_json::Value::Object(fields)
 }
 
+/// How many chunk batches `--stream` keeps in flight at once on the one
+/// connection (per-connection multiplexing; the server interleaves their
+/// envelopes and the client demultiplexes by the `stream.request` echo).
+pub const CLI_MUX_WINDOW: usize = 4;
+
 /// `query … --stream`: wraps the request lines into server-side `batch`
 /// ops with `"stream": true` and writes every response line to `out` the
 /// moment it arrives — streamed sub-envelopes in completion order, then
-/// each batch's terminal summary line. Public (with an injectable
-/// writer) so the CLI tests can capture the stream without a TTY.
+/// each batch's terminal summary line. Request files longer than one
+/// chunk keep up to [`CLI_MUX_WINDOW`] batches in flight concurrently on
+/// the single connection. Public (with an injectable writer) so the CLI
+/// tests can capture the stream without a TTY.
 pub fn run_query_streamed(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
     let mut positional = Vec::new();
     for a in args {
@@ -243,35 +264,35 @@ pub fn run_query_streamed(args: &[String], out: &mut dyn std::io::Write) -> Resu
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
 
     let requests = gather_requests(request)?;
-    let mut emit_error: Option<String> = None;
-    for chunk in requests.chunks(BATCH_CHUNK) {
-        let wrapper = batch_wrapper(chunk, true);
-        let mut emit = |envelope: &serde_json::Value| {
-            if emit_error.is_some() {
-                return;
-            }
-            let result = serde_json::to_string(envelope)
-                .map_err(|e| e.to_string())
-                .and_then(|line| {
-                    writeln!(out, "{line}")
-                        .and_then(|()| out.flush())
-                        .map_err(|e| e.to_string())
-                });
-            if let Err(e) = result {
-                emit_error = Some(e);
-            }
-        };
-        let terminal = client
-            .call_streamed(&wrapper, &mut emit)
-            .map_err(|e| e.to_string())?;
-        emit(&terminal);
-        if let Some(e) = emit_error.take() {
-            return Err(e);
+    let chunks: Vec<&[serde_json::Value]> = requests.chunks(BATCH_CHUNK).collect();
+    let mut emit = |envelope: &serde_json::Value| -> Result<(), String> {
+        let line = serde_json::to_string(envelope).map_err(|e| e.to_string())?;
+        writeln!(out, "{line}")
+            .and_then(|()| out.flush())
+            .map_err(|e| e.to_string())
+    };
+    let mut next_chunk = 0usize;
+    loop {
+        // Top up the in-flight window, then pull whichever stream has
+        // the next envelope ready.
+        while next_chunk < chunks.len() && client.streams_in_flight() < CLI_MUX_WINDOW {
+            let wrapper = batch_wrapper(chunks[next_chunk], true);
+            client.stream_begin(&wrapper).map_err(|e| e.to_string())?;
+            next_chunk += 1;
         }
-        // A tag-less terminal is a whole-batch failure (shape error).
-        if terminal.get("stream").is_none() {
-            srank_service::client::expect_ok(&terminal).map_err(|e| e.to_string())?;
+        if client.streams_in_flight() == 0 {
+            return Ok(());
+        }
+        match client.stream_next_any().map_err(|e| e.to_string())? {
+            (_, srank_service::StreamEvent::Envelope(envelope)) => emit(&envelope)?,
+            (_, srank_service::StreamEvent::Done(terminal)) => {
+                emit(&terminal)?;
+                // A tag-less terminal is a whole-batch failure (shape
+                // error).
+                if terminal.get("stream").is_none() {
+                    srank_service::client::expect_ok(&terminal).map_err(|e| e.to_string())?;
+                }
+            }
         }
     }
-    Ok(())
 }

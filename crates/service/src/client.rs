@@ -1,15 +1,72 @@
 //! A minimal blocking client for the TCP transport — used by
 //! `srank query`, the integration tests, and the benches.
+//!
+//! ## Multiplexing
+//!
+//! One connection can keep several *streamed batches* in flight at once
+//! (wire-protocol v2.1): [`Client::stream_begin`] sends a
+//! `batch`+`"stream": true` request without waiting, and
+//! [`Client::stream_next`] / [`Client::stream_next_any`] pull envelopes
+//! as they arrive. Every streamed line carries a `stream.request` tag
+//! echoing the outer request's `id`; the client routes each incoming
+//! line to its stream by that echo (lines for *other* in-flight streams
+//! are buffered, never dropped), which is what makes interleaving safe.
+//! A request without an `id` gets a unique client-generated one
+//! (`"mux-N"`) injected before sending, so every stream is addressable.
+//!
+//! Plain [`Client::call`]s may be issued between pulls: stream lines that
+//! arrive while waiting for the call's response are routed to their
+//! streams' buffers.
+//!
+//! ## Connection death
+//!
+//! When the server closes the socket (or a response line is truncated
+//! mid-stream), every pending and future operation fails with a clear
+//! "connection closed" error — never a raw JSON parse error — and the
+//! client stays *dead*: later calls fail fast instead of desyncing on a
+//! half-read stream.
 
 use crate::proto::{ServiceError, ServiceResult};
 use serde_json::Value;
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Token for one in-flight multiplexed stream on a [`Client`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamId(u64);
+
+/// One pull from an in-flight stream.
+#[derive(Debug)]
+pub enum StreamEvent {
+    /// A streamed sub-response envelope (tagged, `last: false`).
+    Envelope(Value),
+    /// The stream's terminal line: the `last: true` summary, or — for a
+    /// whole-batch shape error, or a pre-v2 server that ignored
+    /// `"stream"` — the single untagged response envelope. The stream is
+    /// finished; its id is no longer valid.
+    Done(Value),
+}
+
+struct StreamState {
+    token: u64,
+    /// The outer request's `id` — the demux key every line of this
+    /// stream echoes in its `stream.request` tag.
+    key: Value,
+    /// Envelopes read while the caller was pulling a different stream
+    /// (or waiting on a plain call).
+    pending: VecDeque<Value>,
+    terminal: Option<Value>,
+}
 
 /// One connection to a running `srank serve` instance.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Why the connection is unusable (set once, checked by every call).
+    dead: Option<String>,
+    streams: Vec<StreamState>,
+    next_token: u64,
 }
 
 impl Client {
@@ -22,32 +79,112 @@ impl Client {
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            dead: None,
+            streams: Vec::new(),
+            next_token: 0,
         })
     }
 
+    /// Marks the connection dead and returns the error every later call
+    /// will fail fast with.
+    fn kill(&mut self, why: impl Into<String>) -> ServiceError {
+        let why = why.into();
+        if self.dead.is_none() {
+            self.dead = Some(why.clone());
+        }
+        ServiceError::internal(why)
+    }
+
+    fn ensure_alive(&self) -> ServiceResult<()> {
+        match &self.dead {
+            None => Ok(()),
+            Some(why) => Err(ServiceError::internal(format!(
+                "connection closed; reconnect to continue ({why})"
+            ))),
+        }
+    }
+
     fn send(&mut self, request: &Value) -> ServiceResult<()> {
-        let io = |e: std::io::Error| ServiceError::internal(format!("transport: {e}"));
+        self.ensure_alive()?;
         let mut line =
             serde_json::to_string(request).map_err(|e| ServiceError::internal(e.to_string()))?;
         // One write per request: splitting the newline into its own write
         // used to cost a Nagle/delayed-ACK round on every call.
         line.push('\n');
-        self.writer.write_all(line.as_bytes()).map_err(io)?;
-        self.writer.flush().map_err(io)
+        if let Err(e) = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+        {
+            return Err(self.kill(format!("connection closed while sending: {e}")));
+        }
+        Ok(())
     }
 
+    /// Reads one complete response line. Any failure — EOF, an I/O
+    /// error, a line truncated by the server dying mid-write, or
+    /// unparseable bytes — kills the connection (fail fast beats
+    /// desyncing on a half-read stream).
     fn read_response(&mut self) -> ServiceResult<Value> {
-        let io = |e: std::io::Error| ServiceError::internal(format!("transport: {e}"));
         let mut response = String::new();
-        let n = self.reader.read_line(&mut response).map_err(io)?;
-        if n == 0 {
-            return Err(ServiceError::internal("server closed the connection"));
+        match self.reader.read_line(&mut response) {
+            Err(e) => Err(self.kill(format!("connection closed: {e}"))),
+            Ok(0) => Err(self.kill("connection closed by the server (EOF)")),
+            Ok(_) if !response.ends_with('\n') => {
+                Err(self.kill("connection closed mid-response (truncated line)"))
+            }
+            Ok(_) => serde_json::from_str(response.trim_end()).map_err(|e| {
+                self.kill(format!(
+                    "connection desynchronized (bad response JSON: {e})"
+                ))
+            }),
         }
-        serde_json::from_str(response.trim_end())
-            .map_err(|e| ServiceError::internal(format!("bad response JSON: {e}")))
+    }
+
+    /// Routes one incoming line to an in-flight stream's buffer. Returns
+    /// the line back when it belongs to no registered stream (i.e. it is
+    /// the response to a plain call, or unexpected).
+    fn route_to_streams(&mut self, value: Value) -> Option<Value> {
+        let position = if let Some(tag) = value.get("stream") {
+            // Streamed line: match the `request` id echo. Every stream
+            // registered here was begun with an id (stream_begin injects
+            // one), so a line *without* the echo can only belong to a
+            // foreign stream — e.g. an id-less `stream: true` batch sent
+            // through plain call() — and is handed back to the caller
+            // rather than guessed into a registered stream's buffer.
+            tag.get("request")
+                .and_then(|request| self.streams.iter().position(|s| s.key == *request))
+        } else {
+            // Untagged line: a whole-batch shape error answers as a
+            // plain envelope echoing the outer id.
+            match value.get("id") {
+                Some(id) => self.streams.iter().position(|s| s.key == *id),
+                None => None,
+            }
+        };
+        let Some(position) = position else {
+            return Some(value);
+        };
+        let terminal = value.get("stream").is_none()
+            || value
+                .get("stream")
+                .and_then(|t| t.get("last"))
+                .and_then(Value::as_bool)
+                == Some(true);
+        let stream = &mut self.streams[position];
+        if terminal {
+            stream.terminal = Some(value);
+        } else {
+            stream.pending.push_back(value);
+        }
+        None
     }
 
     /// Sends one request object and reads its single response line.
+    ///
+    /// May be called while multiplexed streams are in flight: their
+    /// envelopes are buffered for later [`stream_next`](Self::stream_next)
+    /// pulls while this call waits for its own response.
     ///
     /// If the request was a streaming batch (`"stream": true`) sent
     /// through this non-streaming entry point by mistake, the server
@@ -56,8 +193,26 @@ impl Client {
     /// and returns an error directing the caller to
     /// [`call_streamed`](Self::call_streamed).
     pub fn call(&mut self, request: &Value) -> ServiceResult<Value> {
+        // An id colliding with an in-flight stream's key would make this
+        // call's response indistinguishable from that stream's terminal
+        // (the demux would swallow it and this call would wait forever):
+        // refuse up front instead.
+        if let Some(id) = request.get("id") {
+            if self.streams.iter().any(|s| s.key == *id) {
+                return Err(ServiceError::bad_request(format!(
+                    "request id {} collides with an in-flight stream on this connection",
+                    serde_json::to_string(id).unwrap_or_default()
+                )));
+            }
+        }
         self.send(request)?;
-        let mut response = self.read_response()?;
+        let mut response = loop {
+            let value = self.read_response()?;
+            match self.route_to_streams(value) {
+                None => continue, // belonged to an in-flight stream
+                Some(value) => break value,
+            }
+        };
         if response.get("stream").is_none() {
             return Ok(response);
         }
@@ -65,11 +220,19 @@ impl Client {
         // line, then fail loudly. Returning the first line instead would
         // hand back an arbitrary sub-envelope and desync every later
         // response on this connection by the remaining line count.
-        while let Some(tag) = response.get("stream") {
-            if tag.get("last").and_then(Value::as_bool) == Some(true) {
-                break;
+        // (Registered streams' lines keep being routed while draining.)
+        loop {
+            match response.get("stream") {
+                None => break, // defensive: never leave this loop spinning
+                Some(tag) if tag.get("last").and_then(Value::as_bool) == Some(true) => break,
+                Some(_) => {}
             }
-            response = self.read_response()?;
+            response = loop {
+                let value = self.read_response()?;
+                if let Some(value) = self.route_to_streams(value) {
+                    break value;
+                }
+            };
         }
         Err(ServiceError::bad_request(
             "the server answered with a streamed response ('stream': true); \
@@ -83,29 +246,148 @@ impl Client {
         expect_ok(&response)
     }
 
+    /// Sends one streaming batch (`op: "batch"`, `"stream": true`)
+    /// *without waiting for any response*, registering it for
+    /// demultiplexed pulls. If the request has no `id`, a unique
+    /// client-generated one is injected (the server echoes it in every
+    /// line's `stream.request` tag — the demux key). Requests whose `id`
+    /// duplicates an in-flight stream's are refused: their lines would
+    /// be indistinguishable.
+    pub fn stream_begin(&mut self, request: &Value) -> ServiceResult<StreamId> {
+        self.ensure_alive()?;
+        if !crate::engine::Engine::is_streaming_request(request) {
+            return Err(ServiceError::bad_request(
+                "stream_begin needs a batch request with 'stream': true",
+            ));
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        let (request, key) = match request.get("id") {
+            Some(id) => (request.clone(), id.clone()),
+            None => {
+                let key = Value::String(format!("mux-{token}"));
+                let Value::Object(mut fields) = request.clone() else {
+                    unreachable!("is_streaming_request matched an object")
+                };
+                fields.push(("id".to_string(), key.clone()));
+                (Value::Object(fields), key)
+            }
+        };
+        if self.streams.iter().any(|s| s.key == key) {
+            return Err(ServiceError::bad_request(format!(
+                "a stream with id {} is already in flight on this connection",
+                serde_json::to_string(&key).unwrap_or_default()
+            )));
+        }
+        self.send(&request)?;
+        self.streams.push(StreamState {
+            token,
+            key,
+            pending: VecDeque::new(),
+            terminal: None,
+        });
+        Ok(StreamId(token))
+    }
+
+    fn stream_index(&self, id: StreamId) -> ServiceResult<usize> {
+        self.streams
+            .iter()
+            .position(|s| s.token == id.0)
+            .ok_or_else(|| {
+                ServiceError::bad_request("unknown stream id (already finished, or never begun)")
+            })
+    }
+
+    /// Pops the next buffered event of stream `position`, if any. The
+    /// terminal is surfaced only once `pending` is drained (guaranteed
+    /// by the failed `pop_front` above it).
+    fn pop_event(&mut self, position: usize) -> Option<StreamEvent> {
+        let stream = &mut self.streams[position];
+        if let Some(envelope) = stream.pending.pop_front() {
+            return Some(StreamEvent::Envelope(envelope));
+        }
+        if let Some(terminal) = stream.terminal.take() {
+            self.streams.remove(position);
+            return Some(StreamEvent::Done(terminal));
+        }
+        None
+    }
+
+    /// Blocks for the next event of one specific in-flight stream.
+    /// Events of *other* streams arriving meanwhile are buffered, never
+    /// dropped. After `Done` the stream id is finished.
+    pub fn stream_next(&mut self, id: StreamId) -> ServiceResult<StreamEvent> {
+        loop {
+            let position = self.stream_index(id)?;
+            if let Some(event) = self.pop_event(position) {
+                return Ok(event);
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Blocks for the next event of *any* in-flight stream (buffered
+    /// events first, in stream-begin order). Errors if no stream is in
+    /// flight.
+    pub fn stream_next_any(&mut self) -> ServiceResult<(StreamId, StreamEvent)> {
+        if self.streams.is_empty() {
+            return Err(ServiceError::bad_request("no stream is in flight"));
+        }
+        loop {
+            let ready = (0..self.streams.len()).find(|&i| {
+                !self.streams[i].pending.is_empty() || self.streams[i].terminal.is_some()
+            });
+            if let Some(position) = ready {
+                let id = StreamId(self.streams[position].token);
+                let event = self.pop_event(position).expect("checked non-empty");
+                return Ok((id, event));
+            }
+            self.pump()?;
+        }
+    }
+
+    /// Number of streams currently in flight on this connection.
+    pub fn streams_in_flight(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Reads one line and routes it; a line that belongs to no in-flight
+    /// stream here is a protocol violation (no plain call is pending).
+    fn pump(&mut self) -> ServiceResult<()> {
+        self.ensure_alive()?;
+        let value = self.read_response()?;
+        match self.route_to_streams(value) {
+            None => Ok(()),
+            Some(stray) => Err(self.kill(format!(
+                "connection desynchronized (response for no in-flight request: {})",
+                serde_json::to_string(&stray).unwrap_or_default()
+            ))),
+        }
+    }
+
     /// Sends one *streaming* request (a `batch` with `"stream": true`)
     /// and reads response lines until the stream terminates, invoking
     /// `on_envelope` for every streamed sub-response as it arrives (in
-    /// completion order, each tagged `{"batch_id", "index", "last"}`).
+    /// completion order, each tagged `{"batch_id", "request", "index",
+    /// "last"}`).
     ///
     /// Returns the terminal line: the summary envelope tagged
     /// `"last": true`, or — when the server answered with a single
     /// untagged envelope (shape error, or a pre-v2 server that ignores
     /// `stream`) — that envelope verbatim.
+    ///
+    /// This is `stream_begin` + a `stream_next` loop; use those directly
+    /// to multiplex several batches on this connection.
     pub fn call_streamed(
         &mut self,
         request: &Value,
         mut on_envelope: impl FnMut(&Value),
     ) -> ServiceResult<Value> {
-        self.send(request)?;
+        let id = self.stream_begin(request)?;
         loop {
-            let value = self.read_response()?;
-            match value.get("stream") {
-                None => return Ok(value),
-                Some(tag) if tag.get("last").and_then(Value::as_bool) == Some(true) => {
-                    return Ok(value)
-                }
-                Some(_) => on_envelope(&value),
+            match self.stream_next(id)? {
+                StreamEvent::Envelope(envelope) => on_envelope(&envelope),
+                StreamEvent::Done(terminal) => return Ok(terminal),
             }
         }
     }

@@ -28,10 +28,10 @@
 
 use crate::cache::LruCache;
 use crate::metrics::{OpLatencies, PoolMetrics};
-use crate::pool::{BoundedQueue, CloseOnDrop, WorkerPool};
+use crate::pool::{BoundedQueue, CloseOnDrop, Job, PoolSubmitter, WorkerPool};
 use crate::proto::{envelope, with_stream_tag, Fields, Object, ServiceError, ServiceResult};
 use crate::registry::{DatasetRegistry, DatasetSource};
-use crate::session::{SessionManager, SessionState};
+use crate::session::{CheckOut, Handoff, SessionManager, SessionState, Waiter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
@@ -75,9 +75,23 @@ pub struct EngineConfig {
     /// (`available_parallelism`, capped at 8).
     pub pool_workers: usize,
     /// Capacity of the per-batch bounded response queue — the
-    /// backpressure knob. `0` (the default) uses the pool width; smaller
-    /// values make workers block earlier behind a slow consumer.
-    pub stream_queue_cap: usize,
+    /// backpressure knob. `None` (the default) uses the pool width;
+    /// smaller values make workers block earlier behind a slow consumer.
+    /// (`NonZeroUsize` because a cap of 0 could never drain; it used to
+    /// be a bare `usize` whose 0 silently meant "default".)
+    pub stream_queue_cap: Option<std::num::NonZeroUsize>,
+    /// Bound on requests *queued* per busy session (pool-aware session
+    /// scheduling): a request landing on a checked-out session parks on
+    /// the session's FIFO dispatch queue up to this depth instead of
+    /// being refused. `0` disables queueing and restores the pre-queue
+    /// `session_busy` refusals.
+    pub session_queue_depth: usize,
+    /// Per-connection multiplexing: how many streamed batches one
+    /// transport connection may have in flight at once (each runs on its
+    /// own connection-scoped thread, envelopes interleaved on the
+    /// socket, demultiplexed by the `stream.request` id echo). `0`
+    /// serializes streams on the connection (wire-protocol-v2 behavior).
+    pub mux_streams: usize,
 }
 
 impl Default for EngineConfig {
@@ -94,7 +108,9 @@ impl Default for EngineConfig {
             max_dim: 32,
             max_batch: 64,
             pool_workers: 0,
-            stream_queue_cap: 0,
+            stream_queue_cap: None,
+            session_queue_depth: crate::session::DEFAULT_QUEUE_DEPTH,
+            mux_streams: 4,
         }
     }
 }
@@ -121,6 +137,16 @@ impl CacheStats {
 struct RoiSpec {
     around: Vec<f64>,
     theta: f64,
+}
+
+/// Validated `session.get_next` parameters (parsed before any session
+/// state is touched).
+#[derive(Clone, Copy, Debug)]
+struct GetNextParams {
+    session: u64,
+    head_cap: usize,
+    /// Per-call budget override for randomized sessions.
+    budget: Option<usize>,
 }
 
 /// The public engine handle: shared state plus the persistent batch
@@ -170,7 +196,10 @@ impl Engine {
         let pool_metrics = Arc::new(PoolMetrics::default());
         let core = Arc::new(EngineCore {
             registry: DatasetRegistry::new(),
-            sessions: SessionManager::new(config.max_sessions),
+            sessions: SessionManager::with_queue_depth(
+                config.max_sessions,
+                config.session_queue_depth,
+            ),
             results: Mutex::new(LruCache::new(config.result_cache_capacity)),
             samples: Mutex::new(LruCache::new(config.sample_cache_capacity)),
             result_stats: CacheStats::default(),
@@ -234,14 +263,30 @@ impl Engine {
                 return sink(&serde_json::to_string(&response).expect("serializable"));
             }
         };
-        let streaming = request.get("op").and_then(Value::as_str) == Some("batch")
-            && request.get("stream").and_then(Value::as_bool) == Some(true);
-        if !streaming {
-            let response = self.handle(&request);
+        self.handle_request_streamed(&request, sink)
+    }
+
+    /// Whether `request` is a streamed batch — i.e. whether handling it
+    /// can emit more than one response line. Transports use this to
+    /// decide if the request may run on a multiplexing side thread.
+    pub fn is_streaming_request(request: &Value) -> bool {
+        request.get("op").and_then(Value::as_str) == Some("batch")
+            && request.get("stream").and_then(Value::as_bool) == Some(true)
+    }
+
+    /// [`handle_line_streamed`](Self::handle_line_streamed) for an
+    /// already-parsed request.
+    pub fn handle_request_streamed(
+        &self,
+        request: &Value,
+        sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
+    ) -> std::io::Result<()> {
+        if !Self::is_streaming_request(request) {
+            let response = self.handle(request);
             return sink(&serde_json::to_string(&response).expect("serializable"));
         }
         self.evict_idle_sessions(None);
-        self.op_batch_streamed(&request, sink)
+        self.op_batch_streamed(request, sink)
     }
 
     fn dispatch_top(&self, request: &Value) -> ServiceResult<(Value, bool)> {
@@ -338,7 +383,7 @@ impl Engine {
             if io_error.is_some() {
                 return; // keep draining, stop writing
             }
-            let tagged = with_stream_tag(env, batch_id, Some(index), false);
+            let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
             let line = serde_json::to_string(&tagged).expect("serializable");
             if let Err(e) = sink(&line) {
                 io_error = Some(e);
@@ -352,7 +397,13 @@ impl Engine {
             .field("count", n)
             .field("errors", errors)
             .build();
-        let terminal = with_stream_tag(envelope(id, Ok((summary, false))), batch_id, None, true);
+        let terminal = with_stream_tag(
+            envelope(id.clone(), Ok((summary, false))),
+            batch_id,
+            id.as_ref(),
+            None,
+            true,
+        );
         sink(&serde_json::to_string(&terminal).expect("serializable"))
     }
 
@@ -367,45 +418,54 @@ impl Engine {
             return;
         }
         let window = self.pool.width();
-        let cap = match self.core.config.stream_queue_cap {
-            0 => window,
-            cap => cap,
-        };
+        let cap = self
+            .core
+            .config
+            .stream_queue_cap
+            .map_or(window, std::num::NonZeroUsize::get);
         let responses: Arc<BoundedQueue<(usize, Value)>> =
             Arc::new(BoundedQueue::new(cap, Arc::clone(&self.core.pool_metrics)));
         // If `deliver` panics, closing the queue on unwind releases any
         // worker blocked mid-push so the pool cannot wedge.
         let _close_guard = CloseOnDrop(&responses);
+        let submitter = self.pool.submitter();
         let mut submitted = 0usize;
         let mut delivered = 0usize;
         while delivered < n {
             // Top up the in-flight window. A slot is released only when
             // its response is *delivered* (submitter-local, so there is
             // no race against worker-side counters): at most `window`
-            // jobs of this batch can ever be executing, queued, or
-            // blocking a worker mid-push. A wedged consumer therefore
-            // stalls its own submitter and holds at most its own window
-            // — it cannot draft the whole pool into one batch and
-            // starve the others.
+            // jobs of this batch can ever be executing, queued, parked
+            // on a session, or blocking a worker mid-push. A wedged
+            // consumer therefore stalls its own submitter and holds at
+            // most its own window — it cannot draft the whole pool into
+            // one batch and starve the others.
             while submitted < n && submitted - delivered < window {
                 let core = Arc::clone(&self.core);
                 let request = requests[submitted].clone();
                 let job_responses = Arc::clone(&responses);
+                let job_submitter = submitter.clone();
                 let index = submitted;
                 let accepted = self.pool.submit(Box::new(move || {
                     // A panic inside a sub-request must still produce an
                     // envelope — a missing completion would deadlock the
                     // submitter.
-                    let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        core.handle_sub(&request)
-                    }))
-                    .unwrap_or_else(|_| {
-                        envelope(
-                            request.get("id").cloned(),
-                            Err(ServiceError::internal("sub-request handler panicked")),
-                        )
-                    });
-                    job_responses.push((index, env));
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        core.handle_sub_parkable(&request, &job_submitter, &job_responses, index)
+                    }));
+                    match outcome {
+                        // Parked on a busy session: the re-dispatched
+                        // continuation owns this index's response.
+                        Ok(None) => {}
+                        Ok(Some(env)) => job_responses.push((index, env)),
+                        Err(_) => job_responses.push((
+                            index,
+                            envelope(
+                                request.get("id").cloned(),
+                                Err(ServiceError::internal("sub-request handler panicked")),
+                            ),
+                        )),
+                    }
                 }));
                 if !accepted {
                     // Only reachable while the engine is being torn down.
@@ -431,6 +491,11 @@ impl Engine {
 impl EngineCore {
     pub fn registry(&self) -> &DatasetRegistry {
         &self.registry
+    }
+
+    /// The engine's tunables (read-only after construction).
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Evicts idle sessions now, against an explicit TTL (tests) or the
@@ -480,6 +545,97 @@ impl EngineCore {
     pub(crate) fn handle_sub(&self, request: &Value) -> Value {
         let id = request.get("id").cloned();
         envelope(id, self.dispatch(request))
+    }
+
+    /// Pool-aware variant of [`handle_sub`](Self::handle_sub): a
+    /// `session.get_next` that lands on a checked-out session *parks*
+    /// instead of refusing — the session's dispatch queue re-submits a
+    /// continuation job (through `submitter`) when the checkout returns,
+    /// and that job pushes this index's envelope into `responses`.
+    /// Returns `None` when parked (the response arrives later, exactly
+    /// once), `Some(envelope)` for everything that completed inline.
+    ///
+    /// Parking frees the worker: while one session drains its queue in
+    /// FIFO order, the pool keeps executing other sessions' work.
+    pub(crate) fn handle_sub_parkable(
+        self: &Arc<Self>,
+        request: &Value,
+        submitter: &PoolSubmitter,
+        responses: &Arc<BoundedQueue<(usize, Value)>>,
+        index: usize,
+    ) -> Option<Value> {
+        if request.get("op").and_then(Value::as_str) != Some("session.get_next") {
+            return Some(self.handle_sub(request));
+        }
+        let rid = request.get("id").cloned();
+        let start = Instant::now();
+        let params = match Fields::of(request).and_then(|f| self.parse_get_next(&f)) {
+            Ok(params) => params,
+            Err(e) => {
+                self.op_latency.record("session.get_next", start.elapsed());
+                return Some(envelope(rid, Err(e)));
+            }
+        };
+        let make_waiter = || {
+            let core = Arc::clone(self);
+            let submitter = submitter.clone();
+            let responses = Arc::clone(responses);
+            let rid = rid.clone();
+            Waiter::new(move |granted| {
+                let fallback_id = rid.clone();
+                let job: Job = Box::new(move || {
+                    // Same contract as the direct job: a panic must still
+                    // produce an envelope, or the batch submitter waits
+                    // forever on this index.
+                    let env = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Both grant arms record, so the histogram count
+                        // matches the requests actually answered. As on
+                        // the inline park path, the timer covers the
+                        // advance, not the queue wait — that lives in
+                        // stats.session_queue.wait_micros.
+                        let start = Instant::now();
+                        let outcome = match granted {
+                            Ok(session) => {
+                                let checked = core.sessions.adopt(session);
+                                core.advance_session(checked, params.head_cap, params.budget)
+                                    .map(|v| (v, false))
+                            }
+                            Err(e) => Err(e),
+                        };
+                        core.op_latency.record("session.get_next", start.elapsed());
+                        envelope(rid, outcome)
+                    }))
+                    .unwrap_or_else(|_| {
+                        envelope(
+                            fallback_id,
+                            Err(ServiceError::internal(
+                                "re-dispatched sub-request handler panicked",
+                            )),
+                        )
+                    });
+                    responses.push((index, env));
+                });
+                // The handoff happens on whatever thread returned the
+                // session; the continuation runs on the pool. If the pool
+                // is already shutting down (engine teardown racing a
+                // handoff), run inline so the response is never lost.
+                if let Err(job) = submitter.submit(job) {
+                    job();
+                }
+            })
+        };
+        let outcome = match self
+            .sessions
+            .check_out_or_queue(params.session, make_waiter)
+        {
+            Ok(CheckOut::Ready(checked)) => self
+                .advance_session(checked, params.head_cap, params.budget)
+                .map(|v| (v, false)),
+            Ok(CheckOut::Queued) => return None,
+            Err(e) => Err(e),
+        };
+        self.op_latency.record("session.get_next", start.elapsed());
+        Some(envelope(rid, outcome))
     }
 
     /// Reads an optional size parameter, applying the default and the
@@ -703,6 +859,7 @@ impl EngineCore {
         let result_entries = self.results.lock().expect("result cache poisoned").len();
         let sample_entries = self.samples.lock().expect("sample cache poisoned").len();
         let (open, checked_out, busy_conflicts) = self.sessions.counters();
+        let queue = self.sessions.queue_counters();
         let stats = Object::new()
             .field("uptime_seconds", self.started.elapsed().as_secs_f64())
             .field("datasets", self.registry.list().len())
@@ -713,6 +870,17 @@ impl EngineCore {
                     .field("open", open)
                     .field("checked_out", checked_out)
                     .field("busy_conflicts", busy_conflicts)
+                    .build(),
+            )
+            .field(
+                "session_queue",
+                Object::new()
+                    .field("per_session_cap", queue.per_session_cap)
+                    .field("depth", queue.depth)
+                    .field("max_depth", queue.max_depth)
+                    .field("queued_total", queue.queued_total)
+                    .field("granted", queue.granted)
+                    .field("wait_micros", queue.wait_micros)
                     .build(),
             )
             .field("result_cache", cache(&self.result_stats, result_entries))
@@ -1057,14 +1225,15 @@ impl EngineCore {
         ))
     }
 
-    fn op_session_get_next(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
-        let id = fields
+    /// Validates `session.get_next` parameters. Every fallible
+    /// request-parameter read happens before the session state is
+    /// touched, so a bad_request can never corrupt a session.
+    fn parse_get_next(&self, fields: &Fields<'_>) -> ServiceResult<GetNextParams> {
+        let session = fields
             .u64("session")?
             .ok_or_else(|| ServiceError::bad_request("session.get_next needs 'session'"))?;
-        // Every fallible request-parameter read happens before the session
-        // state is touched, so a bad_request can never corrupt a session.
         let head_cap = fields.usize("head")?.unwrap_or(10);
-        let budget_override = match fields.usize("budget")? {
+        let budget = match fields.usize("budget")? {
             Some(v) if v > self.config.max_samples => {
                 return Err(ServiceError::bad_request(format!(
                     "'budget' = {v} exceeds the server limit ({})",
@@ -1073,8 +1242,32 @@ impl EngineCore {
             }
             other => other,
         };
-        let checked = self.sessions.check_out(id)?;
-        let result = self.advance_session(checked, head_cap, budget_override);
+        Ok(GetNextParams {
+            session,
+            head_cap,
+            budget,
+        })
+    }
+
+    /// The direct (transport-thread) `session.get_next` path: if the
+    /// session is busy, park a [`Handoff`] on its dispatch queue and
+    /// block this thread until the session is handed over in FIFO order.
+    /// Blocking here is safe — whoever holds the session is actively
+    /// executing and the queue ahead is bounded — and it is the right
+    /// trade for a transport thread, whose client is waiting on this
+    /// very response anyway. (Pool workers never block; they park and
+    /// re-dispatch — see [`handle_sub_parkable`](Self::handle_sub_parkable).)
+    fn op_session_get_next(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let params = self.parse_get_next(fields)?;
+        let handoff = Handoff::new();
+        let checked = match self
+            .sessions
+            .check_out_or_queue(params.session, || handoff.waiter())?
+        {
+            CheckOut::Ready(checked) => checked,
+            CheckOut::Queued => self.sessions.adopt(handoff.wait()?),
+        };
+        let result = self.advance_session(checked, params.head_cap, params.budget);
         result.map(|v| (v, false))
     }
 

@@ -15,7 +15,11 @@
 //!   stamp that scopes cache keys and sessions;
 //! * [`session`] — live enumerator sessions built on `srank-core`'s
 //!   detachable state snapshots (`Sweep2DState`, `MdState`,
-//!   `RandomizedState`), with busy-checkout semantics and idle eviction;
+//!   `RandomizedState`), with idle eviction and a bounded per-session
+//!   FIFO dispatch queue: a request landing on a busy session parks and
+//!   is handed the session in arrival order (transport threads block on
+//!   a rendezvous; pool sub-requests re-dispatch through the pool)
+//!   instead of being refused;
 //! * [`cache`] — an LRU over query results plus a second LRU of shared
 //!   Monte-Carlo sample batches, so a hot `verify` is a lookup and a cold
 //!   one at least reuses the samples drawn for its dataset/ROI;
@@ -27,8 +31,10 @@
 //! * [`server`] / [`client`] — line-delimited JSON over stdin/stdout or a
 //!   `TcpListener` with a fixed worker-thread pool (std only, no async
 //!   runtime). `batch` requests with `"stream": true` answer with one
-//!   envelope line per sub-request the moment it completes (wire
-//!   protocol v2).
+//!   envelope line per sub-request the moment it completes, and one
+//!   connection can keep several such streams in flight at once — their
+//!   lines interleave on the socket, tagged with a `stream.request` id
+//!   echo that the client demultiplexes by (wire protocol v2.1).
 //!
 //! The wire protocol is documented in `crates/service/README.md`; the
 //! protocol types and error codes live in [`proto`].
@@ -72,7 +78,7 @@ pub mod registry;
 pub mod server;
 pub mod session;
 
-pub use client::Client;
+pub use client::{Client, StreamEvent, StreamId};
 pub use engine::{Engine, EngineConfig, EngineCore};
 pub use proto::{ErrorCode, ServiceError, ServiceResult};
 pub use registry::{DatasetRegistry, DatasetSource};

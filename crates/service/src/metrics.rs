@@ -13,8 +13,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of power-of-two latency buckets. Bucket `i` counts requests
-/// with latency in `[2^i, 2^(i+1))` microseconds; the last bucket absorbs
-/// everything ≥ ~17 minutes (nothing the engine does takes that long).
+/// with latency in `[2^i, 2^(i+1))` microseconds — except bucket 0,
+/// which also absorbs sub-microsecond durations (`[0, 2)`), and the last
+/// bucket, which is unbounded above: it absorbs everything ≥ 2^29 µs
+/// ≈ 9 minutes (nothing the engine does takes that long). Bucket
+/// assignment is pinned by the `bucket_edges_*` unit tests below.
 const LATENCY_BUCKETS: usize = 30;
 
 /// A log2-bucketed latency histogram (microsecond resolution).
@@ -42,7 +45,8 @@ impl LatencyHistogram {
 
     /// Serializes to `{"count", "total_micros", "max_micros", "buckets"}`
     /// where `buckets` is a sparse `[[upper_bound_micros, count]…]` over
-    /// the non-empty buckets.
+    /// the non-empty buckets. (The last bucket's printed upper bound,
+    /// 2^30, is nominal — that bucket is unbounded above.)
     pub fn to_value(&self) -> Value {
         let buckets: Vec<Value> = self
             .buckets
@@ -180,6 +184,58 @@ mod tests {
         assert_eq!(buckets.len(), 2, "two non-empty buckets");
         assert_eq!(buckets[0].as_array().unwrap()[0].as_u64(), Some(4));
         assert_eq!(buckets[0].as_array().unwrap()[1].as_u64(), Some(2));
+    }
+
+    /// Records one duration and returns the upper bound of the single
+    /// non-empty bucket it landed in.
+    fn bucket_upper_bound(micros: u64) -> u64 {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(micros));
+        let v = h.to_value();
+        let buckets = v.get("buckets").unwrap().as_array().unwrap();
+        assert_eq!(buckets.len(), 1, "one sample lands in exactly one bucket");
+        buckets[0].as_array().unwrap()[0].as_u64().unwrap()
+    }
+
+    #[test]
+    fn bucket_edges_around_powers_of_two_are_exact() {
+        // Audit of the `63 - leading_zeros` bucket index: bucket i must
+        // cover exactly [2^i, 2^(i+1)) µs, so each 2^k lands in the
+        // bucket whose printed upper bound is 2^(k+1), and 2^k − 1 lands
+        // one bucket below.
+        for k in 1..29u32 {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_upper_bound(edge), edge * 2, "2^{k} opens bucket {k}");
+            assert_eq!(
+                bucket_upper_bound(edge - 1),
+                edge,
+                "2^{k} - 1 closes bucket {}",
+                k - 1
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_edges_at_zero_and_one() {
+        // 0 µs (sub-microsecond durations) and 1 µs both land in bucket
+        // 0, printed as upper bound 2.
+        assert_eq!(bucket_upper_bound(0), 2);
+        assert_eq!(bucket_upper_bound(1), 2);
+    }
+
+    #[test]
+    fn bucket_edge_at_the_unbounded_top() {
+        // Everything from 2^29 µs up — including u64::MAX — saturates
+        // into the last bucket (index 29, printed upper bound 2^30).
+        let top = 2u64.pow(30);
+        assert_eq!(bucket_upper_bound(1 << 29), top);
+        assert_eq!(bucket_upper_bound(u64::MAX), top);
+        // The recorded max saturates cleanly (the JSON layer renders
+        // numbers as f64, so compare at f64 precision).
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(u64::MAX));
+        let v = h.to_value();
+        assert_eq!(v.get("max_micros").unwrap().as_f64(), Some(u64::MAX as f64));
     }
 
     #[test]

@@ -53,15 +53,17 @@ impl WorkQueue {
         }
     }
 
-    fn push(&self, job: Job) -> bool {
+    /// Enqueues a job; hands it back (instead of dropping it) when the
+    /// queue is closed, so a shutdown-racing submitter can still run it.
+    fn push(&self, job: Job) -> Result<(), Job> {
         let mut inner = self.inner.lock().expect("work queue poisoned");
         if inner.closed {
-            return false;
+            return Err(job);
         }
         inner.jobs.push_back((job, Instant::now()));
         drop(inner);
         self.available.notify_one();
-        true
+        Ok(())
     }
 
     /// Blocks for the next job; `None` once the queue is closed *and*
@@ -85,10 +87,47 @@ impl WorkQueue {
     }
 }
 
-/// A fixed-width persistent worker pool.
-pub struct WorkerPool {
+/// A cloneable submit-only handle onto a [`WorkerPool`]'s work queue.
+///
+/// This is what lets a *parked* session sub-request re-dispatch itself:
+/// the waiter closure stored on the session queue owns a submitter (no
+/// back-reference to the pool or the engine), and on handoff pushes its
+/// continuation job like any other submission. Holding a submitter does
+/// not keep workers alive — once the pool is dropped, `submit` hands the
+/// job back instead of queueing it.
+#[derive(Clone)]
+pub struct PoolSubmitter {
     queue: Arc<WorkQueue>,
     metrics: Arc<PoolMetrics>,
+}
+
+impl PoolSubmitter {
+    /// Enqueues a job; on a closed queue (engine shutting down) the job
+    /// is returned so the caller can run it inline or fail it — never
+    /// silently dropped.
+    pub fn submit(&self, job: Job) -> Result<(), Job> {
+        // Depth is incremented *before* the push: a worker can pop (and
+        // decrement) the instant the job is visible, so the other order
+        // would transiently wrap the gauge below zero.
+        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let depth = self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics
+            .max_queue_depth
+            .fetch_max(depth, Ordering::Relaxed);
+        match self.queue.push(job) {
+            Ok(()) => Ok(()),
+            Err(job) => {
+                self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                Err(job)
+            }
+        }
+    }
+}
+
+/// A fixed-width persistent worker pool.
+pub struct WorkerPool {
+    submitter: PoolSubmitter,
     workers: Vec<JoinHandle<()>>,
     width: usize,
 }
@@ -124,8 +163,7 @@ impl WorkerPool {
             })
             .collect();
         Self {
-            queue,
-            metrics,
+            submitter: PoolSubmitter { queue, metrics },
             workers,
             width,
         }
@@ -136,28 +174,20 @@ impl WorkerPool {
         self.width
     }
 
+    /// A cloneable submit-only handle (for re-dispatching parked work).
+    pub fn submitter(&self) -> PoolSubmitter {
+        self.submitter.clone()
+    }
+
     /// Enqueues a job. Returns `false` only during shutdown.
     pub fn submit(&self, job: Job) -> bool {
-        // Depth is incremented *before* the push: a worker can pop (and
-        // decrement) the instant the job is visible, so the other order
-        // would transiently wrap the gauge below zero.
-        self.metrics.submitted.fetch_add(1, Ordering::Relaxed);
-        let depth = self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
-        self.metrics
-            .max_queue_depth
-            .fetch_max(depth, Ordering::Relaxed);
-        if !self.queue.push(job) {
-            self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
-            self.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
-            return false;
-        }
-        true
+        self.submitter.submit(job).is_ok()
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        self.queue.close();
+        self.submitter.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -299,6 +329,29 @@ mod tests {
             "the single worker survived the panic and ran the next job"
         );
         assert_eq!(metrics.completed.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn submitter_hands_jobs_back_after_shutdown() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let pool = WorkerPool::new(1, Arc::clone(&metrics));
+        let submitter = pool.submitter();
+        let ran = Arc::new(AtomicUsize::new(0));
+        {
+            let ran = Arc::clone(&ran);
+            assert!(submitter
+                .submit(Box::new(move || {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                }))
+                .is_ok());
+        }
+        drop(pool); // close + drain + join
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+        let refused = submitter.submit(Box::new(|| {}));
+        assert!(refused.is_err(), "closed queue hands the job back");
+        // Accounting stays balanced for the refused submission.
+        assert_eq!(metrics.submitted.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
     }
 
     #[test]

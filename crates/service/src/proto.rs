@@ -26,8 +26,12 @@ pub enum ErrorCode {
     /// The referenced session does not exist (never opened, closed, or
     /// evicted after idling).
     SessionNotFound,
-    /// The referenced session is currently executing another request.
+    /// The referenced session is currently executing another request and
+    /// queueing is disabled (`session_queue_depth` 0).
     SessionBusy,
+    /// The referenced session's bounded dispatch queue is at capacity;
+    /// the request was refused rather than parked (retryable).
+    SessionQueueFull,
     /// The engine refused to open another session (capacity).
     SessionLimit,
     /// An internal invariant failed.
@@ -42,6 +46,7 @@ impl ErrorCode {
             ErrorCode::NotFound => "not_found",
             ErrorCode::SessionNotFound => "session_not_found",
             ErrorCode::SessionBusy => "session_busy",
+            ErrorCode::SessionQueueFull => "session_queue_full",
             ErrorCode::SessionLimit => "session_limit",
             ErrorCode::Internal => "internal",
         }
@@ -275,12 +280,24 @@ fn type_error(key: &str, expected: &str) -> ServiceError {
 }
 
 /// Appends the wire-protocol-v2 stream tag to a response envelope:
-/// `"stream": {"batch_id": B, "index": i?, "last": bool}`. Sub-response
-/// envelopes carry their request `index` and `last: false`; the one
-/// terminal summary line per streamed batch carries `last: true` and no
-/// index.
-pub fn with_stream_tag(envelope: Value, batch_id: u64, index: Option<usize>, last: bool) -> Value {
+/// `"stream": {"batch_id": B, "request": id?, "index": i?, "last": bool}`.
+/// Sub-response envelopes carry their request `index` and `last: false`;
+/// the one terminal summary line per streamed batch carries `last: true`
+/// and no index. `request` echoes the *outer* batch request's `id`
+/// verbatim (when it has one) on every line of the stream — with
+/// per-connection multiplexing several streams interleave on one socket,
+/// and this echo is what lets a client demultiplex them.
+pub fn with_stream_tag(
+    envelope: Value,
+    batch_id: u64,
+    request: Option<&Value>,
+    index: Option<usize>,
+    last: bool,
+) -> Value {
     let mut tag = Object::new().field("batch_id", batch_id);
+    if let Some(request) = request {
+        tag = tag.field("request", request.clone());
+    }
     if let Some(index) = index {
         tag = tag.field("index", index);
     }
@@ -348,18 +365,25 @@ mod tests {
             Some(Value::String("a".into())),
             Ok((Object::new().field("x", 1u64).build(), false)),
         );
-        let sub = with_stream_tag(base.clone(), 7, Some(2), false);
+        let outer = Value::String("outer".into());
+        let sub = with_stream_tag(base.clone(), 7, Some(&outer), Some(2), false);
         assert_eq!(sub.get("id").unwrap().as_str(), Some("a"));
         assert_eq!(sub.get("ok").unwrap().as_bool(), Some(true));
         let tag = sub.get("stream").unwrap();
         assert_eq!(tag.get("batch_id").unwrap().as_u64(), Some(7));
+        assert_eq!(tag.get("request").unwrap().as_str(), Some("outer"));
         assert_eq!(tag.get("index").unwrap().as_u64(), Some(2));
         assert_eq!(tag.get("last").unwrap().as_bool(), Some(false));
 
-        let terminal = with_stream_tag(base, 7, None, true);
+        let terminal = with_stream_tag(base.clone(), 7, Some(&outer), None, true);
         let tag = terminal.get("stream").unwrap();
         assert!(tag.get("index").is_none(), "terminal line has no index");
+        assert_eq!(tag.get("request").unwrap().as_str(), Some("outer"));
         assert_eq!(tag.get("last").unwrap().as_bool(), Some(true));
+
+        // An outer request without an id streams without the echo.
+        let anonymous = with_stream_tag(base, 7, None, Some(0), false);
+        assert!(anonymous.get("stream").unwrap().get("request").is_none());
     }
 
     #[test]

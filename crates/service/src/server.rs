@@ -5,12 +5,28 @@
 //! each worker accepts a connection, drains its request lines, and goes
 //! back to accepting. `accept(2)` on a shared listener is the thread pool:
 //! no queue, no async runtime, no dependency beyond `std`.
+//!
+//! ## Per-connection multiplexing
+//!
+//! A streamed batch used to occupy its connection until the last
+//! envelope was written — a client could not interleave a second batch
+//! (or even a `ping`) on the same socket. Now each connection runs a
+//! small [`MuxGate`]-bounded set of scoped side threads: a request that
+//! is a streamed batch is handed to a side thread (up to
+//! `EngineConfig::mux_streams` of them) while the reader keeps draining
+//! request lines, and every response line is written atomically through
+//! a shared, mutex-serialized writer. Envelopes of concurrent streams
+//! interleave on the wire; the `stream.request` id echo (see
+//! [`proto::with_stream_tag`](crate::proto::with_stream_tag)) is what
+//! lets the client demultiplex them. Non-streaming requests are still
+//! answered inline on the reader thread, in arrival order.
 
 use crate::engine::Engine;
+use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// A running TCP server. Dropping the handle does *not* stop the workers;
@@ -88,6 +104,84 @@ pub fn serve_tcp(engine: Arc<Engine>, addr: &str, workers: usize) -> std::io::Re
     })
 }
 
+/// Bounds how many streamed batches one connection runs concurrently.
+/// `acquire` blocks the reader while the connection is at capacity, so
+/// the pipeline's thread count stays at `cap` side threads per
+/// connection no matter how many stream requests the client floods in.
+struct MuxGate {
+    cap: usize,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl MuxGate {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Whether streamed batches may run on side threads at all.
+    fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    /// Acquires a slot, polling `halt` every 100 ms so a reader blocked
+    /// behind a full gate stays responsive to shutdown and to writer
+    /// failure. Returns `false` (no slot taken) when halted.
+    fn acquire(&self, halt: impl Fn() -> bool) -> bool {
+        let mut active = self.active.lock().expect("mux gate poisoned");
+        while *active >= self.cap {
+            if halt() {
+                return false;
+            }
+            (active, _) = self
+                .freed
+                .wait_timeout(active, std::time::Duration::from_millis(100))
+                .expect("mux gate poisoned");
+        }
+        *active += 1;
+        true
+    }
+
+    fn release(&self) {
+        *self.active.lock().expect("mux gate poisoned") -= 1;
+        self.freed.notify_one();
+    }
+
+    /// Streams currently running on side threads.
+    fn in_flight(&self) -> usize {
+        *self.active.lock().expect("mux gate poisoned")
+    }
+}
+
+/// The per-connection context shared by the reader loop and the stream
+/// side threads.
+struct Connection<'env, W> {
+    engine: &'env Engine,
+    /// Response lines from the reader thread and every side thread are
+    /// serialized through this lock, one complete line per acquisition.
+    writer: &'env Mutex<W>,
+    gate: &'env MuxGate,
+    /// Set when any side thread hits a write error: the reader stops
+    /// accepting new requests (the socket is dead anyway).
+    failed: &'env AtomicBool,
+    /// The server-wide shutdown flag (TCP only; `None` on stdio). A
+    /// reader waiting on a full mux gate re-checks it, so a stalled
+    /// client can never wedge a worker against shutdown.
+    stop: Option<&'env AtomicBool>,
+}
+
+// Manual impl: derive(Clone)/derive(Copy) would demand W: Clone/Copy.
+impl<W> Clone for Connection<'_, W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<W> Copy for Connection<'_, W> {}
+
 fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
     // A short read timeout keeps this worker responsive to shutdown even
     // while a client holds the connection open without sending anything.
@@ -101,103 +195,185 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
     // worker to the accept pool (clients reconnect per request anyway).
     const IDLE_DISCONNECT: std::time::Duration = std::time::Duration::from_secs(60);
     let mut last_activity = std::time::Instant::now();
-    let mut writer = stream.try_clone()?;
+    let writer = Mutex::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
-    // Lines accumulate as raw bytes: `read_until` keeps partial reads
-    // across timeouts intact (a `read_line` would discard bytes when a
-    // timeout splits a multi-byte UTF-8 character).
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        match reader.read_until(b'\n', &mut line) {
-            Ok(0) if line.is_empty() => return Ok(()), // EOF
-            Ok(n) => {
-                let eof = n == 0 || line.last() != Some(&b'\n');
-                respond(engine, &mut writer, &line)?;
-                line.clear();
-                if eof {
-                    return Ok(());
-                }
-                last_activity = std::time::Instant::now();
+    let gate = MuxGate::new(engine.config().mux_streams);
+    let failed = AtomicBool::new(false);
+    // Scoped: leaving the loop (EOF, idle, shutdown) joins the in-flight
+    // stream side threads, so a connection never leaks a detached writer.
+    std::thread::scope(|scope| {
+        let conn = Connection {
+            engine,
+            writer: &writer,
+            gate: &gate,
+            failed: &failed,
+            stop: Some(stop),
+        };
+        // Lines accumulate as raw bytes: `read_until` keeps partial reads
+        // across timeouts intact (a `read_line` would discard bytes when a
+        // timeout splits a multi-byte UTF-8 character).
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            if stop.load(Ordering::SeqCst) || failed.load(Ordering::Relaxed) {
+                return Ok(());
             }
-            // Timeout: partial bytes stay accumulated in `line`; loop to
-            // re-check the stop flag and the idle deadline, then keep
-            // reading.
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if last_activity.elapsed() >= IDLE_DISCONNECT {
-                    return Ok(());
+            match reader.read_until(b'\n', &mut line) {
+                Ok(0) if line.is_empty() => return Ok(()), // EOF
+                Ok(n) => {
+                    let eof = n == 0 || line.last() != Some(&b'\n');
+                    respond(conn, &line, scope)?;
+                    line.clear();
+                    if eof {
+                        return Ok(());
+                    }
+                    last_activity = std::time::Instant::now();
                 }
-                continue;
+                // Timeout: partial bytes stay accumulated in `line`; loop
+                // to re-check the stop flag and the idle deadline, then
+                // keep reading.
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // A connection with streams still emitting on side
+                    // threads is live, not idle — the reader used to sit
+                    // inside those streams (which suppressed this check),
+                    // so a long stream must not trip the disconnect now.
+                    if gate.in_flight() > 0 {
+                        last_activity = std::time::Instant::now();
+                    } else if last_activity.elapsed() >= IDLE_DISCONNECT {
+                        return Ok(());
+                    }
+                    continue;
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         }
-    }
+    })
 }
 
-/// Handles one raw request line and writes the response line(s) — shared
-/// by the TCP and stream transports. Most requests answer with exactly
-/// one line; a `batch` with `"stream": true` writes one envelope line per
-/// sub-request *as it completes* plus a terminal summary line (wire
-/// protocol v2 — each line is flushed immediately so envelopes reach the
-/// client before the batch finishes). A panic inside the engine (it
-/// should not happen; request validation exists to prevent it) is caught
-/// and answered as an `internal` error instead of unwinding the worker
-/// thread out of the pool (TCP) or killing the process (stdio).
-fn respond(engine: &Engine, writer: &mut impl Write, line: &[u8]) -> std::io::Result<()> {
-    let line = String::from_utf8_lossy(line);
-    if line.trim().is_empty() {
-        return Ok(());
-    }
-    let mut sink = |response: &str| -> std::io::Result<()> {
-        // One write per response (line + newline in a single buffer):
-        // split small writes cost an extra TCP segment — and, without
-        // TCP_NODELAY, a delayed-ACK round — per line.
-        let mut bytes = Vec::with_capacity(response.len() + 1);
-        bytes.extend_from_slice(response.as_bytes());
-        bytes.push(b'\n');
-        writer.write_all(&bytes)?;
-        writer.flush()
-    };
+/// Writes one complete response line (line + newline in a single buffer:
+/// split small writes cost an extra TCP segment — and, without
+/// TCP_NODELAY, a delayed-ACK round — per line) under the shared writer
+/// lock, so concurrent streams interleave whole lines, never bytes.
+fn write_line(writer: &Mutex<impl Write>, response: &str) -> std::io::Result<()> {
+    let mut bytes = Vec::with_capacity(response.len() + 1);
+    bytes.extend_from_slice(response.as_bytes());
+    bytes.push(b'\n');
+    let mut writer = writer.lock().expect("connection writer poisoned");
+    writer.write_all(&bytes)?;
+    writer.flush()
+}
+
+/// Runs one request to completion, writing its response line(s) through
+/// the shared writer. A panic inside the engine (it should not happen;
+/// request validation exists to prevent it) is caught and answered as an
+/// `internal` error instead of unwinding the worker thread out of the
+/// pool (TCP) or killing the process (stdio).
+fn handle_catching<W: Write>(
+    engine: &Engine,
+    writer: &Mutex<W>,
+    request: &Value,
+) -> std::io::Result<()> {
+    let mut sink = |response: &str| write_line(writer, response);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.handle_line_streamed(&line, &mut sink)
+        engine.handle_request_streamed(request, &mut sink)
     }));
     match outcome {
         Ok(io_result) => io_result,
-        Err(_) => {
-            let mut fallback =
-                br#"{"ok": false, "error": {"code": "internal", "message": "request handler panicked"}}"#
-                    .to_vec();
-            fallback.push(b'\n');
-            writer.write_all(&fallback)?;
-            writer.flush()
-        }
+        Err(_) => write_line(
+            writer,
+            r#"{"ok": false, "error": {"code": "internal", "message": "request handler panicked"}}"#,
+        ),
     }
+}
+
+/// Handles one raw request line — shared by the TCP and stream
+/// transports. Most requests answer with exactly one line, inline on the
+/// calling (reader) thread; a `batch` with `"stream": true` writes one
+/// envelope line per sub-request *as it completes* plus a terminal
+/// summary line (wire protocol v2 — each line is flushed immediately so
+/// envelopes reach the client before the batch finishes), and — when the
+/// connection's mux gate has room — runs on a scoped side thread so the
+/// reader can keep accepting interleaved requests.
+fn respond<'scope, W>(
+    conn: Connection<'scope, W>,
+    line: &[u8],
+    scope: &'scope std::thread::Scope<'scope, '_>,
+) -> std::io::Result<()>
+where
+    W: Write + Send + 'scope,
+{
+    let text = String::from_utf8_lossy(line);
+    if text.trim().is_empty() {
+        return Ok(());
+    }
+    let Ok(request) = serde_json::from_str(&text) else {
+        // Not JSON: let the engine produce its parse_error envelope.
+        let mut sink = |response: &str| write_line(conn.writer, response);
+        return conn.engine.handle_line_streamed(&text, &mut sink);
+    };
+    if Engine::is_streaming_request(&request) && conn.gate.enabled() {
+        // Blocks while `mux_streams` streams are already in flight —
+        // the reader pauses instead of spawning without bound, but stays
+        // responsive to shutdown and to a dead writer.
+        let halted = !conn.gate.acquire(|| {
+            conn.failed.load(Ordering::Relaxed)
+                || conn.stop.is_some_and(|stop| stop.load(Ordering::SeqCst))
+        });
+        if halted {
+            return Ok(()); // tearing down; the reader loop exits next
+        }
+        scope.spawn(move || {
+            let result = handle_catching(conn.engine, conn.writer, &request);
+            if result.is_err() {
+                conn.failed.store(true, Ordering::Relaxed);
+            }
+            conn.gate.release();
+        });
+        return Ok(());
+    }
+    handle_catching(conn.engine, conn.writer, &request)
 }
 
 /// Serves `engine` over arbitrary reader/writer streams — the
 /// `srank serve --stdio` transport, and directly testable with byte
-/// buffers. Returns when the reader reaches EOF.
+/// buffers. Returns when the reader reaches EOF (after joining any
+/// in-flight multiplexed streams). `writer` must be `Send` so streamed
+/// batches can interleave from side threads, exactly as over TCP.
 pub fn serve_stream(
     engine: &Engine,
     reader: impl std::io::Read,
-    mut writer: impl Write,
+    writer: impl Write + Send,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(reader);
-    for line in reader.lines() {
-        let line = line?;
-        respond(engine, &mut writer, line.as_bytes())?;
-    }
-    Ok(())
+    let writer = Mutex::new(writer);
+    let gate = MuxGate::new(engine.config().mux_streams);
+    let failed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let conn = Connection {
+            engine,
+            writer: &writer,
+            gate: &gate,
+            failed: &failed,
+            stop: None,
+        };
+        for line in reader.lines() {
+            if failed.load(Ordering::Relaxed) {
+                break; // a side thread hit a write error: writer is dead
+            }
+            let line = line?;
+            respond(conn, line.as_bytes(), scope)?;
+        }
+        Ok(())
+    })
 }
 
-/// `serve_stream` wired to this process's stdin/stdout.
+/// `serve_stream` wired to this process's stdin/stdout. (`Stdout` rather
+/// than `StdoutLock`: the lock guard is not `Send`, and the shared-writer
+/// mutex already serializes response lines.)
 pub fn serve_stdio(engine: &Engine) -> std::io::Result<()> {
-    serve_stream(engine, std::io::stdin().lock(), std::io::stdout().lock())
+    serve_stream(engine, std::io::stdin().lock(), std::io::stdout())
 }
 
 #[cfg(test)]

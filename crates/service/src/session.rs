@@ -13,8 +13,25 @@
 //! the table, so a crashed request can never leak a slot into a
 //! permanently-busy state.
 //!
+//! ## The per-session dispatch queue
+//!
+//! A request that lands on a checked-out session is no longer refused
+//! (`session_busy` dropped the work under exactly the concurrent
+//! multi-user load the service targets). Instead every slot carries a
+//! bounded FIFO of [`Waiter`]s: [`check_out_or_queue`]
+//! (SessionManager::check_out_or_queue) either hands the caller the
+//! session immediately or parks a waiter on the slot. When the current
+//! check-out returns, [`restore`](CheckedOut) hands the session —
+//! still marked checked out — straight to the front waiter, preserving
+//! arrival order. A transport thread parks a [`Handoff`] rendezvous and
+//! blocks; a pool job parks a continuation that re-submits itself to
+//! the worker pool, freeing its worker for other sessions' work in the
+//! meantime. `session_busy` survives only as the overflow answer: queue
+//! full (`session_queue_full`), or queueing disabled (`queue_depth` 0).
+//!
 //! Idle sessions are evicted: every engine touch sweeps sessions whose
-//! last use is older than the configured TTL.
+//! last use is older than the configured TTL. A session with queued
+//! waiters is never evicted out from under its queue.
 //!
 //! ## Sharding
 //!
@@ -30,10 +47,14 @@
 use crate::proto::{ErrorCode, ServiceError, ServiceResult};
 use rand::rngs::StdRng;
 use srank_core::{MdState, RandomizedState, Sweep2DState};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Default bound on waiters parked per session (see
+/// [`SessionManager::with_queue_depth`]).
+pub const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 /// Shard-index width of a session id.
 pub const SHARD_BITS: u32 = 4;
@@ -137,11 +158,125 @@ impl std::fmt::Debug for CheckedOut<'_> {
     }
 }
 
-/// One table entry: the session itself, or a marker while a request
-/// thread owns it.
-enum Slot {
+/// One parked request waiting for a checked-out session: the closure is
+/// invoked exactly once, with the session (FIFO handoff) or with the
+/// error that voided the wait (session closed / table dropped).
+pub struct Waiter {
+    enqueued: Instant,
+    deliver: Option<Box<dyn FnOnce(ServiceResult<Session>) + Send>>,
+}
+
+impl Waiter {
+    pub fn new(deliver: impl FnOnce(ServiceResult<Session>) + Send + 'static) -> Self {
+        Self {
+            enqueued: Instant::now(),
+            deliver: Some(Box::new(deliver)),
+        }
+    }
+
+    fn grant(mut self, session: Session) {
+        (self.deliver.take().expect("delivered once"))(Ok(session));
+    }
+
+    fn fail(mut self, error: ServiceError) {
+        (self.deliver.take().expect("delivered once"))(Err(error));
+    }
+}
+
+impl Drop for Waiter {
+    fn drop(&mut self) {
+        // Every code path delivers explicitly; this fallback exists so a
+        // waiter can never be dropped silently — a parked transport
+        // thread or batch slot would otherwise hang forever.
+        if let Some(deliver) = self.deliver.take() {
+            deliver(Err(ServiceError::internal(
+                "session slot dropped with queued work",
+            )));
+        }
+    }
+}
+
+/// A blocking rendezvous for transport threads: park `waiter()` on the
+/// session's queue, then `wait()` for the handoff.
+pub struct Handoff {
+    slot: Mutex<Option<ServiceResult<Session>>>,
+    ready: Condvar,
+}
+
+impl Handoff {
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// The waiter to park; fulfilling it wakes [`wait`](Self::wait).
+    pub fn waiter(self: &Arc<Self>) -> Waiter {
+        let handoff = Arc::clone(self);
+        Waiter::new(move |outcome| {
+            *handoff.slot.lock().expect("handoff poisoned") = Some(outcome);
+            handoff.ready.notify_one();
+        })
+    }
+
+    /// Blocks until the session is handed over (or the wait is voided).
+    /// Never unbounded in practice: the session's current holder is
+    /// always actively executing, and the queue ahead is bounded.
+    pub fn wait(&self) -> ServiceResult<Session> {
+        let mut slot = self.slot.lock().expect("handoff poisoned");
+        loop {
+            if let Some(outcome) = slot.take() {
+                return outcome;
+            }
+            slot = self.ready.wait(slot).expect("handoff poisoned");
+        }
+    }
+}
+
+/// Outcome of [`SessionManager::check_out_or_queue`].
+// The guard embeds the session inline (it is moved, not boxed, along the
+// whole checkout path); this enum lives only transiently on a dispatch
+// stack frame, so the size imbalance costs nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum CheckOut<'a> {
+    /// The session was free: the caller owns it now.
+    Ready(CheckedOut<'a>),
+    /// The session is busy; the waiter is parked and will be granted the
+    /// session in FIFO order.
+    Queued,
+}
+
+/// One table entry: the session (or a marker while a request owns it)
+/// plus the FIFO of waiters parked on it.
+struct Slot {
+    state: SlotState,
+    queue: VecDeque<Waiter>,
+}
+
+enum SlotState {
     Available(Box<Session>),
     CheckedOut,
+}
+
+/// Snapshot of the dispatch-queue counters — the `stats` op's
+/// `session_queue` block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueCounters {
+    /// Per-session waiter bound (0 = queueing disabled).
+    pub per_session_cap: usize,
+    /// Waiters currently parked, across all sessions.
+    pub depth: usize,
+    /// High-water mark of `depth`.
+    pub max_depth: u64,
+    /// Requests ever parked.
+    pub queued_total: u64,
+    /// Parked requests granted their session.
+    pub granted: u64,
+    /// Cumulative park→grant wait.
+    pub wait_micros: u64,
 }
 
 /// The shared session table. All methods take `&self`.
@@ -152,17 +287,31 @@ pub struct SessionManager {
     /// the lock-free capacity gate.
     count: AtomicUsize,
     /// Sessions currently checked out by a request thread or pool
-    /// worker. With the batch worker pool, several sub-requests can
-    /// target one session concurrently; this (with `busy_conflicts`)
-    /// makes those collisions observable via `stats`.
+    /// worker (a handed-off session counts as still checked out).
     checked_out: AtomicUsize,
-    /// Cumulative `session_busy` refusals from [`check_out`].
+    /// Cumulative busy *refusals*: queue overflow, queueing disabled, or
+    /// a non-queueing [`check_out`](Self::check_out) on a busy session.
+    /// Queued requests are NOT counted here (see `queued_total`).
     busy_conflicts: AtomicU64,
+    /// Per-session waiter bound; 0 disables queueing entirely.
+    queue_depth_cap: usize,
+    queued_total: AtomicU64,
+    queue_granted: AtomicU64,
+    queue_depth: AtomicUsize,
+    queue_max_depth: AtomicU64,
+    queue_wait_micros: AtomicU64,
     max_sessions: usize,
 }
 
 impl SessionManager {
     pub fn new(max_sessions: usize) -> Self {
+        Self::with_queue_depth(max_sessions, DEFAULT_QUEUE_DEPTH)
+    }
+
+    /// `queue_depth` bounds the waiters parked per session; 0 disables
+    /// queueing (every busy collision answers `session_busy`, the
+    /// pre-queue behavior).
+    pub fn with_queue_depth(max_sessions: usize, queue_depth: usize) -> Self {
         Self {
             shards: (0..NUM_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -171,6 +320,12 @@ impl SessionManager {
             count: AtomicUsize::new(0),
             checked_out: AtomicUsize::new(0),
             busy_conflicts: AtomicU64::new(0),
+            queue_depth_cap: queue_depth,
+            queued_total: AtomicU64::new(0),
+            queue_granted: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_max_depth: AtomicU64::new(0),
+            queue_wait_micros: AtomicU64::new(0),
             max_sessions: max_sessions.max(1),
         }
     }
@@ -210,95 +365,218 @@ impl SessionManager {
             .expect("session lock poisoned")
             .insert(
                 id,
-                Slot::Available(Box::new(Session {
-                    id,
-                    dataset,
-                    generation,
-                    state,
-                    created: now,
-                    last_used: now,
-                    returned: 0,
-                    last_stability: None,
-                })),
+                Slot {
+                    state: SlotState::Available(Box::new(Session {
+                        id,
+                        dataset,
+                        generation,
+                        state,
+                        created: now,
+                        last_used: now,
+                        returned: 0,
+                        last_stability: None,
+                    })),
+                    queue: VecDeque::new(),
+                },
             );
         Ok(id)
     }
 
+    fn not_found(id: u64) -> ServiceError {
+        ServiceError::session_not_found(format!(
+            "session {id} does not exist (never opened, closed, or evicted)"
+        ))
+    }
+
+    fn busy(id: u64) -> ServiceError {
+        ServiceError::new(
+            ErrorCode::SessionBusy,
+            format!(
+                "session {id} is executing another request \
+                 (sessions are single-flight; queueing is disabled)"
+            ),
+        )
+    }
+
     /// Takes exclusive ownership of a session for the duration of one
-    /// request. Concurrent requests against the same session get
-    /// `session_busy` instead of blocking a worker thread. Locks only the
-    /// session's own dataset shard.
+    /// request, *without* queueing: concurrent requests against the same
+    /// session get `session_busy` instead of blocking or parking. Locks
+    /// only the session's own dataset shard. Dispatch paths that must
+    /// not drop work use [`check_out_or_queue`](Self::check_out_or_queue)
+    /// instead.
     pub fn check_out(&self, id: u64) -> ServiceResult<CheckedOut<'_>> {
         let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
         match slots.get_mut(&id) {
-            None => Err(ServiceError::session_not_found(format!(
-                "session {id} does not exist (never opened, closed, or evicted)"
-            ))),
-            Some(Slot::CheckedOut) => {
+            None => Err(Self::not_found(id)),
+            Some(slot) => match &slot.state {
+                SlotState::CheckedOut => {
+                    self.busy_conflicts.fetch_add(1, Ordering::Relaxed);
+                    Err(Self::busy(id))
+                }
+                SlotState::Available(_) => Ok(self.take(slot)),
+            },
+        }
+    }
+
+    /// Takes the session out of an `Available` slot (caller holds the
+    /// shard lock and has matched on the state).
+    fn take(&self, slot: &mut Slot) -> CheckedOut<'_> {
+        let SlotState::Available(session) =
+            std::mem::replace(&mut slot.state, SlotState::CheckedOut)
+        else {
+            unreachable!("Available matched by the caller")
+        };
+        self.checked_out.fetch_add(1, Ordering::Relaxed);
+        CheckedOut {
+            manager: self,
+            session: Some(*session),
+        }
+    }
+
+    /// Checks the session out immediately if it is free, otherwise parks
+    /// `waiter()` on the session's bounded FIFO queue — the session will
+    /// be handed to it (in arrival order) when the current check-out
+    /// returns. The waiter closure is only constructed when the request
+    /// actually queues.
+    ///
+    /// Errors: `session_not_found`, `session_queue_full` (the bounded
+    /// queue is at capacity), or `session_busy` (queueing disabled).
+    pub fn check_out_or_queue(
+        &self,
+        id: u64,
+        waiter: impl FnOnce() -> Waiter,
+    ) -> ServiceResult<CheckOut<'_>> {
+        let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
+        let Some(slot) = slots.get_mut(&id) else {
+            return Err(Self::not_found(id));
+        };
+        match &slot.state {
+            SlotState::Available(_) => Ok(CheckOut::Ready(self.take(slot))),
+            SlotState::CheckedOut if self.queue_depth_cap == 0 => {
+                self.busy_conflicts.fetch_add(1, Ordering::Relaxed);
+                Err(Self::busy(id))
+            }
+            SlotState::CheckedOut if slot.queue.len() >= self.queue_depth_cap => {
                 self.busy_conflicts.fetch_add(1, Ordering::Relaxed);
                 Err(ServiceError::new(
-                    ErrorCode::SessionBusy,
+                    ErrorCode::SessionQueueFull,
                     format!(
-                        "session {id} is executing another request \
-                         (sessions are single-flight, also across batch sub-requests)"
+                        "session {id} dispatch queue is full ({} waiting); retry later",
+                        slot.queue.len()
                     ),
                 ))
             }
-            Some(slot) => {
-                let Slot::Available(session) = std::mem::replace(slot, Slot::CheckedOut) else {
-                    unreachable!("CheckedOut matched above")
-                };
-                self.checked_out.fetch_add(1, Ordering::Relaxed);
-                Ok(CheckedOut {
-                    manager: self,
-                    session: Some(*session),
-                })
+            SlotState::CheckedOut => {
+                slot.queue.push_back(waiter());
+                self.queued_total.fetch_add(1, Ordering::Relaxed);
+                let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                self.queue_max_depth
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+                Ok(CheckOut::Queued)
             }
+        }
+    }
+
+    /// Wraps a session granted through a [`Waiter`] back into the RAII
+    /// guard. The slot is still marked checked out (ownership was handed
+    /// over, never returned to the table), so this touches no lock.
+    pub fn adopt(&self, session: Session) -> CheckedOut<'_> {
+        CheckedOut {
+            manager: self,
+            session: Some(session),
         }
     }
 
     /// Returns a checked-out session to the table, stamping last-use
-    /// (called from [`CheckedOut::drop`]).
+    /// (called from [`CheckedOut::drop`]). If waiters are queued, the
+    /// session is handed to the front one instead — still marked checked
+    /// out, so arrival order is preserved and no one can jump the queue.
     fn restore(&self, mut session: Session) {
-        self.checked_out.fetch_sub(1, Ordering::Relaxed);
         session.last_used = Instant::now();
-        let mut slots = self
-            .shard_of(session.id)
-            .lock()
-            .expect("session lock poisoned");
-        // A close/eviction that raced the check-out wins: only re-insert
-        // when the slot still exists.
-        if let Some(slot) = slots.get_mut(&session.id) {
-            *slot = Slot::Available(Box::new(session));
+        let handed_off = {
+            let mut slots = self
+                .shard_of(session.id)
+                .lock()
+                .expect("session lock poisoned");
+            match slots.get_mut(&session.id) {
+                // A close/eviction that raced the check-out wins: the
+                // session is dropped (close drained any waiters).
+                None => None,
+                Some(slot) => match slot.queue.pop_front() {
+                    Some(waiter) => Some((waiter, session)),
+                    None => {
+                        slot.state = SlotState::Available(Box::new(session));
+                        None
+                    }
+                },
+            }
+        };
+        // Deliver outside the shard lock: the waiter closure wakes a
+        // parked thread or re-submits a pool job.
+        match handed_off {
+            None => {
+                self.checked_out.fetch_sub(1, Ordering::Relaxed);
+            }
+            Some((waiter, session)) => {
+                self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                self.queue_granted.fetch_add(1, Ordering::Relaxed);
+                let waited = waiter
+                    .enqueued
+                    .elapsed()
+                    .as_micros()
+                    .min(u128::from(u64::MAX));
+                self.queue_wait_micros
+                    .fetch_add(waited as u64, Ordering::Relaxed);
+                waiter.grant(session);
+            }
         }
     }
 
-    /// Closes a session; reports whether it existed.
+    /// Closes a session; reports whether it existed. Queued waiters are
+    /// failed with `session_not_found` — never dropped silently.
     pub fn close(&self, id: u64) -> bool {
         let removed = self
             .shard_of(id)
             .lock()
             .expect("session lock poisoned")
-            .remove(&id)
-            .is_some();
-        if removed {
-            self.count.fetch_sub(1, Ordering::AcqRel);
+            .remove(&id);
+        match removed {
+            None => false,
+            Some(slot) => {
+                self.count.fetch_sub(1, Ordering::AcqRel);
+                self.fail_waiters(slot.queue, id, "closed");
+                true
+            }
         }
-        removed
+    }
+
+    /// Delivers `session_not_found` to every drained waiter (outside any
+    /// shard lock — the caller already removed the slot).
+    fn fail_waiters(&self, queue: VecDeque<Waiter>, id: u64, why: &str) {
+        for waiter in queue {
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            waiter.fail(ServiceError::session_not_found(format!(
+                "session {id} was {why} while this request was queued on it"
+            )));
+        }
     }
 
     /// Evicts sessions idle longer than `ttl`; returns how many were
-    /// dropped. Checked-out sessions are never evicted mid-request.
-    /// Shards are swept one at a time — no global freeze.
+    /// dropped. Checked-out sessions are never evicted mid-request, and
+    /// a session with queued waiters is never evicted out from under its
+    /// queue. Shards are swept one at a time — no global freeze.
     pub fn evict_idle(&self, ttl: Duration) -> usize {
         let now = Instant::now();
         let mut evicted = 0;
         for shard in &self.shards {
             let mut slots = shard.lock().expect("session lock poisoned");
             let before = slots.len();
-            slots.retain(|_, slot| match slot {
-                Slot::Available(s) => now.duration_since(s.last_used) < ttl,
-                Slot::CheckedOut => true,
+            slots.retain(|_, slot| {
+                !slot.queue.is_empty()
+                    || match &slot.state {
+                        SlotState::Available(s) => now.duration_since(s.last_used) < ttl,
+                        SlotState::CheckedOut => true,
+                    }
             });
             evicted += before - slots.len();
         }
@@ -318,7 +596,9 @@ impl SessionManager {
     }
 
     /// `(open, checked_out_now, busy_conflicts)` — the `stats` op's
-    /// `session_table` row.
+    /// `session_table` row. `busy_conflicts` counts *refusals* only
+    /// (queue overflow / queueing disabled); queued requests show up in
+    /// [`queue_counters`](Self::queue_counters) instead.
     pub fn counters(&self) -> (usize, usize, u64) {
         (
             self.count.load(Ordering::Acquire),
@@ -327,20 +607,33 @@ impl SessionManager {
         )
     }
 
+    /// Snapshot of the dispatch-queue counters — the `stats` op's
+    /// `session_queue` block.
+    pub fn queue_counters(&self) -> QueueCounters {
+        QueueCounters {
+            per_session_cap: self.queue_depth_cap,
+            depth: self.queue_depth.load(Ordering::Relaxed),
+            max_depth: self.queue_max_depth.load(Ordering::Relaxed),
+            queued_total: self.queued_total.load(Ordering::Relaxed),
+            granted: self.queue_granted.load(Ordering::Relaxed),
+            wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
+        }
+    }
+
     /// `(id, dataset, kind, returned)` rows for `stats`, sorted by id.
     /// Checked-out sessions appear with their kind reported as `"busy"`.
     pub fn list(&self) -> Vec<(u64, String, String, usize)> {
         let mut rows: Vec<(u64, String, String, usize)> = Vec::new();
         for shard in &self.shards {
             let slots = shard.lock().expect("session lock poisoned");
-            rows.extend(slots.iter().map(|(&id, slot)| match slot {
-                Slot::Available(s) => (
+            rows.extend(slots.iter().map(|(&id, slot)| match &slot.state {
+                SlotState::Available(s) => (
                     id,
                     s.dataset.clone(),
                     s.state.kind().to_string(),
                     s.returned,
                 ),
-                Slot::CheckedOut => (id, String::new(), "busy".to_string(), 0),
+                SlotState::CheckedOut => (id, String::new(), "busy".to_string(), 0),
             }));
         }
         rows.sort_by_key(|r| r.0);
@@ -522,6 +815,155 @@ mod tests {
         // Discard balances the checked-out gauge too.
         mgr.check_out(id).unwrap().discard();
         assert_eq!(mgr.counters(), (0, 0, 2));
+    }
+
+    #[test]
+    fn queued_waiters_are_granted_in_fifo_order() {
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3u32 {
+            let order = Arc::clone(&order);
+            let chain = Arc::clone(&mgr);
+            let outcome = mgr
+                .check_out_or_queue(id, || {
+                    Waiter::new(move |granted| {
+                        let session = granted.expect("handed the session");
+                        order.lock().unwrap().push(i);
+                        // Check back in, which hands off to the next waiter.
+                        drop(chain.adopt(session));
+                    })
+                })
+                .unwrap();
+            assert!(matches!(outcome, CheckOut::Queued), "session is held");
+        }
+        assert_eq!(mgr.queue_counters().depth, 3);
+        drop(out); // FIFO handoff chain runs to completion
+        assert_eq!(order.lock().unwrap().as_slice(), &[0, 1, 2]);
+        let q = mgr.queue_counters();
+        assert_eq!((q.depth, q.queued_total, q.granted), (0, 3, 3));
+        // No refusal happened, and the session is fully checked in.
+        assert_eq!(mgr.counters().2, 0, "queued requests are not conflicts");
+        assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn handoff_blocks_a_thread_until_the_checkout_returns() {
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let handoff = Handoff::new();
+        assert!(matches!(
+            mgr.check_out_or_queue(id, || handoff.waiter()).unwrap(),
+            CheckOut::Queued
+        ));
+        let waiter_thread = {
+            let mgr = Arc::clone(&mgr);
+            let handoff = Arc::clone(&handoff);
+            std::thread::spawn(move || {
+                let session = handoff.wait().expect("granted");
+                let mut checked = mgr.adopt(session);
+                checked.session().returned += 1;
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !waiter_thread.is_finished(),
+            "waiter must block while the session is held"
+        );
+        drop(out);
+        waiter_thread.join().expect("granted after check-in");
+        let mut again = mgr.check_out(id).expect("checked back in");
+        assert_eq!(again.session().returned, 1, "the queued request ran");
+    }
+
+    #[test]
+    fn bounded_queue_overflows_to_session_queue_full() {
+        let mgr = Arc::new(SessionManager::with_queue_depth(8, 1));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let chain = Arc::clone(&mgr);
+        assert!(matches!(
+            mgr.check_out_or_queue(id, || Waiter::new(move |granted| {
+                drop(chain.adopt(granted.expect("granted")));
+            }))
+            .unwrap(),
+            CheckOut::Queued
+        ));
+        let err = mgr
+            .check_out_or_queue(id, || Waiter::new(|_| {}))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionQueueFull);
+        assert_eq!(mgr.counters().2, 1, "overflow is a counted refusal");
+        drop(out);
+        assert_eq!(mgr.queue_counters().granted, 1);
+    }
+
+    #[test]
+    fn queue_depth_zero_keeps_the_classic_busy_refusal() {
+        let mgr = SessionManager::with_queue_depth(8, 0);
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let err = mgr
+            .check_out_or_queue(id, || Waiter::new(|_| {}))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionBusy);
+        assert_eq!(mgr.counters().2, 1);
+        drop(out);
+    }
+
+    #[test]
+    fn closing_a_session_fails_its_queued_waiters() {
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let delivered = Arc::new(Mutex::new(None));
+        let seen = Arc::clone(&delivered);
+        assert!(matches!(
+            mgr.check_out_or_queue(id, || Waiter::new(move |granted| {
+                *seen.lock().unwrap() = Some(granted.map(|_| ()));
+            }))
+            .unwrap(),
+            CheckOut::Queued
+        ));
+        assert!(mgr.close(id));
+        // The waiter was failed at close time, not left hanging.
+        let outcome = delivered.lock().unwrap().take().expect("delivered");
+        assert_eq!(outcome.unwrap_err().code, ErrorCode::SessionNotFound);
+        assert_eq!(mgr.queue_counters().depth, 0);
+        drop(out); // must not resurrect the closed session
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn eviction_never_drops_a_session_with_queued_work() {
+        // Regression: idle eviction racing a queued sub-request must not
+        // evict the session out from under its queue.
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let granted = Arc::new(Mutex::new(false));
+        let seen = Arc::clone(&granted);
+        let chain = Arc::clone(&mgr);
+        assert!(matches!(
+            mgr.check_out_or_queue(id, || Waiter::new(move |outcome| {
+                *seen.lock().unwrap() = outcome.is_ok();
+                drop(chain.adopt(outcome.expect("granted, not evicted")));
+            }))
+            .unwrap(),
+            CheckOut::Queued
+        ));
+        assert_eq!(
+            mgr.evict_idle(Duration::ZERO),
+            0,
+            "a session with pending queued work is never evicted"
+        );
+        drop(out); // hand off to the queued waiter
+        assert!(*granted.lock().unwrap(), "queued work ran after the sweep");
+        // Once the queue is drained the session evicts normally again.
+        assert_eq!(mgr.evict_idle(Duration::ZERO), 1);
+        assert!(mgr.is_empty());
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn obj(s: &str) -> Value {
 fn tiny_pool_engine() -> Arc<Engine> {
     Arc::new(Engine::new(EngineConfig {
         pool_workers: 2,
-        stream_queue_cap: 1,
+        stream_queue_cap: std::num::NonZeroUsize::new(1),
         ..EngineConfig::default()
     }))
 }

@@ -387,7 +387,7 @@ fn bounded_response_queue_backpressures_workers_observably() {
     // arrives exactly once.
     let e = Engine::new(EngineConfig {
         pool_workers: 2,
-        stream_queue_cap: 1,
+        stream_queue_cap: std::num::NonZeroUsize::new(1),
         ..EngineConfig::default()
     });
     let subs: Vec<String> = (0..16)
@@ -424,7 +424,7 @@ fn a_wedged_stream_consumer_cannot_starve_other_batches() {
     // queue — and every other connection's batch hung forever.
     let engine = std::sync::Arc::new(Engine::new(EngineConfig {
         pool_workers: 2,
-        stream_queue_cap: 1,
+        stream_queue_cap: std::num::NonZeroUsize::new(1),
         ..EngineConfig::default()
     }));
     let (unblock_tx, unblock_rx) = std::sync::mpsc::channel::<()>();
