@@ -2,9 +2,11 @@
 //!
 //! Measures the randomized-sampler kernel (cold `sample_n`, parallel
 //! `sample_n_parallel`) on the full-scope DoT workload (n = 2000,
-//! 100k samples), the faithful pre-interning baseline for comparison, and
-//! the service batch-op round-trip, then writes the numbers as JSON
-//! (`BENCH_2.json` by default) so future PRs can diff throughput.
+//! 100k samples), the faithful pre-interning baseline for comparison,
+//! the service batch-op round-trip, and the warm-restart
+//! time-to-first-cached-verify through a snapshot/restore cycle, then
+//! writes the numbers as JSON (`BENCH_5.json` by default) so future PRs
+//! can diff throughput.
 //!
 //! ```text
 //! cargo run --release -p srank-bench --bin bench_record -- [--smoke] [--out PATH]
@@ -265,9 +267,77 @@ fn measure_service(rounds: usize) -> Value {
     ])
 }
 
+/// Warm-restart benchmark: time-to-first-cached-verify across a
+/// snapshot/restore cycle, against the cold computation it avoids.
+fn measure_persistence(samples: usize) -> Value {
+    let dir = std::env::temp_dir().join(format!("srank-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let with_dir = || {
+        Engine::new(EngineConfig {
+            data_dir: Some(dir.clone()),
+            ..EngineConfig::default()
+        })
+    };
+    let load = format!(
+        r#"{{"op": "registry.load", "dataset": "dot2000", "builtin": "dot", "n": {N_ITEMS}, "d": 0, "seed": 1322}}"#
+    );
+    let verify = format!(
+        r#"{{"op": "verify", "dataset": "dot2000", "weights": [1, 1, 1.5], "samples": {samples}}}"#
+    );
+    let call = |engine: &Engine, req: &str| -> Value {
+        let response: Value = serde_json::from_str(&engine.handle_line(req)).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{req}: {response:?}"
+        );
+        response
+    };
+
+    eprintln!("persistence: cold verify + snapshot…");
+    let cold_secs;
+    {
+        let engine = with_dir();
+        call(&engine, &load);
+        let t = Instant::now();
+        call(&engine, &verify);
+        cold_secs = t.elapsed().as_secs_f64();
+        call(&engine, r#"{"op": "snapshot"}"#);
+    }
+
+    eprintln!("persistence: warm restart…");
+    let t = Instant::now();
+    let engine = with_dir(); // boot restore happens inside
+    let restore_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let response = call(&engine, &verify);
+    let warm_secs = t.elapsed().as_secs_f64();
+    assert_eq!(
+        response.get("cached").and_then(Value::as_bool),
+        Some(true),
+        "first verify after restart must be a cache hit"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    obj(vec![
+        ("samples", Value::Number(samples as f64)),
+        ("cold_verify_seconds", Value::Number(cold_secs)),
+        ("restore_boot_seconds", Value::Number(restore_secs)),
+        ("warm_first_cached_verify_seconds", Value::Number(warm_secs)),
+        (
+            "time_to_first_cached_verify_seconds",
+            Value::Number(restore_secs + warm_secs),
+        ),
+        (
+            "warm_speedup_vs_cold",
+            Value::Number(cold_secs / (restore_secs + warm_secs)),
+        ),
+    ])
+}
+
 fn main() {
     let mut smoke = false;
-    let mut out = "BENCH_2.json".to_string();
+    let mut out = "BENCH_5.json".to_string();
     let mut phase: Option<String> = None;
     let mut samples_override: Option<usize> = None;
     let mut threads = 1usize;
@@ -301,14 +371,16 @@ fn main() {
 
     let (sampler, speedup) = measure_sampler(samples, trials);
     let service = measure_service(rounds);
+    let persistence = measure_persistence(if smoke { 2_000 } else { 20_000 });
     let report = obj(vec![
-        ("bench", Value::String("BENCH_2".into())),
+        ("bench", Value::String("BENCH_5".into())),
         (
             "mode",
             Value::String(if smoke { "smoke" } else { "full" }.into()),
         ),
         ("sampler", sampler),
         ("service_batch", service),
+        ("warm_restart", persistence),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, format!("{json}\n")).expect("write report");

@@ -29,18 +29,55 @@
 //! dispatch queue (0 restores hard `session_busy` refusals), `--mux N`
 //! caps the streamed batches one connection may interleave (0 serializes
 //! them).
+//!
+//! Durability: `--data-dir PATH` opens the persistence store there (the
+//! engine restores whatever warm state it holds before the first
+//! request), `--checkpoint-secs N` starts the background journal that
+//! persists dirty sessions every N seconds, and `--metrics-port P`
+//! serves the Prometheus text exposition on `127.0.0.1:P` as a one-shot
+//! responder. A TCP server with a data dir drains gracefully on
+//! SIGTERM/SIGINT: stop accepting, flush in-flight work, write a full
+//! snapshot, exit — so the next boot is warm. `srank snapshot ADDR` and
+//! `srank restore ADDR` trigger the corresponding ops on a running
+//! server.
 
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+/// Set by the SIGTERM/SIGINT handler; polled by the foreground serve
+/// loop to start the graceful drain.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_termination_signal(_sig: i32) {
+    // Only an atomic store: the one thing that is async-signal-safe.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Registers the drain handler for SIGTERM (15) and SIGINT (2) via
+/// libc's `signal` (already linked by std; no crate needed).
+fn install_termination_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    let handler = on_termination_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(15, handler);
+        signal(2, handler);
+    }
+}
+
 /// Parses and runs `serve`. Blocks until the transport ends (EOF on
-/// stdio, never for TCP). Returns the (possibly empty) final output.
+/// stdio, SIGTERM/SIGINT for TCP). Returns the (possibly empty) final
+/// output.
 pub fn run_serve(args: &[String]) -> Result<String, String> {
     let mut listen: Option<String> = None;
     let mut workers = 4usize;
     let mut stdio = false;
     let mut preload = Vec::new();
+    let mut checkpoint_secs: Option<u64> = None;
+    let mut metrics_port: Option<u16> = None;
     let mut config = EngineConfig::default();
     let mut it = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
@@ -59,11 +96,31 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
             "--mux" => config.mux_streams = parse_count("--mux", it.next())?,
             "--stdio" => stdio = true,
             "--preload" => preload.push(it.next().ok_or("--preload needs a dataset")?.clone()),
+            "--data-dir" => {
+                config.data_dir = Some(it.next().ok_or("--data-dir needs a path")?.into())
+            }
+            "--checkpoint-secs" => {
+                checkpoint_secs = Some(parse_count("--checkpoint-secs", it.next())? as u64)
+            }
+            "--metrics-port" => {
+                metrics_port = Some(
+                    it.next()
+                        .ok_or("--metrics-port needs a port")?
+                        .parse()
+                        .map_err(|_| "--metrics-port needs a port number".to_string())?,
+                )
+            }
             other => return Err(format!("serve: unknown option {other}")),
         }
     }
     if stdio && listen.is_some() {
         return Err("serve: use either --stdio or --listen, not both".into());
+    }
+    if checkpoint_secs.is_some() && config.data_dir.is_none() {
+        return Err("serve: --checkpoint-secs needs --data-dir".into());
+    }
+    if metrics_port.is_some() && listen.is_none() {
+        return Err("serve: --metrics-port needs --listen (no metrics responder on stdio)".into());
     }
 
     let engine = Engine::new(config);
@@ -97,22 +154,91 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
         );
     }
 
+    let core = engine.core_arc();
+    let mut journal = checkpoint_secs.and_then(|secs| {
+        srank_service::store::journal::start(
+            Arc::clone(&core),
+            std::time::Duration::from_secs(secs.max(1)),
+        )
+    });
+
     match listen {
         None => {
             srank_service::serve_stdio(&engine).map_err(|e| format!("stdio transport: {e}"))?;
+            // EOF on stdin is this transport's graceful shutdown.
+            match journal.as_mut() {
+                Some(journal) => journal.shutdown(), // final full snapshot
+                None => {
+                    if let Err(e) = core.checkpoint_now() {
+                        eprintln!("shutdown snapshot failed: {e}");
+                    }
+                }
+            }
             Ok(String::new())
         }
         Some(addr) => {
-            let handle = srank_service::serve_tcp(Arc::new(engine), &addr, workers)
+            let engine = Arc::new(engine);
+            let mut handle = srank_service::serve_tcp(Arc::clone(&engine), &addr, workers)
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            let mut metrics = match metrics_port {
+                None => None,
+                Some(port) => {
+                    let metrics = srank_service::serve_metrics(
+                        Arc::clone(&engine),
+                        &format!("127.0.0.1:{port}"),
+                    )
+                    .map_err(|e| format!("cannot bind metrics port {port}: {e}"))?;
+                    eprintln!("metrics on http://{}/metrics", metrics.addr());
+                    Some(metrics)
+                }
+            };
             eprintln!(
                 "srank-service listening on {} ({workers} workers)",
                 handle.addr()
             );
-            handle.join();
+            // Foreground: wait for SIGTERM/SIGINT, then drain — stop
+            // accepting, let in-flight requests flush, checkpoint, exit.
+            install_termination_handler();
+            while !SHUTDOWN.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            eprintln!("srank-service draining: stopping listeners…");
+            if let Some(metrics) = metrics.as_mut() {
+                metrics.shutdown();
+            }
+            handle.shutdown();
+            match journal.as_mut() {
+                Some(journal) => journal.shutdown(), // final full snapshot
+                None => {
+                    if let Err(e) = core.checkpoint_now() {
+                        eprintln!("shutdown snapshot failed: {e}");
+                    }
+                }
+            }
+            eprintln!("srank-service stopped.");
             Ok(String::new())
         }
     }
+}
+
+/// `srank snapshot ADDR` / `srank restore ADDR`: triggers the op on a
+/// running server and prints its report.
+pub fn run_persist_op(op: &str, args: &[String]) -> Result<String, String> {
+    let [addr]: [String; 1] = args
+        .to_vec()
+        .try_into()
+        .map_err(|_| format!("{op} needs exactly: ADDR"))?;
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let request = serde_json::Value::Object(vec![(
+        "op".to_string(),
+        serde_json::Value::String(op.to_string()),
+    )]);
+    let response = client.call(&request).map_err(|e| e.to_string())?;
+    let result = srank_service::client::expect_ok(&response).map_err(|e| e.to_string())?;
+    serde_json::to_string_pretty(&result)
+        .map(|s| s + "\n")
+        .map_err(|e| e.to_string())
 }
 
 /// Parses and runs `query`: one request (or a stdin stream) against a

@@ -113,6 +113,62 @@ fn query_stream_prints_tagged_envelopes_plus_a_terminal_line() {
 }
 
 #[test]
+fn snapshot_and_restore_subcommands_drive_a_persistent_server() {
+    let dir = std::env::temp_dir().join(format!("srank-cli-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Arc::new(Engine::new(EngineConfig {
+        data_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    }));
+    let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");
+    let addr = server.addr().to_string();
+
+    srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"op": "registry.load", "dataset": "h", "builtin": "figure1"}"#,
+    ]))
+    .unwrap();
+    srank_cli::run(&args(&[
+        "query",
+        &addr,
+        r#"{"op": "verify", "dataset": "h", "weights": [1, 1]}"#,
+    ]))
+    .unwrap();
+
+    let snap = srank_cli::run(&args(&["snapshot", &addr])).unwrap();
+    assert!(snap.contains("\"datasets\": 1"), "{snap}");
+    assert!(dir.join("MANIFEST.json").exists());
+    assert!(dir.join("datasets").join("h.snap").exists());
+
+    let restore = srank_cli::run(&args(&["restore", &addr])).unwrap();
+    assert!(restore.contains("\"datasets\": 1"), "{restore}");
+    assert!(restore.contains("\"warnings\": []"), "{restore}");
+
+    // Wrong arity reports usage.
+    assert!(srank_cli::run(&args(&["snapshot"])).is_err());
+    assert!(srank_cli::run(&args(&["restore", &addr, "extra"])).is_err());
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_flag_validation_covers_persistence_options() {
+    // --checkpoint-secs without --data-dir is a usage error.
+    let err = srank_cli::run(&args(&["serve", "--stdio", "--checkpoint-secs", "5"])).unwrap_err();
+    assert!(err.contains("--data-dir"), "{err}");
+    // --metrics-port is TCP-only; silently ignoring it on stdio would
+    // leave the operator's scraper with nothing to connect to.
+    let err = srank_cli::run(&args(&["serve", "--stdio", "--metrics-port", "9100"])).unwrap_err();
+    assert!(err.contains("--listen"), "{err}");
+    // Malformed values are rejected before any engine is built.
+    assert!(srank_cli::run(&args(&["serve", "--checkpoint-secs", "x"])).is_err());
+    assert!(srank_cli::run(&args(&["serve", "--metrics-port", "nope"])).is_err());
+    assert!(srank_cli::run(&args(&["serve", "--data-dir"])).is_err());
+}
+
+#[test]
 fn query_batch_unwraps_envelopes_one_per_line() {
     let engine = Arc::new(Engine::new(EngineConfig::default()));
     let mut server = serve_tcp(engine, "127.0.0.1:0", 2).expect("bind");

@@ -123,6 +123,143 @@ impl MdState {
     pub fn pending_regions(&self) -> usize {
         self.heap.len()
     }
+
+    /// Serializes the refinement state for durable storage: hyperplanes,
+    /// the partitioned sample buffer (its row order *is* the partition
+    /// structure), and the pending-region heap in its internal array
+    /// order — that array is already a valid heap, so rebuilding it on
+    /// load moves nothing and a restored session splits regions in the
+    /// identical order.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::{f64_slice_value, obj};
+        let halfspaces = |hs: &[HalfSpace]| {
+            Value::Array(hs.iter().map(|h| f64_slice_value(h.coeffs())).collect())
+        };
+        let heap: Vec<Value> = self
+            .heap
+            .iter()
+            .map(|e| {
+                obj([
+                    ("count", Value::Number(e.count as f64)),
+                    ("seq", Value::Number(e.seq as f64)),
+                    ("cone", halfspaces(e.region.cone.halfspaces())),
+                    ("pending", Value::Number(e.region.pending as f64)),
+                    ("sb", Value::Number(e.region.sb as f64)),
+                    ("se", Value::Number(e.region.se as f64)),
+                ])
+            })
+            .collect();
+        let mode = match self.mode {
+            PassThroughMode::SamplePartition => "sample-partition",
+            PassThroughMode::ExactLp => "exact-lp",
+        };
+        obj([
+            ("n_items", Value::Number(self.n_items as f64)),
+            (
+                "hyperplanes",
+                Value::Array(
+                    self.hyperplanes
+                        .iter()
+                        .map(|h| f64_slice_value(h.coeffs()))
+                        .collect(),
+                ),
+            ),
+            ("samples", self.samples.to_value()),
+            ("heap", Value::Array(heap)),
+            ("seq", Value::Number(self.seq as f64)),
+            ("mode", Value::String(mode.into())),
+            ("roi_halfspaces", halfspaces(&self.roi_halfspaces)),
+        ])
+    }
+
+    /// Rebuilds a state serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{
+            array_field, f64_vec_value, field, str_field, usize_field, PersistError,
+        };
+        let n_items = usize_field(v, "n_items")?;
+        let samples = PartitionedSamples::from_value(field(v, "samples")?)?;
+        let dim = samples.dim();
+        let coeff_rows = |v: &serde_json::Value,
+                          key: &str|
+         -> srank_sample::persist::PersistResult<Vec<Vec<f64>>> {
+            array_field(v, key)?
+                .iter()
+                .map(|h| {
+                    let coeffs = f64_vec_value(h, key)?;
+                    if coeffs.len() != dim {
+                        return Err(PersistError::new(format!(
+                            "'{key}' row has {} coefficients, samples are d = {dim}",
+                            coeffs.len()
+                        )));
+                    }
+                    Ok(coeffs)
+                })
+                .collect()
+        };
+        let hyperplanes: Vec<OrderingExchange> = coeff_rows(v, "hyperplanes")?
+            .into_iter()
+            .map(OrderingExchange::from_coeffs)
+            .collect();
+        let roi_halfspaces: Vec<HalfSpace> = coeff_rows(v, "roi_halfspaces")?
+            .into_iter()
+            .map(HalfSpace::new)
+            .collect();
+        let mode = match str_field(v, "mode")? {
+            "sample-partition" => PassThroughMode::SamplePartition,
+            "exact-lp" => PassThroughMode::ExactLp,
+            other => return Err(PersistError::new(format!("unknown mode '{other}'"))),
+        };
+        let heap: Vec<HeapEntry> = array_field(v, "heap")?
+            .iter()
+            .map(|e| {
+                let sb = usize_field(e, "sb")?;
+                let se = usize_field(e, "se")?;
+                let pending = usize_field(e, "pending")?;
+                let count = usize_field(e, "count")?;
+                if sb > se || se > samples.len() || count != se - sb {
+                    return Err(PersistError::new(format!(
+                        "heap entry range [{sb}, {se}) (count {count}) is inconsistent \
+                         with {} samples",
+                        samples.len()
+                    )));
+                }
+                if pending > hyperplanes.len() {
+                    return Err(PersistError::new(format!(
+                        "heap entry pending cursor {pending} beyond {} hyperplanes",
+                        hyperplanes.len()
+                    )));
+                }
+                let cone = ConeRegion::from_halfspaces(
+                    dim,
+                    coeff_rows(e, "cone")?
+                        .into_iter()
+                        .map(HalfSpace::new)
+                        .collect(),
+                );
+                Ok(HeapEntry {
+                    count,
+                    seq: usize_field(e, "seq")?,
+                    region: PendingRegion {
+                        cone,
+                        pending,
+                        sb,
+                        se,
+                    },
+                })
+            })
+            .collect::<srank_sample::persist::PersistResult<_>>()?;
+        Ok(Self {
+            n_items,
+            hyperplanes,
+            samples,
+            heap,
+            seq: usize_field(v, "seq")?,
+            mode,
+            roi_halfspaces,
+        })
+    }
 }
 
 /// The multi-dimensional `GET-NEXT` operator (Algorithm 6).

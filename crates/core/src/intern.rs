@@ -199,6 +199,66 @@ impl KeyInterner {
         e
     }
 
+    /// Serializes the count table for durable storage: the key and
+    /// exemplar arenas plus the counts, in entry (first-observation)
+    /// order. The hash cache and slot table are *not* stored — they are a
+    /// deterministic function of the keys and are rebuilt on load, so a
+    /// snapshot cannot smuggle in an inconsistent index.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::{f64_slice_value, obj, u32_slice_value};
+        obj([
+            ("stride", Value::Number(self.stride as f64)),
+            ("dim", Value::Number(self.dim as f64)),
+            ("keys", u32_slice_value(&self.keys)),
+            (
+                "counts",
+                Value::Array(
+                    self.counts
+                        .iter()
+                        .map(|&c| Value::Number(c as f64))
+                        .collect(),
+                ),
+            ),
+            ("exemplars", f64_slice_value(&self.exemplars)),
+        ])
+    }
+
+    /// Rebuilds a table serialized by [`to_value`](Self::to_value) by
+    /// replaying `add` in entry order — entry ids, counts, and exemplars
+    /// come back identical; hashes and slots are recomputed.
+    pub fn from_value(v: &serde_json::Value) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{
+            f64_vec_field, u32_vec_field, u64_vec_field, usize_field, PersistError,
+        };
+        let stride = usize_field(v, "stride")?;
+        let dim = usize_field(v, "dim")?;
+        let keys = u32_vec_field(v, "keys")?;
+        let counts = u64_vec_field(v, "counts")?;
+        let exemplars = f64_vec_field(v, "exemplars")?;
+        let n = counts.len();
+        if keys.len() != n * stride || exemplars.len() != n * dim {
+            return Err(PersistError::new(format!(
+                "interner arenas disagree: {n} entries, {} keys (stride {stride}), \
+                 {} exemplars (dim {dim})",
+                keys.len(),
+                exemplars.len()
+            )));
+        }
+        let mut table = Self::new(stride, dim);
+        for e in 0..n {
+            let key = &keys[e * stride..(e + 1) * stride];
+            let exemplar = &exemplars[e * dim..(e + 1) * dim];
+            let id = table.add(key, counts[e], exemplar);
+            if id as usize != e {
+                return Err(PersistError::new(format!(
+                    "duplicate interned key at entry {e}"
+                )));
+            }
+        }
+        Ok(table)
+    }
+
     /// Doubles the slot table, re-seating entries from their cached hashes
     /// (key bytes are never re-read).
     fn grow(&mut self) {

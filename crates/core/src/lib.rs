@@ -113,6 +113,11 @@ pub use sweep2d::{Enumerator2D, Region2DInfo, StableRanking2D, Sweep2DState};
 pub use topk2d::{top_k_ranked_stabilities_2d, top_k_set_stabilities_2d};
 pub use xhps::ordering_exchange_hyperplanes;
 
+/// The shared JSON-value serialization vocabulary used by the durable
+/// state snapshots (`Sweep2DState::to_value` & co.) — re-exported from
+/// `srank-sample`, where the primitive codecs live.
+pub use srank_sample::persist;
+
 /// Everything a typical caller needs.
 pub mod prelude {
     pub use crate::dataset::Dataset;

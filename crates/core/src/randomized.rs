@@ -167,6 +167,93 @@ impl RandomizedState {
     pub fn distinct_observed(&self) -> usize {
         self.table.len()
     }
+
+    /// Serializes the accumulated counting state for durable storage:
+    /// scope, sampler, interning table, and the returned flags. The RNG
+    /// is not part of the state (it never was — see the type docs);
+    /// callers persist their seeded generator alongside.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::obj;
+        let (scope, k) = match self.scope {
+            RankingScope::Full => ("full", 0usize),
+            RankingScope::TopKRanked(k) => ("top-k-ranked", k),
+            RankingScope::TopKSet(k) => ("top-k-set", k),
+        };
+        obj([
+            ("dim", Value::Number(self.dim as f64)),
+            ("n_items", Value::Number(self.n_items as f64)),
+            ("scope", Value::String(scope.into())),
+            ("k", Value::Number(k as f64)),
+            ("sampler", self.sampler.to_value()),
+            ("alpha", Value::Number(self.alpha)),
+            ("table", self.table.to_value()),
+            ("total", Value::Number(self.total as f64)),
+            (
+                "returned",
+                Value::Array(self.returned.iter().map(|&b| Value::Bool(b)).collect()),
+            ),
+        ])
+    }
+
+    /// Rebuilds a state serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{
+            array_field, f64_field, field, str_field, u64_field, usize_field, PersistError,
+        };
+        let dim = usize_field(v, "dim")?;
+        let n_items = usize_field(v, "n_items")?;
+        let k = usize_field(v, "k")?;
+        let scope = match str_field(v, "scope")? {
+            "full" => RankingScope::Full,
+            "top-k-ranked" if k > 0 => RankingScope::TopKRanked(k),
+            "top-k-set" if k > 0 => RankingScope::TopKSet(k),
+            other => {
+                return Err(PersistError::new(format!(
+                    "bad ranking scope '{other}' (k = {k})"
+                )))
+            }
+        };
+        let sampler = RoiSampler::from_value(field(v, "sampler")?)?;
+        let alpha = f64_field(v, "alpha")?;
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(PersistError::new(format!("alpha out of range: {alpha}")));
+        }
+        let table = KeyInterner::from_value(field(v, "table")?)?;
+        if table.stride() != key_len(scope, n_items) || table.dim() != dim {
+            return Err(PersistError::new(
+                "interner stride/dim disagree with the scope and dataset shape",
+            ));
+        }
+        let total = u64_field(v, "total")?;
+        if total < table.iter().map(|(_, _, c, _)| c).sum::<u64>() {
+            return Err(PersistError::new(
+                "total samples below the interned observation count",
+            ));
+        }
+        let returned = array_field(v, "returned")?
+            .iter()
+            .map(|b| {
+                b.as_bool()
+                    .ok_or_else(|| PersistError::new("'returned' must hold booleans"))
+            })
+            .collect::<srank_sample::persist::PersistResult<Vec<bool>>>()?;
+        if returned.len() > table.len() {
+            return Err(PersistError::new(
+                "more returned flags than interned rankings",
+            ));
+        }
+        Ok(Self {
+            dim,
+            n_items,
+            scope,
+            sampler,
+            alpha,
+            table,
+            total,
+            returned,
+        })
+    }
 }
 
 /// The randomized `GET-NEXT` operator over a dataset and region of

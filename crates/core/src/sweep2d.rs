@@ -193,6 +193,121 @@ impl Sweep2DState {
     pub fn num_regions(&self) -> usize {
         self.regions.len()
     }
+
+    /// Serializes the state for durable storage. The heap rides in its
+    /// internal array order: that array is a valid binary heap, and
+    /// rebuilding a heap from an already-heapified array moves nothing —
+    /// so a restored session pops regions in the identical order.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::{obj, u32_slice_value};
+        let regions: Vec<Value> = self
+            .regions
+            .iter()
+            .map(|r| {
+                Value::Array(vec![
+                    Value::Number(r.lo),
+                    Value::Number(r.hi),
+                    Value::Number(r.stability),
+                ])
+            })
+            .collect();
+        let heap: Vec<Value> = self
+            .heap
+            .iter()
+            .map(|&(s, i)| Value::Array(vec![Value::Number(s), Value::Number(i as f64)]))
+            .collect();
+        let stored = match &self.stored {
+            None => Value::Null,
+            Some(snapshots) => Value::Array(
+                snapshots
+                    .iter()
+                    .map(|r| u32_slice_value(r.order()))
+                    .collect(),
+            ),
+        };
+        obj([
+            ("n_items", Value::Number(self.n_items as f64)),
+            ("regions", Value::Array(regions)),
+            ("stored", stored),
+            ("heap", Value::Array(heap)),
+        ])
+    }
+
+    /// Rebuilds a state serialized by [`to_value`](Self::to_value),
+    /// re-validating every invariant a corrupted file could break.
+    pub fn from_value(v: &serde_json::Value) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{array_field, field, usize_field, PersistError};
+        let n_items = usize_field(v, "n_items")?;
+        let triple = |x: &serde_json::Value, want: usize, what: &str| {
+            let items = x
+                .as_array()
+                .filter(|a| a.len() == want)
+                .ok_or_else(|| PersistError::new(format!("{what} must be a {want}-array")))?;
+            items
+                .iter()
+                .map(|n| {
+                    n.as_f64()
+                        .filter(|x| x.is_finite())
+                        .ok_or_else(|| PersistError::new(format!("{what} must hold numbers")))
+                })
+                .collect::<srank_sample::persist::PersistResult<Vec<f64>>>()
+        };
+        let regions: Vec<Region2DInfo> = array_field(v, "regions")?
+            .iter()
+            .map(|r| {
+                let t = triple(r, 3, "region")?;
+                Ok(Region2DInfo {
+                    lo: t[0],
+                    hi: t[1],
+                    stability: t[2],
+                })
+            })
+            .collect::<srank_sample::persist::PersistResult<_>>()?;
+        let heap: Vec<(f64, usize)> = array_field(v, "heap")?
+            .iter()
+            .map(|e| {
+                let t = triple(e, 2, "heap entry")?;
+                let idx = t[1] as usize;
+                if idx >= regions.len() {
+                    return Err(PersistError::new(format!(
+                        "heap references region {idx} of {}",
+                        regions.len()
+                    )));
+                }
+                Ok((t[0], idx))
+            })
+            .collect::<srank_sample::persist::PersistResult<_>>()?;
+        let stored = match field(v, "stored")? {
+            serde_json::Value::Null => None,
+            stored => {
+                let snapshots = stored
+                    .as_array()
+                    .ok_or_else(|| PersistError::new("'stored' must be null or an array"))?
+                    .iter()
+                    .map(|r| {
+                        let order = srank_sample::persist::u32_vec_value(r, "stored ranking")?;
+                        Ranking::new(order)
+                            .map_err(|e| PersistError::new(format!("stored ranking: {e}")))
+                    })
+                    .collect::<srank_sample::persist::PersistResult<Vec<Ranking>>>()?;
+                if snapshots.len() != regions.len() {
+                    return Err(PersistError::new(format!(
+                        "{} stored rankings for {} regions",
+                        snapshots.len(),
+                        regions.len()
+                    )));
+                }
+                Some(snapshots)
+            }
+        };
+        Ok(Self {
+            n_items,
+            regions,
+            stored,
+            heap,
+        })
+    }
 }
 
 impl<'a> Enumerator2D<'a> {

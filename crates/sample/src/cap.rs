@@ -192,6 +192,71 @@ impl CapSampler {
         &self.ray
     }
 
+    /// Serializes the sampler for durable storage. The already-normalized
+    /// ray and the rotation matrix are stored *exactly* rather than
+    /// re-derived on load — re-normalizing an almost-unit vector can move
+    /// its last bit, and a persisted sampler must replay the identical
+    /// sample stream. The polar-angle CDF is recorded as its table size
+    /// (`0` = the `d ∈ {2, 3}` closed form) and rebuilt deterministically.
+    pub fn to_value(&self) -> serde_json::Value {
+        use crate::persist::{f64_slice_value, obj};
+        let partitions = match &self.cdf {
+            PolarAngleCdf::Uniform { .. } | PolarAngleCdf::ClosedForm3 { .. } => 0,
+            PolarAngleCdf::Table(t) => t.partitions(),
+        };
+        let mut rotation = Vec::with_capacity(self.dim * self.dim);
+        for i in 0..self.dim {
+            rotation.extend_from_slice(self.rotation.row(i));
+        }
+        obj([
+            ("theta", serde_json::Value::Number(self.theta)),
+            ("ray", f64_slice_value(&self.ray)),
+            ("rotation", f64_slice_value(&rotation)),
+            ("partitions", serde_json::Value::Number(partitions as f64)),
+        ])
+    }
+
+    /// Rebuilds a sampler serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> crate::persist::PersistResult<Self> {
+        use crate::persist::{f64_field, f64_vec_field, usize_field, PersistError};
+        let theta = f64_field(v, "theta")?;
+        let ray = f64_vec_field(v, "ray")?;
+        let rotation = f64_vec_field(v, "rotation")?;
+        let partitions = usize_field(v, "partitions")?;
+        let dim = ray.len();
+        if dim < 2 {
+            return Err(PersistError::new("cap sampler needs d ≥ 2"));
+        }
+        if !(theta > 0.0 && theta <= FRAC_PI_2 + 1e-12) {
+            return Err(PersistError::new(format!("cap θ out of range: {theta}")));
+        }
+        if rotation.len() != dim * dim {
+            return Err(PersistError::new(format!(
+                "cap rotation has {} entries, expected {dim}×{dim}",
+                rotation.len()
+            )));
+        }
+        let cdf = match (partitions, dim) {
+            (0, 2) => PolarAngleCdf::Uniform { theta },
+            (0, 3) => PolarAngleCdf::ClosedForm3 {
+                one_minus_cos_theta: 1.0 - theta.cos(),
+            },
+            (0, _) => {
+                return Err(PersistError::new(
+                    "cap sampler in d ≥ 4 needs a Riemann table size",
+                ))
+            }
+            (p, d) => PolarAngleCdf::Table(RiemannTable::new(theta, d - 2, p)),
+        };
+        Ok(Self {
+            dim,
+            theta,
+            ray,
+            rotation: Matrix::from_rows(dim, dim, rotation),
+            cdf,
+        })
+    }
+
     /// One uniform sample from the cap (a unit vector within `theta` of the
     /// reference ray). Coordinates may be slightly negative when the cap
     /// leaks out of the first orthant — see `roi` for orthant clipping.

@@ -26,13 +26,17 @@
 //!   lazy arrangement constructor O(1) stability reads;
 //! * [`confidence`] — Bernoulli confidence intervals (Eq. 10), required
 //!   sample counts (Eq. 11), and the geometric-distribution discovery-cost
-//!   model of Theorem 2.
+//!   model of Theorem 2;
+//! * [`persist`] — the shared JSON-value serialization vocabulary (typed
+//!   decode errors, exact `f64`/`u64` codecs) behind the durable state
+//!   snapshots of `srank-core` and `srank-service`.
 
 pub mod cap;
 pub mod confidence;
 pub mod normal;
 pub mod oracle;
 pub mod partition;
+pub mod persist;
 pub mod rejection;
 pub mod roi;
 pub mod special;

@@ -49,6 +49,21 @@ impl PartitionedSamples {
         &self.buf
     }
 
+    /// Serializes the partitioned buffer for durable storage. The row
+    /// *order* is the partition structure (every region owns a contiguous
+    /// range), so the buffer is stored verbatim, mid-refinement order and
+    /// all.
+    pub fn to_value(&self) -> serde_json::Value {
+        self.buf.to_value()
+    }
+
+    /// Rebuilds a buffer serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> crate::persist::PersistResult<Self> {
+        Ok(Self {
+            buf: SampleBuffer::from_value(v)?,
+        })
+    }
+
     /// Partitions rows `[lo, hi)` by the hyperplane: after the call, rows
     /// with `coeffs·w ≤ 0` precede rows with `coeffs·w > 0`, and the
     /// returned split index separates the blocks.

@@ -180,6 +180,90 @@ pub enum RoiSampler {
 }
 
 impl RoiSampler {
+    /// Serializes the sampler for durable storage (a tagged union over
+    /// the three sampling strategies; exact — see `persist` module docs).
+    pub fn to_value(&self) -> serde_json::Value {
+        use crate::persist::{f64_slice_value, obj};
+        use serde_json::Value;
+        match self {
+            RoiSampler::Orthant { dim } => obj([
+                ("kind", Value::String("orthant".into())),
+                ("dim", Value::Number(*dim as f64)),
+            ]),
+            RoiSampler::Cap {
+                cap,
+                clip_to_orthant,
+            } => obj([
+                ("kind", Value::String("cap".into())),
+                ("cap", cap.to_value()),
+                ("clip_to_orthant", Value::Bool(*clip_to_orthant)),
+            ]),
+            RoiSampler::Rejection { dim, halfspaces } => obj([
+                ("kind", Value::String("rejection".into())),
+                ("dim", Value::Number(*dim as f64)),
+                (
+                    "halfspaces",
+                    Value::Array(
+                        halfspaces
+                            .iter()
+                            .map(|h| f64_slice_value(h.coeffs()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+
+    /// Rebuilds a sampler serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> crate::persist::PersistResult<Self> {
+        use crate::persist::{
+            array_field, bool_field, field, str_field, usize_field, PersistError,
+        };
+        match str_field(v, "kind")? {
+            "orthant" => {
+                let dim = usize_field(v, "dim")?;
+                if dim < 2 {
+                    return Err(PersistError::new("orthant sampler needs d ≥ 2"));
+                }
+                Ok(RoiSampler::Orthant { dim })
+            }
+            "cap" => Ok(RoiSampler::Cap {
+                cap: CapSampler::from_value(field(v, "cap")?)?,
+                clip_to_orthant: bool_field(v, "clip_to_orthant")?,
+            }),
+            "rejection" => {
+                let dim = usize_field(v, "dim")?;
+                if dim < 2 {
+                    return Err(PersistError::new("rejection sampler needs d ≥ 2"));
+                }
+                let halfspaces = array_field(v, "halfspaces")?
+                    .iter()
+                    .map(|h| {
+                        let coeffs: Vec<f64> = h
+                            .as_array()
+                            .ok_or_else(|| PersistError::new("half-space must be an array"))?
+                            .iter()
+                            .map(|x| {
+                                x.as_f64().ok_or_else(|| {
+                                    PersistError::new("half-space coefficients must be numbers")
+                                })
+                            })
+                            .collect::<crate::persist::PersistResult<_>>()?;
+                        if coeffs.len() != dim {
+                            return Err(PersistError::new(format!(
+                                "half-space has {} coefficients, sampler is d = {dim}",
+                                coeffs.len()
+                            )));
+                        }
+                        Ok(HalfSpace::new(coeffs))
+                    })
+                    .collect::<crate::persist::PersistResult<_>>()?;
+                Ok(RoiSampler::Rejection { dim, halfspaces })
+            }
+            other => Err(PersistError::new(format!("unknown sampler kind '{other}'"))),
+        }
+    }
+
     /// One uniform sample.
     ///
     /// # Panics

@@ -96,6 +96,32 @@ impl SampleBuffer {
         self.data.chunks_exact(self.dim)
     }
 
+    /// Serializes the buffer for durable storage (exact: every finite
+    /// float survives the JSON text byte-for-byte).
+    pub fn to_value(&self) -> serde_json::Value {
+        crate::persist::obj([
+            ("dim", serde_json::Value::Number(self.dim as f64)),
+            ("data", crate::persist::f64_slice_value(&self.data)),
+        ])
+    }
+
+    /// Rebuilds a buffer serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> crate::persist::PersistResult<Self> {
+        use crate::persist::{f64_vec_field, usize_field, PersistError};
+        let dim = usize_field(v, "dim")?;
+        let data = f64_vec_field(v, "data")?;
+        if dim == 0 || data.len() % dim != 0 {
+            return Err(PersistError::new(format!(
+                "sample buffer of {} values is not a whole number of dim-{dim} rows",
+                data.len()
+            )));
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(PersistError::new("sample buffer holds non-finite values"));
+        }
+        Ok(Self { dim, data })
+    }
+
     /// The component-wise mean of rows in `[lo, hi)`; `None` for an empty
     /// range. Used to pick "a function in the region" from the samples a
     /// region owns.

@@ -78,6 +78,16 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.order.clear();
     }
 
+    /// Entries from least to most recently used, without touching
+    /// recency — the snapshot export order: replaying `insert` over it
+    /// reproduces the cache with its eviction order intact.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> + '_ {
+        self.order.values().map(|k| {
+            let (v, _) = &self.map[k];
+            (k, v)
+        })
+    }
+
     fn next_tick(&mut self) -> u64 {
         self.tick += 1;
         self.tick

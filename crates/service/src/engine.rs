@@ -41,7 +41,7 @@ use srank_core::{
 };
 use srank_sample::roi::RegionOfInterest;
 use srank_sample::store::SampleBuffer;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -92,6 +92,13 @@ pub struct EngineConfig {
     /// socket, demultiplexed by the `stream.request` id echo). `0`
     /// serializes streams on the connection (wire-protocol-v2 behavior).
     pub mux_streams: usize,
+    /// Durable persistence root (`serve --data-dir`). When set, the
+    /// engine opens an [`crate::store::Store`] there at construction and
+    /// restores whatever warm state it holds (datasets, caches,
+    /// sessions); the `snapshot` / `restore` / `session.save` /
+    /// `session.resume` ops operate against it. `None` (the default)
+    /// runs fully in-memory, exactly as before.
+    pub data_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -111,6 +118,7 @@ impl Default for EngineConfig {
             stream_queue_cap: None,
             session_queue_depth: crate::session::DEFAULT_QUEUE_DEPTH,
             mux_streams: 4,
+            data_dir: None,
         }
     }
 }
@@ -184,6 +192,9 @@ pub struct EngineCore {
     /// Resolved pool width (for `stats`; the pool itself lives on
     /// [`Engine`]).
     pool_width: usize,
+    /// Durable persistence (present iff `config.data_dir` was set and
+    /// the directory opened).
+    store: Option<crate::store::Store>,
     started: Instant,
 }
 
@@ -194,6 +205,23 @@ impl Engine {
             n => n,
         };
         let pool_metrics = Arc::new(PoolMetrics::default());
+        // A data-dir that cannot be opened degrades to an in-memory
+        // engine with a logged warning — persistence must never be able
+        // to poison boot.
+        let store = config
+            .data_dir
+            .as_ref()
+            .and_then(|dir| match crate::store::Store::open(dir) {
+                Ok(store) => Some(store),
+                Err(e) => {
+                    eprintln!(
+                        "srank-store: warning: cannot open data dir {}: {e}; \
+                         running without persistence",
+                        dir.display()
+                    );
+                    None
+                }
+            });
         let core = Arc::new(EngineCore {
             registry: DatasetRegistry::new(),
             sessions: SessionManager::with_queue_depth(
@@ -207,9 +235,15 @@ impl Engine {
             op_latency: OpLatencies::default(),
             pool_metrics: Arc::clone(&pool_metrics),
             pool_width,
+            store,
             started: Instant::now(),
             config,
         });
+        // Warm restart: whatever the store holds comes back before the
+        // first request (corrupt files are logged and skipped inside).
+        if let Some(store) = core.store() {
+            store.restore(&core);
+        }
         Self {
             core,
             pool: WorkerPool::new(pool_width, pool_metrics),
@@ -219,6 +253,13 @@ impl Engine {
 
     pub fn with_defaults() -> Self {
         Self::new(EngineConfig::default())
+    }
+
+    /// A shared handle on the engine's core — what long-lived sidecars
+    /// (the checkpoint journal, embedding hosts) hold so they outlive no
+    /// state they don't own.
+    pub fn core_arc(&self) -> Arc<EngineCore> {
+        Arc::clone(&self.core)
     }
 
     /// Handles one raw request line, returning one response line (no
@@ -235,12 +276,21 @@ impl Engine {
 
     /// Handles one parsed request into one response value (buffered).
     pub fn handle(&self, request: &Value) -> Value {
+        self.handle_for(request, None)
+    }
+
+    /// [`handle`](Self::handle) on behalf of a transport connection:
+    /// `cancel` is the connection's death flag — a `session.get_next`
+    /// that parks on a busy session while the flag is raised is dropped
+    /// at grant time instead of advancing the session for a client that
+    /// can no longer read the answer.
+    pub fn handle_for(&self, request: &Value, cancel: Option<&Arc<AtomicBool>>) -> Value {
         // Every touch sweeps idle sessions — cheap (one lock, linear in
         // open sessions) and keeps the table bounded without a timer
         // thread.
         self.evict_idle_sessions(None);
         let id = request.get("id").cloned();
-        let outcome = self.dispatch_top(request);
+        let outcome = self.dispatch_top(request, cancel);
         envelope(id, outcome)
     }
 
@@ -256,6 +306,18 @@ impl Engine {
         line: &str,
         sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
     ) -> std::io::Result<()> {
+        self.handle_line_streamed_for(line, sink, None)
+    }
+
+    /// [`handle_line_streamed`](Self::handle_line_streamed) on behalf of
+    /// a transport connection, carrying its death flag (see
+    /// [`handle_for`](Self::handle_for)).
+    pub fn handle_line_streamed_for(
+        &self,
+        line: &str,
+        sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> std::io::Result<()> {
         let request: Value = match serde_json::from_str(line) {
             Ok(request) => request,
             Err(e) => {
@@ -263,7 +325,7 @@ impl Engine {
                 return sink(&serde_json::to_string(&response).expect("serializable"));
             }
         };
-        self.handle_request_streamed(&request, sink)
+        self.handle_request_streamed_for(&request, sink, cancel)
     }
 
     /// Whether `request` is a streamed batch — i.e. whether handling it
@@ -281,23 +343,38 @@ impl Engine {
         request: &Value,
         sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
     ) -> std::io::Result<()> {
+        self.handle_request_streamed_for(request, sink, None)
+    }
+
+    /// [`handle_request_streamed`](Self::handle_request_streamed) on
+    /// behalf of a transport connection, carrying its death flag.
+    pub fn handle_request_streamed_for(
+        &self,
+        request: &Value,
+        sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> std::io::Result<()> {
         if !Self::is_streaming_request(request) {
-            let response = self.handle(request);
+            let response = self.handle_for(request, cancel);
             return sink(&serde_json::to_string(&response).expect("serializable"));
         }
         self.evict_idle_sessions(None);
-        self.op_batch_streamed(request, sink)
+        self.op_batch_streamed(request, sink, cancel)
     }
 
-    fn dispatch_top(&self, request: &Value) -> ServiceResult<(Value, bool)> {
+    fn dispatch_top(
+        &self,
+        request: &Value,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> ServiceResult<(Value, bool)> {
         let fields = Fields::of(request)?;
         if fields.required_str("op")? == "batch" {
             let start = Instant::now();
-            let outcome = self.op_batch_buffered(&fields);
+            let outcome = self.op_batch_buffered(&fields, cancel);
             self.core.op_latency.record("batch", start.elapsed());
             return outcome;
         }
-        self.core.dispatch(request)
+        self.core.dispatch(request, cancel)
     }
 
     // ------------------------------------------------------------------
@@ -324,7 +401,11 @@ impl Engine {
     /// pool and returns their envelopes *in request order* in one
     /// buffered response (each sub-request succeeds or fails
     /// independently; its envelope echoes its own `id`).
-    fn op_batch_buffered(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+    fn op_batch_buffered(
+        &self,
+        fields: &Fields<'_>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> ServiceResult<(Value, bool)> {
         if fields.bool("stream")? == Some(true) {
             return Err(ServiceError::bad_request(
                 "streaming batch responses need a line transport (stdio/TCP, or \
@@ -337,7 +418,7 @@ impl Engine {
             .batches_buffered
             .fetch_add(1, Ordering::Relaxed);
         let mut slots: Vec<Value> = requests.iter().map(|_| Value::Null).collect();
-        self.execute_batch(requests, |i, env| slots[i] = env);
+        self.execute_batch(requests, cancel, |i, env| slots[i] = env);
         Ok((
             Object::new()
                 .field("count", slots.len())
@@ -355,6 +436,7 @@ impl Engine {
         &self,
         request: &Value,
         sink: &mut dyn FnMut(&str) -> std::io::Result<()>,
+        cancel: Option<&Arc<AtomicBool>>,
     ) -> std::io::Result<()> {
         let start = Instant::now();
         let id = request.get("id").cloned();
@@ -376,7 +458,7 @@ impl Engine {
         let n = requests.len();
         let mut errors = 0u64;
         let mut io_error: Option<std::io::Error> = None;
-        self.execute_batch(requests, |index, env| {
+        self.execute_batch(requests, cancel, |index, env| {
             if env.get("ok").and_then(Value::as_bool) == Some(false) {
                 errors += 1;
             }
@@ -412,7 +494,12 @@ impl Engine {
     /// each completion (in completion order) to `deliver`. Responses
     /// travel through a bounded queue so a slow `deliver` backpressures
     /// the workers instead of buffering without limit.
-    fn execute_batch(&self, requests: &[Value], mut deliver: impl FnMut(usize, Value)) {
+    fn execute_batch(
+        &self,
+        requests: &[Value],
+        cancel: Option<&Arc<AtomicBool>>,
+        mut deliver: impl FnMut(usize, Value),
+    ) {
         let n = requests.len();
         if n == 0 {
             return;
@@ -445,13 +532,20 @@ impl Engine {
                 let request = requests[submitted].clone();
                 let job_responses = Arc::clone(&responses);
                 let job_submitter = submitter.clone();
+                let job_cancel = cancel.cloned();
                 let index = submitted;
                 let accepted = self.pool.submit(Box::new(move || {
                     // A panic inside a sub-request must still produce an
                     // envelope — a missing completion would deadlock the
                     // submitter.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        core.handle_sub_parkable(&request, &job_submitter, &job_responses, index)
+                        core.handle_sub_parkable(
+                            &request,
+                            &job_submitter,
+                            &job_responses,
+                            index,
+                            job_cancel.as_ref(),
+                        )
                     }));
                     match outcome {
                         // Parked on a busy session: the re-dispatched
@@ -498,6 +592,32 @@ impl EngineCore {
         &self.config
     }
 
+    /// The durable store, when the engine was built with a `data_dir`.
+    pub fn store(&self) -> Option<&crate::store::Store> {
+        self.store.as_ref()
+    }
+
+    /// Persists a full snapshot now, if a store is configured — the
+    /// graceful-shutdown flush used by transports and the CLI.
+    pub fn checkpoint_now(&self) -> ServiceResult<Option<Value>> {
+        match self.store() {
+            None => Ok(None),
+            Some(store) => store.snapshot(self).map(Some),
+        }
+    }
+
+    pub(crate) fn sessions(&self) -> &SessionManager {
+        &self.sessions
+    }
+
+    pub(crate) fn results_cache(&self) -> &Mutex<LruCache<String, Value>> {
+        &self.results
+    }
+
+    pub(crate) fn samples_cache(&self) -> &Mutex<LruCache<String, Arc<SampleBuffer>>> {
+        &self.samples
+    }
+
     /// Evicts idle sessions now, against an explicit TTL (tests) or the
     /// configured one.
     pub fn evict_idle_sessions(&self, ttl: Option<Duration>) -> usize {
@@ -507,16 +627,25 @@ impl EngineCore {
 
     /// Dispatches one non-batch request (also the batch sub-request
     /// path), recording per-op latency.
-    fn dispatch(&self, request: &Value) -> ServiceResult<(Value, bool)> {
+    fn dispatch(
+        &self,
+        request: &Value,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> ServiceResult<(Value, bool)> {
         let fields = Fields::of(request)?;
         let op = fields.required_str("op")?;
         let start = Instant::now();
-        let outcome = self.dispatch_op(op, &fields);
+        let outcome = self.dispatch_op(op, &fields, cancel);
         self.op_latency.record(op, start.elapsed());
         outcome
     }
 
-    fn dispatch_op(&self, op: &str, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+    fn dispatch_op(
+        &self,
+        op: &str,
+        fields: &Fields<'_>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> ServiceResult<(Value, bool)> {
         match op {
             "ping" => Ok((Object::new().field("pong", true).build(), false)),
             // Top-level batches are routed on `Engine` before reaching
@@ -526,17 +655,44 @@ impl EngineCore {
             "batch" => Err(ServiceError::bad_request(
                 "batch sub-requests cannot be batches",
             )),
-            "stats" => self.op_stats(),
+            "stats" => self.op_stats(fields),
             "registry.load" => self.op_registry_load(fields),
             "registry.list" => self.op_registry_list(),
             "registry.drop" => self.op_registry_drop(fields),
             "verify" => self.cached(op, fields, |e, f| e.op_verify(f)),
             "overview" => self.cached(op, fields, |e, f| e.op_overview(f)),
             "session.open" => self.op_session_open(fields),
-            "session.get_next" => self.op_session_get_next(fields),
+            "session.get_next" => self.op_session_get_next(fields, cancel),
             "session.close" => self.op_session_close(fields),
+            "session.save" => self.with_store(|s| s.save_session(self, self.session_id(fields)?)),
+            "session.resume" => {
+                self.with_store(|s| s.resume_session(self, self.session_id(fields)?))
+            }
+            "snapshot" => self.with_store(|s| s.snapshot(self)),
+            "restore" => self.with_store(|s| Ok(s.restore(self))),
             other => Err(ServiceError::bad_request(format!("unknown op '{other}'"))),
         }
+    }
+
+    /// Runs a persistence op against the store; without a `--data-dir`
+    /// these ops answer `bad_request` rather than pretending to persist.
+    fn with_store(
+        &self,
+        run: impl FnOnce(&crate::store::Store) -> ServiceResult<Value>,
+    ) -> ServiceResult<(Value, bool)> {
+        match self.store() {
+            None => Err(ServiceError::bad_request(
+                "persistence is disabled: the engine was started without a data dir \
+                 (serve --data-dir PATH)",
+            )),
+            Some(store) => run(store).map(|v| (v, false)),
+        }
+    }
+
+    fn session_id(&self, fields: &Fields<'_>) -> ServiceResult<u64> {
+        fields
+            .u64("session")?
+            .ok_or_else(|| ServiceError::bad_request("this op needs a 'session' id"))
     }
 
     /// Handles one batch sub-request into its own response envelope. The
@@ -544,7 +700,7 @@ impl EngineCore {
     /// are refused in [`dispatch_op`].
     pub(crate) fn handle_sub(&self, request: &Value) -> Value {
         let id = request.get("id").cloned();
-        envelope(id, self.dispatch(request))
+        envelope(id, self.dispatch(request, None))
     }
 
     /// Pool-aware variant of [`handle_sub`](Self::handle_sub): a
@@ -563,6 +719,7 @@ impl EngineCore {
         submitter: &PoolSubmitter,
         responses: &Arc<BoundedQueue<(usize, Value)>>,
         index: usize,
+        cancel: Option<&Arc<AtomicBool>>,
     ) -> Option<Value> {
         if request.get("op").and_then(Value::as_str) != Some("session.get_next") {
             return Some(self.handle_sub(request));
@@ -581,7 +738,7 @@ impl EngineCore {
             let submitter = submitter.clone();
             let responses = Arc::clone(responses);
             let rid = rid.clone();
-            Waiter::new(move |granted| {
+            let deliver = move |granted| {
                 let fallback_id = rid.clone();
                 let job: Job = Box::new(move || {
                     // Same contract as the direct job: a panic must still
@@ -622,7 +779,11 @@ impl EngineCore {
                 if let Err(job) = submitter.submit(job) {
                     job();
                 }
-            })
+            };
+            match cancel {
+                Some(flag) => Waiter::with_cancel(deliver, Arc::clone(flag)),
+                None => Waiter::new(deliver),
+            }
         };
         let outcome = match self
             .sessions
@@ -835,7 +996,26 @@ impl EngineCore {
     // ------------------------------------------------------------------
     // Ops
 
-    fn op_stats(&self) -> ServiceResult<(Value, bool)> {
+    fn op_stats(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        match fields.str("format")? {
+            None | Some("json") => {}
+            // Prometheus text exposition — same numbers, scrape-ready
+            // (also served raw over `serve --metrics-port`).
+            Some("prometheus") => {
+                return Ok((
+                    Object::new()
+                        .field("format", "prometheus")
+                        .field("text", self.prometheus_text())
+                        .build(),
+                    false,
+                ))
+            }
+            Some(other) => {
+                return Err(ServiceError::bad_request(format!(
+                    "unknown stats format '{other}' (json | prometheus)"
+                )))
+            }
+        }
         let sessions: Vec<Value> = self
             .sessions
             .list()
@@ -858,9 +1038,12 @@ impl EngineCore {
         };
         let result_entries = self.results.lock().expect("result cache poisoned").len();
         let sample_entries = self.samples.lock().expect("sample cache poisoned").len();
-        let (open, checked_out, busy_conflicts) = self.sessions.counters();
+        // `busy_conflicts` (deprecated to refusals-only in the previous
+        // release) is gone from the wire: `session_table.refusals` is the
+        // same counter under its accurate name.
+        let (open, checked_out, refusals) = self.sessions.counters();
         let queue = self.sessions.queue_counters();
-        let stats = Object::new()
+        let mut stats = Object::new()
             .field("uptime_seconds", self.started.elapsed().as_secs_f64())
             .field("datasets", self.registry.list().len())
             .field("sessions", sessions)
@@ -869,7 +1052,7 @@ impl EngineCore {
                 Object::new()
                     .field("open", open)
                     .field("checked_out", checked_out)
-                    .field("busy_conflicts", busy_conflicts)
+                    .field("refusals", refusals)
                     .build(),
             )
             .field(
@@ -880,15 +1063,130 @@ impl EngineCore {
                     .field("max_depth", queue.max_depth)
                     .field("queued_total", queue.queued_total)
                     .field("granted", queue.granted)
+                    .field("cancelled", queue.cancelled)
                     .field("wait_micros", queue.wait_micros)
                     .build(),
             )
             .field("result_cache", cache(&self.result_stats, result_entries))
             .field("sample_cache", cache(&self.sample_stats, sample_entries))
             .field("pool", self.pool_metrics.to_value(self.pool_width))
-            .field("ops", self.op_latency.to_value())
-            .build();
-        Ok((stats, false))
+            .field("ops", self.op_latency.to_value());
+        if let Some(store) = self.store() {
+            stats = stats.field("store", store.stats_value());
+        }
+        Ok((stats.build(), false))
+    }
+
+    /// Renders every counter the `stats` op reports as Prometheus text
+    /// exposition format (version 0.0.4) — the payload of
+    /// `stats {"format": "prometheus"}` and of the `--metrics-port`
+    /// one-shot HTTP responder.
+    pub fn prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(4096);
+        let mut gauge = |name: &str, help: &str, value: f64| {
+            // Monotone *_total series are counters; everything else is a
+            // point-in-time gauge.
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# HELP srank_{name} {help}");
+            let _ = writeln!(out, "# TYPE srank_{name} {kind}");
+            let _ = writeln!(out, "srank_{name} {value}");
+        };
+        gauge(
+            "uptime_seconds",
+            "Engine uptime.",
+            self.started.elapsed().as_secs_f64(),
+        );
+        gauge(
+            "datasets",
+            "Registered datasets.",
+            self.registry.list().len() as f64,
+        );
+        let (open, checked_out, refusals) = self.sessions.counters();
+        gauge("sessions_open", "Open sessions.", open as f64);
+        gauge(
+            "sessions_checked_out",
+            "Sessions currently executing a request.",
+            checked_out as f64,
+        );
+        gauge(
+            "session_refusals_total",
+            "Busy refusals (queue overflow or queueing disabled).",
+            refusals as f64,
+        );
+        let q = self.sessions.queue_counters();
+        for (name, help, v) in [
+            (
+                "session_queue_depth",
+                "Waiters currently parked.",
+                q.depth as f64,
+            ),
+            (
+                "session_queue_max_depth",
+                "High-water mark of parked waiters.",
+                q.max_depth as f64,
+            ),
+            (
+                "session_queue_queued_total",
+                "Requests ever parked on a busy session.",
+                q.queued_total as f64,
+            ),
+            (
+                "session_queue_granted_total",
+                "Parked requests granted their session.",
+                q.granted as f64,
+            ),
+            (
+                "session_queue_cancelled_total",
+                "Parked requests dropped because their connection died.",
+                q.cancelled as f64,
+            ),
+            (
+                "session_queue_wait_micros_total",
+                "Cumulative park-to-grant wait.",
+                q.wait_micros as f64,
+            ),
+        ] {
+            gauge(name, help, v);
+        }
+        for (label, stats, entries) in [
+            (
+                "result",
+                &self.result_stats,
+                self.results.lock().expect("result cache poisoned").len(),
+            ),
+            (
+                "sample",
+                &self.sample_stats,
+                self.samples.lock().expect("sample cache poisoned").len(),
+            ),
+        ] {
+            gauge(
+                &format!("{label}_cache_hits_total"),
+                "Cache hits.",
+                stats.hits.load(Ordering::Relaxed) as f64,
+            );
+            gauge(
+                &format!("{label}_cache_misses_total"),
+                "Cache misses.",
+                stats.misses.load(Ordering::Relaxed) as f64,
+            );
+            gauge(
+                &format!("{label}_cache_entries"),
+                "Live cache entries.",
+                entries as f64,
+            );
+        }
+        out.push_str(&self.pool_metrics.to_prometheus(self.pool_width));
+        out.push_str(&self.op_latency.to_prometheus());
+        if let Some(store) = self.store() {
+            out.push_str(&store.to_prometheus());
+        }
+        out
     }
 
     fn op_registry_load(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
@@ -1257,13 +1555,19 @@ impl EngineCore {
     /// trade for a transport thread, whose client is waiting on this
     /// very response anyway. (Pool workers never block; they park and
     /// re-dispatch — see [`handle_sub_parkable`](Self::handle_sub_parkable).)
-    fn op_session_get_next(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+    fn op_session_get_next(
+        &self,
+        fields: &Fields<'_>,
+        cancel: Option<&Arc<AtomicBool>>,
+    ) -> ServiceResult<(Value, bool)> {
         let params = self.parse_get_next(fields)?;
         let handoff = Handoff::new();
         let checked = match self
             .sessions
-            .check_out_or_queue(params.session, || handoff.waiter())?
-        {
+            .check_out_or_queue(params.session, || match cancel {
+                Some(flag) => handoff.waiter_with_cancel(Arc::clone(flag)),
+                None => handoff.waiter(),
+            })? {
             CheckOut::Ready(checked) => checked,
             CheckOut::Queued => self.sessions.adopt(handoff.wait()?),
         };
@@ -1379,6 +1683,9 @@ impl EngineCore {
         };
         let session = checked.session();
         session.state = state;
+        // Advancing consumed enumeration progress (and, for randomized
+        // sessions, RNG stream position): the journal must re-checkpoint.
+        session.advances += 1;
         match payload {
             None => Ok(Object::new()
                 .field("done", true)

@@ -8,7 +8,7 @@
 //! ordering-exchange hyperplanes, or re-drawing Monte-Carlo samples on
 //! every call.
 //!
-//! Six layers:
+//! Seven layers:
 //!
 //! * [`registry`] — loads/normalizes each dataset once (builtin simulators
 //!   or CSV) and shares it via `Arc`; every (re)load bumps a generation
@@ -27,7 +27,15 @@
 //!   engine, MPMC work queue) plus the bounded response queue that turns
 //!   a slow batch consumer into backpressure on the workers;
 //! * [`metrics`] — pool counters and per-op latency histograms, surfaced
-//!   by the `stats` op;
+//!   by the `stats` op (JSON or Prometheus text, the latter also served
+//!   raw over `serve --metrics-port`);
+//! * [`store`] — durable snapshot + journal persistence under a
+//!   `--data-dir`: versioned, checksummed on-disk snapshots of the
+//!   caches and sessions, generation-stamp compatibility checks, and a
+//!   background checkpoint journal, so a warm restart answers hot
+//!   queries at cache speed and producers resume enumerations across
+//!   process death (`snapshot` / `restore` / `session.save` /
+//!   `session.resume` ops);
 //! * [`server`] / [`client`] — line-delimited JSON over stdin/stdout or a
 //!   `TcpListener` with a fixed worker-thread pool (std only, no async
 //!   runtime). `batch` requests with `"stream": true` answer with one
@@ -77,9 +85,11 @@ pub mod proto;
 pub mod registry;
 pub mod server;
 pub mod session;
+pub mod store;
 
 pub use client::{Client, StreamEvent, StreamId};
 pub use engine::{Engine, EngineConfig, EngineCore};
 pub use proto::{ErrorCode, ServiceError, ServiceResult};
 pub use registry::{DatasetRegistry, DatasetSource};
-pub use server::{serve_stdio, serve_stream, serve_tcp, ServerHandle};
+pub use server::{serve_metrics, serve_stdio, serve_stream, serve_tcp, ServerHandle};
+pub use store::{journal::JournalHandle, Store};

@@ -85,6 +85,10 @@ const OPS: &[&str] = &[
     "session.open",
     "session.get_next",
     "session.close",
+    "session.save",
+    "session.resume",
+    "snapshot",
+    "restore",
 ];
 
 /// One latency histogram per protocol op.
@@ -115,6 +119,62 @@ impl OpLatencies {
             }
         }
         out.build()
+    }
+
+    /// Prometheus text exposition: one classic histogram per seen op
+    /// (`srank_op_latency_micros_bucket{op="…", le="…"}` with cumulative
+    /// counts, plus `_sum` and `_count`), scrape-ready for the
+    /// `--metrics-port` responder.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP srank_op_latency_micros Per-op request latency in microseconds."
+        );
+        let _ = writeln!(out, "# TYPE srank_op_latency_micros histogram");
+        for (name, h) in OPS.iter().zip(&self.histograms) {
+            if h.count() == 0 {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for (i, bucket) in h.buckets.iter().enumerate() {
+                let count = bucket.load(Ordering::Relaxed);
+                if count == 0 {
+                    continue;
+                }
+                cumulative += count;
+                // The last bucket is unbounded above, so it has no finite
+                // edge line — only the +Inf terminal below may claim its
+                // samples (a finite `le` here would cap every slow
+                // request's quantile at 2^30 µs). Intermediate edges are
+                // 2^(i+1).
+                if i + 1 == LATENCY_BUCKETS {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "srank_op_latency_micros_bucket{{op=\"{name}\",le=\"{}\"}} {cumulative}",
+                    1u64 << (i + 1)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "srank_op_latency_micros_bucket{{op=\"{name}\",le=\"+Inf\"}} {}",
+                h.count()
+            );
+            let _ = writeln!(
+                out,
+                "srank_op_latency_micros_sum{{op=\"{name}\"}} {}",
+                h.total_micros.load(Ordering::Relaxed)
+            );
+            let _ = writeln!(
+                out,
+                "srank_op_latency_micros_count{{op=\"{name}\"}} {}",
+                h.count()
+            );
+        }
+        out
     }
 }
 
@@ -147,6 +207,76 @@ pub struct PoolMetrics {
 }
 
 impl PoolMetrics {
+    /// Prometheus text exposition of the pool counters.
+    pub fn to_prometheus(&self, workers: usize) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+        for (name, help, value) in [
+            ("pool_workers", "Worker pool width.", workers as f64),
+            (
+                "pool_threads_spawned_total",
+                "Worker threads ever created.",
+                load(&self.threads_spawned),
+            ),
+            (
+                "pool_jobs_submitted_total",
+                "Jobs enqueued on the work queue.",
+                load(&self.submitted),
+            ),
+            (
+                "pool_jobs_completed_total",
+                "Jobs fully executed.",
+                load(&self.completed),
+            ),
+            (
+                "pool_jobs_executing",
+                "Jobs currently executing.",
+                load(&self.executing),
+            ),
+            (
+                "pool_queue_depth",
+                "Jobs waiting on the work queue.",
+                load(&self.queue_depth),
+            ),
+            (
+                "pool_queue_max_depth",
+                "High-water mark of the work queue.",
+                load(&self.max_queue_depth),
+            ),
+            (
+                "pool_queue_wait_micros_total",
+                "Cumulative enqueue-to-dequeue wait.",
+                load(&self.queue_wait_micros),
+            ),
+            (
+                "pool_backpressure_waits_total",
+                "Workers blocked on a full response queue.",
+                load(&self.backpressure_waits),
+            ),
+            (
+                "pool_batches_buffered_total",
+                "Buffered batch ops served.",
+                load(&self.batches_buffered),
+            ),
+            (
+                "pool_batches_streamed_total",
+                "Streamed batch ops served.",
+                load(&self.batches_streamed),
+            ),
+        ] {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# HELP srank_{name} {help}");
+            let _ = writeln!(out, "# TYPE srank_{name} {kind}");
+            let _ = writeln!(out, "srank_{name} {value}");
+        }
+        out
+    }
+
     pub fn to_value(&self, workers: usize) -> Value {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         Object::new()

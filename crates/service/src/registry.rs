@@ -26,6 +26,27 @@ pub struct DatasetEntry {
     pub generation: u64,
     /// Human-readable provenance (builtin spec or CSV path).
     pub source: String,
+    /// The machine-readable source, retained so the persistence layer
+    /// can re-load the dataset on a warm restart.
+    pub origin: DatasetSource,
+}
+
+/// Content fingerprint of a normalized dataset (FNV-1a over the shape and
+/// every attribute's exact bits). A snapshot records it so a restart can
+/// tell whether re-loading the source produced the *same* data — the
+/// generation-stamp compatibility gate: caches and sessions only survive
+/// when the bits match (a CSV edited on disk, or a changed simulator,
+/// silently invalidates everything derived from the old contents).
+pub fn dataset_checksum(data: &Dataset) -> u64 {
+    let mut h = crate::store::layout::Fnv1a::new();
+    h.update(&(data.len() as u64).to_le_bytes());
+    h.update(&(data.dim() as u64).to_le_bytes());
+    for i in 0..data.len() {
+        for &x in data.item(i) {
+            h.update(&x.to_bits().to_le_bytes());
+        }
+    }
+    h.finish()
 }
 
 /// How to obtain a dataset.
@@ -59,6 +80,78 @@ impl DatasetSource {
             }
             DatasetSource::Csv { path, .. } => format!("csv:{path}"),
             DatasetSource::Rows(rows) => format!("rows:{}", rows.len()),
+        }
+    }
+
+    /// Serializes the source for the persistence manifest (every variant
+    /// is re-loadable, including explicit rows).
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::{f64_slice_value, obj, u64_hex_value};
+        let names =
+            |ns: &[String]| Value::Array(ns.iter().map(|n| Value::String(n.clone())).collect());
+        match self {
+            DatasetSource::Builtin { family, n, d, seed } => obj([
+                ("kind", Value::String("builtin".into())),
+                ("family", Value::String(family.clone())),
+                ("n", Value::Number(*n as f64)),
+                ("d", Value::Number(*d as f64)),
+                ("seed", u64_hex_value(*seed)),
+            ]),
+            DatasetSource::Csv {
+                path,
+                higher,
+                lower,
+            } => obj([
+                ("kind", Value::String("csv".into())),
+                ("path", Value::String(path.clone())),
+                ("higher", names(higher)),
+                ("lower", names(lower)),
+            ]),
+            DatasetSource::Rows(rows) => obj([
+                ("kind", Value::String("rows".into())),
+                (
+                    "rows",
+                    Value::Array(rows.iter().map(|r| f64_slice_value(r)).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Rebuilds a source serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{
+            array_field, f64_vec_value, str_field, u64_hex_field, usize_field, PersistError,
+        };
+        let str_names = |key: &str| -> srank_sample::persist::PersistResult<Vec<String>> {
+            array_field(v, key)?
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| PersistError::new(format!("'{key}' must hold strings")))
+                })
+                .collect()
+        };
+        match str_field(v, "kind")? {
+            "builtin" => Ok(DatasetSource::Builtin {
+                family: str_field(v, "family")?.to_string(),
+                n: usize_field(v, "n")?,
+                d: usize_field(v, "d")?,
+                seed: u64_hex_field(v, "seed")?,
+            }),
+            "csv" => Ok(DatasetSource::Csv {
+                path: str_field(v, "path")?.to_string(),
+                higher: str_names("higher")?,
+                lower: str_names("lower")?,
+            }),
+            "rows" => Ok(DatasetSource::Rows(
+                array_field(v, "rows")?
+                    .iter()
+                    .map(|r| f64_vec_value(r, "row"))
+                    .collect::<srank_sample::persist::PersistResult<_>>()?,
+            )),
+            other => Err(PersistError::new(format!("unknown source kind '{other}'"))),
         }
     }
 
@@ -142,6 +235,30 @@ impl DatasetRegistry {
     /// Loads `source` and registers it under `name`, replacing any
     /// previous entry with that name (under a fresh generation).
     pub fn load(&self, name: &str, source: &DatasetSource) -> ServiceResult<Arc<DatasetEntry>> {
+        self.install(name, source, None)
+    }
+
+    /// [`load`](Self::load) under an *explicit* generation stamp — the
+    /// warm-restart path: a snapshot's cache keys and session records
+    /// embed the generation they were built against, so restoring them
+    /// verbatim requires re-registering the dataset under that same
+    /// stamp. The process-wide counter is advanced past it, so later
+    /// fresh loads still strictly increase.
+    pub fn load_with_generation(
+        &self,
+        name: &str,
+        source: &DatasetSource,
+        generation: u64,
+    ) -> ServiceResult<Arc<DatasetEntry>> {
+        self.install(name, source, Some(generation))
+    }
+
+    fn install(
+        &self,
+        name: &str,
+        source: &DatasetSource,
+        generation: Option<u64>,
+    ) -> ServiceResult<Arc<DatasetEntry>> {
         if name.is_empty() {
             return Err(ServiceError::bad_request("dataset name must be non-empty"));
         }
@@ -155,11 +272,19 @@ impl DatasetRegistry {
                 dataset.dim()
             )));
         }
+        let generation = match generation {
+            None => self.generation.fetch_add(1, Ordering::Relaxed) + 1,
+            Some(g) => {
+                self.generation.fetch_max(g, Ordering::Relaxed);
+                g
+            }
+        };
         let entry = Arc::new(DatasetEntry {
             name: name.to_string(),
             dataset: Arc::new(dataset),
-            generation: self.generation.fetch_add(1, Ordering::Relaxed) + 1,
+            generation,
             source: source.describe(),
+            origin: source.clone(),
         });
         self.entries
             .write()

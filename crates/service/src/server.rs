@@ -165,9 +165,14 @@ struct Connection<'env, W> {
     /// serialized through this lock, one complete line per acquisition.
     writer: &'env Mutex<W>,
     gate: &'env MuxGate,
-    /// Set when any side thread hits a write error: the reader stops
-    /// accepting new requests (the socket is dead anyway).
-    failed: &'env AtomicBool,
+    /// The connection's death flag: set when any thread hits a write
+    /// error or when the reader leaves its loop (EOF, idle disconnect,
+    /// shutdown). The reader stops accepting new requests once set, and
+    /// the same flag rides into the engine as the cancellation signal —
+    /// a `session.get_next` parked on a busy session is dropped at grant
+    /// time instead of executing against this dead writer (counted in
+    /// `stats.session_queue.cancelled`).
+    dead: &'env Arc<AtomicBool>,
     /// The server-wide shutdown flag (TCP only; `None` on stdio). A
     /// reader waiting on a full mux gate re-checks it, so a stalled
     /// client can never wedge a worker against shutdown.
@@ -198,7 +203,7 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
     let writer = Mutex::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let gate = MuxGate::new(engine.config().mux_streams);
-    let failed = AtomicBool::new(false);
+    let dead = Arc::new(AtomicBool::new(false));
     // Scoped: leaving the loop (EOF, idle, shutdown) joins the in-flight
     // stream side threads, so a connection never leaks a detached writer.
     std::thread::scope(|scope| {
@@ -206,25 +211,27 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
             engine,
             writer: &writer,
             gate: &gate,
-            failed: &failed,
+            dead: &dead,
             stop: Some(stop),
         };
         // Lines accumulate as raw bytes: `read_until` keeps partial reads
         // across timeouts intact (a `read_line` would discard bytes when a
         // timeout splits a multi-byte UTF-8 character).
         let mut line: Vec<u8> = Vec::new();
-        loop {
-            if stop.load(Ordering::SeqCst) || failed.load(Ordering::Relaxed) {
-                return Ok(());
+        let outcome = loop {
+            if stop.load(Ordering::SeqCst) || dead.load(Ordering::Relaxed) {
+                break Ok(());
             }
             match reader.read_until(b'\n', &mut line) {
-                Ok(0) if line.is_empty() => return Ok(()), // EOF
+                Ok(0) if line.is_empty() => break Ok(()), // EOF
                 Ok(n) => {
                     let eof = n == 0 || line.last() != Some(&b'\n');
-                    respond(conn, &line, scope)?;
+                    if let Err(e) = respond(conn, &line, scope) {
+                        break Err(e);
+                    }
                     line.clear();
                     if eof {
-                        return Ok(());
+                        break Ok(());
                     }
                     last_activity = std::time::Instant::now();
                 }
@@ -242,13 +249,19 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
                     if gate.in_flight() > 0 {
                         last_activity = std::time::Instant::now();
                     } else if last_activity.elapsed() >= IDLE_DISCONNECT {
-                        return Ok(());
+                        break Ok(());
                     }
                     continue;
                 }
-                Err(e) => return Err(e),
+                Err(e) => break Err(e),
             }
-        }
+        };
+        // The connection is over: raise the death flag *before* the scope
+        // joins in-flight side threads, so any of their sub-requests
+        // still parked on busy sessions cancel at grant instead of
+        // burning enumeration budget into this closed socket.
+        dead.store(true, Ordering::Relaxed);
+        outcome
     })
 }
 
@@ -274,10 +287,11 @@ fn handle_catching<W: Write>(
     engine: &Engine,
     writer: &Mutex<W>,
     request: &Value,
+    dead: &Arc<AtomicBool>,
 ) -> std::io::Result<()> {
     let mut sink = |response: &str| write_line(writer, response);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        engine.handle_request_streamed(request, &mut sink)
+        engine.handle_request_streamed_for(request, &mut sink, Some(dead))
     }));
     match outcome {
         Ok(io_result) => io_result,
@@ -318,22 +332,22 @@ where
         // the reader pauses instead of spawning without bound, but stays
         // responsive to shutdown and to a dead writer.
         let halted = !conn.gate.acquire(|| {
-            conn.failed.load(Ordering::Relaxed)
+            conn.dead.load(Ordering::Relaxed)
                 || conn.stop.is_some_and(|stop| stop.load(Ordering::SeqCst))
         });
         if halted {
             return Ok(()); // tearing down; the reader loop exits next
         }
         scope.spawn(move || {
-            let result = handle_catching(conn.engine, conn.writer, &request);
+            let result = handle_catching(conn.engine, conn.writer, &request, conn.dead);
             if result.is_err() {
-                conn.failed.store(true, Ordering::Relaxed);
+                conn.dead.store(true, Ordering::Relaxed);
             }
             conn.gate.release();
         });
         return Ok(());
     }
-    handle_catching(conn.engine, conn.writer, &request)
+    handle_catching(conn.engine, conn.writer, &request, conn.dead)
 }
 
 /// Serves `engine` over arbitrary reader/writer streams — the
@@ -349,23 +363,28 @@ pub fn serve_stream(
     let reader = BufReader::new(reader);
     let writer = Mutex::new(writer);
     let gate = MuxGate::new(engine.config().mux_streams);
-    let failed = AtomicBool::new(false);
+    let dead = Arc::new(AtomicBool::new(false));
     std::thread::scope(|scope| {
         let conn = Connection {
             engine,
             writer: &writer,
             gate: &gate,
-            failed: &failed,
+            dead: &dead,
             stop: None,
         };
-        for line in reader.lines() {
-            if failed.load(Ordering::Relaxed) {
-                break; // a side thread hit a write error: writer is dead
+        let run = || -> std::io::Result<()> {
+            for line in reader.lines() {
+                if dead.load(Ordering::Relaxed) {
+                    break; // a side thread hit a write error: writer is dead
+                }
+                let line = line?;
+                respond(conn, line.as_bytes(), scope)?;
             }
-            let line = line?;
-            respond(conn, line.as_bytes(), scope)?;
-        }
-        Ok(())
+            Ok(())
+        };
+        let outcome = run();
+        dead.store(true, Ordering::Relaxed);
+        outcome
     })
 }
 
@@ -374,6 +393,54 @@ pub fn serve_stream(
 /// mutex already serializes response lines.)
 pub fn serve_stdio(engine: &Engine) -> std::io::Result<()> {
     serve_stream(engine, std::io::stdin().lock(), std::io::stdout())
+}
+
+/// Serves the Prometheus text exposition on `addr` as a one-shot plain
+/// TCP responder (`serve --metrics-port`): every connection gets one
+/// minimal HTTP/1.0 response carrying [`Engine::prometheus_text`]'s
+/// output (via `EngineCore::prometheus_text`) and is closed — enough for
+/// `curl` and any Prometheus scraper, with no HTTP machinery. Returns a
+/// [`ServerHandle`]; shut it down like the main listener.
+pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let worker = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || loop {
+            let conn = listener.accept();
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match conn {
+                Ok((mut stream, _peer)) => {
+                    // One-shot: drain whatever request arrived (closing
+                    // with unread bytes would RST the scraper instead of
+                    // a clean FIN), answer, close. Errors end this scrape
+                    // only.
+                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
+                    let mut request = [0u8; 4096];
+                    use std::io::Read as _;
+                    let _ = stream.read(&mut request);
+                    let body = engine.prometheus_text();
+                    let response = format!(
+                        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                        body.len()
+                    );
+                    let _ = stream.write_all(response.as_bytes());
+                    let _ = stream.flush();
+                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
+            }
+        })
+    };
+    Ok(ServerHandle {
+        addr,
+        stop,
+        workers: vec![worker],
+    })
 }
 
 #[cfg(test)]

@@ -64,11 +64,7 @@ pub const NUM_SHARDS: usize = 1 << SHARD_BITS;
 /// Deterministic FNV-1a over the dataset name, folded to a shard index —
 /// every session of one dataset lives in one shard.
 fn dataset_shard(dataset: &str) -> usize {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in dataset.as_bytes() {
-        h = (h ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
-    }
-    (h % NUM_SHARDS as u64) as usize
+    (crate::store::layout::fnv1a(dataset.as_bytes()) % NUM_SHARDS as u64) as usize
 }
 
 /// The detached enumerator of one session.
@@ -95,6 +91,83 @@ impl SessionState {
             SessionState::Randomized { .. } => "randomized",
         }
     }
+
+    /// Serializes the enumerator state (and, for randomized sessions, the
+    /// exact RNG stream position and default budget) for durable storage.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::{obj, u64_hex_value};
+        match self {
+            SessionState::Sweep2D(state) => obj([
+                ("kind", Value::String("sweep2d".into())),
+                ("state", state.to_value()),
+            ]),
+            SessionState::Md(state) => obj([
+                ("kind", Value::String("md".into())),
+                ("state", state.to_value()),
+            ]),
+            SessionState::Randomized { state, rng, budget } => obj([
+                ("kind", Value::String("randomized".into())),
+                ("state", state.to_value()),
+                (
+                    "rng",
+                    Value::Array(rng.state().iter().map(|&w| u64_hex_value(w)).collect()),
+                ),
+                ("budget", Value::Number(*budget as f64)),
+            ]),
+        }
+    }
+
+    /// Rebuilds a state serialized by [`to_value`](Self::to_value).
+    pub fn from_value(v: &serde_json::Value) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{
+            array_field, field, str_field, u64_hex, usize_field, PersistError,
+        };
+        let state = field(v, "state")?;
+        match str_field(v, "kind")? {
+            "sweep2d" => Ok(SessionState::Sweep2D(Sweep2DState::from_value(state)?)),
+            "md" => Ok(SessionState::Md(MdState::from_value(state)?)),
+            "randomized" => {
+                let words = array_field(v, "rng")?;
+                if words.len() != 4 {
+                    return Err(PersistError::new("rng state must be 4 words"));
+                }
+                let mut s = [0u64; 4];
+                for (slot, w) in s.iter_mut().zip(words) {
+                    *slot = u64_hex(w, "rng word")?;
+                }
+                Ok(SessionState::Randomized {
+                    state: Box::new(RandomizedState::from_value(state)?),
+                    rng: StdRng::from_state(s),
+                    budget: usize_field(v, "budget")?,
+                })
+            }
+            other => Err(PersistError::new(format!("unknown session kind '{other}'"))),
+        }
+    }
+
+    /// Verifies a (possibly just-deserialized) state actually reattaches
+    /// to `data` — the same shape checks `from_state` runs on every
+    /// `get_next` — without advancing it. Both directions are O(1) moves.
+    pub fn reattach_check(
+        self,
+        data: &srank_core::Dataset,
+    ) -> Result<Self, srank_core::StableRankError> {
+        use srank_core::{Enumerator2D, MdEnumerator, RandomizedEnumerator};
+        Ok(match self {
+            SessionState::Sweep2D(state) => {
+                SessionState::Sweep2D(Enumerator2D::from_state(data, state)?.into_state())
+            }
+            SessionState::Md(state) => {
+                SessionState::Md(MdEnumerator::from_state(data, state)?.into_state())
+            }
+            SessionState::Randomized { state, rng, budget } => SessionState::Randomized {
+                state: Box::new(RandomizedEnumerator::from_state(data, *state)?.into_state()),
+                rng,
+                budget,
+            },
+        })
+    }
 }
 
 /// One open session.
@@ -112,6 +185,64 @@ pub struct Session {
     /// Stability of the most recent ranking (monotonically non-increasing
     /// within a session; serialized for observability).
     pub last_stability: Option<f64>,
+    /// Monotonic state-change counter: 1 at open, +1 per `get_next`.
+    pub advances: u64,
+    /// The `advances` value at the last *durable* checkpoint. A session
+    /// is dirty iff `advances > checkpointed`; the flag is cleared by
+    /// recording the exported `advances` only **after** its file write
+    /// succeeded ([`SessionManager::mark_checkpointed`]), so a failed
+    /// write can never silently drop progress from the journal, and an
+    /// advance racing the write keeps the session dirty.
+    pub checkpointed: u64,
+}
+
+impl Session {
+    /// Whether the state has advanced past the last durable checkpoint.
+    pub fn dirty(&self) -> bool {
+        self.advances > self.checkpointed
+    }
+    /// Serializes the full session record for durable storage.
+    pub fn snapshot_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        use srank_sample::persist::obj;
+        obj([
+            ("id", Value::Number(self.id as f64)),
+            ("dataset", Value::String(self.dataset.clone())),
+            ("generation", Value::Number(self.generation as f64)),
+            ("returned", Value::Number(self.returned as f64)),
+            (
+                "last_stability",
+                match self.last_stability {
+                    Some(s) => Value::Number(s),
+                    None => Value::Null,
+                },
+            ),
+            ("state", self.state.to_value()),
+        ])
+    }
+
+    /// Rebuilds a session record serialized by
+    /// [`snapshot_value`](Self::snapshot_value). Timestamps restart at
+    /// load time (a resumed session is, by definition, in use now).
+    pub fn from_snapshot_value(
+        v: &serde_json::Value,
+    ) -> srank_sample::persist::PersistResult<Self> {
+        use srank_sample::persist::{field, str_field, u64_field, usize_field};
+        let now = Instant::now();
+        Ok(Self {
+            id: u64_field(v, "id")?,
+            dataset: str_field(v, "dataset")?.to_string(),
+            generation: u64_field(v, "generation")?,
+            state: SessionState::from_value(field(v, "state")?)?,
+            created: now,
+            last_used: now,
+            returned: usize_field(v, "returned")?,
+            last_stability: field(v, "last_stability")?.as_f64(),
+            // A just-restored session matches its on-disk checkpoint.
+            advances: 1,
+            checkpointed: 1,
+        })
+    }
 }
 
 /// Exclusive ownership of a session for the duration of one request.
@@ -160,10 +291,16 @@ impl std::fmt::Debug for CheckedOut<'_> {
 
 /// One parked request waiting for a checked-out session: the closure is
 /// invoked exactly once, with the session (FIFO handoff) or with the
-/// error that voided the wait (session closed / table dropped).
+/// error that voided the wait (session closed / table dropped / the
+/// requesting connection died while parked).
 pub struct Waiter {
     enqueued: Instant,
     deliver: Option<Box<dyn FnOnce(ServiceResult<Session>) + Send>>,
+    /// Liveness of the requesting connection (shared with the transport):
+    /// when set before the grant, the waiter is *dropped on grant* — the
+    /// session is never advanced for a client that can no longer read the
+    /// answer (counted in `stats.session_queue.cancelled`).
+    cancelled: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Waiter {
@@ -171,7 +308,27 @@ impl Waiter {
         Self {
             enqueued: Instant::now(),
             deliver: Some(Box::new(deliver)),
+            cancelled: None,
         }
+    }
+
+    /// A waiter tied to its connection's death flag: if the flag is set
+    /// by the time the session would be handed over, the grant is skipped.
+    pub fn with_cancel(
+        deliver: impl FnOnce(ServiceResult<Session>) + Send + 'static,
+        cancelled: Arc<std::sync::atomic::AtomicBool>,
+    ) -> Self {
+        Self {
+            enqueued: Instant::now(),
+            deliver: Some(Box::new(deliver)),
+            cancelled: Some(cancelled),
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
     }
 
     fn grant(mut self, session: Session) {
@@ -214,11 +371,25 @@ impl Handoff {
 
     /// The waiter to park; fulfilling it wakes [`wait`](Self::wait).
     pub fn waiter(self: &Arc<Self>) -> Waiter {
+        Waiter::new(self.deliverer())
+    }
+
+    /// [`waiter`](Self::waiter) tied to a connection death flag: if the
+    /// connection dies while parked, the grant is skipped (the blocked
+    /// thread still wakes, with an error).
+    pub fn waiter_with_cancel(
+        self: &Arc<Self>,
+        cancelled: Arc<std::sync::atomic::AtomicBool>,
+    ) -> Waiter {
+        Waiter::with_cancel(self.deliverer(), cancelled)
+    }
+
+    fn deliverer(self: &Arc<Self>) -> impl FnOnce(ServiceResult<Session>) + Send + 'static {
         let handoff = Arc::clone(self);
-        Waiter::new(move |outcome| {
+        move |outcome| {
             *handoff.slot.lock().expect("handoff poisoned") = Some(outcome);
             handoff.ready.notify_one();
-        })
+        }
     }
 
     /// Blocks until the session is handed over (or the wait is voided).
@@ -233,6 +404,16 @@ impl Handoff {
             slot = self.ready.wait(slot).expect("handoff poisoned");
         }
     }
+}
+
+/// One session's serialized snapshot as exported for persistence:
+/// identity, the `advances` watermark to acknowledge after a durable
+/// write, and the record itself.
+pub struct SessionExport {
+    pub id: u64,
+    pub dataset: String,
+    pub advances: u64,
+    pub record: serde_json::Value,
 }
 
 /// Outcome of [`SessionManager::check_out_or_queue`].
@@ -275,6 +456,9 @@ pub struct QueueCounters {
     pub queued_total: u64,
     /// Parked requests granted their session.
     pub granted: u64,
+    /// Parked requests dropped at grant time because their connection had
+    /// died while they waited (the session is not advanced for them).
+    pub cancelled: u64,
     /// Cumulative park→grant wait.
     pub wait_micros: u64,
 }
@@ -297,6 +481,7 @@ pub struct SessionManager {
     queue_depth_cap: usize,
     queued_total: AtomicU64,
     queue_granted: AtomicU64,
+    queue_cancelled: AtomicU64,
     queue_depth: AtomicUsize,
     queue_max_depth: AtomicU64,
     queue_wait_micros: AtomicU64,
@@ -323,6 +508,7 @@ impl SessionManager {
             queue_depth_cap: queue_depth,
             queued_total: AtomicU64::new(0),
             queue_granted: AtomicU64::new(0),
+            queue_cancelled: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_max_depth: AtomicU64::new(0),
             queue_wait_micros: AtomicU64::new(0),
@@ -375,11 +561,120 @@ impl SessionManager {
                         last_used: now,
                         returned: 0,
                         last_stability: None,
+                        advances: 1,
+                        checkpointed: 0,
                     })),
                     queue: VecDeque::new(),
                 },
             );
         Ok(id)
+    }
+
+    /// Installs a session under its *original* id — the restore path of
+    /// the persistence subsystem. An existing session under the id is
+    /// replaced (a resumed checkpoint is the authoritative state); the id
+    /// sequence is advanced past it so fresh opens can never collide.
+    ///
+    /// # Errors
+    /// `session_limit` at capacity; `bad_request` if the id's embedded
+    /// shard disagrees with the dataset (a forged or corrupt record).
+    pub fn install(&self, session: Session) -> ServiceResult<u64> {
+        let id = session.id;
+        let shard = dataset_shard(&session.dataset);
+        if (id & (NUM_SHARDS as u64 - 1)) as usize != shard {
+            return Err(ServiceError::bad_request(format!(
+                "session {id} does not route to dataset '{}'",
+                session.dataset
+            )));
+        }
+        // Advance the sequence past the restored id (lock-free max).
+        self.next_seq.fetch_max(id >> SHARD_BITS, Ordering::Relaxed);
+        let mut slots = self.shards[shard].lock().expect("session lock poisoned");
+        let replacing = slots.contains_key(&id);
+        if !replacing
+            && self
+                .count
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                    (c < self.max_sessions).then_some(c + 1)
+                })
+                .is_err()
+        {
+            return Err(ServiceError::new(
+                ErrorCode::SessionLimit,
+                format!("session limit reached ({} open)", self.max_sessions),
+            ));
+        }
+        match slots.get_mut(&id) {
+            // Replacing a checked-out slot would yank a session out from
+            // under a live request; refuse (the caller reports busy).
+            Some(slot) if matches!(slot.state, SlotState::CheckedOut) => Err(ServiceError::new(
+                ErrorCode::SessionBusy,
+                format!("session {id} is executing a request; cannot overwrite it"),
+            )),
+            Some(slot) => {
+                slot.state = SlotState::Available(Box::new(session));
+                Ok(id)
+            }
+            None => {
+                slots.insert(
+                    id,
+                    Slot {
+                        state: SlotState::Available(Box::new(session)),
+                        queue: VecDeque::new(),
+                    },
+                );
+                Ok(id)
+            }
+        }
+    }
+
+    /// Serializes every checked-in session (optionally only the dirty
+    /// ones) — the snapshot/journal export. Dirty flags are **not**
+    /// cleared here: the caller calls
+    /// [`mark_checkpointed`](Self::mark_checkpointed) with each record's
+    /// `advances` only after the file write actually succeeded.
+    /// Checked-out sessions are skipped: they are mid-request and their
+    /// state is not observable without blocking the request; their ids
+    /// are returned so the caller can keep their previous checkpoints.
+    /// Returns `(exports, busy_ids)`, exports sorted by id.
+    pub fn export_snapshots(&self, only_dirty: bool) -> (Vec<SessionExport>, Vec<u64>) {
+        let mut exports = Vec::new();
+        let mut busy = Vec::new();
+        for shard in &self.shards {
+            let slots = shard.lock().expect("session lock poisoned");
+            for (&id, slot) in slots.iter() {
+                match &slot.state {
+                    SlotState::Available(s) => {
+                        if !only_dirty || s.dirty() {
+                            exports.push(SessionExport {
+                                id,
+                                dataset: s.dataset.clone(),
+                                advances: s.advances,
+                                record: s.snapshot_value(),
+                            });
+                        }
+                    }
+                    SlotState::CheckedOut => busy.push(id),
+                }
+            }
+        }
+        exports.sort_by_key(|e| e.id);
+        (exports, busy)
+    }
+
+    /// Records that `id`'s state as of `advances` is durably on disk: the
+    /// session stops being dirty unless it advanced again since the
+    /// export. Monotonic, so a stale call can never un-checkpoint newer
+    /// progress.
+    pub fn mark_checkpointed(&self, id: u64, advances: u64) {
+        let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
+        if let Some(Slot {
+            state: SlotState::Available(s),
+            ..
+        }) = slots.get_mut(&id)
+        {
+            s.checkpointed = s.checkpointed.max(advances);
+        }
     }
 
     fn not_found(id: u64) -> ServiceError {
@@ -493,7 +788,7 @@ impl SessionManager {
     /// out, so arrival order is preserved and no one can jump the queue.
     fn restore(&self, mut session: Session) {
         session.last_used = Instant::now();
-        let handed_off = {
+        let (cancelled, handed_off) = {
             let mut slots = self
                 .shard_of(session.id)
                 .lock()
@@ -501,18 +796,36 @@ impl SessionManager {
             match slots.get_mut(&session.id) {
                 // A close/eviction that raced the check-out wins: the
                 // session is dropped (close drained any waiters).
-                None => None,
-                Some(slot) => match slot.queue.pop_front() {
-                    Some(waiter) => Some((waiter, session)),
-                    None => {
-                        slot.state = SlotState::Available(Box::new(session));
-                        None
+                None => (Vec::new(), None),
+                Some(slot) => {
+                    // Skip waiters whose connection died while they were
+                    // parked: advancing the session for them would burn
+                    // enumeration budget into a dead socket. They are
+                    // failed (outside the lock) so a blocked transport
+                    // thread still wakes, and counted as cancelled.
+                    let mut cancelled = Vec::new();
+                    loop {
+                        match slot.queue.pop_front() {
+                            Some(w) if w.is_cancelled() => cancelled.push(w),
+                            Some(w) => break (cancelled, Some((w, session))),
+                            None => {
+                                slot.state = SlotState::Available(Box::new(session));
+                                break (cancelled, None);
+                            }
+                        }
                     }
-                },
+                }
             }
         };
         // Deliver outside the shard lock: the waiter closure wakes a
         // parked thread or re-submits a pool job.
+        for waiter in cancelled {
+            self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+            self.queue_cancelled.fetch_add(1, Ordering::Relaxed);
+            waiter.fail(ServiceError::session_not_found(
+                "request cancelled: its connection closed while queued",
+            ));
+        }
         match handed_off {
             None => {
                 self.checked_out.fetch_sub(1, Ordering::Relaxed);
@@ -616,6 +929,7 @@ impl SessionManager {
             max_depth: self.queue_max_depth.load(Ordering::Relaxed),
             queued_total: self.queued_total.load(Ordering::Relaxed),
             granted: self.queue_granted.load(Ordering::Relaxed),
+            cancelled: self.queue_cancelled.load(Ordering::Relaxed),
             wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
         }
     }
@@ -964,6 +1278,81 @@ mod tests {
         // Once the queue is drained the session evicts normally again.
         assert_eq!(mgr.evict_idle(Duration::ZERO), 1);
         assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn cancelled_waiters_are_dropped_on_grant_not_executed() {
+        use std::sync::atomic::AtomicBool;
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        // Three parked requests: the first two from a connection that
+        // dies while they wait, the third from a live one.
+        let dead = Arc::new(AtomicBool::new(false));
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2u32 {
+            let outcomes = Arc::clone(&outcomes);
+            let waiter = Waiter::with_cancel(
+                move |granted: ServiceResult<Session>| {
+                    outcomes.lock().unwrap().push((i, granted.map(|_| ())));
+                },
+                Arc::clone(&dead),
+            );
+            assert!(matches!(
+                mgr.check_out_or_queue(id, || waiter).unwrap(),
+                CheckOut::Queued
+            ));
+        }
+        let live_ran = Arc::new(Mutex::new(false));
+        {
+            let live_ran = Arc::clone(&live_ran);
+            let chain = Arc::clone(&mgr);
+            assert!(matches!(
+                mgr.check_out_or_queue(id, || Waiter::new(move |granted| {
+                    *live_ran.lock().unwrap() = true;
+                    drop(chain.adopt(granted.expect("live waiter is granted")));
+                }))
+                .unwrap(),
+                CheckOut::Queued
+            ));
+        }
+        // The connection dies while all three are parked.
+        dead.store(true, Ordering::Relaxed);
+        drop(out); // grant: skips the two cancelled waiters, runs the live one
+        let outcomes = outcomes.lock().unwrap();
+        assert_eq!(outcomes.len(), 2, "cancelled waiters still get woken");
+        for (i, outcome) in outcomes.iter() {
+            let err = outcome.as_ref().unwrap_err();
+            assert_eq!(err.code, ErrorCode::SessionNotFound, "waiter {i}");
+            assert!(err.message.contains("cancelled"), "waiter {i}: {err}");
+        }
+        assert!(*live_ran.lock().unwrap(), "live waiter executed");
+        let q = mgr.queue_counters();
+        assert_eq!((q.cancelled, q.granted, q.depth), (2, 1, 0));
+        // The session itself is unharmed.
+        assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn a_cancelled_tail_leaves_the_session_available() {
+        use std::sync::atomic::AtomicBool;
+        // Only cancelled waiters queued: the grant loop must drain them
+        // and check the session back in (not leave it marked busy).
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let dead = Arc::new(AtomicBool::new(true));
+        assert!(matches!(
+            mgr.check_out_or_queue(id, || Waiter::with_cancel(|_| {}, Arc::clone(&dead)))
+                .unwrap(),
+            CheckOut::Queued
+        ));
+        drop(out);
+        assert_eq!(mgr.queue_counters().cancelled, 1);
+        assert!(
+            mgr.check_out(id).is_ok(),
+            "session is available after a fully-cancelled queue"
+        );
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! The background checkpoint journal: a thread that periodically
+//! persists dirty sessions, and flushes a full snapshot on graceful
+//! shutdown.
+//!
+//! The journal trades durability lag for overhead: between checkpoints
+//! a crash loses at most `interval` worth of session progress (a
+//! resumed session replays those `get_next` calls deterministically if
+//! the client re-issues them — seeds are part of the state). Caches are
+//! *not* journaled — they are an optimization, re-derivable from
+//! requests, and the full snapshot on graceful shutdown (or an explicit
+//! `snapshot` op) covers the planned-restart case the warm start
+//! targets. Session checkpoints are dirty-only: a producer hammering
+//! one session re-writes one file per interval, not the whole table.
+
+use crate::engine::EngineCore;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running journal. [`shutdown`](Self::shutdown) stops it cleanly
+/// (final full snapshot included); dropping without shutdown aborts the
+/// thread at its next tick without the final flush.
+pub struct JournalHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl JournalHandle {
+    /// Signals the journal to stop, waits for its final full snapshot,
+    /// and joins the thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for JournalHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the checkpoint journal over `core` (which must have a store —
+/// returns `None` otherwise). Every `interval` the thread persists the
+/// sessions whose state advanced since their last checkpoint; on
+/// shutdown it writes one full snapshot (datasets, caches, sessions) so
+/// a planned restart comes back fully warm.
+pub fn start(core: Arc<EngineCore>, interval: Duration) -> Option<JournalHandle> {
+    core.store()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut last = Instant::now();
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Short ticks keep shutdown latency bounded regardless of
+                // the checkpoint interval.
+                std::thread::sleep(Duration::from_millis(50));
+                if last.elapsed() < interval {
+                    continue;
+                }
+                last = Instant::now();
+                let Some(store) = core.store() else { break };
+                match store.checkpoint_sessions(&core, true) {
+                    Ok(_written) => {
+                        store
+                            .counters
+                            .journal_checkpoints
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => eprintln!("srank-store: journal checkpoint failed: {e}"),
+                }
+            }
+            // Graceful-shutdown flush: one full snapshot, so the next
+            // boot is warm (caches included, not just sessions).
+            if let Some(store) = core.store() {
+                if let Err(e) = store.snapshot(&core) {
+                    eprintln!("srank-store: shutdown snapshot failed: {e}");
+                }
+            }
+        })
+    };
+    Some(JournalHandle {
+        stop,
+        thread: Some(thread),
+    })
+}

@@ -1,0 +1,615 @@
+//! Conformance tests for the durable store: warm restarts serve cached
+//! work without recomputation, sessions survive process death with
+//! seeded-deterministic continuation, corrupt files are skipped (never a
+//! panic), and changed dataset contents invalidate everything derived
+//! from the old bits.
+//!
+//! "Process death" is modeled as dropping one engine and building a
+//! second over the same data dir — exactly what a `kill -9` + restart
+//! does to the on-disk state, since nothing here relies on destructors
+//! (the crash-with-a-real-SIGKILL path runs in `scripts/check.sh`).
+
+use serde_json::Value;
+use srank_service::{Engine, EngineConfig};
+use std::path::PathBuf;
+
+fn obj(s: &str) -> Value {
+    serde_json::from_str(s).expect("test request is valid JSON")
+}
+
+/// A per-test temp data dir, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("srank-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn engine_with_dir(dir: &std::path::Path) -> Engine {
+    Engine::new(EngineConfig {
+        data_dir: Some(dir.to_path_buf()),
+        ..EngineConfig::default()
+    })
+}
+
+/// Sends one request, asserting success, and returns the `result`.
+fn call(engine: &Engine, request: &str) -> Value {
+    let response = engine.handle(&obj(request));
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "request failed: {request} -> {}",
+        serde_json::to_string(&response).unwrap()
+    );
+    response
+        .get("result")
+        .expect("ok responses carry a result")
+        .clone()
+}
+
+/// Like [`call`], also returning the envelope's `cached` flag.
+fn call_cached(engine: &Engine, request: &str) -> (Value, bool) {
+    let response = engine.handle(&obj(request));
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(true));
+    (
+        response.get("result").unwrap().clone(),
+        response.get("cached").and_then(Value::as_bool).unwrap(),
+    )
+}
+
+fn stats_field<'a>(stats: &'a Value, path: &[&str]) -> &'a Value {
+    let mut v = stats;
+    for key in path {
+        v = v.get(key).unwrap_or_else(|| panic!("stats has {path:?}"));
+    }
+    v
+}
+
+const LOAD_DOT: &str =
+    r#"{"op": "registry.load", "dataset": "dot", "builtin": "dot", "n": 120, "d": 4, "seed": 9}"#;
+const VERIFY_DOT: &str =
+    r#"{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 4000, "seed": 5}"#;
+
+/// The warm-restart acceptance test: a snapshotted result cache answers
+/// the very first `verify` of the next process from cache (observable in
+/// the hit counters), byte-identical to the original computation.
+#[test]
+fn warm_restart_serves_cached_verify_without_recomputation() {
+    let dir = TempDir::new("warm");
+    let first = {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, LOAD_DOT);
+        let (fresh, cached) = call_cached(&engine, VERIFY_DOT);
+        assert!(!cached, "first computation is a miss");
+        call(&engine, r#"{"op": "snapshot"}"#);
+        fresh
+    };
+
+    // "Restart": a brand-new engine over the same data dir.
+    let engine = engine_with_dir(dir.path());
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    assert_eq!(
+        stats_field(&stats, &["datasets"]).as_u64(),
+        Some(1),
+        "dataset came back at boot"
+    );
+    assert!(
+        stats_field(&stats, &["result_cache", "entries"]).as_u64() > Some(0),
+        "result cache restored: {}",
+        serde_json::to_string(&stats).unwrap()
+    );
+    let (warm, cached) = call_cached(&engine, VERIFY_DOT);
+    assert!(cached, "the first request after restart is a cache hit");
+    assert_eq!(
+        serde_json::to_string(&warm).unwrap(),
+        serde_json::to_string(&first).unwrap(),
+        "restored answer is byte-identical"
+    );
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    assert_eq!(
+        stats_field(&stats, &["result_cache", "hits"]).as_u64(),
+        Some(1)
+    );
+    assert_eq!(
+        stats_field(&stats, &["result_cache", "misses"]).as_u64(),
+        Some(0),
+        "nothing was recomputed"
+    );
+}
+
+/// Sample batches restore too: a cold `verify` with different weights
+/// (same dataset/ROI/seed) reuses the persisted Monte-Carlo batch
+/// instead of re-drawing it.
+#[test]
+fn warm_restart_reuses_persisted_sample_batches() {
+    // d = 4: verification is Monte-Carlo (3-D full-orthant would be
+    // exact and never draw a batch).
+    let load = r#"{"op": "registry.load", "dataset": "s4", "builtin": "synthetic-independent", "n": 50, "d": 4, "seed": 2}"#;
+    let dir = TempDir::new("samples");
+    {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, load);
+        call(
+            &engine,
+            r#"{"op": "verify", "dataset": "s4", "weights": [1, 1, 1, 1], "samples": 3000, "seed": 5}"#,
+        );
+        call(&engine, r#"{"op": "snapshot"}"#);
+    }
+    let engine = engine_with_dir(dir.path());
+    // Different weights ⇒ result-cache miss, but the sample batch for
+    // (dataset, full ROI, 3000, seed 5) must come from the store.
+    call(
+        &engine,
+        r#"{"op": "verify", "dataset": "s4", "weights": [2, 1, 1, 1], "samples": 3000, "seed": 5}"#,
+    );
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    assert_eq!(
+        stats_field(&stats, &["sample_cache", "hits"]).as_u64(),
+        Some(1),
+        "persisted sample batch reused: {}",
+        serde_json::to_string(&stats).unwrap()
+    );
+    assert_eq!(
+        stats_field(&stats, &["sample_cache", "misses"]).as_u64(),
+        Some(0)
+    );
+}
+
+/// The seeded-determinism acceptance test: a randomized session saved,
+/// "killed", and resumed in a fresh process continues `get_next` with
+/// results identical to an uninterrupted run.
+#[test]
+fn restored_randomized_session_continues_identically() {
+    let dir = TempDir::new("resume");
+    let open = r#"{"op": "session.open", "dataset": "dot", "kind": "randomized", "scope": "top-k-set", "k": 5, "seed": 77, "budget": 500}"#;
+    let next = |id: u64| format!(r#"{{"op": "session.get_next", "session": {id}}}"#);
+
+    // Uninterrupted reference: five calls in one process.
+    let reference: Vec<String> = {
+        let engine = Engine::with_defaults();
+        call(&engine, LOAD_DOT);
+        let id = call(&engine, open)
+            .get("session")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        (0..5)
+            .map(|_| serde_json::to_string(&call(&engine, &next(id))).unwrap())
+            .collect()
+    };
+
+    // Interrupted run: two calls, an explicit save, then process death.
+    let id = {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, LOAD_DOT);
+        let id = call(&engine, open)
+            .get("session")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        for (i, expected) in reference.iter().take(2).enumerate() {
+            let got = serde_json::to_string(&call(&engine, &next(id))).unwrap();
+            assert_eq!(&got, expected, "pre-save call {i} diverged");
+        }
+        let saved = call(
+            &engine,
+            &format!(r#"{{"op": "session.save", "session": {id}}}"#),
+        );
+        assert_eq!(saved.get("saved").and_then(Value::as_bool), Some(true));
+        id
+    };
+
+    // Fresh process: the dataset is loaded anew (same spec ⇒ same bits ⇒
+    // same generation-1 stamp), the session resumed from its checkpoint.
+    let engine = engine_with_dir(dir.path());
+    call(&engine, LOAD_DOT);
+    let resumed = call(
+        &engine,
+        &format!(r#"{{"op": "session.resume", "session": {id}}}"#),
+    );
+    assert_eq!(resumed.get("restored").and_then(Value::as_bool), Some(true));
+    assert_eq!(resumed.get("returned").and_then(Value::as_u64), Some(2));
+    for (i, expected) in reference.iter().enumerate().skip(2) {
+        let got = serde_json::to_string(&call(&engine, &next(id))).unwrap();
+        assert_eq!(
+            &got, expected,
+            "post-resume call {i} diverged from uninterrupted run"
+        );
+    }
+}
+
+/// Sweep-2D and arrangement sessions ride through a *full snapshot*
+/// (no explicit save) and continue exactly.
+#[test]
+fn full_snapshot_restores_sessions_of_every_kind() {
+    let dir = TempDir::new("kinds");
+    let load2d = r#"{"op": "registry.load", "dataset": "s2", "builtin": "synthetic-independent", "n": 40, "d": 2, "seed": 4}"#;
+    let load3d = r#"{"op": "registry.load", "dataset": "s3", "builtin": "synthetic-independent", "n": 12, "d": 3, "seed": 4}"#;
+    let next = |id: u64| format!(r#"{{"op": "session.get_next", "session": {id}}}"#);
+
+    let reference: Vec<Vec<String>>;
+    let ids: Vec<u64>;
+    {
+        let engine = Engine::with_defaults();
+        call(&engine, load2d);
+        call(&engine, load3d);
+        let sweep = call(
+            &engine,
+            r#"{"op": "session.open", "dataset": "s2", "kind": "sweep2d"}"#,
+        )
+        .get("session")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        let md = call(
+            &engine,
+            r#"{"op": "session.open", "dataset": "s3", "kind": "md", "samples": 400, "seed": 6}"#,
+        )
+        .get("session")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        reference = vec![sweep, md]
+            .into_iter()
+            .map(|id| {
+                (0..4)
+                    .map(|_| serde_json::to_string(&call(&engine, &next(id))).unwrap())
+                    .collect()
+            })
+            .collect();
+    }
+    {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, load2d);
+        call(&engine, load3d);
+        let sweep = call(
+            &engine,
+            r#"{"op": "session.open", "dataset": "s2", "kind": "sweep2d"}"#,
+        )
+        .get("session")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        let md = call(
+            &engine,
+            r#"{"op": "session.open", "dataset": "s3", "kind": "md", "samples": 400, "seed": 6}"#,
+        )
+        .get("session")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        ids = vec![sweep, md];
+        // Advance each once, then snapshot everything.
+        for &id in &ids {
+            call(&engine, &next(id));
+        }
+        let report = call(&engine, r#"{"op": "snapshot"}"#);
+        assert_eq!(report.get("sessions").and_then(Value::as_u64), Some(2));
+    }
+    // Restart: sessions restore at boot (no explicit resume needed).
+    let engine = engine_with_dir(dir.path());
+    for (k, &id) in ids.iter().enumerate() {
+        for (i, expected) in reference[k].iter().enumerate().skip(1) {
+            let got = serde_json::to_string(&call(&engine, &next(id))).unwrap();
+            assert_eq!(&got, expected, "session kind {k}, call {i} diverged");
+        }
+    }
+}
+
+/// Crash-recovery conformance: corrupt, truncated, or partial files —
+/// including a leftover `.tmp` from a checkpoint killed mid-write — are
+/// skipped with a warning; everything intact still restores; the engine
+/// never panics at boot.
+#[test]
+fn corrupt_and_partial_files_are_skipped_never_panic() {
+    let dir = TempDir::new("corrupt");
+    let id = {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, LOAD_DOT);
+        call(
+            &engine,
+            r#"{"op": "registry.load", "dataset": "two", "builtin": "synthetic-independent", "n": 20, "d": 2, "seed": 1}"#,
+        );
+        call(&engine, VERIFY_DOT);
+        let id = call(
+            &engine,
+            r#"{"op": "session.open", "dataset": "two", "kind": "sweep2d"}"#,
+        )
+        .get("session")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        call(&engine, r#"{"op": "snapshot"}"#);
+        id
+    };
+
+    // Simulate a kill -9 mid-checkpoint: a partial .tmp next to the
+    // complete files, a truncated dataset snapshot, and a garbage
+    // session file.
+    let datasets = dir.path().join("datasets");
+    std::fs::write(datasets.join("dot.snap.tmp"), "{\"format\": \"srank-st").unwrap();
+    let two = datasets.join("two.snap");
+    let full = std::fs::read_to_string(&two).unwrap();
+    std::fs::write(&two, &full[..full.len() / 2]).unwrap();
+    std::fs::write(
+        dir.path().join("sessions").join(format!("{id}.sess")),
+        "garbage\nnot json\n",
+    )
+    .unwrap();
+    std::fs::write(dir.path().join("sessions").join("999.sess"), "").unwrap();
+
+    let engine = engine_with_dir(dir.path());
+    // Explicit re-restore surfaces the warnings in-band for inspection.
+    let report = call(&engine, r#"{"op": "restore"}"#);
+    let warnings = report.get("warnings").unwrap().as_array().unwrap();
+    assert!(
+        !warnings.is_empty(),
+        "corruption must be reported: {}",
+        serde_json::to_string(&report).unwrap()
+    );
+    // The intact dataset still restored with its cache: first verify is
+    // a hit.
+    let (_, cached) = call_cached(&engine, VERIFY_DOT);
+    assert!(cached, "intact snapshot content survives corrupt siblings");
+    // The corrupted parts are simply gone, not fatal.
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    assert_eq!(stats_field(&stats, &["datasets"]).as_u64(), Some(1));
+}
+
+/// The generation-stamp compatibility gate: a CSV whose bits changed
+/// between snapshot and restart loads fresh, and nothing derived from
+/// the old contents (caches, sessions) survives.
+#[test]
+fn changed_dataset_contents_invalidate_the_snapshot() {
+    let dir = TempDir::new("drift");
+    let csv = dir.path().join("people.csv");
+    std::fs::write(&csv, "a,b\n0.9,0.1\n0.4,0.6\n0.2,0.8\n").unwrap();
+    let load = format!(
+        r#"{{"op": "registry.load", "dataset": "p", "csv": "{}", "higher": ["a", "b"]}}"#,
+        csv.display()
+    );
+    let verify = r#"{"op": "verify", "dataset": "p", "weights": [1, 1]}"#;
+    let first = {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, &load);
+        let id = call(
+            &engine,
+            r#"{"op": "session.open", "dataset": "p", "kind": "sweep2d"}"#,
+        )
+        .get("session")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+        let _ = id;
+        let (result, _) = call_cached(&engine, verify);
+        call(&engine, r#"{"op": "snapshot"}"#);
+        result
+    };
+
+    // The file changes on disk between the two processes.
+    std::fs::write(&csv, "a,b\n0.55,0.5\n0.45,0.52\n0.2,0.8\n").unwrap();
+
+    let engine = engine_with_dir(dir.path());
+    // Boot restore already detected the drift (logged + fresh
+    // generation); a second explicit restore refuses to roll the live,
+    // newer registration back to the snapshot's generation.
+    let report = call(&engine, r#"{"op": "restore"}"#);
+    let warnings = report.get("warnings").unwrap().as_array().unwrap();
+    assert!(
+        warnings.iter().any(|w| w
+            .as_str()
+            .is_some_and(|w| w.contains("contents changed") || w.contains("left untouched"))),
+        "drift must be reported: {}",
+        serde_json::to_string(&report).unwrap()
+    );
+    // The dataset is live (re-loaded fresh), but nothing cached survived:
+    // the verify recomputes against the *new* contents.
+    let (result, cached) = call_cached(&engine, verify);
+    assert!(!cached, "stale cache must not serve");
+    assert_ne!(
+        serde_json::to_string(&result).unwrap(),
+        serde_json::to_string(&first).unwrap(),
+        "the answer reflects the new bits"
+    );
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    assert_eq!(
+        stats_field(&stats, &["sessions"])
+            .as_array()
+            .map(<[Value]>::len),
+        Some(0),
+        "sessions over the old contents are gone"
+    );
+}
+
+/// The background journal checkpoints dirty sessions without any
+/// explicit op, and its shutdown flush writes a full snapshot.
+#[test]
+fn journal_checkpoints_dirty_sessions_and_flushes_on_shutdown() {
+    use std::time::Duration;
+    let dir = TempDir::new("journal");
+    let next = |id: u64| format!(r#"{{"op": "session.get_next", "session": {id}}}"#);
+    let reference: Vec<String>;
+    let id;
+    {
+        let engine = engine_with_dir(dir.path());
+        call(&engine, LOAD_DOT);
+        let open = r#"{"op": "session.open", "dataset": "dot", "kind": "randomized", "seed": 3, "budget": 300}"#;
+        id = call(&engine, open)
+            .get("session")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        reference = {
+            let reference_engine = Engine::with_defaults();
+            call(&reference_engine, LOAD_DOT);
+            let rid = call(&reference_engine, open)
+                .get("session")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            (0..4)
+                .map(|_| serde_json::to_string(&call(&reference_engine, &next(rid))).unwrap())
+                .collect()
+        };
+        let mut journal =
+            srank_service::store::journal::start(engine.core_arc(), Duration::from_millis(50))
+                .expect("engine has a store");
+        for expected in reference.iter().take(2) {
+            let got = serde_json::to_string(&call(&engine, &next(id))).unwrap();
+            assert_eq!(&got, expected);
+        }
+        // Give the journal a couple of ticks to persist the dirty session.
+        std::thread::sleep(Duration::from_millis(300));
+        journal.shutdown(); // final flush: full snapshot
+        let stats = call(&engine, r#"{"op": "stats"}"#);
+        assert!(
+            stats_field(&stats, &["store", "journal_checkpoints"]).as_u64() > Some(0),
+            "journal ticked: {}",
+            serde_json::to_string(&stats).unwrap()
+        );
+        assert!(
+            stats_field(&stats, &["store", "snapshots"]).as_u64() > Some(0),
+            "shutdown flushed a snapshot"
+        );
+    }
+    let engine = engine_with_dir(dir.path());
+    for expected in reference.iter().skip(2) {
+        let got = serde_json::to_string(&call(&engine, &next(id))).unwrap();
+        assert_eq!(
+            &got, expected,
+            "journal-persisted session continues exactly"
+        );
+    }
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Satellite acceptance: CSV datasets through the *full* persistence
+    /// cycle — load CSV → prime caches + sessions → snapshot → fresh
+    /// engine → restore → byte-identical `verify` and `get_next`
+    /// responses, across randomized scopes and seeds.
+    #[test]
+    fn csv_datasets_full_cycle_byte_identical_across_scopes_and_seeds(
+        seed in 0u64..10_000,
+        scope_pick in 0usize..3,
+        rows in prop::collection::vec(prop::collection::vec(0.05..0.95f64, 3), 6..14),
+    ) {
+        let scope = ["full", "top-k-ranked", "top-k-set"][scope_pick];
+        let dir = TempDir::new(&format!("csv-cycle-{seed}-{scope_pick}"));
+        let csv = dir.path().join("data.csv");
+        let mut text = String::from("x,y,z\n");
+        for row in &rows {
+            text.push_str(&format!("{},{},{}\n", row[0], row[1], row[2]));
+        }
+        std::fs::write(&csv, text).unwrap();
+        let load = format!(
+            r#"{{"op": "registry.load", "dataset": "c", "csv": "{}", "higher": ["x", "y", "z"]}}"#,
+            csv.display()
+        );
+        let verify = format!(
+            r#"{{"op": "verify", "dataset": "c", "weights": [1, 2, 1], "samples": 800, "seed": {seed}}}"#
+        );
+        let open = format!(
+            r#"{{"op": "session.open", "dataset": "c", "kind": "randomized", "scope": "{scope}", "k": 3, "seed": {seed}, "budget": 200}}"#
+        );
+        let next = |id: u64| format!(r#"{{"op": "session.get_next", "session": {id}}}"#);
+
+        // Uninterrupted reference.
+        let (ref_verify, ref_steps) = {
+            let engine = Engine::with_defaults();
+            call(&engine, &load);
+            let v = serde_json::to_string(&call(&engine, &verify)).unwrap();
+            let id = call(&engine, &open).get("session").unwrap().as_u64().unwrap();
+            let steps: Vec<String> = (0..4)
+                .map(|_| serde_json::to_string(&call(&engine, &next(id))).unwrap())
+                .collect();
+            (v, steps)
+        };
+
+        // Primed + snapshotted run, cut after two steps.
+        let id = {
+            let engine = engine_with_dir(dir.path());
+            call(&engine, &load);
+            prop_assert_eq!(
+                &serde_json::to_string(&call(&engine, &verify)).unwrap(),
+                &ref_verify
+            );
+            let id = call(&engine, &open).get("session").unwrap().as_u64().unwrap();
+            for expected in ref_steps.iter().take(2) {
+                prop_assert_eq!(&serde_json::to_string(&call(&engine, &next(id))).unwrap(), expected);
+            }
+            call(&engine, r#"{"op": "snapshot"}"#);
+            id
+        };
+
+        // Fresh engine over the same dir: cached verify is byte-identical
+        // (and a hit), the session continues exactly.
+        let engine = engine_with_dir(dir.path());
+        let (warm, cached) = call_cached(&engine, &verify);
+        prop_assert!(cached, "verify must answer from the restored cache");
+        prop_assert_eq!(&serde_json::to_string(&warm).unwrap(), &ref_verify);
+        for expected in ref_steps.iter().skip(2) {
+            prop_assert_eq!(&serde_json::to_string(&call(&engine, &next(id))).unwrap(), expected);
+        }
+    }
+}
+
+/// Persistence ops without a data dir answer `bad_request`, not silence.
+#[test]
+fn persistence_ops_require_a_data_dir() {
+    let engine = Engine::with_defaults();
+    for op in ["snapshot", "restore"] {
+        let response = engine.handle(&obj(&format!(r#"{{"op": "{op}"}}"#)));
+        assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+        let code = response.get("error").unwrap().get("code").unwrap();
+        assert_eq!(code.as_str(), Some("bad_request"), "{op}");
+    }
+}
+
+/// `stats` with `"format": "prometheus"` renders the text exposition,
+/// and the `--metrics-port` responder serves it over plain HTTP.
+#[test]
+fn prometheus_exposition_over_stats_and_metrics_port() {
+    use std::io::{Read, Write};
+    let engine = std::sync::Arc::new(Engine::with_defaults());
+    call(&engine, LOAD_DOT);
+    call(&engine, VERIFY_DOT);
+    let result = call(&engine, r#"{"op": "stats", "format": "prometheus"}"#);
+    let text = result.get("text").unwrap().as_str().unwrap();
+    for needle in [
+        "# TYPE srank_sessions_open gauge",
+        "srank_result_cache_misses_total 1",
+        "srank_op_latency_micros_bucket{op=\"verify\"",
+        "srank_op_latency_micros_count{op=\"verify\"} 1",
+        "srank_pool_workers",
+    ] {
+        assert!(text.contains(needle), "missing '{needle}' in:\n{text}");
+    }
+
+    let mut metrics = srank_service::serve_metrics(std::sync::Arc::clone(&engine), "127.0.0.1:0")
+        .expect("bind metrics port");
+    let mut conn = std::net::TcpStream::connect(metrics.addr()).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(response.contains("srank_uptime_seconds"), "{response}");
+    metrics.shutdown();
+}

@@ -168,7 +168,7 @@ proptest! {
         // at all) as queued work, not as dropped work.
         let (table, queue) = session_stats(&mut setup);
         prop_assert_eq!(
-            table.get("busy_conflicts").and_then(Value::as_u64),
+            table.get("refusals").and_then(Value::as_u64),
             Some(0),
             "no session_busy refusals: {}", serde_json::to_string(&table).unwrap()
         );
@@ -258,7 +258,7 @@ fn batch_sub_requests_on_one_session_park_and_redispatch() {
         .and_then(|r| r.get("session_table"))
         .expect("session_table");
     assert_eq!(
-        table.get("busy_conflicts").and_then(Value::as_u64),
+        table.get("refusals").and_then(Value::as_u64),
         Some(0),
         "parking replaced every busy refusal"
     );
@@ -640,7 +640,7 @@ fn stress_shared_session_hammered_through_queue_and_mux() {
 
     let (table, queue) = session_stats(&mut setup);
     assert_eq!(
-        table.get("busy_conflicts").and_then(Value::as_u64),
+        table.get("refusals").and_then(Value::as_u64),
         Some(0),
         "{}",
         serde_json::to_string(&table).unwrap()

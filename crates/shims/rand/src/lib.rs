@@ -135,6 +135,25 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The generator's internal state words — the exact position in
+        /// the stream. Together with [`from_state`](Self::from_state) this
+        /// lets callers persist a generator mid-stream and resume it
+        /// bit-for-bit (e.g. `srank-service` session checkpoints).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at an exact stream position captured by
+        /// [`state`](Self::state). The all-zero state (never produced by a
+        /// seeded generator) is remapped exactly as `from_seed` does, so a
+        /// corrupted checkpoint cannot wedge xoshiro in its fixed point.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                return Self::from_seed([0; 32]);
+            }
+            Self { s }
+        }
     }
 
     impl RngCore for StdRng {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Records the PR-over-PR performance trajectory: runs the randomized
 # sampler benches (cold sample_n, parallel sample_n, and the faithful
-# pre-interning baseline) plus the service batch-op round-trip, and
-# writes the numbers to BENCH_2.json at the repo root. Commit the file.
+# pre-interning baseline), the service batch-op round-trip, and the
+# warm-restart time-to-first-cached-verify (snapshot → fresh engine →
+# restored cache hit), and writes the numbers to BENCH_5.json at the
+# repo root. Commit the file.
 #
 # Usage: scripts/bench_record.sh [--smoke] [--out PATH]
 set -euo pipefail

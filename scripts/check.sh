@@ -46,6 +46,60 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   cargo run --release -p srank-bench --bin bench_record -- --smoke --out /tmp/bench_smoke.json
 fi
 
+# Persistence smoke: a real server primed, snapshotted, SIGKILLed, and
+# restarted over the same --data-dir must answer its first verify from
+# the restored cache. Every step runs under its own timeout; the trap
+# kills any surviving server and removes the temp dir on all exit paths
+# (success, failure, or a guard timeout).
+echo "==> persistence smoke (snapshot → kill -9 → restore)"
+SRANK=./target/release/srank
+SMOKE_DIR="$(mktemp -d /tmp/srank-persist-smoke.XXXXXX)"
+SERVER_PID=""
+persist_cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$SMOKE_DIR"
+}
+trap persist_cleanup EXIT
+
+start_server() {
+  "$SRANK" serve --listen 127.0.0.1:0 --data-dir "$SMOKE_DIR/store" \
+    2> "$SMOKE_DIR/serve.log" &
+  SERVER_PID=$!
+  ADDR=""
+  for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.]*:[0-9]*\).*/\1/p' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+  done
+  if [ -z "$ADDR" ]; then
+    echo "check.sh: persistence smoke server did not start" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+  fi
+}
+
+q() { timeout --signal=KILL 30 "$SRANK" query "$ADDR" "$1"; }
+
+start_server
+q '{"op": "registry.load", "dataset": "dot", "builtin": "dot", "n": 400, "seed": 7}' > /dev/null
+q '{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 20000}' > /dev/null
+q '{"op": "snapshot"}' | grep -q '"datasets":1' \
+  || { echo "check.sh: snapshot reported no datasets" >&2; exit 1; }
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+start_server   # warm restart over the same data dir
+WARM=$(q '{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 20000}')
+echo "$WARM" | grep -q '"cached":true' \
+  || { echo "check.sh: warm restart did not serve from cache: $WARM" >&2; exit 1; }
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+persist_cleanup
+trap - EXIT
+echo "persistence smoke passed."
+
 # A hang here is a pipeline deadlock (pool starvation, a response queue
 # nobody drains, a parked session waiter never granted, a lost wakeup):
 # kill it after the guard rather than letting the job wedge. 300 s is
