@@ -30,7 +30,9 @@ pub const USAGE: &str = "\
 usage: srank <command> <data.csv> --higher a,b [--lower c,d] [options]
        srank serve [--stdio | --listen HOST:PORT] [--workers N] [--preload FAMILY[:NAME]]…
                    [--data-dir PATH] [--checkpoint-secs N] [--metrics-port P]
+                   [--trace-sample N] [--slow-ms N]
        srank query <HOST:PORT> <REQUEST_JSON | -> [--pretty] [--batch] [--stream]
+       srank trace <HOST:PORT> [--op OP] [--min-ms N] [--session ID] [--limit N]
        srank snapshot <HOST:PORT>    persist a running server's warm state
        srank restore <HOST:PORT>     re-load a server's state from its data dir
 
@@ -42,6 +44,7 @@ commands:
   overview  [--samples N] [--seed S]
   serve                        run the srank-service query engine
   query                        send JSON requests to a running server
+  trace                        fetch recent request span trees from a server
   snapshot | restore           trigger persistence ops on a running server
 
 region of interest (verify/enumerate/topk/overview):
@@ -89,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("serve") => return service_cmd::run_serve(&args[1..]),
         Some("query") => return service_cmd::run_query(&args[1..]),
+        Some("trace") => return service_cmd::run_trace(&args[1..]),
         Some(op @ ("snapshot" | "restore")) => return service_cmd::run_persist_op(op, &args[1..]),
         _ => {}
     }

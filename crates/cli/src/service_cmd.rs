@@ -34,12 +34,19 @@
 //! engine restores whatever warm state it holds before the first
 //! request), `--checkpoint-secs N` starts the background journal that
 //! persists dirty sessions every N seconds, and `--metrics-port P`
-//! serves the Prometheus text exposition on `127.0.0.1:P` as a one-shot
-//! responder. A TCP server with a data dir drains gracefully on
-//! SIGTERM/SIGINT: stop accepting, flush in-flight work, write a full
-//! snapshot, exit — so the next boot is warm. `srank snapshot ADDR` and
-//! `srank restore ADDR` trigger the corresponding ops on a running
-//! server.
+//! serves the Prometheus text exposition on `127.0.0.1:P` as a
+//! persistent keep-alive HTTP endpoint. A TCP server with a data dir
+//! drains gracefully on SIGTERM/SIGINT: stop accepting, flush in-flight
+//! work, write a full snapshot, exit — so the next boot is warm.
+//! `srank snapshot ADDR` and `srank restore ADDR` trigger the
+//! corresponding ops on a running server.
+//!
+//! Observability: served engines trace request lifecycles —
+//! `--trace-sample N` records every Nth request's span tree (default 1 =
+//! every request; 0 disables tracing entirely), `--slow-ms N` logs any
+//! traced request slower than N ms as a structured JSON line on stderr.
+//! `srank trace ADDR [--op OP] [--min-ms N] [--session ID] [--limit N]`
+//! fetches recent completed span trees from a running server.
 
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
@@ -78,7 +85,12 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
     let mut preload = Vec::new();
     let mut checkpoint_secs: Option<u64> = None;
     let mut metrics_port: Option<u16> = None;
-    let mut config = EngineConfig::default();
+    // Served engines trace by default (every request); embedded engines
+    // keep the library default (off). `--trace-sample 0` opts back out.
+    let mut config = EngineConfig {
+        trace_sample: 1,
+        ..EngineConfig::default()
+    };
     let mut it = args.iter();
     let parse_count = |flag: &str, value: Option<&String>| -> Result<usize, String> {
         value
@@ -109,6 +121,12 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
                         .parse()
                         .map_err(|_| "--metrics-port needs a port number".to_string())?,
                 )
+            }
+            "--trace-sample" => {
+                config.trace_sample = parse_count("--trace-sample", it.next())? as u64
+            }
+            "--slow-ms" => {
+                config.slow_request_micros = parse_count("--slow-ms", it.next())? as u64 * 1000
             }
             other => return Err(format!("serve: unknown option {other}")),
         }
@@ -236,6 +254,51 @@ pub fn run_persist_op(op: &str, args: &[String]) -> Result<String, String> {
     )]);
     let response = client.call(&request).map_err(|e| e.to_string())?;
     let result = srank_service::client::expect_ok(&response).map_err(|e| e.to_string())?;
+    serde_json::to_string_pretty(&result)
+        .map(|s| s + "\n")
+        .map_err(|e| e.to_string())
+}
+
+/// `srank trace ADDR [--op OP] [--min-ms N] [--session ID] [--limit N]`:
+/// fetches recent completed request span trees from a running server's
+/// trace recorder and pretty-prints them.
+pub fn run_trace(args: &[String]) -> Result<String, String> {
+    let mut filter_op: Option<String> = None;
+    let mut min_micros = 0u64;
+    let mut session: Option<u64> = None;
+    let mut limit = 8usize;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next().cloned().ok_or(format!("{flag} needs a value"))
+    };
+    let parse_u64 = |flag: &str, s: String| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("{flag} needs an integer"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--op" => filter_op = Some(next_value(&mut it, "--op")?),
+            "--min-ms" => {
+                min_micros = parse_u64("--min-ms", next_value(&mut it, "--min-ms")?)? * 1000
+            }
+            "--session" => {
+                session = Some(parse_u64("--session", next_value(&mut it, "--session")?)?)
+            }
+            "--limit" => limit = parse_u64("--limit", next_value(&mut it, "--limit")?)? as usize,
+            other if other.starts_with("--") => {
+                return Err(format!("trace: unknown option {other}"))
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [addr]: [String; 1] = positional
+        .try_into()
+        .map_err(|_| "trace needs exactly: ADDR".to_string())?;
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let result = client
+        .trace(filter_op.as_deref(), min_micros, session, limit)
+        .map_err(|e| e.to_string())?;
     serde_json::to_string_pretty(&result)
         .map(|s| s + "\n")
         .map_err(|e| e.to_string())

@@ -155,6 +155,10 @@ pub struct RandomizedState {
     /// Per-entry "already returned" flags, parallel to the interner's
     /// entry ids (lazily grown; a missing index means not returned).
     returned: Vec<bool>,
+    /// Rankings emitted (returned to a caller) over the enumeration's
+    /// lifetime — a progress counter, distinct from `returned` flags
+    /// inherited through `merge`.
+    emitted: u64,
 }
 
 impl RandomizedState {
@@ -166,6 +170,11 @@ impl RandomizedState {
     /// Number of distinct (partial) rankings observed so far.
     pub fn distinct_observed(&self) -> usize {
         self.table.len()
+    }
+
+    /// Rankings emitted by `get_next_*` over the enumeration's lifetime.
+    pub fn regions_emitted(&self) -> u64 {
+        self.emitted
     }
 
     /// Serializes the accumulated counting state for durable storage:
@@ -193,6 +202,7 @@ impl RandomizedState {
                 "returned",
                 Value::Array(self.returned.iter().map(|&b| Value::Bool(b)).collect()),
             ),
+            ("emitted", Value::Number(self.emitted as f64)),
         ])
     }
 
@@ -243,6 +253,13 @@ impl RandomizedState {
                 "more returned flags than interned rankings",
             ));
         }
+        // States persisted before the counter existed carry no "emitted"
+        // field; they resume with the counter at 0 (progress reporting
+        // restarts, enumeration correctness is untouched).
+        let emitted = match field(v, "emitted") {
+            Ok(_) => u64_field(v, "emitted")?,
+            Err(_) => 0,
+        };
         Ok(Self {
             dim,
             n_items,
@@ -252,6 +269,7 @@ impl RandomizedState {
             table,
             total,
             returned,
+            emitted,
         })
     }
 }
@@ -270,6 +288,7 @@ pub struct RandomizedEnumerator<'a> {
     table: KeyInterner,
     total: u64,
     returned: Vec<bool>,
+    emitted: u64,
     // Reusable scoring workspace (hot path at n = 10⁶).
     scratch: RankScratch,
 }
@@ -310,6 +329,7 @@ impl<'a> RandomizedEnumerator<'a> {
             table: KeyInterner::new(key_len(scope, data.len()), data.dim()),
             total: 0,
             returned: Vec::new(),
+            emitted: 0,
             scratch: RankScratch::default(),
         })
     }
@@ -326,6 +346,7 @@ impl<'a> RandomizedEnumerator<'a> {
             table: self.table,
             total: self.total,
             returned: self.returned,
+            emitted: self.emitted,
         }
     }
 
@@ -356,6 +377,7 @@ impl<'a> RandomizedEnumerator<'a> {
             table: state.table,
             total: state.total,
             returned: state.returned,
+            emitted: state.emitted,
             scratch: RankScratch::default(),
         })
     }
@@ -368,6 +390,12 @@ impl<'a> RandomizedEnumerator<'a> {
     /// Number of distinct (partial) rankings observed so far.
     pub fn distinct_observed(&self) -> usize {
         self.table.len()
+    }
+
+    /// Rankings emitted by `get_next_*` over the enumeration's lifetime
+    /// (merging inherits the counter from both sides).
+    pub fn regions_emitted(&self) -> u64 {
+        self.emitted
     }
 
     /// The accumulated `(key, count, exemplar)` triples, in
@@ -501,6 +529,7 @@ impl<'a> RandomizedEnumerator<'a> {
             self.table.add(key, count, exemplar);
         }
         self.total += other.total;
+        self.emitted += other.emitted;
         for (e, &returned) in other.returned.iter().enumerate() {
             if returned {
                 let here = self
@@ -560,6 +589,7 @@ impl<'a> RandomizedEnumerator<'a> {
             exemplar_weights: self.table.exemplar(e).to_vec(),
         };
         self.mark_returned(e);
+        self.emitted += 1;
         out
     }
 
@@ -916,6 +946,34 @@ mod tests {
             out
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn emitted_counter_tracks_returns_and_survives_persistence() {
+        let data = Dataset::from_rows(&lcg_rows(10, 3, 41)).unwrap();
+        let roi = RegionOfInterest::full(3);
+        let mut e = RandomizedEnumerator::new(&data, &roi, RankingScope::Full, 0.05).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(e.regions_emitted(), 0);
+        e.get_next_budget(&mut rng, 2000).unwrap();
+        e.get_next_budget(&mut rng, 500).unwrap();
+        assert_eq!(e.regions_emitted(), 2);
+
+        // Round-trips through the persisted form.
+        let state = e.into_state();
+        assert_eq!(state.regions_emitted(), 2);
+        let restored = RandomizedState::from_value(&state.to_value()).unwrap();
+        assert_eq!(restored.regions_emitted(), 2);
+
+        // A state persisted before the counter existed (no "emitted"
+        // field) still restores, with the counter reset to 0.
+        let serde_json::Value::Object(mut fields) = state.to_value() else {
+            panic!("state serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "emitted");
+        let legacy = RandomizedState::from_value(&serde_json::Value::Object(fields)).unwrap();
+        assert_eq!(legacy.regions_emitted(), 0);
+        assert_eq!(legacy.total_samples(), 2500);
     }
 
     #[test]

@@ -44,6 +44,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Looks up `key`, marking it most recently used on a hit.
+    ///
+    /// The engine wraps result-cache lookups in a `cache_probe` trace
+    /// span (hit/miss plus the key's generation segment recorded as the
+    /// span detail); this method stays trace-unaware so the cache can be
+    /// exercised and benchmarked in isolation.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         let tick = self.next_tick();
         let (value, stamp) = self.map.get_mut(key)?;

@@ -246,6 +246,31 @@ impl Client {
         expect_ok(&response)
     }
 
+    /// Queries the server's trace recorder (`op: "trace"`): recent
+    /// completed span trees, newest first, optionally filtered by root
+    /// op, minimum total duration, and session id. Returns the `trace`
+    /// op's result (`{"traces": [...], "recorded": N, "dropped": N}`).
+    pub fn trace(
+        &mut self,
+        filter_op: Option<&str>,
+        min_micros: u64,
+        session: Option<u64>,
+        limit: usize,
+    ) -> ServiceResult<Value> {
+        let mut request = crate::proto::Object::new().field("op", "trace");
+        if let Some(op) = filter_op {
+            request = request.field("filter_op", op);
+        }
+        if min_micros > 0 {
+            request = request.field("min_micros", min_micros);
+        }
+        if let Some(session) = session {
+            request = request.field("session", session);
+        }
+        request = request.field("limit", limit as u64);
+        self.call_ok(&request.build())
+    }
+
     /// Sends one streaming batch (`op: "batch"`, `"stream": true`)
     /// *without waiting for any response*, registering it for
     /// demultiplexed pulls. If the request has no `id`, a unique

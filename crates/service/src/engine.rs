@@ -27,11 +27,12 @@
 //! `stats.pool.backpressure_waits`), which stops pulling new work.
 
 use crate::cache::LruCache;
-use crate::metrics::{OpLatencies, PoolMetrics};
+use crate::metrics::{OpLatencies, PhaseLatencies, PoolMetrics};
 use crate::pool::{BoundedQueue, CloseOnDrop, Job, PoolSubmitter, WorkerPool};
 use crate::proto::{envelope, with_stream_tag, Fields, Object, ServiceError, ServiceResult};
 use crate::registry::{DatasetRegistry, DatasetSource};
 use crate::session::{CheckOut, Handoff, SessionManager, SessionState, Waiter};
+use crate::trace::{self, phase, Span, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
@@ -99,6 +100,17 @@ pub struct EngineConfig {
     /// `session.resume` ops operate against it. `None` (the default)
     /// runs fully in-memory, exactly as before.
     pub data_dir: Option<std::path::PathBuf>,
+    /// Request tracing: trace 1 inbound request in N (`serve
+    /// --trace-sample N`). `0` (the default) disables tracing entirely —
+    /// the untraced path costs one branch per would-be span, so the
+    /// embedded API pays nothing for the layer.
+    pub trace_sample: u64,
+    /// Bounded trace-recorder capacity, in completed span records.
+    pub trace_capacity: usize,
+    /// Completed request traces at least this long are emitted to the
+    /// structured slow-request log (`serve --slow-ms`). `0` disables
+    /// the slow log.
+    pub slow_request_micros: u64,
 }
 
 impl Default for EngineConfig {
@@ -119,6 +131,9 @@ impl Default for EngineConfig {
             session_queue_depth: crate::session::DEFAULT_QUEUE_DEPTH,
             mux_streams: 4,
             data_dir: None,
+            trace_sample: 0,
+            trace_capacity: trace::DEFAULT_TRACE_CAPACITY,
+            slow_request_micros: 0,
         }
     }
 }
@@ -195,6 +210,13 @@ pub struct EngineCore {
     /// Durable persistence (present iff `config.data_dir` was set and
     /// the directory opened).
     store: Option<crate::store::Store>,
+    /// The request-trace recorder ([`crate::trace`]); samples nothing
+    /// unless `config.trace_sample > 0`.
+    tracer: Tracer,
+    /// Phase-attributed latency histograms (queue wait / session wait /
+    /// kernel / serialize, per op). Always on — these feed `stats`
+    /// independently of trace sampling.
+    pub phases: PhaseLatencies,
     started: Instant,
 }
 
@@ -214,10 +236,12 @@ impl Engine {
             .and_then(|dir| match crate::store::Store::open(dir) {
                 Ok(store) => Some(store),
                 Err(e) => {
-                    eprintln!(
-                        "srank-store: warning: cannot open data dir {}: {e}; \
-                         running without persistence",
-                        dir.display()
+                    crate::log::warn(
+                        "srank-store",
+                        &format!(
+                            "cannot open data dir {}: {e}; running without persistence",
+                            dir.display()
+                        ),
                     );
                     None
                 }
@@ -236,6 +260,12 @@ impl Engine {
             pool_metrics: Arc::clone(&pool_metrics),
             pool_width,
             store,
+            tracer: Tracer::new(
+                config.trace_sample,
+                config.trace_capacity,
+                config.slow_request_micros,
+            ),
+            phases: PhaseLatencies::default(),
             started: Instant::now(),
             config,
         });
@@ -290,7 +320,14 @@ impl Engine {
         // thread.
         self.evict_idle_sessions(None);
         let id = request.get("id").cloned();
-        let outcome = self.dispatch_top(request, cancel);
+        let root = self
+            .core
+            .maybe_root_span(request.get("op").and_then(Value::as_str));
+        let ctx = match root.is_recording() {
+            true => root.ctx(),
+            false => trace::ambient(),
+        };
+        let outcome = trace::with_ctx(ctx, || self.dispatch_top(request, cancel));
         envelope(id, outcome)
     }
 
@@ -356,10 +393,24 @@ impl Engine {
     ) -> std::io::Result<()> {
         if !Self::is_streaming_request(request) {
             let response = self.handle_for(request, cancel);
-            return sink(&serde_json::to_string(&response).expect("serializable"));
+            let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
+            let ser_start = Instant::now();
+            let line = serde_json::to_string(&response).expect("serializable");
+            self.core.phases.record(
+                "serialize",
+                request.get("op").and_then(Value::as_str).unwrap_or(""),
+                ser_start.elapsed(),
+            );
+            drop(ser);
+            return sink(&line);
         }
         self.evict_idle_sessions(None);
-        self.op_batch_streamed(request, sink, cancel)
+        let root = self.core.maybe_root_span(Some("batch"));
+        let ctx = match root.is_recording() {
+            true => root.ctx(),
+            false => trace::ambient(),
+        };
+        trace::with_ctx(ctx, || self.op_batch_streamed(request, sink, cancel))
     }
 
     fn dispatch_top(
@@ -466,7 +517,13 @@ impl Engine {
                 return; // keep draining, stop writing
             }
             let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
+            let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
+            let ser_start = Instant::now();
             let line = serde_json::to_string(&tagged).expect("serializable");
+            self.core
+                .phases
+                .record("serialize", "batch", ser_start.elapsed());
+            drop(ser);
             if let Err(e) = sink(&line) {
                 io_error = Some(e);
             }
@@ -516,6 +573,10 @@ impl Engine {
         // worker blocked mid-push so the pool cannot wedge.
         let _close_guard = CloseOnDrop(&responses);
         let submitter = self.pool.submitter();
+        // One sub_request span per sub-request, held submitter-side from
+        // submit to delivery (indexes mirror `requests`); the job runs
+        // under the span's ctx so worker-side spans link across threads.
+        let mut sub_spans: Vec<Span> = Vec::with_capacity(n);
         let mut submitted = 0usize;
         let mut delivered = 0usize;
         while delivered < n {
@@ -534,31 +595,56 @@ impl Engine {
                 let job_submitter = submitter.clone();
                 let job_cancel = cancel.cloned();
                 let index = submitted;
+                let mut sub_span = self.core.tracer.span_ambient(phase::SUB_REQUEST);
+                let sub_op = request
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string();
+                if !sub_op.is_empty() {
+                    sub_span.set_op(&sub_op);
+                }
+                let ctx = sub_span.ctx();
+                let submit_at = Instant::now();
                 let accepted = self.pool.submit(Box::new(move || {
+                    // Submit-to-pickup is the pool-queue wait for this
+                    // sub-request (stamped submitter-side so no pool
+                    // change is needed).
+                    core.tracer
+                        .record_interval(ctx, phase::POOL_QUEUE, submit_at, Instant::now());
+                    core.phases
+                        .record("queue_wait", &sub_op, submit_at.elapsed());
                     // A panic inside a sub-request must still produce an
                     // envelope — a missing completion would deadlock the
                     // submitter.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        core.handle_sub_parkable(
-                            &request,
-                            &job_submitter,
-                            &job_responses,
-                            index,
-                            job_cancel.as_ref(),
-                        )
+                        trace::with_ctx(ctx, || {
+                            core.handle_sub_parkable(
+                                &request,
+                                &job_submitter,
+                                &job_responses,
+                                index,
+                                job_cancel.as_ref(),
+                            )
+                        })
                     }));
-                    match outcome {
+                    let env = match outcome {
                         // Parked on a busy session: the re-dispatched
                         // continuation owns this index's response.
-                        Ok(None) => {}
-                        Ok(Some(env)) => job_responses.push((index, env)),
-                        Err(_) => job_responses.push((
-                            index,
-                            envelope(
-                                request.get("id").cloned(),
-                                Err(ServiceError::internal("sub-request handler panicked")),
-                            ),
+                        Ok(None) => None,
+                        Ok(Some(env)) => Some(env),
+                        Err(_) => Some(envelope(
+                            request.get("id").cloned(),
+                            Err(ServiceError::internal("sub-request handler panicked")),
                         )),
+                    };
+                    // Worker-side spans must be globally visible *before*
+                    // the response is delivered: the submitter may finish
+                    // the batch and answer a `trace` query the moment the
+                    // last envelope lands.
+                    core.tracer.flush_thread();
+                    if let Some(env) = env {
+                        job_responses.push((index, env));
                     }
                 }));
                 if !accepted {
@@ -571,13 +657,18 @@ impl Engine {
                         ),
                     ));
                 }
+                sub_spans.push(sub_span);
                 submitted += 1;
             }
             let Some((index, env)) = responses.pop() else {
                 break; // closed — cannot happen while this loop runs
             };
             delivered += 1;
-            deliver(index, env);
+            // Delivery completes the sub_request span. `deliver` (which
+            // serializes streamed envelopes) runs under its ctx, so
+            // serialize spans nest inside the sub-request they belong to.
+            let sub_span = std::mem::replace(&mut sub_spans[index], Span::disabled());
+            trace::with_ctx(sub_span.ctx(), || deliver(index, env));
         }
     }
 }
@@ -604,6 +695,27 @@ impl EngineCore {
             None => Ok(None),
             Some(store) => store.snapshot(self).map(Some),
         }
+    }
+
+    /// The request-trace recorder (samples nothing when
+    /// `config.trace_sample` is 0).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Opens a request root span unless the calling thread is already
+    /// inside a traced scope — transports open the root themselves (it
+    /// must cover parse and flush), while the embedded `handle` API and
+    /// `handle_line` get one here.
+    pub(crate) fn maybe_root_span(&self, op: Option<&str>) -> Span {
+        if trace::ambient().is_decided() {
+            return Span::disabled();
+        }
+        let mut root = self.tracer.root_span(phase::REQUEST);
+        if let Some(op) = op {
+            root.set_op(op);
+        }
+        root
     }
 
     pub(crate) fn sessions(&self) -> &SessionManager {
@@ -635,7 +747,14 @@ impl EngineCore {
         let fields = Fields::of(request)?;
         let op = fields.required_str("op")?;
         let start = Instant::now();
-        let outcome = self.dispatch_op(op, &fields, cancel);
+        let mut span = self.tracer.span_ambient(phase::DISPATCH);
+        let outcome = if span.is_recording() {
+            span.set_op(op);
+            trace::with_ctx(span.ctx(), || self.dispatch_op(op, &fields, cancel))
+        } else {
+            self.dispatch_op(op, &fields, cancel)
+        };
+        drop(span);
         self.op_latency.record(op, start.elapsed());
         outcome
     }
@@ -656,6 +775,7 @@ impl EngineCore {
                 "batch sub-requests cannot be batches",
             )),
             "stats" => self.op_stats(fields),
+            "trace" => self.op_trace(fields),
             "registry.load" => self.op_registry_load(fields),
             "registry.list" => self.op_registry_list(),
             "registry.drop" => self.op_registry_drop(fields),
@@ -685,7 +805,10 @@ impl EngineCore {
                 "persistence is disabled: the engine was started without a data dir \
                  (serve --data-dir PATH)",
             )),
-            Some(store) => run(store).map(|v| (v, false)),
+            Some(store) => {
+                let _io = self.tracer.span_ambient(phase::STORE_IO);
+                run(store).map(|v| (v, false))
+            }
         }
     }
 
@@ -738,9 +861,22 @@ impl EngineCore {
             let submitter = submitter.clone();
             let responses = Arc::clone(responses);
             let rid = rid.clone();
+            // The park → grant wait is recorded from inside the
+            // continuation job (pool threads flush their trace buffer at
+            // job end; the granting thread may never flush).
+            let ctx = trace::ambient();
+            let parked_at = Instant::now();
             let deliver = move |granted| {
                 let fallback_id = rid.clone();
                 let job: Job = Box::new(move || {
+                    core.tracer.record_interval(
+                        ctx,
+                        phase::SESSION_WAIT,
+                        parked_at,
+                        Instant::now(),
+                    );
+                    core.phases
+                        .record("session_wait", "session.get_next", parked_at.elapsed());
                     // Same contract as the direct job: a panic must still
                     // produce an envelope, or the batch submitter waits
                     // forever on this index.
@@ -754,8 +890,10 @@ impl EngineCore {
                         let outcome = match granted {
                             Ok(session) => {
                                 let checked = core.sessions.adopt(session);
-                                core.advance_session(checked, params.head_cap, params.budget)
-                                    .map(|v| (v, false))
+                                trace::with_ctx(ctx, || {
+                                    core.advance_session(checked, params.head_cap, params.budget)
+                                })
+                                .map(|v| (v, false))
                             }
                             Err(e) => Err(e),
                         };
@@ -770,6 +908,10 @@ impl EngineCore {
                             )),
                         )
                     });
+                    // Flush before delivering: the submitter may complete
+                    // the batch (and answer a `trace` query) the moment
+                    // this envelope lands.
+                    core.tracer.flush_thread();
                     responses.push((index, env));
                 });
                 // The handoff happens on whatever thread returned the
@@ -840,17 +982,40 @@ impl EngineCore {
         compute: impl FnOnce(&Self, &Fields<'_>) -> ServiceResult<Value>,
     ) -> ServiceResult<(Value, bool)> {
         let key = self.cache_key(op, fields)?;
-        if let Some(hit) = self
+        let mut probe = self.tracer.span_ambient(phase::CACHE_PROBE);
+        let hit = self
             .results
             .lock()
             .expect("result cache poisoned")
             .get(&key)
-        {
+            .cloned();
+        // The cache key's third segment is the dataset generation
+        // ("g{N}"), so the probe detail reads "hit g3" / "miss g3".
+        let generation = || key.split('|').nth(2).unwrap_or("?").to_string();
+        if let Some(hit) = hit {
+            if probe.is_recording() {
+                probe.set_detail(&format!("hit {}", generation()));
+            }
+            drop(probe);
             self.result_stats.hit();
-            return Ok((hit.clone(), true));
+            return Ok((hit, true));
         }
+        if probe.is_recording() {
+            probe.set_detail(&format!("miss {}", generation()));
+        }
+        drop(probe);
         self.result_stats.miss();
+        let mut kernel = self.tracer.span_ambient(phase::KERNEL);
+        kernel.set_op(op);
+        let kernel_start = Instant::now();
         let result = compute(self, fields)?;
+        self.phases.record("kernel", op, kernel_start.elapsed());
+        if kernel.is_recording() {
+            if let Some(n) = result.get("samples").and_then(Value::as_u64) {
+                kernel.set_samples(n);
+            }
+        }
+        drop(kernel);
         self.results
             .lock()
             .expect("result cache poisoned")
@@ -1020,12 +1185,13 @@ impl EngineCore {
             .sessions
             .list()
             .into_iter()
-            .map(|(id, dataset, kind, returned)| {
+            .map(|(id, dataset, kind, returned, queue_high_water)| {
                 Object::new()
                     .field("session", id)
                     .field("dataset", dataset)
                     .field("kind", kind)
                     .field("returned", returned)
+                    .field("queue_high_water", queue_high_water)
                     .build()
             })
             .collect();
@@ -1043,6 +1209,25 @@ impl EngineCore {
         // same counter under its accurate name.
         let (open, checked_out, refusals) = self.sessions.counters();
         let queue = self.sessions.queue_counters();
+        let mut session_queue = Object::new()
+            .field("per_session_cap", queue.per_session_cap)
+            .field("depth", queue.depth)
+            .field("max_depth", queue.max_depth)
+            .field("queued_total", queue.queued_total)
+            .field("granted", queue.granted)
+            .field("cancelled", queue.cancelled)
+            .field("wait_micros", queue.wait_micros);
+        // Park-to-grant wait percentiles (histogram bucket upper bounds);
+        // absent until at least one waiter has been granted.
+        for (name, v) in [
+            ("wait_p50_micros", queue.wait_p50_micros),
+            ("wait_p90_micros", queue.wait_p90_micros),
+            ("wait_p99_micros", queue.wait_p99_micros),
+        ] {
+            if let Some(v) = v {
+                session_queue = session_queue.field(name, v);
+            }
+        }
         let mut stats = Object::new()
             .field("uptime_seconds", self.started.elapsed().as_secs_f64())
             .field("datasets", self.registry.list().len())
@@ -1055,22 +1240,13 @@ impl EngineCore {
                     .field("refusals", refusals)
                     .build(),
             )
-            .field(
-                "session_queue",
-                Object::new()
-                    .field("per_session_cap", queue.per_session_cap)
-                    .field("depth", queue.depth)
-                    .field("max_depth", queue.max_depth)
-                    .field("queued_total", queue.queued_total)
-                    .field("granted", queue.granted)
-                    .field("cancelled", queue.cancelled)
-                    .field("wait_micros", queue.wait_micros)
-                    .build(),
-            )
+            .field("session_queue", session_queue.build())
             .field("result_cache", cache(&self.result_stats, result_entries))
             .field("sample_cache", cache(&self.sample_stats, sample_entries))
             .field("pool", self.pool_metrics.to_value(self.pool_width))
-            .field("ops", self.op_latency.to_value());
+            .field("ops", self.op_latency.to_value())
+            .field("phases", self.phases.to_value())
+            .field("trace", self.tracer.stats_value());
         if let Some(store) = self.store() {
             stats = stats.field("store", store.stats_value());
         }
@@ -1183,10 +1359,28 @@ impl EngineCore {
         }
         out.push_str(&self.pool_metrics.to_prometheus(self.pool_width));
         out.push_str(&self.op_latency.to_prometheus());
+        out.push_str(&self.phases.to_prometheus());
         if let Some(store) = self.store() {
             out.push_str(&store.to_prometheus());
         }
         out
+    }
+
+    /// The `trace` op: recent sampled request traces rendered as span
+    /// trees, most recently finished first. Filters: `filter_op` keeps
+    /// traces whose root op matches, `min_micros` keeps traces whose
+    /// root lasted at least that long, `session` keeps traces touching
+    /// that session id; `limit` caps the returned count (default 8,
+    /// max 64).
+    fn op_trace(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let filter_op = fields.str("filter_op")?;
+        let min_micros = fields.u64("min_micros")?.unwrap_or(0);
+        let session = fields.u64("session")?;
+        let limit = fields.usize("limit")?.unwrap_or(8).min(64);
+        Ok((
+            self.tracer.query(filter_op, min_micros, session, limit),
+            false,
+        ))
     }
 
     fn op_registry_load(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
@@ -1569,7 +1763,16 @@ impl EngineCore {
                 None => handoff.waiter(),
             })? {
             CheckOut::Ready(checked) => checked,
-            CheckOut::Queued => self.sessions.adopt(handoff.wait()?),
+            CheckOut::Queued => {
+                let mut wait = self.tracer.span_ambient(phase::SESSION_WAIT);
+                wait.set_session(params.session);
+                let parked_at = Instant::now();
+                let granted = handoff.wait();
+                self.phases
+                    .record("session_wait", "session.get_next", parked_at.elapsed());
+                drop(wait);
+                self.sessions.adopt(granted?)
+            }
         };
         let result = self.advance_session(checked, params.head_cap, params.budget);
         result.map(|v| (v, false))
@@ -1603,6 +1806,10 @@ impl EngineCore {
             Ok(entry) => entry,
         };
         let data = &*entry.dataset;
+        let mut kernel = self.tracer.span_ambient(phase::KERNEL);
+        kernel.set_op("session.get_next");
+        kernel.set_session(id);
+        let kernel_start = Instant::now();
 
         // Temporarily move the state out to reattach it to the dataset.
         // `advance` returns `(restored state, payload)`; a from_state
@@ -1654,6 +1861,15 @@ impl EngineCore {
                     budget,
                 } => RandomizedEnumerator::from_state(data, *state).map(|mut e| {
                     let next = e.get_next_budget(&mut rng, budget_override.unwrap_or(budget));
+                    // Cumulative progress counters, so a producer polling
+                    // GET-NEXT can see convergence without a stats call:
+                    // samples ever observed, distinct rankings seen, and
+                    // rankings emitted over the session's lifetime.
+                    let (samples_total, distinct, emitted) = (
+                        e.total_samples(),
+                        e.distinct_observed(),
+                        e.regions_emitted(),
+                    );
                     (
                         SessionState::Randomized {
                             state: Box::new(e.into_state()),
@@ -1668,6 +1884,9 @@ impl EngineCore {
                                 Object::new()
                                     .field("confidence_error", d.confidence_error)
                                     .field("samples_used", d.samples_used)
+                                    .field("samples_total", samples_total)
+                                    .field("distinct_rankings", distinct)
+                                    .field("regions_emitted", emitted)
                                     .field("exemplar_weights", d.exemplar_weights.as_slice()),
                             )
                         }),
@@ -1681,6 +1900,12 @@ impl EngineCore {
                 return Err(ServiceError::internal(e.to_string()));
             }
         };
+        self.phases
+            .record("kernel", "session.get_next", kernel_start.elapsed());
+        if let SessionState::Randomized { state, .. } = &state {
+            kernel.set_samples(state.total_samples());
+        }
+        drop(kernel);
         let session = checked.session();
         session.state = state;
         // Advancing consumed enumeration progress (and, for randomized

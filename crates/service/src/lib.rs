@@ -8,7 +8,7 @@
 //! ordering-exchange hyperplanes, or re-drawing Monte-Carlo samples on
 //! every call.
 //!
-//! Seven layers:
+//! Nine layers:
 //!
 //! * [`registry`] — loads/normalizes each dataset once (builtin simulators
 //!   or CSV) and shares it via `Arc`; every (re)load bumps a generation
@@ -26,9 +26,20 @@
 //! * [`pool`] — the persistent batch worker pool (created once per
 //!   engine, MPMC work queue) plus the bounded response queue that turns
 //!   a slow batch consumer into backpressure on the workers;
-//! * [`metrics`] — pool counters and per-op latency histograms, surfaced
-//!   by the `stats` op (JSON or Prometheus text, the latter also served
-//!   raw over `serve --metrics-port`);
+//! * [`metrics`] — pool counters, per-op latency histograms, and
+//!   phase-attributed latency histograms (queue wait vs session wait vs
+//!   kernel vs serialize, per op), surfaced by the `stats` op (JSON or
+//!   Prometheus text, the latter served by the persistent keep-alive
+//!   `serve --metrics-port` endpoint);
+//! * [`trace`] — request-scoped structured tracing: sampled inbound
+//!   requests get a trace id propagated into batch sub-requests, pool
+//!   jobs, and parked waiters; typed spans (parse, dispatch, pool queue,
+//!   session wait, cache probe, kernel, store I/O, serialize, flush)
+//!   land in a bounded recorder read back by the `trace` op, and roots
+//!   past `--slow-ms` are logged as structured JSON trees;
+//! * [`log`] — the leveled structured logger behind the service's
+//!   diagnostics (`SRANK_LOG` level/target filter, pretty or JSON
+//!   output);
 //! * [`store`] — durable snapshot + journal persistence under a
 //!   `--data-dir`: versioned, checksummed on-disk snapshots of the
 //!   caches and sessions, generation-stamp compatibility checks, and a
@@ -79,6 +90,7 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod log;
 pub mod metrics;
 pub mod pool;
 pub mod proto;
@@ -86,6 +98,7 @@ pub mod registry;
 pub mod server;
 pub mod session;
 pub mod store;
+pub mod trace;
 
 pub use client::{Client, StreamEvent, StreamId};
 pub use engine::{Engine, EngineConfig, EngineCore};
@@ -93,3 +106,4 @@ pub use proto::{ErrorCode, ServiceError, ServiceResult};
 pub use registry::{DatasetRegistry, DatasetSource};
 pub use server::{serve_metrics, serve_stdio, serve_stream, serve_tcp, ServerHandle};
 pub use store::{journal::JournalHandle, Store};
+pub use trace::{Span, TraceCtx, Tracer};

@@ -1,0 +1,227 @@
+//! A minimal leveled, structured logger for the service crates.
+//!
+//! Replaces the scattered `eprintln!` calls with one funnel that can be
+//! filtered and machine-parsed:
+//!
+//! - `SRANK_LOG` sets the level filter: a bare level (`warn`, `info`,
+//!   `debug`, `off`) and/or per-target overrides, comma-separated —
+//!   `SRANK_LOG=warn,srank_store=debug`. The default is `info`.
+//! - `SRANK_LOG_FORMAT=json` switches output from the pretty one-line
+//!   form to one JSON object per line.
+//!
+//! The pretty form is `{target}: {level}: {msg} key=value ...`, chosen
+//! so the pre-existing store warnings keep their exact shape
+//! (`srank-store: warning: ...`) and stay grep-able. Everything goes to
+//! stderr; stdout belongs to the wire protocol.
+
+use crate::proto::Object;
+use serde_json::Value;
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// The operation failed and was not retried.
+    Error = 0,
+    /// Degraded but continuing (checkpoint failed, restore skipped).
+    Warn = 1,
+    /// Lifecycle events worth one line.
+    Info = 2,
+    /// Diagnostic chatter.
+    Debug = 3,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warning",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// `SRANK_LOG=off` sentinel: suppress everything for that scope.
+const OFF: u8 = u8::MAX;
+
+struct Config {
+    default: u8,
+    overrides: Vec<(String, u8)>,
+    json: bool,
+}
+
+fn parse_level(s: &str) -> Option<u8> {
+    match s.trim() {
+        "off" | "none" => Some(OFF),
+        "error" => Some(Level::Error as u8),
+        "warn" | "warning" => Some(Level::Warn as u8),
+        "info" => Some(Level::Info as u8),
+        "debug" => Some(Level::Debug as u8),
+        _ => None,
+    }
+}
+
+/// Targets compare with `-` and `_` unified, so `srank_store=debug`
+/// matches the `srank-store` target.
+fn norm(target: &str) -> String {
+    target.replace('-', "_")
+}
+
+fn parse_filter(spec: &str) -> (u8, Vec<(String, u8)>) {
+    let mut default = Level::Info as u8;
+    let mut overrides = Vec::new();
+    for token in spec.split(',') {
+        let token = token.trim();
+        if token.is_empty() {
+            continue;
+        }
+        match token.split_once('=') {
+            Some((target, level)) => {
+                if let Some(level) = parse_level(level) {
+                    overrides.push((norm(target), level));
+                }
+            }
+            None => {
+                if let Some(level) = parse_level(token) {
+                    default = level;
+                }
+            }
+        }
+    }
+    (default, overrides)
+}
+
+fn config() -> &'static Config {
+    static CONFIG: OnceLock<Config> = OnceLock::new();
+    CONFIG.get_or_init(|| {
+        let (default, overrides) = match std::env::var("SRANK_LOG") {
+            Ok(spec) => parse_filter(&spec),
+            Err(_) => (Level::Info as u8, Vec::new()),
+        };
+        let json = std::env::var("SRANK_LOG_FORMAT")
+            .map(|f| f.trim().eq_ignore_ascii_case("json"))
+            .unwrap_or(false);
+        Config {
+            default,
+            overrides,
+            json,
+        }
+    })
+}
+
+/// Whether a message at `level` for `target` would be emitted.
+pub fn enabled(level: Level, target: &str) -> bool {
+    let config = config();
+    let target = norm(target);
+    let threshold = config
+        .overrides
+        .iter()
+        .find(|(t, _)| *t == target)
+        .map(|&(_, level)| level)
+        .unwrap_or(config.default);
+    threshold != OFF && (level as u8) <= threshold
+}
+
+/// Emits one log line for `target` with structured `fields`.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, Value)]) {
+    if !enabled(level, target) {
+        return;
+    }
+    if config().json {
+        let mut o = Object::default()
+            .field("target", target)
+            .field("level", level.as_str())
+            .field("msg", msg);
+        for (key, value) in fields {
+            o = o.field(key, value.clone());
+        }
+        eprintln!("{}", serde_json::to_string(&o.build()).unwrap_or_default());
+    } else {
+        let mut line = format!("{target}: {}: {msg}", level.as_str());
+        for (key, value) in fields {
+            match value {
+                Value::String(s) => {
+                    line.push_str(&format!(" {key}={s}"));
+                }
+                other => {
+                    let rendered = serde_json::to_string(other).unwrap_or_default();
+                    line.push_str(&format!(" {key}={rendered}"));
+                }
+            }
+        }
+        eprintln!("{line}");
+    }
+}
+
+/// One error line, no extra fields.
+pub fn error(target: &str, msg: &str) {
+    log(Level::Error, target, msg, &[]);
+}
+
+/// One warning line, no extra fields.
+pub fn warn(target: &str, msg: &str) {
+    log(Level::Warn, target, msg, &[]);
+}
+
+/// One warning line with structured fields.
+pub fn warn_fields(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// One info line, no extra fields.
+pub fn info(target: &str, msg: &str) {
+    log(Level::Info, target, msg, &[]);
+}
+
+/// One info line with structured fields.
+pub fn info_fields(target: &str, msg: &str, fields: &[(&str, Value)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// One debug line, no extra fields.
+pub fn debug(target: &str, msg: &str) {
+    log(Level::Debug, target, msg, &[]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_level_sets_default() {
+        let (default, overrides) = parse_filter("debug");
+        assert_eq!(default, Level::Debug as u8);
+        assert!(overrides.is_empty());
+    }
+
+    #[test]
+    fn per_target_override_wins() {
+        let (default, overrides) = parse_filter("warn,srank_store=debug");
+        assert_eq!(default, Level::Warn as u8);
+        assert_eq!(
+            overrides,
+            vec![("srank_store".to_string(), Level::Debug as u8)]
+        );
+    }
+
+    #[test]
+    fn dashes_and_underscores_unify() {
+        let (_, overrides) = parse_filter("srank-store=off");
+        assert_eq!(overrides, vec![("srank_store".to_string(), OFF)]);
+    }
+
+    #[test]
+    fn garbage_tokens_are_ignored() {
+        let (default, overrides) = parse_filter("verbose,=,foo=loud,,");
+        assert_eq!(default, Level::Info as u8);
+        assert!(overrides.is_empty());
+    }
+
+    #[test]
+    fn level_order_is_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

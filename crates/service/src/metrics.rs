@@ -43,6 +43,26 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// The upper bound of the log2 bucket containing the `q`-quantile
+    /// sample (`q` in `[0, 1]`): the tightest "p99 ≤ this" statement
+    /// the bucketed histogram can make. `None` when empty.
+    pub fn percentile_upper_bound(&self, q: f64) -> Option<u64> {
+        let count = self.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        // Bucket totals can trail `count` mid-record; claim the top.
+        Some(1u64 << LATENCY_BUCKETS)
+    }
+
     /// Serializes to `{"count", "total_micros", "max_micros", "buckets"}`
     /// where `buckets` is a sparse `[[upper_bound_micros, count]…]` over
     /// the non-empty buckets. (The last bucket's printed upper bound,
@@ -89,6 +109,7 @@ const OPS: &[&str] = &[
     "session.resume",
     "snapshot",
     "restore",
+    "trace",
 ];
 
 /// One latency histogram per protocol op.
@@ -173,6 +194,116 @@ impl OpLatencies {
                 "srank_op_latency_micros_count{{op=\"{name}\"}} {}",
                 h.count()
             );
+        }
+        out
+    }
+}
+
+/// The request phases the phase-attributed histograms break time into.
+/// `queue_wait` is pool-queue wait (submit → worker pickup),
+/// `session_wait` is time parked on a busy session (park → grant),
+/// `kernel` is compute (sampling/scoring/stability math, cache misses
+/// only), and `serialize` is response-to-JSON-line time.
+pub const PHASES: &[&str] = &["queue_wait", "session_wait", "kernel", "serialize"];
+
+/// Per-phase, per-op latency histograms — where inside the engine each
+/// op's time goes, independent of trace sampling (always on). This is
+/// the histogram family that makes a batch-op regression readable from
+/// `stats`: compare `queue_wait` vs `kernel` vs `serialize` for
+/// `verify` under a batch workload.
+#[derive(Debug, Default)]
+pub struct PhaseLatencies {
+    histograms: [[LatencyHistogram; OPS.len()]; PHASES.len()],
+}
+
+impl PhaseLatencies {
+    /// Records `elapsed` against `(phase, op)`. Unknown phases or ops
+    /// are dropped (both catalogues are closed).
+    pub fn record(&self, phase: &str, op: &str, elapsed: Duration) {
+        let Some(p) = PHASES.iter().position(|&name| name == phase) else {
+            return;
+        };
+        let Some(o) = OPS.iter().position(|&name| name == op) else {
+            return;
+        };
+        self.histograms[p][o].record(elapsed);
+    }
+
+    /// The histogram for `(phase, op)`, when both are known.
+    pub fn histogram(&self, phase: &str, op: &str) -> Option<&LatencyHistogram> {
+        let p = PHASES.iter().position(|&name| name == phase)?;
+        let o = OPS.iter().position(|&name| name == op)?;
+        Some(&self.histograms[p][o])
+    }
+
+    /// `{"phase": {"op": {histogram}, …}, …}` over the seen pairs.
+    pub fn to_value(&self) -> Value {
+        let mut out = Object::new();
+        for (phase, row) in PHASES.iter().zip(&self.histograms) {
+            if row.iter().all(|h| h.count() == 0) {
+                continue;
+            }
+            let mut inner = Object::new();
+            for (op, h) in OPS.iter().zip(row) {
+                if h.count() > 0 {
+                    inner = inner.field(op, h.to_value());
+                }
+            }
+            out = out.field(phase, inner.build());
+        }
+        out.build()
+    }
+
+    /// Prometheus text exposition: classic histograms labelled by phase
+    /// and op (`srank_phase_latency_micros_bucket{phase="…",op="…",le="…"}`).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP srank_phase_latency_micros Phase-attributed request latency in microseconds."
+        );
+        let _ = writeln!(out, "# TYPE srank_phase_latency_micros histogram");
+        for (phase, row) in PHASES.iter().zip(&self.histograms) {
+            for (op, h) in OPS.iter().zip(row) {
+                if h.count() == 0 {
+                    continue;
+                }
+                let labels = format!("phase=\"{phase}\",op=\"{op}\"");
+                let mut cumulative = 0u64;
+                for (i, bucket) in h.buckets.iter().enumerate() {
+                    let count = bucket.load(Ordering::Relaxed);
+                    if count == 0 {
+                        continue;
+                    }
+                    cumulative += count;
+                    // As for op latencies: the top bucket is unbounded,
+                    // so only +Inf may claim its samples.
+                    if i + 1 == LATENCY_BUCKETS {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "srank_phase_latency_micros_bucket{{{labels},le=\"{}\"}} {cumulative}",
+                        1u64 << (i + 1)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "srank_phase_latency_micros_bucket{{{labels},le=\"+Inf\"}} {}",
+                    h.count()
+                );
+                let _ = writeln!(
+                    out,
+                    "srank_phase_latency_micros_sum{{{labels}}} {}",
+                    h.total_micros.load(Ordering::Relaxed)
+                );
+                let _ = writeln!(
+                    out,
+                    "srank_phase_latency_micros_count{{{labels}}} {}",
+                    h.count()
+                );
+            }
         }
         out
     }
@@ -366,6 +497,43 @@ mod tests {
         h.record(Duration::from_micros(u64::MAX));
         let v = h.to_value();
         assert_eq!(v.get("max_micros").unwrap().as_f64(), Some(u64::MAX as f64));
+    }
+
+    #[test]
+    fn percentile_upper_bound_walks_cumulative_buckets() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_upper_bound(0.99), None, "empty histogram");
+        for _ in 0..90 {
+            h.record(Duration::from_micros(3)); // bucket [2, 4)
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(1000)); // bucket [512, 1024)
+        }
+        assert_eq!(h.percentile_upper_bound(0.5), Some(4));
+        assert_eq!(h.percentile_upper_bound(0.9), Some(4));
+        assert_eq!(h.percentile_upper_bound(0.99), Some(1024));
+        assert_eq!(h.percentile_upper_bound(1.0), Some(1024));
+    }
+
+    #[test]
+    fn phase_latencies_report_seen_pairs_only() {
+        let phases = PhaseLatencies::default();
+        phases.record("kernel", "verify", Duration::from_micros(100));
+        phases.record("queue_wait", "verify", Duration::from_micros(5));
+        phases.record("kernel", "nonsense", Duration::from_micros(5)); // dropped
+        phases.record("nonsense", "verify", Duration::from_micros(5)); // dropped
+        let v = phases.to_value();
+        let top = v.as_object().unwrap();
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, "queue_wait", "phase catalogue order");
+        assert_eq!(top[1].0, "kernel");
+        let kernel = v.get("kernel").unwrap().as_object().unwrap();
+        assert_eq!(kernel.len(), 1);
+        assert_eq!(kernel[0].0, "verify");
+
+        let text = phases.to_prometheus();
+        assert!(text.contains("srank_phase_latency_micros_count{phase=\"kernel\",op=\"verify\"} 1"));
+        assert!(text.contains("le=\"+Inf\""));
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! `Arc<EngineCore>` clone), so the pool holds no back-reference to the
 //! engine and dropping the engine tears the pool down cleanly: the work
 //! queue closes, workers drain what is queued, then exit and are joined.
+//!
+//! The pool itself exposes only aggregate queue-wait time
+//! (`PoolMetrics::queue_wait_micros`); *per-sub-request* queue wait is
+//! attributed by the tracing layer instead — the submitter stamps an
+//! `Instant` into each job closure and the job's first act is recording a
+//! `pool_queue` span interval against its sub-request's trace context
+//! (see `crate::trace`), so the pool needs no trace plumbing of its own.
 
 use crate::metrics::PoolMetrics;
 use std::collections::VecDeque;

@@ -10,6 +10,20 @@
 //! `id` is echoed verbatim (any JSON value, optional). Errors come back as
 //! `{"id": ..., "ok": false, "error": {"code": "...", "message": "..."}}`.
 //! See `crates/service/README.md` for the full op catalogue.
+//!
+//! ## Observability ops
+//!
+//! Besides the ranking ops, the protocol carries two introspection ops:
+//! `stats` (engine counters, per-op and phase-attributed latency
+//! histograms, pool/session-queue/trace-recorder state) and `trace`
+//! (wire-protocol v2.2) — `{"op": "trace", "filter_op"?: str,
+//! "min_micros"?: u64, "session"?: u64, "limit"?: u64}` returns the most
+//! recently completed request span trees from the in-memory trace
+//! recorder: `{"traces": [{"trace", "op", "micros", "start_micros",
+//! "spans": [{"span", "phase", "micros", "op"?, "detail"?, "session"?,
+//! "samples"?, "children": [...]}]}], "recorded", "dropped"}`. Tracing is
+//! sampled (`serve --trace-sample N`); see `crate::trace` for the span
+//! taxonomy.
 
 use serde_json::Value;
 

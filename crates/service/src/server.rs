@@ -22,6 +22,7 @@
 //! answered inline on the reader thread, in arrival order.
 
 use crate::engine::Engine;
+use crate::trace::{self, phase, TraceCtx};
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -289,7 +290,12 @@ fn handle_catching<W: Write>(
     request: &Value,
     dead: &Arc<AtomicBool>,
 ) -> std::io::Result<()> {
-    let mut sink = |response: &str| write_line(writer, response);
+    let mut sink = |response: &str| {
+        // The flush span rides the caller's ambient ctx: the sub-request
+        // for streamed envelopes, the request root for inline responses.
+        let _flush = engine.tracer().span_ambient(phase::FLUSH);
+        write_line(writer, response)
+    };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         engine.handle_request_streamed_for(request, &mut sink, Some(dead))
     }));
@@ -322,11 +328,28 @@ where
     if text.trim().is_empty() {
         return Ok(());
     }
-    let Ok(request) = serde_json::from_str(&text) else {
+    // The transport owns the request root span: it must cover the JSON
+    // parse and the response flush, which the engine never sees. An
+    // unsampled request runs under `TraceCtx::UNSAMPLED` so the engine's
+    // entry points know the decision was already made.
+    let mut root = conn.engine.tracer().root_span(phase::REQUEST);
+    let parse = conn.engine.tracer().span(root.ctx(), phase::PARSE);
+    let parsed = serde_json::from_str(&text);
+    drop(parse);
+    let ctx = match root.is_recording() {
+        true => root.ctx(),
+        false => TraceCtx::UNSAMPLED,
+    };
+    let Ok(request) = parsed else {
         // Not JSON: let the engine produce its parse_error envelope.
         let mut sink = |response: &str| write_line(conn.writer, response);
-        return conn.engine.handle_line_streamed(&text, &mut sink);
+        return trace::with_ctx(ctx, || conn.engine.handle_line_streamed(&text, &mut sink));
     };
+    if root.is_recording() {
+        if let Some(op) = request.get("op").and_then(Value::as_str) {
+            root.set_op(op);
+        }
+    }
     if Engine::is_streaming_request(&request) && conn.gate.enabled() {
         // Blocks while `mux_streams` streams are already in flight —
         // the reader pauses instead of spawning without bound, but stays
@@ -338,8 +361,18 @@ where
         if halted {
             return Ok(()); // tearing down; the reader loop exits next
         }
+        // The root span moves onto the side thread (it completes when
+        // the stream's last envelope has been written there). Flush the
+        // reader thread's staged records first (the parse span lives
+        // there), so the finished tree is complete.
+        if root.is_recording() {
+            conn.engine.tracer().flush_thread();
+        }
         scope.spawn(move || {
-            let result = handle_catching(conn.engine, conn.writer, &request, conn.dead);
+            let result = trace::with_ctx(ctx, || {
+                handle_catching(conn.engine, conn.writer, &request, conn.dead)
+            });
+            drop(root);
             if result.is_err() {
                 conn.dead.store(true, Ordering::Relaxed);
             }
@@ -347,7 +380,9 @@ where
         });
         return Ok(());
     }
-    handle_catching(conn.engine, conn.writer, &request, conn.dead)
+    trace::with_ctx(ctx, || {
+        handle_catching(conn.engine, conn.writer, &request, conn.dead)
+    })
 }
 
 /// Serves `engine` over arbitrary reader/writer streams — the
@@ -395,12 +430,18 @@ pub fn serve_stdio(engine: &Engine) -> std::io::Result<()> {
     serve_stream(engine, std::io::stdin().lock(), std::io::stdout())
 }
 
-/// Serves the Prometheus text exposition on `addr` as a one-shot plain
-/// TCP responder (`serve --metrics-port`): every connection gets one
-/// minimal HTTP/1.0 response carrying [`Engine::prometheus_text`]'s
-/// output (via `EngineCore::prometheus_text`) and is closed — enough for
-/// `curl` and any Prometheus scraper, with no HTTP machinery. Returns a
-/// [`ServerHandle`]; shut it down like the main listener.
+/// Serves the Prometheus text exposition on `addr` as a persistent
+/// keep-alive HTTP endpoint (`serve --metrics-port`): each connection
+/// runs on its own detached thread and answers `GET /metrics` (any
+/// path, in fact) *repeatedly* — HTTP/1.1 keep-alive is the default, so
+/// a Prometheus scraper reuses one connection across scrape intervals
+/// instead of paying a TCP handshake per scrape. `Connection: close`
+/// (or an HTTP/1.0 request without `keep-alive`) closes after the
+/// response; idle connections are dropped after 30 s. Every response
+/// carries a fresh [`Engine::prometheus_text`] rendering (via
+/// `EngineCore::prometheus_text`). Returns a [`ServerHandle`]; shut it
+/// down like the main listener (connection threads notice the stop flag
+/// within their read timeout).
 pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
@@ -413,24 +454,16 @@ pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerH
                 return;
             }
             match conn {
-                Ok((mut stream, _peer)) => {
-                    // One-shot: drain whatever request arrived (closing
-                    // with unread bytes would RST the scraper instead of
-                    // a clean FIN), answer, close. Errors end this scrape
-                    // only.
-                    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(200)));
-                    let mut request = [0u8; 4096];
-                    use std::io::Read as _;
-                    let _ = stream.read(&mut request);
-                    let body = engine.prometheus_text();
-                    let response = format!(
-                        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
-                         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
-                        body.len()
-                    );
-                    let _ = stream.write_all(response.as_bytes());
-                    let _ = stream.flush();
-                    let _ = stream.shutdown(std::net::Shutdown::Write);
+                Ok((stream, _peer)) => {
+                    // Detached per-connection thread: the accept loop
+                    // keeps listening while a scraper holds its
+                    // connection open between scrapes. Errors end that
+                    // connection only.
+                    let engine = Arc::clone(&engine);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        serve_metrics_connection(&engine, stream, &stop);
+                    });
                 }
                 Err(_) => std::thread::sleep(std::time::Duration::from_millis(20)),
             }
@@ -441,6 +474,101 @@ pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerH
         stop,
         workers: vec![worker],
     })
+}
+
+/// One keep-alive metrics connection: answer every complete HTTP
+/// request head with a fresh exposition until the peer closes, asks to
+/// close, idles out, or the server stops.
+fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &AtomicBool) {
+    use std::io::Read as _;
+    const IDLE_DISCONNECT: std::time::Duration = std::time::Duration::from_secs(30);
+    // A short read timeout keeps the thread responsive to shutdown while
+    // the scraper sits between scrapes.
+    if stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut last_activity = std::time::Instant::now();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Answer every complete request head already buffered (GETs have
+        // no body, so the head boundary is the request boundary).
+        while let Some(end) = find_header_end(&buf) {
+            let head = String::from_utf8_lossy(&buf[..end]).into_owned();
+            buf.drain(..end);
+            let close = metrics_request_wants_close(&head);
+            let body = engine.prometheus_text();
+            let response = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                 Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
+                body.len(),
+                if close { "close" } else { "keep-alive" },
+            );
+            if stream.write_all(response.as_bytes()).is_err() || stream.flush().is_err() {
+                return;
+            }
+            last_activity = std::time::Instant::now();
+            if close {
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                last_activity = std::time::Instant::now();
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= IDLE_DISCONNECT {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Index one past the end of the first complete HTTP request head in
+/// `buf` (`\r\n\r\n`, or a tolerated bare `\n\n`), if any.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(i + 4);
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2)
+}
+
+/// Whether the request head asks for the connection to close after the
+/// response: an explicit `Connection: close`, or HTTP/1.0 without an
+/// explicit `Connection: keep-alive`.
+fn metrics_request_wants_close(head: &str) -> bool {
+    let http10 = head
+        .lines()
+        .next()
+        .is_some_and(|l| l.trim_end().ends_with("HTTP/1.0"));
+    let mut connection: Option<String> = None;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("connection") {
+                connection = Some(value.trim().to_ascii_lowercase());
+            }
+        }
+    }
+    match connection.as_deref() {
+        Some("close") => true,
+        Some("keep-alive") => false,
+        _ => http10,
+    }
 }
 
 #[cfg(test)]

@@ -435,6 +435,10 @@ pub enum CheckOut<'a> {
 struct Slot {
     state: SlotState,
     queue: VecDeque<Waiter>,
+    /// High-water mark of *this* session's waiter queue — which sessions
+    /// the dispatch backlog actually concentrates on (surfaced per
+    /// session by `stats`).
+    queue_high_water: usize,
 }
 
 enum SlotState {
@@ -461,6 +465,13 @@ pub struct QueueCounters {
     pub cancelled: u64,
     /// Cumulative park→grant wait.
     pub wait_micros: u64,
+    /// Park→grant wait quantile upper bounds, from a log2-bucketed
+    /// histogram (`None` until a grant has been recorded).
+    pub wait_p50_micros: Option<u64>,
+    /// 90th-percentile park→grant wait upper bound.
+    pub wait_p90_micros: Option<u64>,
+    /// 99th-percentile park→grant wait upper bound.
+    pub wait_p99_micros: Option<u64>,
 }
 
 /// The shared session table. All methods take `&self`.
@@ -485,6 +496,9 @@ pub struct SessionManager {
     queue_depth: AtomicUsize,
     queue_max_depth: AtomicU64,
     queue_wait_micros: AtomicU64,
+    /// Distribution of park→grant waits (feeds the percentile fields of
+    /// [`QueueCounters`]).
+    queue_wait_hist: crate::metrics::LatencyHistogram,
     max_sessions: usize,
 }
 
@@ -512,6 +526,7 @@ impl SessionManager {
             queue_depth: AtomicUsize::new(0),
             queue_max_depth: AtomicU64::new(0),
             queue_wait_micros: AtomicU64::new(0),
+            queue_wait_hist: crate::metrics::LatencyHistogram::default(),
             max_sessions: max_sessions.max(1),
         }
     }
@@ -565,6 +580,7 @@ impl SessionManager {
                         checkpointed: 0,
                     })),
                     queue: VecDeque::new(),
+                    queue_high_water: 0,
                 },
             );
         Ok(id)
@@ -621,6 +637,7 @@ impl SessionManager {
                     Slot {
                         state: SlotState::Available(Box::new(session)),
                         queue: VecDeque::new(),
+                        queue_high_water: 0,
                     },
                 );
                 Ok(id)
@@ -763,6 +780,7 @@ impl SessionManager {
             }
             SlotState::CheckedOut => {
                 slot.queue.push_back(waiter());
+                slot.queue_high_water = slot.queue_high_water.max(slot.queue.len());
                 self.queued_total.fetch_add(1, Ordering::Relaxed);
                 let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
                 self.queue_max_depth
@@ -833,13 +851,11 @@ impl SessionManager {
             Some((waiter, session)) => {
                 self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.queue_granted.fetch_add(1, Ordering::Relaxed);
-                let waited = waiter
-                    .enqueued
-                    .elapsed()
-                    .as_micros()
-                    .min(u128::from(u64::MAX));
+                let waited = waiter.enqueued.elapsed();
+                self.queue_wait_hist.record(waited);
+                let waited_us = waited.as_micros().min(u128::from(u64::MAX));
                 self.queue_wait_micros
-                    .fetch_add(waited as u64, Ordering::Relaxed);
+                    .fetch_add(waited_us as u64, Ordering::Relaxed);
                 waiter.grant(session);
             }
         }
@@ -931,13 +947,19 @@ impl SessionManager {
             granted: self.queue_granted.load(Ordering::Relaxed),
             cancelled: self.queue_cancelled.load(Ordering::Relaxed),
             wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
+            wait_p50_micros: self.queue_wait_hist.percentile_upper_bound(0.50),
+            wait_p90_micros: self.queue_wait_hist.percentile_upper_bound(0.90),
+            wait_p99_micros: self.queue_wait_hist.percentile_upper_bound(0.99),
         }
     }
 
-    /// `(id, dataset, kind, returned)` rows for `stats`, sorted by id.
-    /// Checked-out sessions appear with their kind reported as `"busy"`.
-    pub fn list(&self) -> Vec<(u64, String, String, usize)> {
-        let mut rows: Vec<(u64, String, String, usize)> = Vec::new();
+    /// `(id, dataset, kind, returned, queue_high_water)` rows for
+    /// `stats`, sorted by id. Checked-out sessions appear with their
+    /// kind reported as `"busy"`; the high-water mark of each session's
+    /// own dispatch queue is reported either way (it belongs to the
+    /// slot, not the session).
+    pub fn list(&self) -> Vec<(u64, String, String, usize, usize)> {
+        let mut rows: Vec<(u64, String, String, usize, usize)> = Vec::new();
         for shard in &self.shards {
             let slots = shard.lock().expect("session lock poisoned");
             rows.extend(slots.iter().map(|(&id, slot)| match &slot.state {
@@ -946,8 +968,15 @@ impl SessionManager {
                     s.dataset.clone(),
                     s.state.kind().to_string(),
                     s.returned,
+                    slot.queue_high_water,
                 ),
-                SlotState::CheckedOut => (id, String::new(), "busy".to_string(), 0),
+                SlotState::CheckedOut => (
+                    id,
+                    String::new(),
+                    "busy".to_string(),
+                    0,
+                    slot.queue_high_water,
+                ),
             }));
         }
         rows.sort_by_key(|r| r.0);
@@ -1104,9 +1133,10 @@ mod tests {
         assert_eq!(mgr.len(), expected_alive);
         assert_eq!(mgr.list().len(), expected_alive);
         // Everything is checked in: every survivor can be checked out.
-        for (id, dataset, kind, returned) in mgr.list() {
+        for (id, dataset, kind, returned, high_water) in mgr.list() {
             assert!(dataset.starts_with("dataset-"), "{id}: {kind}");
             assert_eq!(returned, 1);
+            assert_eq!(high_water, 0, "nothing ever queued on {id}");
             drop(mgr.check_out(id).expect("checked in"));
         }
         assert_eq!(mgr.evict_idle(Duration::ZERO), expected_alive);
@@ -1160,6 +1190,38 @@ mod tests {
         // No refusal happened, and the session is fully checked in.
         assert_eq!(mgr.counters().2, 0, "queued requests are not conflicts");
         assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn per_session_high_water_and_wait_percentiles_are_exposed() {
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let quiet = mgr.open("e".into(), 1, sweep_state()).unwrap();
+        // Before anything queues: no percentile data, zero high-water.
+        let q = mgr.queue_counters();
+        assert_eq!(q.wait_p50_micros, None);
+        let out = mgr.check_out(id).unwrap();
+        for _ in 0..3 {
+            let chain = Arc::clone(&mgr);
+            assert!(matches!(
+                mgr.check_out_or_queue(id, || Waiter::new(move |granted| {
+                    drop(chain.adopt(granted.expect("granted")));
+                }))
+                .unwrap(),
+                CheckOut::Queued
+            ));
+        }
+        drop(out); // FIFO chain drains the queue
+        let rows = mgr.list();
+        let busy_row = rows.iter().find(|r| r.0 == id).unwrap();
+        assert_eq!(busy_row.4, 3, "high-water sticks after the queue drains");
+        let quiet_row = rows.iter().find(|r| r.0 == quiet).unwrap();
+        assert_eq!(quiet_row.4, 0, "the idle session saw no queue");
+        let q = mgr.queue_counters();
+        assert_eq!(q.granted, 3);
+        let p50 = q.wait_p50_micros.expect("grants recorded");
+        let p99 = q.wait_p99_micros.expect("grants recorded");
+        assert!(p50 <= p99, "percentiles are monotone: {p50} vs {p99}");
     }
 
     #[test]

@@ -74,14 +74,16 @@ pub fn start(core: Arc<EngineCore>, interval: Duration) -> Option<JournalHandle>
                             .journal_checkpoints
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(e) => eprintln!("srank-store: journal checkpoint failed: {e}"),
+                    Err(e) => {
+                        crate::log::warn("srank-store", &format!("journal checkpoint failed: {e}"))
+                    }
                 }
             }
             // Graceful-shutdown flush: one full snapshot, so the next
             // boot is warm (caches included, not just sessions).
             if let Some(store) = core.store() {
                 if let Err(e) = store.snapshot(&core) {
-                    eprintln!("srank-store: shutdown snapshot failed: {e}");
+                    crate::log::warn("srank-store", &format!("shutdown snapshot failed: {e}"));
                 }
             }
         })

@@ -72,8 +72,10 @@ pub struct Store {
 }
 
 /// Logs one store warning (the log-and-skip channel of the loaders).
+/// Routed through [`crate::log`], whose pretty format keeps the exact
+/// `srank-store: warning: …` shape downstream parsers match on.
 fn warn(msg: &str) {
-    eprintln!("srank-store: warning: {msg}");
+    crate::log::warn("srank-store", msg);
 }
 
 fn io_err(what: &str, e: std::io::Error) -> ServiceError {

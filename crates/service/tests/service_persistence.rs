@@ -605,11 +605,92 @@ fn prometheus_exposition_over_stats_and_metrics_port() {
 
     let mut metrics = srank_service::serve_metrics(std::sync::Arc::clone(&engine), "127.0.0.1:0")
         .expect("bind metrics port");
+    // An HTTP/1.0 scraper without keep-alive gets one response and a
+    // clean close (the legacy one-shot contract still holds).
     let mut conn = std::net::TcpStream::connect(metrics.addr()).unwrap();
     conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
     let mut response = String::new();
     conn.read_to_string(&mut response).unwrap();
-    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("Connection: close"), "{response}");
     assert!(response.contains("srank_uptime_seconds"), "{response}");
+    metrics.shutdown();
+}
+
+/// Reads exactly one HTTP response (headers + Content-Length body) off a
+/// keep-alive metrics connection, returning (head, body).
+fn read_metrics_response(conn: &mut std::net::TcpStream) -> (String, String) {
+    use std::io::Read;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(i) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = conn.read(&mut chunk).expect("read response head");
+        assert!(n > 0, "connection closed before a complete response head");
+        raw.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("response carries Content-Length");
+    while raw.len() < header_end + content_length {
+        let n = conn.read(&mut chunk).expect("read response body");
+        assert!(n > 0, "connection closed mid-body");
+        raw.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&raw[header_end..header_end + content_length]).into_owned();
+    (head, body)
+}
+
+/// The `--metrics-port` endpoint is a persistent keep-alive HTTP server:
+/// one connection serves multiple scrapes, and successive connections
+/// each get served (the accept loop survives a connection ending).
+#[test]
+fn metrics_endpoint_serves_repeated_scrapes() {
+    use std::io::Write;
+    let engine = std::sync::Arc::new(Engine::with_defaults());
+    call(&engine, LOAD_DOT);
+    let mut metrics = srank_service::serve_metrics(std::sync::Arc::clone(&engine), "127.0.0.1:0")
+        .expect("bind metrics port");
+
+    // Two scrapes on ONE keep-alive connection; the second reflects
+    // state changes made between scrapes (a fresh rendering per scrape).
+    let mut conn = std::net::TcpStream::connect(metrics.addr()).unwrap();
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (head1, body1) = read_metrics_response(&mut conn);
+    assert!(head1.starts_with("HTTP/1.1 200 OK"), "{head1}");
+    assert!(head1.contains("Connection: keep-alive"), "{head1}");
+    assert!(body1.contains("srank_uptime_seconds"), "{body1}");
+
+    call(&engine, VERIFY_DOT);
+    conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (head2, body2) = read_metrics_response(&mut conn);
+    assert!(head2.starts_with("HTTP/1.1 200 OK"), "{head2}");
+    assert!(
+        body2.contains("srank_op_latency_micros_count{op=\"verify\"} 1"),
+        "second scrape on the same connection must see the verify:\n{body2}"
+    );
+    drop(conn);
+
+    // Successive connections each get served too.
+    for _ in 0..2 {
+        let mut conn = std::net::TcpStream::connect(metrics.addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let (head, body) = read_metrics_response(&mut conn);
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Connection: close"), "{head}");
+        assert!(body.contains("srank_uptime_seconds"), "{body}");
+    }
     metrics.shutdown();
 }

@@ -63,7 +63,7 @@ trap persist_cleanup EXIT
 
 start_server() {
   "$SRANK" serve --listen 127.0.0.1:0 --data-dir "$SMOKE_DIR/store" \
-    2> "$SMOKE_DIR/serve.log" &
+    --metrics-port 0 2> "$SMOKE_DIR/serve.log" &
   SERVER_PID=$!
   ADDR=""
   for _ in $(seq 1 100); do
@@ -76,6 +76,15 @@ start_server() {
     cat "$SMOKE_DIR/serve.log" >&2
     exit 1
   fi
+  METRICS_ADDR=$(sed -n 's|.*metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$SMOKE_DIR/serve.log")
+}
+
+# One HTTP scrape of the persistent /metrics endpoint over /dev/tcp.
+scrape_metrics() {
+  exec 3<>"/dev/tcp/${METRICS_ADDR%:*}/${METRICS_ADDR##*:}"
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+  timeout --signal=KILL 10 cat <&3
+  exec 3<&- 3>&-
 }
 
 q() { timeout --signal=KILL 30 "$SRANK" query "$ADDR" "$1"; }
@@ -83,6 +92,24 @@ q() { timeout --signal=KILL 30 "$SRANK" query "$ADDR" "$1"; }
 start_server
 q '{"op": "registry.load", "dataset": "dot", "builtin": "dot", "n": 400, "seed": 7}' > /dev/null
 q '{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 20000}' > /dev/null
+
+# Trace smoke: a served engine traces by default; the verify above must
+# be queryable as a span tree with a kernel phase attributed to it.
+TRACE=$(timeout --signal=KILL 30 "$SRANK" trace "$ADDR" --op verify --limit 4)
+echo "$TRACE" | grep -q '"phase": "kernel"' \
+  || { echo "check.sh: trace op returned no kernel span: $TRACE" >&2; exit 1; }
+
+# Metrics smoke: the persistent endpoint answers repeated scrapes (two
+# successive connections; same-connection reuse is covered by the
+# service_persistence tests) with phase-attributed histograms.
+for _ in 1 2; do
+  scrape_metrics > "$SMOKE_DIR/metrics.out"
+  grep -q 'srank_uptime_seconds' "$SMOKE_DIR/metrics.out" \
+    || { echo "check.sh: metrics scrape missing exposition" >&2; exit 1; }
+done
+grep -q 'srank_phase_latency_micros_bucket{phase="kernel"' "$SMOKE_DIR/metrics.out" \
+  || { echo "check.sh: metrics scrape missing phase histograms" >&2; exit 1; }
+
 q '{"op": "snapshot"}' | grep -q '"datasets":1' \
   || { echo "check.sh: snapshot reported no datasets" >&2; exit 1; }
 kill -9 "$SERVER_PID"
