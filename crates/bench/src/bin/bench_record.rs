@@ -6,9 +6,11 @@
 //! the service batch-op round-trip, the warm-restart
 //! time-to-first-cached-verify through a snapshot/restore cycle, and the
 //! request-tracing overhead (the same DoT 100k-sample verify kernel
-//! through an engine with `--trace-sample 1` vs tracing disabled), then
-//! writes the numbers as JSON (`BENCH_6.json` by default) so future PRs
-//! can diff throughput.
+//! through an engine with `--trace-sample 1` vs tracing disabled), and
+//! the overload benchmark (open-loop probe p50/p99 against a swamped
+//! pool, admission-control shedding on vs off), then writes the numbers
+//! as JSON (`BENCH_7.json` by default) so future PRs can diff
+//! throughput.
 //!
 //! ```text
 //! cargo run --release -p srank-bench --bin bench_record -- [--smoke] [--out PATH]
@@ -424,9 +426,258 @@ fn measure_persistence(samples: usize) -> Value {
     ])
 }
 
+/// Overload benchmark: open-loop latency of probe requests against a
+/// deliberately swamped pool (2 workers, background threads keeping
+/// dozens of cold Monte-Carlo verifies queued), with admission-control
+/// shedding on vs off. Probes ride through the same pool (single-sub
+/// batches) on a fixed arrival schedule; latency is measured from the
+/// *scheduled* send time, so backlog-induced drift counts against the
+/// tail instead of being coordinated-omitted away. The claim under
+/// test: shedding fast-fails the backlog, keeping both the cold-probe
+/// tail (fast typed `overloaded` instead of a long queue wait) and the
+/// cache-hit tail (hits are always admitted) bounded.
+fn measure_overload(smoke: bool) -> Value {
+    use srank_service::guard::GuardConfig;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    // Each buffered batch holds at most pool-width subs in flight, so
+    // queue depth scales with *connections*: 4 background connections ×
+    // a 2-wide window keep ~6 jobs queued against a threshold of 2.
+    const BG_THREADS: usize = 4;
+    const BG_SUBS: usize = 8;
+    let (probes, interval_ms) = if smoke {
+        (10usize, 20u64)
+    } else {
+        (40usize, 25u64)
+    };
+
+    let percentile = |sorted: &[f64], p: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    };
+
+    let run_mode = |shedding: bool| -> Value {
+        let engine = Arc::new(Engine::new(EngineConfig {
+            pool_workers: 2,
+            guard: GuardConfig {
+                shed_pool_queue: if shedding { 2 } else { 0 },
+                ..GuardConfig::default()
+            },
+            ..EngineConfig::default()
+        }));
+        engine
+            .registry()
+            .load(
+                "dot2000",
+                &DatasetSource::Builtin {
+                    family: "dot".into(),
+                    n: N_ITEMS,
+                    d: 0,
+                    seed: 1322,
+                },
+            )
+            .expect("builtin dataset loads");
+        let mut server =
+            serve_tcp(Arc::clone(&engine), "127.0.0.1:0", BG_THREADS + 4).expect("bind");
+        let addr = server.addr();
+        let parse = |s: &str| -> Value { serde_json::from_str(s).expect("valid JSON") };
+
+        // Warm the fixed-weight verify so warm probes are cache hits.
+        let warm_sub =
+            r#"{"op": "verify", "dataset": "dot2000", "weights": [1, 1, 1.5], "samples": 20000}"#
+                .to_string();
+        {
+            let mut setup = Client::connect(addr).expect("connect");
+            setup.call_ok(&parse(&warm_sub)).expect("warm verify");
+        }
+
+        // Uncontended baseline: the same warm single-sub batch probe with
+        // no background load. The acceptance bar for shedding is the warm
+        // RTT p99 under overload staying within 5× of this.
+        let warm_line = format!(r#"{{"op": "batch", "requests": [{warm_sub}]}}"#);
+        let mut uncontended: Vec<f64> = {
+            let mut client = Client::connect(addr).expect("connect");
+            (0..probes)
+                .map(|_| {
+                    let sent = Instant::now();
+                    client.call_ok(&parse(&warm_line)).expect("baseline probe");
+                    sent.elapsed().as_secs_f64() * 1_000.0
+                })
+                .collect()
+        };
+        uncontended.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let uncontended_p50 = percentile(&uncontended, 0.50);
+        let uncontended_p99 = percentile(&uncontended, 0.99);
+
+        let stop = AtomicBool::new(false);
+        let bg_batches = AtomicUsize::new(0);
+        let cold_seq = AtomicUsize::new(0);
+        // Unique weights per draw → never a cache hit → real kernel work.
+        let cold_sub = |i: usize| {
+            format!(
+                r#"{{"op": "verify", "dataset": "dot2000", "weights": [1, 1, {}], "samples": 20000}}"#,
+                2.0 + i as f64 * 1e-4
+            )
+        };
+
+        eprintln!(
+            "overload (shedding {}): {probes} probes × {interval_ms} ms against a swamped 2-worker pool…",
+            if shedding { "on" } else { "off" }
+        );
+        let (cold_lat, warm_lat, shed_count) = std::thread::scope(|scope| {
+            for _ in 0..BG_THREADS {
+                scope.spawn(|| {
+                    let mut client = Client::connect(addr).expect("connect");
+                    while !stop.load(Ordering::Relaxed) {
+                        let base = cold_seq.fetch_add(BG_SUBS, Ordering::Relaxed);
+                        let line = format!(
+                            r#"{{"op": "batch", "requests": [{}]}}"#,
+                            (base..base + BG_SUBS)
+                                .map(&cold_sub)
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                        // Sub-requests may individually be shed; the
+                        // batch op itself still answers ok.
+                        let _ = client.call_ok(&parse(&line));
+                        bg_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+
+            let probe_thread = scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                // Let the background threads build a backlog first.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+                let mut cold_lat = Vec::new();
+                let mut warm_lat = Vec::new();
+                let mut shed = 0usize;
+                let interval = std::time::Duration::from_millis(interval_ms);
+                let start = Instant::now();
+                for i in 0..probes * 2 {
+                    let scheduled = interval * i as u32;
+                    if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let cold = i % 2 == 0;
+                    let sub = if cold {
+                        cold_sub(1_000_000 + i)
+                    } else {
+                        warm_sub.clone()
+                    };
+                    let line = format!(r#"{{"op": "batch", "requests": [{sub}]}}"#);
+                    let sent = Instant::now();
+                    let result = client.call_ok(&parse(&line)).expect("probe batch");
+                    // Open-loop latency: measured from the *scheduled*
+                    // send, so when the server falls behind the arrival
+                    // rate the drift lands in the tail (it diverges with
+                    // run length once capacity is exceeded — that
+                    // divergence is the shedding-off pathology). The RTT
+                    // of the same probe is recorded alongside.
+                    let latency = (start.elapsed() - scheduled).as_secs_f64() * 1_000.0;
+                    let rtt = sent.elapsed().as_secs_f64() * 1_000.0;
+                    let envelope = &result
+                        .get("results")
+                        .and_then(Value::as_array)
+                        .expect("batch results")[0];
+                    let code = envelope
+                        .get("error")
+                        .and_then(|e| e.get("code"))
+                        .and_then(Value::as_str);
+                    match code {
+                        None | Some("overloaded") => {
+                            if code.is_some() {
+                                shed += 1;
+                            }
+                            if cold {
+                                cold_lat.push((latency, rtt));
+                            } else {
+                                warm_lat.push((latency, rtt));
+                            }
+                        }
+                        Some(other) => panic!("probe failed with {other}: {envelope:?}"),
+                    }
+                }
+                (cold_lat, warm_lat, shed)
+            });
+            let out = probe_thread.join().expect("probe thread");
+            stop.store(true, Ordering::Relaxed);
+            out
+        });
+        server.shutdown();
+
+        let stats: Value =
+            serde_json::from_str(&engine.handle_line(r#"{"op": "stats"}"#)).expect("stats JSON");
+        let shed_total = stats
+            .get("result")
+            .and_then(|r| r.get("guard"))
+            .and_then(|g| g.get("shed_total"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
+
+        let class = |probes: &[(f64, f64)]| -> Value {
+            let mut open: Vec<f64> = probes.iter().map(|p| p.0).collect();
+            let mut rtt: Vec<f64> = probes.iter().map(|p| p.1).collect();
+            open.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            rtt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            obj(vec![
+                ("open_loop_p50_ms", Value::Number(percentile(&open, 0.50))),
+                ("open_loop_p99_ms", Value::Number(percentile(&open, 0.99))),
+                ("rtt_p50_ms", Value::Number(percentile(&rtt, 0.50))),
+                ("rtt_p99_ms", Value::Number(percentile(&rtt, 0.99))),
+            ])
+        };
+        let mut warm_rtt: Vec<f64> = warm_lat.iter().map(|p| p.1).collect();
+        warm_rtt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let warm_rtt_p99 = percentile(&warm_rtt, 0.99);
+
+        obj(vec![
+            ("shedding", Value::Bool(shedding)),
+            ("probes_per_class", Value::Number(probes as f64)),
+            ("probe_interval_ms", Value::Number(interval_ms as f64)),
+            ("probes_shed", Value::Number(shed_count as f64)),
+            ("shed_total", Value::Number(shed_total as f64)),
+            (
+                "background_batches",
+                Value::Number(bg_batches.load(Ordering::Relaxed) as f64),
+            ),
+            ("cold_probe", class(&cold_lat)),
+            ("warm_probe", class(&warm_lat)),
+            (
+                "uncontended_warm",
+                obj(vec![
+                    ("rtt_p50_ms", Value::Number(uncontended_p50)),
+                    ("rtt_p99_ms", Value::Number(uncontended_p99)),
+                ]),
+            ),
+            (
+                "warm_rtt_p99_vs_uncontended",
+                Value::Number(if uncontended_p99 > 0.0 {
+                    warm_rtt_p99 / uncontended_p99
+                } else {
+                    0.0
+                }),
+            ),
+        ])
+    };
+
+    let off = run_mode(false);
+    let on = run_mode(true);
+    obj(vec![
+        ("workload", Value::String(
+            "2-worker pool, 4 background connections of 8-sub cold-verify batches, open-loop probes through the same pool".into(),
+        )),
+        ("shedding_off", off),
+        ("shedding_on", on),
+    ])
+}
+
 fn main() {
     let mut smoke = false;
-    let mut out = "BENCH_6.json".to_string();
+    let mut out = "BENCH_7.json".to_string();
     let mut phase: Option<String> = None;
     let mut samples_override: Option<usize> = None;
     let mut threads = 1usize;
@@ -470,8 +721,9 @@ fn main() {
         if smoke { 2 } else { 40 },
         if smoke { trials } else { 10 },
     );
+    let overload = measure_overload(smoke);
     let report = obj(vec![
-        ("bench", Value::String("BENCH_6".into())),
+        ("bench", Value::String("BENCH_7".into())),
         (
             "mode",
             Value::String(if smoke { "smoke" } else { "full" }.into()),
@@ -480,6 +732,7 @@ fn main() {
         ("service_batch", service),
         ("warm_restart", persistence),
         ("tracing_overhead", tracing),
+        ("overload_shedding", overload),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, format!("{json}\n")).expect("write report");

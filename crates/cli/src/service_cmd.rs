@@ -4,7 +4,8 @@
 //! ```text
 //! srank serve --stdio [--preload FAMILY[:NAME]]...
 //! srank serve --listen 127.0.0.1:7878 --workers 4 [--session-queue 64] [--mux 4] [--preload ...]...
-//! srank query 127.0.0.1:7878 '{"op": "ping"}' [--pretty]
+//! srank serve ... --default-deadline-ms 500 --shed-queue 256 --shed-wait-p99-ms 200 [--faults SPEC]
+//! srank query 127.0.0.1:7878 '{"op": "ping"}' [--pretty] [--retries N] [--timeout-ms N]
 //! srank query 127.0.0.1:7878 -            # stream request lines from stdin
 //! srank query 127.0.0.1:7878 - --batch    # wrap stdin lines into ONE batch op
 //! srank query 127.0.0.1:7878 - --stream   # batch + stream: envelopes as they land
@@ -47,6 +48,17 @@
 //! traced request slower than N ms as a structured JSON line on stderr.
 //! `srank trace ADDR [--op OP] [--min-ms N] [--session ID] [--limit N]`
 //! fetches recent completed span trees from a running server.
+//!
+//! Resilience (see the README's "Resilience" section):
+//! `--default-deadline-ms N` bounds every request that does not carry
+//! its own `deadline_ms`; `--shed-queue N` / `--shed-wait-p99-ms N` arm
+//! admission control (expensive cold requests are refused with a typed
+//! `overloaded` error + `retry_after_ms` once the pool backlog or the
+//! session-wait p99 crosses the threshold); `--faults SPEC` arms the
+//! fault-injection seams (same grammar as `SRANK_FAULTS` — chaos
+//! testing only). On the query side `--timeout-ms N` is a client socket
+//! read timeout and `--retries N` retries idempotent reads under the
+//! default backoff policy, honoring the server's `retry_after_ms`.
 
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
@@ -128,6 +140,18 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
             "--slow-ms" => {
                 config.slow_request_micros = parse_count("--slow-ms", it.next())? as u64 * 1000
             }
+            "--default-deadline-ms" => {
+                config.guard.default_deadline_ms =
+                    parse_count("--default-deadline-ms", it.next())? as u64
+            }
+            "--shed-queue" => {
+                config.guard.shed_pool_queue = parse_count("--shed-queue", it.next())?
+            }
+            "--shed-wait-p99-ms" => {
+                config.guard.shed_session_wait_p99_ms =
+                    parse_count("--shed-wait-p99-ms", it.next())? as u64
+            }
+            "--faults" => config.faults = Some(it.next().ok_or("--faults needs a spec")?.clone()),
             other => return Err(format!("serve: unknown option {other}")),
         }
     }
@@ -316,11 +340,22 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
     }
     let mut pretty = false;
     let mut batch = false;
+    let mut retries = 0u32;
+    let mut timeout_ms: Option<u64> = None;
     let mut positional = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    let parse_u64 = |flag: &str, value: Option<&String>| -> Result<u64, String> {
+        value
+            .ok_or(format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} needs an integer"))
+    };
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--pretty" => pretty = true,
             "--batch" => batch = true,
+            "--retries" => retries = parse_u64("--retries", it.next())? as u32,
+            "--timeout-ms" => timeout_ms = Some(parse_u64("--timeout-ms", it.next())?),
             other => positional.push(other.to_string()),
         }
     }
@@ -329,6 +364,15 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
         .map_err(|_| "query needs exactly: ADDR REQUEST_JSON (or '-' for stdin)".to_string())?;
     let mut client =
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if let Some(ms) = timeout_ms {
+        client
+            .set_timeout(Some(std::time::Duration::from_millis(ms.max(1))))
+            .map_err(|e| format!("--timeout-ms: {e}"))?;
+    }
+    let policy = srank_service::RetryPolicy {
+        max_retries: retries,
+        ..srank_service::RetryPolicy::default()
+    };
 
     let parse = |line: &str| -> Result<serde_json::Value, String> {
         serde_json::from_str(line).map_err(|e| format!("bad request: {e}"))
@@ -350,8 +394,9 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
         let mut out = String::new();
         for chunk in requests.chunks(BATCH_CHUNK) {
             let wrapper = batch_wrapper(chunk, false);
-            let response = client.call(&wrapper).map_err(|e| e.to_string())?;
-            let result = srank_service::client::expect_ok(&response).map_err(|e| e.to_string())?;
+            let result = client
+                .call_retry(&wrapper, &policy)
+                .map_err(|e| e.to_string())?;
             let results = result
                 .get("results")
                 .and_then(serde_json::Value::as_array)
@@ -365,9 +410,24 @@ pub fn run_query(args: &[String]) -> Result<String, String> {
     }
 
     // Non-batch: one round-trip per request line, streamed incrementally
-    // from stdin.
+    // from stdin. The raw response envelope is printed either way;
+    // retries re-issue the request under the backoff policy first and
+    // re-wrap the final result (errors included) as an envelope.
     let mut render = |line: &str| -> Result<String, String> {
-        let response = client.call(&parse(line)?).map_err(|e| e.to_string())?;
+        let request = parse(line)?;
+        let response = if retries == 0 {
+            client.call(&request).map_err(|e| e.to_string())?
+        } else {
+            // Under retries the final outcome (success or the last
+            // server error, codes preserved) is re-wrapped as an
+            // envelope; unrecoverable transport failures abort.
+            let id = request.get("id").cloned();
+            match client.call_retry(&request, &policy) {
+                Ok(result) => srank_service::proto::envelope(id, Ok((result, false))),
+                Err(srank_service::ClientError::Transport(why)) => return Err(why),
+                Err(e) => srank_service::proto::envelope(id, Err(e.into())),
+            }
+        };
         show(&response)
     };
     if request == "-" {
@@ -437,12 +497,29 @@ pub const CLI_MUX_WINDOW: usize = 4;
 /// the single connection. Public (with an injectable writer) so the CLI
 /// tests can capture the stream without a TTY.
 pub fn run_query_streamed(args: &[String], out: &mut dyn std::io::Write) -> Result<(), String> {
+    let mut timeout_ms: Option<u64> = None;
     let mut positional = Vec::new();
-    for a in args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             // --stream implies --batch; both are accepted.
             "--stream" | "--batch" => {}
             "--pretty" => return Err("--stream prints compact lines; drop --pretty".into()),
+            "--retries" => {
+                return Err(
+                    "--retries applies to plain and --batch queries, not --stream \
+                     (a partially-delivered stream cannot be replayed safely)"
+                        .into(),
+                )
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(
+                    it.next()
+                        .ok_or("--timeout-ms needs a value")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms needs an integer".to_string())?,
+                )
+            }
             other => positional.push(other.to_string()),
         }
     }
@@ -451,6 +528,11 @@ pub fn run_query_streamed(args: &[String], out: &mut dyn std::io::Write) -> Resu
         .map_err(|_| "query needs exactly: ADDR REQUEST_JSON (or '-' for stdin)".to_string())?;
     let mut client =
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    if let Some(ms) = timeout_ms {
+        client
+            .set_timeout(Some(std::time::Duration::from_millis(ms.max(1))))
+            .map_err(|e| format!("--timeout-ms: {e}"))?;
+    }
 
     let requests = gather_requests(request)?;
     let chunks: Vec<&[serde_json::Value]> = requests.chunks(BATCH_CHUNK).collect();

@@ -21,16 +21,243 @@
 //! ## Connection death
 //!
 //! When the server closes the socket (or a response line is truncated
-//! mid-stream), every pending and future operation fails with a clear
-//! "connection closed" error — never a raw JSON parse error — and the
+//! mid-stream), every pending and future operation fails with a typed
+//! [`ClientError::Transport`] — never a raw JSON parse error — and the
 //! client stays *dead*: later calls fail fast instead of desyncing on a
-//! half-read stream.
+//! half-read stream. [`Client::reconnect`] re-dials the remembered peer
+//! address and revives the handle (in-flight streams are lost with the
+//! old socket).
+//!
+//! ## Errors and retries
+//!
+//! Every operation returns [`ClientResult`], whose error type
+//! [`ClientError`] separates the four failure classes a caller handles
+//! differently: transport death, a typed server error, a timeout
+//! (client socket or server `deadline_exceeded`), and server load
+//! shedding (`overloaded`, carrying the server's `retry_after_ms`
+//! hint). [`Client::call_retry`] layers a [`RetryPolicy`] — capped
+//! exponential backoff with decorrelated jitter, bounded by a total
+//! sleep budget — on top of [`Client::call_ok`], retrying only
+//! idempotent reads (plus shed requests, which the server guarantees
+//! never executed) and reconnecting through transport faults.
 
-use crate::proto::{ServiceError, ServiceResult};
+use crate::proto::{ErrorCode, ServiceError};
 use serde_json::Value;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Result type of every [`Client`] operation.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// What went wrong with a client operation — split by how a caller
+/// recovers, not by where the message came from.
+#[derive(Debug, Clone)]
+pub enum ClientError {
+    /// The connection failed, died, or desynchronized. The handle is
+    /// dead; [`Client::reconnect`] (or a fresh connect) is required.
+    /// Whether the request executed is unknown — retry only idempotent
+    /// reads.
+    Transport(String),
+    /// The request ran out of time: a client-side socket timeout, or
+    /// the server's typed `deadline_exceeded` answer. Same retry rule
+    /// as transport errors (a socket timeout also kills the handle; a
+    /// server deadline answer does not).
+    Timeout(String),
+    /// The server shed the request at admission (`overloaded`) without
+    /// executing it — always safe to retry after `retry_after_ms`.
+    Overloaded {
+        message: String,
+        /// The server's backoff hint, derived from its live backlog.
+        retry_after_ms: Option<u64>,
+    },
+    /// Any other typed error envelope from the server, code preserved.
+    Server(ServiceError),
+}
+
+impl ClientError {
+    /// Classifies a decoded error envelope (see [`expect_ok`]).
+    fn from_envelope(error: ServiceError) -> Self {
+        match error.code {
+            ErrorCode::Overloaded => ClientError::Overloaded {
+                retry_after_ms: error.retry_after_ms,
+                message: error.message,
+            },
+            ErrorCode::DeadlineExceeded => ClientError::Timeout(error.message),
+            _ => ClientError::Server(error),
+        }
+    }
+
+    /// The server's retry-after hint, when it gave one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        match self {
+            ClientError::Overloaded { retry_after_ms, .. } => *retry_after_ms,
+            _ => None,
+        }
+    }
+
+    /// Whether a retry can help. Shed requests are always retryable
+    /// (the server guarantees they never executed); everything else
+    /// only when the request is an idempotent read — a transport error
+    /// or timeout leaves "did it execute?" unanswered, and re-running a
+    /// state-advancing op would double-execute it.
+    pub fn is_retryable(&self, idempotent: bool) -> bool {
+        match self {
+            ClientError::Overloaded { .. } => true,
+            ClientError::Transport(_) | ClientError::Timeout(_) => idempotent,
+            ClientError::Server(e) => idempotent && e.code.is_retryable(),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(why) => write!(f, "transport: {why}"),
+            ClientError::Timeout(why) => write!(f, "timeout: {why}"),
+            ClientError::Overloaded {
+                message,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => write!(f, "overloaded (retry after {ms}ms): {message}"),
+                None => write!(f, "overloaded: {message}"),
+            },
+            ClientError::Server(e) => write!(f, "{}: {}", e.code.as_str(), e.message),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ClientError> for ServiceError {
+    fn from(e: ClientError) -> Self {
+        match e {
+            ClientError::Server(err) => err,
+            ClientError::Overloaded {
+                message,
+                retry_after_ms,
+            } => ServiceError::overloaded(message, retry_after_ms.unwrap_or(0)),
+            ClientError::Timeout(why) => ServiceError::deadline_exceeded(why),
+            ClientError::Transport(why) => ServiceError::internal(why),
+        }
+    }
+}
+
+/// Ops that are safe to re-issue after an ambiguous failure: pure reads
+/// whose replay cannot double-execute work.
+fn idempotent_op(op: &str) -> bool {
+    matches!(
+        op,
+        "ping" | "stats" | "health" | "verify" | "overview" | "registry.list" | "trace"
+    )
+}
+
+/// Client-side retry/backoff configuration for [`Client::call_retry`]:
+/// capped exponential backoff with decorrelated jitter, bounded by both
+/// an attempt count and a total sleep budget, honoring the server's
+/// `retry_after_ms` hints.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = try once, never retry).
+    pub max_retries: u32,
+    /// First-retry backoff, and the decorrelated-jitter floor.
+    pub base: Duration,
+    /// Per-sleep backoff cap (a larger server `retry_after_ms` hint
+    /// still wins — the server knows its backlog better).
+    pub cap: Duration,
+    /// Total sleep budget across all retries; once spent, the last
+    /// error is returned even with attempts remaining.
+    pub budget: Duration,
+    /// Jitter seed — fixed default for reproducible tests; vary it to
+    /// decorrelate real fleets.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_secs(2),
+            budget: Duration::from_secs(10),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pure backoff-delay iterator this policy generates (separated
+    /// out so tests can drive the schedule without sockets or sleeps).
+    pub fn schedule(&self) -> BackoffSchedule {
+        BackoffSchedule {
+            base_ms: self.base.as_millis().max(1) as u64,
+            cap_ms: self.cap.as_millis().max(1) as u64,
+            budget_ms: self.budget.as_millis() as u64,
+            slept_ms: 0,
+            prev_ms: self.base.as_millis().max(1) as u64,
+            state: self.seed,
+            exhausted: false,
+        }
+    }
+}
+
+/// The deterministic backoff-delay sequence of one [`RetryPolicy`] run:
+/// decorrelated jitter (`next = uniform(base, prev * 3)`, capped),
+/// floored by the server's `retry_after_ms` hint, stopping when the
+/// total sleep budget is spent.
+#[derive(Debug, Clone)]
+pub struct BackoffSchedule {
+    base_ms: u64,
+    cap_ms: u64,
+    budget_ms: u64,
+    slept_ms: u64,
+    prev_ms: u64,
+    state: u64,
+    exhausted: bool,
+}
+
+impl BackoffSchedule {
+    /// The next delay in milliseconds, or `None` when the sleep budget
+    /// is exhausted. `retry_after_ms` (the server's hint) floors the
+    /// jittered delay — even past the cap — but still counts against
+    /// the budget. Exhaustion is sticky: the first over-budget draw
+    /// ends the schedule for good (a retry loop must not revive on a
+    /// luckily-small later jitter).
+    pub fn next_delay_ms(&mut self, retry_after_ms: Option<u64>) -> Option<u64> {
+        if self.exhausted {
+            return None;
+        }
+        // Decorrelated jitter: uniform in [base, prev * 3], capped.
+        let hi = (self.prev_ms.saturating_mul(3)).max(self.base_ms + 1);
+        let span = hi - self.base_ms;
+        let jittered = (self.base_ms + self.next_u64() % span).min(self.cap_ms);
+        // The next step decorrelates from the *jittered* value, so the
+        // schedule's shape is independent of server hints.
+        self.prev_ms = jittered;
+        let delay = jittered.max(retry_after_ms.unwrap_or(0));
+        if self.slept_ms.saturating_add(delay) > self.budget_ms {
+            self.exhausted = true;
+            return None;
+        }
+        self.slept_ms += delay;
+        Some(delay)
+    }
+
+    /// Total milliseconds handed out so far.
+    pub fn slept_ms(&self) -> u64 {
+        self.slept_ms
+    }
+
+    /// splitmix64 — small, seedable, good enough for jitter.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
 
 /// Token for one in-flight multiplexed stream on a [`Client`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +290,10 @@ struct StreamState {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The dialed peer, remembered for [`reconnect`](Self::reconnect).
+    peer: SocketAddr,
+    /// The configured socket read timeout, re-applied on reconnect.
+    timeout: Option<Duration>,
     /// Why the connection is unusable (set once, checked by every call).
     dead: Option<String>,
     streams: Vec<StreamState>,
@@ -75,39 +306,72 @@ impl Client {
         // Requests are single small writes that wait for a response;
         // Nagle's algorithm only adds delayed-ACK latency to that pattern.
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr()?;
         let writer = stream.try_clone()?;
         Ok(Self {
             reader: BufReader::new(stream),
             writer,
+            peer,
+            timeout: None,
             dead: None,
             streams: Vec::new(),
             next_token: 0,
         })
     }
 
-    /// Marks the connection dead and returns the error every later call
-    /// will fail fast with.
-    fn kill(&mut self, why: impl Into<String>) -> ServiceError {
-        let why = why.into();
-        if self.dead.is_none() {
-            self.dead = Some(why.clone());
-        }
-        ServiceError::internal(why)
+    /// Sets (or clears) the socket read timeout: a response taking
+    /// longer fails the call with [`ClientError::Timeout`] *and kills
+    /// the connection* — a late response line would desynchronize every
+    /// later call, so the only safe continuation is a reconnect.
+    /// Survives [`reconnect`](Self::reconnect).
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        self.timeout = timeout;
+        Ok(())
     }
 
-    fn ensure_alive(&self) -> ServiceResult<()> {
+    /// Re-dials the remembered peer address, replacing a dead (or live)
+    /// socket with a fresh one. In-flight streams are lost with the old
+    /// connection; the read timeout is re-applied.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = TcpStream::connect(self.peer)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.timeout)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        self.dead = None;
+        self.streams.clear();
+        Ok(())
+    }
+
+    /// Marks the connection dead and returns the error every later call
+    /// will fail fast with.
+    fn kill(&mut self, why: impl Into<String>) -> ClientError {
+        self.kill_with(ClientError::Transport(why.into()))
+    }
+
+    /// [`kill`](Self::kill) with a caller-chosen error class (a socket
+    /// read timeout also kills the handle, but reports as `Timeout`).
+    fn kill_with(&mut self, err: ClientError) -> ClientError {
+        if self.dead.is_none() {
+            self.dead = Some(err.to_string());
+        }
+        err
+    }
+
+    fn ensure_alive(&self) -> ClientResult<()> {
         match &self.dead {
             None => Ok(()),
-            Some(why) => Err(ServiceError::internal(format!(
+            Some(why) => Err(ClientError::Transport(format!(
                 "connection closed; reconnect to continue ({why})"
             ))),
         }
     }
 
-    fn send(&mut self, request: &Value) -> ServiceResult<()> {
+    fn send(&mut self, request: &Value) -> ClientResult<()> {
         self.ensure_alive()?;
-        let mut line =
-            serde_json::to_string(request).map_err(|e| ServiceError::internal(e.to_string()))?;
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Server(ServiceError::internal(e.to_string())))?;
         // One write per request: splitting the newline into its own write
         // used to cost a Nagle/delayed-ACK round on every call.
         line.push('\n');
@@ -122,12 +386,22 @@ impl Client {
     }
 
     /// Reads one complete response line. Any failure — EOF, an I/O
-    /// error, a line truncated by the server dying mid-write, or
-    /// unparseable bytes — kills the connection (fail fast beats
-    /// desyncing on a half-read stream).
-    fn read_response(&mut self) -> ServiceResult<Value> {
+    /// error or read timeout, a line truncated by the server dying
+    /// mid-write, or unparseable bytes — kills the connection (fail
+    /// fast beats desyncing on a half-read stream).
+    fn read_response(&mut self) -> ClientResult<Value> {
         let mut response = String::new();
         match self.reader.read_line(&mut response) {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(self.kill_with(ClientError::Timeout(format!(
+                    "no response within the read timeout: {e}"
+                ))))
+            }
             Err(e) => Err(self.kill(format!("connection closed: {e}"))),
             Ok(0) => Err(self.kill("connection closed by the server (EOF)")),
             Ok(_) if !response.ends_with('\n') => {
@@ -192,17 +466,17 @@ impl Client {
     /// the connection stays request/response-aligned for later calls)
     /// and returns an error directing the caller to
     /// [`call_streamed`](Self::call_streamed).
-    pub fn call(&mut self, request: &Value) -> ServiceResult<Value> {
+    pub fn call(&mut self, request: &Value) -> ClientResult<Value> {
         // An id colliding with an in-flight stream's key would make this
         // call's response indistinguishable from that stream's terminal
         // (the demux would swallow it and this call would wait forever):
         // refuse up front instead.
         if let Some(id) = request.get("id") {
             if self.streams.iter().any(|s| s.key == *id) {
-                return Err(ServiceError::bad_request(format!(
+                return Err(ClientError::Server(ServiceError::bad_request(format!(
                     "request id {} collides with an in-flight stream on this connection",
                     serde_json::to_string(id).unwrap_or_default()
-                )));
+                ))));
             }
         }
         self.send(request)?;
@@ -234,16 +508,61 @@ impl Client {
                 }
             };
         }
-        Err(ServiceError::bad_request(
+        Err(ClientError::Server(ServiceError::bad_request(
             "the server answered with a streamed response ('stream': true); \
              use call_streamed (or `srank query --stream`) for streaming batches",
-        ))
+        )))
     }
 
     /// `call`, then unwraps the `result` field of an `ok` response.
-    pub fn call_ok(&mut self, request: &Value) -> ServiceResult<Value> {
+    pub fn call_ok(&mut self, request: &Value) -> ClientResult<Value> {
         let response = self.call(request)?;
         expect_ok(&response)
+    }
+
+    /// [`call_ok`](Self::call_ok) under a [`RetryPolicy`]: failed
+    /// attempts back off (capped exponential, decorrelated jitter,
+    /// flooring on the server's `retry_after_ms` hint) and re-issue the
+    /// request, reconnecting first when the failure killed the
+    /// connection. Stops on the earliest of: success, a non-retryable
+    /// error, `max_retries` spent, or the sleep budget spent — and
+    /// returns the *last* error.
+    ///
+    /// Only idempotent reads are re-issued after ambiguous failures
+    /// (transport death, timeouts); shed requests (`overloaded`) are
+    /// always retried, because the server sheds at admission — before
+    /// any work runs. A state-advancing op like `session.get_next`
+    /// failing in transit is returned to the caller undisguised: only
+    /// the caller knows whether replaying it is safe.
+    pub fn call_retry(&mut self, request: &Value, policy: &RetryPolicy) -> ClientResult<Value> {
+        let idempotent = request
+            .get("op")
+            .and_then(Value::as_str)
+            .is_some_and(idempotent_op);
+        let mut schedule = policy.schedule();
+        let mut attempt = 0u32;
+        loop {
+            let err = match self.call_ok(request) {
+                Ok(value) => return Ok(value),
+                Err(err) => err,
+            };
+            attempt += 1;
+            if attempt > policy.max_retries || !err.is_retryable(idempotent) {
+                return Err(err);
+            }
+            let Some(delay_ms) = schedule.next_delay_ms(err.retry_after_ms()) else {
+                return Err(err); // sleep budget spent
+            };
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            if self.dead.is_some() {
+                if let Err(e) = self.reconnect() {
+                    return Err(ClientError::Transport(format!(
+                        "reconnect to {} failed: {e}",
+                        self.peer
+                    )));
+                }
+            }
+        }
     }
 
     /// Queries the server's trace recorder (`op: "trace"`): recent
@@ -256,7 +575,7 @@ impl Client {
         min_micros: u64,
         session: Option<u64>,
         limit: usize,
-    ) -> ServiceResult<Value> {
+    ) -> ClientResult<Value> {
         let mut request = crate::proto::Object::new().field("op", "trace");
         if let Some(op) = filter_op {
             request = request.field("filter_op", op);
@@ -278,12 +597,12 @@ impl Client {
     /// line's `stream.request` tag — the demux key). Requests whose `id`
     /// duplicates an in-flight stream's are refused: their lines would
     /// be indistinguishable.
-    pub fn stream_begin(&mut self, request: &Value) -> ServiceResult<StreamId> {
+    pub fn stream_begin(&mut self, request: &Value) -> ClientResult<StreamId> {
         self.ensure_alive()?;
         if !crate::engine::Engine::is_streaming_request(request) {
-            return Err(ServiceError::bad_request(
+            return Err(ClientError::Server(ServiceError::bad_request(
                 "stream_begin needs a batch request with 'stream': true",
-            ));
+            )));
         }
         let token = self.next_token;
         self.next_token += 1;
@@ -299,10 +618,10 @@ impl Client {
             }
         };
         if self.streams.iter().any(|s| s.key == key) {
-            return Err(ServiceError::bad_request(format!(
+            return Err(ClientError::Server(ServiceError::bad_request(format!(
                 "a stream with id {} is already in flight on this connection",
                 serde_json::to_string(&key).unwrap_or_default()
-            )));
+            ))));
         }
         self.send(&request)?;
         self.streams.push(StreamState {
@@ -314,12 +633,14 @@ impl Client {
         Ok(StreamId(token))
     }
 
-    fn stream_index(&self, id: StreamId) -> ServiceResult<usize> {
+    fn stream_index(&self, id: StreamId) -> ClientResult<usize> {
         self.streams
             .iter()
             .position(|s| s.token == id.0)
             .ok_or_else(|| {
-                ServiceError::bad_request("unknown stream id (already finished, or never begun)")
+                ClientError::Server(ServiceError::bad_request(
+                    "unknown stream id (already finished, or never begun)",
+                ))
             })
     }
 
@@ -341,7 +662,7 @@ impl Client {
     /// Blocks for the next event of one specific in-flight stream.
     /// Events of *other* streams arriving meanwhile are buffered, never
     /// dropped. After `Done` the stream id is finished.
-    pub fn stream_next(&mut self, id: StreamId) -> ServiceResult<StreamEvent> {
+    pub fn stream_next(&mut self, id: StreamId) -> ClientResult<StreamEvent> {
         loop {
             let position = self.stream_index(id)?;
             if let Some(event) = self.pop_event(position) {
@@ -354,9 +675,11 @@ impl Client {
     /// Blocks for the next event of *any* in-flight stream (buffered
     /// events first, in stream-begin order). Errors if no stream is in
     /// flight.
-    pub fn stream_next_any(&mut self) -> ServiceResult<(StreamId, StreamEvent)> {
+    pub fn stream_next_any(&mut self) -> ClientResult<(StreamId, StreamEvent)> {
         if self.streams.is_empty() {
-            return Err(ServiceError::bad_request("no stream is in flight"));
+            return Err(ClientError::Server(ServiceError::bad_request(
+                "no stream is in flight",
+            )));
         }
         loop {
             let ready = (0..self.streams.len()).find(|&i| {
@@ -378,7 +701,7 @@ impl Client {
 
     /// Reads one line and routes it; a line that belongs to no in-flight
     /// stream here is a protocol violation (no plain call is pending).
-    fn pump(&mut self) -> ServiceResult<()> {
+    fn pump(&mut self) -> ClientResult<()> {
         self.ensure_alive()?;
         let value = self.read_response()?;
         match self.route_to_streams(value) {
@@ -407,7 +730,7 @@ impl Client {
         &mut self,
         request: &Value,
         mut on_envelope: impl FnMut(&Value),
-    ) -> ServiceResult<Value> {
+    ) -> ClientResult<Value> {
         let id = self.stream_begin(request)?;
         loop {
             match self.stream_next(id)? {
@@ -418,20 +741,27 @@ impl Client {
     }
 }
 
-/// Splits a response envelope into its `result` or its error.
-pub fn expect_ok(response: &Value) -> ServiceResult<Value> {
+/// Splits a response envelope into its `result` or its typed error:
+/// the wire `code` round-trips back into [`ErrorCode`] (so `overloaded`
+/// / `deadline_exceeded` classify as their own [`ClientError`]
+/// variants) and `retry_after_ms` is preserved.
+pub fn expect_ok(response: &Value) -> ClientResult<Value> {
     if response.get("ok").and_then(Value::as_bool) == Some(true) {
         return Ok(response.get("result").cloned().unwrap_or(Value::Null));
     }
-    let code = response
-        .get("error")
+    let error = response.get("error");
+    let code = error
         .and_then(|e| e.get("code"))
         .and_then(Value::as_str)
-        .unwrap_or("internal");
-    let message = response
-        .get("error")
+        .and_then(ErrorCode::parse)
+        .unwrap_or(ErrorCode::Internal);
+    let message = error
         .and_then(|e| e.get("message"))
         .and_then(Value::as_str)
         .unwrap_or("malformed error response");
-    Err(ServiceError::internal(format!("{code}: {message}")))
+    let mut decoded = ServiceError::new(code, message);
+    decoded.retry_after_ms = error
+        .and_then(|e| e.get("retry_after_ms"))
+        .and_then(Value::as_u64);
+    Err(ClientError::from_envelope(decoded))
 }

@@ -37,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::Value;
 use srank_core::{
-    stability_verify_2d, stability_verify_3d_exact, stability_verify_md, AngleInterval, Dataset,
+    ranking_region_md, stability_verify_2d, stability_verify_3d_exact, AngleInterval, Dataset,
     Enumerator2D, MdEnumerator, RandomizedEnumerator, RankingScope, StabilityOverview,
 };
 use srank_sample::roi::RegionOfInterest;
@@ -111,6 +111,14 @@ pub struct EngineConfig {
     /// structured slow-request log (`serve --slow-ms`). `0` disables
     /// the slow log.
     pub slow_request_micros: u64,
+    /// srank-guard: per-request deadlines and admission-control/load-
+    /// shedding thresholds (`serve --default-deadline-ms`,
+    /// `--shed-queue`, `--shed-wait-p99-ms`). All off by default.
+    pub guard: crate::guard::GuardConfig,
+    /// Fault-injection spec (see [`crate::faults`]). `None` (the
+    /// default) reads the `SRANK_FAULTS` environment variable;
+    /// `Some(spec)` arms programmatically (chaos tests).
+    pub faults: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -134,6 +142,8 @@ impl Default for EngineConfig {
             trace_sample: 0,
             trace_capacity: trace::DEFAULT_TRACE_CAPACITY,
             slow_request_micros: 0,
+            guard: crate::guard::GuardConfig::default(),
+            faults: None,
         }
     }
 }
@@ -161,6 +171,13 @@ struct RoiSpec {
     around: Vec<f64>,
     theta: f64,
 }
+
+/// Monte-Carlo samples drawn per deadline check inside one randomized
+/// `session.get_next` budget (≈ a fraction of a millisecond of kernel
+/// time — fine-grained enough that a deadline stops a multi-million
+/// sample budget promptly, coarse enough to cost nothing when none is
+/// set).
+const KERNEL_CHUNK: usize = 8_192;
 
 /// Validated `session.get_next` parameters (parsed before any session
 /// state is touched).
@@ -217,6 +234,12 @@ pub struct EngineCore {
     /// kernel / serialize, per op). Always on — these feed `stats`
     /// independently of trace sampling.
     pub phases: PhaseLatencies,
+    /// srank-guard: deadline/shed counters and admission thresholds.
+    guard: crate::guard::Guard,
+    /// Armed fault-injection points (disarmed unless `SRANK_FAULTS` /
+    /// `config.faults` says otherwise); shared with the store so its
+    /// file IO consults the same decision stream.
+    faults: Arc<crate::faults::Faults>,
     started: Instant,
 }
 
@@ -227,6 +250,16 @@ impl Engine {
             n => n,
         };
         let pool_metrics = Arc::new(PoolMetrics::default());
+        let faults = Arc::new(match &config.faults {
+            Some(spec) => crate::faults::Faults::parse(spec).unwrap_or_else(|e| {
+                crate::log::warn(
+                    "srank-guard",
+                    &format!("ignoring malformed fault spec '{spec}': {e}"),
+                );
+                crate::faults::Faults::disarmed()
+            }),
+            None => crate::faults::Faults::from_env(),
+        });
         // A data-dir that cannot be opened degrades to an in-memory
         // engine with a logged warning — persistence must never be able
         // to poison boot.
@@ -234,7 +267,10 @@ impl Engine {
             .data_dir
             .as_ref()
             .and_then(|dir| match crate::store::Store::open(dir) {
-                Ok(store) => Some(store),
+                Ok(mut store) => {
+                    store.arm_faults(Arc::clone(&faults));
+                    Some(store)
+                }
                 Err(e) => {
                     crate::log::warn(
                         "srank-store",
@@ -266,6 +302,8 @@ impl Engine {
                 config.slow_request_micros,
             ),
             phases: PhaseLatencies::default(),
+            guard: crate::guard::Guard::new(config.guard.clone()),
+            faults,
             started: Instant::now(),
             config,
         });
@@ -419,13 +457,19 @@ impl Engine {
         cancel: Option<&Arc<AtomicBool>>,
     ) -> ServiceResult<(Value, bool)> {
         let fields = Fields::of(request)?;
-        if fields.required_str("op")? == "batch" {
-            let start = Instant::now();
-            let outcome = self.op_batch_buffered(&fields, cancel);
-            self.core.op_latency.record("batch", start.elapsed());
-            return outcome;
-        }
-        self.core.dispatch(request, cancel)
+        // The request's deadline budget starts now (arrival at dispatch)
+        // and rides the thread-local ambient slot into every phase —
+        // including pool jobs and parked waiters, which re-install it.
+        let deadline = self.core.guard.deadline_from(fields.u64("deadline_ms")?)?;
+        crate::guard::with_deadline(deadline, || {
+            if fields.required_str("op")? == "batch" {
+                let start = Instant::now();
+                let outcome = self.op_batch_buffered(&fields, cancel);
+                self.core.op_latency.record("batch", start.elapsed());
+                return outcome;
+            }
+            self.core.dispatch(request, cancel)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -492,11 +536,17 @@ impl Engine {
         let start = Instant::now();
         let id = request.get("id").cloned();
         let fields = Fields::of(request).expect("op was read from an object");
-        let requests = match self.validate_batch(&fields) {
-            Ok(requests) => requests,
+        // Streamed batches bypass `dispatch_top`, so the deadline is
+        // parsed and installed here (shape errors answer as one plain
+        // untagged envelope — clients treat a tag-less response as
+        // terminal).
+        let validated = self.validate_batch(&fields).and_then(|requests| {
+            let deadline = self.core.guard.deadline_from(fields.u64("deadline_ms")?)?;
+            Ok((requests, deadline))
+        });
+        let (requests, deadline) = match validated {
+            Ok(ok) => ok,
             Err(e) => {
-                // Shape errors answer as one plain (untagged) envelope —
-                // clients treat a tag-less response as terminal.
                 let response = envelope(id, Err(e));
                 return sink(&serde_json::to_string(&response).expect("serializable"));
             }
@@ -509,24 +559,26 @@ impl Engine {
         let n = requests.len();
         let mut errors = 0u64;
         let mut io_error: Option<std::io::Error> = None;
-        self.execute_batch(requests, cancel, |index, env| {
-            if env.get("ok").and_then(Value::as_bool) == Some(false) {
-                errors += 1;
-            }
-            if io_error.is_some() {
-                return; // keep draining, stop writing
-            }
-            let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
-            let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
-            let ser_start = Instant::now();
-            let line = serde_json::to_string(&tagged).expect("serializable");
-            self.core
-                .phases
-                .record("serialize", "batch", ser_start.elapsed());
-            drop(ser);
-            if let Err(e) = sink(&line) {
-                io_error = Some(e);
-            }
+        crate::guard::with_deadline(deadline, || {
+            self.execute_batch(requests, cancel, |index, env| {
+                if env.get("ok").and_then(Value::as_bool) == Some(false) {
+                    errors += 1;
+                }
+                if io_error.is_some() {
+                    return; // keep draining, stop writing
+                }
+                let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
+                let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
+                let ser_start = Instant::now();
+                let line = serde_json::to_string(&tagged).expect("serializable");
+                self.core
+                    .phases
+                    .record("serialize", "batch", ser_start.elapsed());
+                drop(ser);
+                if let Err(e) = sink(&line) {
+                    io_error = Some(e);
+                }
+            });
         });
         self.core.op_latency.record("batch", start.elapsed());
         if let Some(e) = io_error {
@@ -589,14 +641,9 @@ impl Engine {
             // most its own window — it cannot draft the whole pool into
             // one batch and starve the others.
             while submitted < n && submitted - delivered < window {
-                let core = Arc::clone(&self.core);
-                let request = requests[submitted].clone();
-                let job_responses = Arc::clone(&responses);
-                let job_submitter = submitter.clone();
-                let job_cancel = cancel.cloned();
                 let index = submitted;
                 let mut sub_span = self.core.tracer.span_ambient(phase::SUB_REQUEST);
-                let sub_op = request
+                let sub_op = requests[index]
                     .get("op")
                     .and_then(Value::as_str)
                     .unwrap_or("")
@@ -605,6 +652,32 @@ impl Engine {
                     sub_span.set_op(&sub_op);
                 }
                 let ctx = sub_span.ctx();
+                // Cache-hit fast path: a sub-request whose result is
+                // already in the result LRU is answered here, on the
+                // submitter thread, and never enters the pool queue.
+                // Under overload this is what makes graceful degradation
+                // real — admitted cold work waiting for a worker cannot
+                // sit in front of a cache hit. Misses, non-cacheable
+                // ops, and expired deadlines fall through to the pool,
+                // where admission control and the dequeue deadline check
+                // apply unchanged.
+                if let Some(env) =
+                    trace::with_ctx(ctx, || self.core.try_cached_inline(&requests[index]))
+                {
+                    submitted += 1;
+                    delivered += 1;
+                    sub_spans.push(Span::disabled());
+                    trace::with_ctx(ctx, || deliver(index, env));
+                    continue;
+                }
+                let core = Arc::clone(&self.core);
+                let request = requests[index].clone();
+                let job_responses = Arc::clone(&responses);
+                let job_submitter = submitter.clone();
+                let job_cancel = cancel.cloned();
+                // The batch deadline follows each sub-request onto the
+                // pool (captured here, re-installed inside the job).
+                let job_deadline = crate::guard::ambient_deadline();
                 let submit_at = Instant::now();
                 let accepted = self.pool.submit(Box::new(move || {
                     // Submit-to-pickup is the pool-queue wait for this
@@ -614,18 +687,33 @@ impl Engine {
                         .record_interval(ctx, phase::POOL_QUEUE, submit_at, Instant::now());
                     core.phases
                         .record("queue_wait", &sub_op, submit_at.elapsed());
+                    // Dequeue-time deadline check: a sub-request that
+                    // expired waiting for a worker is shed before it
+                    // burns any kernel CPU.
+                    let expired = crate::guard::with_deadline(job_deadline, || {
+                        core.guard()
+                            .check_deadline(crate::guard::DeadlineStage::Dequeue)
+                            .err()
+                    });
+                    if let Some(e) = expired {
+                        core.tracer.flush_thread();
+                        job_responses.push((index, envelope(request.get("id").cloned(), Err(e))));
+                        return;
+                    }
                     // A panic inside a sub-request must still produce an
                     // envelope — a missing completion would deadlock the
                     // submitter.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         trace::with_ctx(ctx, || {
-                            core.handle_sub_parkable(
-                                &request,
-                                &job_submitter,
-                                &job_responses,
-                                index,
-                                job_cancel.as_ref(),
-                            )
+                            crate::guard::with_deadline(job_deadline, || {
+                                core.handle_sub_parkable(
+                                    &request,
+                                    &job_submitter,
+                                    &job_responses,
+                                    index,
+                                    job_cancel.as_ref(),
+                                )
+                            })
                         })
                     }));
                     let env = match outcome {
@@ -660,6 +748,12 @@ impl Engine {
                 sub_spans.push(sub_span);
                 submitted += 1;
             }
+            // Every remaining sub-request may have been answered by the
+            // fast path above — nothing is in flight, so don't block on
+            // an empty response queue.
+            if delivered == n {
+                break;
+            }
             let Some((index, env)) = responses.pop() else {
                 break; // closed — cannot happen while this loop runs
             };
@@ -686,6 +780,41 @@ impl EngineCore {
     /// The durable store, when the engine was built with a `data_dir`.
     pub fn store(&self) -> Option<&crate::store::Store> {
         self.store.as_ref()
+    }
+
+    /// The srank-guard layer: deadline/shed counters and admission
+    /// thresholds.
+    pub fn guard(&self) -> &crate::guard::Guard {
+        &self.guard
+    }
+
+    /// The armed fault-injection points (disarmed in production).
+    pub fn faults(&self) -> &crate::faults::Faults {
+        &self.faults
+    }
+
+    /// Live load signals for the admission decision, gathered from the
+    /// pool and session-queue metrics the engine already keeps. Only
+    /// called when admission control is armed (the session-queue
+    /// percentile walk is not free).
+    fn load_signals(&self) -> crate::guard::LoadSignals {
+        let completed = self.pool_metrics.completed.load(Ordering::Relaxed);
+        let wait = self.pool_metrics.queue_wait_micros.load(Ordering::Relaxed);
+        crate::guard::LoadSignals {
+            pool_queue_depth: self.pool_metrics.queue_depth.load(Ordering::Relaxed),
+            avg_pool_wait_micros: wait.checked_div(completed).unwrap_or(0),
+            session_wait_p99_micros: self.sessions.queue_counters().wait_p99_micros,
+        }
+    }
+
+    /// Admission check for one expensive cold op (kernel compute,
+    /// session open, enumeration advance). Cheap ops and cache hits
+    /// never call this — overload degrades to the cached working set.
+    fn admit_cold(&self, op: &str) -> ServiceResult<()> {
+        if !self.guard.config().admission_armed() {
+            return Ok(());
+        }
+        self.guard.admit_cold(op, self.load_signals())
     }
 
     /// Persists a full snapshot now, if a store is configured — the
@@ -775,6 +904,7 @@ impl EngineCore {
                 "batch sub-requests cannot be batches",
             )),
             "stats" => self.op_stats(fields),
+            "health" => Ok((self.health_value(), false)),
             "trace" => self.op_trace(fields),
             "registry.load" => self.op_registry_load(fields),
             "registry.list" => self.op_registry_list(),
@@ -849,7 +979,14 @@ impl EngineCore {
         }
         let rid = request.get("id").cloned();
         let start = Instant::now();
-        let params = match Fields::of(request).and_then(|f| self.parse_get_next(&f)) {
+        let params = match Fields::of(request)
+            .and_then(|f| self.parse_get_next(&f))
+            .and_then(|params| {
+                // Admission runs before the checkout: a shed advance
+                // never occupies the session or its queue.
+                self.admit_cold("session.get_next")?;
+                Ok(params)
+            }) {
             Ok(params) => params,
             Err(e) => {
                 self.op_latency.record("session.get_next", start.elapsed());
@@ -865,6 +1002,11 @@ impl EngineCore {
             // continuation job (pool threads flush their trace buffer at
             // job end; the granting thread may never flush).
             let ctx = trace::ambient();
+            // The request deadline parks with the waiter and is
+            // re-checked at grant time: a request that expired in the
+            // session queue hands the session straight to the next
+            // waiter instead of advancing for a caller that gave up.
+            let deadline = crate::guard::ambient_deadline();
             let parked_at = Instant::now();
             let deliver = move |granted| {
                 let fallback_id = rid.clone();
@@ -890,8 +1032,22 @@ impl EngineCore {
                         let outcome = match granted {
                             Ok(session) => {
                                 let checked = core.sessions.adopt(session);
-                                trace::with_ctx(ctx, || {
-                                    core.advance_session(checked, params.head_cap, params.budget)
+                                crate::guard::with_deadline(deadline, || {
+                                    match core
+                                        .guard()
+                                        .check_deadline(crate::guard::DeadlineStage::Grant)
+                                    {
+                                        // Dropping `checked` hands the
+                                        // session to the next waiter.
+                                        Err(e) => Err(e),
+                                        Ok(()) => trace::with_ctx(ctx, || {
+                                            core.advance_session(
+                                                checked,
+                                                params.head_cap,
+                                                params.budget,
+                                            )
+                                        }),
+                                    }
                                 })
                                 .map(|v| (v, false))
                             }
@@ -1005,6 +1161,17 @@ impl EngineCore {
         }
         drop(probe);
         self.result_stats.miss();
+        // The cold path is where admission control bites: a cache hit
+        // above was served unconditionally (graceful degradation), a
+        // miss is expensive kernel work the server may shed.
+        self.admit_cold(op)?;
+        // Chaos seam: a kernel-delay fault simulates a slow kernel, so
+        // the deadline check below trips the way a real stall would.
+        if let Some(delay) = self.faults.kernel_delay() {
+            std::thread::sleep(delay);
+        }
+        self.guard
+            .check_deadline(crate::guard::DeadlineStage::Kernel)?;
         let mut kernel = self.tracer.span_ambient(phase::KERNEL);
         kernel.set_op(op);
         let kernel_start = Instant::now();
@@ -1021,6 +1188,42 @@ impl EngineCore {
             .expect("result cache poisoned")
             .insert(key, result.clone());
         Ok((result, false))
+    }
+
+    /// Submitter-side fast path for batch sub-requests: answers a
+    /// cacheable op (`verify`/`overview`) straight from the result LRU
+    /// without round-tripping it through the pool. Anything else — a
+    /// miss, a non-cacheable op, a malformed request, an
+    /// already-expired deadline — returns `None` and takes the pool
+    /// path, where admission control and the dequeue deadline check
+    /// apply unchanged (expiry is counted there, exactly once).
+    pub(crate) fn try_cached_inline(&self, request: &Value) -> Option<Value> {
+        let fields = Fields::of(request).ok()?;
+        let op = fields.required_str("op").ok()?;
+        if !matches!(op, "verify" | "overview") {
+            return None;
+        }
+        if crate::guard::ambient_deadline().is_some_and(|d| d.expired()) {
+            return None;
+        }
+        let key = self.cache_key(op, &fields).ok()?;
+        let hit = self
+            .results
+            .lock()
+            .expect("result cache poisoned")
+            .get(&key)
+            .cloned()?;
+        // Record the probe span only on the hit path: a miss falls
+        // through to `cached()`, which records its own probe — two
+        // spans for one logical probe would double-count.
+        let mut probe = self.tracer.span_ambient(phase::CACHE_PROBE);
+        if probe.is_recording() {
+            let generation = key.split('|').nth(2).unwrap_or("?");
+            probe.set_detail(&format!("hit {generation} inline"));
+        }
+        drop(probe);
+        self.result_stats.hit();
+        Some(envelope(request.get("id").cloned(), Ok((hit, true))))
     }
 
     /// Canonical cache key: op, dataset identity (name + generation), ROI,
@@ -1246,11 +1449,49 @@ impl EngineCore {
             .field("pool", self.pool_metrics.to_value(self.pool_width))
             .field("ops", self.op_latency.to_value())
             .field("phases", self.phases.to_value())
-            .field("trace", self.tracer.stats_value());
+            .field("trace", self.tracer.stats_value())
+            .field("guard", self.guard.stats_value());
+        if self.faults.armed() {
+            stats = stats.field("faults", self.faults.stats_value());
+        }
         if let Some(store) = self.store() {
             stats = stats.field("store", store.stats_value());
         }
         Ok((stats.build(), false))
+    }
+
+    /// The `health` op / `/healthz` payload: a coarse status —
+    /// `"ok"`, `"degraded"` (persistence failing), or `"overloaded"`
+    /// (admission control shed within the last few seconds) — plus the
+    /// shed, deadline, and store-failure counters an operator pages on.
+    pub fn health_value(&self) -> Value {
+        let store_failing = self
+            .store()
+            .is_some_and(|s| s.counters.consecutive_failures.load(Ordering::Relaxed) > 0);
+        // A data dir that failed to open at boot means the operator asked
+        // for persistence and is not getting it.
+        let persistence_degraded = self.config.data_dir.is_some() && self.store.is_none();
+        let status = if self.guard.recently_shed() {
+            "overloaded"
+        } else if store_failing || persistence_degraded {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let store_block = match self.store() {
+            Some(store) => store.health_value(),
+            None => Object::new()
+                .field("configured", self.config.data_dir.is_some())
+                .field("active", false)
+                .build(),
+        };
+        Object::new()
+            .field("status", status)
+            .field("uptime_seconds", self.started.elapsed().as_secs_f64())
+            .field("shed", self.guard.stats_value())
+            .field("store", store_block)
+            .field("faults", self.faults.stats_value())
+            .build()
     }
 
     /// Renders every counter the `stats` op reports as Prometheus text
@@ -1360,6 +1601,7 @@ impl EngineCore {
         out.push_str(&self.pool_metrics.to_prometheus(self.pool_width));
         out.push_str(&self.op_latency.to_prometheus());
         out.push_str(&self.phases.to_prometheus());
+        out.push_str(&self.guard.to_prometheus());
         if let Some(store) = self.store() {
             out.push_str(&store.to_prometheus());
         }
@@ -1510,9 +1752,8 @@ impl EngineCore {
                     n,
                     seed,
                 );
-                let v = stability_verify_md(data, &ranking, &batch)
-                    .map_err(|e| ServiceError::bad_request(e.to_string()))?;
-                (v.map_or(0.0, |v| v.stability), "monte-carlo", Some(n))
+                let stability = self.verify_md_chunked(data, &ranking, &batch)?;
+                (stability, "monte-carlo", Some(n))
             }
         };
         let head: Vec<u32> = ranking.order().iter().take(10).copied().collect();
@@ -1529,6 +1770,41 @@ impl EngineCore {
 
     /// §8's tolerant-stability extension, exact in 2-D: enumerate the
     /// region's rankings and sum the mass within Kendall-tau distance τ.
+    /// The Monte-Carlo verify oracle, evaluated in `KERNEL_CHUNK`-sample
+    /// slices with a deadline check between slices — a huge-sample
+    /// `verify` cannot hold a worker past its caller's patience (the
+    /// session sampling path makes the same promise). The inside-count
+    /// is additive over slices, so the estimate is bit-identical to the
+    /// unchunked `stability_verify_md`.
+    fn verify_md_chunked(
+        &self,
+        data: &Dataset,
+        ranking: &srank_core::Ranking,
+        samples: &SampleBuffer,
+    ) -> ServiceResult<f64> {
+        let Some(region) = ranking_region_md(data, ranking)
+            .map_err(|e| ServiceError::bad_request(e.to_string()))?
+        else {
+            return Ok(0.0);
+        };
+        let n = samples.len();
+        if n == 0 {
+            return Ok(0.0);
+        }
+        let mut inside = 0usize;
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + KERNEL_CHUNK).min(n);
+            inside += srank_sample::oracle::count_inside(&region, samples, lo, hi);
+            lo = hi;
+            if lo < n {
+                self.guard
+                    .check_deadline(crate::guard::DeadlineStage::Kernel)?;
+            }
+        }
+        Ok(inside as f64 / n as f64)
+    }
+
     fn verify_tau_tolerant(
         &self,
         data: &Dataset,
@@ -1610,6 +1886,9 @@ impl EngineCore {
     }
 
     fn op_session_open(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        // Opening builds an enumerator (hyperplane derivation, sample
+        // draws) — expensive cold work admission control may shed.
+        self.admit_cold("session.open")?;
         let entry = self.registry.get(fields.required_str("dataset")?)?;
         let data = &*entry.dataset;
         let kind = fields.str("kind")?.unwrap_or("auto");
@@ -1755,6 +2034,7 @@ impl EngineCore {
         cancel: Option<&Arc<AtomicBool>>,
     ) -> ServiceResult<(Value, bool)> {
         let params = self.parse_get_next(fields)?;
+        self.admit_cold("session.get_next")?;
         let handoff = Handoff::new();
         let checked = match self
             .sessions
@@ -1771,7 +2051,12 @@ impl EngineCore {
                 self.phases
                     .record("session_wait", "session.get_next", parked_at.elapsed());
                 drop(wait);
-                self.sessions.adopt(granted?)
+                let checked = self.sessions.adopt(granted?);
+                // Grant-time deadline check: dropping `checked` hands
+                // the session straight to the next waiter in line.
+                self.guard
+                    .check_deadline(crate::guard::DeadlineStage::Grant)?;
+                checked
             }
         };
         let result = self.advance_session(checked, params.head_cap, params.budget);
@@ -1806,6 +2091,14 @@ impl EngineCore {
             Ok(entry) => entry,
         };
         let data = &*entry.dataset;
+        // Chaos seam + kernel-entry deadline check: on the error path
+        // `checked` drops and the session is returned to the table
+        // untouched — no work is lost or double-executed.
+        if let Some(delay) = self.faults.kernel_delay() {
+            std::thread::sleep(delay);
+        }
+        self.guard
+            .check_deadline(crate::guard::DeadlineStage::Kernel)?;
         let mut kernel = self.tracer.span_ambient(phase::KERNEL);
         kernel.set_op("session.get_next");
         kernel.set_session(id);
@@ -1821,6 +2114,12 @@ impl EngineCore {
             &mut checked.session().state,
             SessionState::Sweep2D(placeholder_state()),
         );
+        // Set when the deadline expires *between sampling chunks*: the
+        // samples drawn so far are kept (sampling is monotone progress,
+        // not corruption), the remaining budget is abandoned, and the
+        // request answers `deadline_exceeded` after the state is
+        // restored.
+        let mut kernel_deadline: Option<ServiceError> = None;
         let advanced: Result<(SessionState, Option<Value>), srank_core::StableRankError> =
             match taken {
                 SessionState::Sweep2D(state) => {
@@ -1860,7 +2159,26 @@ impl EngineCore {
                     mut rng,
                     budget,
                 } => RandomizedEnumerator::from_state(data, *state).map(|mut e| {
-                    let next = e.get_next_budget(&mut rng, budget_override.unwrap_or(budget));
+                    // The sampling budget runs in chunks with a deadline
+                    // check between them, so one huge-budget advance
+                    // cannot hold a worker past its caller's patience.
+                    let total = budget_override.unwrap_or(budget);
+                    let mut remaining = total;
+                    while remaining > KERNEL_CHUNK {
+                        e.sample_n(&mut rng, KERNEL_CHUNK);
+                        remaining -= KERNEL_CHUNK;
+                        if let Err(err) = self
+                            .guard
+                            .check_deadline(crate::guard::DeadlineStage::Kernel)
+                        {
+                            kernel_deadline = Some(err);
+                            break;
+                        }
+                    }
+                    let next = match kernel_deadline {
+                        Some(_) => None,
+                        None => e.get_next_budget(&mut rng, remaining),
+                    };
                     // Cumulative progress counters, so a producer polling
                     // GET-NEXT can see convergence without a stats call:
                     // samples ever observed, distinct rankings seen, and
@@ -1911,6 +2229,12 @@ impl EngineCore {
         // Advancing consumed enumeration progress (and, for randomized
         // sessions, RNG stream position): the journal must re-checkpoint.
         session.advances += 1;
+        // Expired between sampling chunks: the state (with its partial
+        // progress) is back in the session; without this the `None`
+        // payload below would read as a finished enumeration.
+        if let Some(err) = kernel_deadline {
+            return Err(err);
+        }
         match payload {
             None => Ok(Object::new()
                 .field("done", true)

@@ -1,0 +1,316 @@
+//! Fault injection for chaos testing (`srank-guard`).
+//!
+//! A [`Faults`] value is a set of armed injection points the rest of the
+//! service consults at well-defined seams: store file writes and reads,
+//! the kernel phase (artificial delay), the transport (dropped
+//! connections), and the response flush (artificial slowness). Armed
+//! via the `SRANK_FAULTS` environment variable or
+//! [`EngineConfig::faults`](crate::engine::EngineConfig) — the spec is a
+//! comma-separated list of `point=value` pairs:
+//!
+//! ```text
+//! SRANK_FAULTS="store_write=0.5,kernel_delay_ms=40,drop_connection=0.05,seed=7"
+//! ```
+//!
+//! | point             | value            | effect                                         |
+//! |-------------------|------------------|------------------------------------------------|
+//! | `store_write`     | rate in `[0, 1]` | store file writes fail with an injected IO error |
+//! | `store_read`      | rate in `[0, 1]` | store file reads fail with an injected IO error  |
+//! | `kernel_delay`    | rate in `[0, 1]` | kernel invocations sleep `kernel_delay_ms` first |
+//! | `kernel_delay_ms` | milliseconds     | duration of the kernel delay (implies rate 1 if unset) |
+//! | `drop_connection` | rate in `[0, 1]` | the server severs the connection instead of answering |
+//! | `slow_flush`      | rate in `[0, 1]` | response flushes sleep `slow_flush_ms` first     |
+//! | `slow_flush_ms`   | milliseconds     | duration of the flush delay (implies rate 1 if unset) |
+//! | `seed`            | u64              | seeds the decision PRNG (default 0x5eed)         |
+//!
+//! Decisions are drawn from a lock-free splitmix64 sequence seeded by
+//! `seed`, so a single-threaded replay of the same spec makes the same
+//! decisions. Every injection is counted; the counters surface in the
+//! `health` op so a chaos harness can assert faults actually fired.
+//! An unset/empty spec costs one relaxed load per consultation.
+
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One probabilistic injection point: a rate and a fired-count.
+#[derive(Debug, Default)]
+struct FaultPoint {
+    rate: f64,
+    injected: AtomicU64,
+}
+
+impl FaultPoint {
+    fn fire(&self, faults: &Faults) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.rate < 1.0 && faults.next_unit() >= self.rate {
+            return false;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+}
+
+/// The armed fault set (see the module docs for the spec grammar).
+#[derive(Debug)]
+pub struct Faults {
+    armed: bool,
+    store_write: FaultPoint,
+    store_read: FaultPoint,
+    kernel_delay: FaultPoint,
+    kernel_delay_ms: u64,
+    drop_connection: FaultPoint,
+    slow_flush: FaultPoint,
+    slow_flush_ms: u64,
+    /// splitmix64 position; `fetch_add` hands each decision a unique
+    /// point in the sequence without a lock.
+    prng: AtomicU64,
+}
+
+impl Default for Faults {
+    fn default() -> Self {
+        Self::disarmed()
+    }
+}
+
+impl Faults {
+    /// No faults; every consultation is a single branch.
+    pub fn disarmed() -> Self {
+        Self {
+            armed: false,
+            store_write: FaultPoint::default(),
+            store_read: FaultPoint::default(),
+            kernel_delay: FaultPoint::default(),
+            kernel_delay_ms: 0,
+            drop_connection: FaultPoint::default(),
+            slow_flush: FaultPoint::default(),
+            slow_flush_ms: 0,
+            prng: AtomicU64::new(0x5eed),
+        }
+    }
+
+    /// Arms from the `SRANK_FAULTS` environment variable (disarmed when
+    /// unset or empty; a malformed spec is a loud startup warning, not a
+    /// silent no-op).
+    pub fn from_env() -> Self {
+        match std::env::var("SRANK_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => match Self::parse(&spec) {
+                Ok(faults) => {
+                    crate::log::warn("srank-guard", &format!("fault injection armed: {spec}"));
+                    faults
+                }
+                Err(e) => {
+                    crate::log::warn(
+                        "srank-guard",
+                        &format!("ignoring malformed SRANK_FAULTS '{spec}': {e}"),
+                    );
+                    Self::disarmed()
+                }
+            },
+            _ => Self::disarmed(),
+        }
+    }
+
+    /// Parses a spec string (`point=value`, comma-separated).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut faults = Self::disarmed();
+        let mut kernel_rate: Option<f64> = None;
+        let mut flush_rate: Option<f64> = None;
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("'{part}' is not point=value"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v.parse().map_err(|_| format!("'{v}' is not a rate"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("rate {r} outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            let ms = |v: &str| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("'{v}' is not a duration in ms"))
+            };
+            match key.trim() {
+                "store_write" => faults.store_write.rate = rate(value)?,
+                "store_read" => faults.store_read.rate = rate(value)?,
+                "kernel_delay" => kernel_rate = Some(rate(value)?),
+                "kernel_delay_ms" => faults.kernel_delay_ms = ms(value)?,
+                "drop_connection" => faults.drop_connection.rate = rate(value)?,
+                "slow_flush" => flush_rate = Some(rate(value)?),
+                "slow_flush_ms" => faults.slow_flush_ms = ms(value)?,
+                "seed" => faults.prng = AtomicU64::new(ms(value)?),
+                other => return Err(format!("unknown fault point '{other}'")),
+            }
+        }
+        // A duration without an explicit rate means "always".
+        faults.kernel_delay.rate =
+            kernel_rate.unwrap_or(if faults.kernel_delay_ms > 0 { 1.0 } else { 0.0 });
+        faults.slow_flush.rate =
+            flush_rate.unwrap_or(if faults.slow_flush_ms > 0 { 1.0 } else { 0.0 });
+        faults.armed = faults.store_write.rate > 0.0
+            || faults.store_read.rate > 0.0
+            || faults.kernel_delay.rate > 0.0
+            || faults.drop_connection.rate > 0.0
+            || faults.slow_flush.rate > 0.0;
+        Ok(faults)
+    }
+
+    /// Whether any point is armed (the fast-path branch).
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Next uniform draw in `[0, 1)` (splitmix64 of a shared counter).
+    fn next_unit(&self) -> f64 {
+        let mut z = self
+            .prng
+            .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+            .wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Store-write seam: `Some(error)` when the write should fail.
+    pub fn store_write_error(&self, what: &str) -> Option<std::io::Error> {
+        if self.armed && self.store_write.fire(self) {
+            return Some(injected(what, "write"));
+        }
+        None
+    }
+
+    /// Store-read seam: `Some(error)` when the read should fail.
+    pub fn store_read_error(&self, what: &str) -> Option<std::io::Error> {
+        if self.armed && self.store_read.fire(self) {
+            return Some(injected(what, "read"));
+        }
+        None
+    }
+
+    /// Kernel seam: `Some(delay)` the kernel phase must sleep before
+    /// computing (simulates a slow kernel so deadlines trip).
+    pub fn kernel_delay(&self) -> Option<Duration> {
+        if self.armed && self.kernel_delay_ms > 0 && self.kernel_delay.fire(self) {
+            return Some(Duration::from_millis(self.kernel_delay_ms));
+        }
+        None
+    }
+
+    /// Transport seam: `true` when the server should sever this
+    /// connection instead of answering (simulates network death).
+    pub fn should_drop_connection(&self) -> bool {
+        self.armed && self.drop_connection.fire(self)
+    }
+
+    /// Flush seam: `Some(delay)` the response write must sleep first
+    /// (simulates a congested socket).
+    pub fn flush_delay(&self) -> Option<Duration> {
+        if self.armed && self.slow_flush_ms > 0 && self.slow_flush.fire(self) {
+            return Some(Duration::from_millis(self.slow_flush_ms));
+        }
+        None
+    }
+
+    /// Injection counters for `health` / the chaos harness.
+    pub fn stats_value(&self) -> Value {
+        crate::proto::Object::new()
+            .field("armed", self.armed)
+            .field("store_write_injected", self.store_write.injected())
+            .field("store_read_injected", self.store_read.injected())
+            .field("kernel_delays_injected", self.kernel_delay.injected())
+            .field("connections_dropped", self.drop_connection.injected())
+            .field("slow_flushes_injected", self.slow_flush.injected())
+            .build()
+    }
+}
+
+fn injected(what: &str, kind: &str) -> std::io::Error {
+    std::io::Error::other(format!(
+        "injected fault: {what} {kind} failed (SRANK_FAULTS)"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injects_nothing() {
+        let f = Faults::disarmed();
+        assert!(!f.armed());
+        for _ in 0..100 {
+            assert!(f.store_write_error("x").is_none());
+            assert!(f.store_read_error("x").is_none());
+            assert!(f.kernel_delay().is_none());
+            assert!(!f.should_drop_connection());
+            assert!(f.flush_delay().is_none());
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_counts() {
+        let f = Faults::parse("store_write=1,store_read=1.0,drop_connection=1").unwrap();
+        assert!(f.armed());
+        for _ in 0..10 {
+            assert!(f.store_write_error("snapshot").is_some());
+            assert!(f.store_read_error("snapshot").is_some());
+            assert!(f.should_drop_connection());
+        }
+        let stats = f.stats_value();
+        assert_eq!(
+            stats.get("store_write_injected").and_then(Value::as_u64),
+            Some(10)
+        );
+        assert_eq!(
+            stats.get("connections_dropped").and_then(Value::as_u64),
+            Some(10)
+        );
+    }
+
+    #[test]
+    fn duration_without_rate_means_always() {
+        let f = Faults::parse("kernel_delay_ms=7,slow_flush_ms=3").unwrap();
+        assert_eq!(f.kernel_delay(), Some(Duration::from_millis(7)));
+        assert_eq!(f.flush_delay(), Some(Duration::from_millis(3)));
+        // ...and an explicit rate of 0 disarms the point even with a
+        // duration set.
+        let f = Faults::parse("kernel_delay=0,kernel_delay_ms=7").unwrap();
+        assert!(f.kernel_delay().is_none());
+    }
+
+    #[test]
+    fn fractional_rates_fire_proportionally() {
+        let f = Faults::parse("store_write=0.5,seed=42").unwrap();
+        let fired = (0..10_000)
+            .filter(|_| f.store_write_error("x").is_some())
+            .count();
+        assert!(
+            (3_500..=6_500).contains(&fired),
+            "rate 0.5 fired {fired}/10000"
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        assert!(Faults::parse("store_write").is_err());
+        assert!(Faults::parse("store_write=2.0").is_err());
+        assert!(Faults::parse("store_write=-0.1").is_err());
+        assert!(Faults::parse("bogus_point=1").is_err());
+        assert!(Faults::parse("kernel_delay_ms=abc").is_err());
+        // Empty segments are tolerated (trailing commas).
+        assert!(Faults::parse("store_write=1,,").is_ok());
+        assert!(!Faults::parse("").unwrap().armed());
+    }
+}

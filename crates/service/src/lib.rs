@@ -8,7 +8,7 @@
 //! ordering-exchange hyperplanes, or re-drawing Monte-Carlo samples on
 //! every call.
 //!
-//! Nine layers:
+//! Eleven layers:
 //!
 //! * [`registry`] — loads/normalizes each dataset once (builtin simulators
 //!   or CSV) and shares it via `Arc`; every (re)load bumps a generation
@@ -40,6 +40,17 @@
 //! * [`log`] — the leveled structured logger behind the service's
 //!   diagnostics (`SRANK_LOG` level/target filter, pretty or JSON
 //!   output);
+//! * [`guard`] — robustness under load: per-request deadlines
+//!   (`deadline_ms`, checked at the dequeue/grant/kernel seams and
+//!   between sampling chunks), admission control that sheds cold
+//!   expensive work with a typed `overloaded` + `retry_after_ms` while
+//!   still serving cache hits, and the `health` op / `/healthz`
+//!   endpoint; the client side ([`RetryPolicy`]) retries idempotent
+//!   reads with capped, decorrelated-jitter backoff;
+//! * [`faults`] — seeded, deterministic fault injection
+//!   (`SRANK_FAULTS`: store IO errors, kernel delays, severed
+//!   connections, stalled flushes) behind always-compiled seams, so the
+//!   chaos suite can prove the guard's invariants;
 //! * [`store`] — durable snapshot + journal persistence under a
 //!   `--data-dir`: versioned, checksummed on-disk snapshots of the
 //!   caches and sessions, generation-stamp compatibility checks, and a
@@ -90,6 +101,8 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod faults;
+pub mod guard;
 pub mod log;
 pub mod metrics;
 pub mod pool;
@@ -100,8 +113,12 @@ pub mod session;
 pub mod store;
 pub mod trace;
 
-pub use client::{Client, StreamEvent, StreamId};
+pub use client::{
+    BackoffSchedule, Client, ClientError, ClientResult, RetryPolicy, StreamEvent, StreamId,
+};
 pub use engine::{Engine, EngineConfig, EngineCore};
+pub use faults::Faults;
+pub use guard::{Deadline, Guard, GuardConfig};
 pub use proto::{ErrorCode, ServiceError, ServiceResult};
 pub use registry::{DatasetRegistry, DatasetSource};
 pub use server::{serve_metrics, serve_stdio, serve_stream, serve_tcp, ServerHandle};

@@ -97,6 +97,7 @@ const OPS: &[&str] = &[
     "ping",
     "batch",
     "stats",
+    "health",
     "registry.load",
     "registry.list",
     "registry.drop",

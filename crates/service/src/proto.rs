@@ -48,6 +48,16 @@ pub enum ErrorCode {
     SessionQueueFull,
     /// The engine refused to open another session (capacity).
     SessionLimit,
+    /// Admission control shed the request before execution: the server is
+    /// past its configured load thresholds. The error object carries
+    /// `retry_after_ms`, a backoff hint derived from current queue state
+    /// (retryable).
+    Overloaded,
+    /// The request's `deadline_ms` budget expired before (or while) the
+    /// server could execute it; partial work was abandoned. The caller
+    /// already stopped waiting, so the result would be useless (retryable
+    /// for idempotent reads, with a larger budget).
+    DeadlineExceeded,
     /// An internal invariant failed.
     Internal,
 }
@@ -62,8 +72,40 @@ impl ErrorCode {
             ErrorCode::SessionBusy => "session_busy",
             ErrorCode::SessionQueueFull => "session_queue_full",
             ErrorCode::SessionLimit => "session_limit",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Internal => "internal",
         }
+    }
+
+    /// Parses a wire `error.code` string back into the enum (client side).
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "parse_error" => ErrorCode::ParseError,
+            "bad_request" => ErrorCode::BadRequest,
+            "not_found" => ErrorCode::NotFound,
+            "session_not_found" => ErrorCode::SessionNotFound,
+            "session_busy" => ErrorCode::SessionBusy,
+            "session_queue_full" => ErrorCode::SessionQueueFull,
+            "session_limit" => ErrorCode::SessionLimit,
+            "overloaded" => ErrorCode::Overloaded,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// Whether a request refused with this code is safe to retry verbatim:
+    /// the server sheds *before* side effects for all of these, so a retry
+    /// cannot double-execute anything.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded
+                | ErrorCode::SessionQueueFull
+                | ErrorCode::SessionBusy
+                | ErrorCode::DeadlineExceeded
+        )
     }
 }
 
@@ -72,6 +114,10 @@ impl ErrorCode {
 pub struct ServiceError {
     pub code: ErrorCode,
     pub message: String,
+    /// Backoff hint attached to `overloaded` (and other shed) errors:
+    /// "retry no sooner than this many milliseconds from now". Emitted in
+    /// the wire error object when present.
+    pub retry_after_ms: Option<u64>,
 }
 
 pub type ServiceResult<T> = Result<T, ServiceError>;
@@ -81,7 +127,14 @@ impl ServiceError {
         Self {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a `retry_after_ms` backoff hint to the error.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     pub fn parse_error(message: impl Into<String>) -> Self {
@@ -102,6 +155,14 @@ impl ServiceError {
 
     pub fn internal(message: impl Into<String>) -> Self {
         Self::new(ErrorCode::Internal, message)
+    }
+
+    pub fn overloaded(message: impl Into<String>, retry_after_ms: u64) -> Self {
+        Self::new(ErrorCode::Overloaded, message).with_retry_after_ms(retry_after_ms)
+    }
+
+    pub fn deadline_exceeded(message: impl Into<String>) -> Self {
+        Self::new(ErrorCode::DeadlineExceeded, message)
     }
 }
 
@@ -337,16 +398,15 @@ pub fn envelope(id: Option<Value>, outcome: ServiceResult<(Value, bool)>) -> Val
             .field("cached", cached)
             .field("result", result)
             .build(),
-        Err(e) => out
-            .field("ok", false)
-            .field(
-                "error",
-                Object::new()
-                    .field("code", e.code.as_str())
-                    .field("message", e.message)
-                    .build(),
-            )
-            .build(),
+        Err(e) => {
+            let mut error = Object::new()
+                .field("code", e.code.as_str())
+                .field("message", e.message);
+            if let Some(ms) = e.retry_after_ms {
+                error = error.field("retry_after_ms", ms);
+            }
+            out.field("ok", false).field("error", error.build()).build()
+        }
     }
 }
 
@@ -420,5 +480,37 @@ mod tests {
             err.get("error").unwrap().get("code").unwrap().as_str(),
             Some("not_found")
         );
+        assert!(
+            err.get("error").unwrap().get("retry_after_ms").is_none(),
+            "no hint unless attached"
+        );
+
+        let shed = envelope(None, Err(ServiceError::overloaded("shed", 150)));
+        let error = shed.get("error").unwrap();
+        assert_eq!(error.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(error.get("retry_after_ms").unwrap().as_u64(), Some(150));
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_classify() {
+        for code in [
+            ErrorCode::ParseError,
+            ErrorCode::BadRequest,
+            ErrorCode::NotFound,
+            ErrorCode::SessionNotFound,
+            ErrorCode::SessionBusy,
+            ErrorCode::SessionQueueFull,
+            ErrorCode::SessionLimit,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("no_such_code"), None);
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::SessionQueueFull.is_retryable());
+        assert!(!ErrorCode::Internal.is_retryable());
+        assert!(!ErrorCode::BadRequest.is_retryable());
     }
 }

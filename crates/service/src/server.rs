@@ -294,6 +294,11 @@ fn handle_catching<W: Write>(
         // The flush span rides the caller's ambient ctx: the sub-request
         // for streamed envelopes, the request root for inline responses.
         let _flush = engine.tracer().span_ambient(phase::FLUSH);
+        // Chaos seam: a congested socket is simulated by stalling the
+        // flush (`SRANK_FAULTS=slow_flush...`).
+        if let Some(delay) = engine.faults().flush_delay() {
+            std::thread::sleep(delay);
+        }
         write_line(writer, response)
     };
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -327,6 +332,12 @@ where
     let text = String::from_utf8_lossy(line);
     if text.trim().is_empty() {
         return Ok(());
+    }
+    // Chaos seam: sever the connection instead of answering
+    // (`SRANK_FAULTS=drop_connection=RATE`) — the client sees an EOF
+    // mid-request, exactly like a network partition.
+    if conn.engine.faults().should_drop_connection() {
+        return Err(std::io::Error::other("injected fault: connection dropped"));
     }
     // The transport owns the request root span: it must cover the JSON
     // parse and the response flush, which the engine never sees. An
@@ -433,7 +444,9 @@ pub fn serve_stdio(engine: &Engine) -> std::io::Result<()> {
 /// Serves the Prometheus text exposition on `addr` as a persistent
 /// keep-alive HTTP endpoint (`serve --metrics-port`): each connection
 /// runs on its own detached thread and answers `GET /metrics` (any
-/// path, in fact) *repeatedly* — HTTP/1.1 keep-alive is the default, so
+/// path except `/healthz`, which serves the `health` op's JSON and
+/// answers 503 while the server is shedding) *repeatedly* —
+/// HTTP/1.1 keep-alive is the default, so
 /// a Prometheus scraper reuses one connection across scrape intervals
 /// instead of paying a TCP handshake per scrape. `Connection: close`
 /// (or an HTTP/1.0 request without `keep-alive`) closes after the
@@ -504,9 +517,26 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
             let head = String::from_utf8_lossy(&buf[..end]).into_owned();
             buf.drain(..end);
             let close = metrics_request_wants_close(&head);
-            let body = engine.prometheus_text();
+            // `/healthz` answers the `health` op's JSON (503 while the
+            // server is shedding, so load balancers back off); any other
+            // path serves the Prometheus exposition.
+            let (status, content_type, body) = if request_path(&head).starts_with("/healthz") {
+                let health = engine.health_value();
+                let status = match health.get("status").and_then(Value::as_str) {
+                    Some("overloaded") => "503 Service Unavailable",
+                    _ => "200 OK",
+                };
+                let body = serde_json::to_string(&health).unwrap_or_else(|_| "{}".into());
+                (status, "application/json", body)
+            } else {
+                (
+                    "200 OK",
+                    "text/plain; version=0.0.4",
+                    engine.prometheus_text(),
+                )
+            };
             let response = format!(
-                "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
                  Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
                 body.len(),
                 if close { "close" } else { "keep-alive" },
@@ -537,6 +567,14 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
             Err(_) => return,
         }
     }
+}
+
+/// The request path of an HTTP request head (`"/"` when unparseable).
+fn request_path(head: &str) -> &str {
+    head.lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap_or("/")
 }
 
 /// Index one past the end of the first complete HTTP request head in

@@ -11,6 +11,18 @@
 //! `snapshot` op) covers the planned-restart case the warm start
 //! targets. Session checkpoints are dirty-only: a producer hammering
 //! one session re-writes one file per interval, not the whole table.
+//!
+//! ## Failure handling
+//!
+//! A failed pass (any session write erroring, or the pass itself
+//! failing) is counted in `stats.store` (`journal_failures`,
+//! `consecutive_failures`, `last_error`) instead of being silently
+//! skipped, and the journal backs off: the effective interval doubles
+//! per consecutive failure (capped at 32× / five doublings) so a sick
+//! disk is retried with decreasing urgency rather than hammered. The
+//! first clean pass resets both the streak and the interval; failed
+//! sessions stay dirty and are retried by that next pass, so no state
+//! is lost — only delayed.
 
 use crate::engine::EngineCore;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -62,20 +74,67 @@ pub fn start(core: Arc<EngineCore>, interval: Duration) -> Option<JournalHandle>
                 // Short ticks keep shutdown latency bounded regardless of
                 // the checkpoint interval.
                 std::thread::sleep(Duration::from_millis(50));
-                if last.elapsed() < interval {
+                let Some(store) = core.store() else { break };
+                // Back off exponentially while passes keep failing: the
+                // effective interval doubles per consecutive failure,
+                // capped at 32x.
+                let streak = store.counters.consecutive_failures.load(Ordering::Relaxed);
+                let effective = interval * (1u32 << streak.min(5) as u32);
+                if last.elapsed() < effective {
                     continue;
                 }
                 last = Instant::now();
-                let Some(store) = core.store() else { break };
-                match store.checkpoint_sessions(&core, true) {
-                    Ok(_written) => {
+                let outcome = store.checkpoint_sessions(&core, true);
+                match outcome {
+                    Ok((_written, _busy, 0)) => {
                         store
                             .counters
                             .journal_checkpoints
                             .fetch_add(1, Ordering::Relaxed);
+                        store
+                            .counters
+                            .consecutive_failures
+                            .store(0, Ordering::Relaxed);
+                    }
+                    Ok((written, _busy, failures)) => {
+                        // Partial pass: some sessions persisted, some
+                        // writes failed (and stay dirty for retry).
+                        store
+                            .counters
+                            .journal_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        let streak = store
+                            .counters
+                            .consecutive_failures
+                            .fetch_add(1, Ordering::Relaxed)
+                            + 1;
+                        crate::log::warn(
+                            "srank-store",
+                            &format!(
+                                "journal pass: {failures} session write(s) failed \
+                                 ({written} written); {streak} consecutive failed \
+                                 pass(es), backing off"
+                            ),
+                        );
                     }
                     Err(e) => {
-                        crate::log::warn("srank-store", &format!("journal checkpoint failed: {e}"))
+                        store
+                            .counters
+                            .journal_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        let streak = store
+                            .counters
+                            .consecutive_failures
+                            .fetch_add(1, Ordering::Relaxed)
+                            + 1;
+                        store.counters.note_write_failure("journal checkpoint", &e);
+                        crate::log::warn(
+                            "srank-store",
+                            &format!(
+                                "journal checkpoint failed ({streak} consecutive), \
+                                 backing off: {e}"
+                            ),
+                        );
                     }
                 }
             }

@@ -62,6 +62,34 @@ pub struct StoreCounters {
     pub sessions_saved: AtomicU64,
     pub sessions_resumed: AtomicU64,
     pub journal_checkpoints: AtomicU64,
+    /// Individual store file writes that failed (each one logged, the
+    /// artifact retried by a later pass).
+    pub write_failures: AtomicU64,
+    /// Background journal passes that failed entirely or partially.
+    pub journal_failures: AtomicU64,
+    /// Consecutive failed journal passes (reset to 0 by the first clean
+    /// pass) — the `health` op calls persistence "degraded" while this
+    /// is non-zero, and the journal backs off exponentially on it.
+    pub consecutive_failures: AtomicU64,
+    /// The most recent store IO error, verbatim (`None` = never failed).
+    pub last_error: std::sync::Mutex<Option<String>>,
+}
+
+impl StoreCounters {
+    /// Records one failed store write: counted, and kept as
+    /// `last_error` for `stats.store` / `health`.
+    pub fn note_write_failure(&self, what: &str, e: &dyn std::fmt::Display) {
+        self.write_failures.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.lock().expect("store last_error poisoned") = Some(format!("{what}: {e}"));
+    }
+
+    /// The recorded `last_error`, cloned out.
+    pub fn last_error(&self) -> Option<String> {
+        self.last_error
+            .lock()
+            .expect("store last_error poisoned")
+            .clone()
+    }
 }
 
 /// A handle on the `--data-dir` persistence root.
@@ -69,6 +97,9 @@ pub struct StoreCounters {
 pub struct Store {
     dir: PathBuf,
     pub counters: StoreCounters,
+    /// Fault-injection seams for chaos testing (disarmed by default;
+    /// the engine shares its armed set at construction).
+    faults: Arc<crate::faults::Faults>,
 }
 
 /// Logs one store warning (the log-and-skip channel of the loaders).
@@ -91,7 +122,43 @@ impl Store {
         Ok(Self {
             dir,
             counters: StoreCounters::default(),
+            faults: Arc::new(crate::faults::Faults::disarmed()),
         })
+    }
+
+    /// Shares the engine's armed fault set with this store's IO seams.
+    pub fn arm_faults(&mut self, faults: Arc<crate::faults::Faults>) {
+        self.faults = faults;
+    }
+
+    /// All snapshot-file writes funnel through here: the fault seam
+    /// fires first, and every failure (injected or real) is counted and
+    /// kept as `last_error` before propagating.
+    fn write_file(
+        &self,
+        path: &Path,
+        kind: &str,
+        header: Vec<(String, Value)>,
+        payload: &[Value],
+    ) -> std::io::Result<()> {
+        let outcome = match self.faults.store_write_error(kind) {
+            Some(e) => Err(e),
+            None => write_snapshot_file(path, kind, header, payload),
+        };
+        if let Err(e) = &outcome {
+            self.counters
+                .note_write_failure(&format!("writing {kind} {}", path.display()), e);
+        }
+        outcome
+    }
+
+    /// All snapshot-file reads funnel through here (same seam, read
+    /// side; failures surface through the callers' warning channels).
+    fn read_file(&self, path: &Path, kind: &str) -> Result<(Value, Vec<Value>), String> {
+        if let Some(e) = self.faults.store_read_error(kind) {
+            return Err(format!("{}: {e}", path.display()));
+        }
+        read_snapshot_file(path, kind)
     }
 
     pub fn dir(&self) -> &Path {
@@ -174,7 +241,7 @@ impl Store {
                 );
                 sample_count += 1;
             }
-            write_snapshot_file(
+            self.write_file(
                 &self.dataset_path(&entry.name),
                 "dataset",
                 vec![
@@ -215,7 +282,7 @@ impl Store {
         self.prune_sessions(&keep);
         self.prune_datasets(&datasets.iter().map(|e| e.name.clone()).collect::<Vec<_>>());
 
-        write_snapshot_file(&self.manifest_path(), "manifest", vec![], &manifest_rows)
+        self.write_file(&self.manifest_path(), "manifest", vec![], &manifest_rows)
             .map_err(|e| io_err("writing manifest", e))?;
         self.counters.snapshots.fetch_add(1, Ordering::Relaxed);
         Ok(Object::new()
@@ -231,20 +298,22 @@ impl Store {
 
     /// Checkpoints sessions only (the journal's periodic pass). With
     /// `only_dirty`, sessions untouched since their last checkpoint are
-    /// skipped. Returns `(written, busy_skipped)`.
+    /// skipped. Returns `(written, busy_skipped, failures)` — failed
+    /// writes leave their sessions dirty for the next pass, and the
+    /// journal uses the failure count to back off and report health.
     pub fn checkpoint_sessions(
         &self,
         core: &EngineCore,
         only_dirty: bool,
-    ) -> ServiceResult<(usize, usize)> {
+    ) -> ServiceResult<(usize, usize, usize)> {
         let (exports, busy_ids) = core.sessions().export_snapshots(only_dirty);
         let datasets = core.registry().list();
         let by_name: std::collections::HashMap<&str, u64> = datasets
             .iter()
             .map(|e| (e.name.as_str(), dataset_checksum(&e.dataset)))
             .collect();
-        let (written, _failures) = self.write_session_exports(core, &exports, &by_name, None);
-        Ok((written, busy_ids.len()))
+        let (written, failures) = self.write_session_exports(core, &exports, &by_name, None);
+        Ok((written, busy_ids.len(), failures))
     }
 
     /// Writes one file per exported session, acknowledging each session's
@@ -297,7 +366,7 @@ impl Store {
         data_checksum: u64,
         record: &Value,
     ) -> std::io::Result<()> {
-        write_snapshot_file(
+        self.write_file(
             &self.session_path(id),
             "session",
             vec![
@@ -367,7 +436,7 @@ impl Store {
 
         let manifest = self.manifest_path();
         let rows = if manifest.exists() {
-            match read_snapshot_file(&manifest, "manifest") {
+            match self.read_file(&manifest, "manifest") {
                 Ok((_, rows)) => rows,
                 Err(e) => {
                     warnings.push(e);
@@ -439,7 +508,7 @@ impl Store {
             .and_then(|s| u64::from_str_radix(s, 16).ok())
             .ok_or_else(|| format!("manifest row for '{name}' has no data checksum"))?;
         let path = self.dataset_path(name);
-        let (header, payload) = read_snapshot_file(&path, "dataset")?;
+        let (header, payload) = self.read_file(&path, "dataset")?;
         let source = DatasetSource::from_value(
             header
                 .get("source")
@@ -529,7 +598,7 @@ impl Store {
 
     /// Restores one `.sess` file into the session table.
     fn restore_session_file(&self, core: &EngineCore, path: &Path) -> Result<(), String> {
-        let (header, payload) = read_snapshot_file(path, "session")?;
+        let (header, payload) = self.read_file(path, "session")?;
         let record = payload
             .first()
             .ok_or_else(|| format!("{}: empty session file", path.display()))?;
@@ -693,6 +762,16 @@ impl Store {
                 "Background journal checkpoint passes.",
                 load(&self.counters.journal_checkpoints),
             ),
+            (
+                "store_write_failures_total",
+                "Store file writes that failed (injected or real).",
+                load(&self.counters.write_failures),
+            ),
+            (
+                "store_journal_failures_total",
+                "Background journal passes that failed entirely or partially.",
+                load(&self.counters.journal_failures),
+            ),
         ] {
             let _ = writeln!(out, "# HELP srank_{name} {help}");
             let _ = writeln!(out, "# TYPE srank_{name} counter");
@@ -713,6 +792,41 @@ impl Store {
             .field(
                 "journal_checkpoints",
                 load(&self.counters.journal_checkpoints),
+            )
+            .field("write_failures", load(&self.counters.write_failures))
+            .field("journal_failures", load(&self.counters.journal_failures))
+            .field(
+                "consecutive_failures",
+                load(&self.counters.consecutive_failures),
+            )
+            .field(
+                "last_error",
+                match self.counters.last_error() {
+                    Some(e) => Value::String(e),
+                    None => Value::Null,
+                },
+            )
+            .build()
+    }
+
+    /// The `health` op's `store` block: is persistence keeping up?
+    pub fn health_value(&self) -> Value {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Object::new()
+            .field("configured", true)
+            .field("active", true)
+            .field("write_failures", load(&self.counters.write_failures))
+            .field("journal_failures", load(&self.counters.journal_failures))
+            .field(
+                "consecutive_failures",
+                load(&self.counters.consecutive_failures),
+            )
+            .field(
+                "last_error",
+                match self.counters.last_error() {
+                    Some(e) => Value::String(e),
+                    None => Value::Null,
+                },
             )
             .build()
     }

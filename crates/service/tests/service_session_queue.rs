@@ -441,7 +441,7 @@ fn plain_call_refuses_an_id_colliding_with_an_in_flight_stream() {
     let err = client
         .call(&obj(r#"{"id": "x", "op": "ping"}"#))
         .expect_err("colliding id refused");
-    assert!(err.message.contains("collides"), "{err}");
+    assert!(err.to_string().contains("collides"), "{err}");
     // A non-colliding call still works, and the stream still completes.
     let pong = client
         .call_ok(&obj(r#"{"id": "y", "op": "ping"}"#))
@@ -497,12 +497,13 @@ fn client_surfaces_connection_closed_and_fails_fast() {
     let mut client = Client::connect(addr).expect("connect");
     let err = client.call(&obj(r#"{"op": "ping"}"#)).expect_err("died");
     assert!(
-        err.message.contains("connection closed"),
-        "clear error, not a parse error: {err}"
+        matches!(err, srank_service::ClientError::Transport(_)),
+        "clear transport error, not a parse error: {err}"
     );
     let again = client.call(&obj(r#"{"op": "ping"}"#)).expect_err("dead");
     assert!(
-        again.message.contains("connection closed"),
+        matches!(&again, srank_service::ClientError::Transport(why)
+            if why.contains("connection closed")),
         "later calls fail fast on the dead connection: {again}"
     );
     server.join().unwrap();
@@ -542,11 +543,15 @@ fn client_demuxes_by_request_echo_and_handles_eof_mid_stream() {
     }
     let err = client.stream_next(stream).expect_err("server died");
     assert!(
-        err.message.contains("connection closed"),
-        "EOF mid-stream is a connection error: {err}"
+        matches!(err, srank_service::ClientError::Transport(_)),
+        "EOF mid-stream is a transport error: {err}"
     );
     let fast = client.call(&obj(r#"{"op": "ping"}"#)).expect_err("dead");
-    assert!(fast.message.contains("connection closed"), "{fast}");
+    assert!(
+        matches!(&fast, srank_service::ClientError::Transport(why)
+            if why.contains("connection closed")),
+        "{fast}"
+    );
     server.join().unwrap();
 }
 

@@ -336,7 +336,14 @@ fn worker_thread_count_is_constant_across_100_batches() {
         after.get("submitted").unwrap().as_u64().unwrap(),
         after.get("completed").unwrap().as_u64().unwrap(),
     );
-    assert!(after.get("submitted").unwrap().as_u64().unwrap() >= 400);
+    // 300 pings always ride the pool; of the 100 verify subs only the 7
+    // distinct weight vectors miss the cache — the hits are answered
+    // inline on the submitter thread and never submitted to the pool.
+    let submitted = after.get("submitted").unwrap().as_u64().unwrap();
+    assert!(
+        (307..400).contains(&submitted),
+        "inline cache hits must bypass the pool (submitted {submitted})"
+    );
     assert_eq!(after.get("batches_buffered").unwrap().as_u64(), Some(50));
     assert_eq!(after.get("batches_streamed").unwrap().as_u64(), Some(50));
 }
@@ -519,7 +526,7 @@ fn plain_client_call_on_a_streaming_request_fails_without_desyncing() {
         .call(&streaming)
         .expect_err("plain call must refuse a streamed response");
     assert!(
-        err.message.contains("call_streamed"),
+        err.to_string().contains("call_streamed"),
         "error should point at the streaming API: {err}"
     );
 

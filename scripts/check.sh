@@ -14,13 +14,21 @@
 # (sampler kernel + batch op, ~20× reduced workloads) as an end-to-end
 # perf-path sanity check. It writes to /tmp, never to the committed
 # BENCH_2.json — use scripts/bench_record.sh for the real figures.
+#
+# Optional: --chaos additionally runs the fault-injection smoke: a real
+# server armed via SRANK_FAULTS (dropped connections, stalled flushes,
+# failing store writes) driven by a retrying client, then SIGKILLed and
+# restarted clean — retries must converge, the health op must expose the
+# injected faults, and no accepted work may be lost across the restart.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH_SMOKE=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --chaos) CHAOS=1 ;;
     --stress) ;; # stress now always runs; flag kept for compatibility
     *) echo "check.sh: unknown option $arg" >&2; exit 2 ;;
   esac
@@ -126,6 +134,64 @@ SERVER_PID=""
 persist_cleanup
 trap - EXIT
 echo "persistence smoke passed."
+
+if [ "$CHAOS" = 1 ]; then
+  # Chaos smoke: the persistence flow again, but with the transport and
+  # the store actively failing underneath it. The retrying client must
+  # ride through severed connections, a snapshot must eventually land
+  # despite injected write failures, and the clean restart must serve
+  # the pre-chaos answer from cache — zero lost work.
+  echo "==> chaos smoke (SRANK_FAULTS armed: drops + slow flush + store writes)"
+  SMOKE_DIR="$(mktemp -d /tmp/srank-chaos-smoke.XXXXXX)"
+  SERVER_PID=""
+  trap persist_cleanup EXIT
+
+  export SRANK_FAULTS="drop_connection=0.15,slow_flush=0.3,store_write=0.4,seed=13"
+  start_server
+  unset SRANK_FAULTS
+  qr() { timeout --signal=KILL 60 "$SRANK" query "$ADDR" "$1" --retries 10 --timeout-ms 5000; }
+
+  # registry.load is not idempotent, so the client refuses to retry it
+  # over a severed connection — loop at the shell level instead (a
+  # re-load of the same builtin is harmless before any cache exists).
+  LOADED=0
+  for _ in $(seq 1 30); do
+    if qr '{"op": "registry.load", "dataset": "dot", "builtin": "dot", "n": 400, "seed": 7}' \
+        | grep -q '"ok":true'; then LOADED=1; break; fi
+  done
+  [ "$LOADED" = 1 ] || { echo "check.sh: chaos load did not converge" >&2; exit 1; }
+  qr '{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 20000}' \
+    | grep -q '"ok":true' \
+    || { echo "check.sh: chaos verify did not converge" >&2; exit 1; }
+
+  # Snapshot through injected store-write failures: retry until one
+  # lands (the seeded sequence guarantees it does).
+  SNAP_OK=0
+  for _ in $(seq 1 60); do
+    if qr '{"op": "snapshot"}' | grep -q '"ok":true'; then SNAP_OK=1; break; fi
+  done
+  [ "$SNAP_OK" = 1 ] || { echo "check.sh: chaos snapshot never landed" >&2; exit 1; }
+
+  # The injected faults are observable in-band.
+  HEALTH=$(qr '{"op": "health"}')
+  echo "$HEALTH" | grep -q '"armed":true' \
+    || { echo "check.sh: health does not show armed faults: $HEALTH" >&2; exit 1; }
+
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+
+  start_server   # clean restart, no faults, same data dir
+  WARM=$(q '{"op": "verify", "dataset": "dot", "weights": [1, 1, 1], "samples": 20000}')
+  echo "$WARM" | grep -q '"cached":true' \
+    || { echo "check.sh: chaos restart lost the snapshotted work: $WARM" >&2; exit 1; }
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+  persist_cleanup
+  trap - EXIT
+  echo "chaos smoke passed."
+fi
 
 # A hang here is a pipeline deadlock (pool starvation, a response queue
 # nobody drains, a parked session waiter never granted, a lost wakeup):
