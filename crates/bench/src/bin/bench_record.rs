@@ -8,8 +8,10 @@
 //! request-tracing overhead (the same DoT 100k-sample verify kernel
 //! through an engine with `--trace-sample 1` vs tracing disabled), and
 //! the overload benchmark (open-loop probe p50/p99 against a swamped
-//! pool, admission-control shedding on vs off), then writes the numbers
-//! as JSON (`BENCH_7.json` by default) so future PRs can diff
+//! pool, admission-control shedding on vs off), and the batch-dispatch
+//! suite (cold/cached/mixed 8-sub batches vs sequential round-trips
+//! plus a two-client session fairness probe), then writes the numbers
+//! as JSON (`BENCH_8.json` by default) so future PRs can diff
 //! throughput.
 //!
 //! ```text
@@ -268,6 +270,266 @@ fn measure_service(rounds: usize) -> Value {
         ("sequential", rate(rounds * SUBS, sequential_secs)),
         ("batch_op", rate(rounds * SUBS, batch_secs)),
         ("batch_speedup", Value::Number(sequential_secs / batch_secs)),
+    ])
+}
+
+/// Batch-dispatch benchmark — the regression this PR series chased:
+/// BENCH_5 measured an 8-sub batch *slower* than 8 sequential
+/// round-trips (0.97×) because every sub paid the pool hop plus a
+/// per-line serialize/flush. Three batch shapes, each batch-op vs
+/// sequential over the same TCP connection:
+///
+/// * `cold_batch` — 8 cold exact verifies (pool-class): honest ~1.0× on
+///   a single-core box (the kernels dominate and cannot overlap);
+///   recorded, not gated.
+/// * `cached_batch` — 8 result-cache hits: pure dispatch overhead.
+/// * `mixed_batch` — 3 cached + 3 tiny cold inline-class verifies +
+///   2 pings, the shape the inline classifier exists for.
+///
+/// Plus a two-client session fairness probe (tagged `session.get_next`
+/// contention) recording `session_queue.fair_grants`.
+fn measure_batch_dispatch(smoke: bool) -> Value {
+    let rounds = if smoke { 5 } else { 50 };
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    engine
+        .registry()
+        .load(
+            "dot2000",
+            &DatasetSource::Builtin {
+                family: "dot".into(),
+                n: N_ITEMS,
+                d: 0,
+                seed: 1322,
+            },
+        )
+        .expect("builtin dataset loads");
+    // Small sibling dataset for the tiny inline-class subs: a verify's
+    // floor is the query's own scoring + ranking pass, so on the
+    // 2000-row set even a 200-sample Monte-Carlo verify costs ~400 µs —
+    // swamping the dispatch overhead the mixed shape exists to measure.
+    // On 200 rows the whole sub is tens of microseconds of kernel.
+    engine
+        .registry()
+        .load(
+            "dot200",
+            &DatasetSource::Builtin {
+                family: "dot".into(),
+                n: 200,
+                d: 0,
+                seed: 1322,
+            },
+        )
+        .expect("builtin dataset loads");
+    let mut server = serve_tcp(Arc::clone(&engine), "127.0.0.1:0", 4).expect("bind");
+    let addr = server.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    let parse = |s: &str| -> Value { serde_json::from_str(s).expect("valid JSON") };
+
+    // Cached sub: fixed weights, warmed below → result-LRU hit.
+    let cached_sub = |i: usize| {
+        format!(
+            r#"{{"id": {i}, "op": "verify", "dataset": "dot2000", "weights": [1, 1, {}], "samples": 20000}}"#,
+            1.0 + i as f64 * 1e-3
+        )
+    };
+    // Tiny inline-class sub: the cone ROI forces the d = 3 verify onto
+    // the Monte-Carlo kernel, and 100 samples on the 200-row dataset is
+    // tens of microseconds of kernel — well under the inline threshold,
+    // and small enough that the dispatch cost (RTTs, pool hops,
+    // serializes) stays the dominant term. `salt` keeps weights unique
+    // per leg/round/slot so every call is a result-cache miss (the
+    // *sample batch* is keyed without weights and stays warm — the
+    // realistic steady state).
+    let tiny_sub = |i: usize, salt: usize| {
+        format!(
+            r#"{{"id": {i}, "op": "verify", "dataset": "dot200", "weights": [1, 1, {}], "roi": {{"around": [1, 1, 1], "theta": 0.5}}, "samples": 100, "seed": 99}}"#,
+            1.0 + salt as f64 * 1e-5
+        )
+    };
+    // Cold pool-class sub: no ROI → the exact d = 3 kernel over all
+    // 2000 rows, well over the inline row bound; unique weights per
+    // leg/round/slot keep every call a real kernel run.
+    let cold_sub = |i: usize, salt: usize| {
+        format!(
+            r#"{{"id": {i}, "op": "verify", "dataset": "dot2000", "weights": [1, 1, {}]}}"#,
+            1.0 + salt as f64 * 1e-5
+        )
+    };
+
+    // Warms the cached subs and the tiny subs' shared sample batch.
+    // Re-run before every shape that depends on warm entries: the cold
+    // shape inserts 8 unique results per round, which churns the
+    // 512-entry result LRU past the warm set on a full-length run.
+    let warm = |client: &mut Client| {
+        for i in 0..8 {
+            client.call_ok(&parse(&cached_sub(i))).expect("warm verify");
+        }
+        client
+            .call_ok(&parse(&tiny_sub(0, 999_999)))
+            .expect("warm sample batch");
+    };
+    warm(&mut client);
+
+    // Measures `shape_rounds` rounds of one 8-sub shape, sequential
+    // then batch; `subs(round, slot, leg)` yields each sub-request
+    // line. The cheap shapes run 10× the rounds of the kernel-bound
+    // cold shape — their legs are microseconds per call, and the extra
+    // rounds keep one scheduler hiccup from flipping the speedup.
+    let measure_shape = |client: &mut Client,
+                         name: &str,
+                         shape_rounds: usize,
+                         subs: &dyn Fn(usize, usize, usize) -> String|
+     -> Value {
+        eprintln!("batch_dispatch/{name}: {shape_rounds} rounds, sequential vs batch…");
+        let t = Instant::now();
+        for round in 0..shape_rounds {
+            for slot in 0..8 {
+                client
+                    .call_ok(&parse(&subs(round, slot, 0)))
+                    .expect("sequential sub");
+            }
+        }
+        let sequential_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        for round in 0..shape_rounds {
+            let line = format!(
+                r#"{{"op": "batch", "requests": [{}]}}"#,
+                (0..8)
+                    .map(|slot| subs(round, slot, 1))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let result = client.call_ok(&parse(&line)).expect("batch op");
+            let results = result
+                .get("results")
+                .and_then(Value::as_array)
+                .expect("batch results");
+            assert_eq!(results.len(), 8);
+        }
+        let batch_secs = t.elapsed().as_secs_f64();
+        obj(vec![
+            ("rounds", Value::Number(shape_rounds as f64)),
+            ("sequential", rate(shape_rounds * 8, sequential_secs)),
+            ("batch_op", rate(shape_rounds * 8, batch_secs)),
+            ("batch_speedup", Value::Number(sequential_secs / batch_secs)),
+        ])
+    };
+
+    // Salt stride of 10_000 per leg: wider than any shape's round
+    // count, so a sequential-leg weight can never collide with (and
+    // pre-cache) a batch-leg weight.
+    let cold = measure_shape(&mut client, "cold", rounds, &|round, slot, leg| {
+        cold_sub(slot, (leg * 10_000 + round) * 8 + slot + 1)
+    });
+    warm(&mut client);
+    let cached = measure_shape(&mut client, "cached", rounds * 10, &|_, slot, _| {
+        cached_sub(slot)
+    });
+    warm(&mut client);
+    let mixed = measure_shape(
+        &mut client,
+        "mixed",
+        rounds * 10,
+        &|round, slot, leg| match slot {
+            0..=2 => cached_sub(slot),
+            3..=5 => tiny_sub(slot, 100_000 + (leg * 10_000 + round) * 8 + slot),
+            _ => format!(r#"{{"id": {slot}, "op": "ping"}}"#),
+        },
+    );
+
+    // The dispatch-cost attribution behind the speedups: phase
+    // histograms plus the inline/coalescing counters, snapshotted after
+    // the three shapes ran.
+    let stats = client
+        .call_ok(&parse(r#"{"op": "stats"}"#))
+        .expect("stats op");
+    let pool = stats.get("pool").cloned().unwrap_or(Value::Null);
+    let dispatch_counters = obj(vec![
+        (
+            "inline_answered",
+            pool.get("inline_answered").cloned().unwrap_or(Value::Null),
+        ),
+        (
+            "writes_coalesced",
+            pool.get("writes_coalesced").cloned().unwrap_or(Value::Null),
+        ),
+        (
+            "pool_submitted",
+            pool.get("submitted").cloned().unwrap_or(Value::Null),
+        ),
+    ]);
+    let phases = stats.get("phases").cloned().unwrap_or(Value::Null);
+
+    // Fairness probe: a greedy client "A" (two connections) and a
+    // polite client "B" (one) hammer tagged `session.get_next` on the
+    // same session. When both of A's requests bracket B in the queue,
+    // FIFO would grant A twice in a row; the fair pick lets B overtake,
+    // visible as `fair_grants`. (Two single-connection clients strictly
+    // alternate on their own, so the fair path would never fire.)
+    let open = client
+        .call_ok(&parse(
+            r#"{"op": "session.open", "dataset": "dot2000", "kind": "randomized", "scope": "top-k-set", "k": 5, "seed": 7, "budget": 1000000}"#,
+        ))
+        .expect("session opens");
+    let session = open
+        .get("session")
+        .and_then(Value::as_u64)
+        .expect("session id");
+    let probe_rounds = if smoke { 20 } else { 200 };
+    std::thread::scope(|s| {
+        for tag in ["A", "A", "B"] {
+            s.spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                // Small per-call budget override: the probe measures
+                // queue contention, not enumeration depth — a full
+                // 1M-sample draw per call would dominate the wait times
+                // (and outlast the server's idle disconnect).
+                let line = format!(
+                    r#"{{"op": "session.get_next", "session": {session}, "client": "{tag}", "budget": 20000}}"#
+                );
+                let request: Value = serde_json::from_str(&line).expect("valid JSON");
+                for _ in 0..probe_rounds {
+                    c.call_ok(&request).expect("tagged get_next");
+                }
+            });
+        }
+    });
+    // The probe can outlast the server's 60 s idle disconnect on the
+    // (quiet) main connection; re-dial before reading the stats.
+    client.reconnect().expect("reconnect");
+    let stats = client
+        .call_ok(&parse(r#"{"op": "stats"}"#))
+        .expect("stats op");
+    let queue = stats.get("session_queue").cloned().unwrap_or(Value::Null);
+    let fairness = obj(vec![
+        (
+            "probe_rounds_per_connection",
+            Value::Number(probe_rounds as f64),
+        ),
+        (
+            "fair_grants",
+            queue.get("fair_grants").cloned().unwrap_or(Value::Null),
+        ),
+        (
+            "granted",
+            queue.get("granted").cloned().unwrap_or(Value::Null),
+        ),
+        (
+            "wait_p99_micros",
+            queue.get("wait_p99_micros").cloned().unwrap_or(Value::Null),
+        ),
+    ]);
+    server.shutdown();
+
+    obj(vec![
+        ("rounds", Value::Number(rounds as f64)),
+        ("cold_batch", cold),
+        ("cached_batch", cached),
+        ("mixed_batch", mixed),
+        ("dispatch_counters", dispatch_counters),
+        ("phases", phases),
+        ("fairness_probe", fairness),
     ])
 }
 
@@ -677,7 +939,7 @@ fn measure_overload(smoke: bool) -> Value {
 
 fn main() {
     let mut smoke = false;
-    let mut out = "BENCH_7.json".to_string();
+    let mut out = "BENCH_8.json".to_string();
     let mut phase: Option<String> = None;
     let mut samples_override: Option<usize> = None;
     let mut threads = 1usize;
@@ -722,8 +984,9 @@ fn main() {
         if smoke { trials } else { 10 },
     );
     let overload = measure_overload(smoke);
+    let batch_dispatch = measure_batch_dispatch(smoke);
     let report = obj(vec![
-        ("bench", Value::String("BENCH_7".into())),
+        ("bench", Value::String("BENCH_8".into())),
         (
             "mode",
             Value::String(if smoke { "smoke" } else { "full" }.into()),
@@ -733,6 +996,7 @@ fn main() {
         ("warm_restart", persistence),
         ("tracing_overhead", tracing),
         ("overload_shedding", overload),
+        ("batch_dispatch", batch_dispatch),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, format!("{json}\n")).expect("write report");

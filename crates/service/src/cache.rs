@@ -58,6 +58,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Some(value)
     }
 
+    /// Whether `key` is present, *without* touching recency — the batch
+    /// dispatcher's warmth probe: classifying a sub-request as
+    /// inline-eligible must not promote the entry it merely peeked at.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
     /// Inserts (or replaces) `key`, evicting the least recently used entry
     /// when over capacity.
     pub fn insert(&mut self, key: K, value: V) {

@@ -512,8 +512,12 @@ impl Engine {
             .pool_metrics
             .batches_buffered
             .fetch_add(1, Ordering::Relaxed);
+        // Buffered batches get a dispatch group of their own too: their
+        // pool jobs round-robin against other batches' instead of
+        // convoying behind whichever batch submitted first.
+        let group = self.batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let mut slots: Vec<Value> = requests.iter().map(|_| Value::Null).collect();
-        self.execute_batch(requests, cancel, |i, env| slots[i] = env);
+        self.execute_batch(group, requests, cancel, |i, env, _more| slots[i] = env);
         Ok((
             Object::new()
                 .field("count", slots.len())
@@ -559,8 +563,18 @@ impl Engine {
         let n = requests.len();
         let mut errors = 0u64;
         let mut io_error: Option<std::io::Error> = None;
+        // The flush-coalescing window: an envelope delivered with
+        // `more == true` (another response is already waiting in the
+        // drain queue) parks here instead of paying its own sink call;
+        // the burst's last envelope carries the whole window out in one
+        // lock/write/flush. Every envelope still lands as its own wire
+        // line — the payload is newline-joined. Bounded so a pathological
+        // burst cannot grow an unbounded buffer.
+        const FLUSH_COALESCE_MAX: usize = 8;
+        let mut pending = String::new();
+        let mut pending_count = 0u64;
         crate::guard::with_deadline(deadline, || {
-            self.execute_batch(requests, cancel, |index, env| {
+            self.execute_batch(batch_id, requests, cancel, |index, env, more| {
                 if env.get("ok").and_then(Value::as_bool) == Some(false) {
                     errors += 1;
                 }
@@ -575,7 +589,26 @@ impl Engine {
                     .phases
                     .record("serialize", "batch", ser_start.elapsed());
                 drop(ser);
-                if let Err(e) = sink(&line) {
+                if more && pending_count < FLUSH_COALESCE_MAX as u64 {
+                    pending.push_str(&line);
+                    pending.push('\n');
+                    pending_count += 1;
+                    return;
+                }
+                let outcome = if pending.is_empty() {
+                    sink(&line)
+                } else {
+                    pending.push_str(&line);
+                    let outcome = sink(&pending);
+                    self.core
+                        .pool_metrics
+                        .writes_coalesced
+                        .fetch_add(pending_count, Ordering::Relaxed);
+                    pending.clear();
+                    pending_count = 0;
+                    outcome
+                };
+                if let Err(e) = outcome {
                     io_error = Some(e);
                 }
             });
@@ -603,11 +636,18 @@ impl Engine {
     /// each completion (in completion order) to `deliver`. Responses
     /// travel through a bounded queue so a slow `deliver` backpressures
     /// the workers instead of buffering without limit.
+    ///
+    /// Pool jobs are tagged with `group` (one id per batch), so the work
+    /// queue round-robins this batch against singles traffic and other
+    /// batches instead of running it as one convoy. `deliver`'s third
+    /// argument flags "another response is already waiting" — the
+    /// streamed transport uses it to coalesce flushes across a burst.
     fn execute_batch(
         &self,
+        group: u64,
         requests: &[Value],
         cancel: Option<&Arc<AtomicBool>>,
-        mut deliver: impl FnMut(usize, Value),
+        mut deliver: impl FnMut(usize, Value, bool),
     ) {
         let n = requests.len();
         if n == 0 {
@@ -664,10 +704,36 @@ impl Engine {
                 if let Some(env) =
                     trace::with_ctx(ctx, || self.core.try_cached_inline(&requests[index]))
                 {
+                    self.core
+                        .pool_metrics
+                        .inline_answered
+                        .fetch_add(1, Ordering::Relaxed);
                     submitted += 1;
                     delivered += 1;
                     sub_spans.push(Span::disabled());
-                    trace::with_ctx(ctx, || deliver(index, env));
+                    trace::with_ctx(ctx, || deliver(index, env, false));
+                    continue;
+                }
+                // Cheap-but-uncached fast path: sub-requests the cost
+                // classifier proves tiny (ping, registry.list, small
+                // exact verifies, sub-threshold Monte-Carlo, overview on
+                // a warm sample batch) also run right here — for them the
+                // pool round-trip costs more than the work itself. The
+                // guard seams are identical to the pool path:
+                // `handle_sub_inline` checks the ambient deadline at the
+                // dequeue stage first, and cold cacheable work still
+                // passes through admission control inside `cached()`.
+                if self.core.classify_inline(&requests[index]) == crate::guard::SubCost::Inline {
+                    let env =
+                        trace::with_ctx(ctx, || self.core.handle_sub_inline(&requests[index]));
+                    self.core
+                        .pool_metrics
+                        .inline_answered
+                        .fetch_add(1, Ordering::Relaxed);
+                    submitted += 1;
+                    delivered += 1;
+                    sub_spans.push(Span::disabled());
+                    trace::with_ctx(ctx, || deliver(index, env, false));
                     continue;
                 }
                 let core = Arc::clone(&self.core);
@@ -679,62 +745,71 @@ impl Engine {
                 // pool (captured here, re-installed inside the job).
                 let job_deadline = crate::guard::ambient_deadline();
                 let submit_at = Instant::now();
-                let accepted = self.pool.submit(Box::new(move || {
-                    // Submit-to-pickup is the pool-queue wait for this
-                    // sub-request (stamped submitter-side so no pool
-                    // change is needed).
-                    core.tracer
-                        .record_interval(ctx, phase::POOL_QUEUE, submit_at, Instant::now());
-                    core.phases
-                        .record("queue_wait", &sub_op, submit_at.elapsed());
-                    // Dequeue-time deadline check: a sub-request that
-                    // expired waiting for a worker is shed before it
-                    // burns any kernel CPU.
-                    let expired = crate::guard::with_deadline(job_deadline, || {
-                        core.guard()
-                            .check_deadline(crate::guard::DeadlineStage::Dequeue)
-                            .err()
-                    });
-                    if let Some(e) = expired {
+                let accepted = self.pool.submit_tagged(
+                    group,
+                    Box::new(move || {
+                        // Submit-to-pickup is the pool-queue wait for this
+                        // sub-request (stamped submitter-side so no pool
+                        // change is needed).
+                        core.tracer.record_interval(
+                            ctx,
+                            phase::POOL_QUEUE,
+                            submit_at,
+                            Instant::now(),
+                        );
+                        core.phases
+                            .record("queue_wait", &sub_op, submit_at.elapsed());
+                        // Dequeue-time deadline check: a sub-request that
+                        // expired waiting for a worker is shed before it
+                        // burns any kernel CPU.
+                        let expired = crate::guard::with_deadline(job_deadline, || {
+                            core.guard()
+                                .check_deadline(crate::guard::DeadlineStage::Dequeue)
+                                .err()
+                        });
+                        if let Some(e) = expired {
+                            core.tracer.flush_thread();
+                            job_responses
+                                .push((index, envelope(request.get("id").cloned(), Err(e))));
+                            return;
+                        }
+                        // A panic inside a sub-request must still produce an
+                        // envelope — a missing completion would deadlock the
+                        // submitter.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                trace::with_ctx(ctx, || {
+                                    crate::guard::with_deadline(job_deadline, || {
+                                        core.handle_sub_parkable(
+                                            &request,
+                                            &job_submitter,
+                                            &job_responses,
+                                            index,
+                                            job_cancel.as_ref(),
+                                        )
+                                    })
+                                })
+                            }));
+                        let env = match outcome {
+                            // Parked on a busy session: the re-dispatched
+                            // continuation owns this index's response.
+                            Ok(None) => None,
+                            Ok(Some(env)) => Some(env),
+                            Err(_) => Some(envelope(
+                                request.get("id").cloned(),
+                                Err(ServiceError::internal("sub-request handler panicked")),
+                            )),
+                        };
+                        // Worker-side spans must be globally visible *before*
+                        // the response is delivered: the submitter may finish
+                        // the batch and answer a `trace` query the moment the
+                        // last envelope lands.
                         core.tracer.flush_thread();
-                        job_responses.push((index, envelope(request.get("id").cloned(), Err(e))));
-                        return;
-                    }
-                    // A panic inside a sub-request must still produce an
-                    // envelope — a missing completion would deadlock the
-                    // submitter.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        trace::with_ctx(ctx, || {
-                            crate::guard::with_deadline(job_deadline, || {
-                                core.handle_sub_parkable(
-                                    &request,
-                                    &job_submitter,
-                                    &job_responses,
-                                    index,
-                                    job_cancel.as_ref(),
-                                )
-                            })
-                        })
-                    }));
-                    let env = match outcome {
-                        // Parked on a busy session: the re-dispatched
-                        // continuation owns this index's response.
-                        Ok(None) => None,
-                        Ok(Some(env)) => Some(env),
-                        Err(_) => Some(envelope(
-                            request.get("id").cloned(),
-                            Err(ServiceError::internal("sub-request handler panicked")),
-                        )),
-                    };
-                    // Worker-side spans must be globally visible *before*
-                    // the response is delivered: the submitter may finish
-                    // the batch and answer a `trace` query the moment the
-                    // last envelope lands.
-                    core.tracer.flush_thread();
-                    if let Some(env) = env {
-                        job_responses.push((index, env));
-                    }
-                }));
+                        if let Some(env) = env {
+                            job_responses.push((index, env));
+                        }
+                    }),
+                );
                 if !accepted {
                     // Only reachable while the engine is being torn down.
                     responses.push((
@@ -754,15 +829,34 @@ impl Engine {
             if delivered == n {
                 break;
             }
-            let Some((index, env)) = responses.pop() else {
+            let Some((mut index, mut env)) = responses.pop() else {
                 break; // closed — cannot happen while this loop runs
             };
-            delivered += 1;
-            // Delivery completes the sub_request span. `deliver` (which
-            // serializes streamed envelopes) runs under its ctx, so
-            // serialize spans nest inside the sub-request they belong to.
-            let sub_span = std::mem::replace(&mut sub_spans[index], Span::disabled());
-            trace::with_ctx(sub_span.ctx(), || deliver(index, env));
+            // Burst drain: after the blocking pop, responses that piled
+            // up behind it are taken non-blockingly and delivered in the
+            // same wake-up, each flagged "another follows" so a streamed
+            // transport can coalesce their flushes into one write.
+            loop {
+                delivered += 1;
+                let next = if delivered < n {
+                    responses.try_pop()
+                } else {
+                    None
+                };
+                // Delivery completes the sub_request span. `deliver`
+                // (which serializes streamed envelopes) runs under its
+                // ctx, so serialize spans nest inside the sub-request
+                // they belong to.
+                let sub_span = std::mem::replace(&mut sub_spans[index], Span::disabled());
+                trace::with_ctx(sub_span.ctx(), || deliver(index, env, next.is_some()));
+                match next {
+                    Some((i, e)) => {
+                        index = i;
+                        env = e;
+                    }
+                    None => break,
+                }
+            }
         }
     }
 }
@@ -993,6 +1087,10 @@ impl EngineCore {
                 return Some(envelope(rid, Err(e)));
             }
         };
+        // The fairness identity rides the waiter: grant selection may let
+        // a different tagged client overtake a repeat client at the front
+        // of this session's dispatch queue.
+        let client = crate::proto::client_tag_hash(request);
         let make_waiter = || {
             let core = Arc::clone(self);
             let submitter = submitter.clone();
@@ -1079,8 +1177,8 @@ impl EngineCore {
                 }
             };
             match cancel {
-                Some(flag) => Waiter::with_cancel(deliver, Arc::clone(flag)),
-                None => Waiter::new(deliver),
+                Some(flag) => Waiter::with_cancel(deliver, Arc::clone(flag)).for_client(client),
+                None => Waiter::new(deliver).for_client(client),
             }
         };
         let outcome = match self
@@ -1224,6 +1322,86 @@ impl EngineCore {
         drop(probe);
         self.result_stats.hit();
         Some(envelope(request.get("id").cloned(), Ok((hit, true))))
+    }
+
+    /// Classifies one batch sub-request for the submitter-side inline
+    /// fast path (see [`crate::guard::classify_sub`]): `Inline` means
+    /// the pool round-trip costs more than the work itself.
+    pub(crate) fn classify_inline(&self, request: &Value) -> crate::guard::SubCost {
+        let Ok(fields) = Fields::of(request) else {
+            return crate::guard::SubCost::Pool;
+        };
+        let Ok(op) = fields.required_str("op") else {
+            return crate::guard::SubCost::Pool;
+        };
+        let signals = self.inline_signals(op, &fields);
+        crate::guard::classify_sub(op, signals.as_ref())
+    }
+
+    /// Gathers the cost classifier's signals for a cacheable sub-request
+    /// (`verify`/`overview`). Any parse or registry failure returns
+    /// `None` — the pool path owns error reporting, so a malformed or
+    /// ghost-dataset request must classify `Pool` and fail there.
+    fn inline_signals(&self, op: &str, fields: &Fields<'_>) -> Option<crate::guard::InlineSignals> {
+        if !matches!(op, "verify" | "overview") {
+            return None;
+        }
+        let entry = self
+            .registry
+            .get(fields.required_str("dataset").ok()?)
+            .ok()?;
+        let roi = Self::parse_roi(fields).ok()?;
+        if fields.usize("tau").ok()?.unwrap_or(0) > 0 {
+            // τ-tolerant verification enumerates the whole 2-D region
+            // set — never tiny; the pool keeps it.
+            return None;
+        }
+        let samples = self.samples_param(fields).ok()?;
+        let dim = entry.dataset.dim();
+        // Mirrors `op_verify`'s kernel selection: 2-D is always exact,
+        // 3-D without an ROI takes the Girard closed form, everything
+        // else is Monte-Carlo. `overview` is exact only in 2-D, which
+        // the warm-batch requirement below already excludes.
+        let exact_kernel = op == "verify" && (dim == 2 || (dim == 3 && roi.is_none()));
+        let sample_batch_warm = if exact_kernel || dim == 2 {
+            false
+        } else {
+            let seed = fields.u64("seed").ok()?.unwrap_or(self.config.default_seed);
+            let key = format!(
+                "{name}|g{generation}|{roi_key}|n{samples}|r{seed}",
+                name = entry.name,
+                generation = entry.generation,
+                roi_key = Self::roi_key(&roi),
+            );
+            self.samples
+                .lock()
+                .expect("sample cache poisoned")
+                .contains(&key)
+        };
+        Some(crate::guard::InlineSignals {
+            exact_kernel,
+            rows: entry.dataset.len(),
+            samples,
+            sample_batch_warm,
+        })
+    }
+
+    /// Executes an inline-classified sub-request on the submitter
+    /// thread. The guard seams mirror the pool path exactly: the ambient
+    /// deadline is checked first at the `Dequeue` stage (same typed
+    /// error, same per-stage counter as a job that expired on the work
+    /// queue), and cold cacheable work still passes through admission
+    /// control and the kernel deadline check inside `cached()`. What the
+    /// inline path never has is a `pool_queue` span — by construction it
+    /// never waited for a worker.
+    pub(crate) fn handle_sub_inline(&self, request: &Value) -> Value {
+        if let Err(e) = self
+            .guard()
+            .check_deadline(crate::guard::DeadlineStage::Dequeue)
+        {
+            return envelope(request.get("id").cloned(), Err(e));
+        }
+        self.handle_sub(request)
     }
 
     /// Canonical cache key: op, dataset identity (name + generation), ROI,
@@ -1419,6 +1597,7 @@ impl EngineCore {
             .field("queued_total", queue.queued_total)
             .field("granted", queue.granted)
             .field("cancelled", queue.cancelled)
+            .field("fair_grants", queue.fair_grants)
             .field("wait_micros", queue.wait_micros);
         // Park-to-grant wait percentiles (histogram bucket upper bounds);
         // absent until at least one waiter has been granted.
@@ -1561,6 +1740,11 @@ impl EngineCore {
                 "session_queue_cancelled_total",
                 "Parked requests dropped because their connection died.",
                 q.cancelled as f64,
+            ),
+            (
+                "session_queue_fair_grants_total",
+                "Grants where a different client overtook a repeat client.",
+                q.fair_grants as f64,
             ),
             (
                 "session_queue_wait_micros_total",
@@ -2035,13 +2219,15 @@ impl EngineCore {
     ) -> ServiceResult<(Value, bool)> {
         let params = self.parse_get_next(fields)?;
         self.admit_cold("session.get_next")?;
+        let client = crate::proto::hash_client_tag(fields.str("client").ok().flatten());
         let handoff = Handoff::new();
-        let checked = match self
-            .sessions
-            .check_out_or_queue(params.session, || match cancel {
+        let checked = match self.sessions.check_out_or_queue(params.session, || {
+            match cancel {
                 Some(flag) => handoff.waiter_with_cancel(Arc::clone(flag)),
                 None => handoff.waiter(),
-            })? {
+            }
+            .for_client(client)
+        })? {
             CheckOut::Ready(checked) => checked,
             CheckOut::Queued => {
                 let mut wait = self.tracer.span_ambient(phase::SESSION_WAIT);

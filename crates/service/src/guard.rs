@@ -336,6 +336,84 @@ impl Guard {
     }
 }
 
+/// Monte-Carlo budget at or below which a cold `verify`/`overview`
+/// sub-request is cheaper to run on the submitter thread than to
+/// round-trip through the pool (queue hop + wakeup + response push cost
+/// more than a couple thousand oracle evaluations).
+pub const INLINE_MAX_SAMPLES: usize = 2_048;
+
+/// Row-count bound for inlining *exact* kernels (2-D interval, 3-D
+/// Girard): beyond this the closed-form geometry itself stops being
+/// "tiny" and belongs on the pool.
+pub const INLINE_MAX_EXACT_ROWS: usize = 512;
+
+/// Cost signals for classifying one cacheable batch sub-request
+/// (`verify`/`overview`), gathered by the engine from the registry and
+/// the sample-batch cache. Ops without meaningful signals (`ping`,
+/// `registry.list`, anything malformed) classify on the op name alone.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InlineSignals {
+    /// The request would run a closed-form kernel (2-D interval sweep,
+    /// or 3-D full-orthant Girard) rather than Monte-Carlo sampling.
+    pub exact_kernel: bool,
+    /// Dataset row count.
+    pub rows: usize,
+    /// Effective Monte-Carlo sample budget (the request's `samples`
+    /// after defaulting/capping; ignored for exact kernels).
+    pub samples: usize,
+    /// The Monte-Carlo sample batch the request needs is already in the
+    /// shared sample cache — no sampling cost, only scoring.
+    pub sample_batch_warm: bool,
+}
+
+/// Where a batch sub-request executes: inline on the submitter thread,
+/// or through the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubCost {
+    /// Provably tiny: run on the submitter/transport thread — the pool
+    /// round-trip (queue wait + per-job bookkeeping) costs more than
+    /// the work itself.
+    Inline,
+    /// Everything else: real kernel work, session ops, or anything the
+    /// classifier cannot prove cheap (including malformed requests,
+    /// whose error reporting the pool path owns).
+    Pool,
+}
+
+/// The batch dispatcher's cost classifier.
+///
+/// Eligibility (documented in the README's batch-dispatch section):
+///
+/// | op              | inline when                                        |
+/// |-----------------|----------------------------------------------------|
+/// | `ping`          | always                                             |
+/// | `registry.list` | always                                             |
+/// | `verify`        | exact kernel and rows ≤ [`INLINE_MAX_EXACT_ROWS`], |
+/// |                 | or Monte-Carlo and samples ≤ [`INLINE_MAX_SAMPLES`]|
+/// | `overview`      | sample batch warm and samples ≤ [`INLINE_MAX_SAMPLES`] |
+/// | anything else   | never (pool)                                       |
+///
+/// τ-tolerant verification never reaches this with signals (it
+/// enumerates the whole 2-D region set — not tiny), and session ops /
+/// nested batches are structurally pool-only. The inline path still
+/// runs every guard seam: the ambient deadline is checked before
+/// execution and cold cacheable work passes through admission control.
+pub fn classify_sub(op: &str, signals: Option<&InlineSignals>) -> SubCost {
+    match op {
+        "ping" | "registry.list" => SubCost::Inline,
+        "verify" => match signals {
+            Some(s) if s.exact_kernel && s.rows <= INLINE_MAX_EXACT_ROWS => SubCost::Inline,
+            Some(s) if !s.exact_kernel && s.samples <= INLINE_MAX_SAMPLES => SubCost::Inline,
+            _ => SubCost::Pool,
+        },
+        "overview" => match signals {
+            Some(s) if s.sample_batch_warm && s.samples <= INLINE_MAX_SAMPLES => SubCost::Inline,
+            _ => SubCost::Pool,
+        },
+        _ => SubCost::Pool,
+    }
+}
+
 /// Where along the request path an expired deadline was caught.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeadlineStage {
@@ -360,6 +438,66 @@ impl DeadlineStage {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn classify_sub_inlines_only_provably_cheap_work() {
+        // Cost-free ops inline unconditionally — no signals needed.
+        assert_eq!(classify_sub("ping", None), SubCost::Inline);
+        assert_eq!(classify_sub("registry.list", None), SubCost::Inline);
+        // Anything the classifier has no cost model for rides the pool,
+        // as does any op whose signals could not be resolved (unknown
+        // dataset, malformed request, tau sweep).
+        assert_eq!(classify_sub("verify", None), SubCost::Pool);
+        assert_eq!(classify_sub("overview", None), SubCost::Pool);
+        assert_eq!(classify_sub("figure1", None), SubCost::Pool);
+        assert_eq!(classify_sub("stats", None), SubCost::Pool);
+
+        // Exact-kernel verify: bounded by row count.
+        let exact_small = InlineSignals {
+            exact_kernel: true,
+            rows: INLINE_MAX_EXACT_ROWS,
+            ..Default::default()
+        };
+        assert_eq!(classify_sub("verify", Some(&exact_small)), SubCost::Inline);
+        let exact_big = InlineSignals {
+            rows: INLINE_MAX_EXACT_ROWS + 1,
+            ..exact_small
+        };
+        assert_eq!(classify_sub("verify", Some(&exact_big)), SubCost::Pool);
+
+        // Monte-Carlo verify: bounded by sample budget.
+        let mc_small = InlineSignals {
+            exact_kernel: false,
+            samples: INLINE_MAX_SAMPLES,
+            ..Default::default()
+        };
+        assert_eq!(classify_sub("verify", Some(&mc_small)), SubCost::Inline);
+        let mc_big = InlineSignals {
+            samples: INLINE_MAX_SAMPLES + 1,
+            ..mc_small
+        };
+        assert_eq!(classify_sub("verify", Some(&mc_big)), SubCost::Pool);
+
+        // Overview inlines only when the sample batch is already warm —
+        // a cold overview pays the full sampling cost and must not
+        // stall the submitter thread.
+        let warm = InlineSignals {
+            sample_batch_warm: true,
+            samples: INLINE_MAX_SAMPLES,
+            ..Default::default()
+        };
+        assert_eq!(classify_sub("overview", Some(&warm)), SubCost::Inline);
+        let cold = InlineSignals {
+            sample_batch_warm: false,
+            ..warm
+        };
+        assert_eq!(classify_sub("overview", Some(&cold)), SubCost::Pool);
+        let warm_big = InlineSignals {
+            samples: INLINE_MAX_SAMPLES + 1,
+            ..warm
+        };
+        assert_eq!(classify_sub("overview", Some(&warm_big)), SubCost::Pool);
+    }
 
     #[test]
     fn ambient_deadline_scopes_and_restores() {

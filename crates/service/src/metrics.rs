@@ -336,6 +336,14 @@ pub struct PoolMetrics {
     pub batches_buffered: AtomicU64,
     /// Streamed `batch` ops served.
     pub batches_streamed: AtomicU64,
+    /// Batch sub-requests answered on the submitter thread (cache-hit
+    /// fast path or classified inline-cheap) — work the pool queue never
+    /// saw.
+    pub inline_answered: AtomicU64,
+    /// Streamed-batch response envelopes whose flush rode a following
+    /// envelope's write instead of paying their own (flushes saved by
+    /// the coalescing window).
+    pub writes_coalesced: AtomicU64,
 }
 
 impl PoolMetrics {
@@ -396,6 +404,16 @@ impl PoolMetrics {
                 "Streamed batch ops served.",
                 load(&self.batches_streamed),
             ),
+            (
+                "pool_inline_answered_total",
+                "Batch sub-requests answered on the submitter thread.",
+                load(&self.inline_answered),
+            ),
+            (
+                "pool_writes_coalesced_total",
+                "Streamed-batch flushes saved by write coalescing.",
+                load(&self.writes_coalesced),
+            ),
         ] {
             let kind = if name.ends_with("_total") {
                 "counter"
@@ -423,6 +441,8 @@ impl PoolMetrics {
             .field("backpressure_waits", load(&self.backpressure_waits))
             .field("batches_buffered", load(&self.batches_buffered))
             .field("batches_streamed", load(&self.batches_streamed))
+            .field("inline_answered", load(&self.inline_answered))
+            .field("writes_coalesced", load(&self.writes_coalesced))
             .build()
     }
 }

@@ -38,12 +38,27 @@ use std::time::Instant;
 /// sub-requests are refused at dispatch for exactly this reason).
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// The dispatch group for jobs submitted outside any batch (single ops,
+/// parked-session continuations). Kept as its own round-robin slot so
+/// interactive singles cannot be convoyed behind a wide batch.
+pub const SINGLES_GROUP: u64 = 0;
+
 struct WorkQueueInner {
-    jobs: VecDeque<(Job, Instant)>,
+    /// Round-robin ring of `(group id, that group's FIFO)`. Group 0 is
+    /// singles traffic; each batch dispatches under its own id. A group
+    /// is present iff it has queued jobs (no empty queues are kept).
+    groups: VecDeque<(u64, VecDeque<(Job, Instant)>)>,
+    len: usize,
     closed: bool,
 }
 
-/// MPMC FIFO of jobs: any thread may submit, every worker pops.
+/// MPMC queue of jobs: any thread may submit, every worker pops.
+///
+/// Scheduling is FIFO *within* a group and round-robin *across* groups:
+/// each pop takes the front group's oldest job and rotates that group to
+/// the back of the ring. One wide batch therefore cannot convoy the pool
+/// behind its own slow sub-requests — other batches and singles traffic
+/// interleave with it at job granularity.
 struct WorkQueue {
     inner: Mutex<WorkQueueInner>,
     available: Condvar,
@@ -53,21 +68,29 @@ impl WorkQueue {
     fn new() -> Self {
         Self {
             inner: Mutex::new(WorkQueueInner {
-                jobs: VecDeque::new(),
+                groups: VecDeque::new(),
+                len: 0,
                 closed: false,
             }),
             available: Condvar::new(),
         }
     }
 
-    /// Enqueues a job; hands it back (instead of dropping it) when the
-    /// queue is closed, so a shutdown-racing submitter can still run it.
-    fn push(&self, job: Job) -> Result<(), Job> {
+    /// Enqueues a job under `group`; hands it back (instead of dropping
+    /// it) when the queue is closed, so a shutdown-racing submitter can
+    /// still run it.
+    fn push(&self, group: u64, job: Job) -> Result<(), Job> {
         let mut inner = self.inner.lock().expect("work queue poisoned");
         if inner.closed {
             return Err(job);
         }
-        inner.jobs.push_back((job, Instant::now()));
+        let entry = (job, Instant::now());
+        if let Some((_, jobs)) = inner.groups.iter_mut().find(|(g, _)| *g == group) {
+            jobs.push_back(entry);
+        } else {
+            inner.groups.push_back((group, VecDeque::from([entry])));
+        }
+        inner.len += 1;
         drop(inner);
         self.available.notify_one();
         Ok(())
@@ -78,7 +101,14 @@ impl WorkQueue {
     fn pop(&self) -> Option<(Job, Instant)> {
         let mut inner = self.inner.lock().expect("work queue poisoned");
         loop {
-            if let Some(entry) = inner.jobs.pop_front() {
+            if let Some((group, mut jobs)) = inner.groups.pop_front() {
+                let entry = jobs.pop_front().expect("ring holds no empty groups");
+                inner.len -= 1;
+                if !jobs.is_empty() {
+                    // Rotate: the served group goes to the back of the
+                    // ring, so its next job waits its turn.
+                    inner.groups.push_back((group, jobs));
+                }
                 return Some(entry);
             }
             if inner.closed {
@@ -109,10 +139,16 @@ pub struct PoolSubmitter {
 }
 
 impl PoolSubmitter {
-    /// Enqueues a job; on a closed queue (engine shutting down) the job
-    /// is returned so the caller can run it inline or fail it — never
-    /// silently dropped.
+    /// Enqueues a job under [`SINGLES_GROUP`]; on a closed queue (engine
+    /// shutting down) the job is returned so the caller can run it
+    /// inline or fail it — never silently dropped.
     pub fn submit(&self, job: Job) -> Result<(), Job> {
+        self.submit_tagged(SINGLES_GROUP, job)
+    }
+
+    /// Enqueues a job under a dispatch `group` (one per batch). Jobs of
+    /// the same group run FIFO; distinct groups round-robin.
+    pub fn submit_tagged(&self, group: u64, job: Job) -> Result<(), Job> {
         // Depth is incremented *before* the push: a worker can pop (and
         // decrement) the instant the job is visible, so the other order
         // would transiently wrap the gauge below zero.
@@ -121,7 +157,7 @@ impl PoolSubmitter {
         self.metrics
             .max_queue_depth
             .fetch_max(depth, Ordering::Relaxed);
-        match self.queue.push(job) {
+        match self.queue.push(group, job) {
             Ok(()) => Ok(()),
             Err(job) => {
                 self.metrics.submitted.fetch_sub(1, Ordering::Relaxed);
@@ -190,6 +226,13 @@ impl WorkerPool {
     pub fn submit(&self, job: Job) -> bool {
         self.submitter.submit(job).is_ok()
     }
+
+    /// Enqueues a job under a dispatch group (see
+    /// [`PoolSubmitter::submit_tagged`]). Returns `false` only during
+    /// shutdown.
+    pub fn submit_tagged(&self, group: u64, job: Job) -> bool {
+        self.submitter.submit_tagged(group, job).is_ok()
+    }
 }
 
 impl Drop for WorkerPool {
@@ -257,6 +300,18 @@ impl<T> BoundedQueue<T> {
         inner.items.push_back(item);
         drop(inner);
         self.not_empty.notify_one();
+    }
+
+    /// Takes the next item only if one is already queued — never blocks.
+    /// The batch drain loop uses this to burst-deliver responses that
+    /// piled up behind the one it just popped, flagging each "another
+    /// follows immediately" so the transport can coalesce their flushes.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("response queue poisoned");
+        let item = inner.items.pop_front()?;
+        drop(inner);
+        self.not_full.notify_one();
+        Some(item)
     }
 
     /// Blocks for the next item; `None` once closed and drained.
@@ -359,6 +414,66 @@ mod tests {
         // Accounting stays balanced for the refused submission.
         assert_eq!(metrics.submitted.load(Ordering::Relaxed), 1);
         assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn work_queue_round_robins_across_groups() {
+        let queue = WorkQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let tag = |label: &'static str| {
+            let order = Arc::clone(&order);
+            Box::new(move || order.lock().unwrap().push(label)) as Job
+        };
+        // A wide batch (group 1) queued first, a second batch (group 2)
+        // and a single behind it: dequeue order must interleave rather
+        // than drain group 1 to completion.
+        assert!(queue.push(1, tag("b1-0")).is_ok());
+        assert!(queue.push(1, tag("b1-1")).is_ok());
+        assert!(queue.push(1, tag("b1-2")).is_ok());
+        assert!(queue.push(2, tag("b2-0")).is_ok());
+        assert!(queue.push(SINGLES_GROUP, tag("single")).is_ok());
+        queue.close();
+        while let Some((job, _)) = queue.pop() {
+            job();
+        }
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["b1-0", "b2-0", "single", "b1-1", "b1-2"],
+            "round-robin across groups, FIFO within each"
+        );
+    }
+
+    #[test]
+    fn tagged_submissions_share_pool_accounting() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let pool = WorkerPool::new(2, Arc::clone(&metrics));
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit_tagged(
+                i % 3,
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            ));
+        }
+        drop(pool);
+        assert_eq!(counter.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.submitted.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.completed.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let metrics = Arc::new(PoolMetrics::default());
+        let queue: BoundedQueue<u32> = BoundedQueue::new(2, metrics);
+        assert_eq!(queue.try_pop(), None, "empty queue answers immediately");
+        queue.push(7);
+        queue.push(8);
+        assert_eq!(queue.try_pop(), Some(7));
+        assert_eq!(queue.try_pop(), Some(8));
+        assert_eq!(queue.try_pop(), None);
     }
 
     #[test]

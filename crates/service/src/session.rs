@@ -301,6 +301,11 @@ pub struct Waiter {
     /// session is never advanced for a client that can no longer read the
     /// answer (counted in `stats.session_queue.cancelled`).
     cancelled: Option<Arc<std::sync::atomic::AtomicBool>>,
+    /// Fairness identity (hash of the request's `"client"` tag; 0 =
+    /// untagged). Grant selection may let a *different* tagged client
+    /// overtake when the front waiter belongs to the client served last
+    /// — see [`SessionManager::restore`].
+    client: u64,
 }
 
 impl Waiter {
@@ -309,6 +314,7 @@ impl Waiter {
             enqueued: Instant::now(),
             deliver: Some(Box::new(deliver)),
             cancelled: None,
+            client: 0,
         }
     }
 
@@ -322,7 +328,16 @@ impl Waiter {
             enqueued: Instant::now(),
             deliver: Some(Box::new(deliver)),
             cancelled: Some(cancelled),
+            client: 0,
         }
+    }
+
+    /// Tags the waiter with a fairness identity (0 keeps it anonymous —
+    /// anonymous waiters always stay in pure arrival order).
+    #[must_use]
+    pub fn for_client(mut self, client: u64) -> Self {
+        self.client = client;
+        self
     }
 
     fn is_cancelled(&self) -> bool {
@@ -439,6 +454,9 @@ struct Slot {
     /// the dispatch backlog actually concentrates on (surfaced per
     /// session by `stats`).
     queue_high_water: usize,
+    /// Fairness identity of the waiter granted this session last (0 =
+    /// anonymous / none yet) — the input to grant selection.
+    last_client: u64,
 }
 
 enum SlotState {
@@ -463,6 +481,10 @@ pub struct QueueCounters {
     /// Parked requests dropped at grant time because their connection had
     /// died while they waited (the session is not advanced for them).
     pub cancelled: u64,
+    /// Grants where a different client's waiter overtook the front of
+    /// the queue because the front belonged to the client served last
+    /// (per-client fairness; aged waiters are exempt from being skipped).
+    pub fair_grants: u64,
     /// Cumulative park→grant wait.
     pub wait_micros: u64,
     /// Park→grant wait quantile upper bounds, from a log2-bucketed
@@ -493,6 +515,7 @@ pub struct SessionManager {
     queued_total: AtomicU64,
     queue_granted: AtomicU64,
     queue_cancelled: AtomicU64,
+    queue_fair_grants: AtomicU64,
     queue_depth: AtomicUsize,
     queue_max_depth: AtomicU64,
     queue_wait_micros: AtomicU64,
@@ -523,6 +546,7 @@ impl SessionManager {
             queued_total: AtomicU64::new(0),
             queue_granted: AtomicU64::new(0),
             queue_cancelled: AtomicU64::new(0),
+            queue_fair_grants: AtomicU64::new(0),
             queue_depth: AtomicUsize::new(0),
             queue_max_depth: AtomicU64::new(0),
             queue_wait_micros: AtomicU64::new(0),
@@ -581,6 +605,7 @@ impl SessionManager {
                     })),
                     queue: VecDeque::new(),
                     queue_high_water: 0,
+                    last_client: 0,
                 },
             );
         Ok(id)
@@ -638,6 +663,7 @@ impl SessionManager {
                         state: SlotState::Available(Box::new(session)),
                         queue: VecDeque::new(),
                         queue_high_water: 0,
+                        last_client: 0,
                     },
                 );
                 Ok(id)
@@ -802,11 +828,16 @@ impl SessionManager {
 
     /// Returns a checked-out session to the table, stamping last-use
     /// (called from [`CheckedOut::drop`]). If waiters are queued, the
-    /// session is handed to the front one instead — still marked checked
-    /// out, so arrival order is preserved and no one can jump the queue.
+    /// session is handed to one of them instead — still marked checked
+    /// out. Selection is FIFO with one exception, per-client fairness:
+    /// when the front waiter belongs to the client granted *last* time
+    /// and a different tagged client waits behind it, that client
+    /// overtakes — unless the front waiter has already waited past the
+    /// live grant-wait p99 (the aging guard: fairness must never become
+    /// starvation). Anonymous (untagged) queues are pure arrival order.
     fn restore(&self, mut session: Session) {
         session.last_used = Instant::now();
-        let (cancelled, handed_off) = {
+        let (cancelled, handed_off, fair_pick) = {
             let mut slots = self
                 .shard_of(session.id)
                 .lock()
@@ -814,7 +845,7 @@ impl SessionManager {
             match slots.get_mut(&session.id) {
                 // A close/eviction that raced the check-out wins: the
                 // session is dropped (close drained any waiters).
-                None => (Vec::new(), None),
+                None => (Vec::new(), None, false),
                 Some(slot) => {
                     // Skip waiters whose connection died while they were
                     // parked: advancing the session for them would burn
@@ -822,15 +853,18 @@ impl SessionManager {
                     // failed (outside the lock) so a blocked transport
                     // thread still wakes, and counted as cancelled.
                     let mut cancelled = Vec::new();
-                    loop {
-                        match slot.queue.pop_front() {
-                            Some(w) if w.is_cancelled() => cancelled.push(w),
-                            Some(w) => break (cancelled, Some((w, session))),
-                            None => {
-                                slot.state = SlotState::Available(Box::new(session));
-                                break (cancelled, None);
-                            }
-                        }
+                    while slot.queue.front().is_some_and(Waiter::is_cancelled) {
+                        cancelled.push(slot.queue.pop_front().expect("front just observed"));
+                    }
+                    if slot.queue.is_empty() {
+                        slot.state = SlotState::Available(Box::new(session));
+                        (cancelled, None, false)
+                    } else {
+                        let choice =
+                            Self::fair_choice(&slot.queue, slot.last_client, &self.queue_wait_hist);
+                        let waiter = slot.queue.remove(choice).expect("choice is in bounds");
+                        slot.last_client = waiter.client;
+                        (cancelled, Some((waiter, session)), choice != 0)
                     }
                 }
             }
@@ -851,6 +885,9 @@ impl SessionManager {
             Some((waiter, session)) => {
                 self.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 self.queue_granted.fetch_add(1, Ordering::Relaxed);
+                if fair_pick {
+                    self.queue_fair_grants.fetch_add(1, Ordering::Relaxed);
+                }
                 let waited = waiter.enqueued.elapsed();
                 self.queue_wait_hist.record(waited);
                 let waited_us = waited.as_micros().min(u128::from(u64::MAX));
@@ -859,6 +896,40 @@ impl SessionManager {
                 waiter.grant(session);
             }
         }
+    }
+
+    /// Grant selection for a non-empty queue whose front waiter is live:
+    /// returns the index to grant. FIFO (0) unless the front waiter
+    /// belongs to the client granted last time, a *different* tagged
+    /// client is waiting behind it, and the front has not yet aged past
+    /// the live grant-wait p99 upper bound — then the first such
+    /// different-client waiter overtakes. Queue-wait-aware by
+    /// construction: any waiter already at the p99 is immune to being
+    /// skipped, so fairness can never starve a client.
+    fn fair_choice(
+        queue: &VecDeque<Waiter>,
+        last_client: u64,
+        wait_hist: &crate::metrics::LatencyHistogram,
+    ) -> usize {
+        let Some(front) = queue.front() else { return 0 };
+        if front.client == 0 || front.client != last_client {
+            return 0;
+        }
+        let front_aged = wait_hist.percentile_upper_bound(0.99).is_some_and(|p99| {
+            let waited = front
+                .enqueued
+                .elapsed()
+                .as_micros()
+                .min(u128::from(u64::MAX));
+            waited as u64 >= p99
+        });
+        if front_aged {
+            return 0;
+        }
+        queue
+            .iter()
+            .position(|w| !w.is_cancelled() && w.client != 0 && w.client != last_client)
+            .unwrap_or(0)
     }
 
     /// Closes a session; reports whether it existed. Queued waiters are
@@ -946,6 +1017,7 @@ impl SessionManager {
             queued_total: self.queued_total.load(Ordering::Relaxed),
             granted: self.queue_granted.load(Ordering::Relaxed),
             cancelled: self.queue_cancelled.load(Ordering::Relaxed),
+            fair_grants: self.queue_fair_grants.load(Ordering::Relaxed),
             wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
             wait_p50_micros: self.queue_wait_hist.percentile_upper_bound(0.50),
             wait_p90_micros: self.queue_wait_hist.percentile_upper_bound(0.90),
@@ -1190,6 +1262,86 @@ mod tests {
         // No refusal happened, and the session is fully checked in.
         assert_eq!(mgr.counters().2, 0, "queued requests are not conflicts");
         assert!(mgr.check_out(id).is_ok());
+    }
+
+    #[test]
+    fn a_different_client_overtakes_a_repeat_client_at_the_front() {
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Seed the grant-wait histogram with one deliberately long wait
+        // (an anonymous waiter parked ~20 ms before the chain runs), so
+        // the live p99 sits in the tens-of-milliseconds bucket. Without
+        // it the p99 would be a0's microsecond wait and a scheduler
+        // hiccup could "age" a1 past it, making a1 immune to overtake
+        // and the test timing-dependent.
+        {
+            let order = Arc::clone(&order);
+            let chain = Arc::clone(&mgr);
+            let outcome = mgr
+                .check_out_or_queue(id, || {
+                    Waiter::new(move |granted| {
+                        order.lock().unwrap().push("warm");
+                        drop(chain.adopt(granted.expect("handed the session")));
+                    })
+                })
+                .unwrap();
+            assert!(matches!(outcome, CheckOut::Queued));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        // Client A parks twice, client B once behind them.
+        for (label, client) in [("a0", 1u64), ("a1", 1), ("b0", 2)] {
+            let order = Arc::clone(&order);
+            let chain = Arc::clone(&mgr);
+            let outcome = mgr
+                .check_out_or_queue(id, || {
+                    Waiter::new(move |granted| {
+                        order.lock().unwrap().push(label);
+                        drop(chain.adopt(granted.expect("handed the session")));
+                    })
+                    .for_client(client)
+                })
+                .unwrap();
+            assert!(matches!(outcome, CheckOut::Queued));
+        }
+        drop(out);
+        // The anonymous seed waiter and a0 are granted FIFO. The third
+        // grant would repeat client A, so B overtakes; A's remaining
+        // waiter follows.
+        assert_eq!(
+            order.lock().unwrap().as_slice(),
+            &["warm", "a0", "b0", "a1"]
+        );
+        let q = mgr.queue_counters();
+        assert_eq!((q.granted, q.fair_grants), (4, 1));
+    }
+
+    #[test]
+    fn anonymous_waiters_always_stay_in_arrival_order() {
+        let mgr = Arc::new(SessionManager::new(8));
+        let id = mgr.open("d".into(), 1, sweep_state()).unwrap();
+        let out = mgr.check_out(id).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // One tagged client interleaved with untagged traffic: the
+        // untagged waiters are never reordered (client 0 is exempt).
+        for (i, client) in [(0u32, 3u64), (1, 0), (2, 3), (3, 0)] {
+            let order = Arc::clone(&order);
+            let chain = Arc::clone(&mgr);
+            let outcome = mgr
+                .check_out_or_queue(id, || {
+                    Waiter::new(move |granted| {
+                        order.lock().unwrap().push(i);
+                        drop(chain.adopt(granted.expect("handed the session")));
+                    })
+                    .for_client(client)
+                })
+                .unwrap();
+            assert!(matches!(outcome, CheckOut::Queued));
+        }
+        drop(out);
+        assert_eq!(order.lock().unwrap().as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(mgr.queue_counters().fair_grants, 0);
     }
 
     #[test]

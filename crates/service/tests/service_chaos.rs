@@ -260,8 +260,10 @@ fn streamed_batches_account_for_every_sub_request_exactly_once() {
     let stream = |line: &str| {
         let mut lines = Vec::new();
         engine
-            .handle_line_streamed(line, &mut |l| {
-                lines.push(serde_json::from_str(l).expect("emitted line is JSON"));
+            .handle_line_streamed(line, &mut |payload| {
+                for l in payload.split('\n') {
+                    lines.push(serde_json::from_str(l).expect("emitted line is JSON"));
+                }
                 Ok(())
             })
             .expect("in-memory sink never fails");
@@ -365,4 +367,78 @@ fn kernel_faults_never_double_execute_enumeration() {
         serde_json::to_string(&Value::Array(clean)).unwrap(),
         "injected delays must not change, repeat, or skip any enumeration step"
     );
+}
+
+// ---------------------------------------------------------------------
+// Client backoff: retry_after_ms hints vs the sleep budget
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The backoff schedule never hands out more total sleep than its
+    /// budget, never revives after exhaustion, and always honors the
+    /// server's `retry_after_ms` hint as a floor — for any seed, any
+    /// budget, and any hint sequence. (Raw hints at or above 30_000
+    /// encode `None` — a server response without a hint.)
+    #[test]
+    fn backoff_schedule_never_oversleeps_its_budget(
+        seed in 0u64..u64::MAX,
+        budget_ms in 1u64..5_000,
+        raw_hints in prop::collection::vec(0u64..40_000, 1..20),
+    ) {
+        let hints = raw_hints
+            .iter()
+            .map(|&h| (h < 30_000).then_some(h));
+        let policy = RetryPolicy {
+            seed,
+            budget: Duration::from_millis(budget_ms),
+            ..RetryPolicy::default()
+        };
+        let mut schedule = policy.schedule();
+        let mut total = 0u64;
+        let mut dead = false;
+        for hint in hints {
+            match schedule.next_delay_ms(hint) {
+                Some(delay) => {
+                    prop_assert!(!dead, "schedule revived after exhaustion");
+                    if let Some(h) = hint {
+                        prop_assert!(delay >= h, "hint {} must floor delay {}", h, delay);
+                    }
+                    total += delay;
+                    prop_assert!(
+                        total <= budget_ms,
+                        "total sleep {} exceeds the {}ms budget",
+                        total,
+                        budget_ms
+                    );
+                }
+                None => dead = true,
+            }
+        }
+        prop_assert_eq!(schedule.slept_ms(), total);
+    }
+
+    /// A server hint larger than the remaining budget exhausts the
+    /// schedule immediately — the client must not sleep a partial
+    /// (too-short) delay and retry into a server that asked for more
+    /// patience than the client has left.
+    #[test]
+    fn an_unaffordable_retry_hint_exhausts_the_schedule_immediately(
+        seed in 0u64..u64::MAX,
+        budget_ms in 1u64..10_000,
+    ) {
+        let policy = RetryPolicy {
+            seed,
+            budget: Duration::from_millis(budget_ms),
+            ..RetryPolicy::default()
+        };
+        let mut schedule = policy.schedule();
+        prop_assert_eq!(schedule.next_delay_ms(Some(budget_ms + 1)), None);
+        // Exhaustion is sticky: even affordable follow-up hints stay dead.
+        prop_assert_eq!(schedule.next_delay_ms(Some(1)), None);
+        prop_assert_eq!(schedule.next_delay_ms(None), None);
+        prop_assert_eq!(schedule.slept_ms(), 0);
+    }
 }

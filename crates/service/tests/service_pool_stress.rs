@@ -106,9 +106,12 @@ fn hammer(engine: &Arc<Engine>, clients: usize, rounds: usize, subs: usize) -> V
             for round in 0..rounds {
                 let mut emitted = 0usize;
                 engine
-                    .handle_line_streamed(&batch_line(round), &mut |_| {
+                    .handle_line_streamed(&batch_line(round), &mut |payload| {
                         std::thread::sleep(std::time::Duration::from_millis(1));
-                        emitted += 1;
+                        // One sink call may carry a coalesced burst of
+                        // newline-joined envelope lines — count lines,
+                        // not calls.
+                        emitted += payload.split('\n').count();
                         Ok(())
                     })
                     .expect("in-memory sink never fails");

@@ -716,8 +716,10 @@ fn primed_session_continued_through_a_streamed_batch_never_replays_the_primed_sa
         ]}}"#
     );
     let mut lines: Vec<Value> = Vec::new();
-    e.handle_line_streamed(&line, &mut |l| {
-        lines.push(serde_json::from_str(l).expect("line is JSON"));
+    e.handle_line_streamed(&line, &mut |payload| {
+        for l in payload.split('\n') {
+            lines.push(serde_json::from_str(l).expect("line is JSON"));
+        }
         Ok(())
     })
     .unwrap();

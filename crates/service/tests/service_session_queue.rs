@@ -463,8 +463,10 @@ fn stream_tags_echo_the_outer_request_id() {
     let line = r#"{"id": "outer-7", "op": "batch", "stream": true, "requests": [{"op": "ping"}, {"op": "ping"}]}"#;
     let mut lines: Vec<Value> = Vec::new();
     engine
-        .handle_line_streamed(line, &mut |l| {
-            lines.push(serde_json::from_str(l).expect("line is JSON"));
+        .handle_line_streamed(line, &mut |payload| {
+            for l in payload.split('\n') {
+                lines.push(serde_json::from_str(l).expect("line is JSON"));
+            }
             Ok(())
         })
         .unwrap();

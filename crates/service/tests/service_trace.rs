@@ -35,8 +35,12 @@ fn result(response: &Value) -> &Value {
 fn stream(engine: &Engine, line: &str) -> Vec<Value> {
     let mut lines = Vec::new();
     engine
-        .handle_line_streamed(line, &mut |l| {
-            lines.push(serde_json::from_str(l).expect("emitted line is JSON"));
+        .handle_line_streamed(line, &mut |payload| {
+            // One sink call may carry several newline-joined envelope
+            // lines (flush coalescing) — split before parsing.
+            for l in payload.split('\n') {
+                lines.push(serde_json::from_str(l).expect("emitted line is JSON"));
+            }
             Ok(())
         })
         .expect("in-memory sink never fails");

@@ -3,7 +3,7 @@
 # sampler benches (cold sample_n, parallel sample_n, and the faithful
 # pre-interning baseline), the service batch-op round-trip, and the
 # warm-restart time-to-first-cached-verify (snapshot → fresh engine →
-# restored cache hit), and writes the numbers to BENCH_5.json at the
+# restored cache hit), and writes the numbers to BENCH_8.json at the
 # repo root. Commit the file.
 #
 # Usage: scripts/bench_record.sh [--smoke] [--out PATH]

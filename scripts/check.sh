@@ -52,6 +52,23 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [ "$BENCH_SMOKE" = 1 ]; then
   echo "==> bench smoke (bench_record --smoke)"
   cargo run --release -p srank-bench --bin bench_record -- --smoke --out /tmp/bench_smoke.json
+  # Regression gate for the batch dispatch path (the BENCH_5 finding:
+  # a batch op slower than sequential round-trips). The cached and
+  # mixed shapes are pure dispatch overhead, so batch must beat
+  # sequential even on one core; cold is kernel-bound and only honest
+  # at ~1.0x here, so it is recorded but not gated.
+  python3 - <<'PYGATE'
+import json, sys
+d = json.load(open("/tmp/bench_smoke.json"))["batch_dispatch"]
+failed = [
+    f"{shape}: batch_speedup {d[shape]['batch_speedup']:.3f} <= 1.0"
+    for shape in ("cached_batch", "mixed_batch")
+    if not d[shape]["batch_speedup"] > 1.0
+]
+for line in failed:
+    print(f"check.sh: batch dispatch regression -- {line}", file=sys.stderr)
+sys.exit(1 if failed else 0)
+PYGATE
 fi
 
 # Persistence smoke: a real server primed, snapshotted, SIGKILLed, and
