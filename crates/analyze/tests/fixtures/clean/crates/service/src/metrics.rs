@@ -1,0 +1,4 @@
+/// Contract table: (stats path, Prometheus series).
+pub const COUNTER_CATALOG: &[(&str, &str)] = &[
+    ("pool.jobs", "srank_pool_jobs_total"),
+];

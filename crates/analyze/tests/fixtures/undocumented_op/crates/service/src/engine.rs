@@ -1,0 +1,8 @@
+pub fn dispatch_op(op: &str) -> u32 {
+    match op {
+        "ping" => 1,
+        "stats" => 2,
+        "trace" => 3,
+        _ => 0,
+    }
+}

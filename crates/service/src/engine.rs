@@ -27,6 +27,7 @@
 //! `stats.pool.backpressure_waits`), which stops pulling new work.
 
 use crate::cache::LruCache;
+use crate::lockorder::{rank, OrderedMutex};
 use crate::metrics::{OpLatencies, PhaseLatencies, PoolMetrics};
 use crate::pool::{BoundedQueue, CloseOnDrop, Job, PoolSubmitter, WorkerPool};
 use crate::proto::{envelope, with_stream_tag, Fields, Object, ServiceError, ServiceResult};
@@ -43,7 +44,7 @@ use srank_core::{
 use srank_sample::roi::RegionOfInterest;
 use srank_sample::store::SampleBuffer;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tunables for an [`Engine`].
@@ -213,8 +214,8 @@ pub struct EngineCore {
     config: EngineConfig,
     registry: DatasetRegistry,
     sessions: SessionManager,
-    results: Mutex<LruCache<String, Value>>,
-    samples: Mutex<LruCache<String, Arc<SampleBuffer>>>,
+    results: OrderedMutex<LruCache<String, Value>>,
+    samples: OrderedMutex<LruCache<String, Arc<SampleBuffer>>>,
     pub result_stats: CacheStats,
     pub sample_stats: CacheStats,
     /// Per-op latency histograms (all ops, including batch sub-requests).
@@ -288,8 +289,16 @@ impl Engine {
                 config.max_sessions,
                 config.session_queue_depth,
             ),
-            results: Mutex::new(LruCache::new(config.result_cache_capacity)),
-            samples: Mutex::new(LruCache::new(config.sample_cache_capacity)),
+            results: OrderedMutex::new(
+                rank::RESULT_CACHE,
+                "result_cache",
+                LruCache::new(config.result_cache_capacity),
+            ),
+            samples: OrderedMutex::new(
+                rank::SAMPLE_CACHE,
+                "sample_cache",
+                LruCache::new(config.sample_cache_capacity),
+            ),
             result_stats: CacheStats::default(),
             sample_stats: CacheStats::default(),
             op_latency: OpLatencies::default(),
@@ -339,6 +348,7 @@ impl Engine {
             Ok(request) => self.handle(&request),
             Err(e) => envelope(None, Err(ServiceError::parse_error(e.to_string()))),
         };
+        // analyze: allow(panic, response envelopes are built from Value which always serializes)
         serde_json::to_string(&response).expect("responses are serializable")
     }
 
@@ -397,6 +407,7 @@ impl Engine {
             Ok(request) => request,
             Err(e) => {
                 let response = envelope(None, Err(ServiceError::parse_error(e.to_string())));
+                // analyze: allow(panic, envelopes are plain Values and always serialize)
                 return sink(&serde_json::to_string(&response).expect("serializable"));
             }
         };
@@ -433,6 +444,7 @@ impl Engine {
             let response = self.handle_for(request, cancel);
             let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
             let ser_start = Instant::now();
+            // analyze: allow(panic, envelopes are plain Values and always serialize)
             let line = serde_json::to_string(&response).expect("serializable");
             self.core.phases.record(
                 "serialize",
@@ -517,6 +529,7 @@ impl Engine {
         // convoying behind whichever batch submitted first.
         let group = self.batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let mut slots: Vec<Value> = requests.iter().map(|_| Value::Null).collect();
+        // analyze: allow(panic, execute_batch only delivers indices below requests.len == slots.len)
         self.execute_batch(group, requests, cancel, |i, env, _more| slots[i] = env);
         Ok((
             Object::new()
@@ -539,6 +552,7 @@ impl Engine {
     ) -> std::io::Result<()> {
         let start = Instant::now();
         let id = request.get("id").cloned();
+        // analyze: allow(panic, caller only dispatches here after reading op from an object)
         let fields = Fields::of(request).expect("op was read from an object");
         // Streamed batches bypass `dispatch_top`, so the deadline is
         // parsed and installed here (shape errors answer as one plain
@@ -552,6 +566,7 @@ impl Engine {
             Ok(ok) => ok,
             Err(e) => {
                 let response = envelope(id, Err(e));
+                // analyze: allow(panic, envelopes are plain Values and always serialize)
                 return sink(&serde_json::to_string(&response).expect("serializable"));
             }
         };
@@ -584,6 +599,7 @@ impl Engine {
                 let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
                 let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
                 let ser_start = Instant::now();
+                // analyze: allow(panic, envelopes are plain Values and always serialize)
                 let line = serde_json::to_string(&tagged).expect("serializable");
                 self.core
                     .phases
@@ -628,6 +644,7 @@ impl Engine {
             None,
             true,
         );
+        // analyze: allow(panic, envelopes are plain Values and always serialize)
         sink(&serde_json::to_string(&terminal).expect("serializable"))
     }
 
@@ -683,6 +700,7 @@ impl Engine {
             while submitted < n && submitted - delivered < window {
                 let index = submitted;
                 let mut sub_span = self.core.tracer.span_ambient(phase::SUB_REQUEST);
+                // analyze: allow(panic, index == submitted < n == requests.len by the loop bound)
                 let sub_op = requests[index]
                     .get("op")
                     .and_then(Value::as_str)
@@ -701,6 +719,7 @@ impl Engine {
                 // ops, and expired deadlines fall through to the pool,
                 // where admission control and the dequeue deadline check
                 // apply unchanged.
+                // analyze: allow(panic, index == submitted < n == requests.len by the loop bound)
                 if let Some(env) =
                     trace::with_ctx(ctx, || self.core.try_cached_inline(&requests[index]))
                 {
@@ -723,7 +742,9 @@ impl Engine {
                 // `handle_sub_inline` checks the ambient deadline at the
                 // dequeue stage first, and cold cacheable work still
                 // passes through admission control inside `cached()`.
+                // analyze: allow(panic, index == submitted < n == requests.len by the loop bound)
                 if self.core.classify_inline(&requests[index]) == crate::guard::SubCost::Inline {
+                    // analyze: allow(panic, index == submitted < n == requests.len by the loop bound)
                     let env =
                         trace::with_ctx(ctx, || self.core.handle_sub_inline(&requests[index]));
                     self.core
@@ -737,6 +758,7 @@ impl Engine {
                     continue;
                 }
                 let core = Arc::clone(&self.core);
+                // analyze: allow(panic, index == submitted < n == requests.len by the loop bound)
                 let request = requests[index].clone();
                 let job_responses = Arc::clone(&responses);
                 let job_submitter = submitter.clone();
@@ -812,6 +834,7 @@ impl Engine {
                 );
                 if !accepted {
                     // Only reachable while the engine is being torn down.
+                    // analyze: allow(panic, index originates from the same bounded submit loop)
                     responses.push((
                         index,
                         envelope(
@@ -847,6 +870,7 @@ impl Engine {
                 // (which serializes streamed envelopes) runs under its
                 // ctx, so serialize spans nest inside the sub-request
                 // they belong to.
+                // analyze: allow(panic, one span is pushed per submitted index before delivery)
                 let sub_span = std::mem::replace(&mut sub_spans[index], Span::disabled());
                 trace::with_ctx(sub_span.ctx(), || deliver(index, env, next.is_some()));
                 match next {
@@ -945,11 +969,11 @@ impl EngineCore {
         &self.sessions
     }
 
-    pub(crate) fn results_cache(&self) -> &Mutex<LruCache<String, Value>> {
+    pub(crate) fn results_cache(&self) -> &OrderedMutex<LruCache<String, Value>> {
         &self.results
     }
 
-    pub(crate) fn samples_cache(&self) -> &Mutex<LruCache<String, Arc<SampleBuffer>>> {
+    pub(crate) fn samples_cache(&self) -> &OrderedMutex<LruCache<String, Arc<SampleBuffer>>> {
         &self.samples
     }
 
@@ -1237,12 +1261,7 @@ impl EngineCore {
     ) -> ServiceResult<(Value, bool)> {
         let key = self.cache_key(op, fields)?;
         let mut probe = self.tracer.span_ambient(phase::CACHE_PROBE);
-        let hit = self
-            .results
-            .lock()
-            .expect("result cache poisoned")
-            .get(&key)
-            .cloned();
+        let hit = self.results.lock().get(&key).cloned();
         // The cache key's third segment is the dataset generation
         // ("g{N}"), so the probe detail reads "hit g3" / "miss g3".
         let generation = || key.split('|').nth(2).unwrap_or("?").to_string();
@@ -1281,10 +1300,7 @@ impl EngineCore {
             }
         }
         drop(kernel);
-        self.results
-            .lock()
-            .expect("result cache poisoned")
-            .insert(key, result.clone());
+        self.results.lock().insert(key, result.clone());
         Ok((result, false))
     }
 
@@ -1305,12 +1321,7 @@ impl EngineCore {
             return None;
         }
         let key = self.cache_key(op, &fields).ok()?;
-        let hit = self
-            .results
-            .lock()
-            .expect("result cache poisoned")
-            .get(&key)
-            .cloned()?;
+        let hit = self.results.lock().get(&key).cloned()?;
         // Record the probe span only on the hit path: a miss falls
         // through to `cached()`, which records its own probe — two
         // spans for one logical probe would double-count.
@@ -1373,10 +1384,7 @@ impl EngineCore {
                 generation = entry.generation,
                 roi_key = Self::roi_key(&roi),
             );
-            self.samples
-                .lock()
-                .expect("sample cache poisoned")
-                .contains(&key)
+            self.samples.lock().contains(&key)
         };
         Some(crate::guard::InlineSignals {
             exact_kernel,
@@ -1443,22 +1451,14 @@ impl EngineCore {
         seed: u64,
     ) -> Arc<SampleBuffer> {
         let key = format!("{dataset}|g{generation}|{roi_key}|n{n}|r{seed}");
-        if let Some(hit) = self
-            .samples
-            .lock()
-            .expect("sample cache poisoned")
-            .get(&key)
-        {
+        if let Some(hit) = self.samples.lock().get(&key) {
             self.sample_stats.hit();
             return Arc::clone(hit);
         }
         self.sample_stats.miss();
         let mut rng = StdRng::seed_from_u64(seed);
         let buffer = Arc::new(roi.sampler().sample_buffer(&mut rng, n));
-        self.samples
-            .lock()
-            .expect("sample cache poisoned")
-            .insert(key, Arc::clone(&buffer));
+        self.samples.lock().insert(key, Arc::clone(&buffer));
         buffer
     }
 
@@ -1583,8 +1583,8 @@ impl EngineCore {
                 .field("entries", entries)
                 .build()
         };
-        let result_entries = self.results.lock().expect("result cache poisoned").len();
-        let sample_entries = self.samples.lock().expect("sample cache poisoned").len();
+        let result_entries = self.results.lock().len();
+        let sample_entries = self.samples.lock().len();
         // `busy_conflicts` (deprecated to refusals-only in the previous
         // release) is gone from the wire: `session_table.refusals` is the
         // same counter under its accurate name.
@@ -1755,16 +1755,8 @@ impl EngineCore {
             gauge(name, help, v);
         }
         for (label, stats, entries) in [
-            (
-                "result",
-                &self.result_stats,
-                self.results.lock().expect("result cache poisoned").len(),
-            ),
-            (
-                "sample",
-                &self.sample_stats,
-                self.samples.lock().expect("sample cache poisoned").len(),
-            ),
+            ("result", &self.result_stats, self.results.lock().len()),
+            ("sample", &self.sample_stats, self.samples.lock().len()),
         ] {
             gauge(
                 &format!("{label}_cache_hits_total"),
@@ -1786,6 +1778,7 @@ impl EngineCore {
         out.push_str(&self.op_latency.to_prometheus());
         out.push_str(&self.phases.to_prometheus());
         out.push_str(&self.guard.to_prometheus());
+        out.push_str(&self.tracer.to_prometheus());
         if let Some(store) = self.store() {
             out.push_str(&store.to_prometheus());
         }
@@ -2388,6 +2381,7 @@ impl EngineCore {
                                 Object::new()
                                     .field("confidence_error", d.confidence_error)
                                     .field("samples_used", d.samples_used)
+                                    // analyze: allow(drift, verify response payload field, not a metric)
                                     .field("samples_total", samples_total)
                                     .field("distinct_rankings", distinct)
                                     .field("regions_emitted", emitted)
@@ -2460,6 +2454,7 @@ fn ranking_payload(items: &[u32], stability: f64, head_cap: usize, extra: Object
         .field("len", items.len())
         .field("head", head.as_slice());
     let Value::Object(extra) = extra.build() else {
+        // analyze: allow(panic, Object::build returns Value::Object by construction)
         unreachable!("Object builds objects")
     };
     for (k, v) in extra {
@@ -2474,7 +2469,9 @@ fn placeholder_state() -> srank_core::Sweep2DState {
     static PLACEHOLDER: std::sync::OnceLock<srank_core::Sweep2DState> = std::sync::OnceLock::new();
     PLACEHOLDER
         .get_or_init(|| {
+            // analyze: allow(panic, static one-row dataset is always valid)
             let data = Dataset::from_rows(&[vec![0.5, 0.5]]).expect("static data");
+            // analyze: allow(panic, a one-item dataset always admits an enumerator)
             let mut e = Enumerator2D::new(&data, AngleInterval::full()).expect("1 item");
             while e.get_next().is_some() {}
             e.into_state()

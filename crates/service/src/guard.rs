@@ -323,9 +323,34 @@ impl Guard {
                 self.shed_total.load(Ordering::Relaxed),
             ),
             (
+                "guard_shed_by_pool_queue_total",
+                "Sheds attributed to pool-queue depth over threshold.",
+                self.shed_pool_queue.load(Ordering::Relaxed),
+            ),
+            (
+                "guard_shed_by_session_wait_total",
+                "Sheds attributed to session-wait p99 over threshold.",
+                self.shed_session_wait.load(Ordering::Relaxed),
+            ),
+            (
                 "guard_deadline_expired_total",
                 "Requests answered deadline_exceeded.",
                 self.deadline_expired_total.load(Ordering::Relaxed),
+            ),
+            (
+                "guard_deadline_expired_at_dequeue_total",
+                "Deadlines that expired while queued for a worker.",
+                self.expired_at_dequeue.load(Ordering::Relaxed),
+            ),
+            (
+                "guard_deadline_expired_at_grant_total",
+                "Deadlines that expired while parked on a busy session.",
+                self.expired_at_grant.load(Ordering::Relaxed),
+            ),
+            (
+                "guard_deadline_expired_in_kernel_total",
+                "Deadlines that expired at the kernel admission check.",
+                self.expired_in_kernel.load(Ordering::Relaxed),
             ),
         ] {
             let _ = writeln!(out, "# HELP srank_{name} {help}");

@@ -103,6 +103,7 @@ pub mod client;
 pub mod engine;
 pub mod faults;
 pub mod guard;
+pub mod lockorder;
 pub mod log;
 pub mod metrics;
 pub mod pool;

@@ -1,0 +1,388 @@
+//! Ordered lock wrappers: the service-wide lock hierarchy, enforced.
+//!
+//! Every shared lock in this crate is an [`OrderedMutex`] or
+//! [`OrderedRwLock`] declared with a class from [`rank`]. The ranks form
+//! the crate's **lock acquisition order**: a thread may only acquire a
+//! lock whose rank is *strictly greater* than every lock it already
+//! holds. Two enforcement layers check the same hierarchy:
+//!
+//! * **statically** — `srank-analyze`'s `lock-order` pass maps each
+//!   `.lock()`/`.read()`/`.write()` site to its class (via the
+//!   `rank::…` constant named at the lock's construction site), builds
+//!   the nesting graph, and fails `scripts/check.sh` on any edge that
+//!   contradicts the declared ranks;
+//! * **dynamically** — under `debug_assertions` (so: every `cargo test`
+//!   run, including the stress and chaos suites) each acquisition pushes
+//!   its rank onto a thread-local stack and panics on an out-of-order
+//!   acquisition, catching orderings the static pass cannot see (calls
+//!   through function pointers, cross-module nesting).
+//!
+//! Release builds compile the bookkeeping away: the wrappers reduce to a
+//! plain `Mutex`/`RwLock` plus one `&'static str` of metadata.
+//!
+//! The wrappers also centralize the crate's **poison policy**: worker
+//! panics are already contained by `catch_unwind` at the pool and
+//! transport seams, so a poisoned lock means "a panic was already
+//! reported elsewhere", and every acquisition recovers the guard via
+//! [`std::sync::PoisonError::into_inner`] instead of cascading the panic
+//! into unrelated request-serving threads.
+
+use std::fmt;
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock classes, in mandatory acquisition order (lower rank first).
+///
+/// The constants double as the class *names* the static analyzer keys
+/// on: construct every service lock as
+/// `OrderedMutex::new(rank::SOME_CLASS, "some_class", value)`.
+pub mod rank {
+    /// Dataset registry table (`registry::DatasetRegistry`) — the
+    /// outermost lock: everything else is acquired while resolving or
+    /// holding a dataset.
+    pub const REGISTRY: u16 = 10;
+    /// One session-table shard (`session::SessionTable`); a thread
+    /// touches at most one shard at a time.
+    pub const SESSION_SHARD: u16 = 20;
+    /// A parked waiter's rendezvous slot (`session::Handoff`) —
+    /// delivered to while its shard lock may still be held.
+    pub const SESSION_HANDOFF: u16 = 30;
+    /// The pool's MPMC work queue (`pool::WorkQueue`); parked-session
+    /// continuations are re-submitted while the handoff is live.
+    pub const POOL_WORK_QUEUE: u16 = 40;
+    /// A batch's bounded response queue (`pool::BoundedQueue`).
+    pub const POOL_RESPONSE_QUEUE: u16 = 50;
+    /// The engine's query-result LRU.
+    pub const RESULT_CACHE: u16 = 60;
+    /// The engine's shared Monte-Carlo sample-batch LRU.
+    pub const SAMPLE_CACHE: u16 = 70;
+    /// Store failure state (`store::StoreCounters::last_error`) —
+    /// recorded while snapshot passes may hold cache locks.
+    pub const STORE_STATE: u16 = 80;
+    /// A connection's stream-multiplexing gate (`server::MuxGate`).
+    pub const MUX_GATE: u16 = 90;
+    /// A connection's shared line writer — held across one envelope
+    /// write + flush.
+    pub const CONN_WRITER: u16 = 100;
+    /// The global bounded trace ring (`trace::Recorder`) — the
+    /// innermost lock: spans drain into it from anywhere.
+    pub const TRACE_RING: u16 = 110;
+}
+
+#[cfg(debug_assertions)]
+mod held {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks (and class names) of the locks this thread currently
+        /// holds, in acquisition order.
+        static STACK: RefCell<Vec<(u16, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(rank: u16, name: &'static str) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(&(top, top_name)) = stack.last() {
+                assert!(
+                    rank > top,
+                    "lock-order violation: acquiring '{name}' (rank {rank}) \
+                     while holding '{top_name}' (rank {top}); \
+                     see crates/service/src/lockorder.rs"
+                );
+            }
+            stack.push((rank, name));
+        });
+    }
+
+    pub(super) fn release(rank: u16, name: &'static str) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are dropped in LIFO order everywhere in this crate;
+            // tolerate out-of-order drops anyway (remove by value) so the
+            // checker constrains acquisition order only.
+            if let Some(pos) = stack.iter().rposition(|&(r, n)| r == rank && n == name) {
+                stack.remove(pos);
+            }
+        });
+    }
+}
+
+/// RAII record of one acquisition on the thread-local hierarchy stack.
+/// Zero-sized (and free) in release builds.
+struct Token {
+    #[cfg(debug_assertions)]
+    rank: u16,
+    #[cfg(debug_assertions)]
+    name: &'static str,
+}
+
+impl Token {
+    #[inline]
+    fn acquire(rank: u16, name: &'static str) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            held::acquire(rank, name);
+            Token { rank, name }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (rank, name);
+            Token {}
+        }
+    }
+}
+
+impl Drop for Token {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        held::release(self.rank, self.name);
+    }
+}
+
+/// A `Mutex` with a declared position in the service lock hierarchy.
+pub struct OrderedMutex<T> {
+    rank: u16,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value`; `rank` must be one of the [`rank`] constants and
+    /// `name` its lower-case class name (the analyzer cross-checks).
+    pub const fn new(rank: u16, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, asserting hierarchy order (debug builds) and
+    /// recovering from poisoning (see the module docs for the policy).
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        let token = Token::acquire(self.rank, self.name);
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        OrderedMutexGuard {
+            guard: Some(guard),
+            _token: token,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedMutex")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Guard for [`OrderedMutex`]; releases the hierarchy slot on drop.
+pub struct OrderedMutexGuard<'a, T> {
+    /// Always `Some` outside [`Self::wait`]'s re-acquisition window.
+    guard: Option<MutexGuard<'a, T>>,
+    _token: Token,
+}
+
+impl<'a, T> OrderedMutexGuard<'a, T> {
+    /// Blocks on `condvar`, atomically releasing the mutex; the
+    /// hierarchy slot is kept (the thread still *logically* owns the
+    /// lock — it re-acquires before returning, and a sleeping thread
+    /// acquires nothing else meanwhile).
+    pub fn wait(mut self, condvar: &Condvar) -> Self {
+        // analyze: allow(panic, "guard slot is always restored to Some before wait can be called again")
+        let inner = self.guard.take().expect("guard present outside wait");
+        self.guard = Some(
+            condvar
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        self
+    }
+
+    /// [`Self::wait`] with a timeout; whether the wakeup was a timeout is
+    /// deliberately not reported — callers re-check their predicate
+    /// either way.
+    pub fn wait_timeout(mut self, condvar: &Condvar, timeout: std::time::Duration) -> Self {
+        // analyze: allow(panic, "guard slot is always restored to Some before wait can be called again")
+        let inner = self.guard.take().expect("guard present outside wait");
+        let (inner, _timed_out) = condvar
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.guard = Some(inner);
+        self
+    }
+}
+
+impl<T> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // analyze: allow(panic, "guard slot is only ever None mid-wait, which consumes self")
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // analyze: allow(panic, "guard slot is only ever None mid-wait, which consumes self")
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+/// An `RwLock` with a declared position in the service lock hierarchy.
+/// Readers and writers occupy the same rank: the hierarchy orders lock
+/// *classes*, not access modes.
+pub struct OrderedRwLock<T> {
+    rank: u16,
+    name: &'static str,
+    inner: RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// See [`OrderedMutex::new`].
+    pub const fn new(rank: u16, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Shared acquisition; hierarchy-checked and poison-recovering.
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        let token = Token::acquire(self.rank, self.name);
+        let guard = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        OrderedReadGuard {
+            guard,
+            _token: token,
+        }
+    }
+
+    /// Exclusive acquisition; hierarchy-checked and poison-recovering.
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        let token = Token::acquire(self.rank, self.name);
+        let guard = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        OrderedWriteGuard {
+            guard,
+            _token: token,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for OrderedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrderedRwLock")
+            .field("name", &self.name)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Shared guard for [`OrderedRwLock`].
+pub struct OrderedReadGuard<'a, T> {
+    guard: RwLockReadGuard<'a, T>,
+    _token: Token,
+}
+
+impl<T> std::ops::Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Exclusive guard for [`OrderedRwLock`].
+pub struct OrderedWriteGuard<'a, T> {
+    guard: RwLockWriteGuard<'a, T>,
+    _token: Token,
+}
+
+impl<T> std::ops::Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_acquisition_is_fine() {
+        let a = OrderedMutex::new(rank::REGISTRY, "registry", 1);
+        let b = OrderedMutex::new(rank::TRACE_RING, "trace_ring", 2);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+
+    #[test]
+    fn reacquisition_after_release_is_fine() {
+        let a = OrderedMutex::new(rank::CONN_WRITER, "conn_writer", ());
+        let b = OrderedMutex::new(rank::MUX_GATE, "mux_gate", ());
+        drop(a.lock());
+        drop(b.lock()); // lower rank, but nothing is held
+        drop(a.lock());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn out_of_order_acquisition_panics_in_debug() {
+        let result = std::thread::spawn(|| {
+            let a = OrderedMutex::new(rank::CONN_WRITER, "conn_writer", ());
+            let b = OrderedMutex::new(rank::MUX_GATE, "mux_gate", ());
+            let _ga = a.lock();
+            let _gb = b.lock(); // rank 90 under rank 100: hierarchy violation
+        })
+        .join();
+        assert!(result.is_err(), "inverted acquisition must panic");
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_instead_of_cascading() {
+        let m = std::sync::Arc::new(OrderedMutex::new(rank::RESULT_CACHE, "result_cache", 7));
+        let poisoner = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = poisoner.lock();
+            panic!("poison the mutex");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "second locker recovers the value");
+    }
+
+    #[test]
+    fn condvar_wait_roundtrips_the_guard() {
+        use std::sync::Arc;
+        let pair = Arc::new((
+            OrderedMutex::new(rank::POOL_WORK_QUEUE, "pool_work_queue", false),
+            Condvar::new(),
+        ));
+        let signaller = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            *signaller.0.lock() = true;
+            signaller.1.notify_one();
+        });
+        let mut guard = pair.0.lock();
+        while !*guard {
+            guard = guard.wait(&pair.1);
+        }
+        t.join().unwrap();
+    }
+}

@@ -12,6 +12,121 @@ use serde_json::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// The counter contract: every scalar series the engine exposes, as
+/// `(stats_path, prometheus_series)` pairs. `stats_path` is the
+/// dot-separated location inside the `stats` op's JSON; the Prometheus
+/// name is the exact series emitted by `stats {"format":"prometheus"}`
+/// and the `--metrics-port` responder.
+///
+/// This table is the source of truth `srank-analyze` checks both sides
+/// against (rule `stats-drift`): a counter added to the JSON or the
+/// exposition without a row here — or a row whose names are missing
+/// from `crates/service/README.md` — fails `scripts/check.sh`. The two
+/// histogram families (`srank_op_latency_micros`,
+/// `srank_phase_latency_micros`) are cataloged by base name; their
+/// `_bucket`/`_sum`/`_count` suffixes are implied.
+pub const COUNTER_CATALOG: &[(&str, &str)] = &[
+    ("uptime_seconds", "srank_uptime_seconds"),
+    ("datasets", "srank_datasets"),
+    ("session_table.open", "srank_sessions_open"),
+    ("session_table.checked_out", "srank_sessions_checked_out"),
+    ("session_table.refusals", "srank_session_refusals_total"),
+    ("session_queue.depth", "srank_session_queue_depth"),
+    ("session_queue.max_depth", "srank_session_queue_max_depth"),
+    (
+        "session_queue.queued_total",
+        "srank_session_queue_queued_total",
+    ),
+    ("session_queue.granted", "srank_session_queue_granted_total"),
+    (
+        "session_queue.cancelled",
+        "srank_session_queue_cancelled_total",
+    ),
+    (
+        "session_queue.fair_grants",
+        "srank_session_queue_fair_grants_total",
+    ),
+    (
+        "session_queue.wait_micros",
+        "srank_session_queue_wait_micros_total",
+    ),
+    ("result_cache.hits", "srank_result_cache_hits_total"),
+    ("result_cache.misses", "srank_result_cache_misses_total"),
+    ("result_cache.entries", "srank_result_cache_entries"),
+    ("sample_cache.hits", "srank_sample_cache_hits_total"),
+    ("sample_cache.misses", "srank_sample_cache_misses_total"),
+    ("sample_cache.entries", "srank_sample_cache_entries"),
+    ("pool.workers", "srank_pool_workers"),
+    ("pool.threads_spawned", "srank_pool_threads_spawned_total"),
+    ("pool.submitted", "srank_pool_jobs_submitted_total"),
+    ("pool.completed", "srank_pool_jobs_completed_total"),
+    ("pool.executing", "srank_pool_jobs_executing"),
+    ("pool.queue_depth", "srank_pool_queue_depth"),
+    ("pool.max_queue_depth", "srank_pool_queue_max_depth"),
+    (
+        "pool.queue_wait_micros",
+        "srank_pool_queue_wait_micros_total",
+    ),
+    (
+        "pool.backpressure_waits",
+        "srank_pool_backpressure_waits_total",
+    ),
+    ("pool.batches_buffered", "srank_pool_batches_buffered_total"),
+    ("pool.batches_streamed", "srank_pool_batches_streamed_total"),
+    ("pool.inline_answered", "srank_pool_inline_answered_total"),
+    ("pool.writes_coalesced", "srank_pool_writes_coalesced_total"),
+    ("ops", "srank_op_latency_micros"),
+    ("phases", "srank_phase_latency_micros"),
+    ("trace.recorded", "srank_trace_spans_recorded_total"),
+    ("trace.dropped", "srank_trace_spans_dropped_total"),
+    ("trace.buffered", "srank_trace_spans_buffered"),
+    ("guard.shed_total", "srank_guard_shed_total"),
+    (
+        "guard.shed_by_pool_queue",
+        "srank_guard_shed_by_pool_queue_total",
+    ),
+    (
+        "guard.shed_by_session_wait",
+        "srank_guard_shed_by_session_wait_total",
+    ),
+    (
+        "guard.deadline_expired_total",
+        "srank_guard_deadline_expired_total",
+    ),
+    (
+        "guard.deadline_expired_at_dequeue",
+        "srank_guard_deadline_expired_at_dequeue_total",
+    ),
+    (
+        "guard.deadline_expired_at_grant",
+        "srank_guard_deadline_expired_at_grant_total",
+    ),
+    (
+        "guard.deadline_expired_in_kernel",
+        "srank_guard_deadline_expired_in_kernel_total",
+    ),
+    ("store.snapshots", "srank_store_snapshots_total"),
+    ("store.restores", "srank_store_restores_total"),
+    ("store.sessions_saved", "srank_store_sessions_saved_total"),
+    (
+        "store.sessions_resumed",
+        "srank_store_sessions_resumed_total",
+    ),
+    (
+        "store.journal_checkpoints",
+        "srank_store_journal_checkpoints_total",
+    ),
+    ("store.write_failures", "srank_store_write_failures_total"),
+    (
+        "store.journal_failures",
+        "srank_store_journal_failures_total",
+    ),
+    (
+        "store.consecutive_failures",
+        "srank_store_consecutive_failures",
+    ),
+];
+
 /// Number of power-of-two latency buckets. Bucket `i` counts requests
 /// with latency in `[2^i, 2^(i+1))` microseconds — except bucket 0,
 /// which also absorbs sub-microsecond durations (`[0, 2)`), and the last

@@ -27,10 +27,11 @@
 //! `pool_queue` span interval against its sub-request's trace context
 //! (see `crate::trace`), so the pool needs no trace plumbing of its own.
 
+use crate::lockorder::{rank, OrderedMutex};
 use crate::metrics::PoolMetrics;
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -60,18 +61,22 @@ struct WorkQueueInner {
 /// behind its own slow sub-requests — other batches and singles traffic
 /// interleave with it at job granularity.
 struct WorkQueue {
-    inner: Mutex<WorkQueueInner>,
+    inner: OrderedMutex<WorkQueueInner>,
     available: Condvar,
 }
 
 impl WorkQueue {
     fn new() -> Self {
         Self {
-            inner: Mutex::new(WorkQueueInner {
-                groups: VecDeque::new(),
-                len: 0,
-                closed: false,
-            }),
+            inner: OrderedMutex::new(
+                rank::POOL_WORK_QUEUE,
+                "pool_work_queue",
+                WorkQueueInner {
+                    groups: VecDeque::new(),
+                    len: 0,
+                    closed: false,
+                },
+            ),
             available: Condvar::new(),
         }
     }
@@ -80,7 +85,7 @@ impl WorkQueue {
     /// it) when the queue is closed, so a shutdown-racing submitter can
     /// still run it.
     fn push(&self, group: u64, job: Job) -> Result<(), Job> {
-        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let mut inner = self.inner.lock();
         if inner.closed {
             return Err(job);
         }
@@ -99,9 +104,10 @@ impl WorkQueue {
     /// Blocks for the next job; `None` once the queue is closed *and*
     /// drained (shutdown still runs everything already accepted).
     fn pop(&self) -> Option<(Job, Instant)> {
-        let mut inner = self.inner.lock().expect("work queue poisoned");
+        let mut inner = self.inner.lock();
         loop {
             if let Some((group, mut jobs)) = inner.groups.pop_front() {
+                // analyze: allow(panic, "push never leaves an empty group in the ring")
                 let entry = jobs.pop_front().expect("ring holds no empty groups");
                 inner.len -= 1;
                 if !jobs.is_empty() {
@@ -114,12 +120,12 @@ impl WorkQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).expect("work queue poisoned");
+            inner = inner.wait(&self.available);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().expect("work queue poisoned").closed = true;
+        self.inner.lock().closed = true;
         self.available.notify_all();
     }
 }
@@ -258,7 +264,7 @@ struct BoundedQueueInner<T> {
 /// worker forever: it closes the queue and the workers' remaining pushes
 /// become no-ops.
 pub struct BoundedQueue<T> {
-    inner: Mutex<BoundedQueueInner<T>>,
+    inner: OrderedMutex<BoundedQueueInner<T>>,
     not_full: Condvar,
     not_empty: Condvar,
     cap: usize,
@@ -268,10 +274,14 @@ pub struct BoundedQueue<T> {
 impl<T> BoundedQueue<T> {
     pub fn new(cap: usize, metrics: Arc<PoolMetrics>) -> Self {
         Self {
-            inner: Mutex::new(BoundedQueueInner {
-                items: VecDeque::new(),
-                closed: false,
-            }),
+            inner: OrderedMutex::new(
+                rank::POOL_RESPONSE_QUEUE,
+                "pool_response_queue",
+                BoundedQueueInner {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
             cap: cap.max(1),
@@ -282,7 +292,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until there is room (or the queue is closed, in which case
     /// the item is discarded).
     pub fn push(&self, item: T) {
-        let mut inner = self.inner.lock().expect("response queue poisoned");
+        let mut inner = self.inner.lock();
         if inner.items.len() >= self.cap && !inner.closed {
             // One blocking *event* — counted once, not once per condvar
             // wakeup, so the metric reads as "times a worker had to wait"
@@ -292,7 +302,7 @@ impl<T> BoundedQueue<T> {
                 .fetch_add(1, Ordering::Relaxed);
         }
         while inner.items.len() >= self.cap && !inner.closed {
-            inner = self.not_full.wait(inner).expect("response queue poisoned");
+            inner = inner.wait(&self.not_full);
         }
         if inner.closed {
             return;
@@ -307,7 +317,7 @@ impl<T> BoundedQueue<T> {
     /// piled up behind the one it just popped, flagging each "another
     /// follows immediately" so the transport can coalesce their flushes.
     pub fn try_pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("response queue poisoned");
+        let mut inner = self.inner.lock();
         let item = inner.items.pop_front()?;
         drop(inner);
         self.not_full.notify_one();
@@ -316,7 +326,7 @@ impl<T> BoundedQueue<T> {
 
     /// Blocks for the next item; `None` once closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("response queue poisoned");
+        let mut inner = self.inner.lock();
         loop {
             if let Some(item) = inner.items.pop_front() {
                 drop(inner);
@@ -326,14 +336,14 @@ impl<T> BoundedQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.not_empty.wait(inner).expect("response queue poisoned");
+            inner = inner.wait(&self.not_empty);
         }
     }
 
     /// Marks the queue closed: pending and future `push`es drop their
     /// items, blocked pushers wake immediately.
     pub fn close(&self) {
-        self.inner.lock().expect("response queue poisoned").closed = true;
+        self.inner.lock().closed = true;
         self.not_full.notify_all();
         self.not_empty.notify_all();
     }
@@ -353,6 +363,7 @@ impl<T> Drop for CloseOnDrop<'_, T> {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
 
     #[test]
     fn pool_runs_every_submitted_job() {

@@ -6,6 +6,7 @@
 //! a process-wide generation counter; cache keys embed the generation so
 //! reloading a dataset under the same name can never serve stale results.
 
+use crate::lockorder::{rank, OrderedRwLock};
 use crate::proto::{ServiceError, ServiceResult};
 use srank_core::Dataset;
 use srank_data::{
@@ -13,7 +14,7 @@ use srank_data::{
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// A dataset registered with the engine.
 #[derive(Debug)]
@@ -221,10 +222,19 @@ impl DatasetSource {
 }
 
 /// The shared registry. All methods are `&self`; interior locking.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DatasetRegistry {
-    entries: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    entries: OrderedRwLock<HashMap<String, Arc<DatasetEntry>>>,
     generation: AtomicU64,
+}
+
+impl Default for DatasetRegistry {
+    fn default() -> Self {
+        Self {
+            entries: OrderedRwLock::new(rank::REGISTRY, "registry", HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
 }
 
 impl DatasetRegistry {
@@ -288,7 +298,6 @@ impl DatasetRegistry {
         });
         self.entries
             .write()
-            .expect("registry lock poisoned")
             .insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
     }
@@ -296,7 +305,6 @@ impl DatasetRegistry {
     pub fn get(&self, name: &str) -> ServiceResult<Arc<DatasetEntry>> {
         self.entries
             .read()
-            .expect("registry lock poisoned")
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::not_found(format!("dataset '{name}' is not registered")))
@@ -304,22 +312,12 @@ impl DatasetRegistry {
 
     /// Removes `name`; reports whether it existed.
     pub fn drop_entry(&self, name: &str) -> bool {
-        self.entries
-            .write()
-            .expect("registry lock poisoned")
-            .remove(name)
-            .is_some()
+        self.entries.write().remove(name).is_some()
     }
 
     /// Registered entries, sorted by name for deterministic listings.
     pub fn list(&self) -> Vec<Arc<DatasetEntry>> {
-        let mut entries: Vec<_> = self
-            .entries
-            .read()
-            .expect("registry lock poisoned")
-            .values()
-            .cloned()
-            .collect();
+        let mut entries: Vec<_> = self.entries.read().values().cloned().collect();
         entries.sort_by(|a, b| a.name.cmp(&b.name));
         entries
     }

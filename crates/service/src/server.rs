@@ -22,12 +22,13 @@
 //! answered inline on the reader thread, in arrival order.
 
 use crate::engine::Engine;
+use crate::lockorder::{rank, OrderedMutex};
 use crate::trace::{self, phase, TraceCtx};
 use serde_json::Value;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 
 /// A running TCP server. Dropping the handle does *not* stop the workers;
@@ -111,7 +112,7 @@ pub fn serve_tcp(engine: Arc<Engine>, addr: &str, workers: usize) -> std::io::Re
 /// connection no matter how many stream requests the client floods in.
 struct MuxGate {
     cap: usize,
-    active: Mutex<usize>,
+    active: OrderedMutex<usize>,
     freed: Condvar,
 }
 
@@ -119,7 +120,7 @@ impl MuxGate {
     fn new(cap: usize) -> Self {
         Self {
             cap,
-            active: Mutex::new(0),
+            active: OrderedMutex::new(rank::MUX_GATE, "mux_gate", 0),
             freed: Condvar::new(),
         }
     }
@@ -133,28 +134,25 @@ impl MuxGate {
     /// behind a full gate stays responsive to shutdown and to writer
     /// failure. Returns `false` (no slot taken) when halted.
     fn acquire(&self, halt: impl Fn() -> bool) -> bool {
-        let mut active = self.active.lock().expect("mux gate poisoned");
+        let mut active = self.active.lock();
         while *active >= self.cap {
             if halt() {
                 return false;
             }
-            (active, _) = self
-                .freed
-                .wait_timeout(active, std::time::Duration::from_millis(100))
-                .expect("mux gate poisoned");
+            active = active.wait_timeout(&self.freed, std::time::Duration::from_millis(100));
         }
         *active += 1;
         true
     }
 
     fn release(&self) {
-        *self.active.lock().expect("mux gate poisoned") -= 1;
+        *self.active.lock() -= 1;
         self.freed.notify_one();
     }
 
     /// Streams currently running on side threads.
     fn in_flight(&self) -> usize {
-        *self.active.lock().expect("mux gate poisoned")
+        *self.active.lock()
     }
 }
 
@@ -164,7 +162,7 @@ struct Connection<'env, W> {
     engine: &'env Engine,
     /// Response lines from the reader thread and every side thread are
     /// serialized through this lock, one complete line per acquisition.
-    writer: &'env Mutex<W>,
+    writer: &'env OrderedMutex<W>,
     gate: &'env MuxGate,
     /// The connection's death flag: set when any thread hits a write
     /// error or when the reader leaves its loop (EOF, idle disconnect,
@@ -201,7 +199,7 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
     // worker to the accept pool (clients reconnect per request anyway).
     const IDLE_DISCONNECT: std::time::Duration = std::time::Duration::from_secs(60);
     let mut last_activity = std::time::Instant::now();
-    let writer = Mutex::new(stream.try_clone()?);
+    let writer = OrderedMutex::new(rank::CONN_WRITER, "conn_writer", stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let gate = MuxGate::new(engine.config().mux_streams);
     let dead = Arc::new(AtomicBool::new(false));
@@ -270,11 +268,11 @@ fn serve_connection(engine: &Engine, stream: TcpStream, stop: &AtomicBool) -> st
 /// split small writes cost an extra TCP segment — and, without
 /// TCP_NODELAY, a delayed-ACK round — per line) under the shared writer
 /// lock, so concurrent streams interleave whole lines, never bytes.
-fn write_line(writer: &Mutex<impl Write>, response: &str) -> std::io::Result<()> {
+fn write_line(writer: &OrderedMutex<impl Write>, response: &str) -> std::io::Result<()> {
     let mut bytes = Vec::with_capacity(response.len() + 1);
     bytes.extend_from_slice(response.as_bytes());
     bytes.push(b'\n');
-    let mut writer = writer.lock().expect("connection writer poisoned");
+    let mut writer = writer.lock();
     writer.write_all(&bytes)?;
     writer.flush()
 }
@@ -286,7 +284,7 @@ fn write_line(writer: &Mutex<impl Write>, response: &str) -> std::io::Result<()>
 /// pool (TCP) or killing the process (stdio).
 fn handle_catching<W: Write>(
     engine: &Engine,
-    writer: &Mutex<W>,
+    writer: &OrderedMutex<W>,
     request: &Value,
     dead: &Arc<AtomicBool>,
 ) -> std::io::Result<()> {
@@ -407,7 +405,7 @@ pub fn serve_stream(
     writer: impl Write + Send,
 ) -> std::io::Result<()> {
     let reader = BufReader::new(reader);
-    let writer = Mutex::new(writer);
+    let writer = OrderedMutex::new(rank::CONN_WRITER, "conn_writer", writer);
     let gate = MuxGate::new(engine.config().mux_streams);
     let dead = Arc::new(AtomicBool::new(false));
     std::thread::scope(|scope| {
@@ -514,6 +512,7 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
         // Answer every complete request head already buffered (GETs have
         // no body, so the head boundary is the request boundary).
         while let Some(end) = find_header_end(&buf) {
+            // analyze: allow(panic, find_header_end returns an offset within buf)
             let head = String::from_utf8_lossy(&buf[..end]).into_owned();
             buf.drain(..end);
             let close = metrics_request_wants_close(&head);
@@ -553,6 +552,7 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
             Ok(n) => {
+                // analyze: allow(panic, read returns n <= chunk.len)
                 buf.extend_from_slice(&chunk[..n]);
                 last_activity = std::time::Instant::now();
             }

@@ -44,12 +44,13 @@
 //! idle sweep and `stats`, which visit shards one at a time. The global
 //! session cap is enforced with a lock-free counter.
 
+use crate::lockorder::{rank, OrderedMutex};
 use crate::proto::{ErrorCode, ServiceError, ServiceResult};
 use rand::rngs::StdRng;
 use srank_core::{MdState, RandomizedState, Sweep2DState};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar};
 use std::time::{Duration, Instant};
 
 /// Default bound on waiters parked per session (see
@@ -256,6 +257,7 @@ pub struct CheckedOut<'a> {
 
 impl CheckedOut<'_> {
     pub fn session(&mut self) -> &mut Session {
+        // analyze: allow(panic, the Option is only taken by drop or discard which consume self)
         self.session.as_mut().expect("present until drop/discard")
     }
 
@@ -347,10 +349,12 @@ impl Waiter {
     }
 
     fn grant(mut self, session: Session) {
+        // analyze: allow(panic, grant/fail consume the waiter so deliver is taken at most once)
         (self.deliver.take().expect("delivered once"))(Ok(session));
     }
 
     fn fail(mut self, error: ServiceError) {
+        // analyze: allow(panic, grant/fail consume the waiter so deliver is taken at most once)
         (self.deliver.take().expect("delivered once"))(Err(error));
     }
 }
@@ -371,7 +375,7 @@ impl Drop for Waiter {
 /// A blocking rendezvous for transport threads: park `waiter()` on the
 /// session's queue, then `wait()` for the handoff.
 pub struct Handoff {
-    slot: Mutex<Option<ServiceResult<Session>>>,
+    slot: OrderedMutex<Option<ServiceResult<Session>>>,
     ready: Condvar,
 }
 
@@ -379,7 +383,7 @@ impl Handoff {
     #[allow(clippy::new_ret_no_self)]
     pub fn new() -> Arc<Self> {
         Arc::new(Self {
-            slot: Mutex::new(None),
+            slot: OrderedMutex::new(rank::SESSION_HANDOFF, "session_handoff", None),
             ready: Condvar::new(),
         })
     }
@@ -402,7 +406,7 @@ impl Handoff {
     fn deliverer(self: &Arc<Self>) -> impl FnOnce(ServiceResult<Session>) + Send + 'static {
         let handoff = Arc::clone(self);
         move |outcome| {
-            *handoff.slot.lock().expect("handoff poisoned") = Some(outcome);
+            *handoff.slot.lock() = Some(outcome);
             handoff.ready.notify_one();
         }
     }
@@ -411,12 +415,12 @@ impl Handoff {
     /// Never unbounded in practice: the session's current holder is
     /// always actively executing, and the queue ahead is bounded.
     pub fn wait(&self) -> ServiceResult<Session> {
-        let mut slot = self.slot.lock().expect("handoff poisoned");
+        let mut slot = self.slot.lock();
         loop {
             if let Some(outcome) = slot.take() {
                 return outcome;
             }
-            slot = self.ready.wait(slot).expect("handoff poisoned");
+            slot = slot.wait(&self.ready);
         }
     }
 }
@@ -498,7 +502,7 @@ pub struct QueueCounters {
 
 /// The shared session table. All methods take `&self`.
 pub struct SessionManager {
-    shards: Vec<Mutex<HashMap<u64, Slot>>>,
+    shards: Vec<OrderedMutex<HashMap<u64, Slot>>>,
     next_seq: AtomicU64,
     /// Open sessions across all shards (including checked-out ones) —
     /// the lock-free capacity gate.
@@ -536,7 +540,7 @@ impl SessionManager {
     pub fn with_queue_depth(max_sessions: usize, queue_depth: usize) -> Self {
         Self {
             shards: (0..NUM_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| OrderedMutex::new(rank::SESSION_SHARD, "session_shard", HashMap::new()))
                 .collect(),
             next_seq: AtomicU64::new(0),
             count: AtomicUsize::new(0),
@@ -556,7 +560,8 @@ impl SessionManager {
     }
 
     /// The shard a session id routes to (encoded in its low bits).
-    fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, Slot>> {
+    fn shard_of(&self, id: u64) -> &OrderedMutex<HashMap<u64, Slot>> {
+        // analyze: allow(panic, the mask keeps the index below NUM_SHARDS)
         &self.shards[(id & (NUM_SHARDS as u64 - 1)) as usize]
     }
 
@@ -585,29 +590,27 @@ impl SessionManager {
         let seq = self.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let id = (seq << SHARD_BITS) | shard as u64;
         let now = Instant::now();
-        self.shards[shard]
-            .lock()
-            .expect("session lock poisoned")
-            .insert(
-                id,
-                Slot {
-                    state: SlotState::Available(Box::new(Session {
-                        id,
-                        dataset,
-                        generation,
-                        state,
-                        created: now,
-                        last_used: now,
-                        returned: 0,
-                        last_stability: None,
-                        advances: 1,
-                        checkpointed: 0,
-                    })),
-                    queue: VecDeque::new(),
-                    queue_high_water: 0,
-                    last_client: 0,
-                },
-            );
+        // analyze: allow(panic, dataset_shard masks to NUM_SHARDS)
+        self.shards[shard].lock().insert(
+            id,
+            Slot {
+                state: SlotState::Available(Box::new(Session {
+                    id,
+                    dataset,
+                    generation,
+                    state,
+                    created: now,
+                    last_used: now,
+                    returned: 0,
+                    last_stability: None,
+                    advances: 1,
+                    checkpointed: 0,
+                })),
+                queue: VecDeque::new(),
+                queue_high_water: 0,
+                last_client: 0,
+            },
+        );
         Ok(id)
     }
 
@@ -630,7 +633,8 @@ impl SessionManager {
         }
         // Advance the sequence past the restored id (lock-free max).
         self.next_seq.fetch_max(id >> SHARD_BITS, Ordering::Relaxed);
-        let mut slots = self.shards[shard].lock().expect("session lock poisoned");
+        // analyze: allow(panic, dataset_shard masks to NUM_SHARDS)
+        let mut slots = self.shards[shard].lock();
         let replacing = slots.contains_key(&id);
         if !replacing
             && self
@@ -684,7 +688,7 @@ impl SessionManager {
         let mut exports = Vec::new();
         let mut busy = Vec::new();
         for shard in &self.shards {
-            let slots = shard.lock().expect("session lock poisoned");
+            let slots = shard.lock();
             for (&id, slot) in slots.iter() {
                 match &slot.state {
                     SlotState::Available(s) => {
@@ -710,7 +714,7 @@ impl SessionManager {
     /// export. Monotonic, so a stale call can never un-checkpoint newer
     /// progress.
     pub fn mark_checkpointed(&self, id: u64, advances: u64) {
-        let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
+        let mut slots = self.shard_of(id).lock();
         if let Some(Slot {
             state: SlotState::Available(s),
             ..
@@ -743,7 +747,7 @@ impl SessionManager {
     /// not drop work use [`check_out_or_queue`](Self::check_out_or_queue)
     /// instead.
     pub fn check_out(&self, id: u64) -> ServiceResult<CheckedOut<'_>> {
-        let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
+        let mut slots = self.shard_of(id).lock();
         match slots.get_mut(&id) {
             None => Err(Self::not_found(id)),
             Some(slot) => match &slot.state {
@@ -762,6 +766,7 @@ impl SessionManager {
         let SlotState::Available(session) =
             std::mem::replace(&mut slot.state, SlotState::CheckedOut)
         else {
+            // analyze: allow(panic, callers match SlotState::Available before calling take)
             unreachable!("Available matched by the caller")
         };
         self.checked_out.fetch_add(1, Ordering::Relaxed);
@@ -784,7 +789,7 @@ impl SessionManager {
         id: u64,
         waiter: impl FnOnce() -> Waiter,
     ) -> ServiceResult<CheckOut<'_>> {
-        let mut slots = self.shard_of(id).lock().expect("session lock poisoned");
+        let mut slots = self.shard_of(id).lock();
         let Some(slot) = slots.get_mut(&id) else {
             return Err(Self::not_found(id));
         };
@@ -838,10 +843,7 @@ impl SessionManager {
     fn restore(&self, mut session: Session) {
         session.last_used = Instant::now();
         let (cancelled, handed_off, fair_pick) = {
-            let mut slots = self
-                .shard_of(session.id)
-                .lock()
-                .expect("session lock poisoned");
+            let mut slots = self.shard_of(session.id).lock();
             match slots.get_mut(&session.id) {
                 // A close/eviction that raced the check-out wins: the
                 // session is dropped (close drained any waiters).
@@ -854,6 +856,7 @@ impl SessionManager {
                     // thread still wakes, and counted as cancelled.
                     let mut cancelled = Vec::new();
                     while slot.queue.front().is_some_and(Waiter::is_cancelled) {
+                        // analyze: allow(panic, the loop condition just observed a front element)
                         cancelled.push(slot.queue.pop_front().expect("front just observed"));
                     }
                     if slot.queue.is_empty() {
@@ -862,6 +865,7 @@ impl SessionManager {
                     } else {
                         let choice =
                             Self::fair_choice(&slot.queue, slot.last_client, &self.queue_wait_hist);
+                        // analyze: allow(panic, fair_choice returns an index into the queue)
                         let waiter = slot.queue.remove(choice).expect("choice is in bounds");
                         slot.last_client = waiter.client;
                         (cancelled, Some((waiter, session)), choice != 0)
@@ -935,11 +939,7 @@ impl SessionManager {
     /// Closes a session; reports whether it existed. Queued waiters are
     /// failed with `session_not_found` — never dropped silently.
     pub fn close(&self, id: u64) -> bool {
-        let removed = self
-            .shard_of(id)
-            .lock()
-            .expect("session lock poisoned")
-            .remove(&id);
+        let removed = self.shard_of(id).lock().remove(&id);
         match removed {
             None => false,
             Some(slot) => {
@@ -969,7 +969,7 @@ impl SessionManager {
         let now = Instant::now();
         let mut evicted = 0;
         for shard in &self.shards {
-            let mut slots = shard.lock().expect("session lock poisoned");
+            let mut slots = shard.lock();
             let before = slots.len();
             slots.retain(|_, slot| {
                 !slot.queue.is_empty()
@@ -1033,7 +1033,7 @@ impl SessionManager {
     pub fn list(&self) -> Vec<(u64, String, String, usize, usize)> {
         let mut rows: Vec<(u64, String, String, usize, usize)> = Vec::new();
         for shard in &self.shards {
-            let slots = shard.lock().expect("session lock poisoned");
+            let slots = shard.lock();
             rows.extend(slots.iter().map(|(&id, slot)| match &slot.state {
                 SlotState::Available(s) => (
                     id,
@@ -1060,6 +1060,7 @@ impl SessionManager {
 mod tests {
     use super::*;
     use srank_core::{AngleInterval, Dataset, Enumerator2D};
+    use std::sync::Mutex;
 
     fn sweep_state() -> SessionState {
         let data = Dataset::figure1();

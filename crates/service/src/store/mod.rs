@@ -44,6 +44,7 @@ pub mod journal;
 pub mod layout;
 
 use crate::engine::EngineCore;
+use crate::lockorder::{rank, OrderedMutex};
 use crate::proto::{Object, ServiceError, ServiceResult};
 use crate::registry::{dataset_checksum, DatasetSource};
 use crate::session::Session;
@@ -55,7 +56,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Counters surfaced through the `stats` op's `store` block.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StoreCounters {
     pub snapshots: AtomicU64,
     pub restores: AtomicU64,
@@ -72,7 +73,23 @@ pub struct StoreCounters {
     /// is non-zero, and the journal backs off exponentially on it.
     pub consecutive_failures: AtomicU64,
     /// The most recent store IO error, verbatim (`None` = never failed).
-    pub last_error: std::sync::Mutex<Option<String>>,
+    pub last_error: OrderedMutex<Option<String>>,
+}
+
+impl Default for StoreCounters {
+    fn default() -> Self {
+        Self {
+            snapshots: AtomicU64::new(0),
+            restores: AtomicU64::new(0),
+            sessions_saved: AtomicU64::new(0),
+            sessions_resumed: AtomicU64::new(0),
+            journal_checkpoints: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+            journal_failures: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            last_error: OrderedMutex::new(rank::STORE_STATE, "store_state", None),
+        }
+    }
 }
 
 impl StoreCounters {
@@ -80,15 +97,12 @@ impl StoreCounters {
     /// `last_error` for `stats.store` / `health`.
     pub fn note_write_failure(&self, what: &str, e: &dyn std::fmt::Display) {
         self.write_failures.fetch_add(1, Ordering::Relaxed);
-        *self.last_error.lock().expect("store last_error poisoned") = Some(format!("{what}: {e}"));
+        *self.last_error.lock() = Some(format!("{what}: {e}"));
     }
 
     /// The recorded `last_error`, cloned out.
     pub fn last_error(&self) -> Option<String> {
-        self.last_error
-            .lock()
-            .expect("store last_error poisoned")
-            .clone()
+        self.last_error.lock().clone()
     }
 }
 
@@ -193,14 +207,14 @@ impl Store {
         // Clone the cache contents out under short locks; file IO happens
         // lock-free.
         let results: Vec<(String, Value)> = {
-            let cache = core.results_cache().lock().expect("result cache poisoned");
+            let cache = core.results_cache().lock();
             cache
                 .iter_lru()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect()
         };
         let samples: Vec<(String, Arc<SampleBuffer>)> = {
-            let cache = core.samples_cache().lock().expect("sample cache poisoned");
+            let cache = core.samples_cache().lock();
             cache
                 .iter_lru()
                 .map(|(k, v)| (k.clone(), Arc::clone(v)))
@@ -566,7 +580,6 @@ impl Store {
                         .ok_or_else(|| format!("{}: result entry has no value", path.display()))?;
                     core.results_cache()
                         .lock()
-                        .expect("result cache poisoned")
                         .insert(key.to_string(), value.clone());
                     results += 1;
                 }
@@ -581,7 +594,6 @@ impl Store {
                     .map_err(|e| format!("{}: {e}", path.display()))?;
                     core.samples_cache()
                         .lock()
-                        .expect("sample cache poisoned")
                         .insert(key.to_string(), Arc::new(buffer));
                     sample_batches += 1;
                 }
@@ -772,9 +784,19 @@ impl Store {
                 "Background journal passes that failed entirely or partially.",
                 load(&self.counters.journal_failures),
             ),
+            (
+                "store_consecutive_failures",
+                "Current run of back-to-back store write failures.",
+                load(&self.counters.consecutive_failures),
+            ),
         ] {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
             let _ = writeln!(out, "# HELP srank_{name} {help}");
-            let _ = writeln!(out, "# TYPE srank_{name} counter");
+            let _ = writeln!(out, "# TYPE srank_{name} {kind}");
             let _ = writeln!(out, "srank_{name} {value}");
         }
         out

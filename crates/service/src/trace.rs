@@ -24,13 +24,14 @@
 //! helpers (cache probes, store I/O) can attach child spans without
 //! parameter plumbing.
 
+use crate::lockorder::{rank, OrderedMutex};
 use crate::log;
 use crate::proto::Object;
 use serde_json::Value;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Span phase names — the closed taxonomy used across the service.
@@ -179,7 +180,7 @@ struct TracerInner {
     capacity: usize,
     /// All `start_us` values are relative to this instant.
     epoch: Instant,
-    recorder: Mutex<VecDeque<SpanRecord>>,
+    recorder: OrderedMutex<VecDeque<SpanRecord>>,
     /// Records ever drained into the recorder.
     recorded: AtomicU64,
     /// Records evicted from the bounded recorder.
@@ -205,7 +206,7 @@ impl Tracer {
             slow_micros: AtomicU64::new(slow_micros),
             capacity: capacity.max(1),
             epoch: Instant::now(),
-            recorder: Mutex::new(VecDeque::new()),
+            recorder: OrderedMutex::new(rank::TRACE_RING, "trace_ring", VecDeque::new()),
             recorded: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }))
@@ -362,7 +363,7 @@ impl Tracer {
         if records.is_empty() {
             return;
         }
-        let mut recorder = self.0.recorder.lock().unwrap();
+        let mut recorder = self.0.recorder.lock();
         self.0
             .recorded
             .fetch_add(records.len() as u64, Ordering::Relaxed);
@@ -380,7 +381,7 @@ impl Tracer {
     /// recorded, records evicted by the bound, and the sampling rate.
     pub fn stats_value(&self) -> Value {
         self.flush_thread();
-        let buffered = self.0.recorder.lock().unwrap().len();
+        let buffered = self.0.recorder.lock().len();
         Object::default()
             .field("sample_every", self.sample_every())
             .field("slow_micros", self.0.slow_micros.load(Ordering::Relaxed))
@@ -389,6 +390,42 @@ impl Tracer {
             .field("recorded", self.0.recorded.load(Ordering::Relaxed))
             .field("dropped", self.0.dropped.load(Ordering::Relaxed))
             .build()
+    }
+
+    /// Prometheus text exposition of the recorder counters (the
+    /// scrape-side twin of [`stats_value`](Self::stats_value)).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        self.flush_thread();
+        let buffered = self.0.recorder.lock().len() as u64;
+        let mut out = String::new();
+        for (name, help, value) in [
+            (
+                "trace_spans_recorded_total",
+                "Spans ever recorded by the trace ring.",
+                self.0.recorded.load(Ordering::Relaxed),
+            ),
+            (
+                "trace_spans_dropped_total",
+                "Spans evicted by the trace ring's capacity bound.",
+                self.0.dropped.load(Ordering::Relaxed),
+            ),
+            (
+                "trace_spans_buffered",
+                "Spans held in the trace ring right now.",
+                buffered,
+            ),
+        ] {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# HELP srank_{name} {help}");
+            let _ = writeln!(out, "# TYPE srank_{name} {kind}");
+            let _ = writeln!(out, "srank_{name} {value}");
+        }
+        out
     }
 
     /// Queries recent traces as span trees, most recent root first.
@@ -407,7 +444,7 @@ impl Tracer {
     ) -> Value {
         self.flush_thread();
         let records: Vec<SpanRecord> = {
-            let recorder = self.0.recorder.lock().unwrap();
+            let recorder = self.0.recorder.lock();
             recorder.iter().cloned().collect()
         };
         let mut traces = assemble_traces(&records);
@@ -451,7 +488,7 @@ impl Tracer {
             return;
         }
         let records: Vec<SpanRecord> = {
-            let recorder = self.0.recorder.lock().unwrap();
+            let recorder = self.0.recorder.lock();
             recorder
                 .iter()
                 .filter(|r| r.trace == trace)
@@ -465,6 +502,7 @@ impl Tracer {
             .map(|t| render_trace(&records, t))
             .unwrap_or(Value::Null);
         log::warn_fields(
+            // analyze: allow(drift, log target name, not a Prometheus series)
             "srank_trace",
             "slow request",
             &[

@@ -617,6 +617,35 @@ fn prometheus_exposition_over_stats_and_metrics_port() {
     metrics.shutdown();
 }
 
+/// Every row of [`srank_service::metrics::COUNTER_CATALOG`] — the
+/// contract table `srank-analyze` checks the docs against — is really
+/// present on both sides: the Prometheus series in the exposition and
+/// the stats path in the `stats` JSON. A counter renamed in code
+/// without a catalog update fails here before the analyzer ever runs.
+#[test]
+fn counter_catalog_matches_live_exposition_and_stats() {
+    let dir = TempDir::new("counter-catalog");
+    let engine = engine_with_dir(dir.path());
+    call(&engine, LOAD_DOT);
+    call(&engine, VERIFY_DOT);
+    call(&engine, r#"{"op": "snapshot"}"#);
+    let text = call(&engine, r#"{"op": "stats", "format": "prometheus"}"#);
+    let text = text.get("text").unwrap().as_str().unwrap();
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    for (stats_path, prom) in srank_service::metrics::COUNTER_CATALOG {
+        assert!(
+            text.contains(&format!("# TYPE {prom} ")),
+            "catalog series '{prom}' missing from the Prometheus exposition"
+        );
+        let mut node = &stats;
+        for segment in stats_path.split('.') {
+            node = node.get(segment).unwrap_or_else(|| {
+                panic!("catalog stats path '{stats_path}' missing at '{segment}' in stats JSON")
+            });
+        }
+    }
+}
+
 /// Reads exactly one HTTP response (headers + Content-Length body) off a
 /// keep-alive metrics connection, returning (head, body).
 fn read_metrics_response(conn: &mut std::net::TcpStream) -> (String, String) {
