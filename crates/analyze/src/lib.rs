@@ -4,7 +4,7 @@
 //! The analyzer is brace/token-aware, not a full parser: it lexes each
 //! source file once (stripping comments and string contents while
 //! remembering where the strings were), drops `#[cfg(test)]` blocks,
-//! and runs four project-invariant passes over the result:
+//! and runs five project-invariant passes over the result:
 //!
 //! 1. **`lock-order`** — extracts every `OrderedMutex`/`OrderedRwLock`
 //!    construction site in `crates/service`, attributes nested
@@ -26,6 +26,12 @@
 //!    have a README protocol entry (`` **`op`** ``) and at least one
 //!    integration test mentioning it, and the README error-code table
 //!    must equal the canonical typed list in `proto.rs`.
+//! 5. **`dead-counter`** — every `COUNTER_CATALOG` row's stats-path
+//!    leaf must show mutation evidence somewhere in
+//!    `crates/service/src` (`fetch_add`/`store`/`+=`/…): a cataloged
+//!    counter nothing increments is dead weight that rots the docs.
+//!    `// analyze: allow(dead-counter, reason)` escapes values
+//!    computed at read time (lengths, uptimes, derived rates).
 //!
 //! The library is deliberately path-driven ([`analyze`] takes a root
 //! directory shaped like the workspace) so the self-tests can point it
@@ -37,7 +43,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 /// One analyzer finding. `rule` is the pass id (`lock-order`,
-/// `panic-path`, `stats-drift`, `wire-op`); `file` is root-relative.
+/// `panic-path`, `stats-drift`, `wire-op`, `dead-counter`); `file` is
+/// root-relative.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     pub rule: &'static str,
@@ -1406,9 +1413,104 @@ fn pass_wire_op(ws: &Workspace, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------
+// Pass 5: dead-counter
+
+/// Mutation evidence accepted for a catalog leaf: the leaf identifier
+/// immediately followed (after optional whitespace — rustfmt may break
+/// the chain across lines) by one of these.
+const MUTATION_SUFFIXES: &[&str] = &[
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".store(",
+    ".record(",
+    "+=",
+    "-=",
+];
+
+/// Whether `leaf` appears anywhere in `code` as a standalone identifier
+/// directly followed by a mutation suffix.
+fn leaf_is_mutated(code: &str, leaf: &str) -> bool {
+    let b = code.as_bytes();
+    let mut from = 0;
+    while let Some(at) = code[from..].find(leaf) {
+        let at = from + at;
+        from = at + leaf.len();
+        if at > 0 && is_ident(b[at - 1]) {
+            continue; // suffix of a longer identifier
+        }
+        let after = code[at + leaf.len()..].trim_start();
+        if MUTATION_SUFFIXES.iter().any(|s| after.starts_with(s)) {
+            return true;
+        }
+    }
+    false
+}
+
+fn pass_dead_counter(ws: &Workspace, findings: &mut Vec<Finding>) {
+    let Some(metrics) = ws
+        .service_src
+        .iter()
+        .find(|s| s.file.ends_with("/metrics.rs"))
+    else {
+        return;
+    };
+    let Some(cat_at) = metrics.code.find("COUNTER_CATALOG") else {
+        return; // stats-drift already reports the missing table
+    };
+    let cat_end = metrics.code[cat_at..]
+        .find("];")
+        .map(|x| cat_at + x)
+        .unwrap_or(metrics.code.len());
+    let rows: Vec<&StrLit> = metrics
+        .strings
+        .iter()
+        .filter(|s| s.pos > cat_at && s.pos < cat_end)
+        .collect();
+    if !rows.len().is_multiple_of(2) {
+        return; // stats-drift already reports the malformed table
+    }
+    // An annotation covers its own line plus the two following lines:
+    // the row it precedes may be rustfmt-wrapped, putting the path
+    // literal one line below the row's opening paren.
+    let suppressed: BTreeSet<usize> = metrics
+        .annotations
+        .iter()
+        .filter(|a| a.text.starts_with("allow(dead-counter"))
+        .flat_map(|a| [a.line, a.line + 1, a.line + 2])
+        .collect();
+    for pair in rows.chunks(2) {
+        let (path, prom) = (pair[0], pair[1]);
+        if suppressed.contains(&path.line) {
+            continue;
+        }
+        let leaf = path.value.rsplit('.').next().unwrap_or(&path.value);
+        if leaf.is_empty() {
+            continue;
+        }
+        let mutated = ws
+            .service_src
+            .iter()
+            .any(|src| leaf_is_mutated(&src.code, leaf));
+        if !mutated {
+            findings.push(Finding {
+                rule: "dead-counter",
+                file: metrics.file.clone(),
+                line: path.line,
+                message: format!(
+                    "catalog row (`{}`, `{}`) has no mutation evidence: nothing in crates/service/src increments or assigns `{leaf}` — remove the row, or annotate `// analyze: allow(dead-counter, reason)` if the value is computed at read time",
+                    path.value, prom.value
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Entry point
 
-/// Runs all four passes over the workspace rooted at `root`, returning
+/// Runs all five passes over the workspace rooted at `root`, returning
 /// findings sorted by (file, line, rule). `Err` means the root does not
 /// look like the workspace (missing directories/files), not a finding.
 pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
@@ -1418,6 +1520,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
     pass_panic_path(&ws, &mut findings);
     pass_stats_drift(&ws, &mut findings);
     pass_wire_op(&ws, &mut findings);
+    pass_dead_counter(&ws, &mut findings);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     Ok(findings)

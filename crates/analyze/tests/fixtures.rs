@@ -71,6 +71,19 @@ fn undocumented_op_fixture_yields_one_wire_op_finding() {
 }
 
 #[test]
+fn dead_counter_fixture_yields_one_dead_counter_finding() {
+    let findings = run("dead_counter");
+    assert_eq!(findings.len(), 1, "findings: {findings:?}");
+    assert_eq!(findings[0].rule, "dead-counter");
+    assert!(
+        findings[0].message.contains("pool.stalls"),
+        "message: {}",
+        findings[0].message
+    );
+    assert!(findings[0].file.ends_with("metrics.rs"));
+}
+
+#[test]
 fn real_tree_is_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
     let findings = srank_analyze::analyze(&root).expect("workspace root loads");

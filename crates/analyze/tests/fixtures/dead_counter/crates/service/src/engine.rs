@@ -1,0 +1,7 @@
+pub fn dispatch_op(op: &str) -> u32 {
+    match op {
+        "ping" => 1,
+        "stats" => 2,
+        _ => 0,
+    }
+}

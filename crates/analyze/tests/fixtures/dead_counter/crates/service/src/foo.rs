@@ -1,0 +1,20 @@
+use crate::lockorder::{rank, OrderedMutex};
+
+pub struct Foo {
+    registry: OrderedMutex<u32>,
+    cache: OrderedMutex<u32>,
+}
+
+impl Foo {
+    pub fn new() -> Self {
+        Self {
+            registry: OrderedMutex::new(rank::REGISTRY, "registry", 0),
+            cache: OrderedMutex::new(rank::CACHE, "cache", 0),
+        }
+    }
+
+    pub fn bump(&self) {
+        let reg = self.registry.lock();
+        let mut cache = self.cache.lock();
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture rank table mirroring the real lock hierarchy shape.
+pub mod rank {
+    pub const REGISTRY: u16 = 10;
+    pub const CACHE: u16 = 20;
+}
+
+pub struct OrderedMutex<T> {
+    value: T,
+}

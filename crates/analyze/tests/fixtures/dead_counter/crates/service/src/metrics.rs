@@ -1,6 +1,7 @@
 /// Contract table: (stats path, Prometheus series).
 pub const COUNTER_CATALOG: &[(&str, &str)] = &[
     ("pool.jobs", "srank_pool_jobs_total"),
+    ("pool.stalls", "srank_pool_stalls_total"),
 ];
 
 pub fn note_job(jobs: &std::sync::atomic::AtomicU64) {

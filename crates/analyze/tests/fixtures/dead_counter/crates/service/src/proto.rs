@@ -1,0 +1,13 @@
+pub enum ErrorCode {
+    BadRequest,
+    Internal,
+}
+
+impl ErrorCode {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}

@@ -1,0 +1,5 @@
+#[test]
+fn ops_respond() {
+    let ops = ["ping", "stats"];
+    assert_eq!(ops.len(), 2);
+}

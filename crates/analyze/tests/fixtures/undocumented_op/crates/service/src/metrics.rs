@@ -2,3 +2,7 @@
 pub const COUNTER_CATALOG: &[(&str, &str)] = &[
     ("pool.jobs", "srank_pool_jobs_total"),
 ];
+
+pub fn note_job(jobs: &std::sync::atomic::AtomicU64) {
+    jobs.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

@@ -10,9 +10,11 @@
 //! the overload benchmark (open-loop probe p50/p99 against a swamped
 //! pool, admission-control shedding on vs off), and the batch-dispatch
 //! suite (cold/cached/mixed 8-sub batches vs sequential round-trips
-//! plus a two-client session fairness probe), then writes the numbers
-//! as JSON (`BENCH_8.json` by default) so future PRs can diff
-//! throughput.
+//! plus a two-client session fairness probe), and the observability
+//! overhead (the same DoT 100k-sample verify kernel with windowed
+//! telemetry + per-client accounting on vs off), then writes the
+//! numbers as JSON (`BENCH_10.json` by default) so future PRs can
+//! diff throughput.
 //!
 //! ```text
 //! cargo run --release -p srank-bench --bin bench_record -- [--smoke] [--out PATH]
@@ -620,6 +622,87 @@ fn measure_tracing(samples: usize, rounds: usize, trials: usize) -> Value {
     ])
 }
 
+/// Observability overhead: the 100k-sample Monte-Carlo verify kernel
+/// through an engine with the obs layer fully on (windowed ring
+/// attached, per-client accounting charging a tagged client, kernel
+/// CPU measured) vs fully off (`window_telemetry: false`,
+/// `client_table_capacity: 0`). Same structure as [`measure_tracing`]:
+/// interleaved min-of-N blocks so drift taxes both sides equally.
+fn measure_obs(samples: usize, rounds: usize, trials: usize) -> Value {
+    let engine_for = |on: bool| {
+        let engine = Engine::new(EngineConfig {
+            window_telemetry: on,
+            client_table_capacity: if on { 64 } else { 0 },
+            ..EngineConfig::default()
+        });
+        engine
+            .registry()
+            .load(
+                "dot2000",
+                &DatasetSource::Builtin {
+                    family: "dot".into(),
+                    n: N_ITEMS,
+                    d: 0,
+                    seed: 1322,
+                },
+            )
+            .expect("builtin dataset loads");
+        engine
+    };
+    let call = |engine: &Engine, req: &str| {
+        let response: Value = serde_json::from_str(&engine.handle_line(req)).unwrap();
+        assert_eq!(
+            response.get("ok").and_then(Value::as_bool),
+            Some(true),
+            "{req}: {response:?}"
+        );
+    };
+    // Unique weights per call → result-cache miss → the kernel runs;
+    // the client tag exercises the accounting path on the on-side (the
+    // off-side parses the same bytes, so the request cost is identical).
+    let verify = |i: usize| {
+        format!(
+            r#"{{"op": "verify", "dataset": "dot2000", "weights": [1, 1, {}], "roi": {{"around": [1, 1, 1], "theta": 0.5}}, "samples": {samples}, "seed": 99, "client": "bench-tenant"}}"#,
+            1.0 + i as f64 * 1e-4
+        )
+    };
+    let run_block = |engine: &Engine, base: usize| -> f64 {
+        let t = Instant::now();
+        for i in 0..rounds {
+            call(engine, &verify(base + i));
+        }
+        t.elapsed().as_secs_f64()
+    };
+
+    let off = engine_for(false);
+    let on = engine_for(true);
+    call(&off, &verify(999_999));
+    call(&on, &verify(999_999));
+
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    for trial in 0..trials {
+        eprintln!(
+            "obs trial {}/{trials}: {rounds} tagged verifies × {samples} samples, off vs on…",
+            trial + 1
+        );
+        if trial % 2 == 0 {
+            best_off = best_off.min(run_block(&off, 1 + trial * rounds));
+            best_on = best_on.min(run_block(&on, 1 + trial * rounds));
+        } else {
+            best_on = best_on.min(run_block(&on, 1 + trial * rounds));
+            best_off = best_off.min(run_block(&off, 1 + trial * rounds));
+        }
+    }
+    let overhead_percent = (best_on - best_off) / best_off * 100.0;
+    obj(vec![
+        ("samples", Value::Number(samples as f64)),
+        ("rounds", Value::Number(rounds as f64)),
+        ("obs_disabled", rate(rounds, best_off)),
+        ("obs_enabled", rate(rounds, best_on)),
+        ("overhead_percent", Value::Number(overhead_percent)),
+    ])
+}
+
 /// Warm-restart benchmark: time-to-first-cached-verify across a
 /// snapshot/restore cycle, against the cold computation it avoids.
 fn measure_persistence(samples: usize) -> Value {
@@ -939,7 +1022,7 @@ fn measure_overload(smoke: bool) -> Value {
 
 fn main() {
     let mut smoke = false;
-    let mut out = "BENCH_8.json".to_string();
+    let mut out = "BENCH_10.json".to_string();
     let mut phase: Option<String> = None;
     let mut samples_override: Option<usize> = None;
     let mut threads = 1usize;
@@ -985,8 +1068,13 @@ fn main() {
     );
     let overload = measure_overload(smoke);
     let batch_dispatch = measure_batch_dispatch(smoke);
+    let obs_overhead = measure_obs(
+        samples,
+        if smoke { 2 } else { 40 },
+        if smoke { trials } else { 10 },
+    );
     let report = obj(vec![
-        ("bench", Value::String("BENCH_8".into())),
+        ("bench", Value::String("BENCH_10".into())),
         (
             "mode",
             Value::String(if smoke { "smoke" } else { "full" }.into()),
@@ -997,6 +1085,7 @@ fn main() {
         ("tracing_overhead", tracing),
         ("overload_shedding", overload),
         ("batch_dispatch", batch_dispatch),
+        ("obs_overhead", obs_overhead),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     std::fs::write(&out, format!("{json}\n")).expect("write report");

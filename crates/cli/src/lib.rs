@@ -33,6 +33,7 @@ usage: srank <command> <data.csv> --higher a,b [--lower c,d] [options]
                    [--trace-sample N] [--slow-ms N]
        srank query <HOST:PORT> <REQUEST_JSON | -> [--pretty] [--batch] [--stream]
        srank trace <HOST:PORT> [--op OP] [--min-ms N] [--session ID] [--limit N]
+       srank top <HOST:PORT> [--sort KEY] [--limit N] [--watch] [--interval SECS]
        srank snapshot <HOST:PORT>    persist a running server's warm state
        srank restore <HOST:PORT>     re-load a server's state from its data dir
 
@@ -45,6 +46,7 @@ commands:
   serve                        run the srank-service query engine
   query                        send JSON requests to a running server
   trace                        fetch recent request span trees from a server
+  top                          live per-client resource accounting from a server
   snapshot | restore           trigger persistence ops on a running server
 
 region of interest (verify/enumerate/topk/overview):
@@ -93,6 +95,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("serve") => return service_cmd::run_serve(&args[1..]),
         Some("query") => return service_cmd::run_query(&args[1..]),
         Some("trace") => return service_cmd::run_trace(&args[1..]),
+        Some("top") => return service_cmd::run_top(&args[1..]),
         Some(op @ ("snapshot" | "restore")) => return service_cmd::run_persist_op(op, &args[1..]),
         _ => {}
     }

@@ -60,6 +60,7 @@
 //! read timeout and `--retries N` retries idempotent reads under the
 //! default backoff policy, honoring the server's `retry_after_ms`.
 
+use serde_json::Value;
 use srank_service::registry::DatasetSource;
 use srank_service::{Client, Engine, EngineConfig};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -150,6 +151,9 @@ pub fn run_serve(args: &[String]) -> Result<String, String> {
             "--shed-wait-p99-ms" => {
                 config.guard.shed_session_wait_p99_ms =
                     parse_count("--shed-wait-p99-ms", it.next())? as u64
+            }
+            "--watchdog-stall-ms" => {
+                config.watchdog_stall_ms = parse_count("--watchdog-stall-ms", it.next())? as u64
             }
             "--faults" => config.faults = Some(it.next().ok_or("--faults needs a spec")?.clone()),
             other => return Err(format!("serve: unknown option {other}")),
@@ -326,6 +330,108 @@ pub fn run_trace(args: &[String]) -> Result<String, String> {
     serde_json::to_string_pretty(&result)
         .map(|s| s + "\n")
         .map_err(|e| e.to_string())
+}
+
+/// Parses and runs `top`: the server's per-client resource accounting,
+/// rendered as a sorted table. `--watch` re-fetches and re-prints every
+/// `--interval` seconds until interrupted.
+pub fn run_top(args: &[String]) -> Result<String, String> {
+    let mut sort_by: Option<String> = None;
+    let mut limit = 16usize;
+    let mut watch = false;
+    let mut interval_secs = 2u64;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    let next_value = |it: &mut std::slice::Iter<String>, flag: &str| -> Result<String, String> {
+        it.next().cloned().ok_or(format!("{flag} needs a value"))
+    };
+    let parse_u64 = |flag: &str, s: String| -> Result<u64, String> {
+        s.parse().map_err(|_| format!("{flag} needs an integer"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sort" => sort_by = Some(next_value(&mut it, "--sort")?),
+            "--limit" => limit = parse_u64("--limit", next_value(&mut it, "--limit")?)? as usize,
+            "--watch" => watch = true,
+            "--interval" => {
+                interval_secs = parse_u64("--interval", next_value(&mut it, "--interval")?)?
+            }
+            other if other.starts_with("--") => return Err(format!("top: unknown option {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [addr]: [String; 1] = positional
+        .try_into()
+        .map_err(|_| "top needs exactly: ADDR".to_string())?;
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    loop {
+        let result = client
+            .top(sort_by.as_deref(), limit)
+            .map_err(|e| e.to_string())?;
+        let table = render_top(&result);
+        if !watch {
+            return Ok(table);
+        }
+        // Watch mode streams to stdout directly (like `query --stream`);
+        // each refresh is separated by a blank line, newest last.
+        println!("{table}");
+        std::thread::sleep(std::time::Duration::from_secs(interval_secs.max(1)));
+    }
+}
+
+/// Renders one `top` response as an aligned table.
+fn render_top(result: &Value) -> String {
+    use std::fmt::Write as _;
+    let get_u64 = |v: &Value, k: &str| v.get(k).and_then(Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "clients: {} tracked / {} capacity, {} evicted (sorted by {})",
+        result.get("tracked").and_then(Value::as_u64).unwrap_or(0),
+        result.get("capacity").and_then(Value::as_u64).unwrap_or(0),
+        result.get("evicted").and_then(Value::as_u64).unwrap_or(0),
+        result
+            .get("sorted_by")
+            .and_then(Value::as_str)
+            .unwrap_or("kernel_cpu_micros"),
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>8} {:>6} {:>10} {:>10} {:>10} {:>7} {:>7} {:>6} {:>7}",
+        "CLIENT",
+        "REQS",
+        "ERRS",
+        "CPU_US",
+        "QWAIT_US",
+        "BYTES",
+        "HITS",
+        "MISSES",
+        "SHEDS",
+        "EXPIRED"
+    );
+    let empty = Vec::new();
+    let rows = result
+        .get("clients")
+        .and_then(Value::as_array)
+        .unwrap_or(&empty);
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>6} {:>10} {:>10} {:>10} {:>7} {:>7} {:>6} {:>7}",
+            row.get("client").and_then(Value::as_str).unwrap_or("?"),
+            get_u64(row, "requests"),
+            get_u64(row, "errors"),
+            get_u64(row, "kernel_cpu_micros"),
+            get_u64(row, "queue_wait_micros"),
+            get_u64(row, "bytes_written"),
+            get_u64(row, "cache_hits"),
+            get_u64(row, "cache_misses"),
+            get_u64(row, "sheds"),
+            get_u64(row, "deadline_expired"),
+        );
+    }
+    out
 }
 
 /// Parses and runs `query`: one request (or a stdin stream) against a

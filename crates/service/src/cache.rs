@@ -58,6 +58,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Some(value)
     }
 
+    /// Looks up `key` for mutation, marking it most recently used on a
+    /// hit — the per-client accounting table's charge path.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let tick = self.next_tick();
+        let (value, stamp) = self.map.get_mut(key)?;
+        self.order.remove(stamp);
+        *stamp = tick;
+        self.order.insert(tick, key.clone());
+        Some(value)
+    }
+
     /// Whether `key` is present, *without* touching recency — the batch
     /// dispatcher's warmth probe: classifying a sub-request as
     /// inline-eligible must not promote the entry it merely peeked at.

@@ -149,7 +149,15 @@ impl From<ClientError> for ServiceError {
 fn idempotent_op(op: &str) -> bool {
     matches!(
         op,
-        "ping" | "stats" | "health" | "verify" | "overview" | "registry.list" | "trace"
+        "ping"
+            | "stats"
+            | "health"
+            | "verify"
+            | "overview"
+            | "registry.list"
+            | "trace"
+            | "top"
+            | "debug.dump"
     )
 }
 
@@ -588,6 +596,30 @@ impl Client {
         }
         request = request.field("limit", limit as u64);
         self.call_ok(&request.build())
+    }
+
+    /// Queries the server's per-client resource accounting (`op:
+    /// "top"`): rows sorted by `sort_by` (server default: kernel CPU)
+    /// descending, truncated to `limit`. Returns the `top` op's result
+    /// (`{"sorted_by", "tracked", "capacity", "evicted", "clients"}`).
+    pub fn top(&mut self, sort_by: Option<&str>, limit: usize) -> ClientResult<Value> {
+        let mut request = crate::proto::Object::new().field("op", "top");
+        if let Some(sort_by) = sort_by {
+            request = request.field("sort_by", sort_by);
+        }
+        request = request.field("limit", limit as u64);
+        self.call_ok(&request.build())
+    }
+
+    /// Fetches the server's one-shot self-diagnostic (`op:
+    /// "debug.dump"`): watchdog findings, pool and session state, the
+    /// hottest clients, and the lock hierarchy.
+    pub fn debug_dump(&mut self) -> ClientResult<Value> {
+        self.call_ok(
+            &crate::proto::Object::new()
+                .field("op", "debug.dump")
+                .build(),
+        )
     }
 
     /// Sends one streaming batch (`op: "batch"`, `"stream": true`)

@@ -120,6 +120,22 @@ pub struct EngineConfig {
     /// default) reads the `SRANK_FAULTS` environment variable;
     /// `Some(spec)` arms programmatically (chaos tests).
     pub faults: Option<String>,
+    /// Stalled-worker threshold for the obs watchdog supervisor, in
+    /// milliseconds (`serve --watchdog-stall-ms`); the wedged-journal
+    /// and metrics-starvation thresholds derive from it. `0` disables
+    /// the supervisor thread entirely.
+    pub watchdog_stall_ms: u64,
+    /// Cardinality bound of the per-client resource-accounting table
+    /// behind the `top` op (tag-spraying clients evict each other's
+    /// rows instead of growing the table). `0` disables accounting
+    /// entirely — the bench baseline and the operator escape hatch.
+    pub client_table_capacity: usize,
+    /// Whether op/phase latency samples are folded into the windowed
+    /// ring (`stats.window`, `srank_window_rate` and friends). On by
+    /// default; `false` is the bench baseline for measuring the
+    /// windowing overhead (the `window` stats block stays present but
+    /// empty).
+    pub window_telemetry: bool,
 }
 
 impl Default for EngineConfig {
@@ -145,6 +161,9 @@ impl Default for EngineConfig {
             slow_request_micros: 0,
             guard: crate::guard::GuardConfig::default(),
             faults: None,
+            watchdog_stall_ms: 5_000,
+            client_table_capacity: crate::obs::DEFAULT_CLIENT_TABLE_CAP,
+            window_telemetry: true,
         }
     }
 }
@@ -198,6 +217,9 @@ pub struct Engine {
     pool: WorkerPool,
     /// Monotonic id tagging every streamed batch's envelopes.
     batch_ids: AtomicU64,
+    /// The watchdog supervisor thread (absent when
+    /// `watchdog_stall_ms == 0`); signalled and joined on drop.
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::ops::Deref for Engine {
@@ -205,6 +227,15 @@ impl std::ops::Deref for Engine {
 
     fn deref(&self) -> &EngineCore {
         &self.core
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.core.obs.watchdog.request_shutdown();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -237,6 +268,9 @@ pub struct EngineCore {
     pub phases: PhaseLatencies,
     /// srank-guard: deadline/shed counters and admission thresholds.
     guard: crate::guard::Guard,
+    /// The obs layer: windowed telemetry ring, per-client accounting
+    /// table, and watchdog heartbeat stamps (see [`crate::obs`]).
+    obs: crate::obs::Obs,
     /// Armed fault-injection points (disarmed unless `SRANK_FAULTS` /
     /// `config.faults` says otherwise); shared with the store so its
     /// file IO consults the same decision stream.
@@ -251,6 +285,7 @@ impl Engine {
             n => n,
         };
         let pool_metrics = Arc::new(PoolMetrics::default());
+        let obs = crate::obs::Obs::with_client_capacity(config.client_table_capacity);
         let faults = Arc::new(match &config.faults {
             Some(spec) => crate::faults::Faults::parse(spec).unwrap_or_else(|e| {
                 crate::log::warn(
@@ -312,19 +347,43 @@ impl Engine {
             ),
             phases: PhaseLatencies::default(),
             guard: crate::guard::Guard::new(config.guard.clone()),
+            obs,
             faults,
             started: Instant::now(),
             config,
         });
+        // Every latency sample the histograms see also lands in the
+        // windowed ring — the single seam that gives `stats` its
+        // 10s/60s/300s percentiles without touching any record site.
+        if core.config.window_telemetry {
+            core.op_latency.attach_window(Arc::clone(&core.obs.window));
+            core.phases.attach_window(Arc::clone(&core.obs.window));
+        }
         // Warm restart: whatever the store holds comes back before the
         // first request (corrupt files are logged and skipped inside).
         if let Some(store) = core.store() {
             store.restore(&core);
         }
+        let supervisor = match core.config.watchdog_stall_ms {
+            0 => None,
+            stall_ms => {
+                let sup_core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name("srank-watchdog".into())
+                    .spawn(move || supervise(&sup_core, stall_ms))
+                    .ok()
+            }
+        };
+        let pool = WorkerPool::with_watchdog(
+            pool_width,
+            pool_metrics,
+            Some(Arc::clone(&core.obs.watchdog)),
+        );
         Self {
             core,
-            pool: WorkerPool::new(pool_width, pool_metrics),
+            pool,
             batch_ids: AtomicU64::new(0),
+            supervisor,
         }
     }
 
@@ -452,6 +511,14 @@ impl Engine {
                 ser_start.elapsed(),
             );
             drop(ser);
+            // Bytes are charged at the serialization seam (+1 for the
+            // transport's newline), where the response size is known.
+            self.core
+                .obs
+                .clients
+                .charge_tag(request.get("client").and_then(Value::as_str), |u| {
+                    u.bytes_written += line.len() as u64 + 1
+                });
             return sink(&line);
         }
         self.evict_idle_sessions(None);
@@ -472,15 +539,21 @@ impl Engine {
         // The request's deadline budget starts now (arrival at dispatch)
         // and rides the thread-local ambient slot into every phase —
         // including pool jobs and parked waiters, which re-install it.
+        // The `"client"` tag rides the same way, so every resource
+        // charge downstream lands on this request's accounting row.
         let deadline = self.core.guard.deadline_from(fields.u64("deadline_ms")?)?;
-        crate::guard::with_deadline(deadline, || {
-            if fields.required_str("op")? == "batch" {
-                let start = Instant::now();
-                let outcome = self.op_batch_buffered(&fields, cancel);
-                self.core.op_latency.record("batch", start.elapsed());
-                return outcome;
-            }
-            self.core.dispatch(request, cancel)
+        let client: Option<Arc<str>> = fields.str("client")?.map(Arc::from);
+        crate::obs::with_client(client, || {
+            crate::guard::with_deadline(deadline, || {
+                if fields.required_str("op")? == "batch" {
+                    let start = Instant::now();
+                    let outcome = self.op_batch_buffered(&fields, cancel);
+                    self.core.op_latency.record("batch", start.elapsed());
+                    self.core.note_outcome(&outcome);
+                    return outcome;
+                }
+                self.core.dispatch(request, cancel)
+            })
         })
     }
 
@@ -574,6 +647,14 @@ impl Engine {
             .pool_metrics
             .batches_streamed
             .fetch_add(1, Ordering::Relaxed);
+        // Streamed batches bypass `dispatch_top`, so the accounting tag is
+        // installed (and the batch itself charged) here; sub-requests
+        // inherit it through the pool jobs unless they carry their own.
+        let client_tag = request.get("client").and_then(Value::as_str);
+        self.core
+            .obs
+            .clients
+            .charge_tag(client_tag, |u| u.requests += 1);
         let batch_id = self.batch_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let n = requests.len();
         let mut errors = 0u64;
@@ -588,45 +669,52 @@ impl Engine {
         const FLUSH_COALESCE_MAX: usize = 8;
         let mut pending = String::new();
         let mut pending_count = 0u64;
-        crate::guard::with_deadline(deadline, || {
-            self.execute_batch(batch_id, requests, cancel, |index, env, more| {
-                if env.get("ok").and_then(Value::as_bool) == Some(false) {
-                    errors += 1;
-                }
-                if io_error.is_some() {
-                    return; // keep draining, stop writing
-                }
-                let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
-                let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
-                let ser_start = Instant::now();
-                // analyze: allow(panic, envelopes are plain Values and always serialize)
-                let line = serde_json::to_string(&tagged).expect("serializable");
-                self.core
-                    .phases
-                    .record("serialize", "batch", ser_start.elapsed());
-                drop(ser);
-                if more && pending_count < FLUSH_COALESCE_MAX as u64 {
-                    pending.push_str(&line);
-                    pending.push('\n');
-                    pending_count += 1;
-                    return;
-                }
-                let outcome = if pending.is_empty() {
-                    sink(&line)
-                } else {
-                    pending.push_str(&line);
-                    let outcome = sink(&pending);
+        let ambient_tag: Option<Arc<str>> = client_tag.map(Arc::from);
+        crate::obs::with_client(ambient_tag, || {
+            crate::guard::with_deadline(deadline, || {
+                self.execute_batch(batch_id, requests, cancel, |index, env, more| {
+                    if env.get("ok").and_then(Value::as_bool) == Some(false) {
+                        errors += 1;
+                    }
+                    if io_error.is_some() {
+                        return; // keep draining, stop writing
+                    }
+                    let tagged = with_stream_tag(env, batch_id, id.as_ref(), Some(index), false);
+                    let ser = self.core.tracer.span_ambient(phase::SERIALIZE);
+                    let ser_start = Instant::now();
+                    // analyze: allow(panic, envelopes are plain Values and always serialize)
+                    let line = serde_json::to_string(&tagged).expect("serializable");
                     self.core
-                        .pool_metrics
-                        .writes_coalesced
-                        .fetch_add(pending_count, Ordering::Relaxed);
-                    pending.clear();
-                    pending_count = 0;
-                    outcome
-                };
-                if let Err(e) = outcome {
-                    io_error = Some(e);
-                }
+                        .phases
+                        .record("serialize", "batch", ser_start.elapsed());
+                    drop(ser);
+                    self.core
+                        .obs
+                        .clients
+                        .charge_tag(client_tag, |u| u.bytes_written += line.len() as u64 + 1);
+                    if more && pending_count < FLUSH_COALESCE_MAX as u64 {
+                        pending.push_str(&line);
+                        pending.push('\n');
+                        pending_count += 1;
+                        return;
+                    }
+                    let outcome = if pending.is_empty() {
+                        sink(&line)
+                    } else {
+                        pending.push_str(&line);
+                        let outcome = sink(&pending);
+                        self.core
+                            .pool_metrics
+                            .writes_coalesced
+                            .fetch_add(pending_count, Ordering::Relaxed);
+                        pending.clear();
+                        pending_count = 0;
+                        outcome
+                    };
+                    if let Err(e) = outcome {
+                        io_error = Some(e);
+                    }
+                });
             });
         });
         self.core.op_latency.record("batch", start.elapsed());
@@ -764,8 +852,15 @@ impl Engine {
                 let job_submitter = submitter.clone();
                 let job_cancel = cancel.cloned();
                 // The batch deadline follows each sub-request onto the
-                // pool (captured here, re-installed inside the job).
+                // pool (captured here, re-installed inside the job), and
+                // so does the client tag — the sub-request's own when it
+                // carries one, the enclosing batch's otherwise.
                 let job_deadline = crate::guard::ambient_deadline();
+                let job_client: Option<Arc<str>> = request
+                    .get("client")
+                    .and_then(Value::as_str)
+                    .map(Arc::from)
+                    .or_else(crate::obs::ambient_client);
                 let submit_at = Instant::now();
                 let accepted = self.pool.submit_tagged(
                     group,
@@ -781,6 +876,10 @@ impl Engine {
                         );
                         core.phases
                             .record("queue_wait", &sub_op, submit_at.elapsed());
+                        core.obs.clients.charge_tag(job_client.as_deref(), |u| {
+                            u.queue_wait_micros +=
+                                submit_at.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                        });
                         // Dequeue-time deadline check: a sub-request that
                         // expired waiting for a worker is shed before it
                         // burns any kernel CPU.
@@ -790,6 +889,12 @@ impl Engine {
                                 .err()
                         });
                         if let Some(e) = expired {
+                            core.obs.window.record_error();
+                            core.obs.clients.charge_tag(job_client.as_deref(), |u| {
+                                u.requests += 1;
+                                u.errors += 1;
+                                u.deadline_expired += 1;
+                            });
                             core.tracer.flush_thread();
                             job_responses
                                 .push((index, envelope(request.get("id").cloned(), Err(e))));
@@ -801,14 +906,16 @@ impl Engine {
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 trace::with_ctx(ctx, || {
-                                    crate::guard::with_deadline(job_deadline, || {
-                                        core.handle_sub_parkable(
-                                            &request,
-                                            &job_submitter,
-                                            &job_responses,
-                                            index,
-                                            job_cancel.as_ref(),
-                                        )
+                                    crate::obs::with_client(job_client.clone(), || {
+                                        crate::guard::with_deadline(job_deadline, || {
+                                            core.handle_sub_parkable(
+                                                &request,
+                                                &job_submitter,
+                                                &job_responses,
+                                                index,
+                                                job_cancel.as_ref(),
+                                            )
+                                        })
                                     })
                                 })
                             }));
@@ -911,6 +1018,12 @@ impl EngineCore {
         &self.faults
     }
 
+    /// The obs layer: windowed telemetry, per-client accounting, and
+    /// the watchdog heartbeat stamps.
+    pub fn obs(&self) -> &crate::obs::Obs {
+        &self.obs
+    }
+
     /// Live load signals for the admission decision, gathered from the
     /// pool and session-queue metrics the engine already keeps. Only
     /// called when admission control is armed (the session-queue
@@ -1003,7 +1116,37 @@ impl EngineCore {
         };
         drop(span);
         self.op_latency.record(op, start.elapsed());
+        self.note_outcome(&outcome);
         outcome
+    }
+
+    /// Folds one dispatch outcome into the obs layer: the windowed
+    /// error/shed marks and the ambient client's request, error, shed
+    /// and deadline accounting.
+    fn note_outcome(&self, outcome: &ServiceResult<(Value, bool)>) {
+        match outcome {
+            Ok(_) => self.obs.clients.charge(|u| u.requests += 1),
+            Err(e) => {
+                let shed = e.code == crate::proto::ErrorCode::Overloaded;
+                let expired = e.code == crate::proto::ErrorCode::DeadlineExceeded;
+                if self.config.window_telemetry {
+                    self.obs.window.record_error();
+                    if shed {
+                        self.obs.window.record_shed();
+                    }
+                }
+                self.obs.clients.charge(|u| {
+                    u.requests += 1;
+                    u.errors += 1;
+                    if shed {
+                        u.sheds += 1;
+                    }
+                    if expired {
+                        u.deadline_expired += 1;
+                    }
+                });
+            }
+        }
     }
 
     fn dispatch_op(
@@ -1024,6 +1167,8 @@ impl EngineCore {
             "stats" => self.op_stats(fields),
             "health" => Ok((self.health_value(), false)),
             "trace" => self.op_trace(fields),
+            "top" => self.op_top(fields),
+            "debug.dump" => self.op_debug_dump(),
             "registry.load" => self.op_registry_load(fields),
             "registry.list" => self.op_registry_list(),
             "registry.drop" => self.op_registry_drop(fields),
@@ -1108,7 +1253,9 @@ impl EngineCore {
             Ok(params) => params,
             Err(e) => {
                 self.op_latency.record("session.get_next", start.elapsed());
-                return Some(envelope(rid, Err(e)));
+                let outcome = Err(e);
+                self.note_outcome(&outcome);
+                return Some(envelope(rid, outcome));
             }
         };
         // The fairness identity rides the waiter: grant selection may let
@@ -1129,6 +1276,9 @@ impl EngineCore {
             // session queue hands the session straight to the next
             // waiter instead of advancing for a caller that gave up.
             let deadline = crate::guard::ambient_deadline();
+            // The accounting identity parks too: the continuation charges
+            // the same client table row the original dispatch would have.
+            let client_tag = crate::obs::ambient_client();
             let parked_at = Instant::now();
             let deliver = move |granted| {
                 let fallback_id = rid.clone();
@@ -1151,7 +1301,7 @@ impl EngineCore {
                         // advance, not the queue wait — that lives in
                         // stats.session_queue.wait_micros.
                         let start = Instant::now();
-                        let outcome = match granted {
+                        let outcome = crate::obs::with_client(client_tag, || match granted {
                             Ok(session) => {
                                 let checked = core.sessions.adopt(session);
                                 crate::guard::with_deadline(deadline, || {
@@ -1174,8 +1324,9 @@ impl EngineCore {
                                 .map(|v| (v, false))
                             }
                             Err(e) => Err(e),
-                        };
+                        });
                         core.op_latency.record("session.get_next", start.elapsed());
+                        core.note_outcome(&outcome);
                         envelope(rid, outcome)
                     }))
                     .unwrap_or_else(|_| {
@@ -1216,6 +1367,7 @@ impl EngineCore {
             Err(e) => Err(e),
         };
         self.op_latency.record("session.get_next", start.elapsed());
+        self.note_outcome(&outcome);
         Some(envelope(rid, outcome))
     }
 
@@ -1271,6 +1423,7 @@ impl EngineCore {
             }
             drop(probe);
             self.result_stats.hit();
+            self.obs.clients.charge(|u| u.cache_hits += 1);
             return Ok((hit, true));
         }
         if probe.is_recording() {
@@ -1278,6 +1431,7 @@ impl EngineCore {
         }
         drop(probe);
         self.result_stats.miss();
+        self.obs.clients.charge(|u| u.cache_misses += 1);
         // The cold path is where admission control bites: a cache hit
         // above was served unconditionally (graceful degradation), a
         // miss is expensive kernel work the server may shed.
@@ -1292,7 +1446,23 @@ impl EngineCore {
         let mut kernel = self.tracer.span_ambient(phase::KERNEL);
         kernel.set_op(op);
         let kernel_start = Instant::now();
-        let result = compute(self, fields)?;
+        // Kernel CPU is measured once across the whole compute (entry
+        // and exit, not per sample chunk) and charged to the ambient
+        // client — the error path included, since a failed compute
+        // burned the CPU all the same.
+        let cpu = self
+            .obs
+            .clients
+            .is_enabled()
+            .then(crate::obs::CpuTimer::start);
+        let result = compute(self, fields);
+        if let Some(cpu) = cpu {
+            let cpu_micros = cpu.finish();
+            self.obs
+                .clients
+                .charge(|u| u.kernel_cpu_micros += cpu_micros);
+        }
+        let result = result?;
         self.phases.record("kernel", op, kernel_start.elapsed());
         if kernel.is_recording() {
             if let Some(n) = result.get("samples").and_then(Value::as_u64) {
@@ -1332,6 +1502,18 @@ impl EngineCore {
         }
         drop(probe);
         self.result_stats.hit();
+        // The inline path bypasses the pool-job client wrapper, so the
+        // sub-request's own tag (falling back to the enclosing batch's
+        // ambient tag) is resolved here.
+        let tag: Option<Arc<str>> = request
+            .get("client")
+            .and_then(Value::as_str)
+            .map(Arc::from)
+            .or_else(crate::obs::ambient_client);
+        self.obs.clients.charge_tag(tag.as_deref(), |u| {
+            u.requests += 1;
+            u.cache_hits += 1;
+        });
         Some(envelope(request.get("id").cloned(), Ok((hit, true))))
     }
 
@@ -1628,8 +1810,18 @@ impl EngineCore {
             .field("pool", self.pool_metrics.to_value(self.pool_width))
             .field("ops", self.op_latency.to_value())
             .field("phases", self.phases.to_value())
+            .field("window", self.obs.window.to_value())
+            .field(
+                "clients",
+                Object::new()
+                    .field("tracked", self.obs.clients.len())
+                    .field("capacity", self.obs.clients.capacity())
+                    .field("evicted", self.obs.clients.evicted())
+                    .build(),
+            )
             .field("trace", self.tracer.stats_value())
-            .field("guard", self.guard.stats_value());
+            .field("guard", self.guard.stats_value())
+            .field("watchdog", self.obs.watchdog.to_value());
         if self.faults.armed() {
             stats = stats.field("faults", self.faults.stats_value());
         }
@@ -1650,9 +1842,13 @@ impl EngineCore {
         // A data dir that failed to open at boot means the operator asked
         // for persistence and is not getting it.
         let persistence_degraded = self.config.data_dir.is_some() && self.store.is_none();
+        // The watchdog's degraded latch joins the persistence checks: a
+        // stalled worker or wedged journal degrades `/healthz` even while
+        // the store itself still answers.
+        let watchdog_degraded = self.obs.watchdog.is_degraded();
         let status = if self.guard.recently_shed() {
             "overloaded"
-        } else if store_failing || persistence_degraded {
+        } else if store_failing || persistence_degraded || watchdog_degraded {
             "degraded"
         } else {
             "ok"
@@ -1669,6 +1865,7 @@ impl EngineCore {
             .field("uptime_seconds", self.started.elapsed().as_secs_f64())
             .field("shed", self.guard.stats_value())
             .field("store", store_block)
+            .field("watchdog", self.obs.watchdog.to_value())
             .field("faults", self.faults.stats_value())
             .build()
     }
@@ -1779,6 +1976,9 @@ impl EngineCore {
         out.push_str(&self.phases.to_prometheus());
         out.push_str(&self.guard.to_prometheus());
         out.push_str(&self.tracer.to_prometheus());
+        out.push_str(&self.obs.window.to_prometheus());
+        out.push_str(&self.obs.clients.to_prometheus());
+        out.push_str(&self.obs.watchdog.to_prometheus());
         if let Some(store) = self.store() {
             out.push_str(&store.to_prometheus());
         }
@@ -1798,6 +1998,61 @@ impl EngineCore {
         let limit = fields.usize("limit")?.unwrap_or(8).min(64);
         Ok((
             self.tracer.query(filter_op, min_micros, session, limit),
+            false,
+        ))
+    }
+
+    /// The `top` op: the per-client resource-accounting table, sorted
+    /// by `sort_by` (default kernel CPU) descending and truncated to
+    /// `limit` rows — the payload behind `srank top`.
+    fn op_top(&self, fields: &Fields<'_>) -> ServiceResult<(Value, bool)> {
+        let sort_by = fields.str("sort_by")?.unwrap_or("kernel_cpu_micros");
+        let limit = fields.usize("limit")?.unwrap_or(16).min(256);
+        Ok((self.obs.clients.top_value(sort_by, limit), false))
+    }
+
+    /// The `debug.dump` op: a one-shot self-diagnostic — watchdog
+    /// findings and busy workers, pool and session-queue state, cache
+    /// occupancy, the hottest clients, and the engine's lock hierarchy
+    /// in rank order. Designed to be cheap and safe to call against a
+    /// wedged server (every block reads atomics or takes one short
+    /// lock at a time, in rank order).
+    fn op_debug_dump(&self) -> ServiceResult<(Value, bool)> {
+        let (open, checked_out, refusals) = self.sessions.counters();
+        let queue = self.sessions.queue_counters();
+        let lock_ranks: Vec<Value> = crate::lockorder::rank::TABLE
+            .iter()
+            .map(|&(class, rank)| {
+                Object::new()
+                    .field("class", class)
+                    .field("rank", u64::from(rank))
+                    .build()
+            })
+            .collect();
+        Ok((
+            Object::new()
+                .field("watchdog", self.obs.watchdog.to_value())
+                .field("pool", self.pool_metrics.to_value(self.pool_width))
+                .field(
+                    "session_table",
+                    Object::new()
+                        .field("open", open)
+                        .field("checked_out", checked_out)
+                        .field("refusals", refusals)
+                        .build(),
+                )
+                .field("session_queue_depth", queue.depth)
+                .field("sessions", self.sessions.debug_value())
+                .field("result_cache_entries", self.results.lock().len())
+                .field("sample_cache_entries", self.samples.lock().len())
+                .field(
+                    "clients",
+                    self.obs.clients.top_value("kernel_cpu_micros", 8),
+                )
+                .field("guard", self.guard.stats_value())
+                .field("trace", self.tracer.stats_value())
+                .field("lock_ranks", Value::Array(lock_ranks))
+                .build(),
             false,
         ))
     }
@@ -2282,6 +2537,11 @@ impl EngineCore {
         kernel.set_op("session.get_next");
         kernel.set_session(id);
         let kernel_start = Instant::now();
+        let cpu = self
+            .obs
+            .clients
+            .is_enabled()
+            .then(crate::obs::CpuTimer::start);
 
         // Temporarily move the state out to reattach it to the dataset.
         // `advance` returns `(restored state, payload)`; a from_state
@@ -2391,6 +2651,14 @@ impl EngineCore {
                     )
                 }),
             };
+        // The advance burned CPU whether it succeeded or not; charge
+        // before the outcome is inspected.
+        if let Some(cpu) = cpu {
+            let cpu_micros = cpu.finish();
+            self.obs
+                .clients
+                .charge(|u| u.kernel_cpu_micros += cpu_micros);
+        }
         let (state, payload) = match advanced {
             Ok(ok) => ok,
             Err(e) => {
@@ -2461,6 +2729,40 @@ fn ranking_payload(items: &[u32], stability: f64, head_cap: usize, extra: Object
         out = out.field(&k, v);
     }
     out.build()
+}
+
+/// The watchdog supervisor loop: scans the heartbeat stamps every
+/// quarter of the stall threshold (clamped to [100 ms, 1 s]), emits one
+/// structured warning per finding — with the recorder's most recent
+/// span trees attached, so a stalled worker's warning carries the
+/// offending request tree — and exits promptly (within one 25 ms tick)
+/// when the engine drops.
+fn supervise(core: &Arc<EngineCore>, stall_ms: u64) {
+    let tick = Duration::from_millis(25);
+    let scan_every = Duration::from_millis((stall_ms / 4).clamp(100, 1_000));
+    let watchdog = Arc::clone(&core.obs.watchdog);
+    let mut last_scan = Instant::now();
+    while !watchdog.shutdown_requested() {
+        std::thread::sleep(tick);
+        if last_scan.elapsed() < scan_every {
+            continue;
+        }
+        last_scan = Instant::now();
+        for finding in watchdog.scan(stall_ms) {
+            // Recent span trees give the warning its "what is it stuck
+            // on" context; empty when tracing is disabled.
+            let spans = core.tracer().query(None, 0, None, 2);
+            let spans = serde_json::to_string(&spans).unwrap_or_default();
+            crate::log::warn(
+                "srank-watchdog",
+                &format!(
+                    "{kind}: {detail} (recent traces: {spans})",
+                    kind = finding.kind,
+                    detail = finding.detail,
+                ),
+            );
+        }
+    }
 }
 
 /// An empty 2-D state used only as a `mem::replace` placeholder while a

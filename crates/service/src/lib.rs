@@ -8,7 +8,7 @@
 //! ordering-exchange hyperplanes, or re-drawing Monte-Carlo samples on
 //! every call.
 //!
-//! Eleven layers:
+//! Twelve layers:
 //!
 //! * [`registry`] — loads/normalizes each dataset once (builtin simulators
 //!   or CSV) and shares it via `Arc`; every (re)load bumps a generation
@@ -40,6 +40,11 @@
 //! * [`log`] — the leveled structured logger behind the service's
 //!   diagnostics (`SRANK_LOG` level/target filter, pretty or JSON
 //!   output);
+//! * [`obs`] — live observability: a ring of per-second telemetry slots
+//!   giving `stats` windowed (10s/60s/300s) rates and percentiles with
+//!   worst-case trace-id exemplars, a bounded per-client resource
+//!   accounting table behind the `top` op, and the stall watchdog that
+//!   degrades `/healthz` and answers `debug.dump`;
 //! * [`guard`] — robustness under load: per-request deadlines
 //!   (`deadline_ms`, checked at the dequeue/grant/kernel seams and
 //!   between sampling chunks), admission control that sheds cold
@@ -106,6 +111,7 @@ pub mod guard;
 pub mod lockorder;
 pub mod log;
 pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod proto;
 pub mod registry;

@@ -63,9 +63,30 @@ pub mod rank {
     /// A connection's shared line writer — held across one envelope
     /// write + flush.
     pub const CONN_WRITER: u16 = 100;
+    /// The per-client resource-accounting table (`obs::ClientTable`) —
+    /// charged from dispatch and transport paths, including while a
+    /// connection writer is held.
+    pub const CLIENT_TABLE: u16 = 105;
     /// The global bounded trace ring (`trace::Recorder`) — the
     /// innermost lock: spans drain into it from anywhere.
     pub const TRACE_RING: u16 = 110;
+
+    /// The full hierarchy as `(class, rank)` rows, in acquisition
+    /// order — rendered by the `debug.dump` op's self-diagnostic.
+    pub const TABLE: &[(&str, u16)] = &[
+        ("registry", REGISTRY),
+        ("session_shard", SESSION_SHARD),
+        ("session_handoff", SESSION_HANDOFF),
+        ("pool_work_queue", POOL_WORK_QUEUE),
+        ("pool_response_queue", POOL_RESPONSE_QUEUE),
+        ("result_cache", RESULT_CACHE),
+        ("sample_cache", SAMPLE_CACHE),
+        ("store_state", STORE_STATE),
+        ("mux_gate", MUX_GATE),
+        ("conn_writer", CONN_WRITER),
+        ("client_table", CLIENT_TABLE),
+        ("trace_ring", TRACE_RING),
+    ];
 }
 
 #[cfg(debug_assertions)]

@@ -184,12 +184,24 @@ pub struct WorkerPool {
 impl WorkerPool {
     /// Spawns `width` workers (at least 1) sharing `metrics`.
     pub fn new(width: usize, metrics: Arc<PoolMetrics>) -> Self {
+        Self::with_watchdog(width, metrics, None)
+    }
+
+    /// [`new`](Self::new), with each worker stamping busy/idle
+    /// transitions into `watchdog` so the supervisor can flag a job
+    /// executing past the stall threshold.
+    pub fn with_watchdog(
+        width: usize,
+        metrics: Arc<PoolMetrics>,
+        watchdog: Option<Arc<crate::obs::Watchdog>>,
+    ) -> Self {
         let width = width.max(1);
         let queue = Arc::new(WorkQueue::new());
         let workers = (0..width)
-            .map(|_| {
+            .map(|slot| {
                 let queue = Arc::clone(&queue);
                 let metrics = Arc::clone(&metrics);
+                let watchdog = watchdog.clone();
                 metrics.threads_spawned.fetch_add(1, Ordering::Relaxed);
                 std::thread::spawn(move || {
                     while let Some((job, enqueued)) = queue.pop() {
@@ -199,12 +211,18 @@ impl WorkerPool {
                             .fetch_add(waited as u64, Ordering::Relaxed);
                         metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         metrics.executing.fetch_add(1, Ordering::Relaxed);
+                        if let Some(w) = &watchdog {
+                            w.worker_busy(slot);
+                        }
                         // A panicking job must not shrink the pool — the
                         // submitter's accounting relies on a constant
                         // worker count. Jobs are also expected to catch
                         // their own panics so a response is still pushed;
                         // this is the second line of defense.
                         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        if let Some(w) = &watchdog {
+                            w.worker_idle(slot);
+                        }
                         metrics.executing.fetch_sub(1, Ordering::Relaxed);
                         metrics.completed.fetch_add(1, Ordering::Relaxed);
                     }

@@ -493,6 +493,14 @@ pub fn serve_metrics(engine: Arc<Engine>, addr: &str) -> std::io::Result<ServerH
 fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &AtomicBool) {
     use std::io::Read as _;
     const IDLE_DISCONNECT: std::time::Duration = std::time::Duration::from_secs(30);
+    // A request head larger than this is rejected with 431 — the
+    // endpoint only ever answers plain GETs, so anything bigger is a
+    // confused (or hostile) client trying to buffer unbounded bytes.
+    const MAX_HEAD_BYTES: usize = 8 * 1024;
+    // A peer that has *started* a request head but not finished it
+    // within this budget is a slow-loris: it gets a typed 408 instead
+    // of holding the 30-second idle slot open one byte at a time.
+    const PARTIAL_HEAD_DEADLINE: std::time::Duration = std::time::Duration::from_secs(2);
     // A short read timeout keeps the thread responsive to shutdown while
     // the scraper sits between scrapes.
     if stream
@@ -503,6 +511,8 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
     }
     let _ = stream.set_nodelay(true);
     let mut last_activity = std::time::Instant::now();
+    // Set when `buf` holds the start of a not-yet-complete head.
+    let mut partial_since: Option<std::time::Instant> = None;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
     loop {
@@ -515,7 +525,10 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
             // analyze: allow(panic, find_header_end returns an offset within buf)
             let head = String::from_utf8_lossy(&buf[..end]).into_owned();
             buf.drain(..end);
+            partial_since = None;
             let close = metrics_request_wants_close(&head);
+            let watchdog = &engine.obs().watchdog;
+            watchdog.scrape_start();
             // `/healthz` answers the `health` op's JSON (503 while the
             // server is shedding, so load balancers back off); any other
             // path serves the Prometheus exposition.
@@ -534,6 +547,7 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
                     engine.prometheus_text(),
                 )
             };
+            watchdog.scrape_end();
             let response = format!(
                 "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
                  Content-Length: {}\r\nConnection: {}\r\n\r\n{body}",
@@ -549,12 +563,25 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
                 return;
             }
         }
+        if buf.len() > MAX_HEAD_BYTES {
+            metrics_reject(&mut stream, "431 Request Header Fields Too Large");
+            return;
+        }
+        if let Some(since) = partial_since {
+            if since.elapsed() >= PARTIAL_HEAD_DEADLINE {
+                metrics_reject(&mut stream, "408 Request Timeout");
+                return;
+            }
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return, // peer closed
             Ok(n) => {
                 // analyze: allow(panic, read returns n <= chunk.len)
                 buf.extend_from_slice(&chunk[..n]);
                 last_activity = std::time::Instant::now();
+                if partial_since.is_none() && !buf.is_empty() {
+                    partial_since = Some(std::time::Instant::now());
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
@@ -567,6 +594,20 @@ fn serve_metrics_connection(engine: &Engine, mut stream: TcpStream, stop: &Atomi
             Err(_) => return,
         }
     }
+}
+
+/// Writes a typed error status line on a metrics connection and closes
+/// it — the shared shape of the oversized-head (431) and slow-loris
+/// (408) rejections.
+fn metrics_reject(stream: &mut TcpStream, status: &str) {
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{status}",
+        status.len(),
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
 /// The request path of an HTTP request head (`"/"` when unparseable).

@@ -1054,6 +1054,34 @@ impl SessionManager {
         rows.sort_by_key(|r| r.0);
         rows
     }
+
+    /// The `debug.dump` slice of the table: one row per slot with its
+    /// occupancy state and queue depth — enough to see which session a
+    /// wedged worker is holding and who is parked behind it. Visits
+    /// shards one at a time (same locking shape as [`list`](Self::list)).
+    pub fn debug_value(&self) -> serde_json::Value {
+        let mut rows: Vec<(u64, serde_json::Value)> = Vec::new();
+        for shard in &self.shards {
+            let slots = shard.lock();
+            rows.extend(slots.iter().map(|(&id, slot)| {
+                let state = match &slot.state {
+                    SlotState::Available(s) => s.state.kind().to_string(),
+                    SlotState::CheckedOut => "busy".to_string(),
+                };
+                (
+                    id,
+                    crate::proto::Object::new()
+                        .field("session", id)
+                        .field("state", state)
+                        .field("queued", slot.queue.len())
+                        .field("queue_high_water", slot.queue_high_water)
+                        .build(),
+                )
+            }));
+        }
+        rows.sort_by_key(|r| r.0);
+        serde_json::Value::Array(rows.into_iter().map(|(_, v)| v).collect())
+    }
 }
 
 #[cfg(test)]

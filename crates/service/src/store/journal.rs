@@ -84,9 +84,16 @@ pub fn start(core: Arc<EngineCore>, interval: Duration) -> Option<JournalHandle>
                     continue;
                 }
                 last = Instant::now();
+                // Watchdog heartbeat: the attempt stamp precedes the
+                // write, the ok stamp follows a fully clean pass — a
+                // wedged or persistently failing journal leaves the
+                // attempt stamp newer than the ok stamp, which the
+                // supervisor flags after the stall threshold.
+                core.obs().watchdog.journal_attempt();
                 let outcome = store.checkpoint_sessions(&core, true);
                 match outcome {
                     Ok((_written, _busy, 0)) => {
+                        core.obs().watchdog.journal_ok();
                         store
                             .counters
                             .journal_checkpoints

@@ -1,0 +1,338 @@
+//! Conformance tests for the observability layer (`srank-obs`): the
+//! `"top"` op ranks tagged clients by attributed kernel CPU, the
+//! `"debug.dump"` op reports every subsystem, the watchdog supervisor
+//! degrades `health` while a worker is stalled (fault-injected kernel
+//! delay), a slow request's windowed exemplar resolves through the
+//! `trace` op, and windowed counts/quantiles stay consistent under
+//! proptest-generated concurrent recording.
+
+use proptest::prelude::*;
+use serde_json::Value;
+use srank_service::metrics::OPS;
+use srank_service::obs::WindowRing;
+use srank_service::{Engine, EngineConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn call(engine: &Engine, line: &str) -> Value {
+    serde_json::from_str(&engine.handle_line(line)).expect("response is JSON")
+}
+
+fn result(response: &Value) -> &Value {
+    assert_eq!(
+        response.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "expected ok response, got {}",
+        serde_json::to_string(response).unwrap()
+    );
+    response.get("result").expect("ok responses carry a result")
+}
+
+/// Loads a 5-dimensional dataset so `session.get_next` runs the
+/// Monte-Carlo verify kernel (exact kernels cover d <= 3) and burns
+/// measurable CPU per call.
+fn load_bluenile(engine: &Engine) {
+    result(&call(
+        engine,
+        r#"{"op": "registry.load", "dataset": "bn", "builtin": "bluenile", "n": 120, "d": 5, "seed": 7}"#,
+    ));
+}
+
+fn open_session(engine: &Engine, client: &str) -> u64 {
+    let open = format!(
+        r#"{{"op": "session.open", "dataset": "bn", "kind": "randomized", "scope": "top-k-set", "k": 5, "seed": 77, "budget": 200000, "client": "{client}"}}"#
+    );
+    result(&call(engine, &open))
+        .get("session")
+        .and_then(Value::as_u64)
+        .expect("session.open returns an id")
+}
+
+/// Finds the accounting row for `client` in a `top` result.
+fn client_row<'a>(top: &'a Value, client: &str) -> Option<&'a Value> {
+    top.get("clients")
+        .and_then(Value::as_array)
+        .expect("top result carries a clients array")
+        .iter()
+        .find(|row| row.get("client").and_then(Value::as_str) == Some(client))
+}
+
+#[test]
+fn top_ranks_two_tagged_clients_by_kernel_cpu() {
+    let engine = Engine::new(EngineConfig::default());
+    load_bluenile(&engine);
+
+    // Asymmetric load: the heavy tenant advances its randomized
+    // session three times (three full Monte-Carlo budgets), the light
+    // tenant once.
+    let heavy = open_session(&engine, "tenant-heavy");
+    let light = open_session(&engine, "tenant-light");
+    for _ in 0..3 {
+        result(&call(
+            &engine,
+            &format!(
+                r#"{{"op": "session.get_next", "session": {heavy}, "client": "tenant-heavy"}}"#
+            ),
+        ));
+    }
+    result(&call(
+        &engine,
+        &format!(r#"{{"op": "session.get_next", "session": {light}, "client": "tenant-light"}}"#),
+    ));
+
+    let response = call(&engine, r#"{"op": "top"}"#);
+    let top = result(&response);
+    assert_eq!(
+        top.get("sorted_by").and_then(Value::as_str),
+        Some("kernel_cpu_micros")
+    );
+    let heavy_row = client_row(top, "tenant-heavy").expect("heavy tenant tracked");
+    let light_row = client_row(top, "tenant-light").expect("light tenant tracked");
+    let cpu = |row: &Value| {
+        row.get("kernel_cpu_micros")
+            .and_then(Value::as_u64)
+            .expect("rows carry kernel_cpu_micros")
+    };
+    assert!(cpu(heavy_row) > 0, "heavy tenant attributed no kernel CPU");
+    assert!(
+        cpu(heavy_row) > cpu(light_row),
+        "3x budget should out-rank 1x: heavy={} light={}",
+        cpu(heavy_row),
+        cpu(light_row)
+    );
+    assert_eq!(heavy_row.get("requests").and_then(Value::as_u64), Some(4));
+    assert_eq!(light_row.get("requests").and_then(Value::as_u64), Some(2));
+
+    // The array is sorted descending by the sort key, so the heavy
+    // tenant appears first.
+    let clients = top.get("clients").and_then(Value::as_array).unwrap();
+    let pos = |name: &str| {
+        clients
+            .iter()
+            .position(|r| r.get("client").and_then(Value::as_str) == Some(name))
+            .unwrap()
+    };
+    assert!(pos("tenant-heavy") < pos("tenant-light"));
+
+    // Re-sorting by request count is honored and echoed back.
+    let by_requests = call(
+        &engine,
+        r#"{"op": "top", "sort_by": "requests", "limit": 4}"#,
+    );
+    assert_eq!(
+        result(&by_requests)
+            .get("sorted_by")
+            .and_then(Value::as_str),
+        Some("requests")
+    );
+}
+
+#[test]
+fn untagged_requests_charge_the_anonymous_bucket() {
+    let engine = Engine::new(EngineConfig::default());
+    result(&call(&engine, r#"{"op": "ping"}"#));
+    result(&call(&engine, r#"{"op": "stats"}"#));
+    let response = call(&engine, r#"{"op": "top", "sort_by": "requests"}"#);
+    let row = client_row(result(&response), "(anonymous)").expect("anonymous bucket tracked");
+    assert!(row.get("requests").and_then(Value::as_u64).unwrap() >= 2);
+}
+
+#[test]
+fn debug_dump_reports_every_subsystem() {
+    let engine = Engine::new(EngineConfig::default());
+    load_bluenile(&engine);
+    let session = open_session(&engine, "dumper");
+
+    let response = call(&engine, r#"{"op": "debug.dump"}"#);
+    let dump = result(&response);
+    for key in [
+        "watchdog",
+        "pool",
+        "session_table",
+        "sessions",
+        "clients",
+        "guard",
+        "trace",
+        "lock_ranks",
+    ] {
+        assert!(dump.get(key).is_some(), "debug.dump missing `{key}` block");
+    }
+    // The open session shows up in the per-session listing.
+    let sessions = dump.get("sessions").and_then(Value::as_array).unwrap();
+    assert!(sessions
+        .iter()
+        .any(|s| s.get("session").and_then(Value::as_u64) == Some(session)));
+    // The lock table is reported in strictly increasing rank order.
+    let ranks: Vec<u64> = dump
+        .get("lock_ranks")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .map(|r| r.get("rank").and_then(Value::as_u64).unwrap())
+        .collect();
+    assert!(!ranks.is_empty());
+    assert!(ranks.windows(2).all(|w| w[0] < w[1]), "ranks: {ranks:?}");
+}
+
+#[test]
+fn watchdog_degrades_health_on_stalled_worker() {
+    // A 300 ms fault-injected kernel delay on a width-1 pool, watched
+    // with a 40 ms stall threshold: the supervisor (25 ms tick) must
+    // flip health to degraded while the batch is executing, and back
+    // once it drains.
+    let engine = Engine::new(EngineConfig {
+        pool_workers: 1,
+        watchdog_stall_ms: 40,
+        faults: Some("kernel_delay_ms=300".to_string()),
+        ..EngineConfig::default()
+    });
+    load_bluenile(&engine);
+    let session = open_session(&engine, "staller");
+
+    let engine = Arc::new(engine);
+    let worker = {
+        let engine = Arc::clone(&engine);
+        std::thread::spawn(move || {
+            let batch = format!(
+                r#"{{"op": "batch", "requests": [{{"op": "session.get_next", "session": {session}}}]}}"#
+            );
+            call(&engine, &batch);
+        })
+    };
+
+    let mut saw_degraded = false;
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        let health = call(&engine, r#"{"op": "health"}"#);
+        let body = result(&health);
+        if body.get("status").and_then(Value::as_str) == Some("degraded") {
+            let stalled = body
+                .get("watchdog")
+                .and_then(|w| w.get("stalled_workers"))
+                .and_then(Value::as_u64)
+                .unwrap_or(0);
+            assert!(stalled > 0, "degraded without a stalled worker: {body:?}");
+            saw_degraded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    worker.join().expect("stalled batch completes");
+    assert!(saw_degraded, "watchdog never flagged the stalled worker");
+
+    // Degradation is transient: once the worker drains, the next scan
+    // clears the flag.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let health = call(&engine, r#"{"op": "health"}"#);
+        if result(&health).get("status").and_then(Value::as_str) == Some("ok") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "health stuck degraded");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn slow_request_exemplar_resolves_via_trace_op() {
+    let engine = Engine::new(EngineConfig {
+        trace_sample: 1,
+        ..EngineConfig::default()
+    });
+    load_bluenile(&engine);
+    let session = open_session(&engine, "tracer");
+    result(&call(
+        &engine,
+        &format!(r#"{{"op": "session.get_next", "session": {session}}}"#),
+    ));
+
+    let stats = call(&engine, r#"{"op": "stats"}"#);
+    let exemplar = result(&stats)
+        .get("window")
+        .and_then(|w| w.get("ops"))
+        .and_then(|o| o.get("exemplar_trace"))
+        .and_then(Value::as_u64)
+        .expect("worst windowed sample carries an exemplar trace id");
+    assert!(exemplar > 0);
+
+    // The exemplar id must resolve to a complete trace in the recorder.
+    let traces = call(&engine, r#"{"op": "trace", "limit": 64}"#);
+    let found = result(&traces)
+        .get("traces")
+        .and_then(Value::as_array)
+        .expect("trace result carries a traces array")
+        .iter()
+        .any(|t| t.get("trace").and_then(Value::as_u64) == Some(exemplar));
+    assert!(found, "exemplar trace {exemplar} not found by the trace op");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent recording never makes a windowed count exceed the
+    /// cumulative total, and quantile upper bounds stay monotone
+    /// (p50 <= p90 <= p99) in every populated block.
+    #[test]
+    fn windowed_counts_bounded_and_quantiles_monotone(
+        micros in prop::collection::vec(1u64..2_000_000u64, 1..240),
+        threads in 1usize..4,
+    ) {
+        // Spread samples across ops deterministically (the shimmed
+        // proptest has no tuple strategies).
+        let samples: Vec<(usize, u64)> = micros
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| ((i + m as usize) % OPS.len(), m))
+            .collect();
+        let ring = Arc::new(WindowRing::new());
+        let now = ring.now_sec();
+        let total = samples.len() as u64;
+        let chunk = samples.len().div_ceil(threads);
+        let handles: Vec<_> = samples
+            .chunks(chunk)
+            .map(|part| {
+                let ring = Arc::clone(&ring);
+                let part = part.to_vec();
+                std::thread::spawn(move || {
+                    for (op, micros) in part {
+                        ring.record_op_at(now, op, micros, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let window = ring.to_value_at(now);
+        let quantiles_monotone = |block: &Value| {
+            let q = |k: &str| block.get(k).and_then(Value::as_u64).unwrap_or(0);
+            prop_assert!(q("p50") <= q("p90") && q("p90") <= q("p99"),
+                "non-monotone quantiles in {block:?}");
+            Ok(())
+        };
+        let merged = window.get("ops").expect("summary ops block");
+        prop_assert_eq!(merged.get("count").and_then(Value::as_u64), Some(total));
+        quantiles_monotone(merged)?;
+
+        for horizon in ["10s", "60s", "300s"] {
+            let block = window.get(horizon).expect("per-window block");
+            // Everything was recorded in the current second, so each
+            // horizon sees exactly the cumulative total — and never more.
+            prop_assert_eq!(
+                block.get("requests").and_then(Value::as_u64),
+                Some(total)
+            );
+            let ops = block.get("ops").expect("per-op block");
+            let mut windowed_sum = 0u64;
+            if let Value::Object(entries) = ops {
+                for (_, entry) in entries.iter() {
+                    windowed_sum += entry.get("count").and_then(Value::as_u64).unwrap_or(0);
+                    quantiles_monotone(entry)?;
+                }
+            }
+            prop_assert!(windowed_sum <= total,
+                "windowed op count {windowed_sum} exceeds cumulative {total}");
+        }
+    }
+}

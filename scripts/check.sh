@@ -175,6 +175,29 @@ done
 grep -q 'srank_phase_latency_micros_bucket{phase="kernel"' "$SMOKE_DIR/metrics.out" \
   || { echo "check.sh: metrics scrape missing phase histograms" >&2; exit 1; }
 
+# Observability smoke: a tagged workload must land in the per-client
+# accounting table with nonzero kernel-CPU attribution, the windowed
+# gauges must reach the exposition, and debug.dump must answer.
+q '{"op": "verify", "dataset": "dot", "weights": [2, 1, 1], "samples": 100000, "client": "smoke-tenant"}' > /dev/null
+TOP=$(q '{"op": "top", "sort_by": "kernel_cpu_micros"}')
+TOP="$TOP" python3 - <<'PYTOP' \
+  || { echo "check.sh: top attribution failed: $TOP" >&2; exit 1; }
+import json, os
+top = json.loads(os.environ["TOP"])["result"]
+rows = {r["client"]: r for r in top["clients"]}
+row = rows.get("smoke-tenant")
+assert row is not None, "smoke-tenant not tracked"
+assert row["kernel_cpu_micros"] > 0, "no kernel CPU attributed"
+assert row["requests"] >= 1, "request not counted"
+PYTOP
+timeout --signal=KILL 30 "$SRANK" top "$ADDR" --limit 8 | grep -q 'smoke-tenant' \
+  || { echo "check.sh: srank top CLI missing the tagged client" >&2; exit 1; }
+q '{"op": "debug.dump"}' | grep -q 'lock_ranks' \
+  || { echo "check.sh: debug.dump missing lock_ranks" >&2; exit 1; }
+scrape_metrics > "$SMOKE_DIR/metrics.out"
+grep -q 'srank_window_' "$SMOKE_DIR/metrics.out" \
+  || { echo "check.sh: metrics scrape missing windowed gauges" >&2; exit 1; }
+
 q '{"op": "snapshot"}' | grep -q '"datasets":1' \
   || { echo "check.sh: snapshot reported no datasets" >&2; exit 1; }
 kill -9 "$SERVER_PID"
